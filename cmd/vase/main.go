@@ -1,0 +1,135 @@
+// Command vase runs the full behavioral synthesis flow: VASS specification
+// -> VHIF -> op-amp-level component netlist, with area/performance
+// estimation and optional SPICE deck export.
+//
+// Usage:
+//
+//	vase [-vhif] [-tree] [-spice] [-area] file.vhd
+//	vase -benchmark receiver -area
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vase"
+)
+
+func main() {
+	showVHIF := flag.Bool("vhif", false, "also print the VHIF intermediate representation")
+	showTree := flag.Bool("tree", false, "print the branch-and-bound decision tree")
+	spice := flag.Bool("spice", false, "print a SPICE deck of the op-amp macromodel expansion")
+	area := flag.Bool("area", false, "print the per-component area report")
+	sizing := flag.Bool("sizing", false, "print the transistor sizing report")
+	fromVHIF := flag.Bool("from-vhif", false, "the input file is serialized VHIF, not VASS")
+	benchmark := flag.String("benchmark", "", "synthesize a built-in benchmark")
+	flag.Parse()
+
+	opts := vase.DefaultSynthesisOptions()
+	opts.TraceTree = *showTree
+
+	var arch *vase.Architecture
+	if *fromVHIF {
+		if len(flag.Args()) != 1 {
+			fail(fmt.Errorf("usage: vase -from-vhif file.vhif"))
+		}
+		text, err := os.ReadFile(flag.Args()[0])
+		if err != nil {
+			fail(err)
+		}
+		m, err := vase.ParseVHIF(string(text))
+		if err != nil {
+			fail(err)
+		}
+		if *showVHIF {
+			fmt.Print(m.Dump())
+			fmt.Println()
+		}
+		arch, err = vase.SynthesizeModule(m, opts)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		src, err := loadSource(*benchmark, flag.Args())
+		if err != nil {
+			fail(err)
+		}
+		d, err := vase.Compile(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
+			os.Exit(1)
+		}
+		if *showVHIF {
+			fmt.Print(d.VHIF.Dump())
+			fmt.Println()
+		}
+		arch, err = d.SynthesizeWith(opts)
+		if err != nil {
+			fail(err)
+		}
+	}
+	fmt.Print(arch.Netlist.Dump())
+	fmt.Printf("\nsynthesis result: %s\n", arch.Netlist.Summary())
+	fmt.Printf("op amps: %d, estimated area: %.0f um^2, power: %.2f mW\n",
+		arch.Netlist.OpAmpCount(), arch.Report.AreaUm2, arch.Report.PowerMW)
+	fmt.Printf("search: %d nodes visited, %d complete mappings, %d pruned\n",
+		arch.Stats.NodesVisited, arch.Stats.CompleteMappings, arch.Stats.Pruned)
+
+	if *area {
+		fmt.Println("\nper-component area (um^2):")
+		for name, a := range arch.Report.PerComponent {
+			fmt.Printf("  %-24s %10.0f\n", name, a)
+		}
+	}
+	if *sizing {
+		sized, err := arch.Sizing()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		fmt.Print(vase.FormatSizing(sized))
+	}
+	if *showTree {
+		fmt.Println("\ndecision tree:")
+		fmt.Print(formatTree(arch))
+	}
+	if *spice {
+		deck, err := arch.SpiceDeck()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("\nSPICE deck:")
+		fmt.Print(deck)
+	}
+}
+
+func formatTree(arch *vase.Architecture) string {
+	if arch.Tree == nil {
+		return "(no tree recorded)\n"
+	}
+	return vase.FormatDecisionTree(arch.Tree)
+}
+
+func loadSource(benchmark string, args []string) (vase.Source, error) {
+	if benchmark != "" {
+		app, err := vase.Benchmark(benchmark)
+		if err != nil {
+			return vase.Source{}, err
+		}
+		return vase.Source{Name: benchmark + ".vhd", Text: app.Source}, nil
+	}
+	if len(args) != 1 {
+		return vase.Source{}, fmt.Errorf("usage: vase [flags] file.vhd (or -benchmark name)")
+	}
+	text, err := os.ReadFile(args[0])
+	if err != nil {
+		return vase.Source{}, err
+	}
+	return vase.Source{Name: args[0], Text: string(text)}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vase:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command vasebench regenerates the evaluation artifacts of the DATE'99
+// paper: Table 1 (the five benchmark applications) and Figures 3, 4, 6, 7
+// and 8.
+//
+// Usage:
+//
+//	vasebench            # everything
+//	vasebench -table1
+//	vasebench -fig8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vase/internal/corpus"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "reproduce Table 1")
+	fig3 := flag.Bool("fig3", false, "reproduce Figure 3 (VASS to VHIF translation)")
+	fig4 := flag.Bool("fig4", false, "reproduce Figure 4 (while-loop translation)")
+	fig6 := flag.Bool("fig6", false, "reproduce Figure 6 (branch-and-bound decision tree)")
+	fig7 := flag.Bool("fig7", false, "reproduce Figure 7 (receiver synthesis)")
+	fig8 := flag.Bool("fig8", false, "reproduce Figure 8 (receiver circuit simulation)")
+	flag.Parse()
+
+	all := !*table1 && !*fig3 && !*fig4 && !*fig6 && !*fig7 && !*fig8
+
+	if *table1 || all {
+		section("Table 1 — behavioral synthesis results for 5 real-life applications")
+		builds, err := corpus.BuildAll()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(corpus.Table1(builds))
+	}
+	if *fig3 || all {
+		section("Figure 3")
+		_, text, err := corpus.Figure3()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+	}
+	if *fig4 || all {
+		section("Figure 4")
+		_, text, err := corpus.Figure4()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+	}
+	if *fig6 || all {
+		section("Figure 6")
+		_, text, err := corpus.Figure6()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+	}
+	if *fig7 || all {
+		section("Figure 7")
+		text, err := corpus.Figure7()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+	}
+	if *fig8 || all {
+		section("Figure 8")
+		_, text, err := corpus.Figure8()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n==== %s ====\n\n", title)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vasebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// Command vasesim simulates a VASS design: behavioral transient analysis of
+// the compiled VHIF, functional simulation of the synthesized netlist, or
+// circuit-level simulation of the op-amp macromodel expansion.
+//
+// Inputs are specified as -in name=spec with specs dc:V, sine:AMP,FREQ,
+// step:V0,V1,T0 or ramp:SLOPE.
+//
+// Usage:
+//
+//	vasesim -benchmark receiver -in line=sine:1.5,1000 -in local=dc:0 \
+//	        -tstop 3e-3 -tstep 1e-6 -level circuit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vase"
+)
+
+type inputFlags map[string]vase.Waveform
+
+func (f inputFlags) String() string { return "name=spec" }
+
+func (f inputFlags) Set(arg string) error {
+	name, spec, ok := strings.Cut(arg, "=")
+	if !ok {
+		return fmt.Errorf("input must be name=spec, got %q", arg)
+	}
+	w, err := parseWave(spec)
+	if err != nil {
+		return err
+	}
+	f[name] = w
+	return nil
+}
+
+func parseWave(spec string) (vase.Waveform, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	nums := func(n int) ([]float64, error) {
+		parts := strings.Split(rest, ",")
+		if len(parts) != n {
+			return nil, fmt.Errorf("waveform %q requires %d parameters", kind, n)
+		}
+		out := make([]float64, n)
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("waveform parameter %q: %v", p, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch kind {
+	case "dc":
+		v, err := nums(1)
+		if err != nil {
+			return nil, err
+		}
+		return vase.DC(v[0]), nil
+	case "sine":
+		v, err := nums(2)
+		if err != nil {
+			return nil, err
+		}
+		return vase.Sine(v[0], v[1], 0), nil
+	case "step":
+		v, err := nums(3)
+		if err != nil {
+			return nil, err
+		}
+		return vase.StepAt(v[0], v[1], v[2]), nil
+	case "ramp":
+		v, err := nums(1)
+		if err != nil {
+			return nil, err
+		}
+		return vase.Ramp(v[0]), nil
+	}
+	return nil, fmt.Errorf("unknown waveform kind %q (dc, sine, step, ramp)", kind)
+}
+
+func main() {
+	inputs := inputFlags{}
+	flag.Var(inputs, "in", "input source: name=dc:V | name=sine:AMP,FREQ | name=step:V0,V1,T0 | name=ramp:SLOPE")
+	tstop := flag.Float64("tstop", 1e-3, "simulation end time, s")
+	tstep := flag.Float64("tstep", 1e-6, "integration step, s")
+	level := flag.String("level", "vhif", "simulation level: vhif (behavioral), netlist (functional), circuit (MNA macromodels)")
+	every := flag.Int("every", 50, "print every n-th sample")
+	csvPath := flag.String("csv", "", "also write the full trace as CSV to this file")
+	benchmark := flag.String("benchmark", "", "simulate a built-in benchmark")
+	flag.Parse()
+
+	src, err := loadSource(*benchmark, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	d, err := vase.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+	opts := vase.SimOptions{TStop: *tstop, TStep: *tstep}
+
+	writeCSV := func(tr *vase.Trace) {
+		if *csvPath == "" {
+			return
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+
+	switch *level {
+	case "vhif":
+		tr, err := d.Simulate(inputs, opts)
+		if err != nil {
+			fail(err)
+		}
+		printTrace(tr, *every)
+		writeCSV(tr)
+	case "netlist":
+		arch, err := d.Synthesize()
+		if err != nil {
+			fail(err)
+		}
+		tr, err := arch.Simulate(inputs, opts)
+		if err != nil {
+			fail(err)
+		}
+		printTrace(tr, *every)
+		writeCSV(tr)
+	case "circuit":
+		arch, err := d.Synthesize()
+		if err != nil {
+			fail(err)
+		}
+		res, err := arch.Spice(inputs, *tstop, *tstep)
+		if err != nil {
+			fail(err)
+		}
+		printSpice(d, res, *every)
+	default:
+		fail(fmt.Errorf("unknown level %q", *level))
+	}
+}
+
+func printTrace(tr *vase.Trace, every int) {
+	var names []string
+	for name := range tr.Signals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-12s", "t")
+	for _, n := range names {
+		fmt.Printf(" %12s", n)
+	}
+	fmt.Println()
+	for i := range tr.Time {
+		if i%every != 0 {
+			continue
+		}
+		fmt.Printf("%-12.6g", tr.Time[i])
+		for _, n := range names {
+			fmt.Printf(" %12.6g", tr.Signals[n][i])
+		}
+		fmt.Println()
+	}
+}
+
+func printSpice(d *vase.Design, res *vase.SpiceResult, every int) {
+	// Print the output ports.
+	var names []string
+	for _, p := range d.VHIF.Ports {
+		names = append(names, p.Name)
+	}
+	fmt.Printf("%-12s", "t")
+	cols := map[string][]float64{}
+	for _, n := range names {
+		if w := res.V(n); w != nil {
+			cols[n] = w
+			fmt.Printf(" %12s", n)
+		}
+	}
+	fmt.Println()
+	times := res.Time()
+	for i := range times {
+		if i%every != 0 {
+			continue
+		}
+		fmt.Printf("%-12.6g", times[i])
+		for _, n := range names {
+			if w, ok := cols[n]; ok {
+				fmt.Printf(" %12.6g", w[i])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func loadSource(benchmark string, args []string) (vase.Source, error) {
+	if benchmark != "" {
+		app, err := vase.Benchmark(benchmark)
+		if err != nil {
+			return vase.Source{}, err
+		}
+		return vase.Source{Name: benchmark + ".vhd", Text: app.Source}, nil
+	}
+	if len(args) != 1 {
+		return vase.Source{}, fmt.Errorf("usage: vasesim [flags] file.vhd (or -benchmark name)")
+	}
+	text, err := os.ReadFile(args[0])
+	if err != nil {
+		return vase.Source{}, err
+	}
+	return vase.Source{Name: args[0], Text: string(text)}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vasesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command vassc compiles VASS (VHDL-AMS subset for synthesis) sources into
+// VHIF, the VASE intermediate representation, and prints it.
+//
+// Usage:
+//
+//	vassc [-metrics] [-alternatives n] file.vhd
+//	vassc -benchmark receiver
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vase"
+)
+
+func main() {
+	metrics := flag.Bool("metrics", false, "print the Table 1 specification/VHIF metrics")
+	alts := flag.Int("alternatives", 0, "compile up to n alternative DAE solver topologies (0 = primary only)")
+	benchmark := flag.String("benchmark", "", "compile a built-in benchmark (receiver, powermeter, missile, itersolver, funcgen)")
+	flag.Parse()
+
+	src, err := loadSource(*benchmark, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+
+	if *alts > 0 {
+		mods, err := vase.CompileAlternatives(src, *alts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d feasible solver topolog%s\n\n", len(mods), plural(len(mods), "y", "ies"))
+		for i, m := range mods {
+			fmt.Printf("--- topology %d ---\n%s\n", i+1, m.Dump())
+		}
+		return
+	}
+
+	d, err := vase.Compile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
+		os.Exit(1)
+	}
+	fmt.Print(d.VHIF.Dump())
+	if *metrics {
+		r := d.Metrics()
+		fmt.Printf("\nmetrics: %d continuous-time lines, %d quantities, %d event-driven lines, %d signals\n",
+			r.ContinuousLines, r.Quantities, r.EventLines, r.Signals)
+		fmt.Printf("VHIF: %d blocks, %d states, %d data-path elements\n", r.Blocks, r.States, r.Datapath)
+	}
+}
+
+func loadSource(benchmark string, args []string) (vase.Source, error) {
+	if benchmark != "" {
+		app, err := vase.Benchmark(benchmark)
+		if err != nil {
+			return vase.Source{}, err
+		}
+		return vase.Source{Name: benchmark + ".vhd", Text: app.Source}, nil
+	}
+	if len(args) != 1 {
+		return vase.Source{}, fmt.Errorf("usage: vassc [flags] file.vhd (or -benchmark name)")
+	}
+	text, err := os.ReadFile(args[0])
+	if err != nil {
+		return vase.Source{}, err
+	}
+	return vase.Source{Name: args[0], Text: string(text)}, nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vassc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module vase
+
+go 1.22

@@ -1,0 +1,522 @@
+// Package ast declares the abstract syntax tree for VASS, the VHDL-AMS
+// subset for behavioral synthesis of analog systems.
+//
+// The tree mirrors the VASS constructs from the DATE'99 paper: design units
+// (entities, architectures, packages), object declarations for quantities,
+// signals, terminals and constants with synthesis annotations, concurrent
+// statements (simple simultaneous, simultaneous if/use and case/use,
+// procedural, process), and the sequential statements allowed inside
+// procedural and process bodies. Every node carries a source span so that
+// later passes can attach precise diagnostics.
+package ast
+
+import (
+	"vase/internal/source"
+	"vase/internal/token"
+)
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Span() source.Span
+}
+
+// ---------------------------------------------------------------------------
+// Names and common pieces
+
+// Ident is an occurrence of an identifier. Name preserves the original
+// spelling; Canon is the lower-cased canonical form used for lookup, since
+// VHDL is case-insensitive.
+type Ident struct {
+	SpanV source.Span
+	Name  string
+	Canon string
+}
+
+// Span returns the source span of the identifier.
+func (n *Ident) Span() source.Span { return n.SpanV }
+
+// ObjectClass distinguishes the VHDL-AMS object classes that VASS admits.
+type ObjectClass int
+
+// Object classes of declared names.
+const (
+	ClassNone ObjectClass = iota
+	ClassQuantity
+	ClassSignal
+	ClassTerminal
+	ClassConstant
+	ClassVariable
+)
+
+// String returns the lower-case keyword for the class.
+func (c ObjectClass) String() string {
+	switch c {
+	case ClassQuantity:
+		return "quantity"
+	case ClassSignal:
+		return "signal"
+	case ClassTerminal:
+		return "terminal"
+	case ClassConstant:
+		return "constant"
+	case ClassVariable:
+		return "variable"
+	}
+	return "none"
+}
+
+// Mode is a port direction.
+type Mode int
+
+// Port modes. ModeNone marks non-port declarations.
+const (
+	ModeNone Mode = iota
+	ModeIn
+	ModeOut
+	ModeInOut
+)
+
+// String returns the lower-case keyword for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIn:
+		return "in"
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	}
+	return ""
+}
+
+// Annotation is one synthesis annotation attached to a port or quantity
+// declaration, such as "is voltage", "limited at 1.5", "drives 270.0 at
+// 285.0e-3 peak", "range lo to hi", "frequency lo to hi" or "impedance z".
+// Name is canonical (lower case); Args carries the argument expressions in
+// declaration order.
+type Annotation struct {
+	SpanV source.Span
+	Name  string
+	Args  []Expr
+}
+
+// Span returns the source span of the annotation.
+func (n *Annotation) Span() source.Span { return n.SpanV }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is the interface of all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Name is a reference to a declared object.
+type Name struct {
+	SpanV source.Span
+	Ident *Ident
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	SpanV source.Span
+	Value int64
+	Text  string
+}
+
+// RealLit is a floating-point literal.
+type RealLit struct {
+	SpanV source.Span
+	Value float64
+	Text  string
+}
+
+// BitLit is '0' or '1'.
+type BitLit struct {
+	SpanV source.Span
+	Value bool // true for '1'
+}
+
+// StrLit is a string (bit-vector) literal.
+type StrLit struct {
+	SpanV source.Span
+	Value string
+}
+
+// Unary is a prefix operation: -, +, not, abs.
+type Unary struct {
+	SpanV source.Span
+	Op    token.Kind
+	X     Expr
+}
+
+// Binary is an infix operation.
+type Binary struct {
+	SpanV source.Span
+	Op    token.Kind
+	X, Y  Expr
+}
+
+// Paren preserves explicit parenthesization.
+type Paren struct {
+	SpanV source.Span
+	X     Expr
+}
+
+// Call is a function call or indexed name: f(a, b).
+type Call struct {
+	SpanV source.Span
+	Fun   *Ident
+	Args  []Expr
+}
+
+// Attribute is an attribute name such as line'ABOVE(vth), q'DOT or s'EVENT.
+// Attr is canonical lower case.
+type Attribute struct {
+	SpanV source.Span
+	X     Expr
+	Attr  string
+	Args  []Expr
+}
+
+// Span implementations.
+func (n *Name) Span() source.Span      { return n.SpanV }
+func (n *IntLit) Span() source.Span    { return n.SpanV }
+func (n *RealLit) Span() source.Span   { return n.SpanV }
+func (n *BitLit) Span() source.Span    { return n.SpanV }
+func (n *StrLit) Span() source.Span    { return n.SpanV }
+func (n *Unary) Span() source.Span     { return n.SpanV }
+func (n *Binary) Span() source.Span    { return n.SpanV }
+func (n *Paren) Span() source.Span     { return n.SpanV }
+func (n *Call) Span() source.Span      { return n.SpanV }
+func (n *Attribute) Span() source.Span { return n.SpanV }
+
+func (*Name) exprNode()      {}
+func (*IntLit) exprNode()    {}
+func (*RealLit) exprNode()   {}
+func (*BitLit) exprNode()    {}
+func (*StrLit) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Paren) exprNode()     {}
+func (*Call) exprNode()      {}
+func (*Attribute) exprNode() {}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// TypeRef names a type, optionally with an index or range constraint, e.g.
+// "real", "bit_vector(3 downto 0)", "real_vector(1 to 4)".
+type TypeRef struct {
+	SpanV      source.Span
+	Name       *Ident
+	Constraint *RangeExpr // nil when unconstrained
+}
+
+// Span returns the source span of the type reference.
+func (n *TypeRef) Span() source.Span { return n.SpanV }
+
+// RangeExpr is "lo to hi" or "hi downto lo".
+type RangeExpr struct {
+	SpanV  source.Span
+	Lo, Hi Expr
+	Down   bool // true for downto
+}
+
+// Span returns the source span of the range.
+func (n *RangeExpr) Span() source.Span { return n.SpanV }
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Decl is the interface of declaration nodes.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// ObjectDecl declares one or more objects of a common class and type:
+// quantities, signals, terminals, constants, or variables. For ports, Mode
+// is the direction; Annotations holds the synthesis annotations.
+type ObjectDecl struct {
+	SpanV       source.Span
+	Class       ObjectClass
+	Names       []*Ident
+	Mode        Mode
+	Type        *TypeRef
+	Init        Expr // nil when absent
+	Annotations []*Annotation
+}
+
+// FunctionDecl is a pure function usable from procedural statements.
+type FunctionDecl struct {
+	SpanV  source.Span
+	Name   *Ident
+	Params []*ObjectDecl
+	Result *TypeRef
+	Decls  []Decl
+	Body   []SeqStmt
+}
+
+// Span implementations.
+func (n *ObjectDecl) Span() source.Span   { return n.SpanV }
+func (n *FunctionDecl) Span() source.Span { return n.SpanV }
+
+func (*ObjectDecl) declNode()   {}
+func (*FunctionDecl) declNode() {}
+
+// ---------------------------------------------------------------------------
+// Concurrent statements
+
+// ConcStmt is the interface of concurrent (architecture-body) statements.
+type ConcStmt interface {
+	Node
+	concNode()
+}
+
+// SimpleSimultaneous is "lhs == rhs;", a characteristic DAE expression.
+type SimpleSimultaneous struct {
+	SpanV source.Span
+	Label string
+	LHS   Expr
+	RHS   Expr
+}
+
+// SimultaneousIf is "if cond use ... {elsif cond use ...} [else ...] end use;".
+type SimultaneousIf struct {
+	SpanV source.Span
+	Label string
+	Cond  Expr
+	Then  []ConcStmt
+	Elifs []*SimElif
+	Else  []ConcStmt
+}
+
+// SimElif is one elsif arm of a SimultaneousIf.
+type SimElif struct {
+	SpanV source.Span
+	Cond  Expr
+	Then  []ConcStmt
+}
+
+// SimultaneousCase is "case expr use when choices => ... end case;".
+type SimultaneousCase struct {
+	SpanV source.Span
+	Label string
+	Expr  Expr
+	Arms  []*CaseArm
+}
+
+// CaseArm is one "when choices => stmts" arm. A nil Choices means others.
+type CaseArm struct {
+	SpanV   source.Span
+	Choices []Expr // nil for others
+	Conc    []ConcStmt
+	Seq     []SeqStmt
+}
+
+// Procedural is "procedural is <decls> begin <stmts> end procedural;",
+// an explicit algorithmic description of continuous-time behavior.
+type Procedural struct {
+	SpanV source.Span
+	Label string
+	Decls []Decl
+	Body  []SeqStmt
+}
+
+// Process is an event-driven process with a sensitivity list. VASS forbids
+// wait statements; processes resume on events, run to completion, suspend.
+type Process struct {
+	SpanV       source.Span
+	Label       string
+	Sensitivity []Expr // names or attribute events such as line'above(vth)
+	Decls       []Decl
+	Body        []SeqStmt
+}
+
+// Span implementations.
+func (n *SimpleSimultaneous) Span() source.Span { return n.SpanV }
+func (n *SimultaneousIf) Span() source.Span     { return n.SpanV }
+func (n *SimElif) Span() source.Span            { return n.SpanV }
+func (n *SimultaneousCase) Span() source.Span   { return n.SpanV }
+func (n *CaseArm) Span() source.Span            { return n.SpanV }
+func (n *Procedural) Span() source.Span         { return n.SpanV }
+func (n *Process) Span() source.Span            { return n.SpanV }
+
+func (*SimpleSimultaneous) concNode() {}
+func (*SimultaneousIf) concNode()     {}
+func (*SimultaneousCase) concNode()   {}
+func (*Procedural) concNode()         {}
+func (*Process) concNode()            {}
+
+// ---------------------------------------------------------------------------
+// Sequential statements
+
+// SeqStmt is the interface of sequential statements (procedural, process and
+// function bodies).
+type SeqStmt interface {
+	Node
+	seqNode()
+}
+
+// Assign is ":=" (variables, quantities in procedurals) or "<=" (signals);
+// SignalOp distinguishes them.
+type Assign struct {
+	SpanV    source.Span
+	LHS      Expr // Name or Call (indexed name)
+	RHS      Expr
+	SignalOp bool // true for <=
+}
+
+// IfStmt is a sequential if/elsif/else.
+type IfStmt struct {
+	SpanV source.Span
+	Cond  Expr
+	Then  []SeqStmt
+	Elifs []*SeqElif
+	Else  []SeqStmt
+}
+
+// SeqElif is one elsif arm of an IfStmt.
+type SeqElif struct {
+	SpanV source.Span
+	Cond  Expr
+	Then  []SeqStmt
+}
+
+// CaseStmt is a sequential case statement.
+type CaseStmt struct {
+	SpanV source.Span
+	Expr  Expr
+	Arms  []*CaseArm
+}
+
+// ForStmt is "for i in lo to hi loop ... end loop;". VASS requires the
+// bounds to be statically known so the loop can be unrolled.
+type ForStmt struct {
+	SpanV source.Span
+	Var   *Ident
+	Range *RangeExpr
+	Body  []SeqStmt
+}
+
+// WhileStmt is "while cond loop ... end loop;". VASS gives it sampling
+// semantics (see the paper's Figure 4 translation).
+type WhileStmt struct {
+	SpanV source.Span
+	Cond  Expr
+	Body  []SeqStmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	SpanV source.Span
+	Value Expr // nil for plain return
+}
+
+// NullStmt is "null;".
+type NullStmt struct {
+	SpanV source.Span
+}
+
+// Span implementations.
+func (n *Assign) Span() source.Span     { return n.SpanV }
+func (n *IfStmt) Span() source.Span     { return n.SpanV }
+func (n *SeqElif) Span() source.Span    { return n.SpanV }
+func (n *CaseStmt) Span() source.Span   { return n.SpanV }
+func (n *ForStmt) Span() source.Span    { return n.SpanV }
+func (n *WhileStmt) Span() source.Span  { return n.SpanV }
+func (n *ReturnStmt) Span() source.Span { return n.SpanV }
+func (n *NullStmt) Span() source.Span   { return n.SpanV }
+
+func (*Assign) seqNode()     {}
+func (*IfStmt) seqNode()     {}
+func (*CaseStmt) seqNode()   {}
+func (*ForStmt) seqNode()    {}
+func (*WhileStmt) seqNode()  {}
+func (*ReturnStmt) seqNode() {}
+func (*NullStmt) seqNode()   {}
+
+// ---------------------------------------------------------------------------
+// Design units
+
+// DesignUnit is the interface of library units.
+type DesignUnit interface {
+	Node
+	unitNode()
+}
+
+// Entity is an entity declaration with its port clause.
+type Entity struct {
+	SpanV    source.Span
+	Name     *Ident
+	Generics []*ObjectDecl
+	Ports    []*ObjectDecl
+}
+
+// Architecture is an architecture body bound to an entity.
+type Architecture struct {
+	SpanV  source.Span
+	Name   *Ident
+	Entity *Ident
+	Decls  []Decl
+	Stmts  []ConcStmt
+}
+
+// Package is a package declaration (constants and functions in VASS).
+type Package struct {
+	SpanV source.Span
+	Name  *Ident
+	Decls []Decl
+}
+
+// PackageBody is a package body carrying function bodies.
+type PackageBody struct {
+	SpanV source.Span
+	Name  *Ident
+	Decls []Decl
+}
+
+// Span implementations.
+func (n *Entity) Span() source.Span       { return n.SpanV }
+func (n *Architecture) Span() source.Span { return n.SpanV }
+func (n *Package) Span() source.Span      { return n.SpanV }
+func (n *PackageBody) Span() source.Span  { return n.SpanV }
+
+func (*Entity) unitNode()       {}
+func (*Architecture) unitNode() {}
+func (*Package) unitNode()      {}
+func (*PackageBody) unitNode()  {}
+
+// DesignFile is the root of one parsed VASS source file.
+type DesignFile struct {
+	SpanV source.Span
+	File  *source.File
+	Units []DesignUnit
+}
+
+// Span returns the span of the whole file.
+func (n *DesignFile) Span() source.Span { return n.SpanV }
+
+// Entities returns all entity declarations in the file, in order.
+func (n *DesignFile) Entities() []*Entity {
+	var out []*Entity
+	for _, u := range n.Units {
+		if e, ok := u.(*Entity); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Architectures returns all architecture bodies in the file, in order.
+func (n *DesignFile) Architectures() []*Architecture {
+	var out []*Architecture
+	for _, u := range n.Units {
+		if a, ok := u.(*Architecture); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package ast
+
+import (
+	"testing"
+
+	"vase/internal/source"
+	"vase/internal/token"
+)
+
+func ident(name string) *Ident {
+	return &Ident{Name: name, Canon: name}
+}
+
+func name(n string) *Name { return &Name{Ident: ident(n)} }
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{name("x"), "x"},
+		{&IntLit{Value: 42}, "42"},
+		{&RealLit{Value: 2.5}, "2.5"},
+		{&RealLit{Text: "285.0e-3", Value: 0.285}, "285.0e-3"},
+		{&BitLit{Value: true}, "'1'"},
+		{&BitLit{Value: false}, "'0'"},
+		{&StrLit{Value: "0101"}, `"0101"`},
+		{&Unary{Op: token.MINUS, X: name("x")}, "-x"},
+		{&Unary{Op: token.NOT, X: name("c")}, "not c"},
+		{&Unary{Op: token.ABS, X: name("v")}, "abs v"},
+		{&Binary{Op: token.PLUS, X: name("a"), Y: name("b")}, "a + b"},
+		{&Paren{X: &Binary{Op: token.STAR, X: name("a"), Y: name("b")}}, "(a * b)"},
+		{&Call{Fun: ident("exp"), Args: []Expr{name("x")}}, "exp(x)"},
+		{&Call{Fun: ident("min"), Args: []Expr{name("a"), name("b")}}, "min(a, b)"},
+		{&Attribute{X: name("q"), Attr: "dot"}, "q'dot"},
+		{&Attribute{X: name("line"), Attr: "above", Args: []Expr{&RealLit{Value: 0.1}}}, "line'above(0.1)"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestWalkVisitsAllExprNodes(t *testing.T) {
+	e := &Binary{
+		Op: token.PLUS,
+		X:  &Unary{Op: token.MINUS, X: name("a")},
+		Y: &Call{Fun: ident("f"), Args: []Expr{
+			&Attribute{X: name("q"), Attr: "dot"},
+			&Paren{X: name("b")},
+		}},
+	}
+	count := map[string]int{}
+	Walk(e, func(n Node) bool {
+		switch n.(type) {
+		case *Binary:
+			count["binary"]++
+		case *Unary:
+			count["unary"]++
+		case *Name:
+			count["name"]++
+		case *Call:
+			count["call"]++
+		case *Attribute:
+			count["attr"]++
+		case *Paren:
+			count["paren"]++
+		}
+		return true
+	})
+	want := map[string]int{"binary": 1, "unary": 1, "name": 3, "call": 1, "attr": 1, "paren": 1}
+	for k, n := range want {
+		if count[k] != n {
+			t.Errorf("walk visited %d %s nodes, want %d (all: %v)", count[k], k, n, count)
+		}
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	e := &Binary{Op: token.PLUS, X: name("a"), Y: name("b")}
+	names := 0
+	Walk(e, func(n Node) bool {
+		if _, ok := n.(*Binary); ok {
+			return false // do not descend
+		}
+		if _, ok := n.(*Name); ok {
+			names++
+		}
+		return true
+	})
+	if names != 0 {
+		t.Errorf("pruned walk visited %d names, want 0", names)
+	}
+}
+
+func TestWalkDesignUnits(t *testing.T) {
+	df := &DesignFile{
+		Units: []DesignUnit{
+			&Entity{Name: ident("e"), Ports: []*ObjectDecl{{
+				Class: ClassQuantity,
+				Names: []*Ident{ident("a")},
+				Type:  &TypeRef{Name: ident("real")},
+			}}},
+			&Architecture{
+				Name:   ident("arch"),
+				Entity: ident("e"),
+				Stmts: []ConcStmt{
+					&SimpleSimultaneous{LHS: name("a"), RHS: name("a")},
+					&Process{
+						Sensitivity: []Expr{name("s")},
+						Body: []SeqStmt{
+							&Assign{LHS: name("s"), RHS: &BitLit{Value: true}, SignalOp: true},
+							&IfStmt{Cond: name("c"), Then: []SeqStmt{&NullStmt{}}},
+							&ForStmt{Var: ident("i"), Range: &RangeExpr{Lo: &IntLit{Value: 1}, Hi: &IntLit{Value: 2}}},
+							&WhileStmt{Cond: name("c")},
+							&ReturnStmt{},
+						},
+					},
+				},
+			},
+		},
+	}
+	kinds := map[string]bool{}
+	Walk(df, func(n Node) bool {
+		switch n.(type) {
+		case *Entity:
+			kinds["entity"] = true
+		case *Architecture:
+			kinds["arch"] = true
+		case *ObjectDecl:
+			kinds["decl"] = true
+		case *SimpleSimultaneous:
+			kinds["sim"] = true
+		case *Process:
+			kinds["process"] = true
+		case *Assign:
+			kinds["assign"] = true
+		case *IfStmt:
+			kinds["if"] = true
+		case *ForStmt:
+			kinds["for"] = true
+		case *WhileStmt:
+			kinds["while"] = true
+		}
+		return true
+	})
+	for _, k := range []string{"entity", "arch", "decl", "sim", "process", "assign", "if", "for", "while"} {
+		if !kinds[k] {
+			t.Errorf("walk missed %s nodes", k)
+		}
+	}
+}
+
+func TestClassAndModeStrings(t *testing.T) {
+	if ClassQuantity.String() != "quantity" || ClassSignal.String() != "signal" ||
+		ClassTerminal.String() != "terminal" || ClassVariable.String() != "variable" {
+		t.Error("class strings")
+	}
+	if ModeIn.String() != "in" || ModeOut.String() != "out" || ModeNone.String() != "" {
+		t.Error("mode strings")
+	}
+}
+
+func TestDesignFileAccessors(t *testing.T) {
+	df := &DesignFile{Units: []DesignUnit{
+		&Entity{Name: ident("a")},
+		&Package{Name: ident("p")},
+		&Architecture{Name: ident("x"), Entity: ident("a")},
+		&Entity{Name: ident("b")},
+	}}
+	if n := len(df.Entities()); n != 2 {
+		t.Errorf("entities = %d", n)
+	}
+	if n := len(df.Architectures()); n != 1 {
+		t.Errorf("architectures = %d", n)
+	}
+}
+
+func TestSpansAccessible(t *testing.T) {
+	sp := source.NewSpan(3, 9)
+	nodes := []Node{
+		&Ident{SpanV: sp}, &Annotation{SpanV: sp}, &Name{SpanV: sp},
+		&IntLit{SpanV: sp}, &TypeRef{SpanV: sp}, &RangeExpr{SpanV: sp},
+		&ObjectDecl{SpanV: sp}, &FunctionDecl{SpanV: sp},
+		&SimpleSimultaneous{SpanV: sp}, &SimultaneousIf{SpanV: sp},
+		&SimultaneousCase{SpanV: sp}, &Procedural{SpanV: sp}, &Process{SpanV: sp},
+		&Assign{SpanV: sp}, &IfStmt{SpanV: sp}, &CaseStmt{SpanV: sp},
+		&ForStmt{SpanV: sp}, &WhileStmt{SpanV: sp}, &ReturnStmt{SpanV: sp},
+		&NullStmt{SpanV: sp}, &Entity{SpanV: sp}, &Architecture{SpanV: sp},
+		&Package{SpanV: sp}, &PackageBody{SpanV: sp}, &DesignFile{SpanV: sp},
+	}
+	for _, n := range nodes {
+		if n.Span() != sp {
+			t.Errorf("%T span not reported", n)
+		}
+	}
+}

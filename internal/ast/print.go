@@ -1,0 +1,453 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vase/internal/token"
+)
+
+// ExprString renders an expression in VASS concrete syntax. It is used by
+// diagnostics, the VHIF dumper, and golden tests.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Name:
+		b.WriteString(e.Ident.Name)
+	case *IntLit:
+		if e.Text != "" {
+			b.WriteString(e.Text)
+		} else {
+			b.WriteString(strconv.FormatInt(e.Value, 10))
+		}
+	case *RealLit:
+		if e.Text != "" {
+			b.WriteString(e.Text)
+		} else {
+			b.WriteString(strconv.FormatFloat(e.Value, 'g', -1, 64))
+		}
+	case *BitLit:
+		if e.Value {
+			b.WriteString("'1'")
+		} else {
+			b.WriteString("'0'")
+		}
+	case *StrLit:
+		fmt.Fprintf(b, "%q", e.Value)
+	case *Unary:
+		switch e.Op {
+		case token.NOT, token.ABS:
+			b.WriteString(e.Op.String())
+			b.WriteByte(' ')
+		default:
+			b.WriteString(e.Op.String())
+		}
+		writeExpr(b, e.X)
+	case *Binary:
+		writeExpr(b, e.X)
+		b.WriteByte(' ')
+		b.WriteString(e.Op.String())
+		b.WriteByte(' ')
+		writeExpr(b, e.Y)
+	case *Paren:
+		b.WriteByte('(')
+		writeExpr(b, e.X)
+		b.WriteByte(')')
+	case *Call:
+		b.WriteString(e.Fun.Name)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *Attribute:
+		writeExpr(b, e.X)
+		b.WriteByte('\'')
+		b.WriteString(e.Attr)
+		if len(e.Args) > 0 {
+			b.WriteByte('(')
+			for i, a := range e.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				writeExpr(b, a)
+			}
+			b.WriteByte(')')
+		}
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// Printer renders a design file back to VASS concrete syntax. The output is
+// canonical (lower-case keywords, normalized spacing) and reparses to an
+// equivalent tree, which the parser round-trip tests rely on.
+type Printer struct {
+	b      strings.Builder
+	indent int
+}
+
+// FileString renders an entire design file.
+func FileString(f *DesignFile) string {
+	var p Printer
+	for i, u := range f.Units {
+		if i > 0 {
+			p.b.WriteByte('\n')
+		}
+		p.unit(u)
+	}
+	return p.b.String()
+}
+
+func (p *Printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *Printer) unit(u DesignUnit) {
+	switch u := u.(type) {
+	case *Entity:
+		p.line("entity %s is", u.Name.Name)
+		if len(u.Ports) > 0 {
+			p.indent++
+			p.line("port (")
+			p.indent++
+			for i, d := range u.Ports {
+				sep := ";"
+				if i == len(u.Ports)-1 {
+					sep = ""
+				}
+				p.line("%s%s", p.objectDecl(d), sep)
+			}
+			p.indent--
+			p.line(");")
+			p.indent--
+		}
+		p.line("end entity;")
+	case *Architecture:
+		p.line("architecture %s of %s is", u.Name.Name, u.Entity.Name)
+		p.indent++
+		for _, d := range u.Decls {
+			p.decl(d)
+		}
+		p.indent--
+		p.line("begin")
+		p.indent++
+		for _, s := range u.Stmts {
+			p.conc(s)
+		}
+		p.indent--
+		p.line("end architecture;")
+	case *Package:
+		p.line("package %s is", u.Name.Name)
+		p.indent++
+		for _, d := range u.Decls {
+			p.decl(d)
+		}
+		p.indent--
+		p.line("end package;")
+	case *PackageBody:
+		p.line("package body %s is", u.Name.Name)
+		p.indent++
+		for _, d := range u.Decls {
+			p.decl(d)
+		}
+		p.indent--
+		p.line("end package body;")
+	}
+}
+
+func (p *Printer) objectDecl(d *ObjectDecl) string {
+	var b strings.Builder
+	b.WriteString(d.Class.String())
+	b.WriteByte(' ')
+	for i, id := range d.Names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(id.Name)
+	}
+	b.WriteString(" : ")
+	if d.Mode != ModeNone {
+		b.WriteString(d.Mode.String())
+		b.WriteByte(' ')
+	}
+	b.WriteString(p.typeRef(d.Type))
+	if d.Init != nil {
+		b.WriteString(" := ")
+		b.WriteString(ExprString(d.Init))
+	}
+	for _, a := range d.Annotations {
+		b.WriteByte(' ')
+		b.WriteString(annotationString(a))
+	}
+	return b.String()
+}
+
+func annotationString(a *Annotation) string {
+	var b strings.Builder
+	b.WriteString("is ")
+	b.WriteString(a.Name)
+	// Re-emit the connective words of each annotation form so the output
+	// reparses: "limited at x", "drives z at v peak", "frequency lo to hi".
+	switch a.Name {
+	case "limited":
+		if len(a.Args) == 1 {
+			b.WriteString(" at ")
+			b.WriteString(ExprString(a.Args[0]))
+		}
+	case "drives":
+		if len(a.Args) >= 1 {
+			b.WriteByte(' ')
+			b.WriteString(ExprString(a.Args[0]))
+		}
+		if len(a.Args) >= 2 {
+			b.WriteString(" at ")
+			b.WriteString(ExprString(a.Args[1]))
+			b.WriteString(" peak")
+		}
+	case "frequency", "range":
+		if len(a.Args) == 2 {
+			b.WriteByte(' ')
+			b.WriteString(ExprString(a.Args[0]))
+			b.WriteString(" to ")
+			b.WriteString(ExprString(a.Args[1]))
+		}
+	default:
+		for _, e := range a.Args {
+			b.WriteByte(' ')
+			b.WriteString(ExprString(e))
+		}
+	}
+	return b.String()
+}
+
+func (p *Printer) typeRef(t *TypeRef) string {
+	if t == nil {
+		return "<nil>"
+	}
+	s := t.Name.Name
+	if t.Constraint != nil {
+		dir := "to"
+		if t.Constraint.Down {
+			dir = "downto"
+		}
+		s += fmt.Sprintf("(%s %s %s)", ExprString(t.Constraint.Lo), dir, ExprString(t.Constraint.Hi))
+	}
+	return s
+}
+
+func (p *Printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *ObjectDecl:
+		p.line("%s;", p.objectDecl(d))
+	case *FunctionDecl:
+		var params []string
+		for _, pd := range d.Params {
+			params = append(params, p.objectDecl(pd))
+		}
+		p.line("function %s(%s) return %s is", d.Name.Name, strings.Join(params, "; "), p.typeRef(d.Result))
+		p.indent++
+		for _, dd := range d.Decls {
+			p.decl(dd)
+		}
+		p.indent--
+		p.line("begin")
+		p.indent++
+		for _, s := range d.Body {
+			p.seq(s)
+		}
+		p.indent--
+		p.line("end function;")
+	}
+}
+
+func (p *Printer) conc(s ConcStmt) {
+	switch s := s.(type) {
+	case *SimpleSimultaneous:
+		if s.Label != "" {
+			p.line("%s: %s == %s;", s.Label, ExprString(s.LHS), ExprString(s.RHS))
+		} else {
+			p.line("%s == %s;", ExprString(s.LHS), ExprString(s.RHS))
+		}
+	case *SimultaneousIf:
+		p.line("if %s use", ExprString(s.Cond))
+		p.indent++
+		for _, t := range s.Then {
+			p.conc(t)
+		}
+		p.indent--
+		for _, e := range s.Elifs {
+			p.line("elsif %s use", ExprString(e.Cond))
+			p.indent++
+			for _, t := range e.Then {
+				p.conc(t)
+			}
+			p.indent--
+		}
+		if len(s.Else) > 0 {
+			p.line("else")
+			p.indent++
+			for _, t := range s.Else {
+				p.conc(t)
+			}
+			p.indent--
+		}
+		p.line("end use;")
+	case *SimultaneousCase:
+		p.line("case %s use", ExprString(s.Expr))
+		p.indent++
+		for _, a := range s.Arms {
+			p.line("when %s =>", choicesString(a.Choices))
+			p.indent++
+			for _, t := range a.Conc {
+				p.conc(t)
+			}
+			p.indent--
+		}
+		p.indent--
+		p.line("end case;")
+	case *Procedural:
+		if s.Label != "" {
+			p.line("%s: procedural is", s.Label)
+		} else {
+			p.line("procedural is")
+		}
+		p.indent++
+		for _, d := range s.Decls {
+			p.decl(d)
+		}
+		p.indent--
+		p.line("begin")
+		p.indent++
+		for _, st := range s.Body {
+			p.seq(st)
+		}
+		p.indent--
+		p.line("end procedural;")
+	case *Process:
+		var sens []string
+		for _, e := range s.Sensitivity {
+			sens = append(sens, ExprString(e))
+		}
+		head := "process"
+		if s.Label != "" {
+			head = s.Label + ": process"
+		}
+		if len(sens) > 0 {
+			head += " (" + strings.Join(sens, ", ") + ")"
+		}
+		p.line("%s is", head)
+		p.indent++
+		for _, d := range s.Decls {
+			p.decl(d)
+		}
+		p.indent--
+		p.line("begin")
+		p.indent++
+		for _, st := range s.Body {
+			p.seq(st)
+		}
+		p.indent--
+		p.line("end process;")
+	}
+}
+
+func choicesString(choices []Expr) string {
+	if choices == nil {
+		return "others"
+	}
+	var parts []string
+	for _, c := range choices {
+		parts = append(parts, ExprString(c))
+	}
+	return strings.Join(parts, " | ")
+}
+
+func (p *Printer) seq(s SeqStmt) {
+	switch s := s.(type) {
+	case *Assign:
+		op := ":="
+		if s.SignalOp {
+			op = "<="
+		}
+		p.line("%s %s %s;", ExprString(s.LHS), op, ExprString(s.RHS))
+	case *IfStmt:
+		p.line("if %s then", ExprString(s.Cond))
+		p.indent++
+		for _, t := range s.Then {
+			p.seq(t)
+		}
+		p.indent--
+		for _, e := range s.Elifs {
+			p.line("elsif %s then", ExprString(e.Cond))
+			p.indent++
+			for _, t := range e.Then {
+				p.seq(t)
+			}
+			p.indent--
+		}
+		if len(s.Else) > 0 {
+			p.line("else")
+			p.indent++
+			for _, t := range s.Else {
+				p.seq(t)
+			}
+			p.indent--
+		}
+		p.line("end if;")
+	case *CaseStmt:
+		p.line("case %s is", ExprString(s.Expr))
+		p.indent++
+		for _, a := range s.Arms {
+			p.line("when %s =>", choicesString(a.Choices))
+			p.indent++
+			for _, t := range a.Seq {
+				p.seq(t)
+			}
+			p.indent--
+		}
+		p.indent--
+		p.line("end case;")
+	case *ForStmt:
+		dir := "to"
+		if s.Range.Down {
+			dir = "downto"
+		}
+		p.line("for %s in %s %s %s loop", s.Var.Name, ExprString(s.Range.Lo), dir, ExprString(s.Range.Hi))
+		p.indent++
+		for _, t := range s.Body {
+			p.seq(t)
+		}
+		p.indent--
+		p.line("end loop;")
+	case *WhileStmt:
+		p.line("while %s loop", ExprString(s.Cond))
+		p.indent++
+		for _, t := range s.Body {
+			p.seq(t)
+		}
+		p.indent--
+		p.line("end loop;")
+	case *ReturnStmt:
+		if s.Value != nil {
+			p.line("return %s;", ExprString(s.Value))
+		} else {
+			p.line("return;")
+		}
+	case *NullStmt:
+		p.line("null;")
+	}
+}

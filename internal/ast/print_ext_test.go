@@ -1,0 +1,161 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"vase/internal/ast"
+	"vase/internal/parser"
+)
+
+// richSource exercises every printable construct: packages with functions,
+// generics, all sequential and concurrent statement forms, annotations,
+// labels, case arms, loops.
+const richSource = `
+package helpers is
+  constant k : real := 2.5;
+  function scale(x : real) return real;
+end package;
+
+package body helpers is
+  function scale(x : real) return real is
+    variable t : real := 1.0;
+  begin
+    t := k * x;
+    return t;
+  end function;
+end package body;
+
+entity rich is
+  generic (g0 : real := 1.0);
+  port (
+    quantity a : in real is voltage is frequency 10.0 to 100.0;
+    quantity b : in real is current is impedance 50.0;
+    quantity y : out real is voltage limited at 1.5 drives 270.0 at 0.285 peak;
+    signal s : out bit
+  );
+end entity;
+
+architecture full of rich is
+  constant c2 : real := 4.0;
+  quantity q1, q2 : real;
+  signal m : bit;
+begin
+  lbl1: q1 == a * c2 + abs b;
+  if (m = '1') use
+    q2 == q1;
+  elsif (m = '0') use
+    q2 == -q1;
+  else
+    q2 == 2.0 * q1;
+  end use;
+  case m use
+    when '0' => y == q2;
+    when others => y == q2 + 1.0;
+  end case;
+  procedural is
+    variable acc : real;
+  begin
+    acc := a ** 2;
+    for i in 1 to 3 loop
+      acc := acc + scale(a) * i;
+    end loop;
+    while acc > 1.0 loop
+      acc := acc * 0.5;
+    end loop;
+    if acc > 0.5 then
+      acc := acc - 0.1;
+    elsif acc > 0.2 then
+      acc := acc - 0.05;
+    else
+      null;
+    end if;
+  end procedural;
+  process (a'above(0.5), b'above(0.1)) is
+    variable n : real;
+  begin
+    n := 1.0;
+    if (a'above(0.5) = true) then
+      m <= '1'; s <= '1';
+    else
+      m <= '0'; s <= '0';
+    end if;
+  end process;
+end architecture;
+`
+
+// TestPrinterRoundTripRich verifies the printer's output reparses to a tree
+// that prints identically (idempotence) for the full construct set.
+func TestPrinterRoundTripRich(t *testing.T) {
+	df, err := parser.Parse("rich.vhd", richSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	printed := ast.FileString(df)
+	df2, err := parser.Parse("printed.vhd", printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	printed2 := ast.FileString(df2)
+	if printed != printed2 {
+		t.Errorf("printer not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+	// Structure is preserved.
+	if len(df2.Units) != len(df.Units) {
+		t.Errorf("units = %d, want %d", len(df2.Units), len(df.Units))
+	}
+	for _, want := range []string{
+		"package helpers is",
+		"package body helpers is",
+		"function scale(",
+		"lbl1: q1 ==",
+		"elsif (m = '0') use",
+		"case m use",
+		"when others =>",
+		"procedural is",
+		"for i in 1 to 3 loop",
+		"while acc > 1.0 loop",
+		"process (a'above(0.5), b'above(0.1)) is",
+		"is limited at 1.5",
+		"is drives 270",
+		"is frequency 10",
+		"is impedance 50",
+		"null;",
+		"return t;",
+	} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("printed output missing %q:\n%s", want, printed)
+		}
+	}
+}
+
+// TestPrinterDowntoRange checks downto direction survives printing.
+func TestPrinterDowntoRange(t *testing.T) {
+	src := `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  procedural is
+    variable s : real;
+  begin
+    s := 0.0 * a;
+    for i in 3 downto 1 loop
+      s := s + a;
+    end loop;
+    y := s;
+  end procedural;
+end architecture;`
+	df, err := parser.Parse("d.vhd", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.FileString(df)
+	if !strings.Contains(printed, "for i in 3 downto 1 loop") {
+		t.Errorf("downto lost:\n%s", printed)
+	}
+	if _, err := parser.Parse("p.vhd", printed); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}

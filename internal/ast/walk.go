@@ -1,0 +1,184 @@
+package ast
+
+// Visitor is invoked by Walk for each node. If the result is false the walk
+// does not descend into the node's children.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first order, calling v for
+// each node before its children. Nil nodes are skipped.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *DesignFile:
+		for _, u := range n.Units {
+			Walk(u, v)
+		}
+	case *Entity:
+		Walk(n.Name, v)
+		for _, d := range n.Generics {
+			Walk(d, v)
+		}
+		for _, d := range n.Ports {
+			Walk(d, v)
+		}
+	case *Architecture:
+		Walk(n.Name, v)
+		Walk(n.Entity, v)
+		for _, d := range n.Decls {
+			Walk(d, v)
+		}
+		for _, s := range n.Stmts {
+			Walk(s, v)
+		}
+	case *Package:
+		Walk(n.Name, v)
+		for _, d := range n.Decls {
+			Walk(d, v)
+		}
+	case *PackageBody:
+		Walk(n.Name, v)
+		for _, d := range n.Decls {
+			Walk(d, v)
+		}
+	case *ObjectDecl:
+		for _, id := range n.Names {
+			Walk(id, v)
+		}
+		walkType(n.Type, v)
+		walkExpr(n.Init, v)
+		for _, a := range n.Annotations {
+			Walk(a, v)
+		}
+	case *Annotation:
+		for _, e := range n.Args {
+			walkExpr(e, v)
+		}
+	case *FunctionDecl:
+		Walk(n.Name, v)
+		for _, p := range n.Params {
+			Walk(p, v)
+		}
+		walkType(n.Result, v)
+		for _, d := range n.Decls {
+			Walk(d, v)
+		}
+		walkSeq(n.Body, v)
+	case *TypeRef:
+		Walk(n.Name, v)
+		if n.Constraint != nil {
+			Walk(n.Constraint, v)
+		}
+	case *RangeExpr:
+		walkExpr(n.Lo, v)
+		walkExpr(n.Hi, v)
+	case *SimpleSimultaneous:
+		walkExpr(n.LHS, v)
+		walkExpr(n.RHS, v)
+	case *SimultaneousIf:
+		walkExpr(n.Cond, v)
+		walkConc(n.Then, v)
+		for _, e := range n.Elifs {
+			Walk(e, v)
+		}
+		walkConc(n.Else, v)
+	case *SimElif:
+		walkExpr(n.Cond, v)
+		walkConc(n.Then, v)
+	case *SimultaneousCase:
+		walkExpr(n.Expr, v)
+		for _, a := range n.Arms {
+			Walk(a, v)
+		}
+	case *CaseArm:
+		for _, c := range n.Choices {
+			walkExpr(c, v)
+		}
+		walkConc(n.Conc, v)
+		walkSeq(n.Seq, v)
+	case *Procedural:
+		for _, d := range n.Decls {
+			Walk(d, v)
+		}
+		walkSeq(n.Body, v)
+	case *Process:
+		for _, e := range n.Sensitivity {
+			walkExpr(e, v)
+		}
+		for _, d := range n.Decls {
+			Walk(d, v)
+		}
+		walkSeq(n.Body, v)
+	case *Assign:
+		walkExpr(n.LHS, v)
+		walkExpr(n.RHS, v)
+	case *IfStmt:
+		walkExpr(n.Cond, v)
+		walkSeq(n.Then, v)
+		for _, e := range n.Elifs {
+			Walk(e, v)
+		}
+		walkSeq(n.Else, v)
+	case *SeqElif:
+		walkExpr(n.Cond, v)
+		walkSeq(n.Then, v)
+	case *CaseStmt:
+		walkExpr(n.Expr, v)
+		for _, a := range n.Arms {
+			Walk(a, v)
+		}
+	case *ForStmt:
+		Walk(n.Var, v)
+		Walk(n.Range, v)
+		walkSeq(n.Body, v)
+	case *WhileStmt:
+		walkExpr(n.Cond, v)
+		walkSeq(n.Body, v)
+	case *ReturnStmt:
+		walkExpr(n.Value, v)
+	case *Name:
+		Walk(n.Ident, v)
+	case *Unary:
+		walkExpr(n.X, v)
+	case *Binary:
+		walkExpr(n.X, v)
+		walkExpr(n.Y, v)
+	case *Paren:
+		walkExpr(n.X, v)
+	case *Call:
+		Walk(n.Fun, v)
+		for _, a := range n.Args {
+			walkExpr(a, v)
+		}
+	case *Attribute:
+		walkExpr(n.X, v)
+		for _, a := range n.Args {
+			walkExpr(a, v)
+		}
+	}
+}
+
+func walkExpr(e Expr, v Visitor) {
+	if e != nil {
+		Walk(e, v)
+	}
+}
+
+func walkType(t *TypeRef, v Visitor) {
+	if t != nil {
+		Walk(t, v)
+	}
+}
+
+func walkSeq(ss []SeqStmt, v Visitor) {
+	for _, s := range ss {
+		Walk(s, v)
+	}
+}
+
+func walkConc(ss []ConcStmt, v Visitor) {
+	for _, s := range ss {
+		Walk(s, v)
+	}
+}

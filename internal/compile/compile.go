@@ -1,0 +1,381 @@
+// Package compile translates analyzed VASS designs into VHIF, the structural
+// intermediate representation of the VASE synthesis environment.
+//
+// The translation rules follow Section 4 of the DATE'99 paper:
+//
+//   - Simple simultaneous statements form a DAE set. Each set is matched
+//     against its unknowns (free quantities and output ports); explicit and
+//     isolatable forms yield signal-flow "solver" structures, with q'dot
+//     equations realized by integrators. Alternative matchings yield
+//     alternative solver topologies, all of which the synthesis tool may
+//     consider (CompileAll).
+//   - Simultaneous if/use and case/use statements become multiplexed signal
+//     paths selected by control nets; an if/use without an else arm infers a
+//     sample-and-hold (the value is held while the condition is false).
+//   - Procedural statements become pure dataflow: instruction sequencing is
+//     preserved through data dependencies, for-loops are unrolled (their
+//     bounds are static), and while-loops are translated into the dual
+//     condition-block + sample-and-hold structure of the paper's Figure 4.
+//   - Process statements become FSMs with maximal intra-state concurrency
+//     (statements group into a state until a data dependency forces a new
+//     one), and their control behavior is materialized as comparator and
+//     Schmitt-trigger blocks driving the control nets of the continuous part.
+package compile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vase/internal/ast"
+	"vase/internal/sema"
+	"vase/internal/source"
+	"vase/internal/vhif"
+)
+
+// DefaultHysteresis is the hysteresis margin applied to comparators inferred
+// from processes, "so that repeated switchings between states are avoided"
+// (paper, Section 6).
+const DefaultHysteresis = 0.01
+
+// Compile translates the design into its primary VHIF module (the first
+// feasible DAE solver topology).
+func Compile(d *sema.Design) (*vhif.Module, error) {
+	mods, err := CompileAll(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	return mods[0], nil
+}
+
+// CompileAll translates the design into up to limit alternative VHIF
+// modules, one per feasible DAE solver matching. limit <= 0 means all
+// (bounded internally). The first module is the primary topology.
+func CompileAll(d *sema.Design, limit int) ([]*vhif.Module, error) {
+	if limit <= 0 {
+		limit = maxMatchings
+	}
+	matchings, unknowns, eqs, err := enumerateMatchings(d, limit)
+	if err != nil {
+		return nil, err
+	}
+	var mods []*vhif.Module
+	var firstErr error
+	for _, match := range matchings {
+		c := newCompiler(d)
+		m, err := c.compileModule(eqs, unknowns, match)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		mods = append(mods, m)
+		if len(mods) >= limit {
+			break
+		}
+	}
+	if len(mods) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("compile: no feasible solver topology for design %q", d.Name)
+	}
+	return mods, nil
+}
+
+type compiler struct {
+	d    *sema.Design
+	m    *vhif.Module
+	g    *vhif.Graph
+	errs source.ErrorList
+
+	// nets binds quantity canonical names to the nets carrying their value.
+	nets map[string]*vhif.Net
+	// ctrl binds signal canonical names to control nets.
+	ctrl map[string]*vhif.Net
+	// inverted caches control-net inverters.
+	inverted map[*vhif.Net]*vhif.Net
+	// consts holds loop-variable substitution values during unrolling.
+	consts map[string]float64
+	// constBlocks dedupes constant source blocks by value.
+	constBlocks map[float64]*vhif.Net
+	// ctrlConsts dedupes constant control-level nets.
+	ctrlConsts map[bool]*vhif.Net
+}
+
+func newCompiler(d *sema.Design) *compiler {
+	return &compiler{
+		d:           d,
+		nets:        make(map[string]*vhif.Net),
+		ctrl:        make(map[string]*vhif.Net),
+		inverted:    make(map[*vhif.Net]*vhif.Net),
+		consts:      make(map[string]float64),
+		constBlocks: make(map[float64]*vhif.Net),
+		ctrlConsts:  make(map[bool]*vhif.Net),
+	}
+}
+
+func (c *compiler) errorf(sp source.Span, format string, args ...any) {
+	c.errs.Add(c.d.File.Position(sp.Start), format, args...)
+}
+
+func (c *compiler) failed() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	c.errs.Sort()
+	return c.errs.Err()
+}
+
+// compileModule builds one module for the given DAE matching.
+func (c *compiler) compileModule(eqs []*equation, unknowns []string, match matching) (*vhif.Module, error) {
+	c.m = &vhif.Module{Name: c.d.Name}
+	c.g = vhif.NewGraph("main")
+	c.m.Graphs = []*vhif.Graph{c.g}
+
+	// Composite nature types pass the front end (VASS admits them) but the
+	// signal-flow compiler works on scalar nets; reject them with a clear
+	// diagnostic instead of failing deep in expression translation.
+	for _, q := range append(append([]*sema.Symbol{}, c.d.Quantities...), c.d.Signals...) {
+		if q.Type.Kind == sema.TRealVector || q.Type.Kind == sema.TBitVector {
+			c.errorf(q.Decl.Span(), "%s %q has a composite type; the compiler requires scalar objects (declare the elements individually)", q.Kind, q.Orig)
+		}
+	}
+	if err := c.failed(); err != nil {
+		return nil, err
+	}
+
+	c.declarePorts()
+
+	// Pre-create integrators for 'dot-matched unknowns so that feedback
+	// references — including 'above events in processes — resolve before
+	// the defining equation is compiled.
+	integs := make(map[string]*vhif.Block)
+	for i := range eqs {
+		if match[i].viaDot {
+			b := c.g.AddBlock(vhif.BIntegrator, match[i].unknown, nil)
+			b.Out.Name = match[i].unknown
+			c.nets[match[i].unknown] = b.Out
+			integs[match[i].unknown] = b
+		}
+	}
+
+	// Event-driven part next: its control nets feed the continuous part.
+	for _, st := range c.d.Arch.Stmts {
+		if p, ok := st.(*ast.Process); ok {
+			c.compileProcess(p)
+		}
+	}
+	if err := c.failed(); err != nil {
+		return nil, err
+	}
+
+	// Order the remaining definition units by data dependencies and compile.
+	units := c.collectUnits(eqs, match)
+	if err := c.compileUnits(units, integs); err != nil {
+		return nil, err
+	}
+	if err := c.failed(); err != nil {
+		return nil, err
+	}
+
+	c.connectOutputs()
+	if err := c.failed(); err != nil {
+		return nil, err
+	}
+	return c.m, nil
+}
+
+// declarePorts creates module ports and input blocks.
+func (c *compiler) declarePorts() {
+	for _, p := range c.d.Ports {
+		port := &vhif.Port{
+			Name:       p.Name,
+			Voltage:    p.Attr.Kind != sema.KindCurrent,
+			Limited:    p.Attr.Limited,
+			LimitAt:    p.Attr.LimitAt,
+			DrivesOhms: p.Attr.DrivesOhms,
+			PeakDrive:  p.Attr.PeakDrive,
+			Impedance:  p.Attr.Impedance,
+			FreqLo:     p.Attr.FreqLo,
+			FreqHi:     p.Attr.FreqHi,
+			RangeLo:    p.Attr.RangeLo,
+			RangeHi:    p.Attr.RangeHi,
+		}
+		if p.Mode == ast.ModeOut {
+			port.Dir = vhif.DirOut
+		}
+		switch p.Kind {
+		case sema.SymQuantity, sema.SymTerminal:
+			port.Kind = vhif.PortQuantity
+			// Terminal ports expose their across quantity (t'reference) as
+			// an input: VASS uses one facet per terminal.
+			if p.Mode == ast.ModeIn || p.Kind == sema.SymTerminal {
+				b := c.g.AddBlock(vhif.BInput, p.Name)
+				b.Out.Name = p.Name
+				c.nets[p.Name] = b.Out
+			}
+		case sema.SymSignal:
+			port.Kind = vhif.PortSignal
+		default:
+			continue // generics are not ports of the module
+		}
+		c.m.Ports = append(c.m.Ports, port)
+	}
+}
+
+// connectOutputs drives output ports from their defining nets, inserting
+// annotation-inferred interfacing stages (limiter, output buffer).
+func (c *compiler) connectOutputs() {
+	for _, p := range c.d.Ports {
+		if p.Kind != sema.SymQuantity || p.Mode != ast.ModeOut {
+			continue
+		}
+		net := c.nets[p.Name]
+		if net == nil {
+			c.errorf(p.Decl.Span(), "output quantity %q was never defined", p.Orig)
+			continue
+		}
+		if p.Attr.HasFreq && p.Attr.FreqHi > 0 {
+			// Filter inference (paper Section 3): a frequency range on the
+			// output port describes the wanted signal band; the synthesis
+			// tool infers the filter type — low-pass when the band starts
+			// at DC, band-pass otherwise.
+			f := c.g.AddBlock(vhif.BFilter, p.Name+"_filter", net)
+			f.Param = p.Attr.FreqHi
+			f.Param2 = p.Attr.FreqLo
+			net = f.Out
+		}
+		if p.Attr.Limited {
+			lim := c.g.AddBlock(vhif.BLimiter, p.Name+"_limit", net)
+			lim.Param = p.Attr.LimitAt
+			if lim.Param == 0 {
+				lim.Param = 1.5 // library default clip level
+			}
+			net = lim.Out
+		}
+		if p.Attr.DrivesOhms != 0 || p.Attr.Impedance != 0 {
+			buf := c.g.AddBlock(vhif.BBuffer, p.Name+"_stage", net)
+			buf.Param = p.Attr.DrivesOhms
+			net = buf.Out
+		}
+		c.g.AddBlock(vhif.BOutput, p.Name, net)
+	}
+	// Signal output ports are controls computed by the FSM; record links
+	// for any not already registered by the extraction pass.
+	linked := map[string]bool{}
+	for _, l := range c.m.Controls {
+		linked[l.Signal] = true
+	}
+	for _, p := range c.d.Ports {
+		if p.Kind == sema.SymSignal && p.Mode == ast.ModeOut && !linked[p.Name] {
+			if net := c.ctrl[p.Name]; net != nil {
+				c.m.Controls = append(c.m.Controls, &vhif.ControlLink{Signal: p.Name, Net: net})
+			}
+		}
+	}
+}
+
+// constValue resolves e to a static real value, using sema's folded
+// constants, loop-variable substitutions, and local evaluation of synthetic
+// expressions.
+func (c *compiler) constValue(e ast.Expr) (float64, bool) {
+	if v := c.d.ConstOf(e); v != nil && v.Type.IsNumeric() {
+		return v.AsReal(), true
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return float64(e.Value), true
+	case *ast.RealLit:
+		return e.Value, true
+	case *ast.Paren:
+		return c.constValue(e.X)
+	case *ast.Name:
+		if v, ok := c.consts[e.Ident.Canon]; ok {
+			return v, true
+		}
+		if sym := c.d.Lookup(e.Ident.Canon); sym != nil && sym.Kind == sema.SymConstant && sym.Const != nil {
+			return sym.Const.AsReal(), true
+		}
+		return 0, false
+	case *ast.Unary:
+		x, ok := c.constValue(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op.String() {
+		case "-":
+			return -x, true
+		case "+":
+			return x, true
+		case "abs":
+			return math.Abs(x), true
+		}
+		return 0, false
+	case *ast.Binary:
+		x, okx := c.constValue(e.X)
+		y, oky := c.constValue(e.Y)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch e.Op.String() {
+		case "+":
+			return x + y, true
+		case "-":
+			return x - y, true
+		case "*":
+			return x * y, true
+		case "/":
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case "**":
+			return math.Pow(x, y), true
+		}
+		return 0, false
+	case *ast.Call:
+		sym := c.d.Lookup(e.Fun.Canon)
+		if sym == nil || sym.Kind != sema.SymFunction || sym.Func.Builtin == "" {
+			return 0, false
+		}
+		var args []float64
+		for _, a := range e.Args {
+			v, ok := c.constValue(a)
+			if !ok {
+				return 0, false
+			}
+			args = append(args, v)
+		}
+		return sema.EvalBuiltin(sym.Func.Builtin, args)
+	}
+	return 0, false
+}
+
+// constNet returns a (deduplicated) constant source net for value v.
+func (c *compiler) constNet(v float64) *vhif.Net {
+	if n, ok := c.constBlocks[v]; ok {
+		return n
+	}
+	b := c.g.AddBlock(vhif.BConst, fmt.Sprintf("c_%g", v))
+	b.Param = v
+	c.constBlocks[v] = b.Out
+	return b.Out
+}
+
+// sortedNames returns map keys in deterministic order.
+func sortedNames[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

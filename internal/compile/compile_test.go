@@ -1,0 +1,816 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"vase/internal/parser"
+	"vase/internal/sema"
+	"vase/internal/vhif"
+)
+
+func compileSrc(t *testing.T, src string) *vhif.Module {
+	t.Helper()
+	df, err := parser.Parse("test.vhd", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	m, err := Compile(d)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("module invalid: %v\n%s", err, m.Dump())
+	}
+	return m
+}
+
+func compileErr(t *testing.T, src string) error {
+	t.Helper()
+	df, err := parser.Parse("test.vhd", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	_, err = Compile(d)
+	if err == nil {
+		t.Fatal("expected compile error, got none")
+	}
+	return err
+}
+
+const receiverSrc = `
+entity telephone is
+  port (
+    quantity line  : in real is voltage;
+    quantity local : in real is voltage;
+    quantity earph : out real is voltage limited at 1.5 drives 270.0 at 0.285 peak
+  );
+end entity;
+architecture behavioral of telephone is
+  constant Aline  : real := 4.0;
+  constant Alocal : real := 2.0;
+  constant r1c    : real := 0.5;
+  constant r2c    : real := 0.25;
+  constant Vth    : real := 0.1;
+  quantity rvar : real;
+  signal c1 : bit;
+begin
+  earph == (Aline * line + Alocal * local) * rvar;
+  if (c1 = '1') use
+    rvar == r1c;
+  else
+    rvar == r1c + r2c;
+  end use;
+  process (line'above(Vth)) is
+  begin
+    if (line'above(Vth) = true) then
+      c1 <= '1';
+    else
+      c1 <= '0';
+    end if;
+  end process;
+end architecture;
+`
+
+func TestCompileReceiver(t *testing.T) {
+	m := compileSrc(t, receiverSrc)
+	g := m.Graphs[0]
+	counts := map[vhif.BlockKind]int{}
+	for _, b := range g.Blocks {
+		counts[b.Kind]++
+	}
+	// Figure 7a: weighted sum (2 gains + add), rvar selection (mux),
+	// multiplier, comparator from the process, plus the annotation-inferred
+	// limiter and output stage.
+	want := map[vhif.BlockKind]int{
+		vhif.BGain:       2,
+		vhif.BAdd:        1,
+		vhif.BMux:        1,
+		vhif.BMul:        1,
+		vhif.BComparator: 1,
+		vhif.BLimiter:    1,
+		vhif.BBuffer:     1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s blocks = %d, want %d\n%s", k, counts[k], n, m.Dump())
+		}
+	}
+}
+
+func TestReceiverTable1Metrics(t *testing.T) {
+	m := compileSrc(t, receiverSrc)
+	// Table 1 row "Receiver Module": 6 blocks, 4 states, 1 data-path.
+	if n := m.BlockCount(); n != 6 {
+		t.Errorf("BlockCount = %d, want 6\n%s", n, m.Dump())
+	}
+	if n := m.StateCount(); n != 4 {
+		t.Errorf("StateCount = %d, want 4", n)
+	}
+	if n := m.DatapathCount(); n != 1 {
+		t.Errorf("DatapathCount = %d, want 1", n)
+	}
+}
+
+func TestReceiverComparatorHysteresis(t *testing.T) {
+	m := compileSrc(t, receiverSrc)
+	for _, b := range m.Graphs[0].Blocks {
+		if b.Kind == vhif.BComparator {
+			if !b.FromFSM {
+				t.Error("comparator should be tagged FromFSM")
+			}
+			if b.Hyst == 0 {
+				t.Error("process-derived comparator should carry a hysteresis margin")
+			}
+			if b.Param != 0.1 {
+				t.Errorf("comparator threshold = %g, want 0.1", b.Param)
+			}
+		}
+	}
+}
+
+func TestReceiverOutputStageOrdering(t *testing.T) {
+	m := compileSrc(t, receiverSrc)
+	g := m.Graphs[0]
+	var out *vhif.Block
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BOutput && b.Name == "earph" {
+			out = b
+		}
+	}
+	if out == nil {
+		t.Fatal("no earph output block")
+	}
+	// Output is fed by buffer, which is fed by limiter.
+	buf := out.Inputs[0].Driver
+	if buf.Kind != vhif.BBuffer {
+		t.Fatalf("output driven by %s, want buffer", buf.Kind)
+	}
+	lim := buf.Inputs[0].Driver
+	if lim.Kind != vhif.BLimiter {
+		t.Fatalf("buffer driven by %s, want limiter", lim.Kind)
+	}
+	if lim.Param != 1.5 {
+		t.Errorf("limiter level = %g, want 1.5", lim.Param)
+	}
+}
+
+func TestCompileHarmonicOscillatorDAE(t *testing.T) {
+	// x'dot == v; v'dot == -x: two integrators in a loop.
+	m := compileSrc(t, `
+entity osc is
+  port (quantity x : out real);
+end entity;
+architecture a of osc is
+  quantity v : real;
+begin
+  x'dot == v;
+  v'dot == -x;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BIntegrator); n != 2 {
+		t.Errorf("integrators = %d, want 2\n%s", n, m.Dump())
+	}
+	if n := g.CountKind(vhif.BNeg); n != 1 {
+		t.Errorf("negators = %d, want 1", n)
+	}
+}
+
+func TestDAEIsolationLinear(t *testing.T) {
+	// 2.0 * y + x == 3.0 * x  must solve to y == (3x - x)/2.
+	m := compileSrc(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  2.0 * y + x == 3.0 * x;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BSub); n != 1 {
+		t.Errorf("sub blocks = %d, want 1 (rest - x)\n%s", n, m.Dump())
+	}
+	// Division by the constant 2 becomes a gain of 0.5.
+	found := false
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BGain && b.Param == 0.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a gain 0.5 stage from /2.0\n%s", m.Dump())
+	}
+}
+
+func TestDAEIsolationThroughLog(t *testing.T) {
+	// log(y) == x  solves to y == exp(x).
+	m := compileSrc(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  log(y) == x;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BExp); n != 1 {
+		t.Errorf("exp blocks = %d, want 1\n%s", n, m.Dump())
+	}
+	if n := g.CountKind(vhif.BLog); n != 0 {
+		t.Errorf("log blocks = %d, want 0", n)
+	}
+}
+
+func TestDAEAlternativeTopologies(t *testing.T) {
+	// x + y == u; y'dot == x. Two matchings exist (eq1 may define x or y),
+	// but the swap (y from eq1, x from eq2) is an algebraic loop through a
+	// differentiator — a non-causal solver the enumeration must prune.
+	df, err := parser.Parse("t", `
+entity e is
+  port (quantity u : in real; quantity x, y : out real);
+end entity;
+architecture a of e is
+begin
+  x + y == u;
+  y'dot == x;
+end architecture;`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+
+	matchings, unknowns, _, err := enumerateMatchings(d, 0)
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	if len(unknowns) != 2 {
+		t.Fatalf("unknowns = %v, want [x y]", unknowns)
+	}
+	if len(matchings) != 2 {
+		t.Fatalf("raw matchings = %d, want 2 (both orientations of eq1)", len(matchings))
+	}
+
+	mods, err := CompileAll(d, 0)
+	if err != nil {
+		t.Fatalf("compile all: %v", err)
+	}
+	// Only the causal orientation survives: x = u - y with y = integ(x).
+	if len(mods) != 1 {
+		t.Fatalf("feasible solver topologies = %d, want 1 (non-causal matching pruned)", len(mods))
+	}
+	g := mods[0].Graphs[0]
+	if n := g.CountKind(vhif.BIntegrator); n != 1 {
+		t.Errorf("integrators = %d, want 1\n%s", n, mods[0].Dump())
+	}
+	if n := g.CountKind(vhif.BDifferentiator); n != 0 {
+		t.Errorf("differentiators = %d, want 0", n)
+	}
+}
+
+func TestUnderdeterminedDAERejected(t *testing.T) {
+	err := compileErr(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+  quantity z : real;
+begin
+  y + z == x;
+end architecture;`)
+	if !strings.Contains(err.Error(), "equations") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestAlgebraicLoopRejected(t *testing.T) {
+	err := compileErr(t, `
+entity e is
+  port (quantity u : in real; quantity x : out real);
+end entity;
+architecture a of e is
+  quantity y : real;
+begin
+  x == y + u;
+  y == x * u;
+end architecture;`)
+	if !strings.Contains(err.Error(), "cycle") && !strings.Contains(err.Error(), "loop") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestProceduralDataflow(t *testing.T) {
+	m := compileSrc(t, `
+entity f is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture beh of f is
+begin
+  procedural is
+    variable t1 : real;
+  begin
+    t1 := a * 2.0;
+    y := t1 + a;
+  end procedural;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BGain); n != 1 {
+		t.Errorf("gains = %d, want 1", n)
+	}
+	if n := g.CountKind(vhif.BAdd); n != 1 {
+		t.Errorf("adds = %d, want 1", n)
+	}
+}
+
+func TestProceduralForUnroll(t *testing.T) {
+	m := compileSrc(t, `
+entity f is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture beh of f is
+begin
+  procedural is
+    variable acc : real;
+  begin
+    acc := a;
+    for i in 1 to 3 loop
+      acc := acc + a;
+    end loop;
+    y := acc;
+  end procedural;
+end architecture;`)
+	g := m.Graphs[0]
+	// Three unrolled additions.
+	if n := g.CountKind(vhif.BAdd); n != 3 {
+		t.Errorf("adds = %d, want 3\n%s", n, m.Dump())
+	}
+}
+
+func TestForLoopVarFoldsAsConstant(t *testing.T) {
+	m := compileSrc(t, `
+entity f is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture beh of f is
+begin
+  procedural is
+    variable acc : real;
+  begin
+    acc := 0.0 * a;
+    for i in 1 to 2 loop
+      acc := acc + a * i;
+    end loop;
+    y := acc;
+  end procedural;
+end architecture;`)
+	g := m.Graphs[0]
+	// a*i folds the loop variable into gain stages with params 1 and 2.
+	var params []float64
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BGain {
+			params = append(params, b.Param)
+		}
+	}
+	if len(params) != 3 { // 0.0*a also becomes a gain stage
+		t.Fatalf("gain stages = %d (%v), want 3\n%s", len(params), params, m.Dump())
+	}
+}
+
+func TestProceduralIfBecomesMux(t *testing.T) {
+	m := compileSrc(t, `
+entity f is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture beh of f is
+begin
+  procedural is
+    variable v : real;
+  begin
+    if a > 1.0 then
+      v := a * 2.0;
+    else
+      v := a * 3.0;
+    end if;
+    y := v;
+  end procedural;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BMux); n != 1 {
+		t.Errorf("mux = %d, want 1\n%s", n, m.Dump())
+	}
+	if n := g.CountKind(vhif.BComparator); n != 1 {
+		t.Errorf("comparators = %d, want 1", n)
+	}
+}
+
+func TestWhileLoopFigure4Structure(t *testing.T) {
+	m := compileSrc(t, `
+entity f is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture beh of f is
+begin
+  procedural is
+    variable acc : real;
+  begin
+    acc := a;
+    while acc > 1.0 loop
+      acc := acc * 0.5;
+    end loop;
+    y := acc;
+  end procedural;
+end architecture;`)
+	g := m.Graphs[0]
+	// Figure 4: two condition blocks (entry + loop), S/H1 and S/H2.
+	if n := g.CountKind(vhif.BComparator); n != 2 {
+		t.Errorf("comparators = %d, want 2 (icontr + contr)\n%s", n, m.Dump())
+	}
+	if n := g.CountKind(vhif.BSampleHold); n != 2 {
+		t.Errorf("sample-holds = %d, want 2 (S/H1 + S/H2)", n)
+	}
+	if n := g.CountKind(vhif.BMux); n != 2 {
+		t.Errorf("routing muxes = %d, want 2 (iteration routing + bypass, the sw switches of Fig. 4b)", n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("while structure invalid: %v", err)
+	}
+}
+
+func TestFunctionInlining(t *testing.T) {
+	m := compileSrc(t, `
+package utils is
+  function scale3(x : real) return real;
+end package;
+package body utils is
+  function scale3(x : real) return real is
+  begin
+    return 3.0 * x;
+  end function;
+end package body;
+entity f is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture beh of f is
+begin
+  procedural is
+  begin
+    y := scale3(a) + scale3(a * 2.0);
+  end procedural;
+end architecture;`)
+	g := m.Graphs[0]
+	// Each call inlines its own gain stage: 3.0*x twice plus the 2.0 gain.
+	if n := g.CountKind(vhif.BGain); n != 3 {
+		t.Errorf("gains = %d, want 3\n%s", n, m.Dump())
+	}
+}
+
+func TestSampleHoldInference(t *testing.T) {
+	// if/use without else infers a sample-and-hold.
+	m := compileSrc(t, `
+entity sh is
+  port (quantity vin : in real; quantity vout : out real);
+end entity;
+architecture a of sh is
+  quantity held : real;
+  signal strobe : bit;
+begin
+  if (strobe = '1') use
+    held == vin;
+  end use;
+  vout == held;
+  process (vin'above(0.0)) is
+  begin
+    if (vin'above(0.0) = true) then
+      strobe <= '1';
+    else
+      strobe <= '0';
+    end if;
+  end process;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BSampleHold); n != 1 {
+		t.Errorf("sample-holds = %d, want 1\n%s", n, m.Dump())
+	}
+}
+
+func TestSchmittToggleExtraction(t *testing.T) {
+	m := compileSrc(t, `
+entity gen is
+  port (quantity ramp : out real);
+end entity;
+architecture a of gen is
+  constant k : real := 1000.0;
+  constant amp : real := 1.0;
+  quantity slope : real;
+  signal up : bit;
+begin
+  ramp'dot == slope;
+  if (up = '1') use
+    slope == k;
+  else
+    slope == -k;
+  end use;
+  process (ramp'above(amp), ramp'above(-amp)) is
+  begin
+    up <= not up;
+  end process;
+end architecture;`)
+	g := m.Graphs[0]
+	var schmitt *vhif.Block
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BSchmitt {
+			schmitt = b
+		}
+	}
+	if schmitt == nil {
+		t.Fatalf("no Schmitt trigger extracted\n%s", m.Dump())
+	}
+	if schmitt.Param != 0 {
+		t.Errorf("schmitt center = %g, want 0", schmitt.Param)
+	}
+	if schmitt.Hyst != 1.0 {
+		t.Errorf("schmitt hysteresis = %g, want 1", schmitt.Hyst)
+	}
+	if !schmitt.FromFSM {
+		t.Error("schmitt should be FSM datapath")
+	}
+}
+
+func TestSchmittIfElsifExtraction(t *testing.T) {
+	m := compileSrc(t, `
+entity gen is
+  port (quantity x : in real);
+end entity;
+architecture a of gen is
+  signal s : bit;
+  quantity q : real;
+begin
+  if (s = '1') use
+    q == x;
+  else
+    q == -x;
+  end use;
+  process (x'above(2.0), x'above(1.0)) is
+  begin
+    if (x'above(2.0) = true) then
+      s <= '1';
+    elsif (x'above(1.0) = false) then
+      s <= '0';
+    end if;
+  end process;
+end architecture;`)
+	g := m.Graphs[0]
+	var schmitt *vhif.Block
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BSchmitt {
+			schmitt = b
+		}
+	}
+	if schmitt == nil {
+		t.Fatalf("no Schmitt trigger extracted\n%s", m.Dump())
+	}
+	if schmitt.Param != 1.5 || schmitt.Hyst != 0.5 {
+		t.Errorf("schmitt center/hyst = %g/%g, want 1.5/0.5", schmitt.Param, schmitt.Hyst)
+	}
+}
+
+func TestADCBuiltin(t *testing.T) {
+	m := compileSrc(t, `
+entity conv is
+  port (quantity vin : in real; quantity dout : out real);
+end entity;
+architecture a of conv is
+begin
+  dout == adc(vin, 8.0);
+end architecture;`)
+	g := m.Graphs[0]
+	var adc *vhif.Block
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BADC {
+			adc = b
+		}
+	}
+	if adc == nil {
+		t.Fatal("no ADC block")
+	}
+	if adc.Param != 8 {
+		t.Errorf("adc bits = %g, want 8", adc.Param)
+	}
+}
+
+func TestFSMStructureReceiver(t *testing.T) {
+	m := compileSrc(t, receiverSrc)
+	if len(m.FSMs) != 1 {
+		t.Fatalf("fsms = %d, want 1", len(m.FSMs))
+	}
+	f := m.FSMs[0]
+	if len(f.States) != 4 {
+		t.Fatalf("states = %d, want 4 (start, eval, set, clear)\n%s", len(f.States), m.Dump())
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("fsm invalid: %v", err)
+	}
+	// Resume arc from start carries the 'above event.
+	arcs := f.ArcsFrom(f.Start)
+	if len(arcs) != 1 {
+		t.Fatalf("arcs from start = %d, want 1", len(arcs))
+	}
+	if _, ok := arcs[0].Cond.(*vhif.DEvent); !ok {
+		t.Errorf("resume guard = %T (%v), want DEvent", arcs[0].Cond, arcs[0].Cond)
+	}
+}
+
+func TestFSMConcurrencyGrouping(t *testing.T) {
+	// Two independent assignments share a state; a dependent third forces a
+	// second state (paper Figure 3: assignments 4,5 in state 1; 6 in state 2,
+	// data-dependent through variable n).
+	m := compileSrc(t, `
+entity e is
+  port (quantity a, b : in real);
+end entity;
+architecture arch of e is
+  signal s : bit;
+begin
+  process (a'above(1.0), b'above(2.0)) is
+    variable v, n, u : real;
+  begin
+    v := 1.0;
+    n := 2.0;
+    u := n + 1.0;
+  end process;
+end architecture;`)
+	f := m.FSMs[0]
+	// start + state{m,n} + state{p} = 3 states.
+	if len(f.States) != 3 {
+		t.Fatalf("states = %d, want 3\n%s", len(f.States), m.Dump())
+	}
+	if len(f.States[1].Ops) != 2 {
+		t.Errorf("first state ops = %d, want 2 (concurrent m,n)", len(f.States[1].Ops))
+	}
+	if len(f.States[2].Ops) != 1 {
+		t.Errorf("second state ops = %d, want 1 (dependent p)", len(f.States[2].Ops))
+	}
+}
+
+func TestDirectEventAssignment(t *testing.T) {
+	m := compileSrc(t, `
+entity e is
+  port (quantity a : in real);
+end entity;
+architecture arch of e is
+  signal s : bit;
+  quantity q : real;
+begin
+  if (s = '1') use
+    q == a;
+  else
+    q == -a;
+  end use;
+  process (a'above(0.5)) is
+  begin
+    s <= a'above(0.5);
+  end process;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BComparator); n != 1 {
+		t.Errorf("comparators = %d, want 1\n%s", n, m.Dump())
+	}
+	if n := m.DatapathCount(); n != 1 {
+		t.Errorf("datapath = %d, want 1", n)
+	}
+}
+
+func TestControlLinksRecorded(t *testing.T) {
+	m := compileSrc(t, receiverSrc)
+	if len(m.Controls) == 0 {
+		t.Fatal("no control links recorded")
+	}
+	found := false
+	for _, c := range m.Controls {
+		if c.Signal == "c1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("control link for c1 missing")
+	}
+}
+
+func TestConstDeduplication(t *testing.T) {
+	m := compileSrc(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  y == (a + 5.0) + 5.0;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BConst); n != 1 {
+		t.Errorf("const blocks = %d, want 1 (deduplicated)", n)
+	}
+}
+
+func TestPowerOfTwoByMultiplication(t *testing.T) {
+	m := compileSrc(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  y == a ** 2;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BMul); n != 1 {
+		t.Errorf("mul blocks = %d, want 1\n%s", n, m.Dump())
+	}
+	if n := g.CountKind(vhif.BLog); n != 0 {
+		t.Errorf("log blocks = %d, want 0", n)
+	}
+}
+
+func TestGeneralPowerViaLogExp(t *testing.T) {
+	m := compileSrc(t, `
+entity e is
+  port (quantity a, b : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  y == a ** b;
+end architecture;`)
+	g := m.Graphs[0]
+	if g.CountKind(vhif.BLog) != 1 || g.CountKind(vhif.BExp) != 1 {
+		t.Errorf("expected log+exp realization\n%s", m.Dump())
+	}
+}
+
+func TestTerminalReferenceRead(t *testing.T) {
+	// A terminal port's across quantity (t'reference) is readable in the
+	// continuous part — VASS uses one facet per terminal.
+	m := compileSrc(t, `
+entity probe is
+  port (
+    terminal tin : electrical;
+    quantity y : out real
+  );
+end entity;
+architecture a of probe is
+begin
+  y == 2.0 * tin'reference;
+end architecture;`)
+	g := m.Graphs[0]
+	if n := g.CountKind(vhif.BGain); n != 1 {
+		t.Errorf("gains = %d, want 1\n%s", n, m.Dump())
+	}
+	// The terminal materializes as an input block.
+	found := false
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BInput && b.Name == "tin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("terminal input block missing\n%s", m.Dump())
+	}
+}
+
+func TestTerminalBothFacetsRejected(t *testing.T) {
+	df, err := parser.Parse("t", `
+entity e is
+  port (terminal tio : electrical; quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  y == tio'reference + tio'contribution;
+end architecture;`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sema.AnalyzeOne(df); err == nil || !strings.Contains(err.Error(), "facet") {
+		t.Fatalf("expected single-facet violation, got %v", err)
+	}
+}
+
+func TestCompositeQuantityDiagnostic(t *testing.T) {
+	err := compileErr(t, `
+entity vec is
+  port (quantity v : in real_vector(1 to 3); quantity y : out real);
+end entity;
+architecture a of vec is
+begin
+  y == 1.0;
+end architecture;`)
+	if !strings.Contains(err.Error(), "composite type") {
+		t.Errorf("error = %v", err)
+	}
+}

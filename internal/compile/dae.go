@@ -1,0 +1,437 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"vase/internal/ast"
+	"vase/internal/sema"
+	"vase/internal/source"
+	"vase/internal/token"
+)
+
+// maxMatchings bounds the number of alternative DAE solver topologies the
+// compiler enumerates.
+const maxMatchings = 16
+
+// equation is one top-level simple simultaneous statement.
+type equation struct {
+	stmt *ast.SimpleSimultaneous
+	// candidates are the unknowns this equation can define, ordered by
+	// preference (explicit forms before isolatable ones).
+	candidates []candidate
+}
+
+// candidate is one way an equation can define an unknown.
+type candidate struct {
+	unknown string
+	viaDot  bool // the equation isolates q'dot (an integrator solver)
+}
+
+// matching assigns each equation index a candidate.
+type matching []candidate
+
+// enumerateMatchings analyzes the top-level simultaneous statements of the
+// design and enumerates up to limit feasible equation→unknown matchings.
+// It returns the matchings, the unknown names, and the equations.
+func enumerateMatchings(d *sema.Design, limit int) ([]matching, []string, []*equation, error) {
+	var errs source.ErrorList
+	fail := func(sp source.Span, format string, args ...any) ([]matching, []string, []*equation, error) {
+		errs.Add(d.File.Position(sp.Start), format, args...)
+		return nil, nil, nil, errs.Err()
+	}
+
+	// Quantities defined by non-simultaneous statements are not unknowns of
+	// the DAE set.
+	defined := definedElsewhere(d)
+
+	var eqs []*equation
+	for _, st := range d.Arch.Stmts {
+		if ss, ok := st.(*ast.SimpleSimultaneous); ok {
+			eqs = append(eqs, &equation{stmt: ss})
+		}
+	}
+
+	// Unknowns: free quantities and out ports not defined elsewhere that
+	// appear in some equation.
+	appearing := map[string]bool{}
+	for _, eq := range eqs {
+		for name := range quantityUses(d, eq.stmt) {
+			appearing[name] = true
+		}
+	}
+	var unknowns []string
+	for _, q := range d.Quantities {
+		if q.Mode == ast.ModeIn || defined[q.Name] || !appearing[q.Name] {
+			continue
+		}
+		unknowns = append(unknowns, q.Name)
+	}
+	sort.Strings(unknowns)
+
+	if len(eqs) == 0 {
+		if len(unknowns) > 0 {
+			return fail(d.Arch.SpanV, "quantities %v have no defining statements", unknowns)
+		}
+		return []matching{nil}, nil, nil, nil
+	}
+	if len(eqs) != len(unknowns) {
+		return fail(eqs[0].stmt.SpanV, "DAE set has %d equations for %d unknowns %v", len(eqs), len(unknowns), unknowns)
+	}
+
+	// Candidate analysis.
+	for _, eq := range eqs {
+		uses := quantityUses(d, eq.stmt)
+		for _, q := range unknowns {
+			use, ok := uses[q]
+			if !ok {
+				continue
+			}
+			switch {
+			case use.dot == 1:
+				// q'dot occurs once: integrator solver; bare q occurrences
+				// read the integrator output (legal feedback).
+				eq.candidates = append(eq.candidates, candidate{unknown: q, viaDot: true})
+			case use.dot == 0 && use.bare == 1:
+				eq.candidates = append(eq.candidates, candidate{unknown: q, viaDot: false})
+			}
+		}
+		if len(eq.candidates) == 0 {
+			return fail(eq.stmt.SpanV, "equation cannot be solved for any unknown (each unknown must occur exactly once, or once as q'dot)")
+		}
+		sortCandidates(d, eq)
+	}
+
+	// Backtracking enumeration of perfect matchings.
+	var out []matching
+	used := map[string]bool{}
+	cur := make(matching, len(eqs))
+	var rec func(i int)
+	rec = func(i int) {
+		if len(out) >= limit && limit > 0 {
+			return
+		}
+		if i == len(eqs) {
+			out = append(out, append(matching{}, cur...))
+			return
+		}
+		for _, cand := range eqs[i].candidates {
+			if used[cand.unknown] {
+				continue
+			}
+			used[cand.unknown] = true
+			cur[i] = cand
+			rec(i + 1)
+			used[cand.unknown] = false
+		}
+	}
+	rec(0)
+	if len(out) == 0 {
+		return fail(eqs[0].stmt.SpanV, "DAE set has no feasible equation-to-unknown matching")
+	}
+	return out, unknowns, eqs, nil
+}
+
+// sortCandidates orders an equation's candidates: explicit forms (the whole
+// side is exactly the unknown or its 'dot) first, 'dot forms before
+// algebraic ones, then by name for determinism.
+func sortCandidates(d *sema.Design, eq *equation) {
+	score := func(cand candidate) int {
+		s := 0
+		if isExplicitFor(eq.stmt, cand) {
+			s -= 4
+		}
+		if cand.viaDot {
+			s -= 2
+		}
+		return s
+	}
+	sort.SliceStable(eq.candidates, func(i, j int) bool {
+		si, sj := score(eq.candidates[i]), score(eq.candidates[j])
+		if si != sj {
+			return si < sj
+		}
+		return eq.candidates[i].unknown < eq.candidates[j].unknown
+	})
+}
+
+// isExplicitFor reports whether one side of the equation is exactly the
+// candidate's target (q or q'dot).
+func isExplicitFor(ss *ast.SimpleSimultaneous, cand candidate) bool {
+	check := func(e ast.Expr) bool {
+		e = unparen(e)
+		if cand.viaDot {
+			if at, ok := e.(*ast.Attribute); ok && at.Attr == "dot" {
+				if n, ok := unparen(at.X).(*ast.Name); ok {
+					return n.Ident.Canon == cand.unknown
+				}
+			}
+			return false
+		}
+		if n, ok := e.(*ast.Name); ok {
+			return n.Ident.Canon == cand.unknown
+		}
+		return false
+	}
+	return check(ss.LHS) || check(ss.RHS)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.Paren)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// useCount tracks how often a quantity occurs in an equation.
+type useCount struct {
+	bare int // occurrences as a plain name
+	dot  int // occurrences as q'dot
+}
+
+// quantityUses counts quantity occurrences in a statement's expressions.
+func quantityUses(d *sema.Design, ss *ast.SimpleSimultaneous) map[string]useCount {
+	uses := map[string]useCount{}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Paren:
+			walk(e.X)
+		case *ast.Name:
+			if sym := d.Lookup(e.Ident.Canon); sym != nil && sym.Kind == sema.SymQuantity {
+				u := uses[e.Ident.Canon]
+				u.bare++
+				uses[e.Ident.Canon] = u
+			}
+		case *ast.Unary:
+			walk(e.X)
+		case *ast.Binary:
+			walk(e.X)
+			walk(e.Y)
+		case *ast.Call:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *ast.Attribute:
+			if e.Attr == "dot" {
+				if n, ok := unparen(e.X).(*ast.Name); ok {
+					if sym := d.Lookup(n.Ident.Canon); sym != nil && sym.Kind == sema.SymQuantity {
+						u := uses[n.Ident.Canon]
+						u.dot++
+						uses[n.Ident.Canon] = u
+						return
+					}
+				}
+			}
+			walk(e.X)
+			for _, a := range e.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(ss.LHS)
+	walk(ss.RHS)
+	return uses
+}
+
+// definedElsewhere returns the quantities defined by procedural, if/use and
+// case/use statements.
+func definedElsewhere(d *sema.Design) map[string]bool {
+	defined := map[string]bool{}
+	mark := func(e ast.Expr) {
+		if n, ok := unparen(e).(*ast.Name); ok {
+			if sym := d.Lookup(n.Ident.Canon); sym != nil && sym.Kind == sema.SymQuantity {
+				defined[n.Ident.Canon] = true
+			}
+		}
+	}
+	var markConc func(sts []ast.ConcStmt)
+	var markSeq func(sts []ast.SeqStmt)
+	markSeq = func(sts []ast.SeqStmt) {
+		for _, st := range sts {
+			switch st := st.(type) {
+			case *ast.Assign:
+				if !st.SignalOp {
+					mark(st.LHS)
+				}
+			case *ast.IfStmt:
+				markSeq(st.Then)
+				for _, e := range st.Elifs {
+					markSeq(e.Then)
+				}
+				markSeq(st.Else)
+			case *ast.CaseStmt:
+				for _, arm := range st.Arms {
+					markSeq(arm.Seq)
+				}
+			case *ast.ForStmt:
+				markSeq(st.Body)
+			case *ast.WhileStmt:
+				markSeq(st.Body)
+			}
+		}
+	}
+	markConc = func(sts []ast.ConcStmt) {
+		for _, st := range sts {
+			switch st := st.(type) {
+			case *ast.SimultaneousIf:
+				for _, t := range st.Then {
+					if ss, ok := t.(*ast.SimpleSimultaneous); ok {
+						mark(ss.LHS)
+					}
+				}
+				for _, e := range st.Elifs {
+					for _, t := range e.Then {
+						if ss, ok := t.(*ast.SimpleSimultaneous); ok {
+							mark(ss.LHS)
+						}
+					}
+				}
+				for _, t := range st.Else {
+					if ss, ok := t.(*ast.SimpleSimultaneous); ok {
+						mark(ss.LHS)
+					}
+				}
+			case *ast.SimultaneousCase:
+				for _, arm := range st.Arms {
+					markConc(arm.Conc)
+				}
+			case *ast.Procedural:
+				markSeq(st.Body)
+			}
+		}
+	}
+	markConc(d.Arch.Stmts)
+	return defined
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic isolation
+
+// isolate rewrites the equation lhs == rhs so that the target (q, or q'dot
+// when viaDot) stands alone, returning the defining expression for it.
+func (c *compiler) isolate(eq *ast.SimpleSimultaneous, cand candidate) (ast.Expr, error) {
+	containsL := containsTarget(eq.LHS, cand)
+	containsR := containsTarget(eq.RHS, cand)
+	switch {
+	case containsL && containsR:
+		return nil, fmt.Errorf("unknown %q occurs on both sides", cand.unknown)
+	case containsL:
+		return c.peel(eq.LHS, eq.RHS, cand)
+	case containsR:
+		return c.peel(eq.RHS, eq.LHS, cand)
+	}
+	return nil, fmt.Errorf("unknown %q does not occur in equation", cand.unknown)
+}
+
+// containsTarget reports whether the target occurrence is inside e.
+func containsTarget(e ast.Expr, cand candidate) bool {
+	found := false
+	ast.Walk(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if cand.viaDot {
+			if at, ok := n.(*ast.Attribute); ok && at.Attr == "dot" {
+				if nm, ok := unparen(at.X).(*ast.Name); ok && nm.Ident.Canon == cand.unknown {
+					found = true
+					return false
+				}
+			}
+			return true
+		}
+		if at, ok := n.(*ast.Attribute); ok && at.Attr == "dot" {
+			// Do not descend: a bare-name target must not match inside 'dot.
+			if nm, ok := unparen(at.X).(*ast.Name); ok && nm.Ident.Canon == cand.unknown {
+				return false
+			}
+		}
+		if nm, ok := n.(*ast.Name); ok && nm.Ident.Canon == cand.unknown {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isTarget reports whether e is exactly the target.
+func isTarget(e ast.Expr, cand candidate) bool {
+	e = unparen(e)
+	if cand.viaDot {
+		at, ok := e.(*ast.Attribute)
+		if !ok || at.Attr != "dot" {
+			return false
+		}
+		nm, ok := unparen(at.X).(*ast.Name)
+		return ok && nm.Ident.Canon == cand.unknown
+	}
+	nm, ok := e.(*ast.Name)
+	return ok && nm.Ident.Canon == cand.unknown
+}
+
+// peel descends into side, inverting operations onto rest until the target
+// stands alone, and returns the rewritten defining expression.
+func (c *compiler) peel(side, rest ast.Expr, cand candidate) (ast.Expr, error) {
+	side = unparen(side)
+	if isTarget(side, cand) {
+		return rest, nil
+	}
+	bin := func(op token.Kind, x, y ast.Expr) ast.Expr {
+		return &ast.Binary{SpanV: side.Span(), Op: op, X: x, Y: y}
+	}
+	paren := func(x ast.Expr) ast.Expr { return &ast.Paren{SpanV: x.Span(), X: x} }
+	switch e := side.(type) {
+	case *ast.Unary:
+		switch e.Op {
+		case token.MINUS:
+			return c.peel(e.X, &ast.Unary{SpanV: e.SpanV, Op: token.MINUS, X: paren(rest)}, cand)
+		case token.PLUS:
+			return c.peel(e.X, rest, cand)
+		}
+	case *ast.Binary:
+		inX := containsTarget(e.X, cand)
+		switch e.Op {
+		case token.PLUS:
+			if inX {
+				return c.peel(e.X, bin(token.MINUS, paren(rest), paren(e.Y)), cand)
+			}
+			return c.peel(e.Y, bin(token.MINUS, paren(rest), paren(e.X)), cand)
+		case token.MINUS:
+			if inX {
+				return c.peel(e.X, bin(token.PLUS, paren(rest), paren(e.Y)), cand)
+			}
+			return c.peel(e.Y, bin(token.MINUS, paren(e.X), paren(rest)), cand)
+		case token.STAR:
+			if inX {
+				return c.peel(e.X, bin(token.SLASH, paren(rest), paren(e.Y)), cand)
+			}
+			return c.peel(e.Y, bin(token.SLASH, paren(rest), paren(e.X)), cand)
+		case token.SLASH:
+			if inX {
+				return c.peel(e.X, bin(token.STAR, paren(rest), paren(e.Y)), cand)
+			}
+			return c.peel(e.Y, bin(token.SLASH, paren(e.X), paren(rest)), cand)
+		}
+	case *ast.Call:
+		if len(e.Args) == 1 && containsTarget(e.Args[0], cand) {
+			inverse := map[string]string{"log": "exp", "exp": "log"}
+			if inv, ok := inverse[e.Fun.Canon]; ok {
+				call := &ast.Call{
+					SpanV: e.SpanV,
+					Fun:   &ast.Ident{SpanV: e.Fun.SpanV, Name: inv, Canon: inv},
+					Args:  []ast.Expr{paren(rest)},
+				}
+				return c.peel(e.Args[0], call, cand)
+			}
+			if e.Fun.Canon == "sqrt" {
+				sq := bin(token.STAR, paren(rest), paren(rest))
+				return c.peel(e.Args[0], sq, cand)
+			}
+		}
+	}
+	return nil, fmt.Errorf("cannot isolate %q through %s", cand.unknown, ast.ExprString(side))
+}

@@ -1,0 +1,174 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"vase/internal/parser"
+	"vase/internal/sema"
+)
+
+// The compiler must reject non-synthesizable constructs with precise
+// diagnostics rather than producing broken structures.
+
+func TestErrControlSignalInArithmetic(t *testing.T) {
+	d := parseAnalyze(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+  signal s : real;
+begin
+  y == a + s;
+  process (a'above(1.0)) is begin
+    s <= a;
+  end process;
+end architecture;`)
+	// s is a nature signal sampled by the process: reading it as an analog
+	// value is legal (sample-and-hold output). This must compile.
+	if _, err := Compile(d); err != nil {
+		t.Fatalf("sampled nature signal should be readable: %v", err)
+	}
+}
+
+func TestErrComplexProcessControl(t *testing.T) {
+	err := compileErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+  signal s, r : bit;
+begin
+  y == a;
+  process (a'above(1.0)) is begin
+    s <= r;
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "cannot realize the control") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestErrUnrealizableCondition(t *testing.T) {
+	err := compileErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+  signal s, r : bit;
+begin
+  if (s = '1' and r = '1') use
+    y == a;
+  else
+    y == -a;
+  end use;
+  process (a'above(1.0)) is begin
+    s <= a'above(1.0); r <= a'above(1.0);
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "control signal") && !strings.Contains(err.Error(), "condition") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestErrCaseUseNonSignalSelector(t *testing.T) {
+	err := compileErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+  signal s : bit;
+begin
+  case (s = '1') use
+    when true => y == a;
+    when others => y == -a;
+  end case;
+  process (a'above(1.0)) is begin
+    s <= a'above(1.0);
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "selector") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestErrSequentialCaseInProcedural(t *testing.T) {
+	err := compileErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  procedural is
+    variable v : real;
+  begin
+    case a > 1.0 is
+      when true => v := a;
+      when others => v := -a;
+    end case;
+    y := v;
+  end procedural;
+end architecture;`)
+	if !strings.Contains(err.Error(), "case statements are not synthesizable") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestErrIfBranchMissingAssignment(t *testing.T) {
+	err := compileErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  procedural is
+    variable v, w : real;
+  begin
+    if a > 1.0 then
+      v := a;
+    else
+      w := a;
+    end if;
+    y := v + w;
+  end procedural;
+end architecture;`)
+	if !strings.Contains(err.Error(), "before assignment") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestErrIfUseArmsDifferentTargets(t *testing.T) {
+	err := compileErr(t, `
+entity e is
+  port (quantity a : in real; quantity y, z : out real);
+end entity;
+architecture arch of e is
+  signal s : bit;
+begin
+  if (s = '1') use
+    y == a;
+  else
+    z == a;
+  end use;
+  y == 2.0 * a;
+  z == 3.0 * a;
+  process (a'above(1.0)) is begin
+    s <= a'above(1.0);
+  end process;
+end architecture;`)
+	_ = err // over-determination surfaces as a DAE mismatch; any error is fine
+}
+
+// parseAnalyze runs the front end only.
+func parseAnalyze(t *testing.T, src string) *sema.Design {
+	t.Helper()
+	df, err := parser.Parse("t.vhd", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return d
+}

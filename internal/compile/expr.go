@@ -1,0 +1,387 @@
+package compile
+
+import (
+	"vase/internal/ast"
+	"vase/internal/sema"
+	"vase/internal/token"
+	"vase/internal/vhif"
+)
+
+// env is the name → net binding active while compiling an expression. The
+// compiler's quantity map is the base environment; procedural bodies layer
+// variable bindings on top.
+type env struct {
+	c      *compiler
+	parent *env
+	vars   map[string]*vhif.Net // variable bindings of this level; nil at base
+}
+
+func (c *compiler) baseEnv() *env { return &env{c: c} }
+
+func (e *env) child() *env {
+	return &env{c: e.c, parent: e, vars: make(map[string]*vhif.Net)}
+}
+
+func (e *env) lookup(name string) *vhif.Net {
+	for s := e; s != nil; s = s.parent {
+		if s.vars != nil {
+			if n, ok := s.vars[name]; ok {
+				return n
+			}
+		}
+	}
+	return e.c.nets[name]
+}
+
+func (e *env) bind(name string, n *vhif.Net) {
+	if e.vars == nil {
+		e.c.nets[name] = n
+		return
+	}
+	e.vars[name] = n
+}
+
+// compileExpr translates a real-valued expression into signal-flow blocks
+// and returns the net carrying its value. Static sub-expressions fold to
+// constant sources.
+func (c *compiler) compileExpr(en *env, x ast.Expr) *vhif.Net {
+	if v, ok := c.constValue(x); ok {
+		return c.constNet(v)
+	}
+	switch x := x.(type) {
+	case *ast.Paren:
+		return c.compileExpr(en, x.X)
+	case *ast.Name:
+		n := en.lookup(x.Ident.Canon)
+		if n == nil {
+			c.errorf(x.SpanV, "quantity %q used before it is defined by any statement", x.Ident.Name)
+			return c.constNet(0)
+		}
+		if n.Control {
+			c.errorf(x.SpanV, "signal %q cannot be used as an analog value", x.Ident.Name)
+			return c.constNet(0)
+		}
+		return n
+	case *ast.Unary:
+		return c.compileUnary(en, x)
+	case *ast.Binary:
+		return c.compileBinary(en, x)
+	case *ast.Call:
+		return c.compileCall(en, x)
+	case *ast.Attribute:
+		return c.compileAttrExpr(en, x)
+	}
+	c.errorf(x.Span(), "expression cannot be realized as a signal flow")
+	return c.constNet(0)
+}
+
+func (c *compiler) compileUnary(en *env, x *ast.Unary) *vhif.Net {
+	in := c.compileExpr(en, x.X)
+	switch x.Op {
+	case token.MINUS:
+		return c.g.AddBlock(vhif.BNeg, "", in).Out
+	case token.PLUS:
+		return in
+	case token.ABS:
+		return c.g.AddBlock(vhif.BAbs, "", in).Out
+	}
+	c.errorf(x.SpanV, "operator %s has no analog realization", x.Op)
+	return in
+}
+
+func (c *compiler) compileBinary(en *env, x *ast.Binary) *vhif.Net {
+	switch x.Op {
+	case token.PLUS:
+		return c.g.AddBlock(vhif.BAdd, "", c.compileExpr(en, x.X), c.compileExpr(en, x.Y)).Out
+	case token.MINUS:
+		return c.g.AddBlock(vhif.BSub, "", c.compileExpr(en, x.X), c.compileExpr(en, x.Y)).Out
+	case token.STAR:
+		// A static factor becomes a gain stage.
+		if k, ok := c.constValue(x.X); ok {
+			b := c.g.AddBlock(vhif.BGain, "", c.compileExpr(en, x.Y))
+			b.Param = k
+			return b.Out
+		}
+		if k, ok := c.constValue(x.Y); ok {
+			b := c.g.AddBlock(vhif.BGain, "", c.compileExpr(en, x.X))
+			b.Param = k
+			return b.Out
+		}
+		return c.g.AddBlock(vhif.BMul, "", c.compileExpr(en, x.X), c.compileExpr(en, x.Y)).Out
+	case token.SLASH:
+		if k, ok := c.constValue(x.Y); ok && k != 0 {
+			b := c.g.AddBlock(vhif.BGain, "", c.compileExpr(en, x.X))
+			b.Param = 1 / k
+			return b.Out
+		}
+		return c.g.AddBlock(vhif.BDiv, "", c.compileExpr(en, x.X), c.compileExpr(en, x.Y)).Out
+	case token.DSTAR:
+		return c.compilePow(en, x)
+	}
+	c.errorf(x.SpanV, "operator %s has no analog realization in a value context", x.Op)
+	return c.constNet(0)
+}
+
+// compilePow realizes exponentiation: small static integer exponents by
+// repeated multiplication, general exponents through the log/antilog
+// identity x**y = exp(y*log(x)).
+func (c *compiler) compilePow(en *env, x *ast.Binary) *vhif.Net {
+	base := c.compileExpr(en, x.X)
+	if k, ok := c.constValue(x.Y); ok && k == float64(int(k)) && k >= 2 && k <= 4 {
+		out := base
+		for i := 1; i < int(k); i++ {
+			out = c.g.AddBlock(vhif.BMul, "", out, base).Out
+		}
+		return out
+	}
+	lg := c.g.AddBlock(vhif.BLog, "", base)
+	var scaled *vhif.Net
+	if k, ok := c.constValue(x.Y); ok {
+		b := c.g.AddBlock(vhif.BGain, "", lg.Out)
+		b.Param = k
+		scaled = b.Out
+	} else {
+		scaled = c.g.AddBlock(vhif.BMul, "", lg.Out, c.compileExpr(en, x.Y)).Out
+	}
+	return c.g.AddBlock(vhif.BExp, "", scaled).Out
+}
+
+var builtinBlock = map[string]vhif.BlockKind{
+	"log": vhif.BLog, "exp": vhif.BExp, "sqrt": vhif.BSqrt,
+	"sin": vhif.BSin, "cos": vhif.BCos, "abs": vhif.BAbs,
+	"sign": vhif.BSign, "min": vhif.BMin, "max": vhif.BMax,
+}
+
+func (c *compiler) compileCall(en *env, x *ast.Call) *vhif.Net {
+	sym := c.d.Lookup(x.Fun.Canon)
+	if sym == nil || sym.Kind != sema.SymFunction {
+		c.errorf(x.SpanV, "cannot realize call to %q", x.Fun.Name)
+		return c.constNet(0)
+	}
+	f := sym.Func
+	if f.Builtin != "" {
+		if f.Builtin == "adc" {
+			if len(x.Args) != 2 {
+				c.errorf(x.SpanV, "adc requires (input, bits)")
+				return c.constNet(0)
+			}
+			bits, ok := c.constValue(x.Args[1])
+			if !ok {
+				c.errorf(x.Args[1].Span(), "adc resolution must be static")
+				bits = 8
+			}
+			b := c.g.AddBlock(vhif.BADC, "", c.compileExpr(en, x.Args[0]))
+			b.Param = bits
+			return b.Out
+		}
+		kind, ok := builtinBlock[f.Builtin]
+		if !ok {
+			c.errorf(x.SpanV, "builtin %q has no analog realization", f.Builtin)
+			return c.constNet(0)
+		}
+		var ins []*vhif.Net
+		for _, a := range x.Args {
+			ins = append(ins, c.compileExpr(en, a))
+		}
+		return c.g.AddBlock(kind, "", ins...).Out
+	}
+	return c.inlineFunction(en, x, f)
+}
+
+// inlineFunction expands a user function call: parameters bind to argument
+// nets, the body's assignments execute in a child environment, and the
+// return expression's net is the call's value.
+func (c *compiler) inlineFunction(en *env, x *ast.Call, f *sema.Func) *vhif.Net {
+	if f.Decl == nil || f.Decl.Body == nil {
+		c.errorf(x.SpanV, "function %q has no body to synthesize", f.Name)
+		return c.constNet(0)
+	}
+	if len(x.Args) != len(f.Params) {
+		c.errorf(x.SpanV, "function %q argument count mismatch", f.Name)
+		return c.constNet(0)
+	}
+	inner := en.child()
+	for i, p := range f.Params {
+		inner.bind(p.Name, c.compileExpr(en, x.Args[i]))
+	}
+	for _, d := range f.Decl.Decls {
+		if od, ok := d.(*ast.ObjectDecl); ok && od.Init != nil {
+			for _, id := range od.Names {
+				inner.bind(id.Canon, c.compileExpr(inner, od.Init))
+			}
+		}
+	}
+	var ret *vhif.Net
+	var run func(ss []ast.SeqStmt)
+	run = func(ss []ast.SeqStmt) {
+		for _, st := range ss {
+			if ret != nil {
+				return
+			}
+			switch st := st.(type) {
+			case *ast.Assign:
+				if n, ok := st.LHS.(*ast.Name); ok {
+					inner.bind(n.Ident.Canon, c.compileExpr(inner, st.RHS))
+				}
+			case *ast.ReturnStmt:
+				ret = c.compileExpr(inner, st.Value)
+			case *ast.IfStmt:
+				c.errorf(st.SpanV, "conditional control flow in function %q is not synthesizable; use min/max/sign", f.Name)
+			case *ast.ForStmt:
+				c.unrollFor(inner, st, func(e *env, body []ast.SeqStmt) { run(body) })
+			case *ast.NullStmt:
+			}
+		}
+	}
+	run(f.Decl.Body)
+	if ret == nil {
+		c.errorf(x.SpanV, "function %q did not produce a value", f.Name)
+		return c.constNet(0)
+	}
+	return ret
+}
+
+// compileAttrExpr compiles value-context attributes: q'dot (differentiator),
+// q'integ (integrator), and t'reference (the across quantity of a terminal
+// port — VASS uses exactly one facet per terminal).
+func (c *compiler) compileAttrExpr(en *env, x *ast.Attribute) *vhif.Net {
+	switch x.Attr {
+	case "dot":
+		return c.g.AddBlock(vhif.BDifferentiator, "", c.compileExpr(en, x.X)).Out
+	case "integ":
+		return c.g.AddBlock(vhif.BIntegrator, "", c.compileExpr(en, x.X)).Out
+	case "reference":
+		if nm, ok := unparen(x.X).(*ast.Name); ok {
+			if n := en.lookup(nm.Ident.Canon); n != nil {
+				return n
+			}
+			c.errorf(x.SpanV, "terminal %q has no across quantity available", nm.Ident.Name)
+			return c.constNet(0)
+		}
+	}
+	c.errorf(x.SpanV, "attribute '%s has no value-context realization", x.Attr)
+	return c.constNet(0)
+}
+
+// ---------------------------------------------------------------------------
+// Control conditions
+
+// compileControl translates a boolean condition into a control net. The
+// realizable forms are signal tests (c, c = '1', c = '0', not c), threshold
+// comparisons of quantities against static levels, comparisons between two
+// quantities (difference + zero comparator), and 'above events.
+func (c *compiler) compileControl(en *env, x ast.Expr) *vhif.Net {
+	switch x := x.(type) {
+	case *ast.Paren:
+		return c.compileControl(en, x.X)
+	case *ast.Name:
+		if n := c.ctrl[x.Ident.Canon]; n != nil {
+			return n
+		}
+		c.errorf(x.SpanV, "signal %q has no control realization (not computed by any process)", x.Ident.Name)
+		return c.dummyCtrl()
+	case *ast.Unary:
+		if x.Op == token.NOT {
+			return c.invertCtrl(c.compileControl(en, x.X))
+		}
+	case *ast.Binary:
+		return c.compileControlBinary(en, x)
+	case *ast.Attribute:
+		if x.Attr == "above" {
+			return c.compileAbove(en, x, "")
+		}
+	}
+	c.errorf(x.Span(), "condition cannot be realized as a control signal")
+	return c.dummyCtrl()
+}
+
+func (c *compiler) compileControlBinary(en *env, x *ast.Binary) *vhif.Net {
+	// Signal equality tests: c = '1', c = '0', c = true, c = false, and the
+	// /= forms. Event tests: q'above(th) = true.
+	if lit, isTrue, ok := boolLiteral(x.Y); ok && (x.Op == token.EQ || x.Op == token.NEQ) {
+		_ = lit
+		inner := c.compileControl(en, x.X)
+		if (x.Op == token.EQ) != isTrue {
+			inner = c.invertCtrl(inner)
+		}
+		return inner
+	}
+	switch x.Op {
+	case token.GT, token.GE:
+		return c.comparatorFor(en, x.X, x.Y)
+	case token.LT, token.LE:
+		return c.invertCtrl(c.comparatorFor(en, x.X, x.Y))
+	}
+	c.errorf(x.SpanV, "condition operator %s cannot be realized as a control signal", x.Op)
+	return c.dummyCtrl()
+}
+
+// comparatorFor builds the control net for "lhs > rhs".
+func (c *compiler) comparatorFor(en *env, lhs, rhs ast.Expr) *vhif.Net {
+	if th, ok := c.constValue(rhs); ok {
+		b := c.g.AddBlock(vhif.BComparator, "", c.compileExpr(en, lhs))
+		b.Param = th
+		return b.Out
+	}
+	diff := c.g.AddBlock(vhif.BSub, "", c.compileExpr(en, lhs), c.compileExpr(en, rhs))
+	b := c.g.AddBlock(vhif.BComparator, "", diff.Out)
+	b.Param = 0
+	return b.Out
+}
+
+// compileAbove realizes q'above(th) as a comparator block. name, when
+// non-empty, names the block (used for FSM-extracted controls).
+func (c *compiler) compileAbove(en *env, x *ast.Attribute, name string) *vhif.Net {
+	th := 0.0
+	if len(x.Args) == 1 {
+		v, ok := c.constValue(x.Args[0])
+		if !ok {
+			c.errorf(x.Args[0].Span(), "'above threshold must be static")
+		}
+		th = v
+	}
+	b := c.g.AddBlock(vhif.BComparator, name, c.compileExpr(en, x.X))
+	b.Param = th
+	return b.Out
+}
+
+// invertCtrl returns the logical complement of a control net, caching one
+// inverter per net.
+func (c *compiler) invertCtrl(n *vhif.Net) *vhif.Net {
+	if inv, ok := c.inverted[n]; ok {
+		return inv
+	}
+	// Double inversion returns the original.
+	for orig, inv := range c.inverted {
+		if inv == n {
+			return orig
+		}
+	}
+	b := c.g.AddBlock(vhif.BNot, "", n)
+	b.FromFSM = n.Driver != nil && n.Driver.FromFSM
+	c.inverted[n] = b.Out
+	return b.Out
+}
+
+func (c *compiler) dummyCtrl() *vhif.Net {
+	b := c.g.AddBlock(vhif.BComparator, "", c.constNet(0))
+	return b.Out
+}
+
+// boolLiteral recognizes '1'/'0'/true/false expressions.
+func boolLiteral(e ast.Expr) (lit ast.Expr, isTrue, ok bool) {
+	switch e := e.(type) {
+	case *ast.BitLit:
+		return e, e.Value, true
+	case *ast.Name:
+		switch e.Ident.Canon {
+		case "true":
+			return e, true, true
+		case "false":
+			return e, false, true
+		}
+	case *ast.Paren:
+		return boolLiteral(e.X)
+	}
+	return nil, false, false
+}

@@ -1,0 +1,135 @@
+package compile
+
+import (
+	"math"
+	"testing"
+
+	"vase/internal/sim"
+	"vase/internal/vhif"
+)
+
+// Filter inference (paper Section 3): "we could describe signal properties
+// along the signal path, i.e. frequency ranges, and let the synthesis tool
+// infer an appropriate filter type."
+
+func TestLowPassInference(t *testing.T) {
+	m := compileSrc(t, `
+entity smooth is
+  port (
+    quantity vin  : in real is voltage;
+    quantity vout : out real is voltage is frequency 0 to 1000.0
+  );
+end entity;
+architecture a of smooth is
+begin
+  vout == 2.0 * vin;
+end architecture;`)
+	g := m.Graphs[0]
+	var filt *vhif.Block
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BFilter {
+			filt = b
+		}
+	}
+	if filt == nil {
+		t.Fatalf("no filter inferred\n%s", m.Dump())
+	}
+	if filt.Param != 1000 || filt.Param2 != 0 {
+		t.Errorf("filter corners = %g/%g, want 1000/0 (low-pass)", filt.Param, filt.Param2)
+	}
+	// The inferred block does not change the Table 1 metric.
+	if n := g.OpBlockCount(); n != 1 {
+		t.Errorf("op blocks = %d, want 1 (the gain only)", n)
+	}
+}
+
+func TestLowPassInferenceBehavior(t *testing.T) {
+	m := compileSrc(t, `
+entity smooth is
+  port (
+    quantity vin  : in real is voltage;
+    quantity vout : out real is voltage is frequency 0 to 1000.0
+  );
+end entity;
+architecture a of smooth is
+begin
+  vout == vin;
+end architecture;`)
+	// In-band (100 Hz): passes with little attenuation.
+	tr, err := sim.SimulateModule(m, map[string]sim.Source{"vin": sim.Sine(1, 100, 0)},
+		sim.Options{TStop: 30e-3, TStep: 1e-6})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	late := tr.Get("vout")[len(tr.Time)/2:]
+	peak := 0.0
+	for _, v := range late {
+		peak = math.Max(peak, math.Abs(v))
+	}
+	if peak < 0.95 {
+		t.Errorf("in-band peak = %g, want ~1", peak)
+	}
+	// Far out of band (20 kHz): attenuated by ~fc/f.
+	tr, err = sim.SimulateModule(m, map[string]sim.Source{"vin": sim.Sine(1, 20e3, 0)},
+		sim.Options{TStop: 3e-3, TStep: 1e-7})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	late = tr.Get("vout")[len(tr.Time)/2:]
+	peak = 0
+	for _, v := range late {
+		peak = math.Max(peak, math.Abs(v))
+	}
+	if peak > 0.1 {
+		t.Errorf("out-of-band peak = %g, want < 0.1 (20x above the corner)", peak)
+	}
+}
+
+func TestBandPassInference(t *testing.T) {
+	m := compileSrc(t, `
+entity tone is
+  port (
+    quantity vin  : in real is voltage;
+    quantity vout : out real is voltage is frequency 500.0 to 2000.0
+  );
+end entity;
+architecture a of tone is
+begin
+  vout == vin;
+end architecture;`)
+	var filt *vhif.Block
+	for _, b := range m.Graphs[0].Blocks {
+		if b.Kind == vhif.BFilter {
+			filt = b
+		}
+	}
+	if filt == nil {
+		t.Fatalf("no filter inferred\n%s", m.Dump())
+	}
+	if filt.Param2 != 500 {
+		t.Errorf("lower corner = %g, want 500 (band-pass)", filt.Param2)
+	}
+
+	peakAt := func(f float64) float64 {
+		tr, err := sim.SimulateModule(m, map[string]sim.Source{"vin": sim.Sine(1, f, 0)},
+			sim.Options{TStop: 20e-3, TStep: 2e-7})
+		if err != nil {
+			t.Fatalf("simulate at %g Hz: %v", f, err)
+		}
+		late := tr.Get("vout")[len(tr.Time)/2:]
+		peak := 0.0
+		for _, v := range late {
+			peak = math.Max(peak, math.Abs(v))
+		}
+		return peak
+	}
+	center := peakAt(1000) // geometric center of 500..2000
+	lowOut := peakAt(20)
+	highOut := peakAt(50e3)
+	if center < 0.8 {
+		t.Errorf("center-band gain = %g, want ~1", center)
+	}
+	if lowOut > 0.15 || highOut > 0.15 {
+		t.Errorf("stop-band leakage: %g at 20 Hz, %g at 50 kHz", lowOut, highOut)
+	}
+}

@@ -1,0 +1,290 @@
+package compile
+
+import (
+	"vase/internal/ast"
+	"vase/internal/sema"
+	"vase/internal/vhif"
+)
+
+// compileProcedural translates a procedural statement into a pure functional
+// block structure. Instruction order is preserved through data dependencies;
+// no state is kept between activations (except the sample-and-hold elements
+// that while-loops require).
+func (c *compiler) compileProcedural(st *ast.Procedural) {
+	en := c.baseEnv().child()
+	for _, d := range st.Decls {
+		od, ok := d.(*ast.ObjectDecl)
+		if !ok {
+			continue
+		}
+		if od.Init != nil {
+			for _, id := range od.Names {
+				en.bind(id.Canon, c.compileExpr(en, od.Init))
+			}
+		}
+	}
+	c.compileSeq(en, st.Body)
+	// Publish quantity results to the design-level nets.
+	for _, q := range c.proceduralDefines(st) {
+		n := en.lookup(q)
+		if n == nil {
+			c.errorf(st.SpanV, "quantity %q is not assigned on all paths of the procedural", q)
+			continue
+		}
+		n.Name = q
+		c.nets[q] = n
+	}
+}
+
+// proceduralDefines lists the quantities assigned anywhere in the body.
+func (c *compiler) proceduralDefines(st *ast.Procedural) []string {
+	set := map[string]bool{}
+	var walk func(ss []ast.SeqStmt)
+	walk = func(ss []ast.SeqStmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ast.Assign:
+				if nm, ok := unparen(s.LHS).(*ast.Name); ok {
+					if sym := c.d.Lookup(nm.Ident.Canon); sym != nil && sym.Kind == sema.SymQuantity {
+						set[nm.Ident.Canon] = true
+					}
+				}
+			case *ast.IfStmt:
+				walk(s.Then)
+				for _, e := range s.Elifs {
+					walk(e.Then)
+				}
+				walk(s.Else)
+			case *ast.CaseStmt:
+				for _, arm := range s.Arms {
+					walk(arm.Seq)
+				}
+			case *ast.ForStmt:
+				walk(s.Body)
+			case *ast.WhileStmt:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(st.Body)
+	return sortedNames(set)
+}
+
+// compileSeq compiles a sequential statement list into dataflow.
+func (c *compiler) compileSeq(en *env, ss []ast.SeqStmt) {
+	for _, st := range ss {
+		switch st := st.(type) {
+		case *ast.Assign:
+			if st.SignalOp {
+				c.errorf(st.SpanV, "signal assignments belong to processes, not procedurals")
+				continue
+			}
+			nm, ok := unparen(st.LHS).(*ast.Name)
+			if !ok {
+				c.errorf(st.LHS.Span(), "assignment target must be a simple name")
+				continue
+			}
+			en.bind(nm.Ident.Canon, c.compileExpr(en, st.RHS))
+		case *ast.IfStmt:
+			c.compileSeqIf(en, st)
+		case *ast.CaseStmt:
+			c.errorf(st.SpanV, "sequential case statements are not synthesizable in procedurals; use if chains")
+		case *ast.ForStmt:
+			c.unrollFor(en, st, func(e *env, body []ast.SeqStmt) { c.compileSeq(e, body) })
+		case *ast.WhileStmt:
+			c.compileWhile(en, st)
+		case *ast.NullStmt:
+		case *ast.ReturnStmt:
+			c.errorf(st.SpanV, "return is not allowed in procedurals")
+		}
+	}
+}
+
+// compileSeqIf realizes a sequential if by computing both branches and
+// selecting each assigned value with a multiplexer (elsif arms nest).
+func (c *compiler) compileSeqIf(en *env, st *ast.IfStmt) {
+	// Desugar elsif arms into nested ifs, innermost first.
+	elseBody := st.Else
+	for i := len(st.Elifs) - 1; i >= 0; i-- {
+		inner := &ast.IfStmt{
+			SpanV: st.Elifs[i].SpanV,
+			Cond:  st.Elifs[i].Cond,
+			Then:  st.Elifs[i].Then,
+			Else:  elseBody,
+		}
+		elseBody = []ast.SeqStmt{inner}
+	}
+
+	ctrl := c.compileControl(en, st.Cond)
+	thenEnv := en.child()
+	c.compileSeq(thenEnv, st.Then)
+	elseEnv := en.child()
+	c.compileSeq(elseEnv, elseBody)
+
+	assigned := map[string]bool{}
+	for name := range thenEnv.vars {
+		assigned[name] = true
+	}
+	for name := range elseEnv.vars {
+		assigned[name] = true
+	}
+	for _, name := range sortedNames(assigned) {
+		thenNet := thenEnv.lookup(name)
+		elseNet := elseEnv.lookup(name)
+		if thenNet == nil || elseNet == nil {
+			c.errorf(st.SpanV, "%q may be used before assignment in one branch of the if", name)
+			continue
+		}
+		if thenNet == elseNet {
+			en.bind(name, thenNet)
+			continue
+		}
+		mux := c.g.AddBlock(vhif.BMux, "", thenNet, elseNet)
+		mux.SetCtrl(c.g, ctrl)
+		en.bind(name, mux.Out)
+	}
+}
+
+// unrollFor expands a statically bounded for loop, binding the loop variable
+// as a compile-time constant for each iteration.
+func (c *compiler) unrollFor(en *env, st *ast.ForStmt, run func(*env, []ast.SeqStmt)) {
+	lo, okLo := c.constValue(st.Range.Lo)
+	hi, okHi := c.constValue(st.Range.Hi)
+	if !okLo || !okHi {
+		c.errorf(st.Range.SpanV, "for-loop bounds must be static")
+		return
+	}
+	name := st.Var.Canon
+	prev, had := c.consts[name]
+	defer func() {
+		if had {
+			c.consts[name] = prev
+		} else {
+			delete(c.consts, name)
+		}
+	}()
+	step := 1
+	from, to := int(lo), int(hi)
+	if st.Range.Down {
+		step = -1
+	}
+	for i := from; (step > 0 && i <= to) || (step < 0 && i >= to); i += step {
+		c.consts[name] = float64(i)
+		run(en, st.Body)
+	}
+}
+
+// compileWhile translates a while loop into the sampling structure of the
+// paper's Figure 4. For each loop-carried value:
+//
+//   - one condition block evaluates the conditional on the entry values
+//     (icontr, the filled block of Figure 4a): when false the loop is never
+//     entered and the entry value bypasses the structure;
+//   - S/H1 trails the loop body's output with one sample of delay, so the
+//     body iterates once per sampling interval;
+//   - a routing multiplexer (sw1/sw2 of Figure 4b) feeds the body from the
+//     entry value when the loop restarts and from S/H1 while the second
+//     condition block (contr, on the body's results) holds;
+//   - S/H2 latches S/H1's settled value when the condition turns false
+//     (sw3) and holds it while the loop body re-executes.
+func (c *compiler) compileWhile(en *env, st *ast.WhileStmt) {
+	carried := c.whileCarried(st)
+	if len(carried) == 0 {
+		c.errorf(st.SpanV, "while loop body assigns nothing; it cannot terminate")
+		return
+	}
+
+	// Condition block 1: the conditional on the entry values.
+	icontr := c.compileControl(en, st.Cond)
+	track := c.constControl(true)
+
+	// S/H1 per carried value: a one-sample delay trailing the body output
+	// (input patched after the body compiles).
+	sh1 := map[string]*vhif.Block{}
+	muxIter := map[string]*vhif.Block{}
+	entryNet := map[string]*vhif.Net{}
+	bodyEnv := en.child()
+	for _, v := range carried {
+		entry := en.lookup(v)
+		if entry == nil {
+			c.errorf(st.SpanV, "%q enters the while loop before being assigned", v)
+			return
+		}
+		entryNet[v] = entry
+		b := c.g.AddBlock(vhif.BSampleHold, v+"_sh1", entry)
+		b.SetCtrl(c.g, track)
+		sh1[v] = b
+		// Iteration routing: the fed-back S/H1 value while the loop
+		// condition holds on the body results, the entry value otherwise
+		// (control patched to contr below).
+		mux := c.g.AddBlock(vhif.BMux, v+"_in", b.Out, entry)
+		muxIter[v] = mux
+		bodyEnv.bind(v, mux.Out)
+	}
+
+	c.compileSeq(bodyEnv, st.Body)
+
+	// Condition block 2: the conditional on the body results.
+	contr := c.compileControl(bodyEnv, st.Cond)
+	notContr := c.invertCtrl(contr)
+
+	for _, v := range carried {
+		out := bodyEnv.lookup(v)
+		b := sh1[v]
+		// Patch S/H1 to trail the body output.
+		old := b.Inputs[0]
+		b.Inputs[0] = out
+		removeReader(old, b)
+		out.Readers = append(out.Readers, b)
+		muxIter[v].SetCtrl(c.g, contr)
+		// S/H2 latches the settled value when the condition turns false.
+		sh2 := c.g.AddBlock(vhif.BSampleHold, v+"_sh2", b.Out)
+		sh2.SetCtrl(c.g, notContr)
+		// Bypass: when the loop is never entered (icontr false), the entry
+		// value is the result.
+		bypass := c.g.AddBlock(vhif.BMux, v+"_out", sh2.Out, entryNet[v])
+		bypass.SetCtrl(c.g, icontr)
+		en.bind(v, bypass.Out)
+	}
+}
+
+// whileCarried returns the loop-carried variables: names assigned in the
+// body, sorted.
+func (c *compiler) whileCarried(st *ast.WhileStmt) []string {
+	set := map[string]bool{}
+	var walk func(ss []ast.SeqStmt)
+	walk = func(ss []ast.SeqStmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ast.Assign:
+				if nm, ok := unparen(s.LHS).(*ast.Name); ok {
+					set[nm.Ident.Canon] = true
+				}
+			case *ast.IfStmt:
+				walk(s.Then)
+				for _, e := range s.Elifs {
+					walk(e.Then)
+				}
+				walk(s.Else)
+			case *ast.ForStmt:
+				walk(s.Body)
+			case *ast.WhileStmt:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(st.Body)
+	return sortedNames(set)
+}
+
+func removeReader(n *vhif.Net, b *vhif.Block) {
+	if n == nil {
+		return
+	}
+	for i, r := range n.Readers {
+		if r == b {
+			n.Readers = append(n.Readers[:i], n.Readers[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,647 @@
+package compile
+
+import (
+	"fmt"
+
+	"vase/internal/ast"
+	"vase/internal/token"
+	"vase/internal/vhif"
+)
+
+// compileProcess translates a process statement into (a) an FSM recording
+// its event-driven structure, states grouped for maximal concurrency, and
+// (b) the analog realization of its control behavior: comparator and
+// Schmitt-trigger blocks driving control nets for every signal the process
+// computes.
+func (c *compiler) compileProcess(p *ast.Process) {
+	name := p.Label
+	if name == "" {
+		name = fmt.Sprintf("proc%d", len(c.m.FSMs)+1)
+	}
+	fsm := vhif.NewFSM(name)
+
+	// Resume guard: logical OR of the sensitivity events ("as we assumed
+	// that only one event occurs at a time, no special arbitration of
+	// events is required").
+	var resume vhif.DExpr
+	for _, e := range p.Sensitivity {
+		ev := c.toDExpr(e)
+		if resume == nil {
+			resume = ev
+		} else {
+			resume = &vhif.DBinary{Op: "or", X: resume, Y: ev}
+		}
+	}
+
+	b := &fsmBuilder{c: c, fsm: fsm}
+	entry := fsm.NewState("")
+	fsm.AddArc(fsm.Start, entry, resume)
+	exits := b.buildSeq(p.Body, entry)
+	for _, s := range exits {
+		fsm.AddArc(s, fsm.Start, nil)
+	}
+	c.m.FSMs = append(c.m.FSMs, fsm)
+
+	c.extractControls(p)
+}
+
+// fsmBuilder constructs FSM states from sequential statements. Successive
+// statements share a state until a data dependency (a read of a name
+// assigned in the current state, or a second write to the same target)
+// forces a new one. If statements branch via guarded arcs.
+type fsmBuilder struct {
+	c   *compiler
+	fsm *vhif.FSM
+}
+
+// buildSeq fills states starting at entry and returns the exit states.
+func (b *fsmBuilder) buildSeq(ss []ast.SeqStmt, entry *vhif.State) []*vhif.State {
+	cur := entry
+	assigned := map[string]bool{}
+	for idx, st := range ss {
+		switch st := st.(type) {
+		case *ast.Assign:
+			expr := b.c.toDExpr(st.RHS)
+			target := targetName(st.LHS)
+			if b.readsAssigned(st.RHS, assigned) || assigned[target] {
+				next := b.fsm.NewState("")
+				b.fsm.AddArc(cur, next, nil)
+				cur = next
+				assigned = map[string]bool{}
+			}
+			cur.Ops = append(cur.Ops, &vhif.DataOp{Target: target, SignalOp: st.SignalOp, Expr: expr})
+			assigned[target] = true
+		case *ast.IfStmt:
+			exits := b.buildIf(st, cur, idx == len(ss)-1)
+			if idx == len(ss)-1 {
+				return exits
+			}
+			cur = exits[0]
+			assigned = map[string]bool{}
+		case *ast.NullStmt:
+		default:
+			b.c.errorf(st.Span(), "statement is not synthesizable in a VASS process")
+		}
+	}
+	return []*vhif.State{cur}
+}
+
+// buildIf creates guarded branch states for an if statement. When the if is
+// the last statement of its sequence (isLast), the branch exits are returned
+// directly; otherwise the branches merge into a fresh join state.
+func (b *fsmBuilder) buildIf(st *ast.IfStmt, from *vhif.State, isLast bool) []*vhif.State {
+	type armT struct {
+		cond vhif.DExpr // nil for else
+		body []ast.SeqStmt
+	}
+	arms := []armT{{cond: b.c.toDExpr(st.Cond), body: st.Then}}
+	for _, e := range st.Elifs {
+		arms = append(arms, armT{cond: b.c.toDExpr(e.Cond), body: e.Then})
+	}
+	arms = append(arms, armT{cond: nil, body: st.Else})
+
+	var join *vhif.State
+	var exits []*vhif.State
+	ensureJoin := func() *vhif.State {
+		if join == nil {
+			join = b.fsm.NewState("")
+		}
+		return join
+	}
+	for i, arm := range arms {
+		cond := arm.cond
+		if cond == nil && i == len(arms)-1 && len(arms) == 2 {
+			// Plain if/else: show the complementary guard explicitly.
+			cond = &vhif.DUnary{Op: "not", X: arms[0].cond}
+		}
+		if len(arm.body) == 0 {
+			if isLast {
+				// Guarded transition straight back to suspension.
+				exits = append(exits, from)
+			} else {
+				b.fsm.AddArc(from, ensureJoin(), cond)
+			}
+			continue
+		}
+		armEntry := b.fsm.NewState("")
+		b.fsm.AddArc(from, armEntry, cond)
+		armExits := b.buildSeq(arm.body, armEntry)
+		if isLast {
+			exits = append(exits, armExits...)
+		} else {
+			for _, exit := range armExits {
+				b.fsm.AddArc(exit, ensureJoin(), nil)
+			}
+		}
+	}
+	if isLast {
+		return dedupeStates(exits)
+	}
+	return []*vhif.State{ensureJoin()}
+}
+
+func dedupeStates(ss []*vhif.State) []*vhif.State {
+	seen := map[*vhif.State]bool{}
+	var out []*vhif.State
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (b *fsmBuilder) readsAssigned(e ast.Expr, assigned map[string]bool) bool {
+	found := false
+	ast.Walk(e, func(n ast.Node) bool {
+		if nm, ok := n.(*ast.Name); ok && assigned[nm.Ident.Canon] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func targetName(e ast.Expr) string {
+	if nm, ok := unparen(e).(*ast.Name); ok {
+		return nm.Ident.Canon
+	}
+	return "<target>"
+}
+
+// toDExpr converts an AST expression into an FSM datapath expression,
+// simplifying trivial boolean tests (x = true -> x, x = '0' -> not x).
+func (c *compiler) toDExpr(e ast.Expr) vhif.DExpr {
+	switch e := e.(type) {
+	case *ast.Paren:
+		return c.toDExpr(e.X)
+	case *ast.IntLit:
+		return &vhif.DConst{Value: float64(e.Value)}
+	case *ast.RealLit:
+		return &vhif.DConst{Value: e.Value}
+	case *ast.BitLit:
+		v := 0.0
+		if e.Value {
+			v = 1
+		}
+		return &vhif.DConst{Value: v, Bit: true}
+	case *ast.Name:
+		switch e.Ident.Canon {
+		case "true":
+			return &vhif.DConst{Value: 1, Bit: true}
+		case "false":
+			return &vhif.DConst{Value: 0, Bit: true}
+		}
+		return &vhif.DName{Name: e.Ident.Canon}
+	case *ast.Unary:
+		op := e.Op.String()
+		if e.Op == token.NOT {
+			op = "not"
+		}
+		return &vhif.DUnary{Op: op, X: c.toDExpr(e.X)}
+	case *ast.Binary:
+		// Simplify boolean literal comparisons.
+		if _, isTrue, ok := boolLiteral(e.Y); ok && (e.Op == token.EQ || e.Op == token.NEQ) {
+			inner := c.toDExpr(e.X)
+			if (e.Op == token.EQ) != isTrue {
+				return &vhif.DUnary{Op: "not", X: inner}
+			}
+			return inner
+		}
+		return &vhif.DBinary{Op: e.Op.String(), X: c.toDExpr(e.X), Y: c.toDExpr(e.Y)}
+	case *ast.Call:
+		d := &vhif.DCall{Fun: e.Fun.Canon}
+		for _, a := range e.Args {
+			d.Args = append(d.Args, c.toDExpr(a))
+		}
+		return d
+	case *ast.Attribute:
+		switch e.Attr {
+		case "above":
+			if nm, ok := unparen(e.X).(*ast.Name); ok && len(e.Args) == 1 {
+				th, _ := c.constValue(e.Args[0])
+				return &vhif.DEvent{Quantity: nm.Ident.Canon, Threshold: th}
+			}
+		case "event":
+			if nm, ok := unparen(e.X).(*ast.Name); ok {
+				return &vhif.DPortEvent{Port: nm.Ident.Canon}
+			}
+		}
+	}
+	c.errorf(e.Span(), "expression is not representable in an FSM datapath")
+	return &vhif.DConst{Value: 0}
+}
+
+// ---------------------------------------------------------------------------
+// Control extraction
+//
+// "For analog systems, the FSM has very often a simple structure, that can
+// be entirely mapped to analog circuits, i.e. Schmitt triggers, zero-cross
+// detectors, sample-and-hold circuits."  The patterns below recognize those
+// structures and materialize them as comparator/Schmitt blocks.
+
+// extractControls derives a control net for every signal the process
+// assigns.
+func (c *compiler) extractControls(p *ast.Process) {
+	// Alias assignments (s <= other or s <= not other) may refer to signals
+	// extracted later in the body; iterate to a fixed point.
+	type pendingT struct {
+		st  *ast.Assign
+		sig string
+	}
+	var pending []pendingT
+	var samples []*ast.Assign
+
+	for _, st := range p.Body {
+		switch st := st.(type) {
+		case *ast.Assign:
+			if !st.SignalOp {
+				continue
+			}
+			sig := targetName(st.LHS)
+			if sym := c.d.Lookup(sig); sym != nil && sym.Type.IsNature() {
+				// A nature-typed signal assigned on process events is a
+				// sample-and-hold; realized after the process's bit
+				// controls so its strobe can reuse their detector.
+				samples = append(samples, st)
+				continue
+			}
+			if net := c.extractAssignControl(p, sig, st.RHS); net != nil {
+				c.bindControl(sig, net)
+			} else {
+				pending = append(pending, pendingT{st: st, sig: sig})
+			}
+		case *ast.IfStmt:
+			c.extractIfControls(p, st)
+		}
+	}
+	// Prefer a detector this process already computes as the sampling
+	// strobe; otherwise a dedicated comparator is built from the first
+	// sensitivity event.
+	var procCtrl *vhif.Net
+	for _, st := range p.Body {
+		if as, ok := st.(*ast.Assign); ok && as.SignalOp {
+			if net := c.ctrl[targetName(as.LHS)]; net != nil && net.Driver != nil && net.Driver.FromFSM {
+				procCtrl = net
+				break
+			}
+		}
+	}
+	for _, st := range samples {
+		c.sampleSignal(p, targetName(st.LHS), st.RHS, procCtrl)
+	}
+	for pass := 0; pass < 2; pass++ {
+		var still []pendingT
+		for _, pd := range pending {
+			if net := c.extractAssignControl(p, pd.sig, pd.st.RHS); net != nil {
+				c.bindControl(pd.sig, net)
+			} else {
+				still = append(still, pd)
+			}
+		}
+		pending = still
+	}
+	for _, pd := range pending {
+		c.errorf(pd.st.SpanV, "cannot realize the control for signal %q with analog circuits (comparator/Schmitt patterns)", pd.sig)
+	}
+}
+
+func (c *compiler) bindControl(sig string, net *vhif.Net) {
+	c.ctrl[sig] = net
+	c.m.Controls = append(c.m.Controls, &vhif.ControlLink{Signal: sig, Net: net})
+}
+
+// extractAssignControl handles direct forms:
+//
+//	s <= '0' / '1'            -> constant (static) control level
+//	s <= q'above(th)          -> comparator
+//	s <= q  (nature signal)   -> sample-and-hold on the process events
+//	s <= other / not other    -> alias / inverted alias
+//	s <= not s  (with two threshold events on one quantity) -> Schmitt
+func (c *compiler) extractAssignControl(p *ast.Process, sig string, rhs ast.Expr) *vhif.Net {
+	rhs = unparen(rhs)
+	if _, isTrue, ok := boolLiteral(rhs); ok {
+		return c.constControl(isTrue)
+	}
+	switch rhs := rhs.(type) {
+	case *ast.Attribute:
+		if rhs.Attr == "above" {
+			return c.fsmComparator(rhs, sig+"_det", false)
+		}
+	case *ast.Name:
+		if net := c.ctrl[rhs.Ident.Canon]; net != nil {
+			return net
+		}
+	case *ast.Unary:
+		if rhs.Op == token.NOT {
+			inner := unparen(rhs.X)
+			if nm, ok := inner.(*ast.Name); ok {
+				if nm.Ident.Canon == sig {
+					// Toggle: s <= not s. With two threshold events on one
+					// quantity this is exactly a Schmitt trigger.
+					return c.schmittFromSensitivity(p, sig)
+				}
+				if net := c.ctrl[nm.Ident.Canon]; net != nil {
+					return c.invertCtrl(net)
+				}
+			}
+			if at, ok := inner.(*ast.Attribute); ok && at.Attr == "above" {
+				return c.fsmComparator(at, sig+"_det", true)
+			}
+		}
+	}
+	return nil
+}
+
+// extractIfControls handles the branching forms:
+//
+//	if EV then s <= '1'; else s <= '0';          -> comparator (zero-cross)
+//	if EVhi then s <= b; elsif not EVlo then s <= not b; -> Schmitt trigger
+func (c *compiler) extractIfControls(p *ast.Process, st *ast.IfStmt) {
+	// Schmitt form first: if/elsif with threshold events on one quantity.
+	if len(st.Elifs) == 1 && len(st.Else) == 0 {
+		c.extractSchmittIf(st)
+		return
+	}
+	if len(st.Elifs) > 0 {
+		c.errorf(st.SpanV, "process if/elsif control structure is not a recognizable analog pattern")
+		return
+	}
+	thenAssigns := constBitAssigns(st.Then)
+	elseAssigns := constBitAssigns(st.Else)
+	for _, sig := range sortedNames(thenAssigns) {
+		thenBit := thenAssigns[sig]
+		elseBit, ok := elseAssigns[sig]
+		if ok && thenBit == elseBit {
+			// The signal takes the same constant either way: a static
+			// control level, no datapath element required.
+			c.bindControl(sig, c.constControl(thenBit))
+			continue
+		}
+		if !ok {
+			c.errorf(st.SpanV, "signal %q must be assigned complementary constants in both branches", sig)
+			continue
+		}
+		net := c.processCondCtrl(st.Cond, sig)
+		if net == nil {
+			continue
+		}
+		if !thenBit {
+			net = c.invertCtrl(net)
+		}
+		c.bindControl(sig, net)
+	}
+}
+
+// constControl returns a control net tied to a static level: the analog
+// realization of a signal that only ever takes one value. One source block
+// per level serves the whole design.
+func (c *compiler) constControl(level bool) *vhif.Net {
+	if n, ok := c.ctrlConsts[level]; ok {
+		return n
+	}
+	v := 0.0
+	if level {
+		v = 1
+	}
+	b := c.g.AddBlock(vhif.BConst, fmt.Sprintf("ctl_%g", v))
+	b.Param = v
+	b.Out.Control = true
+	c.ctrlConsts[level] = b.Out
+	return b.Out
+}
+
+// sampleSignal realizes "s <= q" for a nature-typed signal s: a
+// sample-and-hold latching the quantity value when the process resumes. Its
+// control net is the process's primary detector (or the first sensitivity
+// event's comparator when the process computes no bit control).
+func (c *compiler) sampleSignal(p *ast.Process, sig string, rhs ast.Expr, procCtrl *vhif.Net) {
+	in := c.compileExpr(c.baseEnv(), rhs)
+	ctrl := procCtrl
+	if ctrl == nil {
+		ctrl = c.processEventCtrl(p, sig)
+	}
+	if ctrl == nil {
+		return
+	}
+	sh := c.g.AddBlock(vhif.BSampleHold, sig, in)
+	sh.SetCtrl(c.g, ctrl)
+	sh.FromFSM = true
+	sh.Out.Name = sig
+	c.nets[sig] = sh.Out
+}
+
+// processEventCtrl derives a control net from the process's sensitivity
+// list: a comparator on the first 'above event.
+func (c *compiler) processEventCtrl(p *ast.Process, sig string) *vhif.Net {
+	for _, s := range p.Sensitivity {
+		if at, ok := unparen(s).(*ast.Attribute); ok && at.Attr == "above" {
+			return c.fsmComparator(at, sig+"_smp", false)
+		}
+	}
+	c.errorf(p.SpanV, "cannot derive a sampling control for signal %q (no 'above event in the sensitivity list)", sig)
+	return nil
+}
+
+// extractSchmittIf recognizes
+//
+//	if q'above(hi) then s <= b1; elsif (q'above(lo) = false) then s <= b2;
+//
+// with b1 /= b2 as a Schmitt trigger centered between the thresholds.
+func (c *compiler) extractSchmittIf(st *ast.IfStmt) {
+	hiEv, hiOK := c.aboveEvent(st.Cond, false)
+	loEv, loOK := c.aboveEvent(st.Elifs[0].Cond, true)
+	if !hiOK || !loOK || hiEv.quantity != loEv.quantity {
+		c.errorf(st.SpanV, "if/elsif control requires two 'above events on the same quantity")
+		return
+	}
+	thenAssigns := constBitAssigns(st.Then)
+	elifAssigns := constBitAssigns(st.Elifs[0].Then)
+	for sig, b1 := range thenAssigns {
+		b2, ok := elifAssigns[sig]
+		if !ok || b1 == b2 {
+			c.errorf(st.SpanV, "signal %q must take complementary values at the two thresholds", sig)
+			continue
+		}
+		hi, lo := hiEv.threshold, loEv.threshold
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		blk := c.g.AddBlock(vhif.BSchmitt, sig+"_st", c.quantityNet(hiEv.nameExpr))
+		blk.Param = (hi + lo) / 2
+		blk.Hyst = (hi - lo) / 2
+		blk.FromFSM = true
+		net := blk.Out
+		if !b1 { // output true above the upper threshold assigns '0'
+			net = c.invertCtrl(net)
+		}
+		c.bindControl(sig, net)
+	}
+}
+
+// schmittFromSensitivity realizes a toggle process (s <= not s) whose
+// sensitivity list holds two threshold events on one quantity.
+func (c *compiler) schmittFromSensitivity(p *ast.Process, sig string) *vhif.Net {
+	type ev struct {
+		q  ast.Expr
+		th float64
+	}
+	var evs []ev
+	for _, s := range p.Sensitivity {
+		at, ok := unparen(s).(*ast.Attribute)
+		if !ok || at.Attr != "above" || len(at.Args) != 1 {
+			return nil
+		}
+		th, ok := c.constValue(at.Args[0])
+		if !ok {
+			return nil
+		}
+		evs = append(evs, ev{q: at.X, th: th})
+	}
+	if len(evs) != 2 {
+		return nil
+	}
+	n1, ok1 := unparen(evs[0].q).(*ast.Name)
+	n2, ok2 := unparen(evs[1].q).(*ast.Name)
+	if !ok1 || !ok2 || n1.Ident.Canon != n2.Ident.Canon {
+		return nil
+	}
+	hi, lo := evs[0].th, evs[1].th
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	blk := c.g.AddBlock(vhif.BSchmitt, sig+"_st", c.quantityNet(evs[0].q))
+	blk.Param = (hi + lo) / 2
+	blk.Hyst = (hi - lo) / 2
+	blk.FromFSM = true
+	// The toggle flips on each crossing; the Schmitt output is high above
+	// the upper threshold, so the toggled signal is its complement when it
+	// starts high on a rising input.
+	return c.invertCtrl(blk.Out)
+}
+
+// processCondCtrl realizes an if condition of a process as a control net,
+// tagging the produced comparator as FSM datapath.
+func (c *compiler) processCondCtrl(cond ast.Expr, sig string) *vhif.Net {
+	cond = unparen(cond)
+	// c = '1' / = true / inverted forms over an 'above event or a signal.
+	if bin, ok := cond.(*ast.Binary); ok {
+		if _, isTrue, ok := boolLiteral(bin.Y); ok && (bin.Op == token.EQ || bin.Op == token.NEQ) {
+			net := c.processCondCtrl(bin.X, sig)
+			if net != nil && (bin.Op == token.EQ) != isTrue {
+				net = c.invertCtrl(net)
+			}
+			return net
+		}
+	}
+	if un, ok := cond.(*ast.Unary); ok && un.Op == token.NOT {
+		if net := c.processCondCtrl(un.X, sig); net != nil {
+			return c.invertCtrl(net)
+		}
+		return nil
+	}
+	if at, ok := cond.(*ast.Attribute); ok && at.Attr == "above" {
+		return c.fsmComparator(at, sig+"_det", false)
+	}
+	if nm, ok := cond.(*ast.Name); ok {
+		if net := c.ctrl[nm.Ident.Canon]; net != nil {
+			return net
+		}
+	}
+	c.errorf(cond.Span(), "process condition cannot be realized with a comparator")
+	return nil
+}
+
+// fsmComparator materializes q'above(th) as a zero-cross detector /
+// comparator with a small hysteresis margin ("so that repeated switchings
+// between states are avoided").
+func (c *compiler) fsmComparator(at *ast.Attribute, name string, invert bool) *vhif.Net {
+	th := 0.0
+	if len(at.Args) == 1 {
+		v, ok := c.constValue(at.Args[0])
+		if !ok {
+			c.errorf(at.Args[0].Span(), "'above threshold must be static")
+		}
+		th = v
+	}
+	blk := c.g.AddBlock(vhif.BComparator, name, c.quantityNet(at.X))
+	blk.Param = th
+	blk.Hyst = DefaultHysteresis
+	blk.FromFSM = true
+	if invert {
+		return c.invertCtrl(blk.Out)
+	}
+	return blk.Out
+}
+
+// quantityNet resolves the net of a quantity-name expression.
+func (c *compiler) quantityNet(e ast.Expr) *vhif.Net {
+	nm, ok := unparen(e).(*ast.Name)
+	if !ok {
+		c.errorf(e.Span(), "'above prefix must be a quantity name")
+		return c.constNet(0)
+	}
+	n := c.nets[nm.Ident.Canon]
+	if n == nil {
+		c.errorf(e.Span(), "quantity %q is not available to the event-driven part (only inputs and integrator states are)", nm.Ident.Name)
+		return c.constNet(0)
+	}
+	return n
+}
+
+// aboveEventInfo describes one recognized 'above event.
+type aboveEventInfo struct {
+	nameExpr  ast.Expr
+	quantity  string
+	threshold float64
+}
+
+// aboveEvent recognizes q'above(th) conditions with static thresholds. With
+// negated true, it accepts the "event is false" forms (not EV, EV = false).
+func (c *compiler) aboveEvent(cond ast.Expr, negated bool) (aboveEventInfo, bool) {
+	cond = unparen(cond)
+	if negated {
+		if un, ok := cond.(*ast.Unary); ok && un.Op == token.NOT {
+			return c.aboveEvent(un.X, false)
+		}
+		if bin, ok := cond.(*ast.Binary); ok && bin.Op == token.EQ {
+			if _, isTrue, ok := boolLiteral(bin.Y); ok && !isTrue {
+				return c.aboveEvent(bin.X, false)
+			}
+		}
+		return aboveEventInfo{}, false
+	}
+	if bin, ok := cond.(*ast.Binary); ok && bin.Op == token.EQ {
+		if _, isTrue, ok := boolLiteral(bin.Y); ok && isTrue {
+			return c.aboveEvent(bin.X, false)
+		}
+	}
+	at, ok := cond.(*ast.Attribute)
+	if !ok || at.Attr != "above" || len(at.Args) != 1 {
+		return aboveEventInfo{}, false
+	}
+	nm, ok := unparen(at.X).(*ast.Name)
+	if !ok {
+		return aboveEventInfo{}, false
+	}
+	th, ok := c.constValue(at.Args[0])
+	if !ok {
+		return aboveEventInfo{}, false
+	}
+	return aboveEventInfo{nameExpr: at.X, quantity: nm.Ident.Canon, threshold: th}, true
+}
+
+// constBitAssigns collects "sig <= '0'/'1'" assignments from a statement
+// list.
+func constBitAssigns(ss []ast.SeqStmt) map[string]bool {
+	out := map[string]bool{}
+	for _, st := range ss {
+		if as, ok := st.(*ast.Assign); ok && as.SignalOp {
+			if _, isTrue, ok := boolLiteral(as.RHS); ok {
+				out[targetName(as.LHS)] = isTrue
+			}
+		}
+	}
+	return out
+}

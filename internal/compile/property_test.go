@@ -1,0 +1,348 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vase/internal/mapper"
+	"vase/internal/parser"
+	"vase/internal/sema"
+	"vase/internal/sim"
+)
+
+// randExpr generates a random arithmetic expression over the inputs and
+// returns both its VASS text and its value under the given input values.
+func randExpr(rng *rand.Rand, depth int, inputs map[string]float64) (string, float64) {
+	names := []string{"u1", "u2", "u3"}
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			n := names[rng.Intn(len(names))]
+			return n, inputs[n]
+		default:
+			v := math.Round(rng.Float64()*40-20) / 4 // quarter-integer constants
+			return fmt.Sprintf("%.2f", v), v
+		}
+	}
+	a, av := randExpr(rng, depth-1, inputs)
+	b, bv := randExpr(rng, depth-1, inputs)
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b), av + bv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b), av - bv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b), av * bv
+	case 3:
+		return fmt.Sprintf("(-(%s))", a), -av
+	default:
+		k := math.Round(rng.Float64()*16-8) / 2
+		return fmt.Sprintf("(%.1f * %s)", k, a), k * av
+	}
+}
+
+// TestCompiledExpressionsEvaluateCorrectly is the end-to-end property: any
+// random arithmetic expression compiled through the full pipeline
+// (parse -> analyze -> compile -> behavioral simulation) produces the value
+// of direct evaluation.
+func TestCompiledExpressionsEvaluateCorrectly(t *testing.T) {
+	inputs := map[string]float64{"u1": 0.3, "u2": -0.7, "u3": 1.25}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		exprText, want := randExpr(rng, 4, inputs)
+		if math.Abs(want) > 1e6 {
+			return true // skip numerically wild cases
+		}
+		src := fmt.Sprintf(`
+entity prop is
+  port (quantity u1, u2, u3 : in real; quantity y : out real);
+end entity;
+architecture a of prop is
+begin
+  y == %s;
+end architecture;`, exprText)
+		df, err := parser.Parse("prop.vhd", src)
+		if err != nil {
+			t.Logf("seed %d: parse: %v\n%s", seed, err, src)
+			return false
+		}
+		d, err := sema.AnalyzeOne(df)
+		if err != nil {
+			t.Logf("seed %d: analyze: %v\n%s", seed, err, src)
+			return false
+		}
+		m, err := Compile(d)
+		if err != nil {
+			t.Logf("seed %d: compile: %v\n%s", seed, err, src)
+			return false
+		}
+		tr, err := sim.SimulateModule(m, map[string]sim.Source{
+			"u1": sim.DC(inputs["u1"]),
+			"u2": sim.DC(inputs["u2"]),
+			"u3": sim.DC(inputs["u3"]),
+		}, sim.Options{TStop: 1e-5, TStep: 1e-6})
+		if err != nil {
+			t.Logf("seed %d: simulate: %v\n%s", seed, err, src)
+			return false
+		}
+		got := tr.Final("y")
+		tol := 1e-9 * math.Max(1, math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Logf("seed %d: %s = %g, want %g", seed, exprText, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledDAEIsolationProperty: linear equations a*y + b == c*u solved
+// for y match the closed form for random coefficients.
+func TestCompiledDAEIsolationProperty(t *testing.T) {
+	check := func(ai, bi, ci uint8) bool {
+		a := float64(ai%9) + 1 // 1..9
+		bcoef := float64(bi%19) - 9
+		ccoef := float64(ci%19) - 9
+		u := 0.45
+		src := fmt.Sprintf(`
+entity lin is
+  port (quantity u : in real; quantity y : out real);
+end entity;
+architecture arch of lin is
+begin
+  %g * y + %g == %g * u;
+end architecture;`, a, bcoef, ccoef)
+		df, err := parser.Parse("lin.vhd", src)
+		if err != nil {
+			return false
+		}
+		d, err := sema.AnalyzeOne(df)
+		if err != nil {
+			return false
+		}
+		m, err := Compile(d)
+		if err != nil {
+			t.Logf("compile a=%g b=%g c=%g: %v", a, bcoef, ccoef, err)
+			return false
+		}
+		tr, err := sim.SimulateModule(m, map[string]sim.Source{"u": sim.DC(u)},
+			sim.Options{TStop: 1e-5, TStep: 1e-6})
+		if err != nil {
+			return false
+		}
+		want := (ccoef*u - bcoef) / a
+		return math.Abs(tr.Final("y")-want) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForUnrollEquivalence: an unrolled accumulation loop equals its closed
+// form for random static bounds.
+func TestForUnrollEquivalence(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		src := fmt.Sprintf(`
+entity acc is
+  port (quantity u : in real; quantity y : out real);
+end entity;
+architecture arch of acc is
+begin
+  procedural is
+    variable s : real;
+  begin
+    s := 0.0 * u;
+    for i in 1 to %d loop
+      s := s + u * i;
+    end loop;
+    y := s;
+  end procedural;
+end architecture;`, n)
+		df, err := parser.Parse("acc.vhd", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sema.AnalyzeOne(df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Compile(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sim.SimulateModule(m, map[string]sim.Source{"u": sim.DC(2)},
+			sim.Options{TStop: 1e-5, TStep: 1e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n * (n + 1)) // 2 * sum(1..n)
+		if got := tr.Final("y"); math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d: y = %g, want %g", n, got, want)
+		}
+	}
+}
+
+// TestWhileLoopConvergesToFixpoint: the Figure 4 sampling structure settles
+// at the loop's exit value for inputs above and below the threshold.
+func TestWhileLoopConvergesToFixpoint(t *testing.T) {
+	src := `
+entity halver is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of halver is
+begin
+  procedural is
+    variable acc : real;
+  begin
+    acc := a;
+    while acc > 1.0 loop
+      acc := acc * 0.5;
+    end loop;
+    y := acc;
+  end procedural;
+end architecture;`
+	df, err := parser.Parse("halver.vhd", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []float64{0.4, 3.0, 13.0} {
+		tr, err := sim.SimulateModule(m, map[string]sim.Source{"a": sim.DC(a)},
+			sim.Options{TStop: 2e-3, TStep: 1e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected: repeatedly halve until <= 1.
+		want := a
+		for want > 1.0 {
+			want *= 0.5
+		}
+		got := tr.Final("y")
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("a=%g: while-loop output = %g, want %g", a, got, want)
+		}
+	}
+}
+
+// TestSimultaneousIfArmsMatchMux checks that every branch of a 3-way
+// selection produces the correct value.
+func TestSimultaneousIfArmsMatchMux(t *testing.T) {
+	src := `
+entity sel3 is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture arch of sel3 is
+  signal hi, lo : bit;
+begin
+  if (hi = '1') use y == 3.0 * x;
+  elsif (lo = '1') use y == 2.0 * x;
+  else y == x;
+  end use;
+  process (x'above(2.0)) is begin
+    hi <= x'above(2.0);
+  end process;
+  process (x'above(1.0)) is begin
+    lo <= x'above(1.0);
+  end process;
+end architecture;`
+	df, err := parser.Parse("sel3.vhd", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0.5}, // both low: y = x
+		{1.5, 3.0}, // lo only: y = 2x
+		{2.5, 7.5}, // hi: y = 3x
+		{-1.0, -1.0},
+	}
+	for _, c := range cases {
+		tr, err := sim.SimulateModule(m, map[string]sim.Source{"x": sim.DC(c.x)},
+			sim.Options{TStop: 1e-4, TStep: 1e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Final("y"); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("x=%g: y = %g, want %g\n%s", c.x, got, c.want,
+				strings.TrimSpace(m.Dump()))
+		}
+	}
+}
+
+// TestSynthesisPreservesRandomExpressions is the end-to-end synthesis
+// property: for random arithmetic expressions, the branch-and-bound-mapped
+// netlist simulates to the same value as direct evaluation — pattern
+// absorption, sharing and transformations never change semantics.
+func TestSynthesisPreservesRandomExpressions(t *testing.T) {
+	inputs := map[string]float64{"u1": 0.35, "u2": -0.6, "u3": 1.1}
+	rng := rand.New(rand.NewSource(20260706))
+	cases := 0
+	for cases < 40 {
+		exprText, want := randExpr(rng, 3, inputs)
+		if math.Abs(want) > 1e4 {
+			continue
+		}
+		src := fmt.Sprintf(`
+entity prop is
+  port (quantity u1, u2, u3 : in real; quantity y : out real);
+end entity;
+architecture a of prop is
+begin
+  y == %s;
+end architecture;`, exprText)
+		df, err := parser.Parse("prop.vhd", src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", exprText, err)
+		}
+		d, err := sema.AnalyzeOne(df)
+		if err != nil {
+			t.Fatalf("analyze %q: %v", exprText, err)
+		}
+		m, err := Compile(d)
+		if err != nil {
+			t.Fatalf("compile %q: %v", exprText, err)
+		}
+		res, err := mapper.Synthesize(m, mapper.DefaultOptions())
+		if err != nil {
+			// Gains outside every cell's range are legitimately unmappable.
+			if strings.Contains(err.Error(), "no feasible mapping") {
+				continue
+			}
+			t.Fatalf("synthesize %q: %v", exprText, err)
+		}
+		tr, err := sim.SimulateNetlist(res.Netlist, map[string]sim.Source{
+			"u1": sim.DC(inputs["u1"]),
+			"u2": sim.DC(inputs["u2"]),
+			"u3": sim.DC(inputs["u3"]),
+		}, sim.Options{TStop: 1e-5, TStep: 1e-6})
+		if err != nil {
+			t.Fatalf("netlist sim %q: %v", exprText, err)
+		}
+		got := tr.Final("y")
+		tol := 1e-9 * math.Max(1, math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: netlist = %g, want %g\n%s", exprText, got, want, res.Netlist.Dump())
+		}
+		cases++
+	}
+}

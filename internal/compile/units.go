@@ -1,0 +1,314 @@
+package compile
+
+import (
+	"vase/internal/ast"
+	"vase/internal/sema"
+	"vase/internal/vhif"
+)
+
+// unit is one compilation unit of the continuous-time part: a matched
+// simultaneous equation, a procedural, or a simultaneous if/use (or
+// case/use) group. Units are ordered by data dependencies before compiling.
+type unit struct {
+	// defines are the quantities the unit produces.
+	defines []string
+	// reads are the quantities the unit consumes.
+	reads map[string]bool
+	// run compiles the unit.
+	run func()
+}
+
+// collectUnits builds the unit list for the given DAE matching.
+func (c *compiler) collectUnits(eqs []*equation, match matching) []*unit {
+	var units []*unit
+	eqIndex := 0
+	for _, st := range c.d.Arch.Stmts {
+		switch st := st.(type) {
+		case *ast.SimpleSimultaneous:
+			i := eqIndex
+			eqIndex++
+			cand := match[i]
+			u := &unit{reads: map[string]bool{}}
+			if !cand.viaDot {
+				u.defines = []string{cand.unknown}
+			}
+			for name, use := range quantityUses(c.d, st) {
+				if name == cand.unknown && !cand.viaDot && use.dot == 0 {
+					continue
+				}
+				u.reads[name] = true
+			}
+			// An integrator's own output is available (state feedback).
+			if cand.viaDot {
+				delete(u.reads, cand.unknown)
+			}
+			stmt, candidate := st, cand
+			u.run = func() { c.compileEquation(stmt, candidate) }
+			units = append(units, u)
+		case *ast.Procedural:
+			u := &unit{reads: map[string]bool{}}
+			u.defines = c.proceduralDefines(st)
+			c.collectQuantityReads(st, u.reads, u.defines)
+			stmt := st
+			u.run = func() { c.compileProcedural(stmt) }
+			units = append(units, u)
+		case *ast.SimultaneousIf:
+			u := &unit{reads: map[string]bool{}}
+			u.defines = c.ifUseDefines(st)
+			c.collectQuantityReads(st, u.reads, u.defines)
+			stmt := st
+			u.run = func() { c.compileIfUse(stmt) }
+			units = append(units, u)
+		case *ast.SimultaneousCase:
+			u := &unit{reads: map[string]bool{}}
+			u.defines = c.caseUseDefines(st)
+			c.collectQuantityReads(st, u.reads, u.defines)
+			stmt := st
+			u.run = func() { c.compileCaseUse(stmt) }
+			units = append(units, u)
+		}
+	}
+	return units
+}
+
+// collectQuantityReads fills reads with quantity names referenced by the
+// statement, excluding the unit's own definitions.
+func (c *compiler) collectQuantityReads(st ast.Node, reads map[string]bool, defines []string) {
+	own := map[string]bool{}
+	for _, d := range defines {
+		own[d] = true
+	}
+	ast.Walk(st, func(n ast.Node) bool {
+		if nm, ok := n.(*ast.Name); ok {
+			if sym := c.d.Lookup(nm.Ident.Canon); sym != nil && sym.Kind == sema.SymQuantity && !own[nm.Ident.Canon] {
+				reads[nm.Ident.Canon] = true
+			}
+		}
+		return true
+	})
+}
+
+// compileUnits repeatedly compiles units whose read-dependencies are
+// available; integrator-defined nets exist up front (integs), so only
+// algebraic cycles can block progress.
+func (c *compiler) compileUnits(units []*unit, integs map[string]*vhif.Block) error {
+	// Integrator inputs are patched after everything else compiles; until
+	// then their equations are ordinary units whose defines are empty.
+	pending := append([]*unit{}, units...)
+	for len(pending) > 0 {
+		progressed := false
+		var next []*unit
+		for _, u := range pending {
+			ready := true
+			for r := range u.reads {
+				if c.nets[r] == nil {
+					// Inputs and integrator outputs are pre-bound; anything
+					// else must have been produced by an earlier unit.
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, u)
+				continue
+			}
+			u.run()
+			progressed = true
+		}
+		if !progressed {
+			var missing []string
+			for _, u := range next {
+				for r := range u.reads {
+					if c.nets[r] == nil {
+						missing = append(missing, r)
+					}
+				}
+			}
+			c.errorf(c.d.Arch.SpanV, "algebraic dependency cycle among continuous statements (unresolved: %v)", missing)
+			return c.failed()
+		}
+		pending = next
+	}
+	return nil
+}
+
+// compileEquation compiles one matched simultaneous equation.
+func (c *compiler) compileEquation(st *ast.SimpleSimultaneous, cand candidate) {
+	expr, err := c.isolate(st, cand)
+	if err != nil {
+		c.errorf(st.SpanV, "cannot solve equation for %q: %v", cand.unknown, err)
+		return
+	}
+	net := c.compileExpr(c.baseEnv(), expr)
+	if cand.viaDot {
+		integ := c.nets[cand.unknown].Driver
+		integ.Inputs[0] = net
+		net.Readers = append(net.Readers, integ)
+		return
+	}
+	net.Name = cand.unknown
+	c.nets[cand.unknown] = net
+}
+
+// ---------------------------------------------------------------------------
+// Simultaneous if/use and case/use
+
+// armDef is the quantity → defining-expression mapping of one arm.
+type armDef map[string]ast.Expr
+
+// armDefs extracts explicit definitions (q == expr) from an arm's
+// statements.
+func (c *compiler) armDefs(stmts []ast.ConcStmt) armDef {
+	defs := armDef{}
+	for _, st := range stmts {
+		ss, ok := st.(*ast.SimpleSimultaneous)
+		if !ok {
+			c.errorf(st.Span(), "if/use arms may contain only simple simultaneous statements")
+			continue
+		}
+		if nm, ok := unparen(ss.LHS).(*ast.Name); ok {
+			defs[nm.Ident.Canon] = ss.RHS
+			continue
+		}
+		if nm, ok := unparen(ss.RHS).(*ast.Name); ok {
+			defs[nm.Ident.Canon] = ss.LHS
+			continue
+		}
+		c.errorf(ss.SpanV, "if/use arm equations must be explicit (q == expr)")
+	}
+	return defs
+}
+
+// ifUseDefines lists the quantities defined by an if/use statement.
+func (c *compiler) ifUseDefines(st *ast.SimultaneousIf) []string {
+	defs := c.armDefs(st.Then)
+	return sortedNames(defs)
+}
+
+func (c *compiler) caseUseDefines(st *ast.SimultaneousCase) []string {
+	if len(st.Arms) == 0 {
+		return nil
+	}
+	return sortedNames(c.armDefs(st.Arms[0].Conc))
+}
+
+// compileIfUse translates a simultaneous if/use into multiplexed signal
+// paths. An if/use without an else arm infers a sample-and-hold: the
+// quantity tracks its defining expression while the condition holds and
+// keeps its value otherwise.
+func (c *compiler) compileIfUse(st *ast.SimultaneousIf) {
+	ctrl := c.compileControl(c.baseEnv(), st.Cond)
+
+	type arm struct {
+		ctrl *vhif.Net
+		defs armDef
+	}
+	arms := []arm{{ctrl: ctrl, defs: c.armDefs(st.Then)}}
+	for _, e := range st.Elifs {
+		arms = append(arms, arm{ctrl: c.compileControl(c.baseEnv(), e.Cond), defs: c.armDefs(e.Then)})
+	}
+	targets := sortedNames(arms[0].defs)
+
+	if len(st.Else) == 0 && len(st.Elifs) == 0 {
+		// Incomplete conditional definition: infer sample-and-hold.
+		for _, q := range targets {
+			in := c.compileExpr(c.baseEnv(), arms[0].defs[q])
+			sh := c.g.AddBlock(vhif.BSampleHold, q, in)
+			sh.SetCtrl(c.g, ctrl)
+			sh.Out.Name = q
+			c.nets[q] = sh.Out
+		}
+		return
+	}
+
+	elseDefs := c.armDefs(st.Else)
+	for _, a := range arms {
+		if !sameTargets(a.defs, arms[0].defs) {
+			c.errorf(st.SpanV, "if/use arms must define the same quantities")
+			return
+		}
+	}
+	if !sameTargets(elseDefs, arms[0].defs) {
+		c.errorf(st.SpanV, "if/use else arm must define the same quantities as the other arms")
+		return
+	}
+
+	for _, q := range targets {
+		// Build the selection chain from the innermost else outward.
+		net := c.compileExpr(c.baseEnv(), elseDefs[q])
+		for i := len(arms) - 1; i >= 0; i-- {
+			thenNet := c.compileExpr(c.baseEnv(), arms[i].defs[q])
+			mux := c.g.AddBlock(vhif.BMux, "", thenNet, net)
+			mux.SetCtrl(c.g, arms[i].ctrl)
+			net = mux.Out
+		}
+		net.Name = q
+		c.nets[q] = net
+	}
+}
+
+// compileCaseUse desugars a simultaneous case/use over a bit signal into a
+// mux chain: each non-others arm selects when the signal matches its choice.
+func (c *compiler) compileCaseUse(st *ast.SimultaneousCase) {
+	sigName, ok := unparen(st.Expr).(*ast.Name)
+	if !ok {
+		c.errorf(st.Expr.Span(), "case/use selector must be a signal name")
+		return
+	}
+	base := c.ctrl[sigName.Ident.Canon]
+	if base == nil {
+		c.errorf(st.Expr.Span(), "signal %q has no control realization", sigName.Ident.Name)
+		return
+	}
+	var others armDef
+	type selArm struct {
+		ctrl *vhif.Net
+		defs armDef
+	}
+	var arms []selArm
+	for _, a := range st.Arms {
+		defs := c.armDefs(a.Conc)
+		if a.Choices == nil {
+			others = defs
+			continue
+		}
+		for _, choice := range a.Choices {
+			ctrl := base
+			if _, isTrue, ok := boolLiteral(choice); ok && !isTrue {
+				ctrl = c.invertCtrl(base)
+			}
+			arms = append(arms, selArm{ctrl: ctrl, defs: defs})
+		}
+	}
+	if others == nil {
+		c.errorf(st.SpanV, "case/use requires an others arm")
+		return
+	}
+	for _, q := range sortedNames(others) {
+		net := c.compileExpr(c.baseEnv(), others[q])
+		for i := len(arms) - 1; i >= 0; i-- {
+			if arms[i].defs[q] == nil {
+				c.errorf(st.SpanV, "case/use arms must define the same quantities")
+				return
+			}
+			thenNet := c.compileExpr(c.baseEnv(), arms[i].defs[q])
+			mux := c.g.AddBlock(vhif.BMux, "", thenNet, net)
+			mux.SetCtrl(c.g, arms[i].ctrl)
+			net = mux.Out
+		}
+		net.Name = q
+		c.nets[q] = net
+	}
+}
+
+func sameTargets(a, b armDef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package corpus
+
+import (
+	"testing"
+
+	"vase/internal/compile"
+	"vase/internal/parser"
+	"vase/internal/sema"
+	"vase/internal/vhif"
+)
+
+// TestVHIFRoundTripAllDesigns: every compiled design's VHIF serialization
+// parses back to an identical serialization — the file format is lossless
+// for the whole corpus.
+func TestVHIFRoundTripAllDesigns(t *testing.T) {
+	var sources []struct{ name, src string }
+	for _, app := range Applications() {
+		sources = append(sources, struct{ name, src string }{app.Key, app.Source})
+	}
+	for _, app := range Extras() {
+		sources = append(sources, struct{ name, src string }{app.Key, app.Source})
+	}
+	sources = append(sources,
+		struct{ name, src string }{"fig3", Figure3Source},
+		struct{ name, src string }{"fig4", Figure4Source},
+	)
+	for _, sc := range sources {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			df, err := parser.Parse(sc.name+".vhd", sc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			d, err := sema.AnalyzeOne(df)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			m, err := compile.Compile(d)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			d1 := m.Dump()
+			m2, err := vhif.Parse(d1)
+			if err != nil {
+				t.Fatalf("vhif parse: %v\n%s", err, d1)
+			}
+			if d2 := m2.Dump(); d1 != d2 {
+				t.Errorf("round trip differs:\n--- original ---\n%s\n--- reparsed ---\n%s", d1, d2)
+			}
+			// The reparsed module carries the same Table 1 metrics.
+			if m.BlockCount() != m2.BlockCount() || m.StateCount() != m2.StateCount() ||
+				m.DatapathCount() != m2.DatapathCount() {
+				t.Errorf("metrics differ after round trip: %d/%d/%d vs %d/%d/%d",
+					m.BlockCount(), m.StateCount(), m.DatapathCount(),
+					m2.BlockCount(), m2.StateCount(), m2.DatapathCount())
+			}
+		})
+	}
+}

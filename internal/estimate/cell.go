@@ -1,0 +1,126 @@
+package estimate
+
+import (
+	"math"
+
+	"vase/internal/library"
+)
+
+// SystemSpec carries the design-wide signal requirements that size every
+// cell: signal bandwidth, peak swing, and per-output loading from port
+// annotations.
+type SystemSpec struct {
+	// Bandwidth is the highest signal frequency of interest, Hz.
+	Bandwidth float64
+	// PeakV is the maximum signal amplitude, V.
+	PeakV float64
+	// GBWGuard is the ratio of closed-loop bandwidth to signal bandwidth.
+	GBWGuard float64
+}
+
+// DefaultSystemSpec is an audio-range system: 20 kHz bandwidth, 1 V peak.
+func DefaultSystemSpec() SystemSpec {
+	return SystemSpec{Bandwidth: 20e3, PeakV: 1.0, GBWGuard: 10}
+}
+
+// IsDecisionCell reports whether the cell kind is a decision element
+// (comparator-class) whose op amps may be realized as single-stage OTAs.
+func IsDecisionCell(k library.CellKind) bool {
+	return k == library.CellComparator || k == library.CellSchmitt
+}
+
+// CellInstance describes one mapped component for estimation.
+type CellInstance struct {
+	Cell *library.Cell
+	// Gain is the largest absolute closed-loop gain of the instance.
+	Gain float64
+	// Inputs is the fan-in actually used.
+	Inputs int
+	// LoadRes/LoadCap describe an annotated external load on the
+	// instance's output (output stages).
+	LoadRes float64
+	LoadCap float64
+	// PeakOut is the required peak output amplitude, V (0 = system peak).
+	PeakOut float64
+}
+
+// CellEstimate is the sized result for one component instance.
+type CellEstimate struct {
+	OpAmps  []OpAmpDesign
+	AreaUm2 float64
+	Power   float64
+}
+
+// EstimateCell sizes the op amps of a cell instance and rolls up its area
+// and power.
+func EstimateCell(p Process, sys SystemSpec, inst CellInstance) (CellEstimate, error) {
+	var est CellEstimate
+	if sys.GBWGuard <= 0 {
+		sys.GBWGuard = 10
+	}
+	gain := math.Abs(inst.Gain)
+	if gain < 1 {
+		gain = 1
+	}
+	peak := inst.PeakOut
+	if peak == 0 {
+		peak = sys.PeakV
+	}
+
+	spec := DefaultSpec()
+	// Closed-loop bandwidth must cover the signal band with guard; the
+	// noise gain multiplies the required unity-gain frequency.
+	spec.UGF = math.Max(spec.UGF, sys.Bandwidth*sys.GBWGuard*gain)
+	// Full-power bandwidth: SR >= 2*pi*f*Vpeak with the same guard.
+	spec.SlewRate = math.Max(spec.SlewRate, 2*math.Pi*sys.Bandwidth*sys.GBWGuard/5*peak)
+	if inst.LoadCap > 0 {
+		spec.LoadCap = inst.LoadCap
+	}
+	if inst.LoadRes > 0 {
+		spec.LoadRes = inst.LoadRes
+	}
+	// Decision cells tolerate moderate open-loop gain, opening the
+	// single-stage OTA topology to component selection.
+	if IsDecisionCell(inst.Cell.Kind) {
+		spec.GainDB = 40
+	}
+
+	for i := 0; i < inst.Cell.OpAmps; i++ {
+		s := spec
+		if i > 0 {
+			// Internal op amps see on-chip loads only.
+			s.LoadRes = 0
+			s.LoadCap = 2e-12
+		}
+		topo, d, err := SelectTopology(p, s)
+		if err != nil {
+			return est, err
+		}
+		d.Topology = topo
+		est.OpAmps = append(est.OpAmps, d)
+		est.AreaUm2 += d.AreaUm2
+		est.Power += d.Power
+	}
+
+	// Passives. Resistor values scale with the gain spread; use a 10 kohm
+	// unit resistor and gain-scaled feedback elements.
+	const unitR = 10e3
+	nR := inst.Cell.Resistors
+	if inst.Inputs > 1 && inst.Cell.MaxInputs > 1 {
+		nR += inst.Inputs - 1
+	}
+	for i := 0; i < nR; i++ {
+		r := unitR
+		if i == 0 && gain > 1 {
+			r = unitR * gain // feedback resistor
+		}
+		est.AreaUm2 += ResistorArea(p, r)
+	}
+	for i := 0; i < inst.Cell.Capacitors; i++ {
+		est.AreaUm2 += CapacitorArea(p, 10e-12)
+	}
+	// Diodes and switches: fixed small footprints.
+	est.AreaUm2 += float64(inst.Cell.Diodes) * 60 * p.Overhead
+	est.AreaUm2 += float64(inst.Cell.Switches) * 120 * p.Overhead
+	return est, nil
+}

@@ -1,0 +1,242 @@
+// Package estimate implements the analog performance estimation used by the
+// VASE architecture generator to rank candidate mappings: first-order
+// square-law design of two-stage CMOS Miller op amps on a MOSIS
+// SCN-2.0 µm-class process, and area/power/bandwidth roll-ups for complete
+// component netlists.
+//
+// It substitutes for the (unpublished) estimation tools of Dhanwada/Nunez
+// (DATE'99 [17] [4]). The branch-and-bound mapper consumes only rank-order
+// area and pass/fail constraint signals, which this physically monotonic
+// analytic model preserves: more op amps, higher bandwidth-gain products and
+// higher slew requirements always cost more area and power.
+package estimate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Process holds the technology parameters of a CMOS process.
+type Process struct {
+	Name string
+	// Transconductance parameters µCox, in A/V².
+	KPn, KPp float64
+	// Threshold voltages, in V (VTp is negative).
+	VTn, VTp float64
+	// Channel-length modulation, 1/V.
+	LambdaN, LambdaP float64
+	// Minimum channel length and width, in µm.
+	Lmin, Wmin float64
+	// Supply voltage, in V.
+	Vdd float64
+	// Capacitor density for poly-poly caps, fF/µm².
+	CapDensity float64
+	// Sheet resistance of the resistor layer, ohm/square.
+	RSheet float64
+	// Routing/overhead multiplier applied to raw device area.
+	Overhead float64
+}
+
+// SCN20 approximates the MOSIS SCN 2.0 µm process the paper's receiver
+// experiment used.
+var SCN20 = Process{
+	Name:       "MOSIS SCN 2.0um",
+	KPn:        50e-6,
+	KPp:        17e-6,
+	VTn:        0.8,
+	VTp:        -0.9,
+	LambdaN:    0.05,
+	LambdaP:    0.06,
+	Lmin:       2.0,
+	Wmin:       3.0,
+	Vdd:        5.0,
+	CapDensity: 0.5,  // fF/µm²
+	RSheet:     1000, // ohm/square (high-resistance poly layer)
+	Overhead:   1.6,
+}
+
+// OpAmpSpec is the performance requirement for one op amp instance.
+type OpAmpSpec struct {
+	// UGF is the required unity-gain frequency, Hz.
+	UGF float64
+	// SlewRate is the required slew rate, V/s.
+	SlewRate float64
+	// LoadCap is the capacitive load, F.
+	LoadCap float64
+	// LoadRes is the resistive load, ohm (0 = none).
+	LoadRes float64
+	// GainDB is the required open-loop DC gain, dB.
+	GainDB float64
+}
+
+// DefaultSpec returns a baseline audio-range op amp requirement: the spec a
+// mapper uses when the system specification does not constrain a block.
+func DefaultSpec() OpAmpSpec {
+	return OpAmpSpec{
+		UGF:      1e6,   // 1 MHz
+		SlewRate: 1e6,   // 1 V/µs
+		LoadCap:  3e-12, // 3 pF on-chip internal load
+		GainDB:   60,
+	}
+}
+
+// OpAmpDesign is a sized op amp instance.
+type OpAmpDesign struct {
+	Spec OpAmpSpec
+	// Topology is the selected circuit topology (component selection).
+	Topology Topology
+	// Cc is the Miller compensation capacitor, F.
+	Cc float64
+	// ITail and I6 are the first- and second-stage bias currents, A.
+	ITail, I6 float64
+	// W and L are the transistor dimensions in µm, in the canonical
+	// two-stage order: M1/M2 input pair, M3/M4 mirror loads, M5 tail,
+	// M6 second-stage driver, M7 second-stage bias, M8 bias reference.
+	W, L [8]float64
+	// AreaUm2 is the estimated layout area including compensation cap and
+	// routing overhead, µm².
+	AreaUm2 float64
+	// Power is the static power, W.
+	Power float64
+	// AchievedUGF, AchievedSR, AchievedGainDB are the verified attributes.
+	AchievedUGF, AchievedSR, AchievedGainDB float64
+}
+
+// DesignOpAmp sizes a two-stage Miller-compensated CMOS op amp for the spec
+// following the standard square-law design procedure (Allen & Holberg):
+// compensation cap from the load for ~60° phase margin, tail current from
+// the slew requirement, input-pair transconductance from the UGF, and the
+// second stage from the mirror-pole condition.
+func DesignOpAmp(p Process, spec OpAmpSpec) (OpAmpDesign, error) {
+	d := OpAmpDesign{Spec: spec}
+	if spec.UGF <= 0 || spec.SlewRate <= 0 || spec.LoadCap <= 0 {
+		return d, fmt.Errorf("estimate: op amp spec requires positive UGF, slew rate and load (got %+v)", spec)
+	}
+	// Compensation: Cc >= 0.22*CL for 60 degrees phase margin; keep a floor
+	// so tiny loads still yield a realizable cap.
+	d.Cc = math.Max(0.22*spec.LoadCap, 1e-12)
+
+	// Slew rate fixes the tail current: SR = ITail / Cc.
+	d.ITail = spec.SlewRate * d.Cc
+	const iMin = 2e-6
+	if d.ITail < iMin {
+		d.ITail = iMin
+	}
+
+	// Input pair transconductance from the unity-gain frequency:
+	// gm1 = 2*pi*UGF*Cc.
+	gm1 := 2 * math.Pi * spec.UGF * d.Cc
+	// W/L of the input devices: gm^2 = 2*KPn*(W/L)*(ITail/2).
+	wl1 := gm1 * gm1 / (p.KPn * d.ITail)
+	if wl1 < 1 {
+		wl1 = 1
+	}
+
+	// Second stage: place the output pole beyond UGF: gm6 = 2.2*gm1*CL/Cc.
+	gm6 := 2.2 * gm1 * spec.LoadCap / d.Cc
+	wl6 := 16.0 // typical W/L for the PMOS driver
+	d.I6 = gm6 * gm6 / (2 * p.KPp * wl6)
+	if spec.LoadRes > 0 {
+		// The stage must also drive the resistive load at the peak swing.
+		iLoad := (p.Vdd / 2) / spec.LoadRes
+		if iLoad > d.I6 {
+			d.I6 = iLoad
+			wl6 = gm6 * gm6 / (2 * p.KPp * d.I6)
+			if wl6 < 4 {
+				wl6 = 4
+			}
+		}
+	}
+	if d.I6 < 2*iMin {
+		d.I6 = 2 * iMin
+	}
+
+	// Verify the achievable DC gain: Av = gm1*gm6*ro1*ro2-style two-stage
+	// gain under channel-length modulation.
+	l := 2 * p.Lmin // use 2x minimum length for gain
+	ro2 := 1 / ((p.LambdaN + p.LambdaP) / 2 * d.ITail / 2)
+	ro6 := 1 / ((p.LambdaN + p.LambdaP) / 2 * d.I6)
+	av := gm1 * ro2 * gm6 * ro6
+	d.AchievedGainDB = 20 * math.Log10(av)
+	if d.AchievedGainDB < spec.GainDB {
+		// Longer channels raise the gain quadratically in this first-order
+		// model; scale L (and area) until the gain target is met.
+		need := math.Pow(10, (spec.GainDB-d.AchievedGainDB)/20)
+		l *= math.Sqrt(need)
+		d.AchievedGainDB = spec.GainDB
+		if l > 50 {
+			return d, fmt.Errorf("estimate: gain of %.0f dB is not realizable (needs L=%.0f um)", spec.GainDB, l)
+		}
+	}
+
+	// Transistor dimensions.
+	dims := [8]float64{wl1, wl1, wl1 / 2, wl1 / 2, wl1, wl6, wl6 / 2, 2}
+	for i, wl := range dims {
+		d.L[i] = l
+		d.W[i] = math.Max(wl*l, p.Wmin)
+	}
+
+	// Area: devices + compensation cap + overhead.
+	var devArea float64
+	for i := range d.W {
+		devArea += d.W[i] * d.L[i]
+	}
+	capAreaUm2 := d.Cc * 1e15 / p.CapDensity // F -> fF -> µm²
+	d.AreaUm2 = (devArea + capAreaUm2) * p.Overhead
+
+	d.Power = (d.ITail + d.I6) * p.Vdd
+	d.AchievedUGF = gm1 / (2 * math.Pi * d.Cc)
+	d.AchievedSR = d.ITail / d.Cc
+	return d, nil
+}
+
+// MinOpAmp returns the minimum-area op amp of the process: every transistor
+// at minimum dimensions with the smallest compensation cap. Its area is the
+// MinArea constant of the paper's bounding rule.
+func MinOpAmp(p Process) OpAmpDesign {
+	d := OpAmpDesign{Cc: 1e-12, ITail: 2e-6, I6: 4e-6}
+	var devArea float64
+	for i := range d.W {
+		d.W[i] = p.Wmin
+		d.L[i] = p.Lmin
+		devArea += p.Wmin * p.Lmin
+	}
+	capArea := d.Cc * 1e15 / p.CapDensity
+	d.AreaUm2 = (devArea + capArea) * p.Overhead
+	d.Power = (d.ITail + d.I6) * p.Vdd
+	return d
+}
+
+// MinArea is the area of the minimum two-stage op amp, µm².
+func MinArea(p Process) float64 { return MinOpAmp(p).AreaUm2 }
+
+// MinOTAArea is the area of a minimum-dimension single-stage OTA (no
+// compensation capacitor), µm² — the smallest op amp any decision cell
+// (comparator, Schmitt trigger) can be realized with.
+func MinOTAArea(p Process) float64 {
+	return 8 * p.Wmin * p.Lmin * p.Overhead
+}
+
+// ResistorArea returns the layout area of a poly resistor of the given
+// value, µm², assuming a minimum-width (2 µm) high-resistance strip. The
+// narrow strip keeps the op amps dominant in total area, matching the cost
+// model the paper's bounding rule assumes.
+func ResistorArea(p Process, ohms float64) float64 {
+	if ohms <= 0 {
+		return 0
+	}
+	const w = 2.0
+	squares := ohms / p.RSheet
+	if squares < 1 {
+		squares = 1
+	}
+	return squares * w * w * p.Overhead
+}
+
+// CapacitorArea returns the layout area of a poly-poly capacitor, µm².
+func CapacitorArea(p Process, farads float64) float64 {
+	if farads <= 0 {
+		return 0
+	}
+	return farads * 1e15 / p.CapDensity * p.Overhead
+}

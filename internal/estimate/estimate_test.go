@@ -1,0 +1,201 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vase/internal/library"
+)
+
+func TestDesignOpAmpDefault(t *testing.T) {
+	d, err := DesignOpAmp(SCN20, DefaultSpec())
+	if err != nil {
+		t.Fatalf("design: %v", err)
+	}
+	if d.AreaUm2 <= 0 {
+		t.Errorf("area = %g, want > 0", d.AreaUm2)
+	}
+	if d.Power <= 0 {
+		t.Errorf("power = %g, want > 0", d.Power)
+	}
+	if d.AchievedUGF < DefaultSpec().UGF*0.99 {
+		t.Errorf("achieved UGF %g < spec %g", d.AchievedUGF, DefaultSpec().UGF)
+	}
+	if d.AchievedSR < DefaultSpec().SlewRate*0.99 {
+		t.Errorf("achieved SR %g < spec %g", d.AchievedSR, DefaultSpec().SlewRate)
+	}
+}
+
+func TestDesignRejectsInvalidSpec(t *testing.T) {
+	if _, err := DesignOpAmp(SCN20, OpAmpSpec{}); err == nil {
+		t.Error("expected error for zero spec")
+	}
+}
+
+func TestAreaMonotonicInUGF(t *testing.T) {
+	base := DefaultSpec()
+	prev := 0.0
+	for _, ugf := range []float64{1e6, 5e6, 20e6, 80e6} {
+		s := base
+		s.UGF = ugf
+		d, err := DesignOpAmp(SCN20, s)
+		if err != nil {
+			t.Fatalf("design at %g: %v", ugf, err)
+		}
+		if d.AreaUm2 < prev {
+			t.Errorf("area decreased with UGF: %g at %g Hz (prev %g)", d.AreaUm2, ugf, prev)
+		}
+		prev = d.AreaUm2
+	}
+}
+
+func TestPowerMonotonicInSlew(t *testing.T) {
+	base := DefaultSpec()
+	prev := 0.0
+	for _, sr := range []float64{1e6, 5e6, 20e6} {
+		s := base
+		s.SlewRate = sr
+		d, err := DesignOpAmp(SCN20, s)
+		if err != nil {
+			t.Fatalf("design: %v", err)
+		}
+		if d.Power < prev {
+			t.Errorf("power decreased with slew: %g at %g V/s", d.Power, sr)
+		}
+		prev = d.Power
+	}
+}
+
+func TestResistiveLoadRaisesPower(t *testing.T) {
+	s1 := DefaultSpec()
+	d1, err := DesignOpAmp(SCN20, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := s1
+	s2.LoadRes = 270 // the receiver's earphone load
+	d2, err := DesignOpAmp(SCN20, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Power <= d1.Power {
+		t.Errorf("driving 270 ohm should cost power: %g vs %g", d2.Power, d1.Power)
+	}
+}
+
+func TestMinOpAmpIsMinimal(t *testing.T) {
+	min := MinOpAmp(SCN20)
+	d, err := DesignOpAmp(SCN20, DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.AreaUm2 > d.AreaUm2 {
+		t.Errorf("MinOpAmp area %g exceeds a designed op amp %g", min.AreaUm2, d.AreaUm2)
+	}
+	if min.AreaUm2 <= 0 {
+		t.Error("MinArea must be positive")
+	}
+}
+
+func TestMinAreaLowerBoundProperty(t *testing.T) {
+	// Property: any feasible design has area >= MinArea (the soundness of
+	// the paper's bounding rule).
+	min := MinArea(SCN20)
+	f := func(ugfMHz, srV, clPF uint8) bool {
+		spec := OpAmpSpec{
+			UGF:      float64(ugfMHz%50+1) * 1e6,
+			SlewRate: float64(srV%20+1) * 1e6,
+			LoadCap:  float64(clPF%40+1) * 1e-12,
+			GainDB:   60,
+		}
+		d, err := DesignOpAmp(SCN20, spec)
+		if err != nil {
+			return true // infeasible specs are fine
+		}
+		return d.AreaUm2 >= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransistorDimensionsRespectMinimum(t *testing.T) {
+	d, err := DesignOpAmp(SCN20, DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.W {
+		if d.W[i] < SCN20.Wmin {
+			t.Errorf("W[%d] = %g below Wmin", i, d.W[i])
+		}
+		if d.L[i] < SCN20.Lmin {
+			t.Errorf("L[%d] = %g below Lmin", i, d.L[i])
+		}
+	}
+}
+
+func TestPassiveAreas(t *testing.T) {
+	if a := ResistorArea(SCN20, 10e3); a <= 0 {
+		t.Error("resistor area must be positive")
+	}
+	if ResistorArea(SCN20, 100e3) <= ResistorArea(SCN20, 10e3) {
+		t.Error("larger resistors need more area")
+	}
+	if CapacitorArea(SCN20, 10e-12) <= CapacitorArea(SCN20, 1e-12) {
+		t.Error("larger caps need more area")
+	}
+	if ResistorArea(SCN20, 0) != 0 || CapacitorArea(SCN20, 0) != 0 {
+		t.Error("zero-valued passives occupy no area")
+	}
+}
+
+func TestEstimateCellOpAmpCount(t *testing.T) {
+	for _, cell := range library.Catalog() {
+		inst := CellInstance{Cell: cell, Gain: 2, Inputs: 1}
+		est, err := EstimateCell(SCN20, DefaultSystemSpec(), inst)
+		if err != nil {
+			t.Errorf("estimate %s: %v", cell.Name, err)
+			continue
+		}
+		if len(est.OpAmps) != cell.OpAmps {
+			t.Errorf("%s: sized %d op amps, want %d", cell.Name, len(est.OpAmps), cell.OpAmps)
+		}
+		if est.AreaUm2 <= 0 {
+			t.Errorf("%s: area %g, want > 0", cell.Name, est.AreaUm2)
+		}
+	}
+}
+
+func TestEstimateCellGainRaisesArea(t *testing.T) {
+	cell := library.Get(library.CellInvAmp)
+	lo, err := EstimateCell(SCN20, DefaultSystemSpec(), CellInstance{Cell: cell, Gain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := EstimateCell(SCN20, DefaultSystemSpec(), CellInstance{Cell: cell, Gain: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.AreaUm2 <= lo.AreaUm2 {
+		t.Errorf("gain-80 amp should be larger than gain-2: %g vs %g", hi.AreaUm2, lo.AreaUm2)
+	}
+}
+
+func TestMultiplierCostsMoreThanAmp(t *testing.T) {
+	sys := DefaultSystemSpec()
+	amp, err := EstimateCell(SCN20, sys, CellInstance{Cell: library.Get(library.CellInvAmp), Gain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul, err := EstimateCell(SCN20, sys, CellInstance{Cell: library.Get(library.CellMultiplier), Gain: 1, Inputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mul.AreaUm2 <= amp.AreaUm2 {
+		t.Errorf("multiplier (%g) should dwarf a single amp (%g)", mul.AreaUm2, amp.AreaUm2)
+	}
+	if ratio := mul.AreaUm2 / amp.AreaUm2; math.IsNaN(ratio) || ratio < 2 {
+		t.Errorf("multiplier/amp area ratio = %.1f, want >= 2", ratio)
+	}
+}

@@ -1,0 +1,117 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology identifies an op-amp circuit topology from the component
+// library. Component selection — the VASE flow step after architecture
+// synthesis (Figure 1) — picks, per instance, the cheapest topology that
+// meets the instance's requirements.
+type Topology int
+
+// The op-amp topologies.
+const (
+	// TwoStage is the Miller-compensated two-stage amplifier: high gain,
+	// rail-ish swing, needs a compensation capacitor.
+	TwoStage Topology = iota
+	// SingleStageOTA is a single-stage transconductance amplifier: lower
+	// gain and swing, no compensation cap (load-compensated), smaller and
+	// faster for light duties such as comparators and followers.
+	SingleStageOTA
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case TwoStage:
+		return "two-stage Miller"
+	case SingleStageOTA:
+		return "single-stage OTA"
+	}
+	return fmt.Sprintf("topology(%d)", int(t))
+}
+
+// maxOTAGainDB is the open-loop gain a single-stage OTA can reach in this
+// process (gm*ro of one stage with long channels).
+const maxOTAGainDB = 45
+
+// DesignOTA sizes a single-stage OTA for the spec. The load capacitor is
+// the compensation: UGF = gm/(2*pi*CL), SR = Itail/CL.
+func DesignOTA(p Process, spec OpAmpSpec) (OpAmpDesign, error) {
+	d := OpAmpDesign{Spec: spec}
+	if spec.UGF <= 0 || spec.SlewRate <= 0 || spec.LoadCap <= 0 {
+		return d, fmt.Errorf("estimate: OTA spec requires positive UGF, slew rate and load (got %+v)", spec)
+	}
+	if spec.GainDB > maxOTAGainDB {
+		return d, fmt.Errorf("estimate: %g dB exceeds a single-stage OTA (max %d dB)", spec.GainDB, maxOTAGainDB)
+	}
+	if spec.LoadRes > 0 {
+		return d, fmt.Errorf("estimate: an OTA cannot drive a resistive load")
+	}
+	d.Cc = 0 // load-compensated
+	d.ITail = spec.SlewRate * spec.LoadCap
+	const iMin = 2e-6
+	if d.ITail < iMin {
+		d.ITail = iMin
+	}
+	gm := 2 * math.Pi * spec.UGF * spec.LoadCap
+	wl1 := gm * gm / (p.KPn * d.ITail)
+	if wl1 < 1 {
+		wl1 = 1
+	}
+	l := 2 * p.Lmin
+	// Single-stage gain: gm*ro.
+	ro := 1 / ((p.LambdaN + p.LambdaP) / 2 * d.ITail / 2)
+	d.AchievedGainDB = 20 * math.Log10(gm*ro)
+	if d.AchievedGainDB < spec.GainDB {
+		need := math.Pow(10, (spec.GainDB-d.AchievedGainDB)/20)
+		l *= need // single-stage gain is ~linear in L in this model
+		d.AchievedGainDB = spec.GainDB
+		if l > 50 {
+			return d, fmt.Errorf("estimate: OTA gain of %g dB not realizable", spec.GainDB)
+		}
+	}
+	// Five transistors: differential pair, mirror loads, tail (plus bias
+	// references to fill the canonical array).
+	dims := [8]float64{wl1, wl1, wl1 / 2, wl1 / 2, wl1, 2, 2, 2}
+	var devArea float64
+	for i, wl := range dims {
+		d.L[i] = l
+		d.W[i] = math.Max(wl*l, p.Wmin)
+		devArea += d.W[i] * d.L[i]
+	}
+	d.AreaUm2 = devArea * p.Overhead
+	d.Power = d.ITail * p.Vdd
+	d.AchievedUGF = gm / (2 * math.Pi * spec.LoadCap)
+	d.AchievedSR = d.ITail / spec.LoadCap
+	return d, nil
+}
+
+// SelectTopology performs component selection for one op-amp instance: it
+// sizes every library topology that can meet the spec and returns the
+// minimum-area design with its topology.
+func SelectTopology(p Process, spec OpAmpSpec) (Topology, OpAmpDesign, error) {
+	best := Topology(-1)
+	var bestD OpAmpDesign
+	consider := func(t Topology, d OpAmpDesign, err error) {
+		if err != nil {
+			return
+		}
+		if best < 0 || d.AreaUm2 < bestD.AreaUm2 {
+			best, bestD = t, d
+		}
+	}
+	d2, err2 := DesignOpAmp(p, spec)
+	consider(TwoStage, d2, err2)
+	d1, err1 := DesignOTA(p, spec)
+	consider(SingleStageOTA, d1, err1)
+	if best < 0 {
+		if err2 != nil {
+			return 0, OpAmpDesign{}, err2
+		}
+		return 0, OpAmpDesign{}, err1
+	}
+	return best, bestD, nil
+}

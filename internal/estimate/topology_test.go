@@ -1,0 +1,128 @@
+package estimate
+
+import (
+	"testing"
+
+	"vase/internal/library"
+)
+
+func TestOTASmallerThanTwoStage(t *testing.T) {
+	spec := DefaultSpec()
+	spec.GainDB = 40
+	ota, err := DesignOTA(SCN20, spec)
+	if err != nil {
+		t.Fatalf("ota: %v", err)
+	}
+	two, err := DesignOpAmp(SCN20, spec)
+	if err != nil {
+		t.Fatalf("two-stage: %v", err)
+	}
+	if ota.AreaUm2 >= two.AreaUm2 {
+		t.Errorf("OTA (%g) should be smaller than two-stage (%g): no compensation cap",
+			ota.AreaUm2, two.AreaUm2)
+	}
+}
+
+func TestOTARejectsHighGain(t *testing.T) {
+	spec := DefaultSpec()
+	spec.GainDB = 60
+	if _, err := DesignOTA(SCN20, spec); err == nil {
+		t.Error("60 dB should exceed a single stage")
+	}
+}
+
+func TestOTARejectsResistiveLoad(t *testing.T) {
+	spec := DefaultSpec()
+	spec.GainDB = 40
+	spec.LoadRes = 270
+	if _, err := DesignOTA(SCN20, spec); err == nil {
+		t.Error("an OTA cannot drive a resistive load")
+	}
+}
+
+func TestSelectTopologyPicksOTAForDecisions(t *testing.T) {
+	spec := DefaultSpec()
+	spec.GainDB = 40
+	topo, d, err := SelectTopology(SCN20, spec)
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	if topo != SingleStageOTA {
+		t.Errorf("selected %v, want single-stage OTA for a 40 dB spec", topo)
+	}
+	if d.AreaUm2 <= 0 {
+		t.Error("empty design")
+	}
+}
+
+func TestSelectTopologyPicksTwoStageForPrecision(t *testing.T) {
+	spec := DefaultSpec() // 60 dB
+	topo, _, err := SelectTopology(SCN20, spec)
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	if topo != TwoStage {
+		t.Errorf("selected %v, want two-stage for 60 dB", topo)
+	}
+}
+
+func TestSelectTopologyPropagatesErrors(t *testing.T) {
+	if _, _, err := SelectTopology(SCN20, OpAmpSpec{}); err == nil {
+		t.Error("empty spec should fail both topologies")
+	}
+}
+
+func TestComparatorCellUsesOTA(t *testing.T) {
+	est, err := EstimateCell(SCN20, DefaultSystemSpec(), CellInstance{
+		Cell: library.Get(library.CellComparator), Gain: 1, Inputs: 1,
+	})
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	if est.OpAmps[0].Topology != SingleStageOTA {
+		t.Errorf("comparator realized as %v, want OTA", est.OpAmps[0].Topology)
+	}
+}
+
+func TestAmplifierCellUsesTwoStage(t *testing.T) {
+	est, err := EstimateCell(SCN20, DefaultSystemSpec(), CellInstance{
+		Cell: library.Get(library.CellSummingAmp), Gain: 4, Inputs: 2,
+	})
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	if est.OpAmps[0].Topology != TwoStage {
+		t.Errorf("summing amp realized as %v, want two-stage", est.OpAmps[0].Topology)
+	}
+}
+
+func TestMinOTAAreaBelowMinArea(t *testing.T) {
+	if MinOTAArea(SCN20) >= MinArea(SCN20) {
+		t.Errorf("OTA floor (%g) should be below the two-stage floor (%g)",
+			MinOTAArea(SCN20), MinArea(SCN20))
+	}
+}
+
+func TestBoundSoundnessWithTopologies(t *testing.T) {
+	// Every selectable design's area is at least its class floor: the
+	// class-aware bounding rule stays admissible.
+	for _, gain := range []float64{40, 45} {
+		spec := DefaultSpec()
+		spec.GainDB = gain
+		_, d, err := SelectTopology(SCN20, spec)
+		if err != nil {
+			continue
+		}
+		if d.AreaUm2 < MinOTAArea(SCN20) {
+			t.Errorf("design at %g dB smaller than the OTA floor: %g", gain, d.AreaUm2)
+		}
+	}
+	spec := DefaultSpec()
+	_, d, err := SelectTopology(SCN20, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AreaUm2 < MinArea(SCN20) {
+		t.Errorf("two-stage design smaller than its floor: %g < %g", d.AreaUm2, MinArea(SCN20))
+	}
+}

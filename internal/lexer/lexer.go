@@ -1,0 +1,274 @@
+// Package lexer implements lexical analysis of VASS source text.
+//
+// The scanner follows VHDL-AMS lexical rules: identifiers are
+// case-insensitive (keywords are recognized in any case and identifier
+// spelling is preserved), "--" starts a comment running to end of line,
+// abstract literals may carry exponents and based forms (16#ff#), and the
+// apostrophe is disambiguated between character literals ('0') and the
+// attribute tick (line'ABOVE) by the preceding token, exactly as VHDL
+// scanners must.
+package lexer
+
+import (
+	"strings"
+
+	"vase/internal/source"
+	"vase/internal/token"
+)
+
+// Token is one lexical token with its kind, source span, and raw text.
+type Token struct {
+	Kind token.Kind
+	Span source.Span
+	Text string
+}
+
+// Lexer scans a source.File into tokens.
+type Lexer struct {
+	file   *source.File
+	src    string
+	offset int
+	errs   *source.ErrorList
+	// last is the kind of the previous non-comment token; it drives the
+	// apostrophe disambiguation.
+	last token.Kind
+}
+
+// New returns a Lexer over f that records lexical errors into errs.
+func New(f *source.File, errs *source.ErrorList) *Lexer {
+	return &Lexer{file: f, src: f.Text(), errs: errs, last: token.ILLEGAL}
+}
+
+// ScanAll scans the whole file and returns the token stream, excluding
+// comments and including a final EOF token.
+func ScanAll(f *source.File, errs *source.ErrorList) []Token {
+	lx := New(f, errs)
+	var toks []Token
+	for {
+		t := lx.Next()
+		if t.Kind == token.COMMENT {
+			continue
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (lx *Lexer) errorf(at source.Pos, format string, args ...any) {
+	lx.errs.Add(lx.file.Position(at), format, args...)
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.offset < len(lx.src) {
+		return lx.src[lx.offset]
+	}
+	return 0
+}
+
+func (lx *Lexer) peekAt(i int) byte {
+	if lx.offset+i < len(lx.src) {
+		return lx.src[lx.offset+i]
+	}
+	return 0
+}
+
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isIdentChar(c byte) bool { return isLetter(c) || isDigit(c) || c == '_' }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// Next scans and returns the next token, including comments.
+func (lx *Lexer) Next() Token {
+	for lx.offset < len(lx.src) && isSpace(lx.src[lx.offset]) {
+		lx.offset++
+	}
+	start := source.Pos(lx.offset)
+	if lx.offset >= len(lx.src) {
+		return lx.emit(token.EOF, start, "")
+	}
+	c := lx.src[lx.offset]
+	switch {
+	case isLetter(c):
+		return lx.scanIdent(start)
+	case isDigit(c):
+		return lx.scanNumber(start)
+	case c == '"':
+		return lx.scanString(start)
+	case c == '\'':
+		return lx.scanApostrophe(start)
+	case c == '-' && lx.peekAt(1) == '-':
+		return lx.scanComment(start)
+	}
+	return lx.scanOperator(start)
+}
+
+func (lx *Lexer) emit(kind token.Kind, start source.Pos, text string) Token {
+	if kind != token.COMMENT {
+		lx.last = kind
+	}
+	return Token{Kind: kind, Span: source.NewSpan(start, source.Pos(lx.offset)), Text: text}
+}
+
+func (lx *Lexer) scanIdent(start source.Pos) Token {
+	for lx.offset < len(lx.src) && isIdentChar(lx.src[lx.offset]) {
+		lx.offset++
+	}
+	text := lx.src[start:lx.offset]
+	if strings.HasSuffix(text, "_") {
+		lx.errorf(start, "identifier %q may not end with an underscore", text)
+	}
+	return lx.emit(token.Lookup(text), start, text)
+}
+
+func (lx *Lexer) scanNumber(start source.Pos) Token {
+	kind := token.INTLIT
+	lx.scanDigits()
+	if lx.peek() == '#' {
+		// Based literal: base#value# with optional exponent.
+		lx.offset++ // '#'
+		for lx.offset < len(lx.src) && (isIdentChar(lx.src[lx.offset]) || lx.src[lx.offset] == '.') {
+			if lx.src[lx.offset] == '.' {
+				kind = token.REALLIT
+			}
+			lx.offset++
+		}
+		if lx.peek() != '#' {
+			lx.errorf(start, "based literal missing closing '#'")
+		} else {
+			lx.offset++
+		}
+	} else {
+		if lx.peek() == '.' && isDigit(lx.peekAt(1)) {
+			kind = token.REALLIT
+			lx.offset++
+			lx.scanDigits()
+		}
+		if c := lx.peek(); c == 'e' || c == 'E' {
+			next := lx.peekAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(lx.peekAt(2))) {
+				kind = token.REALLIT
+				lx.offset++
+				if c := lx.peek(); c == '+' || c == '-' {
+					lx.offset++
+				}
+				lx.scanDigits()
+			}
+		}
+	}
+	return lx.emit(kind, start, lx.src[start:lx.offset])
+}
+
+func (lx *Lexer) scanDigits() {
+	for lx.offset < len(lx.src) && (isDigit(lx.src[lx.offset]) || lx.src[lx.offset] == '_') {
+		lx.offset++
+	}
+}
+
+func (lx *Lexer) scanString(start source.Pos) Token {
+	lx.offset++ // opening quote
+	var b strings.Builder
+	for lx.offset < len(lx.src) {
+		c := lx.src[lx.offset]
+		if c == '"' {
+			if lx.peekAt(1) == '"' { // doubled quote escapes a quote
+				b.WriteByte('"')
+				lx.offset += 2
+				continue
+			}
+			lx.offset++
+			return lx.emit(token.STRLIT, start, b.String())
+		}
+		if c == '\n' {
+			break
+		}
+		b.WriteByte(c)
+		lx.offset++
+	}
+	lx.errorf(start, "unterminated string literal")
+	return lx.emit(token.STRLIT, start, b.String())
+}
+
+// scanApostrophe resolves the three uses of ': a character/bit literal, or
+// the attribute tick. After an identifier, closing parenthesis, or the ALL
+// keyword, an apostrophe is always the attribute tick ("line'ABOVE").
+func (lx *Lexer) scanApostrophe(start source.Pos) Token {
+	attrContext := lx.last == token.IDENT || lx.last == token.RPAREN || lx.last == token.ALL
+	if !attrContext && lx.peekAt(2) == '\'' {
+		c := lx.peekAt(1)
+		lx.offset += 3
+		if c == '0' || c == '1' {
+			return lx.emit(token.BITLIT, start, string(c))
+		}
+		return lx.emit(token.CHARLIT, start, string(c))
+	}
+	lx.offset++
+	return lx.emit(token.TICK, start, "'")
+}
+
+func (lx *Lexer) scanComment(start source.Pos) Token {
+	for lx.offset < len(lx.src) && lx.src[lx.offset] != '\n' {
+		lx.offset++
+	}
+	return lx.emit(token.COMMENT, start, lx.src[start:lx.offset])
+}
+
+func (lx *Lexer) scanOperator(start source.Pos) Token {
+	c := lx.src[lx.offset]
+	lx.offset++
+	two := func(next byte, k2 token.Kind, k1 token.Kind) Token {
+		if lx.peek() == next {
+			lx.offset++
+			return lx.emit(k2, start, lx.src[start:lx.offset])
+		}
+		return lx.emit(k1, start, lx.src[start:lx.offset])
+	}
+	switch c {
+	case '+':
+		return lx.emit(token.PLUS, start, "+")
+	case '-':
+		return lx.emit(token.MINUS, start, "-")
+	case '*':
+		return two('*', token.DSTAR, token.STAR)
+	case '/':
+		return two('=', token.NEQ, token.SLASH)
+	case '=':
+		if lx.peek() == '=' {
+			lx.offset++
+			return lx.emit(token.EQEQ, start, "==")
+		}
+		return two('>', token.ARROW, token.EQ)
+	case '<':
+		return two('=', token.LE, token.LT)
+	case '>':
+		return two('=', token.GE, token.GT)
+	case ':':
+		return two('=', token.ASSIGN, token.COLON)
+	case '&':
+		return lx.emit(token.AMP, start, "&")
+	case '(':
+		return lx.emit(token.LPAREN, start, "(")
+	case ')':
+		return lx.emit(token.RPAREN, start, ")")
+	case '[':
+		return lx.emit(token.LBRACKET, start, "[")
+	case ']':
+		return lx.emit(token.RBRACKET, start, "]")
+	case ',':
+		return lx.emit(token.COMMA, start, ",")
+	case ';':
+		return lx.emit(token.SEMICOLON, start, ";")
+	case '.':
+		return lx.emit(token.DOT, start, ".")
+	case '|':
+		return lx.emit(token.BAR, start, "|")
+	}
+	lx.errorf(start, "illegal character %q", string(c))
+	return lx.emit(token.ILLEGAL, start, string(c))
+}

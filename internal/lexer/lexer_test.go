@@ -1,0 +1,217 @@
+package lexer
+
+import (
+	"testing"
+
+	"vase/internal/source"
+	"vase/internal/token"
+)
+
+func scan(t *testing.T, src string) []Token {
+	t.Helper()
+	var errs source.ErrorList
+	toks := ScanAll(source.NewFile("test.vhd", src), &errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("unexpected scan errors: %v", err)
+	}
+	return toks
+}
+
+func kinds(toks []Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	want = append(want, token.EOF)
+	got := kinds(scan(t, src))
+	if len(got) != len(want) {
+		t.Fatalf("scan(%q): got %d tokens %v, want %d %v", src, len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scan(%q): token %d = %s, want %s", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	expectKinds(t, "ENTITY entity Entity eNtItY", token.ENTITY, token.ENTITY, token.ENTITY, token.ENTITY)
+}
+
+func TestIdentifiers(t *testing.T) {
+	toks := scan(t, "earph rvar r1c Aline")
+	for i, want := range []string{"earph", "rvar", "r1c", "Aline"} {
+		if toks[i].Kind != token.IDENT || toks[i].Text != want {
+			t.Errorf("token %d = %s %q, want identifier %q", i, toks[i].Kind, toks[i].Text, want)
+		}
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"270", token.INTLIT},
+		{"1_000", token.INTLIT},
+		{"285.0", token.REALLIT},
+		{"285.0e-3", token.REALLIT},
+		{"1.5E6", token.REALLIT},
+		{"16#ff#", token.INTLIT},
+		{"2#1010#", token.INTLIT},
+	}
+	for _, c := range cases {
+		toks := scan(t, c.src)
+		if toks[0].Kind != c.kind {
+			t.Errorf("scan(%q) = %s, want %s", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Text != c.src {
+			t.Errorf("scan(%q) text = %q", c.src, toks[0].Text)
+		}
+	}
+}
+
+func TestIntegerExponentNotConsumedWithoutDigits(t *testing.T) {
+	// "3e" is the integer 3 followed by identifier e, not a malformed real.
+	expectKinds(t, "3e", token.INTLIT, token.IDENT)
+}
+
+func TestBitAndCharLiterals(t *testing.T) {
+	toks := scan(t, "c1 <= '1';")
+	want := []token.Kind{token.IDENT, token.LE, token.BITLIT, token.SEMICOLON, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if toks[2].Text != "1" {
+		t.Errorf("bit literal text = %q, want \"1\"", toks[2].Text)
+	}
+}
+
+func TestAttributeTickAfterIdent(t *testing.T) {
+	// line'ABOVE(Vth) must scan the apostrophe as a tick, not a char literal.
+	expectKinds(t, "line'ABOVE(Vth)",
+		token.IDENT, token.TICK, token.IDENT, token.LPAREN, token.IDENT, token.RPAREN)
+}
+
+func TestAttributeTickAfterParen(t *testing.T) {
+	expectKinds(t, "(a + b)'dot",
+		token.LPAREN, token.IDENT, token.PLUS, token.IDENT, token.RPAREN, token.TICK, token.IDENT)
+}
+
+func TestTickThenBitLiteral(t *testing.T) {
+	// After '=' a '1' is a bit literal again.
+	expectKinds(t, "c1 = '1'", token.IDENT, token.EQ, token.BITLIT)
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / ** == = /= < <= > >= := => &",
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.DSTAR,
+		token.EQEQ, token.EQ, token.NEQ, token.LT, token.LE, token.GT,
+		token.GE, token.ASSIGN, token.ARROW, token.AMP)
+}
+
+func TestPunctuation(t *testing.T) {
+	expectKinds(t, "( ) , ; : . |",
+		token.LPAREN, token.RPAREN, token.COMMA, token.SEMICOLON,
+		token.COLON, token.DOT, token.BAR)
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	expectKinds(t, "a -- this is a comment == b\nb",
+		token.IDENT, token.IDENT)
+}
+
+func TestSimultaneousStatement(t *testing.T) {
+	expectKinds(t, "earph == (Aline * line + Alocal * local) * rvar;",
+		token.IDENT, token.EQEQ, token.LPAREN, token.IDENT, token.STAR,
+		token.IDENT, token.PLUS, token.IDENT, token.STAR, token.IDENT,
+		token.RPAREN, token.STAR, token.IDENT, token.SEMICOLON)
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks := scan(t, `"0101"`)
+	if toks[0].Kind != token.STRLIT || toks[0].Text != "0101" {
+		t.Errorf("got %s %q, want string \"0101\"", toks[0].Kind, toks[0].Text)
+	}
+}
+
+func TestStringEscapedQuote(t *testing.T) {
+	toks := scan(t, `"a""b"`)
+	if toks[0].Text != `a"b` {
+		t.Errorf("escaped quote text = %q, want %q", toks[0].Text, `a"b`)
+	}
+}
+
+func TestUnterminatedStringReported(t *testing.T) {
+	var errs source.ErrorList
+	ScanAll(source.NewFile("t", `"abc`), &errs)
+	if errs.Len() == 0 {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestIllegalCharacterReported(t *testing.T) {
+	var errs source.ErrorList
+	toks := ScanAll(source.NewFile("t", "a $ b"), &errs)
+	if errs.Len() == 0 {
+		t.Fatal("expected error for illegal character")
+	}
+	if toks[1].Kind != token.ILLEGAL {
+		t.Errorf("token 1 = %s, want ILLEGAL", toks[1].Kind)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	toks := scan(t, "abc def")
+	if toks[0].Span.Start != 0 || toks[0].Span.End != 3 {
+		t.Errorf("first span = [%d,%d), want [0,3)", toks[0].Span.Start, toks[0].Span.End)
+	}
+	if toks[1].Span.Start != 4 || toks[1].Span.End != 7 {
+		t.Errorf("second span = [%d,%d), want [4,7)", toks[1].Span.Start, toks[1].Span.End)
+	}
+}
+
+func TestTrailingUnderscoreRejected(t *testing.T) {
+	var errs source.ErrorList
+	ScanAll(source.NewFile("t", "bad_ "), &errs)
+	if errs.Len() == 0 {
+		t.Fatal("expected error for trailing underscore")
+	}
+}
+
+func TestWhitespaceVariants(t *testing.T) {
+	expectKinds(t, "a\tb\r\nc", token.IDENT, token.IDENT, token.IDENT)
+}
+
+func TestEmptyInput(t *testing.T) {
+	expectKinds(t, "")
+}
+
+func TestFigure2Snippet(t *testing.T) {
+	src := `
+ENTITY telephone IS
+PORT (
+  QUANTITY line : IN real IS voltage;
+  QUANTITY earph : OUT real IS voltage limited
+);
+END ENTITY;`
+	var errs source.ErrorList
+	toks := ScanAll(source.NewFile("fig2", src), &errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("scan errors: %v", err)
+	}
+	if len(toks) < 20 {
+		t.Fatalf("too few tokens: %d", len(toks))
+	}
+	if toks[0].Kind != token.ENTITY {
+		t.Errorf("first token = %s, want entity", toks[0].Kind)
+	}
+}

@@ -1,0 +1,265 @@
+// Package library models the CMOS analog cell library that the VASE
+// architecture generator maps VHIF blocks onto. It substitutes for the
+// Campisi cell library (University of Cincinnati, 1998) referenced by the
+// paper: a catalog of op-amp-level circuits — amplifiers, integrators,
+// log/antilog elements, comparators, Schmitt triggers, sample-and-hold
+// stages, switches, multiplexers, ADCs and output stages — each with its
+// op-amp budget, passive component counts, and realizable parameter ranges.
+//
+// Area and performance of a cell instance are computed by internal/estimate
+// from the instance parameters (gains, thresholds, load) and the system
+// signal specification.
+package library
+
+import "fmt"
+
+// CellKind identifies a library circuit class.
+type CellKind int
+
+// The library cell kinds.
+const (
+	CellInvAmp      CellKind = iota // inverting amplifier
+	CellNonInvAmp                   // non-inverting amplifier
+	CellSummingAmp                  // weighted summing amplifier (n inputs)
+	CellDiffAmp                     // difference amplifier
+	CellPGA                         // programmable-gain amplifier (switched gain set)
+	CellFollower                    // unity-gain buffer
+	CellIntegrator                  // (summing) Miller integrator
+	CellDiff                        // differentiator
+	CellLogAmp                      // logarithmic amplifier
+	CellAntilogAmp                  // anti-log (exponential) amplifier
+	CellMultiplier                  // four-quadrant multiplier (log/antilog core)
+	CellDivider                     // analog divider
+	CellSqrt                        // square-root extractor
+	CellRectifier                   // precision rectifier (abs)
+	CellMinMax                      // min/max selector
+	CellSineShaper                  // sine/cosine waveshaper
+	CellComparator                  // zero-cross detector / comparator (with hysteresis)
+	CellSchmitt                     // Schmitt trigger
+	CellSampleHold                  // sample-and-hold
+	CellSwitch                      // analog switch (transmission gate)
+	CellMux                         // 2:1 analog multiplexer
+	CellADC                         // successive-approximation ADC
+	CellOutputStage                 // output drive stage with optional limiting
+	CellLimiter                     // diode limiter
+	CellLowPass                     // inferred active RC low-pass filter
+	CellBandPass                    // inferred biquad band-pass filter
+	numCellKinds
+)
+
+var cellKindNames = [...]string{
+	CellInvAmp: "inv_amp", CellNonInvAmp: "noninv_amp", CellSummingAmp: "summing_amp",
+	CellDiffAmp: "diff_amp", CellPGA: "pga", CellFollower: "follower",
+	CellIntegrator: "integrator", CellDiff: "differentiator",
+	CellLogAmp: "log_amp", CellAntilogAmp: "antilog_amp",
+	CellMultiplier: "multiplier", CellDivider: "divider", CellSqrt: "sqrt",
+	CellRectifier: "rectifier", CellMinMax: "minmax", CellSineShaper: "sine_shaper",
+	CellComparator: "zero_cross_det", CellSchmitt: "schmitt_trigger",
+	CellSampleHold: "sample_hold", CellSwitch: "analog_switch", CellMux: "mux",
+	CellADC: "adc", CellOutputStage: "output_stage", CellLimiter: "limiter",
+	CellLowPass: "lowpass_filter", CellBandPass: "bandpass_filter",
+}
+
+// String returns the cell kind mnemonic.
+func (k CellKind) String() string {
+	if k >= 0 && int(k) < len(cellKindNames) {
+		return cellKindNames[k]
+	}
+	return fmt.Sprintf("cell(%d)", int(k))
+}
+
+// IsAmplifier reports whether the kind is counted as an amplifier in
+// synthesis-result summaries.
+func (k CellKind) IsAmplifier() bool {
+	switch k {
+	case CellInvAmp, CellNonInvAmp, CellSummingAmp, CellDiffAmp, CellPGA, CellFollower:
+		return true
+	}
+	return false
+}
+
+// Cell is one library circuit topology.
+type Cell struct {
+	Kind CellKind
+	Name string
+	// OpAmps is the op-amp budget of the topology; the dominant area and
+	// the quantity the paper's sequencing rule minimizes.
+	OpAmps int
+	// Passive/device counts, used by the area estimator.
+	Resistors, Capacitors, Diodes, Switches int
+	// MaxInputs bounds the fan-in of summing structures (0 = 1 input).
+	MaxInputs int
+	// GainMin/GainMax bound the realizable closed-loop |gain| of one stage.
+	GainMin, GainMax float64
+	// Description of the circuit (Franco-style reference topology).
+	Desc string
+}
+
+// String renders "name (N op amps)".
+func (c *Cell) String() string { return fmt.Sprintf("%s (%d op amps)", c.Name, c.OpAmps) }
+
+// catalog is the cell set, indexed by kind.
+var catalog = map[CellKind]*Cell{
+	CellInvAmp: {
+		Kind: CellInvAmp, Name: "inverting amplifier", OpAmps: 1,
+		Resistors: 2, MaxInputs: 1, GainMin: 0.05, GainMax: 100,
+		Desc: "single op amp with input and feedback resistors; gain -Rf/Ri",
+	},
+	CellNonInvAmp: {
+		Kind: CellNonInvAmp, Name: "non-inverting amplifier", OpAmps: 1,
+		Resistors: 2, MaxInputs: 1, GainMin: 1, GainMax: 100,
+		Desc: "single op amp with feedback divider; gain 1+Rf/Ri",
+	},
+	CellSummingAmp: {
+		Kind: CellSummingAmp, Name: "summing amplifier", OpAmps: 1,
+		Resistors: 5, MaxInputs: 4, GainMin: 0.05, GainMax: 100,
+		Desc: "inverting summer: out = -sum(ki*vi), one resistor per input",
+	},
+	CellDiffAmp: {
+		Kind: CellDiffAmp, Name: "difference amplifier", OpAmps: 1,
+		Resistors: 4, MaxInputs: 2, GainMin: 0.05, GainMax: 100,
+		Desc: "classic four-resistor difference amplifier",
+	},
+	CellPGA: {
+		Kind: CellPGA, Name: "programmable-gain amplifier", OpAmps: 1,
+		Resistors: 4, Switches: 2, MaxInputs: 1, GainMin: 0.05, GainMax: 100,
+		Desc: "inverting amplifier with a switched feedback-resistor network",
+	},
+	CellFollower: {
+		Kind: CellFollower, Name: "voltage follower", OpAmps: 1,
+		MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "unity-gain buffer for interfacing / loading isolation",
+	},
+	CellIntegrator: {
+		Kind: CellIntegrator, Name: "integrator", OpAmps: 1,
+		Resistors: 2, Capacitors: 1, MaxInputs: 4, GainMin: 0.01, GainMax: 1e6,
+		Desc: "summing Miller integrator: out = -sum(1/(RiC) * integral vi)",
+	},
+	CellDiff: {
+		Kind: CellDiff, Name: "differentiator", OpAmps: 1,
+		Resistors: 2, Capacitors: 1, MaxInputs: 1, GainMin: 0.01, GainMax: 1e6,
+		Desc: "RC differentiator with high-frequency roll-off",
+	},
+	CellLogAmp: {
+		Kind: CellLogAmp, Name: "log amplifier", OpAmps: 1,
+		Resistors: 1, Diodes: 2, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "transdiode log converter with temperature compensation",
+	},
+	CellAntilogAmp: {
+		Kind: CellAntilogAmp, Name: "anti-log amplifier", OpAmps: 1,
+		Resistors: 1, Diodes: 2, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "exponential converter (diode in the input branch)",
+	},
+	CellMultiplier: {
+		Kind: CellMultiplier, Name: "four-quadrant multiplier", OpAmps: 4,
+		Resistors: 8, Diodes: 4, MaxInputs: 2, GainMin: 1, GainMax: 1,
+		Desc: "log-sum-antilog multiplier core with level shifting",
+	},
+	CellDivider: {
+		Kind: CellDivider, Name: "analog divider", OpAmps: 4,
+		Resistors: 8, Diodes: 4, MaxInputs: 2, GainMin: 1, GainMax: 1,
+		Desc: "log-difference-antilog divider core",
+	},
+	CellSqrt: {
+		Kind: CellSqrt, Name: "square-root extractor", OpAmps: 3,
+		Resistors: 6, Diodes: 2, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "log / halve / antilog chain",
+	},
+	CellRectifier: {
+		Kind: CellRectifier, Name: "precision rectifier", OpAmps: 2,
+		Resistors: 5, Diodes: 2, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "two-op-amp absolute-value circuit",
+	},
+	CellMinMax: {
+		Kind: CellMinMax, Name: "min/max selector", OpAmps: 2,
+		Resistors: 4, Diodes: 2, MaxInputs: 2, GainMin: 1, GainMax: 1,
+		Desc: "precision diode selector",
+	},
+	CellSineShaper: {
+		Kind: CellSineShaper, Name: "sine shaper", OpAmps: 2,
+		Resistors: 8, Diodes: 6, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "piecewise diode waveshaper",
+	},
+	CellComparator: {
+		Kind: CellComparator, Name: "zero-cross detector", OpAmps: 1,
+		Resistors: 2, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "open-loop comparator with small hysteresis margin",
+	},
+	CellSchmitt: {
+		Kind: CellSchmitt, Name: "Schmitt trigger", OpAmps: 1,
+		Resistors: 3, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "comparator with positive feedback setting the thresholds",
+	},
+	CellSampleHold: {
+		Kind: CellSampleHold, Name: "sample-and-hold", OpAmps: 2,
+		Resistors: 1, Capacitors: 1, Switches: 1, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "input buffer, hold capacitor, switch, output buffer",
+	},
+	CellSwitch: {
+		Kind: CellSwitch, Name: "analog switch", OpAmps: 0,
+		Switches: 1, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "CMOS transmission gate",
+	},
+	CellMux: {
+		Kind: CellMux, Name: "analog multiplexer", OpAmps: 0,
+		Switches: 2, MaxInputs: 2, GainMin: 1, GainMax: 1,
+		Desc: "two transmission gates with complementary control",
+	},
+	CellADC: {
+		Kind: CellADC, Name: "A/D converter", OpAmps: 2,
+		Resistors: 4, Capacitors: 16, Switches: 16, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "successive-approximation converter with charge-redistribution DAC",
+	},
+	CellOutputStage: {
+		Kind: CellOutputStage, Name: "output stage", OpAmps: 1,
+		Resistors: 3, Diodes: 2, MaxInputs: 1, GainMin: 1, GainMax: 2,
+		Desc: "low-output-impedance drive stage with optional clipping diodes",
+	},
+	CellLimiter: {
+		Kind: CellLimiter, Name: "limiter", OpAmps: 0,
+		Resistors: 1, Diodes: 2, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "back-to-back diode clamp",
+	},
+	CellLowPass: {
+		Kind: CellLowPass, Name: "low-pass filter", OpAmps: 1,
+		Resistors: 2, Capacitors: 1, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "active RC first-order low-pass (inferred from a frequency annotation)",
+	},
+	CellBandPass: {
+		Kind: CellBandPass, Name: "band-pass filter", OpAmps: 2,
+		Resistors: 5, Capacitors: 2, MaxInputs: 1, GainMin: 1, GainMax: 1,
+		Desc: "biquad band-pass (inferred from a frequency annotation with a non-zero lower corner)",
+	},
+}
+
+// Get returns the library cell of the given kind.
+func Get(k CellKind) *Cell {
+	c, ok := catalog[k]
+	if !ok {
+		panic(fmt.Sprintf("library: no cell of kind %v", k))
+	}
+	return c
+}
+
+// Catalog returns all cells ordered by kind.
+func Catalog() []*Cell {
+	out := make([]*Cell, 0, len(catalog))
+	for k := CellKind(0); k < numCellKinds; k++ {
+		if c, ok := catalog[k]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// GainFeasible reports whether the cell realizes the absolute gain g in a
+// single stage.
+func (c *Cell) GainFeasible(g float64) bool {
+	if g < 0 {
+		g = -g
+	}
+	if g == 0 {
+		return true // a zero weight degenerates to no connection
+	}
+	return g >= c.GainMin && g <= c.GainMax
+}

@@ -1,0 +1,93 @@
+package library
+
+import "testing"
+
+func TestCatalogComplete(t *testing.T) {
+	cells := Catalog()
+	if len(cells) != int(numCellKinds) {
+		t.Fatalf("catalog has %d cells, want %d", len(cells), numCellKinds)
+	}
+	seen := map[CellKind]bool{}
+	for _, c := range cells {
+		if seen[c.Kind] {
+			t.Errorf("duplicate cell kind %s", c.Kind)
+		}
+		seen[c.Kind] = true
+		if c.Name == "" || c.Desc == "" {
+			t.Errorf("cell %s missing name or description", c.Kind)
+		}
+		if c.OpAmps < 0 {
+			t.Errorf("cell %s has negative op amp count", c.Kind)
+		}
+	}
+}
+
+func TestGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown cell kind")
+		}
+	}()
+	Get(CellKind(999))
+}
+
+func TestOpAmpBudgets(t *testing.T) {
+	// The budgets that the paper's results depend on.
+	cases := map[CellKind]int{
+		CellInvAmp:     1,
+		CellSummingAmp: 1,
+		CellPGA:        1,
+		CellIntegrator: 1,
+		CellComparator: 1,
+		CellSchmitt:    1,
+		CellSampleHold: 2,
+		CellMultiplier: 4,
+		CellMux:        0,
+		CellSwitch:     0,
+		CellLimiter:    0,
+		CellLogAmp:     1,
+		CellAntilogAmp: 1,
+	}
+	for k, want := range cases {
+		if got := Get(k).OpAmps; got != want {
+			t.Errorf("%s op amps = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestGainFeasible(t *testing.T) {
+	amp := Get(CellInvAmp)
+	for _, g := range []float64{0.1, -2, 50, 100} {
+		if !amp.GainFeasible(g) {
+			t.Errorf("gain %g should be feasible for %s", g, amp.Name)
+		}
+	}
+	if amp.GainFeasible(1000) {
+		t.Error("gain 1000 exceeds a single stage")
+	}
+	if amp.GainFeasible(0.001) {
+		t.Error("gain 0.001 is below the realizable range")
+	}
+	if !amp.GainFeasible(0) {
+		t.Error("zero weight is always feasible (no connection)")
+	}
+}
+
+func TestIsAmplifier(t *testing.T) {
+	for _, k := range []CellKind{CellInvAmp, CellNonInvAmp, CellSummingAmp, CellDiffAmp, CellPGA, CellFollower} {
+		if !k.IsAmplifier() {
+			t.Errorf("%s should be an amplifier", k)
+		}
+	}
+	for _, k := range []CellKind{CellIntegrator, CellComparator, CellMux, CellADC} {
+		if k.IsAmplifier() {
+			t.Errorf("%s should not be an amplifier", k)
+		}
+	}
+}
+
+func TestSummingAmpFanIn(t *testing.T) {
+	if Get(CellSummingAmp).MaxInputs < 3 {
+		t.Error("summing amp must accept at least 3 inputs for the corpus designs")
+	}
+}

@@ -1,0 +1,103 @@
+package mapper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpAmpConstraintSelectsSmallerMapping(t *testing.T) {
+	// Unconstrained, the fig6 graph maps to 1 op amp already; constrain to
+	// exactly that and confirm feasibility bookkeeping.
+	opts := DefaultOptions()
+	opts.MaxOpAmps = 1
+	res := synth(t, buildFig6(), opts)
+	if res.Netlist.OpAmpCount() != 1 {
+		t.Errorf("op amps = %d, want 1", res.Netlist.OpAmpCount())
+	}
+}
+
+func TestImpossibleConstraintFails(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NoBounding = true // let the search see every mapping
+	opts.MaxOpAmps = 0
+	opts.MaxAreaUm2 = 1 // nothing fits in 1 um^2
+	_, err := Synthesize(buildFig6(), opts)
+	if err == nil || !strings.Contains(err.Error(), "no feasible mapping") {
+		t.Fatalf("expected infeasibility, got %v", err)
+	}
+}
+
+func TestPowerConstraintDiscardsMappings(t *testing.T) {
+	m := compileReceiver(t)
+	loose := DefaultOptions()
+	res, err := Synthesize(m, loose)
+	if err != nil {
+		t.Fatalf("unconstrained: %v", err)
+	}
+	budget := res.Report.PowerMW
+
+	tight := DefaultOptions()
+	tight.NoBounding = true
+	tight.MaxPowerMW = budget / 100
+	if _, err := Synthesize(m, tight); err == nil {
+		t.Fatal("a 100x power cut should be infeasible for the receiver")
+	}
+
+	ok := DefaultOptions()
+	ok.MaxPowerMW = budget * 2
+	res2, err := Synthesize(m, ok)
+	if err != nil {
+		t.Fatalf("feasible budget rejected: %v", err)
+	}
+	if res2.Report.PowerMW > ok.MaxPowerMW {
+		t.Errorf("constraint violated: %g > %g", res2.Report.PowerMW, ok.MaxPowerMW)
+	}
+}
+
+func TestInfeasibleStatsCounted(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NoBounding = true
+	opts.MaxOpAmps = 2 // forbid the costlier alternatives of fig6
+	res := synth(t, buildFig6(), opts)
+	if res.Stats.Infeasible == 0 {
+		t.Error("no infeasible mappings recorded despite the op amp cap")
+	}
+	if res.Netlist.OpAmpCount() > 2 {
+		t.Errorf("constraint violated: %d op amps", res.Netlist.OpAmpCount())
+	}
+}
+
+func TestPowerObjective(t *testing.T) {
+	// Minimizing power must yield a mapping whose power is <= the
+	// area-optimal mapping's power, and both must be valid coverings.
+	m := compileReceiver(t)
+	areaOpt := DefaultOptions()
+	ra, err := Synthesize(m, areaOpt)
+	if err != nil {
+		t.Fatalf("area objective: %v", err)
+	}
+	powerOpt := DefaultOptions()
+	powerOpt.Objective = MinimizePower
+	rp, err := Synthesize(m, powerOpt)
+	if err != nil {
+		t.Fatalf("power objective: %v", err)
+	}
+	if rp.Report.PowerMW > ra.Report.PowerMW+1e-9 {
+		t.Errorf("power-optimal mapping uses more power (%.3f mW) than the area-optimal one (%.3f mW)",
+			rp.Report.PowerMW, ra.Report.PowerMW)
+	}
+	if rp.Netlist.OpAmpCount() == 0 {
+		t.Error("empty mapping")
+	}
+}
+
+func TestPowerObjectivePreservesBehaviorStructure(t *testing.T) {
+	// The covering is still complete: every synthesis under the power
+	// objective produces the same component classes for fig6.
+	opts := DefaultOptions()
+	opts.Objective = MinimizePower
+	res := synth(t, buildFig6(), opts)
+	if res.Netlist.OpAmpCount() != 1 {
+		t.Errorf("op amps = %d, want 1", res.Netlist.OpAmpCount())
+	}
+}

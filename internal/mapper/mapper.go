@@ -1,0 +1,763 @@
+// Package mapper implements the VASE architecture generator: a
+// branch-and-bound search that maps the signal-flow graphs of a VHIF module
+// onto a minimum-area netlist of library components while satisfying
+// performance constraints (the paper's Section 5, Figure 5).
+//
+// The three problem-specific elements of the algorithm are implemented
+// exactly as described:
+//
+//   - Branching rule: for the current block, all library patterns whose
+//     covered sub-graph ends at that block (including functional and
+//     interfacing transformations) generate alternatives; for each, the
+//     block structure may share an existing identical component
+//     (cross-path sharing) or allocate a dedicated one.
+//   - Bounding rule: a partial solution dies when even at minimum op amp
+//     area ((opamps so far + opamps of the candidate) * MinArea) it cannot
+//     beat the best complete mapping found so far.
+//   - Sequencing rule: alternatives covering more blocks with fewer op amps
+//     are tried first, and sharing before dedicated allocation, so a good
+//     solution is found early and the bound becomes effective.
+//
+// Complete mappings are ranked by the analog performance estimator.
+package mapper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vase/internal/estimate"
+	"vase/internal/library"
+	"vase/internal/netlist"
+	"vase/internal/patterns"
+	"vase/internal/vhif"
+)
+
+// Objective selects the quantity the branch-and-bound minimizes.
+type Objective int
+
+// Objectives. The paper minimizes ASIC area; power is the other global
+// attribute its estimation tools report.
+const (
+	MinimizeArea Objective = iota
+	MinimizePower
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Process and System size the op amps during estimation.
+	Process estimate.Process
+	System  estimate.SystemSpec
+	// Objective is the minimized quantity (area by default).
+	Objective Objective
+	// Patterns controls the pattern generator.
+	Patterns patterns.Options
+	// NoSequencing disables the sequencing rule (candidates tried in
+	// reverse preference order) — ablation.
+	NoSequencing bool
+	// NoBounding disables the bounding rule — ablation.
+	NoBounding bool
+	// NoSharing disables cross-path component sharing — ablation.
+	NoSharing bool
+	// FirstFit stops at the first complete mapping (the time-effective
+	// exploration heuristic the paper's future work calls for): with the
+	// sequencing rule ordering candidates, the first completion is usually
+	// at or near the optimum and the search cost collapses.
+	FirstFit bool
+	// StrongBound adds a per-uncovered-block op amp lower bound to the
+	// bounding rule ("more effective bounding rules", paper Section 7).
+	// Admissible when sharing is disabled; with sharing it may prune
+	// mappings that would have shared components for free, so it is a
+	// heuristic there.
+	StrongBound bool
+	// TraceTree records the decision tree (Figure 6).
+	TraceTree bool
+	// MaxNodes caps the search (0 = 1<<22 nodes).
+	MaxNodes int
+	// Performance constraints: complete mappings violating them are
+	// discarded ("so that all performance constraints are satisfied, and
+	// the total ASIC area is minimized"). Zero means unconstrained.
+	MaxAreaUm2 float64
+	MaxPowerMW float64
+	MaxOpAmps  int
+}
+
+// DefaultOptions returns the standard synthesis configuration: the SCN
+// 2.0 µm process with the system specification derived from the design's
+// port annotations (audio-range defaults when unannotated).
+func DefaultOptions() Options {
+	return Options{Process: estimate.SCN20}
+}
+
+// Stats reports search effort and outcome.
+type Stats struct {
+	NodesVisited     int
+	CompleteMappings int
+	Pruned           int
+	// Infeasible counts complete mappings discarded for violating the
+	// performance constraints.
+	Infeasible  int
+	BestOpAmps  int
+	BestAreaUm2 float64
+}
+
+// TreeNode is one node of the traced decision tree.
+type TreeNode struct {
+	// Block is the current block the node branched on ("" at the root).
+	Block string
+	// Decision describes the branch taken to reach this node.
+	Decision string
+	// OpAmps is the op amp count of the partial mapping at this node.
+	OpAmps int
+	// Complete marks leaves that are full mappings; AreaUm2 their area.
+	Complete bool
+	AreaUm2  float64
+	Pruned   bool
+	Children []*TreeNode
+}
+
+// Result is a completed synthesis.
+type Result struct {
+	Netlist *netlist.Netlist
+	Report  *netlist.Report
+	Stats   Stats
+	Tree    *TreeNode
+}
+
+// Synthesize maps the module onto a minimum-area component netlist.
+func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
+	if opts.Process.Name == "" {
+		opts.Process = estimate.SCN20
+	}
+	if opts.System.Bandwidth == 0 {
+		opts.System = systemSpecFor(m)
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 1 << 22
+	}
+	s := &search{
+		m:             m,
+		opts:          opts,
+		floorGeneral:  estimate.MinArea(opts.Process),
+		floorDecision: estimate.MinOTAArea(opts.Process),
+		bestArea:      inf,
+		covered:       map[*vhif.Block]*alloc{},
+		costOf:        map[string]cellCost{},
+	}
+	if opts.Objective == MinimizePower {
+		// Class floors in watts: the minimum-bias designs of each topology.
+		s.floorGeneral = estimate.MinOpAmp(opts.Process).Power
+		s.floorDecision = 2e-6 * opts.Process.Vdd // one minimum tail current
+	}
+	s.order = blockOrder(m)
+	if opts.StrongBound {
+		s.computeBlockBounds()
+	}
+	if opts.TraceTree {
+		s.root = &TreeNode{Decision: "root"}
+		s.cursor = s.root
+	}
+	s.run()
+	if s.best == nil {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, fmt.Errorf("mapper: no feasible mapping for module %q", m.Name)
+	}
+	nl, err := s.buildNetlist(s.best)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := nl.Estimate(opts.Process, opts.System)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.BestOpAmps = nl.OpAmpCount()
+	s.stats.BestAreaUm2 = rep.AreaUm2
+	return &Result{Netlist: nl, Report: rep, Stats: s.stats, Tree: s.root}, nil
+}
+
+const inf = 1e300
+
+// systemSpecFor derives the design-wide signal specification from the
+// module's port annotations: the highest annotated frequency bound sets the
+// bandwidth, the widest annotated range or peak drive the signal swing.
+// Unannotated designs fall back to the audio-range default.
+func systemSpecFor(m *vhif.Module) estimate.SystemSpec {
+	sys := estimate.DefaultSystemSpec()
+	for _, p := range m.Ports {
+		if p.FreqHi > sys.Bandwidth {
+			sys.Bandwidth = p.FreqHi
+		}
+		for _, v := range []float64{p.PeakDrive, p.RangeHi, -p.RangeLo, p.LimitAt} {
+			if v > sys.PeakV {
+				sys.PeakV = v
+			}
+		}
+	}
+	return sys
+}
+
+// cellCost is the cached estimate of a dedicated component: layout area
+// and static power. ok is false for infeasible specifications.
+type cellCost struct {
+	area, power float64
+	ok          bool
+}
+
+// alloc is one allocated component shared by one or more placements.
+type alloc struct {
+	match *patterns.Match
+	sig   string
+	area  float64
+	power float64
+	uses  int
+	// cost is the objective value of the component (area or power).
+	cost float64
+	// placements records every match realized by this component; the first
+	// is the defining one, later ones alias their outputs onto it.
+	placements []*patterns.Match
+}
+
+// search carries the branch-and-bound state.
+type search struct {
+	m             uModule
+	opts          Options
+	order         []*vhif.Block
+	floorGeneral  float64
+	floorDecision float64
+
+	covered map[*vhif.Block]*alloc
+	allocs  []*alloc
+	opamps  int
+	// floorGeneral/floorDecision are the per-op-amp objective floors (area
+	// in µm² or power in W) for general-purpose and decision-class cells;
+	// the bounding rule multiplies op amp counts by them.
+	// lbArea is the class-aware minimum area of the op amps allocated so
+	// far: decision cells (comparators/Schmitt triggers) may be realized
+	// as minimum OTAs, everything else needs at least a minimum two-stage
+	// amplifier. The paper's bounding rule is the single-topology special
+	// case of this bound.
+	lbArea float64
+
+	bestArea float64
+	best     []*alloc
+	stats    Stats
+	err      error
+	done     bool // FirstFit: stop after the first complete mapping
+
+	costOf map[string]cellCost // match signature -> estimated cost
+	// blockLB is the per-block fractional op amp lower bound used by the
+	// strong bounding rule; remainingLB its sum over uncovered blocks.
+	blockLB     map[*vhif.Block]float64
+	remainingLB float64
+
+	root   *TreeNode
+	cursor *TreeNode
+}
+
+// uModule is the minimal module view the search needs.
+type uModule = *vhif.Module
+
+// blockOrder computes the current-block visitation order: outputs first,
+// then depth-first through input and control nets, matching the paper's
+// output-to-input traversal of the signal-flow graph.
+func blockOrder(m *vhif.Module) []*vhif.Block {
+	var order []*vhif.Block
+	seen := map[*vhif.Block]bool{}
+	var visit func(b *vhif.Block)
+	visit = func(b *vhif.Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		if isMappable(b) {
+			order = append(order, b)
+		}
+		for _, in := range b.Inputs {
+			if in != nil {
+				visit(in.Driver)
+			}
+		}
+		if b.Ctrl != nil {
+			visit(b.Ctrl.Driver)
+		}
+	}
+	for _, g := range m.Graphs {
+		for _, b := range g.Blocks {
+			if b.Kind == vhif.BOutput {
+				visit(b)
+			}
+		}
+	}
+	// Control links and any remaining blocks (e.g. detectors driving only
+	// exported signals).
+	for _, c := range m.Controls {
+		if c.Net != nil {
+			visit(c.Net.Driver)
+		}
+	}
+	for _, g := range m.Graphs {
+		for _, b := range g.Blocks {
+			visit(b)
+		}
+	}
+	return order
+}
+
+func isMappable(b *vhif.Block) bool {
+	switch b.Kind {
+	case vhif.BInput, vhif.BOutput, vhif.BConst:
+		return false
+	}
+	return true
+}
+
+// nextUncovered returns the first block in order not yet covered.
+func (s *search) nextUncovered() *vhif.Block {
+	for _, b := range s.order {
+		if s.covered[b] == nil {
+			return b
+		}
+	}
+	return nil
+}
+
+// minCostOf returns the class-aware per-op-amp objective floor for a cell.
+func (s *search) minCostOf(cell *library.Cell) float64 {
+	if estimate.IsDecisionCell(cell.Kind) {
+		return s.floorDecision
+	}
+	return s.floorGeneral
+}
+
+// matchLB is the minimum-area contribution of allocating a dedicated
+// component for the match.
+func (s *search) matchLB(m *patterns.Match) float64 {
+	return float64(m.OpAmps) * s.minCostOf(m.Cell)
+}
+
+// computeBlockBounds fills blockLB: for each block, the cheapest fractional
+// minimum area over all matches covering it. The sum over any block set is
+// a valid lower bound on the area of any covering (ignoring sharing).
+func (s *search) computeBlockBounds() {
+	s.blockLB = map[*vhif.Block]float64{}
+	for _, g := range s.m.Graphs {
+		for _, b := range g.Blocks {
+			if !isMappable(b) {
+				continue
+			}
+			s.blockLB[b] = inf
+		}
+	}
+	for _, g := range s.m.Graphs {
+		for _, b := range g.Blocks {
+			if !isMappable(b) {
+				continue
+			}
+			for _, m := range patterns.MatchesFor(g, b, s.opts.Patterns) {
+				frac := s.matchLB(m) / float64(len(m.Blocks))
+				for _, cov := range m.Blocks {
+					if frac < s.blockLB[cov] {
+						s.blockLB[cov] = frac
+					}
+				}
+			}
+		}
+	}
+	s.remainingLB = 0
+	for _, lb := range s.blockLB {
+		if lb < inf {
+			s.remainingLB += lb
+		}
+	}
+}
+
+// bound returns the minimum-area lower bound of completing the current
+// partial mapping after placing match: the class-aware minimum areas of the
+// op amps allocated so far, the candidate's, and (under the strong rule)
+// the fractional minimum of the still-uncovered blocks.
+func (s *search) bound(match *patterns.Match) float64 {
+	lb := s.lbArea + s.matchLB(match)
+	if s.opts.StrongBound && s.blockLB != nil {
+		rest := s.remainingLB
+		for _, b := range match.Blocks {
+			if v := s.blockLB[b]; v < inf && s.covered[b] == nil {
+				rest -= v
+			}
+		}
+		if rest > 0 {
+			lb += rest
+		}
+	}
+	return lb
+}
+
+func (s *search) run() {
+	if s.done {
+		return
+	}
+	s.stats.NodesVisited++
+	if s.stats.NodesVisited >= s.opts.MaxNodes {
+		// Stop the whole search, not just this branch.
+		s.done = true
+		return
+	}
+	cur := s.nextUncovered()
+	if cur == nil {
+		s.complete()
+		return
+	}
+	var g *vhif.Graph
+	for _, gr := range s.m.Graphs {
+		for _, b := range gr.Blocks {
+			if b == cur {
+				g = gr
+			}
+		}
+	}
+	ms := patterns.MatchesFor(g, cur, s.opts.Patterns)
+	if s.opts.NoSequencing {
+		// Ablation: reverse the preference order.
+		for i, j := 0, len(ms)-1; i < j; i, j = i+1, j-1 {
+			ms[i], ms[j] = ms[j], ms[i]
+		}
+	}
+	for _, match := range ms {
+		if s.conflicts(match) {
+			continue
+		}
+		cost, ok := s.matchCost(match)
+		if !ok {
+			continue
+		}
+		// Sharing branch: reuse an identical component in the netlist.
+		if !s.opts.NoSharing {
+			if existing := s.findShared(match); existing != nil {
+				s.place(match, existing, 0)
+				s.descend(match, "share "+match.Name, func() { s.run() })
+				s.unplace(match, existing, 0)
+			}
+		}
+		// Dedicated allocation with the bounding rule.
+		if !s.opts.NoBounding && s.bound(match) >= s.bestArea {
+			s.stats.Pruned++
+			if s.cursor != nil {
+				s.cursor.Children = append(s.cursor.Children, &TreeNode{
+					Block:    cur.Name,
+					Decision: "alloc " + match.Name,
+					OpAmps:   s.opamps + match.OpAmps,
+					Pruned:   true,
+				})
+			}
+			continue
+		}
+		a := &alloc{match: match, sig: sigOf(match), area: cost.area, power: cost.power, cost: cost.area}
+		if s.opts.Objective == MinimizePower {
+			a.cost = cost.power
+		}
+		s.allocs = append(s.allocs, a)
+		s.place(match, a, match.OpAmps)
+		s.descend(match, "alloc "+match.Name, func() { s.run() })
+		s.unplace(match, a, match.OpAmps)
+		s.allocs = s.allocs[:len(s.allocs)-1]
+	}
+}
+
+// descend wraps recursion with decision-tree tracing.
+func (s *search) descend(match *patterns.Match, decision string, f func()) {
+	if s.cursor == nil {
+		f()
+		return
+	}
+	node := &TreeNode{Block: match.Root.Name, Decision: decision, OpAmps: s.opamps}
+	s.cursor.Children = append(s.cursor.Children, node)
+	saved := s.cursor
+	s.cursor = node
+	f()
+	s.cursor = saved
+}
+
+func (s *search) conflicts(match *patterns.Match) bool {
+	for _, b := range match.Blocks {
+		if s.covered[b] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *search) place(match *patterns.Match, a *alloc, opamps int) {
+	for _, b := range match.Blocks {
+		s.covered[b] = a
+		if s.blockLB != nil {
+			if v := s.blockLB[b]; v < inf {
+				s.remainingLB -= v
+			}
+		}
+	}
+	a.uses++
+	a.placements = append(a.placements, match)
+	s.opamps += opamps
+	if opamps > 0 {
+		s.lbArea += s.matchLB(match)
+	}
+}
+
+func (s *search) unplace(match *patterns.Match, a *alloc, opamps int) {
+	for _, b := range match.Blocks {
+		delete(s.covered, b)
+		if s.blockLB != nil {
+			if v := s.blockLB[b]; v < inf {
+				s.remainingLB += v
+			}
+		}
+	}
+	a.uses--
+	a.placements = a.placements[:len(a.placements)-1]
+	s.opamps -= opamps
+	if opamps > 0 {
+		s.lbArea -= s.matchLB(match)
+	}
+}
+
+// findShared locates an existing allocation with the same pattern,
+// parameters and input nets ("blocks in distinct signal paths can share the
+// same component, if they have identical inputs, and perform similar
+// operations").
+func (s *search) findShared(match *patterns.Match) *alloc {
+	sig := sigOf(match)
+	for _, a := range s.allocs {
+		if a.uses > 0 && a.sig == sig {
+			return a
+		}
+	}
+	return nil
+}
+
+// sigOf builds the sharing signature: pattern, parameters, inputs, control.
+func sigOf(m *patterns.Match) string {
+	var b strings.Builder
+	b.WriteString(m.Name)
+	b.WriteByte('|')
+	b.WriteString(m.Cell.Kind.String())
+	keys := make([]string, 0, len(m.Params))
+	for k := range m.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%g", k, m.Params[k])
+	}
+	for _, in := range m.Inputs {
+		fmt.Fprintf(&b, "|i%d", in.ID)
+	}
+	if m.Ctrl != nil {
+		fmt.Fprintf(&b, "|c%d", m.Ctrl.ID)
+	}
+	return b.String()
+}
+
+// matchCost estimates (and caches) the area and power of a dedicated
+// component for the match; infeasible specs reject the match.
+func (s *search) matchCost(match *patterns.Match) (cellCost, bool) {
+	sig := sigOf(match)
+	if c, ok := s.costOf[sig]; ok {
+		return c, c.ok
+	}
+	inst := estimate.CellInstance{
+		Cell:    match.Cell,
+		Gain:    maxGain(match),
+		Inputs:  len(match.Inputs),
+		LoadRes: match.Params["load"],
+		PeakOut: match.Params["peak"],
+	}
+	est, err := estimate.EstimateCell(s.opts.Process, s.opts.System, inst)
+	if err != nil {
+		s.costOf[sig] = cellCost{}
+		if s.err == nil {
+			s.err = err
+		}
+		return cellCost{}, false
+	}
+	cost := cellCost{area: est.AreaUm2, power: est.Power, ok: true}
+	if n := match.Params["stages"]; n > 1 {
+		cost.area *= n
+		cost.power *= n
+	}
+	s.costOf[sig] = cost
+	return cost, true
+}
+
+func maxGain(m *patterns.Match) float64 {
+	g := 1.0
+	for k, v := range m.Params {
+		if strings.HasPrefix(k, "gain") {
+			if v < 0 {
+				v = -v
+			}
+			if v > g {
+				g = v
+			}
+		}
+	}
+	return g
+}
+
+// complete records a full mapping, keeping it when it beats the best.
+func (s *search) complete() {
+	s.stats.CompleteMappings++
+	area, power, cost := 0.0, 0.0, 0.0
+	for _, a := range s.allocs {
+		area += a.area
+		power += a.power
+		cost += a.cost
+	}
+	// Performance constraints: a violating mapping is not a solution.
+	if (s.opts.MaxAreaUm2 > 0 && area > s.opts.MaxAreaUm2) ||
+		(s.opts.MaxPowerMW > 0 && power*1e3 > s.opts.MaxPowerMW) ||
+		(s.opts.MaxOpAmps > 0 && s.opamps > s.opts.MaxOpAmps) {
+		s.stats.Infeasible++
+		if s.cursor != nil {
+			s.cursor.Children = append(s.cursor.Children, &TreeNode{
+				Decision: "complete (violates constraints)",
+				OpAmps:   s.opamps,
+				Complete: true,
+				AreaUm2:  area,
+			})
+		}
+		return
+	}
+	if s.opts.FirstFit {
+		s.done = true
+	}
+	if s.cursor != nil {
+		s.cursor.Children = append(s.cursor.Children, &TreeNode{
+			Decision: "complete",
+			OpAmps:   s.opamps,
+			Complete: true,
+			AreaUm2:  area,
+		})
+	}
+	if cost < s.bestArea {
+		s.bestArea = cost
+		s.best = make([]*alloc, len(s.allocs))
+		for i, a := range s.allocs {
+			// Snapshot: allocations are mutated on backtrack.
+			cp := *a
+			cp.placements = append([]*patterns.Match{}, a.placements...)
+			s.best[i] = &cp
+		}
+	}
+}
+
+// buildNetlist materializes a completed allocation list as a component
+// netlist.
+func (s *search) buildNetlist(allocs []*alloc) (*netlist.Netlist, error) {
+	nl := netlist.New(s.m.Name)
+
+	// Shared placements beyond the first compute the same value as the
+	// defining placement: canonicalize their output nets onto it.
+	canon := map[*vhif.Net]*vhif.Net{}
+	for _, a := range allocs {
+		for _, m := range a.placements[1:] {
+			canon[m.Root.Out] = a.placements[0].Root.Out
+		}
+	}
+	resolve := func(v *vhif.Net) *vhif.Net {
+		for {
+			c, ok := canon[v]
+			if !ok {
+				return v
+			}
+			v = c
+		}
+	}
+
+	nets := map[*vhif.Net]*netlist.Net{}
+	netFor := func(v *vhif.Net) *netlist.Net {
+		if v == nil {
+			return nil
+		}
+		v = resolve(v)
+		if n, ok := nets[v]; ok {
+			return n
+		}
+		n := nl.NewNet(v.Name)
+		// Constant blocks are not mapped to components; their nets become
+		// reference-source nodes.
+		if v.Driver != nil && v.Driver.Kind == vhif.BConst {
+			value := v.Driver.Param
+			n.Const = &value
+		}
+		nets[v] = n
+		return n
+	}
+
+	// Input ports.
+	for _, g := range s.m.Graphs {
+		for _, b := range g.Blocks {
+			if b.Kind == vhif.BInput {
+				nl.AddPort(b.Name, netlist.In, netFor(b.Out))
+			}
+		}
+	}
+
+	for _, a := range allocs {
+		m := a.placements[0]
+		var ins []*netlist.Net
+		for _, in := range m.Inputs {
+			ins = append(ins, netFor(in))
+		}
+		comp := nl.AddComponent(m.Cell, m.Root.Name, ins, netFor(m.Root.Out))
+		comp.Params = map[string]float64{}
+		for k, v := range m.Params {
+			comp.Params[k] = v
+		}
+		if m.Ctrl != nil {
+			comp.Ctrl = netFor(m.Ctrl)
+		}
+		if len(a.placements) > 1 {
+			comp.Shared = true
+		}
+	}
+
+	// Output ports.
+	for _, g := range s.m.Graphs {
+		for _, b := range g.Blocks {
+			if b.Kind == vhif.BOutput {
+				nl.AddPort(b.Name, netlist.Out, netFor(b.Inputs[0]))
+			}
+		}
+	}
+	for _, c := range s.m.Controls {
+		if c.Net != nil {
+			nl.AddPort(c.Signal, netlist.Out, netFor(c.Net))
+		}
+	}
+	return nl, nil
+}
+
+// FormatTree renders a traced decision tree (Figure 6 style).
+func FormatTree(n *TreeNode) string {
+	var b strings.Builder
+	var rec func(n *TreeNode, depth int)
+	rec = func(n *TreeNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		switch {
+		case n.Complete:
+			fmt.Fprintf(&b, "%s* complete mapping: %d op amps (area %.0f um^2)\n", indent, n.OpAmps, n.AreaUm2)
+		case n.Pruned:
+			fmt.Fprintf(&b, "%s- %s @ %s: pruned by bound (%d op amps)\n", indent, n.Decision, n.Block, n.OpAmps)
+		default:
+			fmt.Fprintf(&b, "%s+ %s @ %s (%d op amps so far)\n", indent, n.Decision, n.Block, n.OpAmps)
+		}
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	if n != nil {
+		rec(n, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,312 @@
+package mna
+
+import (
+	"math"
+	"testing"
+
+	"vase/internal/compile"
+	"vase/internal/mapper"
+	"vase/internal/netlist"
+	"vase/internal/parser"
+	"vase/internal/sema"
+)
+
+// synthSource runs the full pipeline on a VASS source.
+func synthSource(t *testing.T, src string) *netlist.Netlist {
+	t.Helper()
+	df, err := parser.Parse("test.vhd", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	m, err := compile.Compile(d)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := mapper.Synthesize(m, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	return res.Netlist
+}
+
+func synthReceiver(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	src := `
+entity telephone is
+  port (
+    quantity line  : in real is voltage;
+    quantity local : in real is voltage;
+    quantity earph : out real is voltage limited at 1.5 drives 270.0 at 0.285 peak
+  );
+end entity;
+architecture behavioral of telephone is
+  constant Aline  : real := 4.0;
+  constant Alocal : real := 2.0;
+  constant r1c    : real := 0.5;
+  constant r2c    : real := 0.25;
+  constant Vth    : real := 0.1;
+  quantity rvar : real;
+  signal c1 : bit;
+begin
+  earph == (Aline * line + Alocal * local) * rvar;
+  if (c1 = '1') use
+    rvar == r1c;
+  else
+    rvar == r1c + r2c;
+  end use;
+  process (line'above(Vth)) is
+  begin
+    if (line'above(Vth) = true) then
+      c1 <= '1';
+    else
+      c1 <= '0';
+    end if;
+  end process;
+end architecture;`
+	return synthSource(t, src)
+}
+
+func TestElaborateReceiverSmallSignal(t *testing.T) {
+	nl := synthReceiver(t)
+	el, err := Elaborate(nl, map[string]Waveform{
+		"line":  func(float64) float64 { return 0.05 },
+		"local": func(float64) float64 { return 0 },
+	})
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	tr, err := el.Circuit.Transient(2e-4, 2e-6)
+	if err != nil {
+		t.Fatalf("transient: %v", err)
+	}
+	out := el.V(tr, "earph")
+	if len(out) == 0 {
+		t.Fatal("no earph waveform")
+	}
+	// Below threshold: gain 4 * 0.75 = 3 -> 0.15 V (within macromodel and
+	// switch-resistance tolerances).
+	got := out[len(out)-1]
+	if math.Abs(got-0.15) > 0.01 {
+		t.Errorf("earph = %g, want ~0.15", got)
+	}
+}
+
+func TestElaborateReceiverGainSwitch(t *testing.T) {
+	nl := synthReceiver(t)
+	el, err := Elaborate(nl, map[string]Waveform{
+		"line":  func(float64) float64 { return 0.2 },
+		"local": func(float64) float64 { return 0 },
+	})
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	tr, err := el.Circuit.Transient(2e-4, 2e-6)
+	if err != nil {
+		t.Fatalf("transient: %v", err)
+	}
+	out := el.V(tr, "earph")
+	// Above threshold: gain 4 * 0.5 = 2 -> 0.4 V.
+	got := out[len(out)-1]
+	if math.Abs(got-0.4) > 0.02 {
+		t.Errorf("earph = %g, want ~0.4 (compensated gain)", got)
+	}
+}
+
+func TestElaborateReceiverFigure8Clipping(t *testing.T) {
+	// The Figure 8 experiment: a deliberately high-amplitude input so the
+	// signal-limiting capability of the output stage is visible. v(9) in
+	// the paper clips at 1.5 V.
+	nl := synthReceiver(t)
+	el, err := Elaborate(nl, map[string]Waveform{
+		"line":  func(t float64) float64 { return 1.5 * math.Sin(2*math.Pi*1e3*t) },
+		"local": func(float64) float64 { return 0 },
+	})
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	tr, err := el.Circuit.Transient(3e-3, 1e-6)
+	if err != nil {
+		t.Fatalf("transient: %v", err)
+	}
+	out := el.V(tr, "earph")
+	max, min := math.Inf(-1), math.Inf(1)
+	for _, v := range out {
+		max = math.Max(max, v)
+		min = math.Min(min, v)
+	}
+	if max < 1.40 || max > 1.55 {
+		t.Errorf("positive clip = %g, want ~1.5", max)
+	}
+	if min > -1.40 || min < -1.55 {
+		t.Errorf("negative clip = %g, want ~-1.5", min)
+	}
+	// The waveform must spend a visible fraction of the period clipped.
+	clipped := 0
+	for _, v := range out {
+		if math.Abs(v) > 1.4 {
+			clipped++
+		}
+	}
+	if frac := float64(clipped) / float64(len(out)); frac < 0.2 {
+		t.Errorf("clipped fraction = %.2f, want >= 0.2", frac)
+	}
+}
+
+func TestElaboratePolarityBookkeeping(t *testing.T) {
+	// A single inverting stage: the output polarity must be recorded so
+	// that V() returns the true (positive) value.
+	nl := synthReceiver(t)
+	el, err := Elaborate(nl, map[string]Waveform{
+		"line":  func(float64) float64 { return 0.05 },
+		"local": func(float64) float64 { return 0.05 },
+	})
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	tr, err := el.Circuit.Transient(1e-4, 2e-6)
+	if err != nil {
+		t.Fatalf("transient: %v", err)
+	}
+	out := el.V(tr, "earph")
+	// (4*0.05 + 2*0.05) * 0.75 = 0.225 positive.
+	if got := out[len(out)-1]; got < 0.2 || got > 0.25 {
+		t.Errorf("earph = %g, want ~0.225 (true polarity)", got)
+	}
+}
+
+func TestElaboratePowerMeterAcquisition(t *testing.T) {
+	// The power meter at circuit level: comparators strobe the
+	// sample-and-holds on zero crossings; the behavioral ADCs quantize the
+	// held values. Drive with a 50 Hz line and check the digitized outputs
+	// track the inputs while positive.
+	nl := synthSource(t, `
+entity power_meter is
+  port (
+    quantity vline : in real is voltage;
+    quantity iline : in real is current;
+    quantity vout  : out real;
+    quantity iout  : out real
+  );
+end entity;
+architecture acquisition of power_meter is
+  quantity vheld, iheld : real;
+  signal sv, si, ready : bit;
+begin
+  if (sv = '1') use
+    vheld == vline;
+  end use;
+  if (si = '1') use
+    iheld == iline;
+  end use;
+  vout == adc(vheld, 8.0);
+  iout == adc(iheld, 8.0);
+  process (vline'above(0.0), iline'above(0.0)) is begin
+    sv <= vline'above(0.0); si <= iline'above(0.0); ready <= '1';
+  end process;
+end architecture;`)
+	vline := func(tm float64) float64 { return math.Sin(2 * math.Pi * 50 * tm) }
+	el, err := Elaborate(nl, map[string]Waveform{
+		"vline": vline,
+		"iline": func(tm float64) float64 { return 0.8 * math.Sin(2*math.Pi*50*tm-0.5) },
+	})
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	tr, err := el.Circuit.Transient(30e-3, 20e-6)
+	if err != nil {
+		t.Fatalf("transient: %v", err)
+	}
+	vout := el.V(tr, "vout")
+	if len(vout) == 0 {
+		t.Fatal("no vout waveform")
+	}
+	// While vline is well positive, the S/H tracks and the ADC output
+	// follows within a quantization step plus macromodel error.
+	checked := 0
+	for i, tm := range tr.Time {
+		if tm < 5e-3 { // skip start-up
+			continue
+		}
+		if v := vline(tm); v > 0.3 {
+			if math.Abs(vout[i]-v) > 0.08 {
+				t.Fatalf("vout = %g at t=%g, want ~%g", vout[i], tm, v)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no samples checked")
+	}
+	// The ADC output is quantized: values land on the 2.5/128 grid.
+	q := 2.5 / 128
+	offGrid := 0
+	for i, tm := range tr.Time {
+		if tm < 5e-3 {
+			continue
+		}
+		r := math.Mod(math.Abs(vout[i]), q)
+		if math.Min(r, q-r) > 1e-6 {
+			offGrid++
+		}
+	}
+	if offGrid > 0 {
+		t.Errorf("%d samples off the quantization grid", offGrid)
+	}
+}
+
+func TestElaborateMissileSolver(t *testing.T) {
+	// The missile solver at circuit level: RC integrators, difference
+	// amplifiers, and the behavioral log/antilog drag chain. With a unit
+	// command the acceleration settles to zero (drag balances the command).
+	nl := synthSource(t, `
+entity missile_solver is
+  port (
+    quantity cmd  : in real is voltage;
+    quantity wind : in real is voltage;
+    quantity bias : in real is voltage;
+    quantity acc  : out real;
+    quantity dist : out real
+  );
+end entity;
+architecture flight of missile_solver is
+  constant k1 : real := 4.0;
+  constant k2 : real := 0.8;
+  constant k3 : real := 0.5;
+  constant cd : real := 0.3;
+  constant n  : real := 2.0;
+  quantity vel, pos, drag, spd : real;
+begin
+  vel'dot == acc; pos'dot == vel;
+  acc == k1 * cmd - k2 * vel - k3 * drag;
+  spd == vel - wind; drag == cd * exp(n * log(spd));
+  dist == pos - bias;
+end architecture;`)
+	el, err := Elaborate(nl, map[string]Waveform{
+		"cmd":  func(float64) float64 { return 1.0 },
+		"wind": func(float64) float64 { return 0 },
+		"bias": func(float64) float64 { return 0 },
+	})
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	tr, err := el.Circuit.Transient(10, 2e-3)
+	if err != nil {
+		t.Fatalf("transient: %v", err)
+	}
+	acc := el.V(tr, "acc")
+	if len(acc) == 0 {
+		t.Fatal("no acc waveform")
+	}
+	if got := acc[len(acc)-1]; math.Abs(got) > 0.02 {
+		t.Errorf("steady acc = %g, want ~0 (drag balances the command)", got)
+	}
+	// dist keeps growing at terminal velocity.
+	dist := el.V(tr, "dist")
+	if dist[len(dist)-1] <= dist[len(dist)/2] {
+		t.Error("dist should grow monotonically at terminal velocity")
+	}
+}

@@ -1,0 +1,581 @@
+// Package mna implements a small analog circuit simulator based on
+// modified nodal analysis: resistors, capacitors, independent and
+// controlled sources, diodes, voltage-controlled switches, and saturating
+// op-amp macromodels, with Newton-Raphson DC solution and fixed-step
+// backward-Euler transient analysis.
+//
+// It substitutes for the SPICE runs of the paper's Section 6: synthesized
+// netlists elaborate into op-amp macromodel circuits (see Elaborate) whose
+// transient response reproduces the receiver experiment of Figure 8 —
+// amplification, comparator-controlled gain switching, and diode clipping
+// of the output stage.
+package mna
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node identifies a circuit node; 0 is ground.
+type Node int
+
+// Ground is the reference node.
+const Ground Node = 0
+
+// Waveform is a time-dependent source value.
+type Waveform func(t float64) float64
+
+// deviceKind enumerates element types.
+type deviceKind int
+
+const (
+	dResistor deviceKind = iota
+	dCapacitor
+	dVSource
+	dISource
+	dVCVS
+	dDiode
+	dSwitch
+	dOpAmp
+	dFunc
+)
+
+// device is one circuit element.
+type device struct {
+	kind deviceKind
+	name string
+	// Terminals (interpretation depends on kind).
+	a, b, cp, cm Node
+	// value: R ohms, C farads, VCVS gain.
+	value float64
+	// wave drives independent sources.
+	wave Waveform
+	// ic is the capacitor initial voltage.
+	ic float64
+	// Diode parameters.
+	isat, vt float64
+	// Switch parameters.
+	ron, roff, vth float64
+	// Op amp parameters: open-loop gain and saturation.
+	gain, vmax float64
+	// Newton limiting memory (pnjlim-style) for the op amp knee.
+	lastVc  float64
+	hasLast bool
+	// branch is the extra MNA variable index for sources/op amps.
+	branch int
+	// f is the nonlinear function of a dFunc element; ctrl its inputs.
+	f    func(v []float64) float64
+	ctrl []Node
+}
+
+// Method selects the transient integration scheme.
+type Method int
+
+// Integration methods.
+const (
+	// BackwardEuler is robust and strongly damped (the default).
+	BackwardEuler Method = iota
+	// Trapezoidal is second-order accurate with no numerical damping.
+	Trapezoidal
+)
+
+// Circuit is a netlist of MNA devices.
+type Circuit struct {
+	names   map[string]Node
+	nodes   int // highest node index
+	devices []*device
+	// method is the transient integration scheme.
+	method Method
+	// prevI holds each capacitor's previous-step current (trapezoidal).
+	prevI map[*device]float64
+}
+
+// New returns an empty circuit.
+func New() *Circuit {
+	return &Circuit{
+		names: map[string]Node{"0": Ground, "gnd": Ground},
+		prevI: map[*device]float64{},
+	}
+}
+
+// SetMethod selects the transient integration scheme.
+func (c *Circuit) SetMethod(m Method) { c.method = m }
+
+// NodeByName interns a named node.
+func (c *Circuit) NodeByName(name string) Node {
+	if n, ok := c.names[name]; ok {
+		return n
+	}
+	c.nodes++
+	n := Node(c.nodes)
+	c.names[name] = n
+	return n
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return c.nodes }
+
+func (c *Circuit) track(ns ...Node) {
+	for _, n := range ns {
+		if int(n) > c.nodes {
+			c.nodes = int(n)
+		}
+	}
+}
+
+// AddR connects a resistor between a and b.
+func (c *Circuit) AddR(name string, a, b Node, ohms float64) {
+	c.track(a, b)
+	c.devices = append(c.devices, &device{kind: dResistor, name: name, a: a, b: b, value: ohms})
+}
+
+// AddC connects a capacitor with an initial voltage.
+func (c *Circuit) AddC(name string, a, b Node, farads, ic float64) {
+	c.track(a, b)
+	c.devices = append(c.devices, &device{kind: dCapacitor, name: name, a: a, b: b, value: farads, ic: ic})
+}
+
+// AddV connects an independent voltage source (a positive w.r.t. b).
+func (c *Circuit) AddV(name string, a, b Node, wave Waveform) {
+	c.track(a, b)
+	c.devices = append(c.devices, &device{kind: dVSource, name: name, a: a, b: b, wave: wave})
+}
+
+// AddI connects an independent current source flowing from a to b.
+func (c *Circuit) AddI(name string, a, b Node, wave Waveform) {
+	c.track(a, b)
+	c.devices = append(c.devices, &device{kind: dISource, name: name, a: a, b: b, wave: wave})
+}
+
+// AddVCVS connects a linear voltage-controlled voltage source:
+// V(a,b) = gain * V(cp,cm).
+func (c *Circuit) AddVCVS(name string, a, b, cp, cm Node, gain float64) {
+	c.track(a, b, cp, cm)
+	c.devices = append(c.devices, &device{kind: dVCVS, name: name, a: a, b: b, cp: cp, cm: cm, value: gain})
+}
+
+// AddDiode connects a diode (anode a, cathode b).
+func (c *Circuit) AddDiode(name string, a, b Node) {
+	c.track(a, b)
+	c.devices = append(c.devices, &device{kind: dDiode, name: name, a: a, b: b, isat: 1e-14, vt: 0.02585})
+}
+
+// AddSwitch connects a voltage-controlled switch between a and b, closed
+// when V(cp,cm) > vth.
+func (c *Circuit) AddSwitch(name string, a, b, cp, cm Node, ron, roff, vth float64) {
+	c.track(a, b, cp, cm)
+	c.devices = append(c.devices, &device{
+		kind: dSwitch, name: name, a: a, b: b, cp: cp, cm: cm,
+		ron: ron, roff: roff, vth: vth,
+	})
+}
+
+// AddOpAmp connects a saturating op-amp macromodel: a single-ended output
+// at node a driven to vmax*tanh(gain*V(cp,cm)/vmax).
+func (c *Circuit) AddOpAmp(name string, a, cp, cm Node, gain, vmax float64) {
+	c.track(a, cp, cm)
+	c.devices = append(c.devices, &device{
+		kind: dOpAmp, name: name, a: a, cp: cp, cm: cm, gain: gain, vmax: vmax,
+	})
+}
+
+// AddFunc connects a behavioral voltage source: V(a) = f(V(ctrl[0]), ...).
+// It models computational cells (multipliers, log elements) whose
+// transistor-level detail is outside the macromodel scope.
+func (c *Circuit) AddFunc(name string, a Node, ctrl []Node, f func(v []float64) float64) {
+	c.track(a)
+	c.track(ctrl...)
+	c.devices = append(c.devices, &device{kind: dFunc, name: name, a: a, ctrl: ctrl, f: f})
+}
+
+// assignBranches numbers the extra MNA variables.
+func (c *Circuit) assignBranches() int {
+	nb := 0
+	for _, d := range c.devices {
+		switch d.kind {
+		case dVSource, dVCVS, dOpAmp, dFunc:
+			d.branch = c.nodes + 1 + nb
+			nb++
+		}
+	}
+	return nb
+}
+
+// Solution is one operating point: index 1..NumNodes are node voltages.
+type Solution []float64
+
+// V returns the voltage of node n.
+func (s Solution) V(n Node) float64 {
+	if n == Ground || int(n) >= len(s) {
+		return 0
+	}
+	return s[n]
+}
+
+// stamp builds the linearized MNA system around the iterate x at time t.
+// h <= 0 means DC (capacitors open). prev is the previous-step solution for
+// companion models.
+func (c *Circuit) stamp(m *matrix, x Solution, prev Solution, t, h float64) {
+	m.clear()
+	vx := func(n Node) float64 {
+		if n == Ground {
+			return 0
+		}
+		return x[n]
+	}
+	for _, d := range c.devices {
+		switch d.kind {
+		case dResistor:
+			g := 1 / d.value
+			m.addG(d.a, d.b, g)
+		case dCapacitor:
+			if h <= 0 {
+				// DC: tiny conductance to avoid floating nodes.
+				m.addG(d.a, d.b, 1e-12)
+				continue
+			}
+			vprev := prev.V(d.a) - prev.V(d.b)
+			if c.method == Trapezoidal {
+				// Companion model: i = (2C/h)(v - vprev) - iprev.
+				g := 2 * d.value / h
+				m.addG(d.a, d.b, g)
+				m.addI(d.a, d.b, g*vprev+c.prevI[d])
+			} else {
+				g := d.value / h
+				m.addG(d.a, d.b, g)
+				m.addI(d.a, d.b, g*vprev)
+			}
+		case dVSource:
+			m.stampVSource(d.branch, d.a, d.b, d.wave(t))
+		case dISource:
+			m.addI(d.a, d.b, -d.wave(t))
+		case dVCVS:
+			// V(a,b) - gain*V(cp,cm) = 0 with branch current into a.
+			m.a[d.branch][d.a] += 1
+			m.a[d.branch][d.b] -= 1
+			m.a[d.branch][d.cp] -= d.value
+			m.a[d.branch][d.cm] += d.value
+			m.a[d.a][d.branch] += 1
+			m.a[d.b][d.branch] -= 1
+		case dDiode:
+			v := vx(d.a) - vx(d.b)
+			// Limit the junction voltage for convergence.
+			if v > 0.9 {
+				v = 0.9
+			}
+			e := math.Exp(v / d.vt)
+			i := d.isat * (e - 1)
+			g := d.isat * e / d.vt
+			if g < 1e-12 {
+				g = 1e-12
+			}
+			ieq := i - g*v
+			m.addG(d.a, d.b, g)
+			m.addI(d.a, d.b, -ieq)
+		case dSwitch:
+			vc := vx(d.cp) - vx(d.cm)
+			r := d.roff
+			if vc > d.vth {
+				r = d.ron
+			}
+			m.addG(d.a, d.b, 1/r)
+		case dOpAmp:
+			vc := vx(d.cp) - vx(d.cm)
+			knee := d.vmax / d.gain
+			// Deep saturation is flat: clamping the linearization point to
+			// ±20 knee widths leaves the model output unchanged but keeps
+			// the point a few iterations away from the active region.
+			if vc > 20*knee {
+				vc = 20 * knee
+			} else if vc < -20*knee {
+				vc = -20 * knee
+			}
+			// Limit the per-iteration excursion to a few knee widths
+			// (SPICE junction-limiting style) so Newton cannot jump across
+			// the knee and oscillate.
+			if d.hasLast {
+				lim := 4 * knee
+				if vc > d.lastVc+lim {
+					vc = d.lastVc + lim
+				} else if vc < d.lastVc-lim {
+					vc = d.lastVc - lim
+				}
+			}
+			d.lastVc = vc
+			d.hasLast = true
+			arg := d.gain * vc / d.vmax
+			out := d.vmax * math.Tanh(arg)
+			// Derivative of the saturating characteristic.
+			sech := 1 / math.Cosh(arg)
+			dg := d.gain * sech * sech
+			// Equation: V(a) - (out + dg*(vc' - vc)) = 0.
+			m.a[d.branch][d.a] += 1
+			m.a[d.branch][d.cp] -= dg
+			m.a[d.branch][d.cm] += dg
+			m.rhs[d.branch] += out - dg*vc
+			m.a[d.a][d.branch] += 1
+		case dFunc:
+			vals := make([]float64, len(d.ctrl))
+			for i, n := range d.ctrl {
+				vals[i] = vx(n)
+			}
+			out := d.f(vals)
+			// Numeric Jacobian w.r.t. each control.
+			m.a[d.branch][d.a] += 1
+			rhs := out
+			const eps = 1e-6
+			for i, n := range d.ctrl {
+				if n == Ground {
+					continue
+				}
+				vals[i] += eps
+				dp := (d.f(vals) - out) / eps
+				vals[i] -= eps
+				m.a[d.branch][n] -= dp
+				rhs -= dp * vals[i]
+			}
+			m.rhs[d.branch] += rhs
+			m.a[d.a][d.branch] += 1
+		}
+	}
+}
+
+// matrix is a dense MNA system Ax = b with ground row/column folded away.
+type matrix struct {
+	n   int
+	a   [][]float64
+	rhs []float64
+}
+
+func newMatrix(n int) *matrix {
+	m := &matrix{n: n, rhs: make([]float64, n+1)}
+	m.a = make([][]float64, n+1)
+	for i := range m.a {
+		m.a[i] = make([]float64, n+1)
+	}
+	return m
+}
+
+func (m *matrix) clear() {
+	for i := range m.a {
+		for j := range m.a[i] {
+			m.a[i][j] = 0
+		}
+		m.rhs[i] = 0
+	}
+}
+
+func (m *matrix) addG(a, b Node, g float64) {
+	m.a[a][a] += g
+	m.a[b][b] += g
+	m.a[a][b] -= g
+	m.a[b][a] -= g
+}
+
+// addI injects current ieq into node a (out of b).
+func (m *matrix) addI(a, b Node, ieq float64) {
+	m.rhs[a] += ieq
+	m.rhs[b] -= ieq
+}
+
+func (m *matrix) stampVSource(branch int, a, b Node, v float64) {
+	m.a[branch][a] += 1
+	m.a[branch][b] -= 1
+	m.a[a][branch] += 1
+	m.a[b][branch] -= 1
+	m.rhs[branch] += v
+}
+
+// solve performs Gaussian elimination with partial pivoting, ignoring the
+// ground row/column (index 0).
+func (m *matrix) solve() (Solution, error) {
+	n := m.n
+	// Build the reduced system (indices 1..n).
+	a := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n+1)
+		copy(a[i], m.a[i+1][1:])
+		a[i][n] = m.rhs[i+1]
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-15 {
+			return nil, fmt.Errorf("mna: singular matrix at column %d (floating node?)", col+1)
+		}
+		a[col], a[p] = a[p], a[col]
+		piv := a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / piv
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	x := make(Solution, n+1)
+	for r := n - 1; r >= 0; r-- {
+		sum := a[r][n]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * x[k+1]
+		}
+		x[r+1] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// newton iterates the nonlinear system to convergence with a damped update:
+// the per-iteration voltage change is limited so that the saturating op-amp
+// and diode characteristics cannot make the iteration oscillate across
+// their knees.
+func (c *Circuit) newton(m *matrix, x0, prev Solution, t, h float64) (Solution, error) {
+	x := make(Solution, len(x0))
+	copy(x, x0)
+	for _, d := range c.devices {
+		d.hasLast = false
+	}
+	const (
+		maxIter   = 300
+		maxChange = 0.5 // volts per Newton step
+		tol       = 1e-8
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		c.stamp(m, x, prev, t, h)
+		next, err := m.solve()
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		for i := 1; i < len(next); i++ {
+			if d := math.Abs(next[i] - x[i]); d > worst {
+				worst = d
+			}
+		}
+		alpha := 1.0
+		if worst > maxChange {
+			alpha = maxChange / worst
+		}
+		for i := 1; i < len(next); i++ {
+			x[i] += alpha * (next[i] - x[i])
+		}
+		if worst < tol {
+			return x, nil
+		}
+	}
+	return x, fmt.Errorf("mna: Newton iteration did not converge at t=%g", t)
+}
+
+// DC computes the operating point at t=0.
+func (c *Circuit) DC() (Solution, error) {
+	nb := c.assignBranches()
+	m := newMatrix(c.nodes + nb)
+	zero := make(Solution, c.nodes+nb+1)
+	return c.newton(m, zero, zero, 0, -1)
+}
+
+// Tran holds a transient result.
+type Tran struct {
+	Time []float64
+	// V holds node voltage waveforms indexed by node.
+	V map[Node][]float64
+	c *Circuit
+}
+
+// Node returns the waveform of a named node.
+func (tr *Tran) Node(name string) []float64 {
+	n, ok := tr.c.names[name]
+	if !ok {
+		return nil
+	}
+	return tr.V[n]
+}
+
+// Transient runs a fixed-step backward-Euler transient analysis.
+func (c *Circuit) Transient(tstop, h float64) (*Tran, error) {
+	if tstop <= 0 || h <= 0 {
+		return nil, fmt.Errorf("mna: tstop and h must be positive")
+	}
+	nb := c.assignBranches()
+	dim := c.nodes + nb
+	m := newMatrix(dim)
+
+	// Initial condition: capacitor ICs enforced via a pseudo-DC with the
+	// companion model of a tiny step.
+	x := make(Solution, dim+1)
+	prev := make(Solution, dim+1)
+	for _, d := range c.devices {
+		if d.kind == dCapacitor && d.ic != 0 {
+			prev[d.a] = d.ic
+		}
+	}
+	x0, err := c.newton(m, x, prev, 0, h)
+	if err != nil {
+		return nil, err
+	}
+	x = x0
+
+	tr := &Tran{V: map[Node][]float64{}, c: c}
+	record := func(t float64, s Solution) {
+		tr.Time = append(tr.Time, t)
+		for i := 1; i <= c.nodes; i++ {
+			tr.V[Node(i)] = append(tr.V[Node(i)], s[i])
+		}
+	}
+	record(0, x)
+	// Initialize capacitor current memory for the trapezoidal rule.
+	for _, d := range c.devices {
+		if d.kind == dCapacitor {
+			c.prevI[d] = 0
+		}
+	}
+	steps := int(math.Ceil(tstop / h))
+	for s := 1; s <= steps; s++ {
+		t := float64(s) * h
+		next, err := c.newton(m, x, x, t, h)
+		if err != nil {
+			return nil, err
+		}
+		if c.method == Trapezoidal {
+			for _, d := range c.devices {
+				if d.kind != dCapacitor {
+					continue
+				}
+				vprev := x.V(d.a) - x.V(d.b)
+				vnew := next.V(d.a) - next.V(d.b)
+				c.prevI[d] = 2*d.value/h*(vnew-vprev) - c.prevI[d]
+			}
+		}
+		x = next
+		record(t, x)
+	}
+	return tr, nil
+}
+
+// Max returns the maximum of a node waveform.
+func (tr *Tran) Max(name string) float64 {
+	m := math.Inf(-1)
+	for _, v := range tr.Node(name) {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of a node waveform.
+func (tr *Tran) Min(name string) float64 {
+	m := math.Inf(1)
+	for _, v := range tr.Node(name) {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,268 @@
+package mna
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVoltageDividerDC(t *testing.T) {
+	c := New()
+	in := c.NodeByName("in")
+	mid := c.NodeByName("mid")
+	c.AddV("v1", in, Ground, func(float64) float64 { return 10 })
+	c.AddR("r1", in, mid, 1e3)
+	c.AddR("r2", mid, Ground, 1e3)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("dc: %v", err)
+	}
+	if got := sol.V(mid); math.Abs(got-5) > 1e-9 {
+		t.Errorf("divider mid = %g, want 5", got)
+	}
+}
+
+func TestCurrentSourceIntoResistor(t *testing.T) {
+	c := New()
+	n := c.NodeByName("n")
+	c.AddI("i1", Ground, n, func(float64) float64 { return 1e-3 })
+	c.AddR("r1", n, Ground, 2e3)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("dc: %v", err)
+	}
+	if got := sol.V(n); math.Abs(got-2) > 1e-9 {
+		t.Errorf("V = %g, want 2 (1 mA into 2 kohm)", got)
+	}
+}
+
+func TestVCVSGain(t *testing.T) {
+	c := New()
+	in := c.NodeByName("in")
+	out := c.NodeByName("out")
+	c.AddV("v1", in, Ground, func(float64) float64 { return 0.5 })
+	c.AddVCVS("e1", out, Ground, in, Ground, 10)
+	c.AddR("rl", out, Ground, 1e3)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("dc: %v", err)
+	}
+	if got := sol.V(out); math.Abs(got-5) > 1e-9 {
+		t.Errorf("VCVS out = %g, want 5", got)
+	}
+}
+
+func TestRCTransient(t *testing.T) {
+	// RC step response: tau = 1 ms; at t = 1 ms, v = 1 - 1/e.
+	c := New()
+	in := c.NodeByName("in")
+	out := c.NodeByName("out")
+	c.AddV("v1", in, Ground, func(float64) float64 { return 1 })
+	c.AddR("r1", in, out, 1e3)
+	c.AddC("c1", out, Ground, 1e-6, 0)
+	tr, err := c.Transient(1e-3, 1e-6)
+	if err != nil {
+		t.Fatalf("tran: %v", err)
+	}
+	want := 1 - math.Exp(-1)
+	got := tr.Node("out")[len(tr.Node("out"))-1]
+	if math.Abs(got-want) > 5e-3 {
+		t.Errorf("v(out) at tau = %g, want %g", got, want)
+	}
+}
+
+func TestDiodeClamp(t *testing.T) {
+	// A diode from the node to a 1 V source clamps positive excursions
+	// near 1.6 V.
+	c := New()
+	in := c.NodeByName("in")
+	n := c.NodeByName("n")
+	ref := c.NodeByName("ref")
+	c.AddV("vin", in, Ground, func(t float64) float64 { return 5 })
+	c.AddV("vref", ref, Ground, func(float64) float64 { return 1 })
+	c.AddR("rs", in, n, 1e3)
+	c.AddDiode("d1", n, ref)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("dc: %v", err)
+	}
+	v := sol.V(n)
+	if v < 1.4 || v > 1.9 {
+		t.Errorf("clamped node = %g, want ~1.6-1.8", v)
+	}
+}
+
+func TestOpAmpInvertingAmplifier(t *testing.T) {
+	// Gain -2 inverting amplifier from the macromodel.
+	c := New()
+	in := c.NodeByName("in")
+	vg := c.NodeByName("vg")
+	out := c.NodeByName("out")
+	c.AddV("vin", in, Ground, func(float64) float64 { return 0.5 })
+	c.AddR("ri", in, vg, 10e3)
+	c.AddR("rf", out, vg, 20e3)
+	c.AddOpAmp("oa", out, Ground, vg, 1e4, 4)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("dc: %v", err)
+	}
+	if got := sol.V(out); math.Abs(got+1.0) > 1e-3 {
+		t.Errorf("inverting amp out = %g, want -1.0", got)
+	}
+}
+
+func TestOpAmpSaturation(t *testing.T) {
+	// Input overdrive saturates the stage at vmax.
+	c := New()
+	in := c.NodeByName("in")
+	vg := c.NodeByName("vg")
+	out := c.NodeByName("out")
+	c.AddV("vin", in, Ground, func(float64) float64 { return 3 })
+	c.AddR("ri", in, vg, 10e3)
+	c.AddR("rf", out, vg, 20e3)
+	c.AddOpAmp("oa", out, Ground, vg, 1e4, 4)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("dc: %v", err)
+	}
+	if got := sol.V(out); got > -3.8 || got < -4.05 {
+		t.Errorf("saturated out = %g, want ~ -4", got)
+	}
+}
+
+func TestFollowerTracksAndClips(t *testing.T) {
+	c := New()
+	in := c.NodeByName("in")
+	out := c.NodeByName("out")
+	c.AddV("vin", in, Ground, func(t float64) float64 { return 3 * math.Sin(2*math.Pi*1e3*t) })
+	c.AddOpAmp("oa", out, in, out, 1e4, 1.5)
+	c.AddR("rl", out, Ground, 270)
+	tr, err := c.Transient(2e-3, 1e-6)
+	if err != nil {
+		t.Fatalf("tran: %v", err)
+	}
+	if max := tr.Max("out"); max < 1.40 || max > 1.55 {
+		t.Errorf("clip level = %g, want ~1.5", max)
+	}
+	if min := tr.Min("out"); min > -1.40 || min < -1.55 {
+		t.Errorf("negative clip = %g, want ~-1.5", min)
+	}
+	// Small-signal region tracks the input.
+	vin := tr.Node("in")
+	vout := tr.Node("out")
+	for i := range vin {
+		if math.Abs(vin[i]) < 0.5 && math.Abs(vout[i]-vin[i]) > 0.05 {
+			t.Fatalf("follower error at sample %d: in=%g out=%g", i, vin[i], vout[i])
+		}
+	}
+}
+
+func TestSwitchRouting(t *testing.T) {
+	c := New()
+	in := c.NodeByName("in")
+	out := c.NodeByName("out")
+	ctl := c.NodeByName("ctl")
+	c.AddV("vin", in, Ground, func(float64) float64 { return 2 })
+	c.AddV("vctl", ctl, Ground, func(t float64) float64 {
+		if t > 0.5e-3 {
+			return 2.5
+		}
+		return -2.5
+	})
+	c.AddSwitch("sw", in, out, ctl, Ground, 100, 1e9, 0)
+	c.AddR("rl", out, Ground, 1e4)
+	tr, err := c.Transient(1e-3, 1e-5)
+	if err != nil {
+		t.Fatalf("tran: %v", err)
+	}
+	vout := tr.Node("out")
+	if v := vout[10]; math.Abs(v) > 0.01 {
+		t.Errorf("open switch leaks: %g", v)
+	}
+	if v := vout[len(vout)-1]; math.Abs(v-2*1e4/(1e4+100)) > 0.01 {
+		t.Errorf("closed switch out = %g, want ~1.98", v)
+	}
+}
+
+func TestBehavioralFunc(t *testing.T) {
+	c := New()
+	a := c.NodeByName("a")
+	b := c.NodeByName("b")
+	out := c.NodeByName("out")
+	c.AddV("va", a, Ground, func(float64) float64 { return 2 })
+	c.AddV("vb", b, Ground, func(float64) float64 { return 3 })
+	c.AddFunc("mul", out, []Node{a, b}, func(v []float64) float64 { return v[0] * v[1] })
+	c.AddR("rl", out, Ground, 1e4)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("dc: %v", err)
+	}
+	if got := sol.V(out); math.Abs(got-6) > 1e-6 {
+		t.Errorf("func out = %g, want 6", got)
+	}
+}
+
+func TestSingularMatrixDetected(t *testing.T) {
+	c := New()
+	n := c.NodeByName("floating")
+	c.AddI("i1", Ground, n, func(float64) float64 { return 1e-3 })
+	// No DC path from n: singular.
+	if _, err := c.DC(); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}
+
+func TestTransientArgumentValidation(t *testing.T) {
+	c := New()
+	if _, err := c.Transient(0, 1e-6); err == nil {
+		t.Error("zero tstop should fail")
+	}
+	if _, err := c.Transient(1e-3, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+func TestTrapezoidalMoreAccurateThanBE(t *testing.T) {
+	// RC step response at a coarse step: the trapezoidal rule's error at
+	// t = tau must be well below backward Euler's.
+	run := func(m Method) float64 {
+		c := New()
+		c.SetMethod(m)
+		in := c.NodeByName("in")
+		out := c.NodeByName("out")
+		c.AddV("v1", in, Ground, func(float64) float64 { return 1 })
+		c.AddR("r1", in, out, 1e3)
+		c.AddC("c1", out, Ground, 1e-6, 0)
+		tr, err := c.Transient(1e-3, 5e-5) // 20 steps per tau
+		if err != nil {
+			t.Fatalf("tran: %v", err)
+		}
+		got := tr.Node("out")[len(tr.Node("out"))-1]
+		return math.Abs(got - (1 - math.Exp(-1)))
+	}
+	be := run(BackwardEuler)
+	tz := run(Trapezoidal)
+	if tz > be/5 {
+		t.Errorf("trapezoidal error %g should be well below backward Euler %g", tz, be)
+	}
+}
+
+func TestTrapezoidalLCOscillatorUndamped(t *testing.T) {
+	// An RC relaxation comparison is indirect; instead verify low numerical
+	// damping on a lightly loaded RC divider driven by a sine: amplitude
+	// tracking error stays small at 20 steps/period.
+	c := New()
+	c.SetMethod(Trapezoidal)
+	in := c.NodeByName("in")
+	out := c.NodeByName("out")
+	f := 1e3
+	c.AddV("v1", in, Ground, func(t float64) float64 { return math.Sin(2 * math.Pi * f * t) })
+	c.AddR("r1", in, out, 1e3)
+	c.AddC("c1", out, Ground, 1e-9, 0) // corner at 159 kHz: nearly unity
+	tr, err := c.Transient(5e-3, 5e-5)
+	if err != nil {
+		t.Fatalf("tran: %v", err)
+	}
+	if max := tr.Max("out"); math.Abs(max-1) > 0.02 {
+		t.Errorf("amplitude = %g, want ~1 (negligible damping)", max)
+	}
+}

@@ -1,0 +1,307 @@
+// Package netlist represents synthesized analog systems as netlists of
+// library components at the op amp level — the output of the VASE
+// architecture generator and the input to topology selection, transistor
+// sizing, and simulation.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vase/internal/estimate"
+	"vase/internal/library"
+)
+
+// Net is an electrical node of the component netlist.
+type Net struct {
+	ID   int
+	Name string
+	// Const marks nets tied to a constant level (reference sources):
+	// non-nil means the net is driven by a bias/reference of that value.
+	Const *float64
+}
+
+// Component is one instantiated library cell.
+type Component struct {
+	ID   int
+	Name string
+	Cell *library.Cell
+	// Inputs are the driven input nets in positional order.
+	Inputs []*Net
+	// Ctrl is the control net of switched cells (nil otherwise).
+	Ctrl *Net
+	// Out is the output net.
+	Out *Net
+	// Params carries the electrical parameters of the instance: "gain",
+	// "gain0", "gain1" (per-input weights), "threshold", "hysteresis",
+	// "limit", "bits", "k" (integrator 1/RC), "load" (ohms).
+	Params map[string]float64
+	// Estimate is filled by sizing.
+	Estimate *estimate.CellEstimate
+	// Shared marks components reused across signal paths.
+	Shared bool
+}
+
+// Param returns a parameter value or def when absent.
+func (c *Component) Param(name string, def float64) float64 {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// SetParam sets one instance parameter.
+func (c *Component) SetParam(name string, v float64) {
+	if c.Params == nil {
+		c.Params = map[string]float64{}
+	}
+	c.Params[name] = v
+}
+
+// PortDir is an external port direction.
+type PortDir int
+
+// Port directions.
+const (
+	In PortDir = iota
+	Out
+)
+
+// Port is an external connection of the netlist.
+type Port struct {
+	Name string
+	Dir  PortDir
+	Net  *Net
+}
+
+// Netlist is a synthesized design: components, nets and external ports.
+type Netlist struct {
+	Name       string
+	Components []*Component
+	Nets       []*Net
+	Ports      []*Port
+
+	nextNet int
+}
+
+// New returns an empty netlist.
+func New(name string) *Netlist { return &Netlist{Name: name} }
+
+// NewNet allocates a named node.
+func (n *Netlist) NewNet(name string) *Net {
+	net := &Net{ID: n.nextNet, Name: name}
+	if net.Name == "" {
+		net.Name = fmt.Sprintf("n%d", net.ID)
+	}
+	n.nextNet++
+	n.Nets = append(n.Nets, net)
+	return net
+}
+
+// AddComponent instantiates a cell with the given connections.
+func (n *Netlist) AddComponent(cell *library.Cell, name string, inputs []*Net, out *Net) *Component {
+	c := &Component{
+		ID:     len(n.Components),
+		Name:   name,
+		Cell:   cell,
+		Inputs: inputs,
+		Out:    out,
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("%s_%d", cell.Kind, c.ID)
+	}
+	n.Components = append(n.Components, c)
+	return c
+}
+
+// AddPort declares an external port bound to a net.
+func (n *Netlist) AddPort(name string, dir PortDir, net *Net) *Port {
+	p := &Port{Name: name, Dir: dir, Net: net}
+	n.Ports = append(n.Ports, p)
+	return p
+}
+
+// PortByName returns the named port or nil.
+func (n *Netlist) PortByName(name string) *Port {
+	for _, p := range n.Ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// OpAmpCount returns the total op-amp budget of the netlist, counting
+// shared components once.
+func (n *Netlist) OpAmpCount() int {
+	total := 0
+	for _, c := range n.Components {
+		total += c.Cell.OpAmps
+	}
+	return total
+}
+
+// CountKind returns the number of components of the given cell kind.
+func (n *Netlist) CountKind(k library.CellKind) int {
+	count := 0
+	for _, c := range n.Components {
+		if c.Cell.Kind == k {
+			count++
+		}
+	}
+	return count
+}
+
+// Summary renders the synthesis-result summary in the style of the paper's
+// Table 1 last column: "2 amplif., 1 zero-cross det.".
+func (n *Netlist) Summary() string {
+	counts := map[string]int{}
+	order := []string{}
+	add := func(label string) {
+		if counts[label] == 0 {
+			order = append(order, label)
+		}
+		counts[label]++
+	}
+	for _, c := range n.Components {
+		switch {
+		case c.Cell.Kind.IsAmplifier():
+			add("amplif.")
+		case c.Cell.Kind == library.CellIntegrator:
+			add("integ.")
+		case c.Cell.Kind == library.CellDiff:
+			add("differ.")
+		case c.Cell.Kind == library.CellComparator:
+			add("zero-cross det.")
+		case c.Cell.Kind == library.CellSchmitt:
+			add("Schmitt trigger")
+		case c.Cell.Kind == library.CellSampleHold:
+			add("S/H")
+		case c.Cell.Kind == library.CellADC:
+			add("ADC")
+		case c.Cell.Kind == library.CellMux:
+			add("MUX")
+		case c.Cell.Kind == library.CellLogAmp:
+			add("log.amplif.")
+		case c.Cell.Kind == library.CellAntilogAmp:
+			add("anti-log.amplif.")
+		case c.Cell.Kind == library.CellMultiplier:
+			add("multiplier")
+		case c.Cell.Kind == library.CellDivider:
+			add("divider")
+		case c.Cell.Kind == library.CellLowPass:
+			add("low-pass filt.")
+		case c.Cell.Kind == library.CellBandPass:
+			add("band-pass filt.")
+		case c.Cell.Kind == library.CellOutputStage, c.Cell.Kind == library.CellLimiter:
+			// Interfacing stages are not listed in the paper's summaries.
+		case c.Cell.Kind == library.CellSwitch:
+			add("switch")
+		default:
+			add(c.Cell.Kind.String())
+		}
+	}
+	var parts []string
+	for _, label := range order {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[label], label))
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Report is the sized roll-up of a netlist.
+type Report struct {
+	OpAmps  int
+	AreaUm2 float64
+	PowerMW float64
+	// PerComponent lists component name -> area.
+	PerComponent map[string]float64
+}
+
+// Estimate sizes every component for the given process and system spec and
+// returns the roll-up. Component Estimate fields are filled in place.
+func (n *Netlist) Estimate(p estimate.Process, sys estimate.SystemSpec) (*Report, error) {
+	rep := &Report{PerComponent: map[string]float64{}}
+	for _, c := range n.Components {
+		inst := estimate.CellInstance{
+			Cell:    c.Cell,
+			Gain:    maxGainOf(c),
+			Inputs:  len(c.Inputs),
+			LoadRes: c.Param("load", 0),
+			PeakOut: c.Param("peak", 0),
+		}
+		est, err := estimate.EstimateCell(p, sys, inst)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: component %s: %w", c.Name, err)
+		}
+		c.Estimate = &est
+		rep.OpAmps += c.Cell.OpAmps
+		rep.AreaUm2 += est.AreaUm2
+		rep.PowerMW += est.Power * 1e3
+		rep.PerComponent[c.Name] = est.AreaUm2
+	}
+	return rep, nil
+}
+
+func maxGainOf(c *Component) float64 {
+	g := c.Param("gain", 1)
+	if g < 0 {
+		g = -g
+	}
+	for k, v := range c.Params {
+		if strings.HasPrefix(k, "gain") {
+			if v < 0 {
+				v = -v
+			}
+			if v > g {
+				g = v
+			}
+		}
+	}
+	return g
+}
+
+// Dump renders a deterministic text form of the netlist.
+func (n *Netlist) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netlist %s\n", n.Name)
+	for _, p := range n.Ports {
+		dir := "in"
+		if p.Dir == Out {
+			dir = "out"
+		}
+		fmt.Fprintf(&b, "  port %s %s net=%s\n", dir, p.Name, p.Net.Name)
+	}
+	for _, c := range n.Components {
+		var ins []string
+		for _, in := range c.Inputs {
+			ins = append(ins, in.Name)
+		}
+		line := fmt.Sprintf("  %s %s", c.Cell.Kind, c.Name)
+		var params []string
+		for k, v := range c.Params {
+			params = append(params, fmt.Sprintf("%s=%g", k, v))
+		}
+		sort.Strings(params)
+		if len(params) > 0 {
+			line += " [" + strings.Join(params, " ") + "]"
+		}
+		if len(ins) > 0 {
+			line += " in=(" + strings.Join(ins, ", ") + ")"
+		}
+		if c.Ctrl != nil {
+			line += " ctrl=" + c.Ctrl.Name
+		}
+		if c.Out != nil {
+			line += " out=" + c.Out.Name
+		}
+		if c.Shared {
+			line += " shared"
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}

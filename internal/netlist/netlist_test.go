@@ -1,0 +1,180 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"vase/internal/estimate"
+	"vase/internal/library"
+)
+
+// buildSimple constructs in -> inv_amp -> integrator -> out with a
+// comparator side path.
+func buildSimple() *Netlist {
+	nl := New("simple")
+	in := nl.NewNet("in")
+	mid := nl.NewNet("mid")
+	out := nl.NewNet("out")
+	ctl := nl.NewNet("ctl")
+	nl.AddPort("in", In, in)
+	amp := nl.AddComponent(library.Get(library.CellInvAmp), "amp", []*Net{in}, mid)
+	amp.SetParam("gain", -3)
+	integ := nl.AddComponent(library.Get(library.CellIntegrator), "integ", []*Net{mid}, out)
+	integ.SetParam("gain0", 1)
+	cmp := nl.AddComponent(library.Get(library.CellComparator), "cmp", []*Net{out}, ctl)
+	cmp.SetParam("threshold", 0.5)
+	nl.AddPort("out", Out, out)
+	return nl
+}
+
+func TestOpAmpCount(t *testing.T) {
+	nl := buildSimple()
+	if n := nl.OpAmpCount(); n != 3 {
+		t.Errorf("op amps = %d, want 3", n)
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	nl := buildSimple()
+	if nl.CountKind(library.CellInvAmp) != 1 || nl.CountKind(library.CellIntegrator) != 1 {
+		t.Error("kind counts wrong")
+	}
+	if nl.CountKind(library.CellADC) != 0 {
+		t.Error("phantom ADC")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	nl := buildSimple()
+	s := nl.Summary()
+	for _, want := range []string{"1 amplif.", "1 integ.", "1 zero-cross det."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestSummaryOmitsInterfacing(t *testing.T) {
+	nl := New("x")
+	in := nl.NewNet("in")
+	out := nl.NewNet("out")
+	nl.AddComponent(library.Get(library.CellOutputStage), "stage", []*Net{in}, out)
+	if s := nl.Summary(); strings.Contains(s, "output") {
+		t.Errorf("interfacing stages must be unlisted, got %q", s)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	if s := New("e").Summary(); s != "(empty)" {
+		t.Errorf("empty summary = %q", s)
+	}
+}
+
+func TestEstimateReport(t *testing.T) {
+	nl := buildSimple()
+	rep, err := nl.Estimate(estimate.SCN20, estimate.DefaultSystemSpec())
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	if rep.OpAmps != 3 {
+		t.Errorf("report op amps = %d", rep.OpAmps)
+	}
+	if rep.AreaUm2 <= 0 || rep.PowerMW <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if len(rep.PerComponent) != 3 {
+		t.Errorf("per-component entries = %d", len(rep.PerComponent))
+	}
+	for _, c := range nl.Components {
+		if c.Estimate == nil {
+			t.Errorf("component %s not sized", c.Name)
+		}
+	}
+}
+
+func TestDumpContainsEverything(t *testing.T) {
+	nl := buildSimple()
+	d := nl.Dump()
+	for _, want := range []string{"netlist simple", "port in in", "port out out",
+		"inv_amp amp [gain=-3]", "integrator integ", "zero_cross_det cmp [threshold=0.5]"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+	if nl.Dump() != d {
+		t.Error("dump not deterministic")
+	}
+}
+
+func TestPortByName(t *testing.T) {
+	nl := buildSimple()
+	if nl.PortByName("in") == nil || nl.PortByName("out") == nil {
+		t.Error("ports missing")
+	}
+	if nl.PortByName("ghost") != nil {
+		t.Error("phantom port")
+	}
+}
+
+func TestParamDefaults(t *testing.T) {
+	c := &Component{}
+	if c.Param("gain", 7) != 7 {
+		t.Error("default not returned")
+	}
+	c.SetParam("gain", 2)
+	if c.Param("gain", 7) != 2 {
+		t.Error("set value not returned")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	nl := buildSimple()
+	order, err := nl.Topological()
+	if err != nil {
+		t.Fatalf("topo: %v", err)
+	}
+	pos := map[string]int{}
+	for i, c := range order {
+		pos[c.Name] = i
+	}
+	if pos["amp"] > pos["cmp"] {
+		// cmp reads the integrator (state source), amp feeds it; both
+		// orders are fine for cmp, but amp must exist.
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %d components", len(order))
+	}
+}
+
+func TestTopologicalDetectsLoop(t *testing.T) {
+	nl := New("loop")
+	a := nl.NewNet("a")
+	b := nl.NewNet("b")
+	nl.AddComponent(library.Get(library.CellInvAmp), "x", []*Net{a}, b)
+	nl.AddComponent(library.Get(library.CellInvAmp), "y", []*Net{b}, a)
+	if _, err := nl.Topological(); err == nil {
+		t.Fatal("expected combinational loop error")
+	}
+}
+
+func TestStatefulBreaksLoop(t *testing.T) {
+	nl := New("ok")
+	a := nl.NewNet("a")
+	b := nl.NewNet("b")
+	nl.AddComponent(library.Get(library.CellIntegrator), "i", []*Net{a}, b)
+	nl.AddComponent(library.Get(library.CellInvAmp), "g", []*Net{b}, a)
+	if _, err := nl.Topological(); err != nil {
+		t.Fatalf("integrator loop should be legal: %v", err)
+	}
+}
+
+func TestSharedComponentDump(t *testing.T) {
+	nl := New("s")
+	in := nl.NewNet("in")
+	out := nl.NewNet("out")
+	c := nl.AddComponent(library.Get(library.CellInvAmp), "a", []*Net{in}, out)
+	c.Shared = true
+	if !strings.Contains(nl.Dump(), "shared") {
+		t.Error("shared marker missing from dump")
+	}
+}

@@ -1,0 +1,91 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vase/internal/estimate"
+)
+
+// SizedOpAmp is one op amp instance after transistor sizing: the design
+// step following behavioral synthesis in the VASE flow (Figure 1), which
+// the paper applied to the receiver and power-meter netlists.
+type SizedOpAmp struct {
+	Component string
+	Index     int
+	Design    estimate.OpAmpDesign
+}
+
+// SizingReport assigns every op amp of the netlist a two-stage topology
+// sized for its instance requirements, and returns the flat list (stable
+// component order).
+func (n *Netlist) SizingReport(p estimate.Process, sys estimate.SystemSpec) ([]SizedOpAmp, error) {
+	if _, err := n.Estimate(p, sys); err != nil {
+		return nil, err
+	}
+	var out []SizedOpAmp
+	for _, c := range n.Components {
+		if c.Estimate == nil {
+			continue
+		}
+		for i, d := range c.Estimate.OpAmps {
+			out = append(out, SizedOpAmp{Component: c.Name, Index: i, Design: d})
+		}
+	}
+	return out, nil
+}
+
+// FormatSizing renders the sizing report as the transistor dimension tables
+// a designer would hand to layout: one two-stage op amp per row group.
+func FormatSizing(p estimate.Process, sized []SizedOpAmp) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transistor sizing (%s; topology per instance by component selection)\n", p.Name)
+	fmt.Fprintf(&b, "%-22s %-18s %8s %10s %10s %12s %10s\n",
+		"op amp", "topology", "Cc [pF]", "Itail [uA]", "UGF [MHz]", "SR [V/us]", "area[um2]")
+	for _, s := range sized {
+		d := s.Design
+		label := s.Component
+		if s.Index > 0 {
+			label = fmt.Sprintf("%s#%d", s.Component, s.Index+1)
+		}
+		fmt.Fprintf(&b, "%-22s %-18s %8.2f %10.1f %10.2f %12.2f %10.0f\n",
+			label, d.Topology, d.Cc*1e12, d.ITail*1e6,
+			d.AchievedUGF/1e6, d.AchievedSR/1e6, d.AreaUm2)
+		// Transistor dimension table (W/L in µm).
+		var dims []string
+		for i := 0; i < 8; i++ {
+			dims = append(dims, fmt.Sprintf("M%d %.1f/%.1f", i+1, d.W[i], d.L[i]))
+		}
+		fmt.Fprintf(&b, "    %s\n", strings.Join(dims, "  "))
+	}
+	return b.String()
+}
+
+// AreaBreakdown summarizes the report per cell kind, largest first.
+func AreaBreakdown(n *Netlist) string {
+	byKind := map[string]float64{}
+	for _, c := range n.Components {
+		if c.Estimate != nil {
+			byKind[c.Cell.Name] += c.Estimate.AreaUm2
+		}
+	}
+	type kv struct {
+		name string
+		area float64
+	}
+	var rows []kv
+	total := 0.0
+	for k, v := range byKind {
+		rows = append(rows, kv{k, v})
+		total += v
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].area > rows[j].area })
+	var b strings.Builder
+	b.WriteString("area breakdown:\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %10.0f um^2  (%4.1f%%)\n", r.name, r.area, 100*r.area/total)
+	}
+	fmt.Fprintf(&b, "  %-28s %10.0f um^2\n", "total", total)
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"vase/internal/estimate"
+	"vase/internal/library"
+)
+
+func TestSizingReport(t *testing.T) {
+	nl := buildSimple()
+	sized, err := nl.SizingReport(estimate.SCN20, estimate.DefaultSystemSpec())
+	if err != nil {
+		t.Fatalf("sizing: %v", err)
+	}
+	if len(sized) != nl.OpAmpCount() {
+		t.Fatalf("sized %d op amps, netlist has %d", len(sized), nl.OpAmpCount())
+	}
+	for _, s := range sized {
+		d := s.Design
+		if d.AreaUm2 <= 0 || d.Power <= 0 {
+			t.Errorf("%s: bad design %+v", s.Component, d)
+		}
+		for i := range d.W {
+			if d.W[i] < estimate.SCN20.Wmin || d.L[i] < estimate.SCN20.Lmin {
+				t.Errorf("%s M%d: %g/%g below process minimums", s.Component, i+1, d.W[i], d.L[i])
+			}
+		}
+	}
+}
+
+func TestSizingDrivenStageIsBigger(t *testing.T) {
+	nl := New("drv")
+	in := nl.NewNet("in")
+	out := nl.NewNet("out")
+	mid := nl.NewNet("mid")
+	small := nl.AddComponent(library.Get(library.CellInvAmp), "small", []*Net{in}, mid)
+	small.SetParam("gain", -2)
+	stage := nl.AddComponent(library.Get(library.CellOutputStage), "stage", []*Net{mid}, out)
+	stage.SetParam("load", 270)
+	sized, err := nl.SizingReport(estimate.SCN20, estimate.DefaultSystemSpec())
+	if err != nil {
+		t.Fatalf("sizing: %v", err)
+	}
+	byName := map[string]estimate.OpAmpDesign{}
+	for _, s := range sized {
+		byName[s.Component] = s.Design
+	}
+	if byName["stage"].I6 <= byName["small"].I6 {
+		t.Errorf("the 270-ohm drive stage should need more output current: %g vs %g",
+			byName["stage"].I6, byName["small"].I6)
+	}
+}
+
+func TestFormatSizing(t *testing.T) {
+	nl := buildSimple()
+	sized, err := nl.SizingReport(estimate.SCN20, estimate.DefaultSystemSpec())
+	if err != nil {
+		t.Fatalf("sizing: %v", err)
+	}
+	text := FormatSizing(estimate.SCN20, sized)
+	for _, want := range []string{"transistor sizing", "MOSIS SCN 2.0um", "M1", "Cc [pF]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sizing text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAreaBreakdown(t *testing.T) {
+	nl := buildSimple()
+	if _, err := nl.Estimate(estimate.SCN20, estimate.DefaultSystemSpec()); err != nil {
+		t.Fatal(err)
+	}
+	text := AreaBreakdown(nl)
+	for _, want := range []string{"area breakdown", "total", "%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSampleHoldSizedTwice(t *testing.T) {
+	nl := New("sh")
+	in := nl.NewNet("in")
+	out := nl.NewNet("out")
+	ctl := nl.NewNet("ctl")
+	cmp := nl.AddComponent(library.Get(library.CellComparator), "cmp", []*Net{in}, ctl)
+	_ = cmp
+	sh := nl.AddComponent(library.Get(library.CellSampleHold), "sh", []*Net{in}, out)
+	sh.Ctrl = ctl
+	sized, err := nl.SizingReport(estimate.SCN20, estimate.DefaultSystemSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, s := range sized {
+		if s.Component == "sh" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("S/H sized %d op amps, want 2 (input and output buffers)", count)
+	}
+}

@@ -1,0 +1,73 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vase/internal/library"
+)
+
+// IsStateful reports whether a component breaks combinational loops
+// (integrators and sample-and-holds hold state).
+func (c *Component) IsStateful() bool {
+	return c.Cell.Kind == library.CellIntegrator || c.Cell.Kind == library.CellSampleHold
+}
+
+// Topological orders components so that every component follows the drivers
+// of its inputs, with stateful components acting as sources. It fails on
+// combinational loops.
+func (n *Netlist) Topological() ([]*Component, error) {
+	driver := map[*Net]*Component{}
+	for _, c := range n.Components {
+		if c.Out != nil {
+			driver[c.Out] = c
+		}
+	}
+	indeg := map[*Component]int{}
+	readers := map[*Component][]*Component{}
+	for _, c := range n.Components {
+		if c.IsStateful() {
+			indeg[c] = 0
+			continue
+		}
+		nets := append([]*Net{}, c.Inputs...)
+		if c.Ctrl != nil {
+			nets = append(nets, c.Ctrl)
+		}
+		for _, in := range nets {
+			if d := driver[in]; d != nil {
+				indeg[c]++
+				readers[d] = append(readers[d], c)
+			}
+		}
+	}
+	var queue, order []*Component
+	for _, c := range n.Components {
+		if indeg[c] == 0 {
+			queue = append(queue, c)
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		order = append(order, c)
+		for _, r := range readers[c] {
+			indeg[r]--
+			if indeg[r] == 0 {
+				queue = append(queue, r)
+			}
+		}
+	}
+	if len(order) != len(n.Components) {
+		var stuck []string
+		for _, c := range n.Components {
+			if indeg[c] > 0 {
+				stuck = append(stuck, c.Name)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("netlist: combinational loop among components %s", strings.Join(stuck, ", "))
+	}
+	return order, nil
+}

@@ -1,0 +1,919 @@
+// Package parser implements a recursive-descent parser for VASS, the
+// VHDL-AMS subset for behavioral synthesis of analog systems.
+//
+// The grammar covers the constructs admitted by the DATE'99 paper: entity
+// declarations with annotated quantity/signal/terminal ports, architecture
+// bodies, packages, simple simultaneous statements ("lhs == rhs"),
+// simultaneous if/use and case/use statements, procedural statements, and
+// restricted process statements. Synthesis annotations ("is voltage",
+// "is limited at 1.5", "is drives 270.0 at 0.285 peak") are parsed into
+// structured ast.Annotation values. Numeric literals accept engineering unit
+// suffixes (mV, kohm, ...) which the parser folds into the value.
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"vase/internal/ast"
+	"vase/internal/lexer"
+	"vase/internal/source"
+	"vase/internal/token"
+)
+
+// Parse scans and parses the given source text registered under name.
+// It always returns the (possibly partial) design file; errs is non-nil
+// when diagnostics were produced.
+func Parse(name, text string) (*ast.DesignFile, error) {
+	var errs source.ErrorList
+	file := source.NewFile(name, text)
+	toks := lexer.ScanAll(file, &errs)
+	p := &parser{file: file, toks: toks, errs: &errs}
+	df := p.parseFile()
+	errs.Sort()
+	return df, errs.Err()
+}
+
+type parser struct {
+	file *source.File
+	toks []lexer.Token
+	pos  int
+	errs *source.ErrorList
+}
+
+func (p *parser) tok() lexer.Token     { return p.toks[p.pos] }
+func (p *parser) kind() token.Kind     { return p.toks[p.pos].Kind }
+func (p *parser) at(k token.Kind) bool { return p.kind() == k }
+
+func (p *parser) peekKind(n int) token.Kind {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n].Kind
+	}
+	return token.EOF
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(sp source.Span, format string, args ...any) {
+	p.errs.Add(p.file.Position(sp.Start), format, args...)
+}
+
+// expect consumes a token of kind k, reporting an error (without consuming)
+// when the current token differs.
+func (p *parser) expect(k token.Kind) lexer.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	t := p.tok()
+	p.errorf(t.Span, "expected %s, found %s %q", k, t.Kind, t.Text)
+	return lexer.Token{Kind: k, Span: t.Span}
+}
+
+// accept consumes a token of kind k when present and reports whether it did.
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// sync skips tokens until one of the kinds in stop (or EOF) is current.
+func (p *parser) sync(stop ...token.Kind) {
+	for !p.at(token.EOF) {
+		for _, k := range stop {
+			if p.at(k) {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *parser) ident() *ast.Ident {
+	t := p.expect(token.IDENT)
+	return &ast.Ident{SpanV: t.Span, Name: t.Text, Canon: strings.ToLower(t.Text)}
+}
+
+// identLike accepts an identifier or any keyword, treating the keyword as a
+// plain name. Used for annotation names where "range" is a keyword.
+func (p *parser) identLike() *ast.Ident {
+	t := p.tok()
+	if t.Kind == token.IDENT || t.Kind.IsKeyword() {
+		p.next()
+		name := t.Text
+		if name == "" {
+			name = t.Kind.String()
+		}
+		return &ast.Ident{SpanV: t.Span, Name: name, Canon: strings.ToLower(name)}
+	}
+	p.errorf(t.Span, "expected identifier, found %s", t.Kind)
+	return &ast.Ident{SpanV: t.Span, Name: "<error>", Canon: "<error>"}
+}
+
+// ---------------------------------------------------------------------------
+// Design units
+
+func (p *parser) parseFile() *ast.DesignFile {
+	df := &ast.DesignFile{File: p.file, SpanV: source.NewSpan(0, source.Pos(p.file.Size()))}
+	for !p.at(token.EOF) {
+		switch p.kind() {
+		case token.ENTITY:
+			df.Units = append(df.Units, p.parseEntity())
+		case token.ARCHITECTURE:
+			df.Units = append(df.Units, p.parseArchitecture())
+		case token.PACKAGE:
+			df.Units = append(df.Units, p.parsePackage())
+		case token.LIBRARY, token.USE:
+			// Library/use clauses are accepted and ignored: VASS designs are
+			// self-contained once packages in the same file are visible.
+			p.sync(token.SEMICOLON)
+			p.accept(token.SEMICOLON)
+		default:
+			t := p.tok()
+			p.errorf(t.Span, "expected design unit (entity, architecture, package), found %s %q", t.Kind, t.Text)
+			p.sync(token.ENTITY, token.ARCHITECTURE, token.PACKAGE)
+			if p.at(t.Kind) && p.kind() != token.ENTITY && p.kind() != token.ARCHITECTURE && p.kind() != token.PACKAGE {
+				return df
+			}
+			if p.at(token.EOF) {
+				return df
+			}
+		}
+	}
+	return df
+}
+
+func (p *parser) parseEntity() *ast.Entity {
+	start := p.expect(token.ENTITY).Span
+	e := &ast.Entity{Name: p.ident()}
+	p.expect(token.IS)
+	if p.at(token.GENERIC) {
+		p.next()
+		p.expect(token.LPAREN)
+		e.Generics = p.parseInterfaceList(ast.ClassConstant)
+		p.expect(token.RPAREN)
+		p.expect(token.SEMICOLON)
+	}
+	if p.at(token.PORT) {
+		p.next()
+		p.expect(token.LPAREN)
+		e.Ports = p.parseInterfaceList(ast.ClassQuantity)
+		p.expect(token.RPAREN)
+		p.expect(token.SEMICOLON)
+	}
+	end := p.parseEndClause(token.ENTITY, e.Name.Canon)
+	e.SpanV = source.NewSpan(start.Start, end)
+	return e
+}
+
+// parseEndClause consumes "end [kw [body]] [name];" and returns the end
+// position.
+func (p *parser) parseEndClause(kw token.Kind, name string) source.Pos {
+	p.expect(token.END)
+	if p.accept(kw) && kw == token.PACKAGE {
+		p.accept(token.BODY)
+	}
+	if p.at(token.IDENT) {
+		id := p.ident()
+		if name != "" && id.Canon != name {
+			p.errorf(id.SpanV, "end name %q does not match %q", id.Name, name)
+		}
+	}
+	t := p.expect(token.SEMICOLON)
+	return t.Span.End
+}
+
+// parseInterfaceList parses semicolon-separated interface declarations.
+func (p *parser) parseInterfaceList(defaultClass ast.ObjectClass) []*ast.ObjectDecl {
+	var out []*ast.ObjectDecl
+	for {
+		d := p.parseInterfaceDecl(defaultClass)
+		if d != nil {
+			out = append(out, d)
+		}
+		if !p.accept(token.SEMICOLON) {
+			return out
+		}
+		if p.at(token.RPAREN) { // tolerate trailing semicolon
+			return out
+		}
+	}
+}
+
+func (p *parser) parseInterfaceDecl(defaultClass ast.ObjectClass) *ast.ObjectDecl {
+	d := &ast.ObjectDecl{Class: defaultClass}
+	start := p.tok().Span
+	switch p.kind() {
+	case token.QUANTITY:
+		p.next()
+		d.Class = ast.ClassQuantity
+	case token.SIGNAL:
+		p.next()
+		d.Class = ast.ClassSignal
+	case token.TERMINAL:
+		p.next()
+		d.Class = ast.ClassTerminal
+	case token.CONSTANT:
+		p.next()
+		d.Class = ast.ClassConstant
+	}
+	d.Names = append(d.Names, p.ident())
+	for p.accept(token.COMMA) {
+		d.Names = append(d.Names, p.ident())
+	}
+	p.expect(token.COLON)
+	switch p.kind() {
+	case token.IN:
+		p.next()
+		d.Mode = ast.ModeIn
+	case token.OUT:
+		p.next()
+		d.Mode = ast.ModeOut
+	}
+	d.Type = p.parseTypeRef()
+	if p.accept(token.ASSIGN) {
+		d.Init = p.parseExpr()
+	}
+	d.Annotations = p.parseAnnotations()
+	end := p.toks[p.pos-1].Span.End
+	d.SpanV = source.NewSpan(start.Start, end)
+	return d
+}
+
+func (p *parser) parsePackage() ast.DesignUnit {
+	start := p.expect(token.PACKAGE).Span
+	if p.accept(token.BODY) {
+		pb := &ast.PackageBody{Name: p.ident()}
+		p.expect(token.IS)
+		pb.Decls = p.parseDecls()
+		end := p.parseEndClause(token.PACKAGE, pb.Name.Canon)
+		pb.SpanV = source.NewSpan(start.Start, end)
+		return pb
+	}
+	pk := &ast.Package{Name: p.ident()}
+	p.expect(token.IS)
+	pk.Decls = p.parseDecls()
+	end := p.parseEndClause(token.PACKAGE, pk.Name.Canon)
+	pk.SpanV = source.NewSpan(start.Start, end)
+	return pk
+}
+
+func (p *parser) parseArchitecture() *ast.Architecture {
+	start := p.expect(token.ARCHITECTURE).Span
+	a := &ast.Architecture{Name: p.ident()}
+	p.expect(token.OF)
+	a.Entity = p.ident()
+	p.expect(token.IS)
+	a.Decls = p.parseDecls()
+	p.expect(token.BEGIN)
+	for !p.at(token.END) && !p.at(token.EOF) {
+		s := p.parseConcStmt()
+		if s == nil {
+			break
+		}
+		a.Stmts = append(a.Stmts, s)
+	}
+	end := p.parseEndClause(token.ARCHITECTURE, a.Name.Canon)
+	a.SpanV = source.NewSpan(start.Start, end)
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) parseDecls() []ast.Decl {
+	var out []ast.Decl
+	for {
+		switch p.kind() {
+		case token.QUANTITY, token.SIGNAL, token.TERMINAL, token.CONSTANT, token.VARIABLE:
+			out = append(out, p.parseObjectDecl())
+		case token.FUNCTION:
+			out = append(out, p.parseFunctionDecl())
+		default:
+			return out
+		}
+	}
+}
+
+func (p *parser) parseObjectDecl() *ast.ObjectDecl {
+	start := p.tok().Span
+	d := &ast.ObjectDecl{}
+	switch p.next().Kind {
+	case token.QUANTITY:
+		d.Class = ast.ClassQuantity
+	case token.SIGNAL:
+		d.Class = ast.ClassSignal
+	case token.TERMINAL:
+		d.Class = ast.ClassTerminal
+	case token.CONSTANT:
+		d.Class = ast.ClassConstant
+	case token.VARIABLE:
+		d.Class = ast.ClassVariable
+	}
+	d.Names = append(d.Names, p.ident())
+	for p.accept(token.COMMA) {
+		d.Names = append(d.Names, p.ident())
+	}
+	p.expect(token.COLON)
+	d.Type = p.parseTypeRef()
+	if p.accept(token.ASSIGN) {
+		d.Init = p.parseExpr()
+	}
+	d.Annotations = p.parseAnnotations()
+	end := p.expect(token.SEMICOLON).Span.End
+	d.SpanV = source.NewSpan(start.Start, end)
+	return d
+}
+
+func (p *parser) parseFunctionDecl() *ast.FunctionDecl {
+	start := p.expect(token.FUNCTION).Span
+	f := &ast.FunctionDecl{Name: p.ident()}
+	if p.accept(token.LPAREN) {
+		f.Params = p.parseInterfaceList(ast.ClassConstant)
+		p.expect(token.RPAREN)
+	}
+	p.expect(token.RETURN)
+	f.Result = p.parseTypeRef()
+	if p.accept(token.SEMICOLON) {
+		// Declaration only (package header); no body.
+		f.SpanV = source.NewSpan(start.Start, f.Result.SpanV.End)
+		return f
+	}
+	p.expect(token.IS)
+	f.Decls = p.parseDecls()
+	p.expect(token.BEGIN)
+	f.Body = p.parseSeqStmts()
+	end := p.parseEndClause(token.FUNCTION, f.Name.Canon)
+	f.SpanV = source.NewSpan(start.Start, end)
+	return f
+}
+
+func (p *parser) parseTypeRef() *ast.TypeRef {
+	id := p.ident()
+	t := &ast.TypeRef{SpanV: id.SpanV, Name: id}
+	if p.at(token.LPAREN) {
+		p.next()
+		lo := p.parseExpr()
+		down := false
+		switch p.kind() {
+		case token.TO:
+			p.next()
+		case token.DOWNTO:
+			p.next()
+			down = true
+		default:
+			p.errorf(p.tok().Span, "expected to or downto in type constraint")
+		}
+		hi := p.parseExpr()
+		end := p.expect(token.RPAREN).Span.End
+		t.Constraint = &ast.RangeExpr{SpanV: source.NewSpan(id.SpanV.Start, end), Lo: lo, Hi: hi, Down: down}
+		t.SpanV = source.NewSpan(id.SpanV.Start, end)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+//
+//	annotations ::= { IS annot }
+//	annot       ::= "voltage" | "current"
+//	              | "limited" [ "at" expr ]
+//	              | "drives" expr "at" expr [ "peak" ]
+//	              | "frequency" expr "to" expr
+//	              | "impedance" expr
+//	              | "range" expr "to" expr
+//	              | ident { expr }           (open-ended)
+func (p *parser) parseAnnotations() []*ast.Annotation {
+	var out []*ast.Annotation
+	for p.at(token.IS) {
+		p.next()
+		for {
+			a := p.parseAnnotation()
+			if a == nil {
+				break
+			}
+			out = append(out, a)
+			// Further bare annotation names may follow without "is"
+			// ("is voltage limited"). Stop at tokens that cannot begin an
+			// annotation.
+			if !p.at(token.IDENT) && !p.at(token.RANGE) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (p *parser) parseAnnotation() *ast.Annotation {
+	if !p.at(token.IDENT) && !p.at(token.RANGE) {
+		p.errorf(p.tok().Span, "expected annotation name after 'is'")
+		return nil
+	}
+	name := p.identLike()
+	a := &ast.Annotation{SpanV: name.SpanV, Name: name.Canon}
+	switch name.Canon {
+	case "voltage", "current":
+		// kind annotations take no arguments
+	case "limited":
+		if p.atContextual("at") {
+			p.next()
+			a.Args = append(a.Args, p.parseExpr())
+		}
+	case "drives":
+		a.Args = append(a.Args, p.parseExpr())
+		if p.atContextual("at") {
+			p.next()
+			a.Args = append(a.Args, p.parseExpr())
+		}
+		if p.atContextual("peak") {
+			p.next()
+		}
+	case "frequency", "range":
+		a.Args = append(a.Args, p.parseExpr())
+		p.expect(token.TO)
+		a.Args = append(a.Args, p.parseExpr())
+	case "impedance":
+		a.Args = append(a.Args, p.parseExpr())
+	default:
+		// Open-ended: no arguments.
+	}
+	if len(a.Args) > 0 {
+		a.SpanV = a.SpanV.Union(a.Args[len(a.Args)-1].Span())
+	}
+	return a
+}
+
+// atContextual reports whether the current token is the identifier word.
+func (p *parser) atContextual(word string) bool {
+	return p.at(token.IDENT) && strings.ToLower(p.tok().Text) == word
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent statements
+
+func (p *parser) parseConcStmt() ast.ConcStmt {
+	label := ""
+	labelSpan := source.NewSpan(source.NoPos, source.NoPos)
+	if p.at(token.IDENT) && p.peekKind(1) == token.COLON {
+		// A label only when followed by a statement keyword or an expression
+		// that leads to '=='; declarations cannot appear here.
+		id := p.ident()
+		p.expect(token.COLON)
+		label = id.Canon
+		labelSpan = id.SpanV
+	}
+	switch p.kind() {
+	case token.IF:
+		s := p.parseSimIf()
+		s.Label = label
+		return s
+	case token.CASE:
+		s := p.parseSimCase()
+		s.Label = label
+		return s
+	case token.PROCEDURAL:
+		s := p.parseProcedural()
+		s.Label = label
+		return s
+	case token.PROCESS:
+		s := p.parseProcess()
+		s.Label = label
+		return s
+	case token.EOF, token.END:
+		return nil
+	}
+	// Simple simultaneous statement: expr == expr ;
+	start := p.tok().Span
+	if labelSpan.IsValid() {
+		start = labelSpan
+	}
+	lhs := p.parseExpr()
+	p.expect(token.EQEQ)
+	rhs := p.parseExpr()
+	end := p.expect(token.SEMICOLON).Span.End
+	return &ast.SimpleSimultaneous{
+		SpanV: source.NewSpan(start.Start, end),
+		Label: label,
+		LHS:   lhs,
+		RHS:   rhs,
+	}
+}
+
+func (p *parser) parseConcStmts(stop ...token.Kind) []ast.ConcStmt {
+	var out []ast.ConcStmt
+	for {
+		if p.at(token.EOF) {
+			return out
+		}
+		for _, k := range stop {
+			if p.at(k) {
+				return out
+			}
+		}
+		s := p.parseConcStmt()
+		if s == nil {
+			return out
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseSimIf() *ast.SimultaneousIf {
+	start := p.expect(token.IF).Span
+	s := &ast.SimultaneousIf{Cond: p.parseExpr()}
+	p.expect(token.USE)
+	s.Then = p.parseConcStmts(token.ELSIF, token.ELSE, token.END)
+	for p.at(token.ELSIF) {
+		espan := p.next().Span
+		e := &ast.SimElif{Cond: p.parseExpr()}
+		p.expect(token.USE)
+		e.Then = p.parseConcStmts(token.ELSIF, token.ELSE, token.END)
+		e.SpanV = source.NewSpan(espan.Start, p.toks[p.pos-1].Span.End)
+		s.Elifs = append(s.Elifs, e)
+	}
+	if p.accept(token.ELSE) {
+		s.Else = p.parseConcStmts(token.END)
+	}
+	p.expect(token.END)
+	p.expect(token.USE)
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+func (p *parser) parseSimCase() *ast.SimultaneousCase {
+	start := p.expect(token.CASE).Span
+	s := &ast.SimultaneousCase{Expr: p.parseExpr()}
+	p.expect(token.USE)
+	for p.at(token.WHEN) {
+		arm := p.parseCaseArmHeader()
+		arm.Conc = p.parseConcStmts(token.WHEN, token.END)
+		s.Arms = append(s.Arms, arm)
+	}
+	p.expect(token.END)
+	p.expect(token.CASE)
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+func (p *parser) parseCaseArmHeader() *ast.CaseArm {
+	start := p.expect(token.WHEN).Span
+	arm := &ast.CaseArm{SpanV: start}
+	if p.accept(token.OTHERS) {
+		arm.Choices = nil
+	} else {
+		arm.Choices = append(arm.Choices, p.parseExpr())
+		for p.accept(token.BAR) {
+			arm.Choices = append(arm.Choices, p.parseExpr())
+		}
+	}
+	p.expect(token.ARROW)
+	return arm
+}
+
+func (p *parser) parseProcedural() *ast.Procedural {
+	start := p.expect(token.PROCEDURAL).Span
+	s := &ast.Procedural{}
+	p.accept(token.IS)
+	s.Decls = p.parseDecls()
+	p.expect(token.BEGIN)
+	s.Body = p.parseSeqStmts()
+	p.expect(token.END)
+	p.expect(token.PROCEDURAL)
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+func (p *parser) parseProcess() *ast.Process {
+	start := p.expect(token.PROCESS).Span
+	s := &ast.Process{}
+	if p.accept(token.LPAREN) {
+		s.Sensitivity = append(s.Sensitivity, p.parseExpr())
+		for p.accept(token.COMMA) {
+			s.Sensitivity = append(s.Sensitivity, p.parseExpr())
+		}
+		p.expect(token.RPAREN)
+	}
+	p.accept(token.IS)
+	s.Decls = p.parseDecls()
+	p.expect(token.BEGIN)
+	s.Body = p.parseSeqStmts()
+	p.expect(token.END)
+	p.expect(token.PROCESS)
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Sequential statements
+
+func (p *parser) parseSeqStmts() []ast.SeqStmt {
+	var out []ast.SeqStmt
+	for {
+		switch p.kind() {
+		case token.END, token.ELSE, token.ELSIF, token.WHEN, token.EOF:
+			return out
+		}
+		s := p.parseSeqStmt()
+		if s == nil {
+			return out
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseSeqStmt() ast.SeqStmt {
+	switch p.kind() {
+	case token.IF:
+		return p.parseIfStmt()
+	case token.CASE:
+		return p.parseCaseStmt()
+	case token.FOR:
+		return p.parseForStmt()
+	case token.WHILE:
+		return p.parseWhileStmt()
+	case token.RETURN:
+		start := p.next().Span
+		s := &ast.ReturnStmt{}
+		if !p.at(token.SEMICOLON) {
+			s.Value = p.parseExpr()
+		}
+		end := p.expect(token.SEMICOLON).Span.End
+		s.SpanV = source.NewSpan(start.Start, end)
+		return s
+	case token.WAIT:
+		t := p.tok()
+		p.errorf(t.Span, "wait statements are not allowed in VASS processes")
+		p.sync(token.SEMICOLON)
+		p.accept(token.SEMICOLON)
+		return &ast.NullStmt{SpanV: t.Span}
+	case token.IDENT:
+		if strings.ToLower(p.tok().Text) == "null" && p.peekKind(1) == token.SEMICOLON {
+			start := p.next().Span
+			end := p.expect(token.SEMICOLON).Span.End
+			return &ast.NullStmt{SpanV: source.NewSpan(start.Start, end)}
+		}
+		return p.parseAssign()
+	}
+	t := p.tok()
+	p.errorf(t.Span, "expected sequential statement, found %s %q", t.Kind, t.Text)
+	p.sync(token.SEMICOLON, token.END)
+	p.accept(token.SEMICOLON)
+	return &ast.NullStmt{SpanV: t.Span}
+}
+
+func (p *parser) parseAssign() ast.SeqStmt {
+	start := p.tok().Span
+	lhs := p.parsePrimary()
+	s := &ast.Assign{LHS: lhs}
+	switch p.kind() {
+	case token.ASSIGN:
+		p.next()
+	case token.LE:
+		p.next()
+		s.SignalOp = true
+	default:
+		t := p.tok()
+		p.errorf(t.Span, "expected := or <= in assignment, found %s %q", t.Kind, t.Text)
+		p.sync(token.SEMICOLON, token.END)
+		p.accept(token.SEMICOLON)
+		return &ast.NullStmt{SpanV: start}
+	}
+	s.RHS = p.parseExpr()
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+func (p *parser) parseIfStmt() *ast.IfStmt {
+	start := p.expect(token.IF).Span
+	s := &ast.IfStmt{Cond: p.parseExpr()}
+	p.expect(token.THEN)
+	s.Then = p.parseSeqStmts()
+	for p.at(token.ELSIF) {
+		espan := p.next().Span
+		e := &ast.SeqElif{Cond: p.parseExpr()}
+		p.expect(token.THEN)
+		e.Then = p.parseSeqStmts()
+		e.SpanV = source.NewSpan(espan.Start, p.toks[p.pos-1].Span.End)
+		s.Elifs = append(s.Elifs, e)
+	}
+	if p.accept(token.ELSE) {
+		s.Else = p.parseSeqStmts()
+	}
+	p.expect(token.END)
+	p.expect(token.IF)
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+func (p *parser) parseCaseStmt() *ast.CaseStmt {
+	start := p.expect(token.CASE).Span
+	s := &ast.CaseStmt{Expr: p.parseExpr()}
+	p.expect(token.IS)
+	for p.at(token.WHEN) {
+		arm := p.parseCaseArmHeader()
+		arm.Seq = p.parseSeqStmts()
+		s.Arms = append(s.Arms, arm)
+	}
+	p.expect(token.END)
+	p.expect(token.CASE)
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+func (p *parser) parseForStmt() *ast.ForStmt {
+	start := p.expect(token.FOR).Span
+	s := &ast.ForStmt{Var: p.ident()}
+	p.expect(token.IN)
+	lo := p.parseExpr()
+	down := false
+	switch p.kind() {
+	case token.TO:
+		p.next()
+	case token.DOWNTO:
+		p.next()
+		down = true
+	default:
+		p.errorf(p.tok().Span, "expected to or downto in for range")
+	}
+	hi := p.parseExpr()
+	s.Range = &ast.RangeExpr{SpanV: source.NewSpan(lo.Span().Start, hi.Span().End), Lo: lo, Hi: hi, Down: down}
+	p.expect(token.LOOP)
+	s.Body = p.parseSeqStmts()
+	p.expect(token.END)
+	p.expect(token.LOOP)
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+func (p *parser) parseWhileStmt() *ast.WhileStmt {
+	start := p.expect(token.WHILE).Span
+	s := &ast.WhileStmt{Cond: p.parseExpr()}
+	p.expect(token.LOOP)
+	s.Body = p.parseSeqStmts()
+	p.expect(token.END)
+	p.expect(token.LOOP)
+	end := p.expect(token.SEMICOLON).Span.End
+	s.SpanV = source.NewSpan(start.Start, end)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) parseExpr() ast.Expr {
+	return p.parseBinary(1)
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		op := p.kind()
+		prec := op.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		t := p.next()
+		y := p.parseBinary(prec + 1)
+		x = &ast.Binary{
+			SpanV: x.Span().Union(y.Span()),
+			Op:    t.Kind,
+			X:     x,
+			Y:     y,
+		}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.kind() {
+	case token.MINUS, token.PLUS, token.NOT, token.ABS:
+		t := p.next()
+		x := p.parseUnary()
+		return &ast.Unary{SpanV: t.Span.Union(x.Span()), Op: t.Kind, X: x}
+	}
+	return p.parsePrimary()
+}
+
+// unitScale maps engineering unit suffixes to multipliers. The bare letters
+// v, a, s, o (ohm) and hz scale by one; prefixed forms scale accordingly.
+var unitScale = map[string]float64{
+	"v": 1, "kv": 1e3, "mv": 1e-3, "uv": 1e-6,
+	"a": 1, "ma": 1e-3, "ua": 1e-6, "na": 1e-9,
+	"o": 1, "ohm": 1, "kohm": 1e3, "mohm": 1e6,
+	"hz": 1, "khz": 1e3, "mhz": 1e6, "ghz": 1e9,
+	"s": 1, "ms": 1e-3, "us": 1e-6, "ns": 1e-9,
+	"f": 1, "pf": 1e-12, "nf": 1e-9, "uf": 1e-6,
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.tok()
+	switch t.Kind {
+	case token.INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(strings.ReplaceAll(t.Text, "_", ""), 0, 64)
+		if err != nil {
+			if f, scaled, ok := p.maybeUnit(float64FromInt(t.Text)); ok {
+				return p.suffix(&ast.RealLit{SpanV: t.Span, Value: f * scaled})
+			}
+			p.errorf(t.Span, "invalid integer literal %q", t.Text)
+		}
+		if f, scale, ok := p.maybeUnit(float64(v)); ok {
+			return p.suffix(&ast.RealLit{SpanV: t.Span, Value: f * scale})
+		}
+		return p.suffix(&ast.IntLit{SpanV: t.Span, Value: v, Text: t.Text})
+	case token.REALLIT:
+		p.next()
+		v, err := strconv.ParseFloat(strings.ReplaceAll(t.Text, "_", ""), 64)
+		if err != nil {
+			p.errorf(t.Span, "invalid real literal %q", t.Text)
+		}
+		if f, scale, ok := p.maybeUnit(v); ok {
+			return p.suffix(&ast.RealLit{SpanV: t.Span, Value: f * scale})
+		}
+		return p.suffix(&ast.RealLit{SpanV: t.Span, Value: v, Text: t.Text})
+	case token.BITLIT:
+		p.next()
+		return p.suffix(&ast.BitLit{SpanV: t.Span, Value: t.Text == "1"})
+	case token.STRLIT:
+		p.next()
+		return p.suffix(&ast.StrLit{SpanV: t.Span, Value: t.Text})
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		end := p.expect(token.RPAREN).Span.End
+		return p.suffix(&ast.Paren{SpanV: source.NewSpan(t.Span.Start, end), X: x})
+	case token.IDENT:
+		id := p.ident()
+		if strings.EqualFold(id.Name, "true") || strings.EqualFold(id.Name, "false") {
+			return p.suffix(&ast.Name{SpanV: id.SpanV, Ident: id})
+		}
+		if p.at(token.LPAREN) {
+			p.next()
+			c := &ast.Call{Fun: id}
+			if !p.at(token.RPAREN) {
+				c.Args = append(c.Args, p.parseExpr())
+				for p.accept(token.COMMA) {
+					c.Args = append(c.Args, p.parseExpr())
+				}
+			}
+			end := p.expect(token.RPAREN).Span.End
+			c.SpanV = source.NewSpan(id.SpanV.Start, end)
+			return p.suffix(c)
+		}
+		return p.suffix(&ast.Name{SpanV: id.SpanV, Ident: id})
+	}
+	p.errorf(t.Span, "expected expression, found %s %q", t.Kind, t.Text)
+	p.next()
+	return &ast.Name{SpanV: t.Span, Ident: &ast.Ident{SpanV: t.Span, Name: "<error>", Canon: "<error>"}}
+}
+
+func float64FromInt(s string) float64 {
+	f, _ := strconv.ParseFloat(strings.ReplaceAll(s, "_", ""), 64)
+	return f
+}
+
+// maybeUnit folds a following unit suffix identifier into a numeric value.
+func (p *parser) maybeUnit(v float64) (float64, float64, bool) {
+	if p.at(token.IDENT) {
+		if scale, ok := unitScale[strings.ToLower(p.tok().Text)]; ok {
+			p.next()
+			return v, scale, true
+		}
+	}
+	return v, 1, false
+}
+
+// suffix applies attribute ticks to a parsed primary: x'above(vth), q'dot.
+func (p *parser) suffix(x ast.Expr) ast.Expr {
+	for p.at(token.TICK) {
+		p.next()
+		name := p.identLike()
+		a := &ast.Attribute{SpanV: x.Span().Union(name.SpanV), X: x, Attr: name.Canon}
+		if p.accept(token.LPAREN) {
+			if !p.at(token.RPAREN) {
+				a.Args = append(a.Args, p.parseExpr())
+				for p.accept(token.COMMA) {
+					a.Args = append(a.Args, p.parseExpr())
+				}
+			}
+			end := p.expect(token.RPAREN).Span.End
+			a.SpanV = source.NewSpan(x.Span().Start, end)
+		}
+		x = a
+	}
+	return x
+}

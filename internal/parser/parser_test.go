@@ -1,0 +1,418 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"vase/internal/ast"
+)
+
+// mustParse parses src and fails the test on any diagnostic.
+func mustParse(t *testing.T, src string) *ast.DesignFile {
+	t.Helper()
+	df, err := Parse("test.vhd", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return df
+}
+
+const receiverSrc = `
+entity telephone is
+  port (
+    quantity line  : in real is voltage;
+    quantity local : in real is voltage;
+    quantity earph : out real is voltage limited at 1.5 drives 270.0 at 285 mv peak
+  );
+end entity;
+
+architecture behavioral of telephone is
+  constant Aline  : real := 4.0;
+  constant Alocal : real := 2.0;
+  constant r1c    : real := 0.5;
+  constant r2c    : real := 0.25;
+  constant Vth    : real := 0.1;
+  quantity rvar : real;
+  signal c1 : bit;
+begin
+  earph == (Aline * line + Alocal * local) * rvar;
+  if (c1 = '1') use
+    rvar == r1c;
+  else
+    rvar == r1c + r2c;
+  end use;
+  process (line'above(Vth)) is
+  begin
+    if (line'above(Vth) = true) then
+      c1 <= '1';
+    else
+      c1 <= '0';
+    end if;
+  end process;
+end architecture;
+`
+
+func TestParseReceiver(t *testing.T) {
+	df := mustParse(t, receiverSrc)
+	ents := df.Entities()
+	if len(ents) != 1 {
+		t.Fatalf("entities = %d, want 1", len(ents))
+	}
+	e := ents[0]
+	if e.Name.Canon != "telephone" {
+		t.Errorf("entity name = %q", e.Name.Canon)
+	}
+	if len(e.Ports) != 3 {
+		t.Fatalf("ports = %d, want 3", len(e.Ports))
+	}
+	earph := e.Ports[2]
+	if earph.Mode != ast.ModeOut {
+		t.Errorf("earph mode = %v, want out", earph.Mode)
+	}
+	if len(earph.Annotations) != 3 {
+		t.Fatalf("earph annotations = %d, want 3 (voltage, limited, drives)", len(earph.Annotations))
+	}
+	names := []string{earph.Annotations[0].Name, earph.Annotations[1].Name, earph.Annotations[2].Name}
+	want := []string{"voltage", "limited", "drives"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("annotation %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	// "limited at 1.5" carries one argument; "drives 270.0 at 0.285 peak" two.
+	if n := len(earph.Annotations[1].Args); n != 1 {
+		t.Errorf("limited args = %d, want 1", n)
+	}
+	if n := len(earph.Annotations[2].Args); n != 2 {
+		t.Errorf("drives args = %d, want 2", n)
+	}
+
+	archs := df.Architectures()
+	if len(archs) != 1 {
+		t.Fatalf("architectures = %d, want 1", len(archs))
+	}
+	a := archs[0]
+	if a.Entity.Canon != "telephone" {
+		t.Errorf("architecture entity = %q", a.Entity.Canon)
+	}
+	if len(a.Stmts) != 3 {
+		t.Fatalf("concurrent statements = %d, want 3", len(a.Stmts))
+	}
+	if _, ok := a.Stmts[0].(*ast.SimpleSimultaneous); !ok {
+		t.Errorf("stmt 0 is %T, want SimpleSimultaneous", a.Stmts[0])
+	}
+	if _, ok := a.Stmts[1].(*ast.SimultaneousIf); !ok {
+		t.Errorf("stmt 1 is %T, want SimultaneousIf", a.Stmts[1])
+	}
+	if _, ok := a.Stmts[2].(*ast.Process); !ok {
+		t.Errorf("stmt 2 is %T, want Process", a.Stmts[2])
+	}
+}
+
+func TestUnitSuffixFolding(t *testing.T) {
+	df := mustParse(t, receiverSrc)
+	earph := df.Entities()[0].Ports[2]
+	drives := earph.Annotations[2]
+	// 285 mv folds to 0.285.
+	lit, ok := drives.Args[1].(*ast.RealLit)
+	if !ok {
+		t.Fatalf("drives arg 1 is %T, want RealLit", drives.Args[1])
+	}
+	if lit.Value < 0.284 || lit.Value > 0.286 {
+		t.Errorf("285 mv = %g, want 0.285", lit.Value)
+	}
+}
+
+func TestSimultaneousIfElse(t *testing.T) {
+	df := mustParse(t, receiverSrc)
+	sif := df.Architectures()[0].Stmts[1].(*ast.SimultaneousIf)
+	if len(sif.Then) != 1 || len(sif.Else) != 1 {
+		t.Fatalf("then/else arms = %d/%d, want 1/1", len(sif.Then), len(sif.Else))
+	}
+	thenStmt := sif.Then[0].(*ast.SimpleSimultaneous)
+	if ast.ExprString(thenStmt.LHS) != "rvar" {
+		t.Errorf("then lhs = %q", ast.ExprString(thenStmt.LHS))
+	}
+}
+
+func TestProcessSensitivityAttribute(t *testing.T) {
+	df := mustParse(t, receiverSrc)
+	proc := df.Architectures()[0].Stmts[2].(*ast.Process)
+	if len(proc.Sensitivity) != 1 {
+		t.Fatalf("sensitivity = %d, want 1", len(proc.Sensitivity))
+	}
+	attr, ok := proc.Sensitivity[0].(*ast.Attribute)
+	if !ok {
+		t.Fatalf("sensitivity entry is %T, want Attribute", proc.Sensitivity[0])
+	}
+	if attr.Attr != "above" {
+		t.Errorf("attribute = %q, want above", attr.Attr)
+	}
+	if len(attr.Args) != 1 {
+		t.Errorf("above args = %d, want 1", len(attr.Args))
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	df := mustParse(t, `
+entity e is end entity;
+architecture a of e is
+  quantity x, y : real;
+begin
+  y == 1.0 + 2.0 * x;
+end architecture;`)
+	ss := df.Architectures()[0].Stmts[0].(*ast.SimpleSimultaneous)
+	top, ok := ss.RHS.(*ast.Binary)
+	if !ok {
+		t.Fatalf("rhs is %T", ss.RHS)
+	}
+	if top.Op.String() != "+" {
+		t.Fatalf("top op = %s, want +", top.Op)
+	}
+	if inner, ok := top.Y.(*ast.Binary); !ok || inner.Op.String() != "*" {
+		t.Errorf("rhs of + = %T, want * binary", top.Y)
+	}
+}
+
+func TestQuantityDotAttribute(t *testing.T) {
+	df := mustParse(t, `
+entity osc is end entity;
+architecture a of osc is
+  quantity x, v : real;
+begin
+  x'dot == v;
+  v'dot == -x;
+end architecture;`)
+	stmts := df.Architectures()[0].Stmts
+	if len(stmts) != 2 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	lhs := stmts[0].(*ast.SimpleSimultaneous).LHS
+	attr, ok := lhs.(*ast.Attribute)
+	if !ok || attr.Attr != "dot" {
+		t.Fatalf("lhs = %s, want x'dot attribute", ast.ExprString(lhs))
+	}
+}
+
+func TestProceduralWithWhileAndFor(t *testing.T) {
+	df := mustParse(t, `
+entity solver is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture beh of solver is
+begin
+  procedural is
+    variable acc : real;
+    variable n : real;
+  begin
+    acc := a;
+    for i in 1 to 3 loop
+      acc := acc + a;
+    end loop;
+    while acc > 1.0 loop
+      acc := acc * 0.5;
+      n := n + 1.0;
+    end loop;
+    y := acc;
+  end procedural;
+end architecture;`)
+	proc := df.Architectures()[0].Stmts[0].(*ast.Procedural)
+	if len(proc.Decls) != 2 {
+		t.Fatalf("procedural decls = %d, want 2", len(proc.Decls))
+	}
+	if len(proc.Body) != 4 {
+		t.Fatalf("procedural body = %d stmts, want 4", len(proc.Body))
+	}
+	if _, ok := proc.Body[1].(*ast.ForStmt); !ok {
+		t.Errorf("body[1] is %T, want ForStmt", proc.Body[1])
+	}
+	w, ok := proc.Body[2].(*ast.WhileStmt)
+	if !ok {
+		t.Fatalf("body[2] is %T, want WhileStmt", proc.Body[2])
+	}
+	if len(w.Body) != 2 {
+		t.Errorf("while body = %d stmts, want 2", len(w.Body))
+	}
+}
+
+func TestSimultaneousCase(t *testing.T) {
+	df := mustParse(t, `
+entity sel is end entity;
+architecture a of sel is
+  signal mode : bit;
+  quantity q : real;
+begin
+  case mode use
+    when '0' => q == 1.0;
+    when others => q == 2.0;
+  end case;
+end architecture;`)
+	sc := df.Architectures()[0].Stmts[0].(*ast.SimultaneousCase)
+	if len(sc.Arms) != 2 {
+		t.Fatalf("case arms = %d, want 2", len(sc.Arms))
+	}
+	if sc.Arms[0].Choices == nil {
+		t.Error("first arm should have explicit choices")
+	}
+	if sc.Arms[1].Choices != nil {
+		t.Error("second arm should be others")
+	}
+}
+
+func TestPackageAndFunction(t *testing.T) {
+	df := mustParse(t, `
+package utils is
+  constant k : real := 2.0;
+  function square(x : real) return real;
+end package;
+package body utils is
+  function square(x : real) return real is
+  begin
+    return x * x;
+  end function;
+end package body;`)
+	if len(df.Units) != 2 {
+		t.Fatalf("units = %d, want 2", len(df.Units))
+	}
+	pk, ok := df.Units[0].(*ast.Package)
+	if !ok {
+		t.Fatalf("unit 0 is %T", df.Units[0])
+	}
+	if len(pk.Decls) != 2 {
+		t.Errorf("package decls = %d, want 2", len(pk.Decls))
+	}
+	pb, ok := df.Units[1].(*ast.PackageBody)
+	if !ok {
+		t.Fatalf("unit 1 is %T", df.Units[1])
+	}
+	f := pb.Decls[0].(*ast.FunctionDecl)
+	if len(f.Body) != 1 {
+		t.Errorf("function body = %d stmts", len(f.Body))
+	}
+}
+
+func TestLabelledStatements(t *testing.T) {
+	df := mustParse(t, `
+entity e is end entity;
+architecture a of e is
+  quantity q : real;
+begin
+  eq1: q == 1.0;
+end architecture;`)
+	ss := df.Architectures()[0].Stmts[0].(*ast.SimpleSimultaneous)
+	if ss.Label != "eq1" {
+		t.Errorf("label = %q, want eq1", ss.Label)
+	}
+}
+
+func TestWaitRejected(t *testing.T) {
+	_, err := Parse("t", `
+entity e is end entity;
+architecture a of e is
+  signal s : bit;
+begin
+  process (s) is
+  begin
+    wait;
+  end process;
+end architecture;`)
+	if err == nil || !strings.Contains(err.Error(), "wait") {
+		t.Fatalf("expected wait diagnostic, got %v", err)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// A bad statement must not prevent parsing of subsequent units.
+	df, err := Parse("t", `
+entity e is end entity;
+architecture a of e is
+  quantity q : real;
+begin
+  q == ;
+  q == 2.0;
+end architecture;`)
+	if err == nil {
+		t.Fatal("expected a diagnostic")
+	}
+	if len(df.Architectures()) != 1 {
+		t.Fatalf("architecture lost during recovery")
+	}
+}
+
+func TestEndNameMismatchReported(t *testing.T) {
+	_, err := Parse("t", "entity e is end entity f;")
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("expected end-name mismatch, got %v", err)
+	}
+}
+
+func TestPrinterRoundTrip(t *testing.T) {
+	df := mustParse(t, receiverSrc)
+	printed := ast.FileString(df)
+	df2, err := Parse("printed.vhd", printed)
+	if err != nil {
+		t.Fatalf("reparse of printed output failed: %v\n%s", err, printed)
+	}
+	printed2 := ast.FileString(df2)
+	if printed != printed2 {
+		t.Errorf("printer not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	df := mustParse(t, `
+entity e is end entity;
+architecture a of e is
+  quantity x, y : real;
+begin
+  y == -x * 2.0;
+end architecture;`)
+	rhs := df.Architectures()[0].Stmts[0].(*ast.SimpleSimultaneous).RHS
+	// Unary binds tighter than *, so the tree is (-x) * 2.0.
+	bin, ok := rhs.(*ast.Binary)
+	if !ok {
+		t.Fatalf("rhs is %T", rhs)
+	}
+	if _, ok := bin.X.(*ast.Unary); !ok {
+		t.Errorf("lhs of * is %T, want Unary", bin.X)
+	}
+}
+
+func TestMultiNameDeclaration(t *testing.T) {
+	df := mustParse(t, `
+entity e is end entity;
+architecture a of e is
+  quantity x, y, z : real;
+begin
+  x == y + z;
+end architecture;`)
+	d := df.Architectures()[0].Decls[0].(*ast.ObjectDecl)
+	if len(d.Names) != 3 {
+		t.Errorf("names = %d, want 3", len(d.Names))
+	}
+}
+
+func TestGenericClause(t *testing.T) {
+	df := mustParse(t, `
+entity amp is
+  generic (gain : real := 10.0);
+  port (quantity vin : in real; quantity vout : out real);
+end entity;`)
+	e := df.Entities()[0]
+	if len(e.Generics) != 1 {
+		t.Fatalf("generics = %d, want 1", len(e.Generics))
+	}
+	if e.Generics[0].Init == nil {
+		t.Error("generic default missing")
+	}
+}
+
+func TestLibraryUseClausesIgnored(t *testing.T) {
+	df := mustParse(t, `
+library ieee;
+use ieee.math_real.all;
+entity e is end entity;`)
+	if len(df.Units) != 1 {
+		t.Fatalf("units = %d, want 1", len(df.Units))
+	}
+}

@@ -1,0 +1,144 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanicsOnRandomInput: the front end must reject garbage with
+// diagnostics, never by panicking.
+func TestParserNeverPanicsOnRandomInput(t *testing.T) {
+	check := func(raw []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", raw, r)
+				ok = false
+			}
+		}()
+		Parse("fuzz.vhd", string(raw))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanicsOnMutatedSource: random mutations of a valid design
+// (deletions, duplications, token swaps) must not panic either — these
+// exercise recovery paths plain random bytes never reach.
+func TestParserNeverPanicsOnMutatedSource(t *testing.T) {
+	const base = `
+entity telephone is
+  port (
+    quantity line  : in real is voltage;
+    quantity earph : out real is voltage limited at 1.5
+  );
+end entity;
+architecture behavioral of telephone is
+  constant k : real := 4.0;
+  quantity rvar : real;
+  signal c1 : bit;
+begin
+  earph == k * line * rvar;
+  if (c1 = '1') use rvar == 0.5; else rvar == 0.75; end use;
+  process (line'above(0.1)) is begin
+    if (line'above(0.1) = true) then c1 <= '1'; else c1 <= '0'; end if;
+  end process;
+end architecture;`
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		src := mutate(rng, base)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %d: %v\n%s", i, r, src)
+				}
+			}()
+			Parse("mut.vhd", src)
+		}()
+	}
+}
+
+func mutate(rng *rand.Rand, s string) string {
+	b := []byte(s)
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n && len(b) > 2; i++ {
+		switch rng.Intn(4) {
+		case 0: // delete a span
+			p := rng.Intn(len(b) - 1)
+			q := p + 1 + rng.Intn(minInt(20, len(b)-p-1))
+			b = append(b[:p], b[q:]...)
+		case 1: // duplicate a span
+			p := rng.Intn(len(b) - 1)
+			q := p + 1 + rng.Intn(minInt(12, len(b)-p-1))
+			b = append(b[:q], append(append([]byte{}, b[p:q]...), b[q:]...)...)
+		case 2: // replace a byte with a random punctuation
+			b[rng.Intn(len(b))] = ";()=':,*"[rng.Intn(8)]
+		case 3: // swap two bytes
+			p, q := rng.Intn(len(b)), rng.Intn(len(b))
+			b[p], b[q] = b[q], b[p]
+		}
+	}
+	return string(b)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestDeeplyNestedExpressions: recursion depth handling.
+func TestDeeplyNestedExpressions(t *testing.T) {
+	depth := 500
+	expr := strings.Repeat("(", depth) + "x" + strings.Repeat(")", depth)
+	src := `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  y == ` + expr + `;
+end architecture;`
+	if _, err := Parse("deep.vhd", src); err != nil {
+		t.Fatalf("deep nesting should parse: %v", err)
+	}
+}
+
+// TestManyStatements: scale smoke test for the statement loop.
+func TestManyStatements(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("entity big is\n  port (quantity u : in real")
+	for i := 0; i < 200; i++ {
+		b.WriteString(";\n    quantity q")
+		b.WriteString(itoa(i))
+		b.WriteString(" : out real")
+	}
+	b.WriteString(");\nend entity;\narchitecture a of big is\nbegin\n")
+	for i := 0; i < 200; i++ {
+		b.WriteString("  q" + itoa(i) + " == " + itoa(i+1) + ".0 * u;\n")
+	}
+	b.WriteString("end architecture;\n")
+	df, err := Parse("big.vhd", b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if n := len(df.Architectures()[0].Stmts); n != 200 {
+		t.Fatalf("statements = %d, want 200", n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

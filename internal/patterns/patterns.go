@@ -1,0 +1,596 @@
+// Package patterns relates VHIF block structures to electronic circuits in
+// the component library — the "library of patterns" of the paper's
+// architecture generator (Section 5, Figure 6b).
+//
+// A pattern match covers a connected sub-graph whose output block is the
+// current block of the branch-and-bound search. Multi-block patterns express
+// hardware sharing along a signal path: a summing amplifier absorbs the gain
+// blocks feeding an adder (the paper's comp1 computes k1*a + k2*b with one
+// op amp), a summing integrator absorbs an adder and its gains, a
+// programmable-gain amplifier absorbs a multiplier fed by a constant
+// multiplexer, and an output stage absorbs its limiter.
+//
+// The matcher also produces functional transformations (a high gain split
+// into a chain of two lower-gain amplifiers for bandwidth) and supports
+// disabling multi-block absorption for the naive direct-mapping ablation.
+package patterns
+
+import (
+	"fmt"
+	"sort"
+
+	"vase/internal/library"
+	"vase/internal/vhif"
+)
+
+// Options controls pattern generation.
+type Options struct {
+	// NoAbsorption disables multi-block patterns (naive one-block-per-cell
+	// mapping) — the ablation baseline.
+	NoAbsorption bool
+	// NoTransformations disables functional transformations (gain
+	// splitting).
+	NoTransformations bool
+	// MaxFanIn overrides the summing-structure fan-in (0 = library limit).
+	MaxFanIn int
+}
+
+// Match is one way to realize a sub-graph with a library cell.
+type Match struct {
+	// Name describes the pattern for traces ("summing_amp[3]").
+	Name string
+	// Cell is the library circuit.
+	Cell *library.Cell
+	// Root is the output block of the covered sub-graph.
+	Root *vhif.Block
+	// Blocks are the covered operation blocks (Root included).
+	Blocks []*vhif.Block
+	// Inputs are the external data input nets in positional order.
+	Inputs []*vhif.Net
+	// Ctrl is the control net of switched cells.
+	Ctrl *vhif.Net
+	// Params carries instance parameters: per-input weights ("gain0", ...),
+	// "threshold", "hysteresis", "limit", "bits", "load", "peak", "invert".
+	Params map[string]float64
+	// OpAmps is the op amp cost of this match.
+	OpAmps int
+	// Transformed names the functional transformation that produced the
+	// match ("" for direct patterns).
+	Transformed string
+}
+
+func (m *Match) String() string {
+	return fmt.Sprintf("%s covering %d block(s) with %d op amp(s)", m.Name, len(m.Blocks), m.OpAmps)
+}
+
+func (m *Match) setParam(k string, v float64) {
+	if m.Params == nil {
+		m.Params = map[string]float64{}
+	}
+	m.Params[k] = v
+}
+
+// MatchesFor returns every pattern match whose covered sub-graph has b as
+// its output block, ordered for the paper's sequencing rule: decreasing
+// number of covered blocks, then increasing op amp count.
+func MatchesFor(g *vhif.Graph, b *vhif.Block, opts Options) []*Match {
+	var out []*Match
+	add := func(m *Match) {
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	switch b.Kind {
+	case vhif.BInput, vhif.BOutput, vhif.BConst:
+		return nil
+	case vhif.BGain:
+		if !opts.NoAbsorption {
+			add(scaledLogMatch(g, b))
+		}
+		add(gainMatch(b, b.Param))
+		if !opts.NoTransformations {
+			add(gainSplitMatch(b))
+		}
+	case vhif.BNeg:
+		add(gainMatch(b, -1))
+	case vhif.BAdd:
+		if !opts.NoAbsorption {
+			add(summingMatch(g, b, opts))
+		}
+		add(plainSummingMatch(b))
+	case vhif.BSub:
+		if !opts.NoAbsorption {
+			add(diffMatch(g, b))
+		}
+		m := simple(b, library.CellDiffAmp, nil)
+		m.setParam("gain0", 1)
+		m.setParam("gain1", -1)
+		add(m)
+	case vhif.BMul:
+		if !opts.NoAbsorption {
+			add(pgaMatch(g, b))
+		}
+		add(simple(b, library.CellMultiplier, nil))
+	case vhif.BDiv:
+		add(simple(b, library.CellDivider, nil))
+	case vhif.BIntegrator:
+		if !opts.NoAbsorption {
+			add(summingIntegratorMatch(g, b, opts))
+		}
+		add(simple(b, library.CellIntegrator, nil))
+	case vhif.BDifferentiator:
+		add(simple(b, library.CellDiff, nil))
+	case vhif.BLog:
+		add(simple(b, library.CellLogAmp, nil))
+	case vhif.BExp:
+		add(simple(b, library.CellAntilogAmp, nil))
+	case vhif.BSqrt:
+		add(simple(b, library.CellSqrt, nil))
+	case vhif.BAbs:
+		add(simple(b, library.CellRectifier, nil))
+	case vhif.BMin, vhif.BMax:
+		m := simple(b, library.CellMinMax, nil)
+		if b.Kind == vhif.BMax {
+			m.setParam("op", 1)
+		} else {
+			m.setParam("op", 0)
+		}
+		add(m)
+	case vhif.BSin, vhif.BCos:
+		add(simple(b, library.CellSineShaper, nil))
+	case vhif.BSign:
+		m := simple(b, library.CellComparator, nil)
+		m.setParam("threshold", 0)
+		add(m)
+	case vhif.BComparator:
+		m := simple(b, library.CellComparator, nil)
+		m.setParam("threshold", b.Param)
+		m.setParam("hysteresis", b.Hyst)
+		add(m)
+	case vhif.BSchmitt:
+		m := simple(b, library.CellSchmitt, nil)
+		m.setParam("threshold", b.Param)
+		m.setParam("hysteresis", b.Hyst)
+		add(m)
+	case vhif.BNot:
+		if !opts.NoAbsorption {
+			add(invertedDetectorMatch(g, b))
+		}
+		m := simple(b, library.CellComparator, nil)
+		m.setParam("threshold", 0)
+		m.setParam("invert", 1)
+		add(m)
+	case vhif.BSampleHold:
+		add(simple(b, library.CellSampleHold, b.Ctrl))
+	case vhif.BSwitch:
+		add(simple(b, library.CellSwitch, b.Ctrl))
+	case vhif.BMux:
+		add(simple(b, library.CellMux, b.Ctrl))
+	case vhif.BADC:
+		m := simple(b, library.CellADC, nil)
+		m.setParam("bits", b.Param)
+		add(m)
+	case vhif.BBuffer:
+		if !opts.NoAbsorption {
+			add(outputStageMatch(g, b))
+		}
+		m := simple(b, library.CellOutputStage, nil)
+		m.setParam("load", b.Param)
+		add(m)
+	case vhif.BLimiter:
+		m := simple(b, library.CellLimiter, nil)
+		m.setParam("limit", b.Param)
+		add(m)
+	case vhif.BFilter:
+		kind := library.CellLowPass
+		if b.Param2 > 0 {
+			kind = library.CellBandPass
+		}
+		m := simple(b, kind, nil)
+		m.setParam("fhi", b.Param)
+		m.setParam("flo", b.Param2)
+		add(m)
+	}
+	sortMatches(out)
+	return out
+}
+
+func sortMatches(ms []*Match) {
+	sort.SliceStable(ms, func(i, j int) bool {
+		if len(ms[i].Blocks) != len(ms[j].Blocks) {
+			return len(ms[i].Blocks) > len(ms[j].Blocks)
+		}
+		if ms[i].OpAmps != ms[j].OpAmps {
+			return ms[i].OpAmps < ms[j].OpAmps
+		}
+		return ms[i].Name < ms[j].Name
+	})
+}
+
+// simple covers the single block b with the given cell.
+func simple(b *vhif.Block, kind library.CellKind, ctrl *vhif.Net) *Match {
+	cell := library.Get(kind)
+	m := &Match{
+		Name:   cell.Kind.String(),
+		Cell:   cell,
+		Root:   b,
+		Blocks: []*vhif.Block{b},
+		Inputs: dataInputs(b),
+		Ctrl:   ctrl,
+		OpAmps: cell.OpAmps,
+	}
+	return m
+}
+
+func dataInputs(b *vhif.Block) []*vhif.Net {
+	return append([]*vhif.Net{}, b.Inputs...)
+}
+
+// soleReader reports whether b is the only reader of net n: the condition
+// for absorbing n's driver into a multi-block pattern.
+func soleReader(n *vhif.Net, b *vhif.Block) bool {
+	return len(n.Readers) == 1 && n.Readers[0] == b
+}
+
+// foldWeight follows a chain of single-reader gain and negation blocks
+// upward from net n (read by reader), multiplying their factors into one
+// weight. It returns the chain's source net, the accumulated weight, and
+// the absorbed blocks.
+func foldWeight(n *vhif.Net, reader *vhif.Block) (*vhif.Net, float64, []*vhif.Block) {
+	weight := 1.0
+	var covered []*vhif.Block
+	for {
+		drv := n.Driver
+		if drv == nil || !soleReader(n, reader) {
+			return n, weight, covered
+		}
+		switch drv.Kind {
+		case vhif.BGain:
+			weight *= drv.Param
+		case vhif.BNeg:
+			weight = -weight
+		default:
+			return n, weight, covered
+		}
+		covered = append(covered, drv)
+		n = drv.Inputs[0]
+		reader = drv
+	}
+}
+
+// gainMatch realizes a single gain stage: an inverting amplifier for
+// negative gains, a non-inverting amplifier for gains >= 1, and an
+// attenuating inverting stage otherwise.
+func gainMatch(b *vhif.Block, k float64) *Match {
+	kind := library.CellNonInvAmp
+	if k < 0 || (k > 0 && k < 1) {
+		kind = library.CellInvAmp
+	}
+	cell := library.Get(kind)
+	if !cell.GainFeasible(k) {
+		return nil
+	}
+	m := simple(b, kind, nil)
+	m.setParam("gain", k)
+	return m
+}
+
+// gainSplitMatch is the paper's bandwidth transformation: "an op amp is
+// replaced by a chain of two op amps with lower gains". It covers the same
+// block with two amplifier stages of gain sqrt(|k|) each.
+func gainSplitMatch(b *vhif.Block) *Match {
+	k := b.Param
+	if b.Kind == vhif.BNeg {
+		k = -1
+	}
+	abs := k
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs <= 1 { // splitting only helps real gain
+		return nil
+	}
+	cell := library.Get(library.CellInvAmp)
+	m := &Match{
+		Name:        "gain_chain2",
+		Cell:        cell,
+		Root:        b,
+		Blocks:      []*vhif.Block{b},
+		Inputs:      dataInputs(b),
+		OpAmps:      2 * cell.OpAmps,
+		Transformed: "gain split for bandwidth",
+	}
+	m.setParam("gain", k)
+	m.setParam("stages", 2)
+	return m
+}
+
+// summingMatch builds the weighted summing amplifier: an adder absorbing
+// the single-reader gain, negation and nested adder blocks feeding it
+// (the paper's comp1: k1*a + k2*b with one op amp).
+func summingMatch(g *vhif.Graph, b *vhif.Block, opts Options) *Match {
+	maxIn := library.Get(library.CellSummingAmp).MaxInputs
+	if opts.MaxFanIn > 0 {
+		maxIn = opts.MaxFanIn
+	}
+	var blocks []*vhif.Block
+	var inputs []*vhif.Net
+	var weights []float64
+
+	var absorb func(b *vhif.Block, sign float64) bool
+	absorb = func(blk *vhif.Block, sign float64) bool {
+		blocks = append(blocks, blk)
+		for _, in := range blk.Inputs {
+			src, w, covered := foldWeight(in, blk)
+			if drv := src.Driver; drv != nil && drv.Kind == vhif.BAdd && soleReader(src, readerOf(covered, blk)) {
+				// A nested adder folds into the same summer; its weight
+				// scales every nested input.
+				blocks = append(blocks, covered...)
+				if !absorb(drv, sign*w) {
+					return false
+				}
+			} else {
+				blocks = append(blocks, covered...)
+				inputs = append(inputs, src)
+				weights = append(weights, sign*w)
+			}
+			if len(inputs) > maxIn {
+				return false
+			}
+		}
+		return true
+	}
+	if !absorb(b, 1) || len(blocks) < 2 {
+		return nil
+	}
+	cell := library.Get(library.CellSummingAmp)
+	for _, w := range weights {
+		if !cell.GainFeasible(w) {
+			return nil
+		}
+	}
+	m := &Match{
+		Name:   fmt.Sprintf("summing_amp[%d]", len(inputs)),
+		Cell:   cell,
+		Root:   b,
+		Blocks: blocks,
+		Inputs: inputs,
+		OpAmps: cell.OpAmps,
+	}
+	for i, w := range weights {
+		m.setParam(fmt.Sprintf("gain%d", i), w)
+	}
+	return m
+}
+
+// readerOf returns the block actually reading the source net after a fold:
+// the innermost absorbed block, or the fallback when nothing was absorbed.
+func readerOf(covered []*vhif.Block, fallback *vhif.Block) *vhif.Block {
+	if len(covered) > 0 {
+		return covered[len(covered)-1]
+	}
+	return fallback
+}
+
+// plainSummingMatch covers a bare adder with unit weights.
+func plainSummingMatch(b *vhif.Block) *Match {
+	m := simple(b, library.CellSummingAmp, nil)
+	m.Name = fmt.Sprintf("summing_amp[%d]", len(b.Inputs))
+	for i := range b.Inputs {
+		m.setParam(fmt.Sprintf("gain%d", i), 1)
+	}
+	return m
+}
+
+// diffMatch covers a subtractor absorbing input gains: the weighted
+// difference amplifier.
+func diffMatch(g *vhif.Graph, b *vhif.Block) *Match {
+	blocks := []*vhif.Block{b}
+	inputs := make([]*vhif.Net, 2)
+	weights := []float64{1, 1}
+	absorbed := false
+	for i, in := range b.Inputs {
+		src, w, covered := foldWeight(in, b)
+		inputs[i] = src
+		weights[i] = w
+		if len(covered) > 0 {
+			blocks = append(blocks, covered...)
+			absorbed = true
+		}
+	}
+	if !absorbed {
+		return nil
+	}
+	cell := library.Get(library.CellDiffAmp)
+	for _, w := range weights {
+		if !cell.GainFeasible(w) {
+			return nil
+		}
+	}
+	m := &Match{
+		Name:   "weighted_diff_amp",
+		Cell:   cell,
+		Root:   b,
+		Blocks: blocks,
+		Inputs: inputs,
+		OpAmps: cell.OpAmps,
+	}
+	m.setParam("gain0", weights[0])
+	m.setParam("gain1", -weights[1])
+	return m
+}
+
+// pgaMatch recognizes a multiplier whose second operand is a multiplexer
+// over constants: a programmable-gain amplifier (one op amp with a switched
+// feedback network) instead of a four-quadrant multiplier.
+func pgaMatch(g *vhif.Graph, b *vhif.Block) *Match {
+	if len(b.Inputs) != 2 {
+		return nil
+	}
+	for sel := 0; sel < 2; sel++ {
+		muxNet := b.Inputs[1-sel]
+		mux := muxNet.Driver
+		if mux == nil || mux.Kind != vhif.BMux || !soleReader(muxNet, b) {
+			continue
+		}
+		c0 := mux.Inputs[0].Driver
+		c1 := mux.Inputs[1].Driver
+		if c0 == nil || c1 == nil || c0.Kind != vhif.BConst || c1.Kind != vhif.BConst {
+			continue
+		}
+		cell := library.Get(library.CellPGA)
+		if !cell.GainFeasible(c0.Param) || !cell.GainFeasible(c1.Param) {
+			continue
+		}
+		m := &Match{
+			Name:   "pga",
+			Cell:   cell,
+			Root:   b,
+			Blocks: []*vhif.Block{b, mux},
+			Inputs: []*vhif.Net{b.Inputs[sel]},
+			Ctrl:   mux.Ctrl,
+			OpAmps: cell.OpAmps,
+		}
+		// Mux semantics: input 0 selected while the control is true.
+		m.setParam("gain_on", c0.Param)
+		m.setParam("gain_off", c1.Param)
+		return m
+	}
+	return nil
+}
+
+// summingIntegratorMatch absorbs an adder (and its gains) feeding an
+// integrator: the classic analog-computer summing integrator.
+func summingIntegratorMatch(g *vhif.Graph, b *vhif.Block, opts Options) *Match {
+	in := b.Inputs[0]
+	drv := in.Driver
+	cell := library.Get(library.CellIntegrator)
+	maxIn := cell.MaxInputs
+	if opts.MaxFanIn > 0 {
+		maxIn = opts.MaxFanIn
+	}
+	blocks := []*vhif.Block{b}
+	var inputs []*vhif.Net
+	var weights []float64
+	src, w, covered := foldWeight(in, b)
+	blocks = append(blocks, covered...)
+	drv = src.Driver
+	reader := readerOf(covered, b)
+	switch {
+	case drv != nil && drv.Kind == vhif.BAdd && soleReader(src, reader):
+		blocks = append(blocks, drv)
+		for _, ain := range drv.Inputs {
+			asrc, aw, acov := foldWeight(ain, drv)
+			blocks = append(blocks, acov...)
+			inputs = append(inputs, asrc)
+			weights = append(weights, w*aw)
+		}
+	case drv != nil && drv.Kind == vhif.BSub && soleReader(src, reader):
+		blocks = append(blocks, drv)
+		inputs = append(inputs, drv.Inputs[0], drv.Inputs[1])
+		weights = append(weights, w, -w)
+	case len(covered) > 0:
+		inputs = append(inputs, src)
+		weights = append(weights, w)
+	default:
+		return nil
+	}
+	if len(inputs) > maxIn {
+		return nil
+	}
+	m := &Match{
+		Name:   fmt.Sprintf("summing_integrator[%d]", len(inputs)),
+		Cell:   cell,
+		Root:   b,
+		Blocks: blocks,
+		Inputs: inputs,
+		OpAmps: cell.OpAmps,
+	}
+	for i, w := range weights {
+		m.setParam(fmt.Sprintf("gain%d", i), w)
+	}
+	return m
+}
+
+// scaledLogMatch absorbs a gain into the log or antilog amplifier driving
+// it: log amps realize out = K*log(in) by scaling their reference, so the
+// gain costs no extra op amp. (The missile solver's exp(n*log(v)) chain
+// maps to one log amp and one antilog amp this way.)
+func scaledLogMatch(g *vhif.Graph, b *vhif.Block) *Match {
+	drv := b.Inputs[0].Driver
+	if drv == nil || !soleReader(b.Inputs[0], b) {
+		return nil
+	}
+	var kind library.CellKind
+	switch drv.Kind {
+	case vhif.BLog:
+		kind = library.CellLogAmp
+	case vhif.BExp:
+		kind = library.CellAntilogAmp
+	default:
+		return nil
+	}
+	cell := library.Get(kind)
+	m := &Match{
+		Name:   "scaled_" + kind.String(),
+		Cell:   cell,
+		Root:   b,
+		Blocks: []*vhif.Block{b, drv},
+		Inputs: dataInputs(drv),
+		OpAmps: cell.OpAmps,
+	}
+	m.setParam("scale", b.Param)
+	return m
+}
+
+// invertedDetectorMatch absorbs a control inverter into the comparator or
+// Schmitt trigger driving it (an inverting detector costs nothing extra).
+func invertedDetectorMatch(g *vhif.Graph, b *vhif.Block) *Match {
+	drv := b.Inputs[0].Driver
+	if drv == nil || !soleReader(b.Inputs[0], b) {
+		return nil
+	}
+	var kind library.CellKind
+	switch drv.Kind {
+	case vhif.BComparator:
+		kind = library.CellComparator
+	case vhif.BSchmitt:
+		kind = library.CellSchmitt
+	default:
+		return nil
+	}
+	cell := library.Get(kind)
+	m := &Match{
+		Name:   "inverting_" + kind.String(),
+		Cell:   cell,
+		Root:   b,
+		Blocks: []*vhif.Block{b, drv},
+		Inputs: dataInputs(drv),
+		OpAmps: cell.OpAmps,
+	}
+	m.setParam("threshold", drv.Param)
+	m.setParam("hysteresis", drv.Hyst)
+	m.setParam("invert", 1)
+	return m
+}
+
+// outputStageMatch absorbs a limiter into the output drive stage ("block 4
+// adapts the system output to the loading requirements").
+func outputStageMatch(g *vhif.Graph, b *vhif.Block) *Match {
+	drv := b.Inputs[0].Driver
+	if drv == nil || drv.Kind != vhif.BLimiter || !soleReader(b.Inputs[0], b) {
+		return nil
+	}
+	cell := library.Get(library.CellOutputStage)
+	m := &Match{
+		Name:   "limiting_output_stage",
+		Cell:   cell,
+		Root:   b,
+		Blocks: []*vhif.Block{b, drv},
+		Inputs: dataInputs(drv),
+		OpAmps: cell.OpAmps,
+	}
+	m.setParam("limit", drv.Param)
+	m.setParam("load", b.Param)
+	return m
+}

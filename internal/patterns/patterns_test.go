@@ -1,0 +1,279 @@
+package patterns
+
+import (
+	"testing"
+
+	"vase/internal/library"
+	"vase/internal/vhif"
+)
+
+func TestGainMatchSelectsAmplifier(t *testing.T) {
+	g := vhif.NewGraph("t")
+	in := g.AddBlock(vhif.BInput, "a")
+	gain := g.AddBlock(vhif.BGain, "g", in.Out)
+
+	cases := []struct {
+		k    float64
+		cell library.CellKind
+	}{
+		{-4, library.CellInvAmp},
+		{5, library.CellNonInvAmp},
+		{0.5, library.CellInvAmp}, // attenuator
+	}
+	for _, c := range cases {
+		gain.Param = c.k
+		ms := MatchesFor(g, gain, Options{})
+		if len(ms) == 0 {
+			t.Fatalf("no match for gain %g", c.k)
+		}
+		found := false
+		for _, m := range ms {
+			if m.Cell.Kind == c.cell {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("gain %g: no %s among matches", c.k, c.cell)
+		}
+	}
+}
+
+func TestGainOutOfRangeRejected(t *testing.T) {
+	g := vhif.NewGraph("t")
+	in := g.AddBlock(vhif.BInput, "a")
+	gain := g.AddBlock(vhif.BGain, "g", in.Out)
+	gain.Param = 5000 // beyond a single stage
+	for _, m := range MatchesFor(g, gain, Options{}) {
+		if m.Cell.Kind == library.CellNonInvAmp && m.Transformed == "" {
+			t.Errorf("single-stage match for unrealizable gain: %v", m)
+		}
+	}
+}
+
+func TestGainSplitTransformation(t *testing.T) {
+	g := vhif.NewGraph("t")
+	in := g.AddBlock(vhif.BInput, "a")
+	gain := g.AddBlock(vhif.BGain, "g", in.Out)
+	gain.Param = 50
+	var split *Match
+	for _, m := range MatchesFor(g, gain, Options{}) {
+		if m.Transformed != "" {
+			split = m
+		}
+	}
+	if split == nil {
+		t.Fatal("no transformation match")
+	}
+	if split.OpAmps != 2 {
+		t.Errorf("split op amps = %d, want 2", split.OpAmps)
+	}
+	// Disabled by option.
+	for _, m := range MatchesFor(g, gain, Options{NoTransformations: true}) {
+		if m.Transformed != "" {
+			t.Error("transformation produced despite NoTransformations")
+		}
+	}
+}
+
+func TestSummingAbsorption(t *testing.T) {
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	b := g.AddBlock(vhif.BInput, "b")
+	g1 := g.AddBlock(vhif.BGain, "g1", a.Out)
+	g1.Param = 4
+	g2 := g.AddBlock(vhif.BGain, "g2", b.Out)
+	g2.Param = 2
+	add := g.AddBlock(vhif.BAdd, "add", g1.Out, g2.Out)
+
+	ms := MatchesFor(g, add, Options{})
+	if len(ms) < 2 {
+		t.Fatalf("matches = %d, want >= 2 (absorbing + plain)", len(ms))
+	}
+	best := ms[0] // sequencing rule: largest first
+	if len(best.Blocks) != 3 {
+		t.Errorf("best match covers %d blocks, want 3 (add + 2 gains)", len(best.Blocks))
+	}
+	if best.OpAmps != 1 {
+		t.Errorf("summing amp = %d op amps, want 1", best.OpAmps)
+	}
+	if best.Params["gain0"] != 4 || best.Params["gain1"] != 2 {
+		t.Errorf("weights = %v", best.Params)
+	}
+}
+
+func TestSummingRespectsFanout(t *testing.T) {
+	// A gain with two readers cannot be absorbed.
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	g1 := g.AddBlock(vhif.BGain, "g1", a.Out)
+	g1.Param = 4
+	add := g.AddBlock(vhif.BAdd, "add", g1.Out, a.Out)
+	g.AddBlock(vhif.BOutput, "tap", g1.Out) // second reader of g1
+
+	for _, m := range MatchesFor(g, add, Options{}) {
+		for _, b := range m.Blocks {
+			if b == g1 {
+				t.Errorf("gain with fanout absorbed by %v", m)
+			}
+		}
+	}
+}
+
+func TestNoAbsorptionOption(t *testing.T) {
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	g1 := g.AddBlock(vhif.BGain, "g1", a.Out)
+	g1.Param = 4
+	add := g.AddBlock(vhif.BAdd, "add", g1.Out, g1.Out)
+	for _, m := range MatchesFor(g, add, Options{NoAbsorption: true}) {
+		if len(m.Blocks) > 1 {
+			t.Errorf("multi-block match despite NoAbsorption: %v", m)
+		}
+	}
+}
+
+func TestPGAPattern(t *testing.T) {
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	c0 := g.AddBlock(vhif.BConst, "c0")
+	c0.Param = 0.5
+	c1 := g.AddBlock(vhif.BConst, "c1")
+	c1.Param = 0.75
+	cmp := g.AddBlock(vhif.BComparator, "cmp", a.Out)
+	mux := g.AddBlock(vhif.BMux, "mux", c0.Out, c1.Out)
+	mux.SetCtrl(g, cmp.Out)
+	mul := g.AddBlock(vhif.BMul, "mul", a.Out, mux.Out)
+
+	ms := MatchesFor(g, mul, Options{})
+	if ms[0].Cell.Kind != library.CellPGA {
+		t.Fatalf("best match = %v, want PGA", ms[0])
+	}
+	if ms[0].Params["gain_on"] != 0.5 || ms[0].Params["gain_off"] != 0.75 {
+		t.Errorf("pga gains = %v", ms[0].Params)
+	}
+	if ms[0].Ctrl == nil {
+		t.Error("pga lost its control net")
+	}
+}
+
+func TestSummingIntegrator(t *testing.T) {
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	b := g.AddBlock(vhif.BInput, "b")
+	g1 := g.AddBlock(vhif.BGain, "g1", a.Out)
+	g1.Param = 3
+	add := g.AddBlock(vhif.BAdd, "add", g1.Out, b.Out)
+	integ := g.AddBlock(vhif.BIntegrator, "i", add.Out)
+
+	ms := MatchesFor(g, integ, Options{})
+	best := ms[0]
+	if best.Cell.Kind != library.CellIntegrator || len(best.Blocks) != 3 {
+		t.Fatalf("best = %v, want summing integrator over 3 blocks", best)
+	}
+	if best.OpAmps != 1 {
+		t.Errorf("summing integrator op amps = %d", best.OpAmps)
+	}
+}
+
+func TestScaledLogAntilog(t *testing.T) {
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	lg := g.AddBlock(vhif.BLog, "lg", a.Out)
+	gn := g.AddBlock(vhif.BGain, "gn", lg.Out)
+	gn.Param = 2
+
+	ms := MatchesFor(g, gn, Options{})
+	if ms[0].Cell.Kind != library.CellLogAmp || len(ms[0].Blocks) != 2 {
+		t.Fatalf("best = %v, want scaled log amp", ms[0])
+	}
+	if ms[0].Params["scale"] != 2 {
+		t.Errorf("scale = %v", ms[0].Params)
+	}
+
+	ex := g.AddBlock(vhif.BExp, "ex", gn.Out)
+	gc := g.AddBlock(vhif.BGain, "gc", ex.Out)
+	gc.Param = 0.3
+	ms = MatchesFor(g, gc, Options{})
+	if ms[0].Cell.Kind != library.CellAntilogAmp {
+		t.Fatalf("best = %v, want scaled antilog amp", ms[0])
+	}
+}
+
+func TestInvertedDetectorAbsorption(t *testing.T) {
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	cmp := g.AddBlock(vhif.BComparator, "cmp", a.Out)
+	cmp.Param = 0.2
+	not := g.AddBlock(vhif.BNot, "inv", cmp.Out)
+
+	ms := MatchesFor(g, not, Options{})
+	best := ms[0]
+	if best.Cell.Kind != library.CellComparator || len(best.Blocks) != 2 {
+		t.Fatalf("best = %v, want inverting comparator over 2 blocks", best)
+	}
+	if best.Params["invert"] != 1 || best.Params["threshold"] != 0.2 {
+		t.Errorf("params = %v", best.Params)
+	}
+	if best.OpAmps != 1 {
+		t.Errorf("op amps = %d, want 1 (inversion is free)", best.OpAmps)
+	}
+}
+
+func TestOutputStageAbsorbsLimiter(t *testing.T) {
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	lim := g.AddBlock(vhif.BLimiter, "lim", a.Out)
+	lim.Param = 1.5
+	buf := g.AddBlock(vhif.BBuffer, "buf", lim.Out)
+	buf.Param = 270
+
+	ms := MatchesFor(g, buf, Options{})
+	best := ms[0]
+	if best.Cell.Kind != library.CellOutputStage || len(best.Blocks) != 2 {
+		t.Fatalf("best = %v, want limiting output stage", best)
+	}
+	if best.Params["limit"] != 1.5 || best.Params["load"] != 270 {
+		t.Errorf("params = %v", best.Params)
+	}
+}
+
+func TestStructuralBlocksUnmatched(t *testing.T) {
+	g := vhif.NewGraph("t")
+	in := g.AddBlock(vhif.BInput, "a")
+	c := g.AddBlock(vhif.BConst, "k")
+	out := g.AddBlock(vhif.BOutput, "y", in.Out)
+	for _, b := range []*vhif.Block{in, c, out} {
+		if ms := MatchesFor(g, b, Options{}); ms != nil {
+			t.Errorf("structural block %s matched: %v", b.Name, ms)
+		}
+	}
+}
+
+func TestMinMaxOpParam(t *testing.T) {
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	b := g.AddBlock(vhif.BInput, "b")
+	mn := g.AddBlock(vhif.BMin, "mn", a.Out, b.Out)
+	mx := g.AddBlock(vhif.BMax, "mx", a.Out, b.Out)
+	if MatchesFor(g, mn, Options{})[0].Params["op"] != 0 {
+		t.Error("min op param")
+	}
+	if MatchesFor(g, mx, Options{})[0].Params["op"] != 1 {
+		t.Error("max op param")
+	}
+}
+
+func TestMatchOrdering(t *testing.T) {
+	// Sequencing rule: matches sorted by blocks desc, then op amps asc.
+	g := vhif.NewGraph("t")
+	a := g.AddBlock(vhif.BInput, "a")
+	g1 := g.AddBlock(vhif.BGain, "g1", a.Out)
+	g1.Param = 2
+	add := g.AddBlock(vhif.BAdd, "add", g1.Out, a.Out)
+	ms := MatchesFor(g, add, Options{})
+	for i := 1; i < len(ms); i++ {
+		if len(ms[i].Blocks) > len(ms[i-1].Blocks) {
+			t.Errorf("ordering violated at %d: %v before %v", i, ms[i-1], ms[i])
+		}
+	}
+}

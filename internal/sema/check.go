@@ -1,0 +1,841 @@
+package sema
+
+import (
+	"math"
+
+	"vase/internal/ast"
+	"vase/internal/token"
+)
+
+// ---------------------------------------------------------------------------
+// Expression type checking
+
+// typeOf checks e in scope s, records the result in the design's type map,
+// and returns it.
+func (a *analyzer) typeOf(s *Scope, e ast.Expr) Type {
+	t := a.typeOfUncached(s, e)
+	if a.d != nil {
+		a.d.Types[e] = t
+		if v := a.constOf(s, e); v != nil {
+			a.d.Consts[e] = v
+		}
+	}
+	return t
+}
+
+func (a *analyzer) typeOfUncached(s *Scope, e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return Int
+	case *ast.RealLit:
+		return Real
+	case *ast.BitLit:
+		return Bit
+	case *ast.StrLit:
+		return Type{Kind: TBitVector, Len: len(e.Value)}
+	case *ast.Paren:
+		return a.typeOf(s, e.X)
+	case *ast.Name:
+		switch e.Ident.Canon {
+		case "true", "false":
+			return Bool
+		}
+		sym := s.Lookup(e.Ident.Canon)
+		if sym == nil {
+			a.errorf(e.SpanV, "undeclared name %q", e.Ident.Name)
+			return ErrType
+		}
+		if sym.Kind == SymFunction {
+			a.errorf(e.SpanV, "function %q used as a value", e.Ident.Name)
+			return ErrType
+		}
+		return sym.Type
+	case *ast.Unary:
+		t := a.typeOf(s, e.X)
+		switch e.Op {
+		case token.MINUS, token.PLUS, token.ABS:
+			if !t.IsNumeric() && t.Kind != TError {
+				a.errorf(e.SpanV, "operator %s requires a numeric operand, got %s", e.Op, t)
+				return ErrType
+			}
+			return t
+		case token.NOT:
+			if t.Kind != TBool && t.Kind != TBit && t.Kind != TError {
+				a.errorf(e.SpanV, "not requires a boolean or bit operand, got %s", t)
+				return ErrType
+			}
+			return t
+		}
+		return ErrType
+	case *ast.Binary:
+		return a.typeOfBinary(s, e)
+	case *ast.Call:
+		return a.typeOfCall(s, e)
+	case *ast.Attribute:
+		return a.typeOfAttribute(s, e)
+	}
+	return ErrType
+}
+
+func (a *analyzer) typeOfBinary(s *Scope, e *ast.Binary) Type {
+	x := a.typeOf(s, e.X)
+	y := a.typeOf(s, e.Y)
+	if x.Kind == TError || y.Kind == TError {
+		return ErrType
+	}
+	switch e.Op {
+	case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.DSTAR, token.MOD, token.REM:
+		if !x.IsNumeric() || !y.IsNumeric() {
+			a.errorf(e.SpanV, "operator %s requires numeric operands, got %s and %s", e.Op, x, y)
+			return ErrType
+		}
+		if x.Kind == TReal || y.Kind == TReal {
+			return Real
+		}
+		return Int
+	case token.EQ, token.NEQ:
+		if !comparable(x, y) {
+			a.errorf(e.SpanV, "cannot compare %s and %s", x, y)
+			return ErrType
+		}
+		return Bool
+	case token.LT, token.LE, token.GT, token.GE:
+		if !x.IsNumeric() || !y.IsNumeric() {
+			a.errorf(e.SpanV, "ordering comparison requires numeric operands, got %s and %s", x, y)
+			return ErrType
+		}
+		return Bool
+	case token.AND, token.OR, token.NAND, token.NOR, token.XOR:
+		okKind := func(t Type) bool { return t.Kind == TBool || t.Kind == TBit }
+		if !okKind(x) || !okKind(y) {
+			a.errorf(e.SpanV, "logical operator %s requires boolean or bit operands, got %s and %s", e.Op, x, y)
+			return ErrType
+		}
+		if x.Kind == TBit && y.Kind == TBit {
+			return Bit
+		}
+		return Bool
+	case token.AMP:
+		a.errorf(e.SpanV, "concatenation is not supported in VASS expressions")
+		return ErrType
+	}
+	return ErrType
+}
+
+func comparable(x, y Type) bool {
+	if x.Same(y) {
+		return true
+	}
+	if x.IsNumeric() && y.IsNumeric() {
+		return true
+	}
+	if (x.Kind == TBool && y.Kind == TBit) || (x.Kind == TBit && y.Kind == TBool) {
+		return true
+	}
+	return false
+}
+
+func (a *analyzer) typeOfCall(s *Scope, e *ast.Call) Type {
+	sym := s.Lookup(e.Fun.Canon)
+	if sym == nil {
+		a.errorf(e.SpanV, "undeclared function %q", e.Fun.Name)
+		for _, arg := range e.Args {
+			a.typeOf(s, arg)
+		}
+		return ErrType
+	}
+	if sym.Kind != SymFunction {
+		// Indexed name: vector element access.
+		if sym.Type.Kind == TRealVector || sym.Type.Kind == TBitVector {
+			if len(e.Args) != 1 {
+				a.errorf(e.SpanV, "indexed name %q requires exactly one index", e.Fun.Name)
+			}
+			for _, arg := range e.Args {
+				if it := a.typeOf(s, arg); !it.IsNumeric() && it.Kind != TError {
+					a.errorf(arg.Span(), "index must be numeric, got %s", it)
+				}
+			}
+			if sym.Type.Kind == TRealVector {
+				return Real
+			}
+			return Bit
+		}
+		a.errorf(e.SpanV, "%s %q is not callable", sym.Kind, e.Fun.Name)
+		return ErrType
+	}
+	f := sym.Func
+	if len(e.Args) != len(f.Params) {
+		a.errorf(e.SpanV, "function %q expects %d arguments, got %d", e.Fun.Name, len(f.Params), len(e.Args))
+	}
+	for i, arg := range e.Args {
+		t := a.typeOf(s, arg)
+		if i < len(f.Params) {
+			want := f.Params[i].Type
+			if !t.Same(want) && t.Kind != TError && !(t.IsNumeric() && want.IsNumeric()) {
+				a.errorf(arg.Span(), "argument %d of %q has type %s, want %s", i+1, e.Fun.Name, t, want)
+			}
+		}
+	}
+	return f.Result
+}
+
+func (a *analyzer) typeOfAttribute(s *Scope, e *ast.Attribute) Type {
+	xt := a.typeOf(s, e.X)
+	sym := a.attrPrefixSymbol(s, e)
+	switch e.Attr {
+	case "above":
+		if sym == nil || sym.Kind != SymQuantity {
+			a.errorf(e.SpanV, "'above requires a quantity prefix")
+		} else if len(e.Args) != 1 {
+			a.errorf(e.SpanV, "'above requires a threshold argument")
+		} else {
+			if t := a.typeOf(s, e.Args[0]); !t.IsNumeric() && t.Kind != TError {
+				a.errorf(e.Args[0].Span(), "'above threshold must be numeric, got %s", t)
+			}
+		}
+		return Bool
+	case "dot":
+		if xt.Kind != TReal && xt.Kind != TError {
+			a.errorf(e.SpanV, "'dot requires a real quantity prefix, got %s", xt)
+		}
+		return Real
+	case "integ":
+		if xt.Kind != TReal && xt.Kind != TError {
+			a.errorf(e.SpanV, "'integ requires a real quantity prefix, got %s", xt)
+		}
+		return Real
+	case "event":
+		if sym == nil || sym.Kind != SymSignal {
+			a.errorf(e.SpanV, "'event requires a signal prefix")
+		}
+		return Bool
+	case "reference", "contribution":
+		if sym == nil || sym.Kind != SymTerminal {
+			a.errorf(e.SpanV, "'%s requires a terminal prefix", e.Attr)
+		}
+		a.recordTerminalFacet(sym, e)
+		return Real
+	}
+	a.errorf(e.SpanV, "unsupported attribute '%s", e.Attr)
+	return ErrType
+}
+
+func (a *analyzer) attrPrefixSymbol(s *Scope, e *ast.Attribute) *Symbol {
+	if n, ok := e.X.(*ast.Name); ok {
+		return s.Lookup(n.Ident.Canon)
+	}
+	return nil
+}
+
+// terminalFacets tracks which facet (across=reference/voltage or
+// through=contribution/current) each terminal has been accessed by, to
+// enforce the VASS single-facet restriction.
+var terminalFacetKey = map[string]string{"reference": "across", "contribution": "through"}
+
+func (a *analyzer) recordTerminalFacet(sym *Symbol, e *ast.Attribute) {
+	if sym == nil {
+		return
+	}
+	facet := terminalFacetKey[e.Attr]
+	if facet == "" {
+		return
+	}
+	if sym.Attr.Kind == KindUnspecified {
+		if facet == "across" {
+			sym.Attr.Kind = KindVoltage
+		} else {
+			sym.Attr.Kind = KindCurrent
+		}
+		return
+	}
+	have := "across"
+	if sym.Attr.Kind == KindCurrent {
+		have = "through"
+	}
+	if have != facet {
+		a.errorf(e.SpanV, "terminal %q uses both across and through facets; VASS allows only one", sym.Orig)
+	}
+}
+
+// checkCond checks a condition expression and requires boolean type.
+func (a *analyzer) checkCond(s *Scope, e ast.Expr) {
+	t := a.typeOf(s, e)
+	if t.Kind != TBool && t.Kind != TBit && t.Kind != TError {
+		a.errorf(e.Span(), "condition must be boolean, got %s", t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+
+// constOf evaluates e to a static value in scope s, or nil when e is not
+// statically constant. Errors are not reported here; callers decide whether
+// staticness is required.
+func (a *analyzer) constOf(s *Scope, e ast.Expr) *Value {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		v := IntValue(e.Value)
+		return &v
+	case *ast.RealLit:
+		v := RealValue(e.Value)
+		return &v
+	case *ast.BitLit:
+		v := BitValue(e.Value)
+		return &v
+	case *ast.Paren:
+		return a.constOf(s, e.X)
+	case *ast.Name:
+		switch e.Ident.Canon {
+		case "true":
+			v := BoolValue(true)
+			return &v
+		case "false":
+			v := BoolValue(false)
+			return &v
+		}
+		sym := s.Lookup(e.Ident.Canon)
+		if sym != nil && sym.Kind == SymConstant && sym.Const != nil {
+			return sym.Const
+		}
+		return nil
+	case *ast.Unary:
+		x := a.constOf(s, e.X)
+		if x == nil {
+			return nil
+		}
+		switch e.Op {
+		case token.MINUS:
+			if x.Type.Kind == TInt {
+				v := IntValue(-x.Int)
+				return &v
+			}
+			v := RealValue(-x.AsReal())
+			return &v
+		case token.PLUS:
+			return x
+		case token.ABS:
+			if x.Type.Kind == TInt {
+				n := x.Int
+				if n < 0 {
+					n = -n
+				}
+				v := IntValue(n)
+				return &v
+			}
+			v := RealValue(math.Abs(x.AsReal()))
+			return &v
+		case token.NOT:
+			if x.Type.Kind == TBool || x.Type.Kind == TBit {
+				v := *x
+				v.Bool = !v.Bool
+				return &v
+			}
+		}
+		return nil
+	case *ast.Binary:
+		return a.constBinary(s, e)
+	case *ast.Call:
+		return a.constCall(s, e)
+	}
+	return nil
+}
+
+func (a *analyzer) constBinary(s *Scope, e *ast.Binary) *Value {
+	x := a.constOf(s, e.X)
+	y := a.constOf(s, e.Y)
+	if x == nil || y == nil {
+		return nil
+	}
+	bothInt := x.Type.Kind == TInt && y.Type.Kind == TInt
+	num := func(f float64, i int64) *Value {
+		if bothInt {
+			v := IntValue(i)
+			return &v
+		}
+		v := RealValue(f)
+		return &v
+	}
+	b := func(v bool) *Value { bv := BoolValue(v); return &bv }
+	xf, yf := x.AsReal(), y.AsReal()
+	switch e.Op {
+	case token.PLUS:
+		return num(xf+yf, x.Int+y.Int)
+	case token.MINUS:
+		return num(xf-yf, x.Int-y.Int)
+	case token.STAR:
+		return num(xf*yf, x.Int*y.Int)
+	case token.SLASH:
+		if yf == 0 {
+			return nil
+		}
+		if bothInt && y.Int != 0 {
+			return num(xf/yf, x.Int/y.Int)
+		}
+		v := RealValue(xf / yf)
+		return &v
+	case token.DSTAR:
+		v := RealValue(math.Pow(xf, yf))
+		return &v
+	case token.MOD, token.REM:
+		if bothInt && y.Int != 0 {
+			v := IntValue(x.Int % y.Int)
+			return &v
+		}
+		return nil
+	case token.EQ:
+		if x.Type.IsNumeric() && y.Type.IsNumeric() {
+			return b(xf == yf)
+		}
+		return b(x.Bool == y.Bool)
+	case token.NEQ:
+		if x.Type.IsNumeric() && y.Type.IsNumeric() {
+			return b(xf != yf)
+		}
+		return b(x.Bool != y.Bool)
+	case token.LT:
+		return b(xf < yf)
+	case token.LE:
+		return b(xf <= yf)
+	case token.GT:
+		return b(xf > yf)
+	case token.GE:
+		return b(xf >= yf)
+	case token.AND:
+		return b(x.Bool && y.Bool)
+	case token.OR:
+		return b(x.Bool || y.Bool)
+	case token.XOR:
+		return b(x.Bool != y.Bool)
+	case token.NAND:
+		return b(!(x.Bool && y.Bool))
+	case token.NOR:
+		return b(!(x.Bool || y.Bool))
+	}
+	return nil
+}
+
+func (a *analyzer) constCall(s *Scope, e *ast.Call) *Value {
+	sym := s.Lookup(e.Fun.Canon)
+	if sym == nil || sym.Kind != SymFunction || sym.Func.Builtin == "" {
+		return nil
+	}
+	var args []float64
+	for _, arg := range e.Args {
+		v := a.constOf(s, arg)
+		if v == nil {
+			return nil
+		}
+		args = append(args, v.AsReal())
+	}
+	f, ok := EvalBuiltin(sym.Func.Builtin, args)
+	if !ok {
+		return nil
+	}
+	v := RealValue(f)
+	return &v
+}
+
+// EvalBuiltin evaluates a VASS builtin function on real arguments. It is
+// shared with the behavioral simulator.
+func EvalBuiltin(name string, args []float64) (float64, bool) {
+	one := func() float64 { return args[0] }
+	switch name {
+	case "log":
+		if len(args) == 1 && args[0] > 0 {
+			return math.Log(one()), true
+		}
+	case "exp":
+		if len(args) == 1 {
+			return math.Exp(one()), true
+		}
+	case "sqrt":
+		if len(args) == 1 && args[0] >= 0 {
+			return math.Sqrt(one()), true
+		}
+	case "sin":
+		if len(args) == 1 {
+			return math.Sin(one()), true
+		}
+	case "cos":
+		if len(args) == 1 {
+			return math.Cos(one()), true
+		}
+	case "abs":
+		if len(args) == 1 {
+			return math.Abs(one()), true
+		}
+	case "min":
+		if len(args) == 2 {
+			return math.Min(args[0], args[1]), true
+		}
+	case "max":
+		if len(args) == 2 {
+			return math.Max(args[0], args[1]), true
+		}
+	case "sign":
+		if len(args) == 1 {
+			if args[0] > 0 {
+				return 1, true
+			}
+			if args[0] < 0 {
+				return -1, true
+			}
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// constIntOf evaluates e to a static integer (used for ranges).
+func (a *analyzer) constIntOf(e ast.Expr) *int64 {
+	scope := NewScope(nil)
+	if a.d != nil {
+		scope = a.d.Scope
+	}
+	v := a.constOf(scope, e)
+	if v == nil {
+		return nil
+	}
+	switch v.Type.Kind {
+	case TInt:
+		return &v.Int
+	case TReal:
+		n := int64(v.Real)
+		if float64(n) == v.Real {
+			return &n
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent statements
+
+func (a *analyzer) checkConcStmt(s *Scope, st ast.ConcStmt) {
+	switch st := st.(type) {
+	case *ast.SimpleSimultaneous:
+		lt := a.typeOf(s, st.LHS)
+		rt := a.typeOf(s, st.RHS)
+		if lt.Kind != TError && !lt.IsNumeric() {
+			a.errorf(st.LHS.Span(), "simultaneous statement sides must be real expressions, got %s", lt)
+		}
+		if rt.Kind != TError && !rt.IsNumeric() {
+			a.errorf(st.RHS.Span(), "simultaneous statement sides must be real expressions, got %s", rt)
+		}
+	case *ast.SimultaneousIf:
+		a.checkCond(s, st.Cond)
+		a.checkSimCondSignals(s, st.Cond)
+		for _, t := range st.Then {
+			a.checkConcStmt(s, t)
+		}
+		for _, e := range st.Elifs {
+			a.checkCond(s, e.Cond)
+			a.checkSimCondSignals(s, e.Cond)
+			for _, t := range e.Then {
+				a.checkConcStmt(s, t)
+			}
+		}
+		for _, t := range st.Else {
+			a.checkConcStmt(s, t)
+		}
+	case *ast.SimultaneousCase:
+		a.typeOf(s, st.Expr)
+		seenOthers := false
+		for _, arm := range st.Arms {
+			if arm.Choices == nil {
+				seenOthers = true
+			}
+			for _, c := range arm.Choices {
+				a.typeOf(s, c)
+			}
+			for _, t := range arm.Conc {
+				a.checkConcStmt(s, t)
+			}
+		}
+		if !seenOthers {
+			a.errorf(st.SpanV, "simultaneous case requires an others arm")
+		}
+	case *ast.Procedural:
+		a.checkProcedural(s, st)
+	case *ast.Process:
+		a.checkProcess(s, st)
+	}
+}
+
+// checkSimCondSignals requires that conditions of simultaneous if/use refer
+// only to signals and constants: the selection is a control input computed by
+// the event-driven part.
+func (a *analyzer) checkSimCondSignals(s *Scope, cond ast.Expr) {
+	ast.Walk(cond, func(n ast.Node) bool {
+		if name, ok := n.(*ast.Name); ok {
+			sym := s.Lookup(name.Ident.Canon)
+			if sym != nil && sym.Kind == SymQuantity {
+				a.errorf(name.SpanV, "simultaneous if condition may not read quantity %q directly; use a process with 'above to derive a control signal", name.Ident.Name)
+			}
+		}
+		return true
+	})
+}
+
+// seqCtx tracks where a sequential statement list appears.
+type seqCtx struct {
+	inProcess    bool
+	inProcedural bool
+	inFunction   bool
+	// assignedSignals enforces the one-memory rule: a signal may not be read
+	// after it has been assigned within the same process activation.
+	assignedSignals map[string]bool
+	// loopDepth > 0 inside for/while bodies.
+	loopDepth int
+}
+
+func (a *analyzer) checkProcedural(s *Scope, st *ast.Procedural) {
+	inner := NewScope(s)
+	for _, d := range st.Decls {
+		if od, ok := d.(*ast.ObjectDecl); ok {
+			if od.Class != ast.ClassVariable && od.Class != ast.ClassConstant {
+				a.errorf(od.SpanV, "procedural declarations must be variables or constants")
+				continue
+			}
+			a.declareObjects(inner, od, false)
+		}
+	}
+	ctx := seqCtx{inProcedural: true, assignedSignals: map[string]bool{}}
+	a.checkSeqStmts(inner, st.Body, &ctx)
+}
+
+func (a *analyzer) checkProcess(s *Scope, st *ast.Process) {
+	if len(st.Sensitivity) == 0 {
+		a.errorf(st.SpanV, "VASS processes require a sensitivity list (no wait statements)")
+	}
+	for _, e := range st.Sensitivity {
+		switch e := e.(type) {
+		case *ast.Name:
+			sym := s.Lookup(e.Ident.Canon)
+			if sym == nil {
+				a.errorf(e.SpanV, "undeclared name %q in sensitivity list", e.Ident.Name)
+			} else if sym.Kind != SymSignal {
+				a.errorf(e.SpanV, "sensitivity list entry %q must be a signal or an 'above event, not a %s", e.Ident.Name, sym.Kind)
+			}
+		case *ast.Attribute:
+			if e.Attr != "above" && e.Attr != "event" {
+				a.errorf(e.SpanV, "sensitivity list attribute must be 'above or 'event, got '%s", e.Attr)
+			}
+			a.typeOf(s, e)
+		default:
+			a.errorf(e.Span(), "invalid sensitivity list entry")
+		}
+	}
+	inner := NewScope(s)
+	for _, d := range st.Decls {
+		if od, ok := d.(*ast.ObjectDecl); ok {
+			if od.Class != ast.ClassVariable && od.Class != ast.ClassConstant {
+				a.errorf(od.SpanV, "process declarations must be variables or constants")
+				continue
+			}
+			a.declareObjects(inner, od, false)
+		}
+	}
+	ctx := seqCtx{inProcess: true, assignedSignals: map[string]bool{}}
+	a.checkSeqStmts(inner, st.Body, &ctx)
+}
+
+func (a *analyzer) checkSeqStmts(s *Scope, ss []ast.SeqStmt, ctx *seqCtx) {
+	for _, st := range ss {
+		a.checkSeqStmt(s, st, ctx)
+	}
+}
+
+func (a *analyzer) checkSeqStmt(s *Scope, st ast.SeqStmt, ctx *seqCtx) {
+	switch st := st.(type) {
+	case *ast.Assign:
+		a.checkSeqAssign(s, st, *ctx)
+		if st.SignalOp {
+			if n, ok := st.LHS.(*ast.Name); ok {
+				ctx.assignedSignals[n.Ident.Canon] = true
+			}
+		}
+	case *ast.IfStmt:
+		a.checkCond(s, st.Cond)
+		a.checkReadAfterWrite(s, st.Cond, ctx)
+		a.checkSeqStmts(s, st.Then, ctx)
+		for _, e := range st.Elifs {
+			a.checkCond(s, e.Cond)
+			a.checkReadAfterWrite(s, e.Cond, ctx)
+			a.checkSeqStmts(s, e.Then, ctx)
+		}
+		a.checkSeqStmts(s, st.Else, ctx)
+	case *ast.CaseStmt:
+		a.typeOf(s, st.Expr)
+		a.checkReadAfterWrite(s, st.Expr, ctx)
+		for _, arm := range st.Arms {
+			for _, c := range arm.Choices {
+				a.typeOf(s, c)
+			}
+			a.checkSeqStmts(s, arm.Seq, ctx)
+		}
+	case *ast.ForStmt:
+		inner := a.enterFor(s, st)
+		ctx.loopDepth++
+		a.checkSeqStmts(inner, st.Body, ctx)
+		ctx.loopDepth--
+	case *ast.WhileStmt:
+		a.checkWhile(s, st, ctx)
+	case *ast.ReturnStmt:
+		if !ctx.inFunction {
+			a.errorf(st.SpanV, "return is only allowed inside function bodies")
+		}
+	case *ast.NullStmt:
+	}
+}
+
+// enterFor validates the static bounds restriction and returns the loop
+// body scope containing the loop variable.
+func (a *analyzer) enterFor(s *Scope, st *ast.ForStmt) *Scope {
+	lo := a.constIntOf(st.Range.Lo)
+	hi := a.constIntOf(st.Range.Hi)
+	if lo == nil || hi == nil {
+		a.errorf(st.Range.SpanV, "for-loop bounds must be statically known in VASS (loops are unrolled)")
+	} else {
+		n := *hi - *lo + 1
+		if st.Range.Down {
+			n = *lo - *hi + 1
+		}
+		if n < 0 {
+			a.errorf(st.Range.SpanV, "for-loop range is empty")
+		}
+		if n > 1024 {
+			a.errorf(st.Range.SpanV, "for-loop unrolls to %d iterations; the VASS limit is 1024", n)
+		}
+	}
+	inner := NewScope(s)
+	inner.Declare(&Symbol{Name: st.Var.Canon, Orig: st.Var.Name, Kind: SymLoopVar, Type: Int, Decl: st})
+	a.typeOf(inner, st.Range.Lo)
+	a.typeOf(inner, st.Range.Hi)
+	return inner
+}
+
+// checkWhile enforces the sampling-semantics constraints of Section 3: the
+// loop condition must depend on a variable assigned inside the loop body
+// (otherwise the loop can never terminate as inputs are held constant during
+// execution).
+func (a *analyzer) checkWhile(s *Scope, st *ast.WhileStmt, ctx *seqCtx) {
+	if ctx.inProcess {
+		a.errorf(st.SpanV, "while-loops are only allowed in procedural bodies (sampling semantics)")
+	}
+	a.checkCond(s, st.Cond)
+
+	assigned := map[string]bool{}
+	var collect func(ss []ast.SeqStmt)
+	collect = func(ss []ast.SeqStmt) {
+		for _, b := range ss {
+			switch b := b.(type) {
+			case *ast.Assign:
+				if n, ok := b.LHS.(*ast.Name); ok {
+					assigned[n.Ident.Canon] = true
+				}
+			case *ast.IfStmt:
+				collect(b.Then)
+				for _, e := range b.Elifs {
+					collect(e.Then)
+				}
+				collect(b.Else)
+			case *ast.CaseStmt:
+				for _, arm := range b.Arms {
+					collect(arm.Seq)
+				}
+			case *ast.ForStmt:
+				collect(b.Body)
+			case *ast.WhileStmt:
+				collect(b.Body)
+			}
+		}
+	}
+	collect(st.Body)
+
+	depends := false
+	ast.Walk(st.Cond, func(n ast.Node) bool {
+		if name, ok := n.(*ast.Name); ok && assigned[name.Ident.Canon] {
+			depends = true
+		}
+		return true
+	})
+	if !depends {
+		a.errorf(st.Cond.Span(), "while condition must depend on a value computed in the loop body (VASS sampling semantics: external signals are constant during loop execution)")
+	}
+
+	ctx.loopDepth++
+	a.checkSeqStmts(s, st.Body, ctx)
+	ctx.loopDepth--
+}
+
+// checkReadAfterWrite reports reads of signals already assigned in this
+// process activation (the one-memory-block-per-signal restriction).
+func (a *analyzer) checkReadAfterWrite(s *Scope, e ast.Expr, ctx *seqCtx) {
+	if !ctx.inProcess || len(ctx.assignedSignals) == 0 {
+		return
+	}
+	ast.Walk(e, func(n ast.Node) bool {
+		if name, ok := n.(*ast.Name); ok && ctx.assignedSignals[name.Ident.Canon] {
+			a.errorf(name.SpanV, "signal %q is read after being assigned in this process; VASS allows one memory block per signal", name.Ident.Name)
+		}
+		return true
+	})
+}
+
+func (a *analyzer) checkSeqAssign(s *Scope, st *ast.Assign, ctx seqCtx) {
+	// Resolve the target symbol.
+	var targetName *ast.Ident
+	switch lhs := st.LHS.(type) {
+	case *ast.Name:
+		targetName = lhs.Ident
+	case *ast.Call:
+		targetName = lhs.Fun // indexed name
+		for _, arg := range lhs.Args {
+			a.typeOf(s, arg)
+		}
+	default:
+		a.errorf(st.LHS.Span(), "assignment target must be a name")
+		a.typeOf(s, st.RHS)
+		return
+	}
+	sym := s.Lookup(targetName.Canon)
+	if sym == nil {
+		a.errorf(targetName.SpanV, "undeclared name %q", targetName.Name)
+		a.typeOf(s, st.RHS)
+		return
+	}
+	rt := a.typeOf(s, st.RHS)
+	a.checkReadAfterWrite(s, st.RHS, &ctx)
+	lt := a.typeOf(s, st.LHS)
+
+	if st.SignalOp {
+		if sym.Kind != SymSignal {
+			a.errorf(st.SpanV, "<= target %q must be a signal, not a %s", targetName.Name, sym.Kind)
+		}
+		if !ctx.inProcess {
+			a.errorf(st.SpanV, "signal assignment is only allowed inside process bodies")
+		}
+	} else {
+		switch sym.Kind {
+		case SymVariable:
+		case SymQuantity:
+			if !ctx.inProcedural {
+				a.errorf(st.SpanV, "quantity %q may only be assigned inside procedural bodies", targetName.Name)
+			} else if sym.IsPort && sym.Mode == ast.ModeIn {
+				a.errorf(st.SpanV, "cannot assign to input port %q", targetName.Name)
+			}
+		case SymConstant, SymLoopVar:
+			a.errorf(st.SpanV, "cannot assign to %s %q", sym.Kind, targetName.Name)
+		case SymSignal:
+			a.errorf(st.SpanV, "signal %q requires <=, not :=", targetName.Name)
+		}
+	}
+
+	if lt.Kind != TError && rt.Kind != TError && !lt.Same(rt) {
+		if !(lt.IsNumeric() && rt.IsNumeric()) &&
+			!(lt.Kind == TBit && rt.Kind == TBool) && !(lt.Kind == TBool && rt.Kind == TBit) {
+			a.errorf(st.SpanV, "cannot assign %s to %s target %q", rt, lt, targetName.Name)
+		}
+	}
+}

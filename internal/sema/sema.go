@@ -1,0 +1,567 @@
+package sema
+
+import (
+	"vase/internal/ast"
+	"vase/internal/source"
+)
+
+// Design is the semantic model of one analyzed entity/architecture pair,
+// ready for compilation to VHIF.
+type Design struct {
+	Name   string
+	Entity *ast.Entity
+	Arch   *ast.Architecture
+	File   *source.File
+	Scope  *Scope
+
+	// Ports in declaration order; Quantities and Signals include both ports
+	// and architecture-local declarations.
+	Ports      []*Symbol
+	Quantities []*Symbol
+	Signals    []*Symbol
+
+	// Types records the checked type of every expression; Consts the folded
+	// value of every statically constant expression.
+	Types  map[ast.Expr]Type
+	Consts map[ast.Expr]*Value
+
+	Funcs map[string]*Func
+
+	Stats Stats
+}
+
+// Stats are the VASS specification metrics reported in the paper's Table 1.
+type Stats struct {
+	ContinuousLines int // lines of continuous-time statements
+	QuantityCount   int
+	EventLines      int // lines of event-driven (process) statements
+	SignalCount     int
+}
+
+// Lookup resolves a canonical name in the design scope.
+func (d *Design) Lookup(name string) *Symbol { return d.Scope.Lookup(name) }
+
+// TypeOf returns the checked type of e (ErrType when unknown).
+func (d *Design) TypeOf(e ast.Expr) Type {
+	if t, ok := d.Types[e]; ok {
+		return t
+	}
+	return ErrType
+}
+
+// ConstOf returns the folded constant value of e, or nil when e is not
+// statically constant.
+func (d *Design) ConstOf(e ast.Expr) *Value { return d.Consts[e] }
+
+// Analyze checks all architectures in the file and returns one Design per
+// entity/architecture pair, in source order.
+func Analyze(df *ast.DesignFile) ([]*Design, error) {
+	var errs source.ErrorList
+	a := &analyzer{file: df.File, errs: &errs}
+	global := NewScope(nil)
+	declareBuiltins(global)
+
+	// Packages first: their constants and functions become globally visible.
+	for _, u := range df.Units {
+		switch u := u.(type) {
+		case *ast.Package:
+			a.declarePackage(global, u.Decls)
+		case *ast.PackageBody:
+			a.declarePackage(global, u.Decls)
+		}
+	}
+
+	entities := make(map[string]*ast.Entity)
+	for _, e := range df.Entities() {
+		if _, dup := entities[e.Name.Canon]; dup {
+			a.errorf(e.Name.SpanV, "duplicate entity %q", e.Name.Name)
+		}
+		entities[e.Name.Canon] = e
+	}
+
+	var designs []*Design
+	for _, arch := range df.Architectures() {
+		ent := entities[arch.Entity.Canon]
+		if ent == nil {
+			a.errorf(arch.Entity.SpanV, "architecture %q refers to unknown entity %q", arch.Name.Name, arch.Entity.Name)
+			continue
+		}
+		designs = append(designs, a.analyzeDesign(global, ent, arch))
+	}
+	errs.Sort()
+	return designs, errs.Err()
+}
+
+// AnalyzeOne is Analyze restricted to the (single) design in the file; it
+// fails when the file does not contain exactly one architecture.
+func AnalyzeOne(df *ast.DesignFile) (*Design, error) {
+	ds, err := Analyze(df)
+	if err != nil {
+		return nil, err
+	}
+	if len(ds) != 1 {
+		var errs source.ErrorList
+		errs.Add(df.File.Position(0), "expected exactly one architecture, found %d", len(ds))
+		return nil, errs.Err()
+	}
+	return ds[0], nil
+}
+
+type analyzer struct {
+	file *source.File
+	errs *source.ErrorList
+	d    *Design
+}
+
+func (a *analyzer) errorf(sp source.Span, format string, args ...any) {
+	a.errs.Add(a.file.Position(sp.Start), format, args...)
+}
+
+// builtins are the pure real functions available to VASS expressions. They
+// correspond to operations realizable with analog computation circuits
+// (log/antilog amplifiers, multipliers, etc.).
+var builtinNames = []string{"log", "exp", "sqrt", "sin", "cos", "abs", "min", "max", "sign", "adc"}
+
+func declareBuiltins(s *Scope) {
+	for _, name := range builtinNames {
+		nparams := 1
+		if name == "min" || name == "max" || name == "adc" {
+			nparams = 2
+		}
+		f := &Func{Name: name, Result: Real, Builtin: name}
+		for i := 0; i < nparams; i++ {
+			f.Params = append(f.Params, &Symbol{Name: "x", Kind: SymConstant, Type: Real})
+		}
+		s.Declare(&Symbol{Name: name, Orig: name, Kind: SymFunction, Type: Real, Func: f})
+	}
+}
+
+func (a *analyzer) declarePackage(global *Scope, decls []ast.Decl) {
+	for _, d := range decls {
+		switch d := d.(type) {
+		case *ast.ObjectDecl:
+			a.declareObjects(global, d, false)
+		case *ast.FunctionDecl:
+			a.declareFunction(global, d)
+		}
+	}
+}
+
+func (a *analyzer) declareFunction(s *Scope, fd *ast.FunctionDecl) {
+	f := &Func{Name: fd.Name.Canon, Decl: fd}
+	f.Result = a.resolveType(fd.Result)
+	paramScope := NewScope(s)
+	for _, pd := range fd.Params {
+		t := a.resolveType(pd.Type)
+		for _, id := range pd.Names {
+			sym := &Symbol{Name: id.Canon, Orig: id.Name, Kind: SymConstant, Type: t, Decl: pd}
+			f.Params = append(f.Params, sym)
+			paramScope.Declare(sym)
+		}
+	}
+	if fd.Body != nil {
+		// Check the body in a scope containing parameters and locals.
+		body := NewScope(paramScope)
+		for _, d := range fd.Decls {
+			if od, ok := d.(*ast.ObjectDecl); ok {
+				a.declareObjects(body, od, false)
+			}
+		}
+		returns := false
+		a.checkFuncBody(body, fd.Body, f.Result, &returns)
+		if !returns {
+			a.errorf(fd.SpanV, "function %q has no return statement", fd.Name.Name)
+		}
+	}
+	existing := s.LookupLocal(fd.Name.Canon)
+	if existing != nil && existing.Kind == SymFunction && existing.Func != nil {
+		if existing.Func.Decl != nil && existing.Func.Decl.Body == nil && fd.Body != nil {
+			// Body completing a package-header declaration.
+			existing.Func = f
+			return
+		}
+		a.errorf(fd.Name.SpanV, "duplicate function %q", fd.Name.Name)
+		return
+	}
+	s.Declare(&Symbol{Name: fd.Name.Canon, Orig: fd.Name.Name, Kind: SymFunction, Type: f.Result, Func: f, Decl: fd})
+}
+
+func (a *analyzer) checkFuncBody(s *Scope, body []ast.SeqStmt, result Type, returns *bool) {
+	for _, st := range body {
+		switch st := st.(type) {
+		case *ast.ReturnStmt:
+			*returns = true
+			if st.Value == nil {
+				a.errorf(st.SpanV, "function return requires a value")
+				continue
+			}
+			t := a.typeOf(s, st.Value)
+			if !t.Same(result) && t.Kind != TError && !(t.IsNumeric() && result.IsNumeric()) {
+				a.errorf(st.SpanV, "return type %s does not match result type %s", t, result)
+			}
+		case *ast.Assign:
+			a.checkSeqAssign(s, st, seqCtx{inFunction: true})
+		case *ast.IfStmt:
+			a.checkCond(s, st.Cond)
+			a.checkFuncBody(s, st.Then, result, returns)
+			for _, e := range st.Elifs {
+				a.checkCond(s, e.Cond)
+				a.checkFuncBody(s, e.Then, result, returns)
+			}
+			a.checkFuncBody(s, st.Else, result, returns)
+		case *ast.ForStmt:
+			inner := a.enterFor(s, st)
+			a.checkFuncBody(inner, st.Body, result, returns)
+		case *ast.NullStmt:
+		default:
+			a.errorf(st.Span(), "statement not allowed in a VASS function body")
+		}
+	}
+}
+
+func (a *analyzer) resolveType(tr *ast.TypeRef) Type {
+	if tr == nil {
+		return ErrType
+	}
+	length := 0
+	if tr.Constraint != nil {
+		lo := a.constIntOf(tr.Constraint.Lo)
+		hi := a.constIntOf(tr.Constraint.Hi)
+		if lo == nil || hi == nil {
+			a.errorf(tr.SpanV, "type constraint bounds must be static")
+		} else {
+			length = int(*hi - *lo + 1)
+			if tr.Constraint.Down {
+				length = int(*lo - *hi + 1)
+			}
+			if length < 0 {
+				length = 0
+			}
+		}
+	}
+	switch tr.Name.Canon {
+	case "real", "voltage", "current":
+		if tr.Constraint != nil {
+			return Type{Kind: TRealVector, Len: length}
+		}
+		return Real
+	case "real_vector":
+		return Type{Kind: TRealVector, Len: length}
+	case "bit":
+		return Bit
+	case "boolean":
+		return Bool
+	case "bit_vector":
+		return Type{Kind: TBitVector, Len: length}
+	case "integer", "natural", "positive":
+		return Int
+	case "electrical":
+		// Terminal nature.
+		return Real
+	}
+	a.errorf(tr.Name.SpanV, "unknown type %q (VASS admits real, bit, boolean, integer and their vectors)", tr.Name.Name)
+	return ErrType
+}
+
+func symKindOf(class ast.ObjectClass) SymbolKind {
+	switch class {
+	case ast.ClassQuantity:
+		return SymQuantity
+	case ast.ClassSignal:
+		return SymSignal
+	case ast.ClassTerminal:
+		return SymTerminal
+	case ast.ClassConstant:
+		return SymConstant
+	case ast.ClassVariable:
+		return SymVariable
+	}
+	return SymConstant
+}
+
+// declareObjects declares all names of an object declaration into s,
+// resolving annotations and evaluating constant initializers.
+func (a *analyzer) declareObjects(s *Scope, od *ast.ObjectDecl, isPort bool) []*Symbol {
+	t := a.resolveType(od.Type)
+	kind := symKindOf(od.Class)
+	attr := a.resolveAnnotations(s, od)
+
+	switch kind {
+	case SymQuantity:
+		if !t.IsNature() && t.Kind != TError {
+			a.errorf(od.SpanV, "quantity must have a nature type (real), not %s", t)
+		}
+	case SymSignal:
+		if !t.IsDiscrete() && !t.IsNature() && t.Kind != TError {
+			a.errorf(od.SpanV, "signal must have bit, bit_vector, boolean or nature type, not %s", t)
+		}
+	}
+
+	var out []*Symbol
+	for _, id := range od.Names {
+		sym := &Symbol{
+			Name: id.Canon, Orig: id.Name, Kind: kind, Type: t,
+			Mode: od.Mode, Attr: attr, Decl: od, IsPort: isPort,
+		}
+		if kind == SymConstant && od.Init != nil {
+			if v := a.constOf(s, od.Init); v != nil {
+				sym.Const = v
+			} else if isPort {
+				// Generic without a bound value: keep the default nil.
+			} else {
+				a.errorf(od.Init.Span(), "constant %q initializer is not static", id.Name)
+			}
+		}
+		if kind == SymConstant && od.Init == nil && !isPort {
+			a.errorf(od.SpanV, "constant %q requires an initializer", id.Name)
+		}
+		if !s.Declare(sym) {
+			a.errorf(id.SpanV, "duplicate declaration of %q", id.Name)
+		}
+		out = append(out, sym)
+	}
+	return out
+}
+
+// resolveAnnotations folds the annotation list of a declaration into a
+// PortAttr, evaluating the static arguments.
+func (a *analyzer) resolveAnnotations(s *Scope, od *ast.ObjectDecl) PortAttr {
+	var attr PortAttr
+	argReal := func(an *ast.Annotation, i int) float64 {
+		if i >= len(an.Args) {
+			return 0
+		}
+		v := a.constOf(s, an.Args[i])
+		if v == nil {
+			a.errorf(an.Args[i].Span(), "annotation argument must be static")
+			return 0
+		}
+		return v.AsReal()
+	}
+	for _, an := range od.Annotations {
+		switch an.Name {
+		case "voltage":
+			attr.Kind = KindVoltage
+		case "current":
+			attr.Kind = KindCurrent
+		case "limited":
+			attr.Limited = true
+			if len(an.Args) > 0 {
+				attr.LimitAt = argReal(an, 0)
+			}
+		case "drives":
+			attr.DrivesOhms = argReal(an, 0)
+			if len(an.Args) > 1 {
+				attr.PeakDrive = argReal(an, 1)
+			}
+		case "frequency":
+			attr.HasFreq = true
+			attr.FreqLo = argReal(an, 0)
+			attr.FreqHi = argReal(an, 1)
+		case "range":
+			attr.HasRange = true
+			attr.RangeLo = argReal(an, 0)
+			attr.RangeHi = argReal(an, 1)
+		case "impedance":
+			attr.Impedance = argReal(an, 0)
+		default:
+			a.errorf(an.SpanV, "unknown annotation %q", an.Name)
+		}
+	}
+	return attr
+}
+
+// analyzeDesign checks one entity/architecture pair.
+func (a *analyzer) analyzeDesign(global *Scope, ent *ast.Entity, arch *ast.Architecture) *Design {
+	d := &Design{
+		Name:   ent.Name.Canon,
+		Entity: ent,
+		Arch:   arch,
+		File:   a.file,
+		Scope:  NewScope(global),
+		Types:  make(map[ast.Expr]Type),
+		Consts: make(map[ast.Expr]*Value),
+		Funcs:  make(map[string]*Func),
+	}
+	a.d = d
+
+	for _, g := range ent.Generics {
+		a.declareObjects(d.Scope, g, true)
+	}
+	for _, p := range ent.Ports {
+		syms := a.declareObjects(d.Scope, p, true)
+		d.Ports = append(d.Ports, syms...)
+		for _, sym := range syms {
+			switch sym.Kind {
+			case SymQuantity:
+				if sym.Mode == ast.ModeNone {
+					a.errorf(p.SpanV, "port %q requires a mode (in or out)", sym.Orig)
+				}
+			case SymTerminal:
+				// Single-facet restriction is enforced at use sites.
+			}
+		}
+	}
+	for _, decl := range arch.Decls {
+		switch decl := decl.(type) {
+		case *ast.ObjectDecl:
+			if decl.Class == ast.ClassVariable {
+				a.errorf(decl.SpanV, "variables may only be declared inside procedural, process or function bodies")
+				continue
+			}
+			a.declareObjects(d.Scope, decl, false)
+		case *ast.FunctionDecl:
+			a.declareFunction(d.Scope, decl)
+		}
+	}
+
+	for _, st := range arch.Stmts {
+		a.checkConcStmt(d.Scope, st)
+	}
+	a.computeStats(d)
+	a.checkDriven(d)
+	return d
+}
+
+// computeStats fills the Table 1 specification metrics. Line counts are the
+// number of distinct source lines covered by each part, so two short
+// statements sharing a line count once.
+func (a *analyzer) computeStats(d *Design) {
+	contLines := map[int]bool{}
+	eventLines := map[int]bool{}
+	mark := func(n ast.Node, set map[int]bool) {
+		sp := n.Span()
+		if !sp.IsValid() {
+			return
+		}
+		for l := d.File.Line(sp.Start); l <= d.File.Line(sp.End-1); l++ {
+			set[l] = true
+		}
+	}
+	for _, st := range d.Arch.Stmts {
+		switch st.(type) {
+		case *ast.Process:
+			mark(st, eventLines)
+		default:
+			mark(st, contLines)
+		}
+	}
+	d.Stats.ContinuousLines = len(contLines)
+	d.Stats.EventLines = len(eventLines)
+	seen := map[*Symbol]bool{}
+	countSym := func(sym *Symbol) {
+		if sym == nil || seen[sym] {
+			return
+		}
+		seen[sym] = true
+		switch sym.Kind {
+		case SymQuantity:
+			d.Quantities = append(d.Quantities, sym)
+			d.Stats.QuantityCount++
+		case SymSignal:
+			d.Signals = append(d.Signals, sym)
+			d.Stats.SignalCount++
+		}
+	}
+	for _, p := range d.Ports {
+		countSym(p)
+	}
+	for _, decl := range d.Arch.Decls {
+		if od, ok := decl.(*ast.ObjectDecl); ok {
+			for _, id := range od.Names {
+				countSym(d.Scope.Lookup(id.Canon))
+			}
+		}
+	}
+}
+
+// checkDriven warns when an out-mode quantity port is never defined by any
+// statement.
+func (a *analyzer) checkDriven(d *Design) {
+	driven := map[string]bool{}
+	var markConc func(st ast.ConcStmt)
+	markTargets := func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Name:
+			driven[e.Ident.Canon] = true
+		case *ast.Attribute:
+			if n, ok := e.X.(*ast.Name); ok {
+				driven[n.Ident.Canon] = true
+			}
+		case *ast.Call:
+			driven[e.Fun.Canon] = true
+		}
+	}
+	var markSeq func(ss []ast.SeqStmt)
+	markSeq = func(ss []ast.SeqStmt) {
+		for _, st := range ss {
+			switch st := st.(type) {
+			case *ast.Assign:
+				markTargets(st.LHS)
+			case *ast.IfStmt:
+				markSeq(st.Then)
+				for _, e := range st.Elifs {
+					markSeq(e.Then)
+				}
+				markSeq(st.Else)
+			case *ast.CaseStmt:
+				for _, arm := range st.Arms {
+					markSeq(arm.Seq)
+				}
+			case *ast.ForStmt:
+				markSeq(st.Body)
+			case *ast.WhileStmt:
+				markSeq(st.Body)
+			}
+		}
+	}
+	markConc = func(st ast.ConcStmt) {
+		switch st := st.(type) {
+		case *ast.SimpleSimultaneous:
+			// A DAE may implicitly define any quantity occurring in it; the
+			// compiler's matching decides which. Mark every name.
+			ast.Walk(st.LHS, func(n ast.Node) bool {
+				if nm, ok := n.(*ast.Name); ok {
+					driven[nm.Ident.Canon] = true
+				}
+				return true
+			})
+			ast.Walk(st.RHS, func(n ast.Node) bool {
+				if nm, ok := n.(*ast.Name); ok {
+					driven[nm.Ident.Canon] = true
+				}
+				return true
+			})
+		case *ast.SimultaneousIf:
+			for _, t := range st.Then {
+				markConc(t)
+			}
+			for _, e := range st.Elifs {
+				for _, t := range e.Then {
+					markConc(t)
+				}
+			}
+			for _, t := range st.Else {
+				markConc(t)
+			}
+		case *ast.SimultaneousCase:
+			for _, arm := range st.Arms {
+				for _, t := range arm.Conc {
+					markConc(t)
+				}
+			}
+		case *ast.Procedural:
+			markSeq(st.Body)
+		case *ast.Process:
+			markSeq(st.Body)
+		}
+	}
+	for _, st := range d.Arch.Stmts {
+		markConc(st)
+	}
+	for _, p := range d.Ports {
+		if p.Kind == SymQuantity && p.Mode == ast.ModeOut && !driven[p.Name] {
+			a.errorf(p.Decl.Span(), "output quantity %q is never defined by any statement", p.Orig)
+		}
+	}
+}

@@ -1,0 +1,836 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"vase/internal/ast"
+	"vase/internal/parser"
+)
+
+func analyze(t *testing.T, src string) *Design {
+	t.Helper()
+	df, err := parser.Parse("test.vhd", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := AnalyzeOne(df)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return d
+}
+
+func analyzeErr(t *testing.T, src string) error {
+	t.Helper()
+	df, err := parser.Parse("test.vhd", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = AnalyzeOne(df)
+	if err == nil {
+		t.Fatal("expected semantic error, got none")
+	}
+	return err
+}
+
+const receiverSrc = `
+entity telephone is
+  port (
+    quantity line  : in real is voltage;
+    quantity local : in real is voltage;
+    quantity earph : out real is voltage limited at 1.5 drives 270.0 at 0.285 peak
+  );
+end entity;
+architecture behavioral of telephone is
+  constant Aline  : real := 4.0;
+  constant Alocal : real := 2.0;
+  constant r1c    : real := 0.5;
+  constant r2c    : real := 0.25;
+  constant Vth    : real := 0.1;
+  quantity rvar : real;
+  signal c1 : bit;
+begin
+  earph == (Aline * line + Alocal * local) * rvar;
+  if (c1 = '1') use
+    rvar == r1c;
+  else
+    rvar == r1c + r2c;
+  end use;
+  process (line'above(Vth)) is
+  begin
+    if (line'above(Vth) = true) then
+      c1 <= '1';
+    else
+      c1 <= '0';
+    end if;
+  end process;
+end architecture;
+`
+
+func TestAnalyzeReceiver(t *testing.T) {
+	d := analyze(t, receiverSrc)
+	if d.Name != "telephone" {
+		t.Errorf("design name = %q", d.Name)
+	}
+	if len(d.Ports) != 3 {
+		t.Fatalf("ports = %d, want 3", len(d.Ports))
+	}
+	earph := d.Lookup("earph")
+	if earph == nil {
+		t.Fatal("earph not found")
+	}
+	if !earph.Attr.Limited || earph.Attr.LimitAt != 1.5 {
+		t.Errorf("earph limit = %v at %g, want limited at 1.5", earph.Attr.Limited, earph.Attr.LimitAt)
+	}
+	if earph.Attr.DrivesOhms != 270.0 {
+		t.Errorf("earph drives = %g, want 270", earph.Attr.DrivesOhms)
+	}
+	if earph.Attr.PeakDrive != 0.285 {
+		t.Errorf("earph peak = %g, want 0.285", earph.Attr.PeakDrive)
+	}
+	if earph.Attr.Kind != KindVoltage {
+		t.Errorf("earph kind = %v, want voltage", earph.Attr.Kind)
+	}
+}
+
+func TestReceiverStats(t *testing.T) {
+	d := analyze(t, receiverSrc)
+	// Figure 2 / Table 1: 4 quantities, 1 signal (the paper counts 2 by
+	// including the implicit event signal; our corpus version matches that
+	// with an explicit second signal).
+	if d.Stats.QuantityCount != 4 {
+		t.Errorf("quantities = %d, want 4", d.Stats.QuantityCount)
+	}
+	if d.Stats.SignalCount != 1 {
+		t.Errorf("signals = %d, want 1", d.Stats.SignalCount)
+	}
+	if d.Stats.ContinuousLines == 0 || d.Stats.EventLines == 0 {
+		t.Errorf("line stats = %+v, want non-zero", d.Stats)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	d := analyze(t, `
+entity e is end entity;
+architecture a of e is
+  constant k : real := 2.0 * 3.0 + 1.0;
+  quantity q : real;
+begin
+  q == k;
+end architecture;`)
+	k := d.Lookup("k")
+	if k.Const == nil || k.Const.AsReal() != 7.0 {
+		t.Fatalf("k = %v, want 7", k.Const)
+	}
+}
+
+func TestConstantBuiltinFolding(t *testing.T) {
+	d := analyze(t, `
+entity e is end entity;
+architecture a of e is
+  constant k : real := exp(0.0) + sqrt(4.0);
+  quantity q : real;
+begin
+  q == k;
+end architecture;`)
+	k := d.Lookup("k")
+	if k.Const == nil || k.Const.AsReal() != 3.0 {
+		t.Fatalf("k = %v, want 3", k.Const)
+	}
+}
+
+func TestUndeclaredName(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  quantity q : real;
+begin
+  q == nosuch;
+end architecture;`)
+	if !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestQuantityMustBeNature(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  quantity q : bit;
+begin
+  q == q;
+end architecture;`)
+	if !strings.Contains(err.Error(), "nature") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestForLoopStaticBounds(t *testing.T) {
+	// Static for bounds and a self-converging while loop are both legal.
+	analyze(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  procedural is
+    variable acc : real;
+  begin
+    acc := 0.0;
+    for i in 1 to 3 loop
+      acc := acc + x;
+    end loop;
+    while acc > x loop
+      acc := acc * 0.5;
+    end loop;
+    y := acc;
+  end procedural;
+end architecture;`)
+}
+
+func TestForLoopDynamicBoundRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  procedural is
+    variable acc : real;
+  begin
+    acc := 0.0;
+    for i in 1 to x loop
+      acc := acc + 1.0;
+    end loop;
+    y := acc;
+  end procedural;
+end architecture;`)
+	if !strings.Contains(err.Error(), "statically known") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestWhileMustDependOnLoopBody(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  procedural is
+    variable acc : real;
+  begin
+    acc := x;
+    while x > 1.0 loop
+      acc := acc * 0.5;
+    end loop;
+    y := acc;
+  end procedural;
+end architecture;`)
+	if !strings.Contains(err.Error(), "while condition") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSignalReadAfterWriteRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  signal s, r : bit;
+begin
+  process (r) is
+  begin
+    s <= '1';
+    if (s = '1') then
+      s <= '0';
+    end if;
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "read after being assigned") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestProcessRequiresSensitivity(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  signal s : bit;
+begin
+  process is
+  begin
+    s <= '1';
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "sensitivity") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSignalAssignOutsideProcessRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+  signal s : bit;
+begin
+  procedural is
+  begin
+    s <= '1';
+    y := x;
+  end procedural;
+end architecture;`)
+	if !strings.Contains(err.Error(), "process") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestQuantityInSimultaneousIfCondRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  if (x > 1.0) use
+    y == x;
+  else
+    y == 2.0 * x;
+  end use;
+end architecture;`)
+	if !strings.Contains(err.Error(), "control signal") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUndrivenOutputRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity x : in real; quantity y : out real);
+end entity;
+architecture a of e is
+  quantity q : real;
+begin
+  q == x;
+end architecture;`)
+	if !strings.Contains(err.Error(), "never defined") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestAboveAttributeTyping(t *testing.T) {
+	d := analyze(t, receiverSrc)
+	proc := d.Arch.Stmts[2].(*ast.Process)
+	attr := proc.Sensitivity[0].(*ast.Attribute)
+	if ty := d.TypeOf(attr); ty.Kind != TBool {
+		t.Errorf("'above type = %s, want boolean", ty)
+	}
+}
+
+func TestDotAttribute(t *testing.T) {
+	d := analyze(t, `
+entity osc is
+  port (quantity x : out real);
+end entity;
+architecture a of osc is
+  quantity v : real;
+begin
+  x'dot == v;
+  v'dot == -x;
+end architecture;`)
+	ss := d.Arch.Stmts[0].(*ast.SimpleSimultaneous)
+	if ty := d.TypeOf(ss.LHS); ty.Kind != TReal {
+		t.Errorf("x'dot type = %s, want real", ty)
+	}
+}
+
+func TestUserFunction(t *testing.T) {
+	d := analyze(t, `
+package p is
+  function double(x : real) return real;
+end package;
+package body p is
+  function double(x : real) return real is
+  begin
+    return 2.0 * x;
+  end function;
+end package body;
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  procedural is
+  begin
+    y := double(a);
+  end procedural;
+end architecture;`)
+	f := d.Lookup("double")
+	if f == nil || f.Kind != SymFunction {
+		t.Fatal("function double not visible in design scope")
+	}
+	if f.Func.Decl == nil || f.Func.Decl.Body == nil {
+		t.Error("function body not linked from package body")
+	}
+}
+
+func TestFunctionMissingReturnRejected(t *testing.T) {
+	err := analyzeErr(t, `
+package p is
+  function f(x : real) return real is
+  begin
+    x := x;
+  end function;
+end package;
+entity e is end entity;
+architecture a of e is
+  quantity q : real;
+begin
+  q == 1.0;
+end architecture;`)
+	if !strings.Contains(err.Error(), "return") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestWrongArgumentCount(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  procedural is
+  begin
+    y := exp(a, a);
+  end procedural;
+end architecture;`)
+	if !strings.Contains(err.Error(), "arguments") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestAssignToInputRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  procedural is
+  begin
+    a := 1.0;
+    y := a;
+  end procedural;
+end architecture;`)
+	if !strings.Contains(err.Error(), "input port") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestBitBoolComparison(t *testing.T) {
+	// c1 = '1' compares a bit signal with a bit literal; legal.
+	analyze(t, receiverSrc)
+}
+
+func TestDuplicateDeclarationRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  quantity q : real;
+  signal q : bit;
+begin
+  q == 1.0;
+end architecture;`)
+	if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestArchitectureUnknownEntity(t *testing.T) {
+	df, err := parser.Parse("t", `architecture a of ghost is begin end architecture;`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Analyze(df); err == nil || !strings.Contains(err.Error(), "unknown entity") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestTypeOfArithmetic(t *testing.T) {
+	d := analyze(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  y == 2.0 * a + 1.0;
+end architecture;`)
+	ss := d.Arch.Stmts[0].(*ast.SimpleSimultaneous)
+	if ty := d.TypeOf(ss.RHS); ty.Kind != TReal {
+		t.Errorf("rhs type = %s, want real", ty)
+	}
+}
+
+func TestEvalBuiltinTable(t *testing.T) {
+	cases := []struct {
+		name string
+		args []float64
+		want float64
+		ok   bool
+	}{
+		{"log", []float64{1}, 0, true},
+		{"log", []float64{-1}, 0, false},
+		{"exp", []float64{0}, 1, true},
+		{"sqrt", []float64{9}, 3, true},
+		{"sqrt", []float64{-1}, 0, false},
+		{"min", []float64{2, 3}, 2, true},
+		{"max", []float64{2, 3}, 3, true},
+		{"sign", []float64{-5}, -1, true},
+		{"sign", []float64{0}, 0, true},
+		{"abs", []float64{-2}, 2, true},
+		{"nosuch", []float64{1}, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := EvalBuiltin(c.name, c.args)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("EvalBuiltin(%s, %v) = %g,%t want %g,%t", c.name, c.args, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestCaseUseRequiresOthers(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  signal m : bit;
+  quantity q : real;
+begin
+  case m use
+    when '0' => q == 1.0;
+  end case;
+end architecture;`)
+	if !strings.Contains(err.Error(), "others") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestVectorIndexing(t *testing.T) {
+	d := analyze(t, `
+entity e is
+  port (quantity v : in real_vector(1 to 3); quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  y == v(2);
+end architecture;`)
+	v := d.Lookup("v")
+	if v.Type.Kind != TRealVector || v.Type.Len != 3 {
+		t.Errorf("v type = %v", v.Type)
+	}
+}
+
+func TestVectorIndexArityChecked(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity v : in real_vector(1 to 3); quantity y : out real);
+end entity;
+architecture a of e is
+begin
+  y == v(1, 2);
+end architecture;`)
+	if !strings.Contains(err.Error(), "one index") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUnknownAttributeRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  y == a'zapp;
+end architecture;`)
+	if !strings.Contains(err.Error(), "unsupported attribute") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestAboveRequiresQuantity(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  signal s, r : bit;
+begin
+  process (s'above(1.0)) is begin
+    r <= '1';
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "'above requires a quantity") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestProcessDeclRestrictions(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  signal s : bit;
+begin
+  process (s) is
+    signal inner : bit;
+  begin
+    s <= '1';
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "variables or constants") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  quantity q : complex;
+begin
+  q == 1.0;
+end architecture;`)
+	if !strings.Contains(err.Error(), "unknown type") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUnknownAnnotationRejected(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity a : in real is sparkly; quantity y : out real);
+end entity;
+architecture arch of e is
+begin
+  y == a;
+end architecture;`)
+	if !strings.Contains(err.Error(), "unknown annotation") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestLogicalOperandTyping(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of e is
+  signal s : bit;
+begin
+  y == a;
+  process (a'above(1.0)) is begin
+    if (a and s) = '1' then
+      s <= '1';
+    else
+      s <= '0';
+    end if;
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "logical operator") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestOrderingRequiresNumeric(t *testing.T) {
+	err := analyzeErr(t, `
+entity e is end entity;
+architecture a of e is
+  signal s, r : bit;
+begin
+  process (r) is begin
+    if s < r then
+      s <= '1';
+    else
+      s <= '0';
+    end if;
+  end process;
+end architecture;`)
+	if !strings.Contains(err.Error(), "ordering comparison") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestGenericDefaultUsable(t *testing.T) {
+	d := analyze(t, `
+entity amp is
+  generic (gain : real := 10.0);
+  port (quantity a : in real; quantity y : out real);
+end entity;
+architecture arch of amp is
+begin
+  y == gain * a;
+end architecture;`)
+	g := d.Lookup("gain")
+	if g == nil || g.Const == nil || g.Const.AsReal() != 10.0 {
+		t.Errorf("generic default = %v", g)
+	}
+}
+
+func TestMultipleDesignsAnalyzed(t *testing.T) {
+	df, err := parser.Parse("multi.vhd", `
+entity e1 is
+  port (quantity a : in real; quantity y : out real);
+end entity;
+entity e2 is
+  port (quantity b : in real; quantity z : out real);
+end entity;
+architecture a1 of e1 is begin y == a; end architecture;
+architecture a2 of e2 is begin z == 2.0 * b; end architecture;`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ds, err := Analyze(df)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("designs = %d, want 2", len(ds))
+	}
+	if _, err := AnalyzeOne(df); err == nil {
+		t.Error("AnalyzeOne should reject a two-architecture file")
+	}
+}
+
+func TestConstantFoldingTable(t *testing.T) {
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{"7 / 2", 3},       // integer division
+		{"7.0 / 2.0", 3.5}, // real division
+		{"7 mod 3", 1},
+		{"2 ** 5", 32},
+		{"abs (0.0 - 4.5)", 4.5},
+		{"min(3.0, 2.0) + max(1.0, 5.0)", 7},
+		{"-(2.5) * 4.0", -10},
+	}
+	for _, c := range cases {
+		d := analyze(t, `
+entity e is end entity;
+architecture a of e is
+  constant k : real := `+c.expr+`;
+  quantity q : real;
+begin
+  q == k;
+end architecture;`)
+		k := d.Lookup("k")
+		if k.Const == nil {
+			t.Errorf("%s: not folded", c.expr)
+			continue
+		}
+		if got := k.Const.AsReal(); got != c.want {
+			t.Errorf("%s = %g, want %g", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestBooleanConstantFolding(t *testing.T) {
+	// Booleans fold through the full operator set in static contexts.
+	d := analyze(t, `
+entity e is end entity;
+architecture a of e is
+  constant n : real := 3.0;
+  quantity q : real;
+begin
+  q == n;
+end architecture;`)
+	scope := d.Scope
+	a := &analyzer{d: d}
+	for _, c := range []struct {
+		src  string
+		want bool
+	}{
+		{"true and false", false},
+		{"true or false", true},
+		{"true xor true", false},
+		{"true nand true", false},
+		{"false nor false", true},
+		{"not false", true},
+		{"1.0 < 2.0", true},
+		{"2.0 >= 3.0", false},
+		{"1.0 /= 1.0", false},
+	} {
+		df, err := parser.Parse("x", `
+entity x is end entity;
+architecture ax of x is
+  quantity q : real;
+begin
+  q == 1.0;
+end architecture;`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = df
+		expr := parseExprString(t, c.src)
+		v := a.constOf(scope, expr)
+		if v == nil {
+			t.Errorf("%s: not folded", c.src)
+			continue
+		}
+		if v.Bool != c.want {
+			t.Errorf("%s = %t, want %t", c.src, v.Bool, c.want)
+		}
+	}
+}
+
+// parseExprString parses an expression by embedding it in a condition.
+func parseExprString(t *testing.T, expr string) ast.Expr {
+	t.Helper()
+	df, err := parser.Parse("e", `
+entity e is end entity;
+architecture a of e is
+  signal s : bit;
+  quantity q : real;
+begin
+  q == 1.0;
+  process (s) is begin
+    if `+expr+` then
+      s <= '1';
+    else
+      s <= '0';
+    end if;
+  end process;
+end architecture;`)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	proc := df.Architectures()[0].Stmts[1].(*ast.Process)
+	return proc.Body[0].(*ast.IfStmt).Cond
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{RealValue(2.5), "2.5"},
+		{IntValue(7), "7"},
+		{BoolValue(true), "true"},
+		{BitValue(true), "'1'"},
+		{BitValue(false), "'0'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Real.String() != "real" || Bit.String() != "bit" || Bool.String() != "boolean" || Int.String() != "integer" {
+		t.Error("scalar type names")
+	}
+	if (Type{Kind: TRealVector, Len: 3}).String() != "real_vector(3)" {
+		t.Error("vector type name")
+	}
+}

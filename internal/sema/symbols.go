@@ -1,0 +1,141 @@
+package sema
+
+import (
+	"vase/internal/ast"
+)
+
+// SymbolKind classifies resolved names.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymQuantity SymbolKind = iota
+	SymSignal
+	SymTerminal
+	SymConstant
+	SymVariable
+	SymFunction
+	SymLoopVar
+)
+
+// String renders the symbol kind.
+func (k SymbolKind) String() string {
+	switch k {
+	case SymQuantity:
+		return "quantity"
+	case SymSignal:
+		return "signal"
+	case SymTerminal:
+		return "terminal"
+	case SymConstant:
+		return "constant"
+	case SymVariable:
+		return "variable"
+	case SymFunction:
+		return "function"
+	case SymLoopVar:
+		return "loop variable"
+	}
+	return "symbol"
+}
+
+// SignalKind is the physical facet of an analog signal, from the "is
+// voltage" / "is current" annotations.
+type SignalKind int
+
+// Signal kinds. KindUnspecified is the default (treated as voltage-mode by
+// synthesis).
+const (
+	KindUnspecified SignalKind = iota
+	KindVoltage
+	KindCurrent
+)
+
+// String renders the signal kind.
+func (k SignalKind) String() string {
+	switch k {
+	case KindVoltage:
+		return "voltage"
+	case KindCurrent:
+		return "current"
+	}
+	return "unspecified"
+}
+
+// PortAttr carries the resolved synthesis annotations of a port or quantity:
+// its physical kind, limiting, drive and impedance requirements, and value /
+// frequency ranges. Zero values mean "not annotated".
+type PortAttr struct {
+	Kind       SignalKind
+	Limited    bool
+	LimitAt    float64 // clipping level in volts; 0 means library default
+	DrivesOhms float64 // external load resistance
+	PeakDrive  float64 // required peak amplitude into the load
+	FreqLo     float64
+	FreqHi     float64
+	Impedance  float64
+	RangeLo    float64
+	RangeHi    float64
+	HasRange   bool
+	HasFreq    bool
+}
+
+// Symbol is a resolved declaration.
+type Symbol struct {
+	Name  string // canonical (lower case)
+	Orig  string // original spelling
+	Kind  SymbolKind
+	Type  Type
+	Mode  ast.Mode // for ports; ModeNone otherwise
+	Attr  PortAttr
+	Decl  ast.Node
+	Func  *Func  // for SymFunction
+	Const *Value // for SymConstant once evaluated
+	// IsPort marks entity ports.
+	IsPort bool
+}
+
+// Func is a resolved VASS function: a pure mapping from real parameters to a
+// real result, usable from procedural statements.
+type Func struct {
+	Name    string
+	Params  []*Symbol
+	Result  Type
+	Decl    *ast.FunctionDecl // nil for builtins
+	Builtin string            // non-empty for builtins: "log", "exp", ...
+}
+
+// Scope is a lexically nested symbol table.
+type Scope struct {
+	parent *Scope
+	syms   map[string]*Symbol
+}
+
+// NewScope returns a scope nested in parent (which may be nil).
+func NewScope(parent *Scope) *Scope {
+	return &Scope{parent: parent, syms: make(map[string]*Symbol)}
+}
+
+// Declare inserts sym and reports whether the name was free in this scope.
+func (s *Scope) Declare(sym *Symbol) bool {
+	if _, exists := s.syms[sym.Name]; exists {
+		return false
+	}
+	s.syms[sym.Name] = sym
+	return true
+}
+
+// Lookup resolves name through the scope chain; nil when undeclared.
+func (s *Scope) Lookup(name string) *Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+// LookupLocal resolves name in this scope only.
+func (s *Scope) LookupLocal(name string) *Symbol {
+	return s.syms[name]
+}

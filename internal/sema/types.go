@@ -1,0 +1,119 @@
+// Package sema implements semantic analysis of VASS designs: name
+// resolution, type checking, constant evaluation, and enforcement of the
+// VASS synthesizability restrictions from the DATE'99 paper (static for-loop
+// bounds, while-loop sampling constraints, terminal single-facet use,
+// signal one-memory rule, process restrictions).
+package sema
+
+import "fmt"
+
+// TypeKind enumerates the VASS types.
+type TypeKind int
+
+// The VASS type kinds. Quantities are TReal (nature type) or arrays thereof;
+// signals may additionally be TBit or TBitVector. TBool is the type of
+// conditions; TInt types for-loop indices and static constants.
+const (
+	TError TypeKind = iota
+	TReal
+	TInt
+	TBool
+	TBit
+	TBitVector
+	TRealVector
+)
+
+// Type is a VASS type, possibly with an array length.
+type Type struct {
+	Kind TypeKind
+	Len  int // for vector kinds
+}
+
+// Convenience type values.
+var (
+	Real    = Type{Kind: TReal}
+	Int     = Type{Kind: TInt}
+	Bool    = Type{Kind: TBool}
+	Bit     = Type{Kind: TBit}
+	ErrType = Type{Kind: TError}
+)
+
+// String renders the type name.
+func (t Type) String() string {
+	switch t.Kind {
+	case TReal:
+		return "real"
+	case TInt:
+		return "integer"
+	case TBool:
+		return "boolean"
+	case TBit:
+		return "bit"
+	case TBitVector:
+		return fmt.Sprintf("bit_vector(%d)", t.Len)
+	case TRealVector:
+		return fmt.Sprintf("real_vector(%d)", t.Len)
+	}
+	return "<error>"
+}
+
+// IsNumeric reports whether the type participates in arithmetic.
+func (t Type) IsNumeric() bool { return t.Kind == TReal || t.Kind == TInt }
+
+// IsNature reports whether the type is a nature (analog) type, the only
+// types VASS admits for quantities.
+func (t Type) IsNature() bool { return t.Kind == TReal || t.Kind == TRealVector }
+
+// IsDiscrete reports whether the type is legal for event-driven signals.
+func (t Type) IsDiscrete() bool {
+	return t.Kind == TBit || t.Kind == TBitVector || t.Kind == TBool
+}
+
+// Same reports structural type equality.
+func (t Type) Same(u Type) bool { return t.Kind == u.Kind && t.Len == u.Len }
+
+// Value is a compile-time constant value: a real, integer, boolean or bit.
+type Value struct {
+	Type Type
+	Real float64
+	Int  int64
+	Bool bool // also carries bit values: true = '1'
+}
+
+// RealValue constructs a real constant.
+func RealValue(v float64) Value { return Value{Type: Real, Real: v} }
+
+// IntValue constructs an integer constant.
+func IntValue(v int64) Value { return Value{Type: Int, Int: v} }
+
+// BoolValue constructs a boolean constant.
+func BoolValue(v bool) Value { return Value{Type: Bool, Bool: v} }
+
+// BitValue constructs a bit constant.
+func BitValue(v bool) Value { return Value{Type: Bit, Bool: v} }
+
+// AsReal converts numeric values to float64.
+func (v Value) AsReal() float64 {
+	if v.Type.Kind == TInt {
+		return float64(v.Int)
+	}
+	return v.Real
+}
+
+// String renders the constant.
+func (v Value) String() string {
+	switch v.Type.Kind {
+	case TReal:
+		return fmt.Sprintf("%g", v.Real)
+	case TInt:
+		return fmt.Sprintf("%d", v.Int)
+	case TBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case TBit:
+		if v.Bool {
+			return "'1'"
+		}
+		return "'0'"
+	}
+	return "<error>"
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV writes the trace as comma-separated values: a header row with
+// "t" and the signal names (sorted), then one row per sample. It is the
+// interchange format for external plotting tools.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	names := make([]string, 0, len(tr.Signals))
+	for name := range tr.Signals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if _, err := io.WriteString(w, "t"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := io.WriteString(w, ","+n); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for i, t := range tr.Time {
+		if _, err := fmt.Fprintf(w, "%g", t); err != nil {
+			return err
+		}
+		for _, n := range names {
+			s := tr.Signals[n]
+			v := 0.0
+			if i < len(s) {
+				v = s[i]
+			}
+			if _, err := fmt.Fprintf(w, ",%g", v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

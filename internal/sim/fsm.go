@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"vase/internal/vhif"
+)
+
+// FSMRunner interprets the event-driven part of a VHIF module directly:
+// threshold crossings of continuous quantities generate events, a resumed
+// FSM executes its states to completion, and the resulting signal values
+// are recorded. It is the reference semantics against which the compiler's
+// analog control realizations (comparators, Schmitt triggers) are checked.
+type FSMRunner struct {
+	fsm *vhif.FSM
+	// signals holds the current value of each signal/variable (bits as
+	// 0/1).
+	signals map[string]float64
+	// prevQ remembers the previous quantity values for crossing detection.
+	prevQ map[string]float64
+	// events holds the level of each 'above expression this instant.
+	events map[string]bool
+	// changed holds the events that fired (crossed) this instant.
+	changed map[string]bool
+}
+
+// NewFSMRunner wraps one FSM for interpretation.
+func NewFSMRunner(f *vhif.FSM) *FSMRunner {
+	return &FSMRunner{
+		fsm:     f,
+		signals: map[string]float64{},
+		prevQ:   map[string]float64{},
+		events:  map[string]bool{},
+		changed: map[string]bool{},
+	}
+}
+
+// Signal returns the current value of a signal (0/1 for bits).
+func (r *FSMRunner) Signal(name string) float64 { return r.signals[name] }
+
+// SetSignal presets a signal value (initial conditions).
+func (r *FSMRunner) SetSignal(name string, v float64) { r.signals[name] = v }
+
+// Step advances the FSM given the current quantity values. It detects
+// threshold crossings against the previous step, and when any sensitivity
+// event fires, executes the FSM from its start state to suspension.
+func (r *FSMRunner) Step(quantities map[string]float64) error {
+	// Detect events on every 'above expression in the FSM.
+	r.changed = map[string]bool{}
+	vhifWalkEvents(r.fsm, func(ev *vhif.DEvent) {
+		key := ev.String()
+		cur, okCur := quantities[ev.Quantity]
+		if !okCur {
+			return
+		}
+		level := cur > ev.Threshold
+		prev, seen := r.prevQ[key]
+		if seen {
+			prevLevel := prev > ev.Threshold
+			if prevLevel != level {
+				r.changed[key] = true
+			}
+		}
+		r.prevQ[key] = cur
+		r.events[key] = level
+	})
+
+	// Resume when the start state's guard (OR of events) fires.
+	arcs := r.fsm.ArcsFrom(r.fsm.Start)
+	resumed := false
+	var entry *vhif.State
+	for _, a := range arcs {
+		fired, err := r.guardFired(a.Cond)
+		if err != nil {
+			return err
+		}
+		if fired {
+			resumed = true
+			entry = a.To
+			break
+		}
+	}
+	if !resumed {
+		return nil
+	}
+
+	// Run to completion: execute state ops, follow the first arc whose
+	// guard holds, until back at start.
+	cur := entry
+	for hops := 0; hops <= len(r.fsm.States)+2; hops++ {
+		for _, op := range cur.Ops {
+			v, err := r.evalD(op.Expr)
+			if err != nil {
+				return err
+			}
+			r.signals[op.Target] = v
+		}
+		if cur == r.fsm.Start {
+			return nil
+		}
+		next := (*vhif.State)(nil)
+		for _, a := range r.fsm.ArcsFrom(cur) {
+			if a.Cond == nil {
+				next = a.To
+				break
+			}
+			v, err := r.evalD(a.Cond)
+			if err != nil {
+				return err
+			}
+			if v > 0.5 {
+				next = a.To
+				break
+			}
+		}
+		if next == nil {
+			return fmt.Errorf("sim: fsm %q stuck in state %q", r.fsm.Name, cur.Name)
+		}
+		if next == r.fsm.Start {
+			return nil
+		}
+		cur = next
+	}
+	return fmt.Errorf("sim: fsm %q did not suspend (cycle without start)", r.fsm.Name)
+}
+
+// guardFired evaluates a resume guard: an event expression fires only on a
+// crossing (VHDL event semantics), combined with "or".
+func (r *FSMRunner) guardFired(e vhif.DExpr) (bool, error) {
+	switch e := e.(type) {
+	case nil:
+		return false, nil
+	case *vhif.DEvent:
+		return r.changed[e.String()], nil
+	case *vhif.DPortEvent:
+		return false, nil // external port events are not driven in this run
+	case *vhif.DBinary:
+		if e.Op == "or" {
+			x, err := r.guardFired(e.X)
+			if err != nil {
+				return false, err
+			}
+			y, err := r.guardFired(e.Y)
+			if err != nil {
+				return false, err
+			}
+			return x || y, nil
+		}
+	}
+	v, err := r.evalD(e)
+	return v > 0.5, err
+}
+
+// evalD evaluates a datapath expression over current signals and event
+// levels.
+func (r *FSMRunner) evalD(e vhif.DExpr) (float64, error) {
+	switch e := e.(type) {
+	case *vhif.DConst:
+		return e.Value, nil
+	case *vhif.DName:
+		return r.signals[e.Name], nil
+	case *vhif.DEvent:
+		if r.events[e.String()] {
+			return 1, nil
+		}
+		return 0, nil
+	case *vhif.DPortEvent:
+		return 0, nil
+	case *vhif.DUnary:
+		x, err := r.evalD(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "not":
+			if x > 0.5 {
+				return 0, nil
+			}
+			return 1, nil
+		case "-":
+			return -x, nil
+		case "abs":
+			return math.Abs(x), nil
+		}
+	case *vhif.DBinary:
+		x, err := r.evalD(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := r.evalD(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		b := func(v bool) float64 {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		switch e.Op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			return safeDiv(x, y), nil
+		case "and":
+			return b(x > 0.5 && y > 0.5), nil
+		case "or":
+			return b(x > 0.5 || y > 0.5), nil
+		case "xor":
+			return b((x > 0.5) != (y > 0.5)), nil
+		case "=":
+			return b(x == y), nil
+		case "/=":
+			return b(x != y), nil
+		case "<":
+			return b(x < y), nil
+		case "<=":
+			return b(x <= y), nil
+		case ">":
+			return b(x > y), nil
+		case ">=":
+			return b(x >= y), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: cannot evaluate datapath expression %v", e)
+}
+
+// vhifWalkEvents visits every DEvent in the FSM's guards and operations.
+func vhifWalkEvents(f *vhif.FSM, visit func(*vhif.DEvent)) {
+	see := func(e vhif.DExpr) {
+		vhif.WalkDExpr(e, func(x vhif.DExpr) {
+			if ev, ok := x.(*vhif.DEvent); ok {
+				visit(ev)
+			}
+		})
+	}
+	for _, a := range f.Arcs {
+		see(a.Cond)
+	}
+	for _, s := range f.States {
+		for _, op := range s.Ops {
+			see(op.Expr)
+		}
+	}
+}

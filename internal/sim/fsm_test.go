@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+
+	"vase/internal/vhif"
+)
+
+// buildToggleFSM: on each crossing of x over 1 or -1, toggle s.
+func buildToggleFSM() *vhif.FSM {
+	f := vhif.NewFSM("toggle")
+	s1 := f.NewState("state1")
+	s1.Ops = append(s1.Ops, &vhif.DataOp{
+		Target: "s", SignalOp: true,
+		Expr: &vhif.DUnary{Op: "not", X: &vhif.DName{Name: "s"}},
+	})
+	guard := &vhif.DBinary{Op: "or",
+		X: &vhif.DEvent{Quantity: "x", Threshold: 1},
+		Y: &vhif.DEvent{Quantity: "x", Threshold: -1},
+	}
+	f.AddArc(f.Start, s1, guard)
+	f.AddArc(s1, f.Start, nil)
+	return f
+}
+
+func TestFSMRunnerToggle(t *testing.T) {
+	r := NewFSMRunner(buildToggleFSM())
+	// VHDL 'above events fire on EVERY crossing, in both directions: the
+	// sweep up through +1 toggles, and coming back down through +1 toggles
+	// again. (This is exactly why the paper's analog realization adds "a
+	// small hysteresis margin, so that repeated switchings between states
+	// are avoided" — the Schmitt trigger deliberately deviates from raw
+	// event semantics.)
+	xs := []float64{0, 0.5, 1.2, 0.5, 0, -0.5, -1.2, -0.5, 0}
+	want := []float64{0, 0, 1, 0, 0, 0, 1, 0, 0}
+	for i, x := range xs {
+		if err := r.Step(map[string]float64{"x": x}); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got := r.Signal("s"); got != want[i] {
+			t.Errorf("step %d (x=%g): s = %g, want %g", i, x, got, want[i])
+		}
+	}
+}
+
+func TestFSMRunnerEventIsEdgeTriggered(t *testing.T) {
+	r := NewFSMRunner(buildToggleFSM())
+	// Staying above the threshold must not re-fire the event.
+	for i, x := range []float64{0, 2, 2, 2} {
+		if err := r.Step(map[string]float64{"x": x}); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if got := r.Signal("s"); got != 1 {
+		t.Errorf("s = %g after one crossing and a plateau, want 1", got)
+	}
+}
+
+func TestFSMRunnerBranching(t *testing.T) {
+	// if ev then c <= '1' else c <= '0' with guarded arcs.
+	f := vhif.NewFSM("cmp")
+	eval := f.NewState("eval")
+	setS := f.NewState("set")
+	clrS := f.NewState("clr")
+	ev := &vhif.DEvent{Quantity: "q", Threshold: 0.5}
+	setS.Ops = append(setS.Ops, &vhif.DataOp{Target: "c", SignalOp: true, Expr: &vhif.DConst{Value: 1, Bit: true}})
+	clrS.Ops = append(clrS.Ops, &vhif.DataOp{Target: "c", SignalOp: true, Expr: &vhif.DConst{Value: 0, Bit: true}})
+	f.AddArc(f.Start, eval, ev)
+	f.AddArc(eval, setS, ev)
+	f.AddArc(eval, clrS, nil)
+	f.AddArc(setS, f.Start, nil)
+	f.AddArc(clrS, f.Start, nil)
+
+	r := NewFSMRunner(f)
+	seq := []struct{ q, want float64 }{
+		{0, 0},   // no event yet
+		{1, 1},   // rising crossing -> event level true -> set
+		{0.2, 0}, // falling crossing -> event level false -> clear
+		{0.3, 0}, // no crossing: holds
+	}
+	for i, c := range seq {
+		if err := r.Step(map[string]float64{"q": c.q}); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got := r.Signal("c"); got != c.want {
+			t.Errorf("step %d (q=%g): c = %g, want %g", i, c.q, got, c.want)
+		}
+	}
+}
+
+func TestFSMRunnerDatapathArithmetic(t *testing.T) {
+	// Variables computed with arithmetic datapath ops.
+	f := vhif.NewFSM("dp")
+	s1 := f.NewState("s1")
+	s1.Ops = append(s1.Ops,
+		&vhif.DataOp{Target: "a", Expr: &vhif.DConst{Value: 3}},
+		&vhif.DataOp{Target: "b", Expr: &vhif.DBinary{Op: "*", X: &vhif.DName{Name: "a"}, Y: &vhif.DConst{Value: 4}}},
+	)
+	s2 := f.NewState("s2")
+	s2.Ops = append(s2.Ops,
+		&vhif.DataOp{Target: "c", Expr: &vhif.DBinary{Op: "-", X: &vhif.DName{Name: "b"}, Y: &vhif.DConst{Value: 2}}},
+		&vhif.DataOp{Target: "d", Expr: &vhif.DUnary{Op: "abs", X: &vhif.DConst{Value: -5}}},
+		&vhif.DataOp{Target: "e", Expr: &vhif.DBinary{Op: "/", X: &vhif.DConst{Value: 8}, Y: &vhif.DConst{Value: 2}}},
+	)
+	f.AddArc(f.Start, s1, &vhif.DEvent{Quantity: "x", Threshold: 0})
+	f.AddArc(s1, s2, nil)
+	f.AddArc(s2, f.Start, nil)
+
+	r := NewFSMRunner(f)
+	// Crossing 0 fires the resume.
+	if err := r.Step(map[string]float64{"x": -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Step(map[string]float64{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{"a": 3, "b": 12, "c": 10, "d": 5, "e": 4}
+	for name, want := range checks {
+		if got := r.Signal(name); got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+}
+
+func TestFSMRunnerComparisonOps(t *testing.T) {
+	f := vhif.NewFSM("rel")
+	s1 := f.NewState("s1")
+	mk := func(target, op string, x, y float64) *vhif.DataOp {
+		return &vhif.DataOp{Target: target, Expr: &vhif.DBinary{
+			Op: op, X: &vhif.DConst{Value: x}, Y: &vhif.DConst{Value: y}}}
+	}
+	s1.Ops = append(s1.Ops,
+		mk("lt", "<", 1, 2), mk("le", "<=", 2, 2), mk("gt", ">", 3, 2),
+		mk("ge", ">=", 1, 2), mk("eq", "=", 2, 2), mk("ne", "/=", 1, 2),
+	)
+	f.AddArc(f.Start, s1, &vhif.DEvent{Quantity: "x", Threshold: 0})
+	f.AddArc(s1, f.Start, nil)
+	r := NewFSMRunner(f)
+	r.Step(map[string]float64{"x": -1})
+	if err := r.Step(map[string]float64{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"lt": 1, "le": 1, "gt": 1, "ge": 0, "eq": 1, "ne": 1}
+	for name, w := range want {
+		if got := r.Signal(name); got != w {
+			t.Errorf("%s = %g, want %g", name, got, w)
+		}
+	}
+}
+
+func TestFSMRunnerStuckDetection(t *testing.T) {
+	f := vhif.NewFSM("stuck")
+	s1 := f.NewState("s1")
+	f.AddArc(f.Start, s1, &vhif.DEvent{Quantity: "x", Threshold: 0})
+	// No arc out of s1: the runner must report it rather than hang.
+	r := NewFSMRunner(f)
+	r.Step(map[string]float64{"x": -1})
+	if err := r.Step(map[string]float64{"x": 1}); err == nil {
+		t.Fatal("expected stuck-state error")
+	}
+}
+
+func TestFSMRunnerSetSignal(t *testing.T) {
+	r := NewFSMRunner(buildToggleFSM())
+	r.SetSignal("s", 1)
+	if r.Signal("s") != 1 {
+		t.Error("SetSignal lost")
+	}
+}
+
+func TestSwitchBlockSim(t *testing.T) {
+	// A BSwitch passes its input while the control is true and outputs zero
+	// otherwise.
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "a")
+	cmp := g.AddBlock(vhif.BComparator, "cmp", in.Out)
+	cmp.Param = 0.5
+	sw := g.AddBlock(vhif.BSwitch, "sw", in.Out)
+	sw.SetCtrl(g, cmp.Out)
+	g.AddBlock(vhif.BOutput, "y", sw.Out)
+	m := &vhif.Module{Name: "swm", Graphs: []*vhif.Graph{g}}
+	tr, err := SimulateModule(m, map[string]Source{"a": Sine(1, 100, 0)},
+		Options{TStop: 20e-3, TStep: 1e-5})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	src := Sine(1, 100, 0)
+	for i, tm := range tr.Time {
+		v := src(tm)
+		y := tr.Get("y")[i]
+		if v > 0.6 && y < 0.5 {
+			t.Fatalf("switch should pass at t=%g: in=%g out=%g", tm, v, y)
+		}
+		if v < 0.3 && y != 0 {
+			t.Fatalf("switch should block at t=%g: in=%g out=%g", tm, v, y)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"vase/internal/library"
+	"vase/internal/netlist"
+)
+
+// SimulateNetlist runs a functional transient analysis of a synthesized
+// component netlist: every library cell evaluates its ideal transfer
+// function, integrators integrate with RK4, and detectors carry hysteresis.
+// It verifies that a mapped architecture still computes the specified
+// behavior (the paper's Section 6 check before SPICE-level simulation).
+func SimulateNetlist(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*Trace, error) {
+	s, err := newNetSim(nl, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// netState is one dynamic component: integrator (1 state), low-pass filter
+// (1 state), band-pass filter (2 states), or — under ModelBandwidth — an
+// amplifier with its closed-loop pole (1 state, pole > 0).
+type netState struct {
+	c      *netlist.Component
+	offset int
+	n      int
+	pole   float64 // closed-loop pole, rad/s (0 for exact elements)
+}
+
+// ampPole derives the closed-loop pole of a sized amplifier: omega =
+// 2*pi*UGF / noiseGain, with the inverting noise gain 1 + sum|w_i|.
+func (s *netSim) ampPole(c *netlist.Component) float64 {
+	noise := 1.0
+	switch c.Cell.Kind {
+	case library.CellInvAmp, library.CellNonInvAmp:
+		noise += math.Abs(c.Param("gain", 1))
+	case library.CellPGA:
+		noise += math.Max(math.Abs(c.Param("gain_on", 1)), math.Abs(c.Param("gain_off", 1)))
+	default:
+		for i := range c.Inputs {
+			noise += math.Abs(c.Param(fmt.Sprintf("gain%d", i), 1))
+		}
+	}
+	return 2 * math.Pi * c.Estimate.OpAmps[0].AchievedUGF / noise
+}
+
+// ampIdeal computes the instantaneous ideal output of an amplifier cell.
+func ampIdeal(c *netlist.Component, vals map[*netlist.Net]float64) float64 {
+	in := func(i int) float64 {
+		if i < len(c.Inputs) {
+			return vals[c.Inputs[i]]
+		}
+		return 0
+	}
+	switch c.Cell.Kind {
+	case library.CellInvAmp, library.CellNonInvAmp:
+		return c.Param("gain", 1) * in(0)
+	case library.CellFollower:
+		return in(0)
+	case library.CellPGA:
+		g := c.Param("gain_off", 1)
+		if c.Ctrl != nil && vals[c.Ctrl] > 0.5 {
+			g = c.Param("gain_on", 1)
+		}
+		return g * in(0)
+	default: // summing / difference amplifiers
+		out := 0.0
+		for i := range c.Inputs {
+			out += c.Param(fmt.Sprintf("gain%d", i), 1) * in(i)
+		}
+		return out
+	}
+}
+
+type netSim struct {
+	nl    *netlist.Netlist
+	opts  Options
+	order []*netlist.Component
+	srcs  map[*netlist.Net]Source
+	// dynamic components in order.
+	states  []netState
+	nStates int
+
+	cmpState map[*netlist.Component]bool
+	shState  map[*netlist.Component]float64
+	prevIn   map[*netlist.Component]float64
+
+	probes map[string]*netlist.Net
+}
+
+func newNetSim(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*netSim, error) {
+	if opts.TStop <= 0 || opts.TStep <= 0 {
+		return nil, fmt.Errorf("sim: TStop and TStep must be positive")
+	}
+	s := &netSim{
+		nl:       nl,
+		opts:     opts,
+		srcs:     map[*netlist.Net]Source{},
+		cmpState: map[*netlist.Component]bool{},
+		shState:  map[*netlist.Component]float64{},
+		prevIn:   map[*netlist.Component]float64{},
+		probes:   map[string]*netlist.Net{},
+	}
+	for _, p := range nl.Ports {
+		if p.Dir == netlist.In {
+			src, ok := inputs[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("sim: no source for netlist input %q", p.Name)
+			}
+			s.srcs[p.Net] = src
+		} else {
+			s.probes[p.Name] = p.Net
+		}
+	}
+	for _, name := range opts.Probes {
+		for _, n := range nl.Nets {
+			if n.Name == name {
+				s.probes[name] = n
+			}
+		}
+	}
+	var err error
+	s.order, err = nl.Topological()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range s.order {
+		switch {
+		case c.Cell.Kind == library.CellIntegrator || c.Cell.Kind == library.CellLowPass:
+			s.states = append(s.states, netState{c: c, offset: s.nStates, n: 1})
+			s.nStates++
+		case c.Cell.Kind == library.CellBandPass:
+			s.states = append(s.states, netState{c: c, offset: s.nStates, n: 2})
+			s.nStates += 2
+		case opts.ModelBandwidth && c.Cell.Kind.IsAmplifier() && c.Estimate != nil && len(c.Estimate.OpAmps) > 0:
+			// Finite gain-bandwidth: the amplifier output lags its ideal
+			// value with a closed-loop pole at UGF/noise-gain.
+			s.states = append(s.states, netState{c: c, offset: s.nStates, n: 1, pole: s.ampPole(c)})
+			s.nStates++
+		}
+	}
+	return s, nil
+}
+
+func (s *netSim) eval(t float64, x []float64) map[*netlist.Net]float64 {
+	vals := make(map[*netlist.Net]float64, len(s.nl.Nets))
+	for _, net := range s.nl.Nets {
+		if net.Const != nil {
+			vals[net] = *net.Const
+		}
+	}
+	for net, src := range s.srcs {
+		vals[net] = src(t)
+	}
+	stateIdx := 0
+	boolv := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for _, c := range s.order {
+		in := func(i int) float64 {
+			if i < len(c.Inputs) {
+				return vals[c.Inputs[i]]
+			}
+			return 0
+		}
+		ctrl := func() bool { return vals[c.Ctrl] > 0.5 }
+		var out float64
+		if s.opts.ModelBandwidth && c.Cell.Kind.IsAmplifier() &&
+			stateIdx < len(s.states) && s.states[stateIdx].c == c {
+			out = x[s.states[stateIdx].offset]
+			stateIdx++
+			if c.Out != nil {
+				vals[c.Out] = out
+			}
+			continue
+		}
+		switch c.Cell.Kind {
+		case library.CellInvAmp, library.CellNonInvAmp:
+			out = c.Param("gain", 1) * in(0)
+		case library.CellFollower:
+			out = in(0)
+		case library.CellSummingAmp, library.CellDiffAmp:
+			for i := range c.Inputs {
+				out += c.Param(fmt.Sprintf("gain%d", i), 1) * in(i)
+			}
+		case library.CellPGA:
+			g := c.Param("gain_off", 1)
+			if ctrl() {
+				g = c.Param("gain_on", 1)
+			}
+			out = g * in(0)
+		case library.CellIntegrator, library.CellLowPass:
+			out = x[s.states[stateIdx].offset]
+			stateIdx++
+		case library.CellBandPass:
+			st := s.states[stateIdx]
+			stateIdx++
+			q := netBandpassQ(c)
+			out = x[st.offset] / q
+		case library.CellDiff:
+			out = (in(0) - s.prevIn[c]) / s.opts.TStep
+		case library.CellLogAmp:
+			out = c.Param("scale", 1) * safeLog(in(0))
+		case library.CellAntilogAmp:
+			out = c.Param("scale", 1) * clampExp(in(0))
+		case library.CellMultiplier:
+			out = in(0) * in(1)
+		case library.CellDivider:
+			out = safeDiv(in(0), in(1))
+		case library.CellSqrt:
+			out = math.Sqrt(math.Max(0, in(0)))
+		case library.CellRectifier:
+			out = math.Abs(in(0))
+		case library.CellMinMax:
+			if c.Param("op", 0) > 0.5 {
+				out = math.Max(in(0), in(1))
+			} else {
+				out = math.Min(in(0), in(1))
+			}
+		case library.CellSineShaper:
+			out = math.Sin(in(0))
+		case library.CellComparator, library.CellSchmitt:
+			v := s.cmpState[c]
+			if c.Param("invert", 0) > 0.5 {
+				v = !v
+			}
+			out = boolv(v)
+		case library.CellSampleHold:
+			// Clocked semantics matching the VHIF simulator: the output is
+			// the previous sample.
+			out = s.shState[c]
+		case library.CellSwitch:
+			if ctrl() {
+				out = in(0)
+			}
+		case library.CellMux:
+			if ctrl() {
+				out = in(0)
+			} else {
+				out = in(1)
+			}
+		case library.CellADC:
+			bits := c.Param("bits", 8)
+			const fullScale = 2.5
+			q := fullScale / math.Exp2(bits-1)
+			v := math.Max(-fullScale, math.Min(fullScale, in(0)))
+			out = math.Round(v/q) * q
+		case library.CellOutputStage:
+			out = in(0)
+			if lim := c.Param("limit", 0); lim > 0 {
+				out = math.Max(-lim, math.Min(lim, out))
+			}
+		case library.CellLimiter:
+			lim := c.Param("limit", 1.5)
+			out = math.Max(-lim, math.Min(lim, in(0)))
+		}
+		if c.Out != nil {
+			vals[c.Out] = out
+		}
+	}
+	return vals
+}
+
+func (s *netSim) derivs(t float64, x []float64) []float64 {
+	vals := s.eval(t, x)
+	d := make([]float64, s.nStates)
+	for _, st := range s.states {
+		c := st.c
+		switch c.Cell.Kind {
+		case library.CellIntegrator:
+			sum := 0.0
+			for j := range c.Inputs {
+				sum += c.Param(fmt.Sprintf("gain%d", j), 1) * vals[c.Inputs[j]]
+			}
+			d[st.offset] = sum
+		case library.CellLowPass:
+			wc := 2 * math.Pi * c.Param("fhi", 1)
+			d[st.offset] = wc * (vals[c.Inputs[0]] - x[st.offset])
+		case library.CellBandPass:
+			w0 := 2 * math.Pi * math.Sqrt(c.Param("fhi", 1)*c.Param("flo", 1))
+			q := netBandpassQ(c)
+			bp, lp := x[st.offset], x[st.offset+1]
+			hp := vals[c.Inputs[0]] - lp - bp/q
+			d[st.offset] = w0 * hp
+			d[st.offset+1] = w0 * bp
+		default:
+			if st.pole > 0 {
+				d[st.offset] = st.pole * (ampIdeal(c, vals) - x[st.offset])
+			}
+		}
+	}
+	return d
+}
+
+// netBandpassQ mirrors the VHIF filter's quality derivation.
+func netBandpassQ(c *netlist.Component) float64 {
+	fhi, flo := c.Param("fhi", 1), c.Param("flo", 0)
+	f0 := math.Sqrt(fhi * flo)
+	bw := fhi - flo
+	if bw <= 0 {
+		return 1
+	}
+	q := f0 / bw
+	if q < 0.3 {
+		q = 0.3
+	}
+	return q
+}
+
+func (s *netSim) updateDiscrete(vals map[*netlist.Net]float64) {
+	for _, c := range s.order {
+		switch c.Cell.Kind {
+		case library.CellComparator, library.CellSchmitt:
+			v := vals[c.Inputs[0]]
+			th := c.Param("threshold", 0)
+			hyst := c.Param("hysteresis", 0)
+			st := s.cmpState[c]
+			if st {
+				if v < th-hyst {
+					s.cmpState[c] = false
+				}
+			} else if v > th+hyst {
+				s.cmpState[c] = true
+			}
+		case library.CellSampleHold:
+			if vals[c.Ctrl] > 0.5 {
+				s.shState[c] = vals[c.Inputs[0]]
+			}
+		}
+	}
+}
+
+// updateDifferentiators stores the start-of-step input values so the next
+// step's backward difference spans exactly one step.
+func (s *netSim) updateDifferentiators(vals map[*netlist.Net]float64) {
+	for _, c := range s.order {
+		if c.Cell.Kind == library.CellDiff {
+			s.prevIn[c] = vals[c.Inputs[0]]
+		}
+	}
+}
+
+func (s *netSim) initDiscrete(vals map[*netlist.Net]float64) {
+	for _, c := range s.order {
+		switch c.Cell.Kind {
+		case library.CellComparator, library.CellSchmitt:
+			s.cmpState[c] = vals[c.Inputs[0]] > c.Param("threshold", 0)
+		case library.CellSampleHold:
+			s.shState[c] = vals[c.Inputs[0]]
+		case library.CellDiff:
+			s.prevIn[c] = vals[c.Inputs[0]]
+		}
+	}
+}
+
+func (s *netSim) run() (*Trace, error) {
+	n := int(math.Ceil(s.opts.TStop/s.opts.TStep)) + 1
+	tr := &Trace{Signals: map[string][]float64{}}
+	x := make([]float64, s.nStates)
+	v0 := s.eval(0, x)
+	s.initDiscrete(v0)
+
+	h := s.opts.TStep
+	for step := 0; step < n; step++ {
+		t := float64(step) * h
+		vals := s.eval(t, x)
+		tr.Time = append(tr.Time, t)
+		for name, net := range s.probes {
+			tr.Signals[name] = append(tr.Signals[name], vals[net])
+		}
+		s.updateDifferentiators(vals)
+		k1 := s.derivs(t, x)
+		k2 := s.derivs(t+h/2, axpy(x, k1, h/2))
+		k3 := s.derivs(t+h/2, axpy(x, k2, h/2))
+		k4 := s.derivs(t+h, axpy(x, k3, h))
+		for i := range x {
+			x[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return nil, fmt.Errorf("sim: netlist state %d diverged at t=%g", i, t)
+			}
+		}
+		end := s.eval(t+h, x)
+		s.updateDiscrete(end)
+	}
+	return tr, nil
+}

@@ -1,0 +1,488 @@
+// Package sim implements behavioral transient simulation of VHIF modules
+// and synthesized component netlists.
+//
+// Continuous-time behavior is integrated with a fixed-step fourth-order
+// Runge-Kutta method over the state variables (integrator outputs);
+// comparator, Schmitt-trigger and sample-and-hold states are updated at
+// step boundaries with hysteresis, which keeps the combinational network
+// smooth inside a step. Event-driven behavior can additionally be executed
+// through the FSM interpreter, which serves as a reference for the analog
+// control realizations the compiler extracts.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"vase/internal/vhif"
+)
+
+// Source produces an input waveform value at time t.
+type Source func(t float64) float64
+
+// Sine returns a sinusoidal source.
+func Sine(amplitude, freqHz, phase float64) Source {
+	return func(t float64) float64 {
+		return amplitude * math.Sin(2*math.Pi*freqHz*t+phase)
+	}
+}
+
+// DC returns a constant source.
+func DC(v float64) Source { return func(float64) float64 { return v } }
+
+// Step returns a step source switching from v0 to v1 at t0.
+func Step(v0, v1, t0 float64) Source {
+	return func(t float64) float64 {
+		if t < t0 {
+			return v0
+		}
+		return v1
+	}
+}
+
+// Ramp returns a linear ramp source with the given slope.
+func Ramp(slope float64) Source { return func(t float64) float64 { return slope * t } }
+
+// Options configures a transient run.
+type Options struct {
+	// TStop is the end time, s.
+	TStop float64
+	// TStep is the fixed integration step, s.
+	TStep float64
+	// Probes lists additional net names to record (output ports and
+	// control links are always recorded).
+	Probes []string
+	// ModelBandwidth (netlist simulation only) gives every sized amplifier
+	// a first-order pole at its achieved unity-gain frequency divided by
+	// its noise gain, verifying that the estimator's bandwidth guard
+	// suffices for the signals the design actually sees. Requires a
+	// netlist whose components carry estimates (mapper output).
+	ModelBandwidth bool
+}
+
+// Trace holds sampled waveforms keyed by net name.
+type Trace struct {
+	Time    []float64
+	Signals map[string][]float64
+}
+
+// Get returns the samples of a recorded signal.
+func (tr *Trace) Get(name string) []float64 { return tr.Signals[name] }
+
+// Final returns the last sample of a signal.
+func (tr *Trace) Final(name string) float64 {
+	s := tr.Signals[name]
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	return s[len(s)-1]
+}
+
+// Max returns the maximum sample of a signal.
+func (tr *Trace) Max(name string) float64 {
+	m := math.Inf(-1)
+	for _, v := range tr.Signals[name] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum sample of a signal.
+func (tr *Trace) Min(name string) float64 {
+	m := math.Inf(1)
+	for _, v := range tr.Signals[name] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// clampExp guards exponential blocks against overflow.
+func clampExp(x float64) float64 {
+	if x > 50 {
+		x = 50
+	}
+	if x < -50 {
+		x = -50
+	}
+	return math.Exp(x)
+}
+
+// safeLog guards log blocks against non-positive inputs (a real log amp
+// saturates).
+func safeLog(x float64) float64 {
+	const eps = 1e-12
+	if x < eps {
+		x = eps
+	}
+	return math.Log(x)
+}
+
+// safeDiv guards dividers against tiny denominators.
+func safeDiv(num, den float64) float64 {
+	const eps = 1e-9
+	if math.Abs(den) < eps {
+		if den < 0 {
+			den = -eps
+		} else {
+			den = eps
+		}
+	}
+	return num / den
+}
+
+// SimulateModule runs a transient analysis of the module's signal-flow
+// graphs. inputs maps input port (quantity) names to sources.
+func SimulateModule(m *vhif.Module, inputs map[string]Source, opts Options) (*Trace, error) {
+	s, err := newModSim(m, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// stateBlock is one dynamic element contributing entries to the RK4 state
+// vector: an integrator (1 state) or an inferred filter (1 for low-pass,
+// 2 for band-pass).
+type stateBlock struct {
+	b      *vhif.Block
+	offset int
+	n      int
+}
+
+type modSim struct {
+	m       *vhif.Module
+	opts    Options
+	blocks  []*vhif.Block // all blocks, evaluation order
+	states  []stateBlock
+	nStates int
+	srcs    map[*vhif.Block]Source
+
+	// Discrete state, updated at step boundaries.
+	cmpState map[*vhif.Block]bool
+	shState  map[*vhif.Block]float64
+	prevIn   map[*vhif.Block]float64 // differentiator memory
+
+	probes map[string]*vhif.Net
+}
+
+func newModSim(m *vhif.Module, inputs map[string]Source, opts Options) (*modSim, error) {
+	if opts.TStop <= 0 || opts.TStep <= 0 {
+		return nil, fmt.Errorf("sim: TStop and TStep must be positive")
+	}
+	s := &modSim{
+		m:        m,
+		opts:     opts,
+		srcs:     map[*vhif.Block]Source{},
+		cmpState: map[*vhif.Block]bool{},
+		shState:  map[*vhif.Block]float64{},
+		prevIn:   map[*vhif.Block]float64{},
+		probes:   map[string]*vhif.Net{},
+	}
+	for _, g := range m.Graphs {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		order := g.Topological()
+		s.blocks = append(s.blocks, order...)
+		for _, b := range order {
+			switch b.Kind {
+			case vhif.BInput:
+				src, ok := inputs[b.Name]
+				if !ok {
+					return nil, fmt.Errorf("sim: no source for input port %q", b.Name)
+				}
+				s.srcs[b] = src
+			case vhif.BIntegrator:
+				s.states = append(s.states, stateBlock{b: b, offset: s.nStates, n: 1})
+				s.nStates++
+			case vhif.BFilter:
+				n := 1
+				if b.Param2 > 0 {
+					n = 2 // band-pass biquad: (bp, lp)
+				}
+				s.states = append(s.states, stateBlock{b: b, offset: s.nStates, n: n})
+				s.nStates += n
+			}
+		}
+		// Record output ports and requested probes.
+		for _, b := range g.Blocks {
+			if b.Kind == vhif.BOutput {
+				s.probes[b.Name] = b.Inputs[0]
+			}
+		}
+		for _, name := range opts.Probes {
+			for _, n := range g.Nets {
+				if n.Name == name {
+					s.probes[name] = n
+				}
+			}
+		}
+	}
+	for _, c := range m.Controls {
+		s.probes[c.Signal] = c.Net
+	}
+	return s, nil
+}
+
+// eval computes all net values for integrator state x at time t.
+func (s *modSim) eval(t float64, x []float64) map[*vhif.Net]float64 {
+	vals := make(map[*vhif.Net]float64, len(s.blocks))
+	stateIdx := 0
+	in := func(b *vhif.Block, i int) float64 { return vals[b.Inputs[i]] }
+	ctrl := func(b *vhif.Block) bool { return vals[b.Ctrl] > 0.5 }
+	boolv := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for _, b := range s.blocks {
+		var out float64
+		switch b.Kind {
+		case vhif.BInput:
+			out = s.srcs[b](t)
+		case vhif.BConst:
+			out = b.Param
+		case vhif.BGain:
+			out = b.Param * in(b, 0)
+		case vhif.BAdd:
+			for i := range b.Inputs {
+				out += in(b, i)
+			}
+		case vhif.BSub:
+			out = in(b, 0) - in(b, 1)
+		case vhif.BNeg:
+			out = -in(b, 0)
+		case vhif.BMul:
+			out = 1
+			for i := range b.Inputs {
+				out *= in(b, i)
+			}
+		case vhif.BDiv:
+			out = safeDiv(in(b, 0), in(b, 1))
+		case vhif.BLog:
+			out = safeLog(in(b, 0))
+		case vhif.BExp:
+			out = clampExp(in(b, 0))
+		case vhif.BSqrt:
+			out = math.Sqrt(math.Max(0, in(b, 0)))
+		case vhif.BSin:
+			out = math.Sin(in(b, 0))
+		case vhif.BCos:
+			out = math.Cos(in(b, 0))
+		case vhif.BAbs:
+			out = math.Abs(in(b, 0))
+		case vhif.BMin:
+			out = math.Min(in(b, 0), in(b, 1))
+		case vhif.BMax:
+			out = math.Max(in(b, 0), in(b, 1))
+		case vhif.BSign:
+			switch {
+			case in(b, 0) > 0:
+				out = 1
+			case in(b, 0) < 0:
+				out = -1
+			}
+		case vhif.BIntegrator:
+			out = x[s.states[stateIdx].offset]
+			stateIdx++
+		case vhif.BFilter:
+			sb := s.states[stateIdx]
+			stateIdx++
+			if sb.n == 2 {
+				// Band-pass: unity-gain output is bp/Q.
+				q := bandpassQ(b)
+				out = x[sb.offset] / q
+			} else {
+				out = x[sb.offset]
+			}
+		case vhif.BDifferentiator:
+			// Backward difference using the stored previous input.
+			out = (in(b, 0) - s.prevIn[b]) / s.opts.TStep
+		case vhif.BSampleHold:
+			// A clocked S/H: the output is the previous sample; the state
+			// updates at the step boundary while the control holds. The
+			// one-step latency is what lets S/H chains iterate (Figure 4).
+			out = s.shState[b]
+		case vhif.BSwitch:
+			if ctrl(b) {
+				out = in(b, 0)
+			}
+		case vhif.BMux:
+			if ctrl(b) {
+				out = in(b, 0)
+			} else {
+				out = in(b, 1)
+			}
+		case vhif.BComparator, vhif.BSchmitt:
+			out = boolv(s.cmpState[b])
+		case vhif.BNot:
+			out = boolv(!(vals[b.Inputs[0]] > 0.5))
+		case vhif.BADC:
+			bits := b.Param
+			if bits <= 0 {
+				bits = 8
+			}
+			const fullScale = 2.5
+			q := fullScale / math.Exp2(bits-1)
+			v := math.Max(-fullScale, math.Min(fullScale, in(b, 0)))
+			out = math.Round(v/q) * q
+		case vhif.BLimiter:
+			lim := b.Param
+			if lim <= 0 {
+				lim = 1.5
+			}
+			out = math.Max(-lim, math.Min(lim, in(b, 0)))
+		case vhif.BBuffer:
+			out = in(b, 0)
+		case vhif.BOutput:
+			continue
+		}
+		if b.Out != nil {
+			vals[b.Out] = out
+		}
+	}
+	return vals
+}
+
+// derivs returns the state derivatives for state x at time t: integrator
+// inputs, and the filter dynamics (first-order low-pass or biquad
+// band-pass).
+func (s *modSim) derivs(t float64, x []float64) []float64 {
+	vals := s.eval(t, x)
+	d := make([]float64, s.nStates)
+	for _, sb := range s.states {
+		in := vals[sb.b.Inputs[0]]
+		switch {
+		case sb.b.Kind == vhif.BIntegrator:
+			d[sb.offset] = in
+		case sb.n == 1:
+			// Low-pass: y' = wc*(u - y).
+			wc := 2 * math.Pi * sb.b.Param
+			d[sb.offset] = wc * (in - x[sb.offset])
+		default:
+			// State-variable band-pass: states (bp, lp) with center w0 and
+			// quality Q from the annotated corners.
+			w0 := 2 * math.Pi * math.Sqrt(sb.b.Param*sb.b.Param2)
+			q := bandpassQ(sb.b)
+			bp, lp := x[sb.offset], x[sb.offset+1]
+			hp := in - lp - bp/q
+			d[sb.offset] = w0 * hp
+			d[sb.offset+1] = w0 * bp
+		}
+	}
+	return d
+}
+
+// bandpassQ derives the quality factor from the corner annotations:
+// Q = f0 / bandwidth, floored for stability.
+func bandpassQ(b *vhif.Block) float64 {
+	f0 := math.Sqrt(b.Param * b.Param2)
+	bw := b.Param - b.Param2
+	if bw <= 0 {
+		return 1
+	}
+	q := f0 / bw
+	if q < 0.3 {
+		q = 0.3
+	}
+	return q
+}
+
+// updateDiscrete advances comparator, Schmitt, sample-and-hold and
+// differentiator state from the end-of-step values.
+func (s *modSim) updateDiscrete(vals map[*vhif.Net]float64) {
+	for _, b := range s.blocks {
+		switch b.Kind {
+		case vhif.BComparator, vhif.BSchmitt:
+			v := vals[b.Inputs[0]]
+			hyst := b.Hyst
+			st := s.cmpState[b]
+			if st {
+				if v < b.Param-hyst {
+					s.cmpState[b] = false
+				}
+			} else {
+				if v > b.Param+hyst {
+					s.cmpState[b] = true
+				}
+			}
+		case vhif.BSampleHold:
+			if vals[b.Ctrl] > 0.5 {
+				s.shState[b] = vals[b.Inputs[0]]
+			}
+		}
+	}
+}
+
+// updateDifferentiators stores the start-of-step input values so the next
+// step's backward difference spans exactly one step.
+func (s *modSim) updateDifferentiators(vals map[*vhif.Net]float64) {
+	for _, b := range s.blocks {
+		if b.Kind == vhif.BDifferentiator {
+			s.prevIn[b] = vals[b.Inputs[0]]
+		}
+	}
+}
+
+// initDiscrete sets the initial comparator states from the t=0 values so a
+// design does not start on the wrong side of its thresholds.
+func (s *modSim) initDiscrete(vals map[*vhif.Net]float64) {
+	for _, b := range s.blocks {
+		switch b.Kind {
+		case vhif.BComparator, vhif.BSchmitt:
+			s.cmpState[b] = vals[b.Inputs[0]] > b.Param
+		case vhif.BDifferentiator:
+			s.prevIn[b] = vals[b.Inputs[0]]
+		case vhif.BSampleHold:
+			s.shState[b] = vals[b.Inputs[0]]
+		}
+	}
+}
+
+func (s *modSim) run() (*Trace, error) {
+	n := int(math.Ceil(s.opts.TStop/s.opts.TStep)) + 1
+	tr := &Trace{Signals: map[string][]float64{}}
+	x := make([]float64, s.nStates)
+
+	// Two passes at t=0: the first primes comparator initial states.
+	v0 := s.eval(0, x)
+	s.initDiscrete(v0)
+
+	h := s.opts.TStep
+	for step := 0; step < n; step++ {
+		t := float64(step) * h
+		vals := s.eval(t, x)
+		tr.Time = append(tr.Time, t)
+		for name, net := range s.probes {
+			tr.Signals[name] = append(tr.Signals[name], vals[net])
+		}
+		s.updateDifferentiators(vals)
+		// Classic RK4 over the integrator state.
+		k1 := s.derivs(t, x)
+		k2 := s.derivs(t+h/2, axpy(x, k1, h/2))
+		k3 := s.derivs(t+h/2, axpy(x, k2, h/2))
+		k4 := s.derivs(t+h, axpy(x, k3, h))
+		for i := range x {
+			x[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return nil, fmt.Errorf("sim: state %d diverged at t=%g", i, t)
+			}
+		}
+		end := s.eval(t+h, x)
+		s.updateDiscrete(end)
+	}
+	return tr, nil
+}
+
+func axpy(x, d []float64, h float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + h*d[i]
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats a diagnostic with its source line and a caret marker:
+//
+//	receiver.vhd:12:9: undeclared name "rvra"
+//	  earph == rvra * line;
+//	           ^
+func (e *Error) Render(f *File) string {
+	var b strings.Builder
+	b.WriteString(e.Error())
+	if f == nil || e.Pos.Line <= 0 || e.Pos.Line > f.LineCount() {
+		return b.String()
+	}
+	line := f.lineText(e.Pos.Line)
+	b.WriteString("\n  ")
+	b.WriteString(strings.ReplaceAll(line, "\t", " "))
+	b.WriteString("\n  ")
+	col := e.Pos.Column
+	if col < 1 {
+		col = 1
+	}
+	if col > len(line)+1 {
+		col = len(line) + 1
+	}
+	b.WriteString(strings.Repeat(" ", col-1))
+	b.WriteString("^")
+	return b.String()
+}
+
+// RenderList formats every diagnostic of the list with source excerpts,
+// capped at ten entries like ErrorList.Error.
+func (l ErrorList) RenderList(f *File) string {
+	var b strings.Builder
+	for i, e := range l {
+		if i == 10 {
+			fmt.Fprintf(&b, "... and %d more errors\n", len(l)-10)
+			break
+		}
+		b.WriteString(e.Render(f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// lineText returns the 1-based line without its newline.
+func (f *File) lineText(line int) string {
+	if line < 1 || line > len(f.lines) {
+		return ""
+	}
+	start := f.lines[line-1]
+	end := len(f.text)
+	if line < len(f.lines) {
+		end = f.lines[line] - 1
+	}
+	if end < start {
+		end = start
+	}
+	return f.text[start:end]
+}

@@ -1,0 +1,221 @@
+// Package source provides source-file handling, positions, spans, and
+// diagnostic collection for the VASS front end.
+//
+// A File owns the text of one VASS compilation unit and a table of line
+// offsets so that byte offsets can be rendered as line:column positions in
+// diagnostics. Diagnostics are accumulated in an ErrorList which callers can
+// inspect, sort, and render.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a byte offset into a File. The zero Pos is the start of the file;
+// NoPos marks an unknown position.
+type Pos int
+
+// NoPos marks an absent or synthetic position.
+const NoPos Pos = -1
+
+// IsValid reports whether p refers to an actual location in a file.
+func (p Pos) IsValid() bool { return p >= 0 }
+
+// Span is a half-open byte range [Start, End) in a File.
+type Span struct {
+	Start, End Pos
+}
+
+// NewSpan returns the span covering [start, end). If end precedes start the
+// span is collapsed to the start position.
+func NewSpan(start, end Pos) Span {
+	if end < start {
+		end = start
+	}
+	return Span{Start: start, End: end}
+}
+
+// IsValid reports whether the span has a valid start position.
+func (s Span) IsValid() bool { return s.Start.IsValid() }
+
+// Union returns the smallest span covering both s and t. Invalid spans are
+// ignored; the union of two invalid spans is invalid.
+func (s Span) Union(t Span) Span {
+	switch {
+	case !s.IsValid():
+		return t
+	case !t.IsValid():
+		return s
+	}
+	u := s
+	if t.Start < u.Start {
+		u.Start = t.Start
+	}
+	if t.End > u.End {
+		u.End = t.End
+	}
+	return u
+}
+
+// Position is a resolved human-readable location.
+type Position struct {
+	Filename string
+	Offset   int // byte offset, 0-based
+	Line     int // 1-based
+	Column   int // 1-based, in bytes
+}
+
+// String renders the position as "file:line:col", omitting empty parts.
+func (p Position) String() string {
+	s := p.Filename
+	if p.Line > 0 {
+		if s != "" {
+			s += ":"
+		}
+		s += fmt.Sprintf("%d:%d", p.Line, p.Column)
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// File is a named source text with a lazily built line-offset index.
+type File struct {
+	name  string
+	text  string
+	lines []int // byte offsets of line starts; lines[0] == 0
+}
+
+// NewFile registers the given text under name and returns the File.
+func NewFile(name, text string) *File {
+	f := &File{name: name, text: text}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// Name returns the file name the File was registered under.
+func (f *File) Name() string { return f.name }
+
+// Text returns the complete source text.
+func (f *File) Text() string { return f.text }
+
+// Size returns the length of the source text in bytes.
+func (f *File) Size() int { return len(f.text) }
+
+// LineCount returns the number of lines in the file. The empty file has one
+// (empty) line.
+func (f *File) LineCount() int { return len(f.lines) }
+
+// Slice returns the text covered by span, clamped to the file bounds.
+func (f *File) Slice(s Span) string {
+	lo, hi := int(s.Start), int(s.End)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(f.text) {
+		hi = len(f.text)
+	}
+	if lo >= hi {
+		return ""
+	}
+	return f.text[lo:hi]
+}
+
+// Position resolves a Pos to a Position within f.
+func (f *File) Position(p Pos) Position {
+	if !p.IsValid() {
+		return Position{Filename: f.name}
+	}
+	off := int(p)
+	if off > len(f.text) {
+		off = len(f.text)
+	}
+	// Binary search for the greatest line start <= off.
+	i := sort.Search(len(f.lines), func(i int) bool { return f.lines[i] > off }) - 1
+	return Position{
+		Filename: f.name,
+		Offset:   off,
+		Line:     i + 1,
+		Column:   off - f.lines[i] + 1,
+	}
+}
+
+// Line returns the 1-based line number of p.
+func (f *File) Line(p Pos) int { return f.Position(p).Line }
+
+// Error is a single diagnostic attached to a position.
+type Error struct {
+	Pos Position
+	Msg string
+}
+
+// Error implements the error interface, rendering "pos: msg".
+func (e *Error) Error() string {
+	if e.Pos.Filename == "" && e.Pos.Line == 0 {
+		return e.Msg
+	}
+	return e.Pos.String() + ": " + e.Msg
+}
+
+// ErrorList collects diagnostics during a front-end pass.
+type ErrorList []*Error
+
+// Add appends a diagnostic at pos.
+func (l *ErrorList) Add(pos Position, format string, args ...any) {
+	*l = append(*l, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Sort orders the list by file, line, column, then message.
+func (l ErrorList) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i].Pos, l[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return l[i].Msg < l[j].Msg
+	})
+}
+
+// Len returns the number of collected diagnostics.
+func (l ErrorList) Len() int { return len(l) }
+
+// Err returns the list as an error, or nil if it is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Error renders at most ten diagnostics, one per line.
+func (l ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l {
+		if i == 10 {
+			fmt.Fprintf(&b, "... and %d more errors", len(l)-10)
+			break
+		}
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	if b.Len() == 0 {
+		return "no errors"
+	}
+	return b.String()
+}

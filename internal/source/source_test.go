@@ -1,0 +1,201 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionResolution(t *testing.T) {
+	f := NewFile("a.vhd", "abc\ndef\n\nghi")
+	cases := []struct {
+		off  Pos
+		line int
+		col  int
+	}{
+		{0, 1, 1},
+		{2, 1, 3},
+		{3, 1, 4}, // the newline itself
+		{4, 2, 1},
+		{7, 2, 4},
+		{8, 3, 1},
+		{9, 4, 1},
+		{11, 4, 3},
+	}
+	for _, c := range cases {
+		p := f.Position(c.off)
+		if p.Line != c.line || p.Column != c.col {
+			t.Errorf("Position(%d) = %d:%d, want %d:%d", c.off, p.Line, p.Column, c.line, c.col)
+		}
+		if p.Filename != "a.vhd" {
+			t.Errorf("filename = %q", p.Filename)
+		}
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	f := NewFile("x.vhd", "hello")
+	if s := f.Position(1).String(); s != "x.vhd:1:2" {
+		t.Errorf("position = %q", s)
+	}
+	var p Position
+	if p.String() != "-" {
+		t.Errorf("empty position = %q", p.String())
+	}
+}
+
+func TestInvalidPos(t *testing.T) {
+	f := NewFile("x", "abc")
+	p := f.Position(NoPos)
+	if p.Line != 0 {
+		t.Errorf("NoPos line = %d", p.Line)
+	}
+	if NoPos.IsValid() {
+		t.Error("NoPos must be invalid")
+	}
+	if !Pos(0).IsValid() {
+		t.Error("Pos 0 must be valid")
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	if n := NewFile("x", "").LineCount(); n != 1 {
+		t.Errorf("empty file lines = %d, want 1", n)
+	}
+	if n := NewFile("x", "a\nb\nc").LineCount(); n != 3 {
+		t.Errorf("lines = %d, want 3", n)
+	}
+}
+
+func TestSpanUnion(t *testing.T) {
+	a := NewSpan(2, 5)
+	b := NewSpan(7, 9)
+	u := a.Union(b)
+	if u.Start != 2 || u.End != 9 {
+		t.Errorf("union = [%d,%d)", u.Start, u.End)
+	}
+	inv := NewSpan(NoPos, NoPos)
+	if got := inv.Union(a); got != a {
+		t.Errorf("invalid union a = %+v", got)
+	}
+	if got := a.Union(inv); got != a {
+		t.Errorf("a union invalid = %+v", got)
+	}
+}
+
+func TestSpanCollapse(t *testing.T) {
+	s := NewSpan(5, 2)
+	if s.End != s.Start {
+		t.Errorf("reversed span should collapse, got [%d,%d)", s.Start, s.End)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	f := NewFile("x", "hello world")
+	if s := f.Slice(NewSpan(6, 11)); s != "world" {
+		t.Errorf("slice = %q", s)
+	}
+	if s := f.Slice(NewSpan(6, 100)); s != "world" {
+		t.Errorf("clamped slice = %q", s)
+	}
+	if s := f.Slice(NewSpan(8, 3)); s != "" {
+		t.Errorf("empty slice = %q", s)
+	}
+}
+
+func TestErrorListSortAndRender(t *testing.T) {
+	var l ErrorList
+	l.Add(Position{Filename: "b", Line: 2, Column: 1}, "second")
+	l.Add(Position{Filename: "a", Line: 5, Column: 3}, "first %d", 42)
+	l.Sort()
+	if l[0].Pos.Filename != "a" {
+		t.Errorf("sort order wrong: %v", l)
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "first 42") || !strings.Contains(msg, "a:5:3") {
+		t.Errorf("render = %q", msg)
+	}
+	if l.Err() == nil {
+		t.Error("non-empty list must be an error")
+	}
+	var empty ErrorList
+	if empty.Err() != nil {
+		t.Error("empty list must be nil error")
+	}
+}
+
+func TestErrorListTruncation(t *testing.T) {
+	var l ErrorList
+	for i := 0; i < 15; i++ {
+		l.Add(Position{Filename: "f", Line: i + 1, Column: 1}, "e%d", i)
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "and 5 more errors") {
+		t.Errorf("truncation missing: %q", msg)
+	}
+}
+
+// Property: Position is the inverse of line-start offsets for every offset.
+func TestPositionMonotonicProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		text := string(raw)
+		file := NewFile("p", text)
+		prevLine, prevCol := 1, 0
+		for off := 0; off <= len(text); off++ {
+			p := file.Position(Pos(off))
+			if p.Line < prevLine {
+				return false
+			}
+			if p.Line == prevLine && p.Column <= prevCol {
+				return false
+			}
+			if p.Line > prevLine && p.Column != 1 {
+				return false
+			}
+			prevLine, prevCol = p.Line, p.Column
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderWithCaret(t *testing.T) {
+	f := NewFile("x.vhd", "line one\nline two here\nline three")
+	var l ErrorList
+	l.Add(f.Position(14), "bad token") // "two" on line 2
+	out := l[0].Render(f)
+	want := "x.vhd:2:6: bad token\n  line two here\n       ^"
+	if out != want {
+		t.Errorf("render:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+func TestRenderClampsColumn(t *testing.T) {
+	f := NewFile("x", "ab")
+	e := &Error{Pos: Position{Filename: "x", Line: 1, Column: 99}, Msg: "m"}
+	out := e.Render(f)
+	if !strings.Contains(out, "^") {
+		t.Errorf("caret missing: %q", out)
+	}
+}
+
+func TestRenderWithoutFile(t *testing.T) {
+	e := &Error{Pos: Position{Filename: "x", Line: 1, Column: 1}, Msg: "m"}
+	if out := e.Render(nil); out != "x:1:1: m" {
+		t.Errorf("render without file = %q", out)
+	}
+}
+
+func TestRenderListCaps(t *testing.T) {
+	f := NewFile("x", "a\nb\nc")
+	var l ErrorList
+	for i := 0; i < 12; i++ {
+		l.Add(f.Position(0), "e%d", i)
+	}
+	out := l.RenderList(f)
+	if !strings.Contains(out, "and 2 more errors") {
+		t.Errorf("cap missing:\n%s", out)
+	}
+}

@@ -1,0 +1,306 @@
+// Package token defines the lexical tokens of VASS, the VHDL-AMS subset for
+// behavioral synthesis of analog systems accepted by the VASE front end.
+//
+// VHDL-AMS is case-insensitive; keyword lookup therefore normalizes
+// identifiers to lower case. The token set covers the VASS constructs from
+// the DATE'99 paper: entity/architecture/package structure, quantity, signal
+// and terminal declarations, simple simultaneous statements (==), simultaneous
+// if/use and case/use statements, procedural statements, and process
+// statements with 'ABOVE events.
+package token
+
+import "strings"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// The token kinds. Literal and operator kinds come first, keywords after
+// keywordBeg.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT // -- line comment
+
+	literalBeg
+	IDENT   // earph, rvar
+	INTLIT  // 270
+	REALLIT // 285.0e-3, 1.5
+	BITLIT  // '0', '1'
+	STRLIT  // "0101"
+	CHARLIT // 'a' (non-bit character literal)
+	literalEnd
+
+	operatorBeg
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	DSTAR  // ** (exponentiation)
+	EQEQ   // == (simultaneous)
+	EQ     // =
+	NEQ    // /=
+	LT     // <
+	LE     // <=  (also signal assignment)
+	GT     // >
+	GE     // >=
+	ASSIGN // :=  (variable assignment)
+	ARROW  // =>
+	AMP    // & (concatenation)
+
+	LPAREN    // (
+	RPAREN    // )
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	DOT       // .
+	TICK      // ' (attribute)
+	BAR       // |
+	operatorEnd
+
+	keywordBeg
+	ABS
+	ACROSS
+	ALL
+	AND
+	ARCHITECTURE
+	BEGIN
+	BODY
+	CASE
+	CONSTANT
+	DOWNTO
+	ELSE
+	ELSIF
+	END
+	ENTITY
+	EXIT
+	FOR
+	FUNCTION
+	GENERIC
+	IF
+	IN
+	IS
+	LIBRARY
+	LIMIT
+	LOOP
+	MOD
+	NAND
+	NATURE
+	NOR
+	NOT
+	OF
+	OR
+	OTHERS
+	OUT
+	PACKAGE
+	PORT
+	PROCEDURAL
+	PROCEDURE
+	PROCESS
+	QUANTITY
+	RANGE
+	REM
+	RETURN
+	SELECT
+	SIGNAL
+	SUBTYPE
+	TERMINAL
+	THEN
+	THROUGH
+	TO
+	TOLERANCE
+	TYPE
+	UNTIL
+	USE
+	VARIABLE
+	WAIT
+	WHEN
+	WHILE
+	WITH
+	XOR
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	COMMENT: "COMMENT",
+
+	IDENT:   "identifier",
+	INTLIT:  "integer literal",
+	REALLIT: "real literal",
+	BITLIT:  "bit literal",
+	STRLIT:  "string literal",
+	CHARLIT: "character literal",
+
+	PLUS:   "+",
+	MINUS:  "-",
+	STAR:   "*",
+	SLASH:  "/",
+	DSTAR:  "**",
+	EQEQ:   "==",
+	EQ:     "=",
+	NEQ:    "/=",
+	LT:     "<",
+	LE:     "<=",
+	GT:     ">",
+	GE:     ">=",
+	ASSIGN: ":=",
+	ARROW:  "=>",
+	AMP:    "&",
+
+	LPAREN:    "(",
+	RPAREN:    ")",
+	LBRACKET:  "[",
+	RBRACKET:  "]",
+	COMMA:     ",",
+	SEMICOLON: ";",
+	COLON:     ":",
+	DOT:       ".",
+	TICK:      "'",
+	BAR:       "|",
+
+	ABS:          "abs",
+	ACROSS:       "across",
+	ALL:          "all",
+	AND:          "and",
+	ARCHITECTURE: "architecture",
+	BEGIN:        "begin",
+	BODY:         "body",
+	CASE:         "case",
+	CONSTANT:     "constant",
+	DOWNTO:       "downto",
+	ELSE:         "else",
+	ELSIF:        "elsif",
+	END:          "end",
+	ENTITY:       "entity",
+	EXIT:         "exit",
+	FOR:          "for",
+	FUNCTION:     "function",
+	GENERIC:      "generic",
+	IF:           "if",
+	IN:           "in",
+	IS:           "is",
+	LIBRARY:      "library",
+	LIMIT:        "limit",
+	LOOP:         "loop",
+	MOD:          "mod",
+	NAND:         "nand",
+	NATURE:       "nature",
+	NOR:          "nor",
+	NOT:          "not",
+	OF:           "of",
+	OR:           "or",
+	OTHERS:       "others",
+	OUT:          "out",
+	PACKAGE:      "package",
+	PORT:         "port",
+	PROCEDURAL:   "procedural",
+	PROCEDURE:    "procedure",
+	PROCESS:      "process",
+	QUANTITY:     "quantity",
+	RANGE:        "range",
+	REM:          "rem",
+	RETURN:       "return",
+	SELECT:       "select",
+	SIGNAL:       "signal",
+	SUBTYPE:      "subtype",
+	TERMINAL:     "terminal",
+	THEN:         "then",
+	THROUGH:      "through",
+	TO:           "to",
+	TOLERANCE:    "tolerance",
+	TYPE:         "type",
+	UNTIL:        "until",
+	USE:          "use",
+	VARIABLE:     "variable",
+	WAIT:         "wait",
+	WHEN:         "when",
+	WHILE:        "while",
+	WITH:         "with",
+	XOR:          "xor",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "token(" + itoa(int(k)) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+var keywords map[string]Kind
+
+func init() {
+	keywords = make(map[string]Kind, int(keywordEnd-keywordBeg))
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		keywords[names[k]] = k
+	}
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT if the
+// spelling is not a reserved word. VHDL is case-insensitive.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[strings.ToLower(ident)]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return keywordBeg < k && k < keywordEnd }
+
+// IsLiteral reports whether k is a literal or identifier token.
+func (k Kind) IsLiteral() bool { return literalBeg < k && k < literalEnd }
+
+// IsOperator reports whether k is an operator or punctuation token.
+func (k Kind) IsOperator() bool { return operatorBeg < k && k < operatorEnd }
+
+// Precedence levels follow the VHDL expression grammar: logical operators
+// bind loosest, then relations, adding operators, multiplying operators, and
+// finally the exponentiation/unary level.
+const (
+	LowestPrec = 0
+	UnaryPrec  = 6
+)
+
+// Precedence returns the binary operator precedence of k, or LowestPrec when
+// k is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case AND, OR, NAND, NOR, XOR:
+		return 1
+	case EQ, NEQ, LT, LE, GT, GE:
+		return 2
+	case PLUS, MINUS, AMP:
+		return 3
+	case STAR, SLASH, MOD, REM:
+		return 4
+	case DSTAR:
+		return 5
+	}
+	return LowestPrec
+}

@@ -1,0 +1,71 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"entity":       ENTITY,
+		"ENTITY":       ENTITY,
+		"Procedural":   PROCEDURAL,
+		"quantity":     QUANTITY,
+		"use":          USE,
+		"downto":       DOWNTO,
+		"earph":        IDENT,
+		"not_a_kw":     IDENT,
+		"architecture": ARCHITECTURE,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestEveryKeywordRoundTrips(t *testing.T) {
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		if got := Lookup(k.String()); got != k {
+			t.Errorf("Lookup(%q) = %v, want %v", k.String(), got, k)
+		}
+		if !k.IsKeyword() {
+			t.Errorf("%v should be a keyword", k)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IDENT.IsLiteral() || !REALLIT.IsLiteral() {
+		t.Error("literal predicates")
+	}
+	if !PLUS.IsOperator() || !SEMICOLON.IsOperator() {
+		t.Error("operator predicates")
+	}
+	if ENTITY.IsLiteral() || ENTITY.IsOperator() {
+		t.Error("entity misclassified")
+	}
+	if PLUS.IsKeyword() {
+		t.Error("plus is not a keyword")
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// ** > * > + > relations > logical.
+	if !(DSTAR.Precedence() > STAR.Precedence() &&
+		STAR.Precedence() > PLUS.Precedence() &&
+		PLUS.Precedence() > LT.Precedence() &&
+		LT.Precedence() > AND.Precedence() &&
+		AND.Precedence() > LowestPrec) {
+		t.Error("precedence chain broken")
+	}
+	if SEMICOLON.Precedence() != LowestPrec {
+		t.Error("punctuation must have lowest precedence")
+	}
+}
+
+func TestStringFallback(t *testing.T) {
+	if s := Kind(9999).String(); s != "token(9999)" {
+		t.Errorf("fallback = %q", s)
+	}
+	if EOF.String() != "EOF" {
+		t.Errorf("EOF = %q", EOF.String())
+	}
+}

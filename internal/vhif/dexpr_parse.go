@@ -1,0 +1,202 @@
+package vhif
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDExpr parses the textual form produced by DExpr.String back into a
+// datapath expression tree. Binary operations are always parenthesized in
+// that form, which keeps the grammar unambiguous.
+func ParseDExpr(s string) (DExpr, error) {
+	s = strings.TrimSpace(s)
+	e, rest, err := parseDE(s)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("trailing input %q after expression", rest)
+	}
+	return e, nil
+}
+
+// dexprOps lists the binary operator spellings, longest first so "/=" and
+// "<=" win over "/" and "<".
+var dexprOps = []string{"nand", "nor", "and", "xor", "or", "/=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/"}
+
+func parseDE(s string) (DExpr, string, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, "", fmt.Errorf("empty expression")
+	case strings.HasPrefix(s, "'0'"):
+		return &DConst{Value: 0, Bit: true}, s[3:], nil
+	case strings.HasPrefix(s, "'1'"):
+		return &DConst{Value: 1, Bit: true}, s[3:], nil
+	case strings.HasPrefix(s, "not "):
+		x, rest, err := parseDE(s[4:])
+		if err != nil {
+			return nil, "", err
+		}
+		return &DUnary{Op: "not", X: x}, rest, nil
+	case strings.HasPrefix(s, "abs "):
+		x, rest, err := parseDE(s[4:])
+		if err != nil {
+			return nil, "", err
+		}
+		return &DUnary{Op: "abs", X: x}, rest, nil
+	case strings.HasPrefix(s, "-"):
+		x, rest, err := parseDE(s[1:])
+		if err != nil {
+			return nil, "", err
+		}
+		return &DUnary{Op: "-", X: x}, rest, nil
+	case s[0] == '(':
+		return parseDEBinary(s)
+	case s[0] >= '0' && s[0] <= '9':
+		return parseDENumber(s)
+	}
+	return parseDEName(s)
+}
+
+// parseDEBinary parses "(x op y)".
+func parseDEBinary(s string) (DExpr, string, error) {
+	depth := 0
+	end := -1
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				end = i
+			}
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return nil, "", fmt.Errorf("unbalanced parentheses in %q", s)
+	}
+	inner := s[1:end]
+	rest := s[end+1:]
+
+	// Find the top-level operator: " op " at depth 0, longest spelling
+	// first.
+	depth = 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ' ':
+			if depth != 0 {
+				continue
+			}
+			for _, op := range dexprOps {
+				probe := " " + op + " "
+				if strings.HasPrefix(inner[i:], probe) {
+					lhs := inner[:i]
+					rhs := inner[i+len(probe):]
+					x, lrest, err := parseDE(lhs)
+					if err != nil {
+						return nil, "", err
+					}
+					if strings.TrimSpace(lrest) != "" {
+						continue // the operator was inside the lhs; keep scanning
+					}
+					y, rrest, err := parseDE(rhs)
+					if err != nil {
+						return nil, "", err
+					}
+					if strings.TrimSpace(rrest) != "" {
+						continue
+					}
+					return &DBinary{Op: op, X: x, Y: y}, rest, nil
+				}
+			}
+		}
+	}
+	// No top-level operator: a parenthesized sub-expression.
+	x, lrest, err := parseDE(inner)
+	if err != nil {
+		return nil, "", err
+	}
+	if strings.TrimSpace(lrest) != "" {
+		return nil, "", fmt.Errorf("cannot parse %q", s)
+	}
+	return x, rest, nil
+}
+
+func parseDENumber(s string) (DExpr, string, error) {
+	i := 0
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.' || s[i] == 'e' ||
+		s[i] == 'E' || (i > 0 && (s[i] == '+' || s[i] == '-') && (s[i-1] == 'e' || s[i-1] == 'E'))) {
+		i++
+	}
+	v, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return nil, "", fmt.Errorf("bad number in %q: %v", s, err)
+	}
+	return &DConst{Value: v}, s[i:], nil
+}
+
+// parseDEName parses a name, an 'above event, an 'event, or a call.
+func parseDEName(s string) (DExpr, string, error) {
+	i := 0
+	for i < len(s) && (isWordByte(s[i]) || s[i] == '.') {
+		i++
+	}
+	if i == 0 {
+		return nil, "", fmt.Errorf("expected a name in %q", s)
+	}
+	name := s[:i]
+	rest := s[i:]
+	switch {
+	case strings.HasPrefix(rest, "'above("):
+		rest = rest[len("'above("):]
+		j := strings.IndexByte(rest, ')')
+		if j < 0 {
+			return nil, "", fmt.Errorf("unterminated 'above in %q", s)
+		}
+		th, err := strconv.ParseFloat(rest[:j], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad threshold in %q", s)
+		}
+		return &DEvent{Quantity: name, Threshold: th}, rest[j+1:], nil
+	case strings.HasPrefix(rest, "'event"):
+		return &DPortEvent{Port: name}, rest[len("'event"):], nil
+	case strings.HasPrefix(rest, "("):
+		call := &DCall{Fun: name}
+		rest = rest[1:]
+		for {
+			rest = strings.TrimSpace(rest)
+			if strings.HasPrefix(rest, ")") {
+				return call, rest[1:], nil
+			}
+			arg, r, err := parseDE(rest)
+			if err != nil {
+				return nil, "", err
+			}
+			call.Args = append(call.Args, arg)
+			rest = strings.TrimSpace(r)
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, ")") {
+				return call, rest[1:], nil
+			}
+			return nil, "", fmt.Errorf("malformed call arguments in %q", s)
+		}
+	}
+	return &DName{Name: name}, rest, nil
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,116 @@
+package vhif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump renders the module in the VHIF text format: a deterministic,
+// human-readable serialization used by the CLI tools and golden tests.
+func (m *Module) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	for _, p := range m.Ports {
+		dir := "in"
+		if p.Dir == DirOut {
+			dir = "out"
+		}
+		kind := "quantity"
+		if p.Kind == PortSignal {
+			kind = "signal"
+		}
+		var attrs []string
+		if p.Limited {
+			attrs = append(attrs, fmt.Sprintf("limited@%g", p.LimitAt))
+		}
+		if p.DrivesOhms != 0 {
+			attrs = append(attrs, fmt.Sprintf("drives=%gohm", p.DrivesOhms))
+		}
+		if p.PeakDrive != 0 {
+			attrs = append(attrs, fmt.Sprintf("peak=%gv", p.PeakDrive))
+		}
+		if !p.Voltage {
+			attrs = append(attrs, "current")
+		}
+		if p.Impedance != 0 {
+			attrs = append(attrs, fmt.Sprintf("impedance=%g", p.Impedance))
+		}
+		if p.FreqHi != 0 || p.FreqLo != 0 {
+			attrs = append(attrs, fmt.Sprintf("freq=%g:%g", p.FreqLo, p.FreqHi))
+		}
+		if p.RangeHi != 0 || p.RangeLo != 0 {
+			attrs = append(attrs, fmt.Sprintf("range=%g:%g", p.RangeLo, p.RangeHi))
+		}
+		suffix := ""
+		if len(attrs) > 0 {
+			suffix = " [" + strings.Join(attrs, " ") + "]"
+		}
+		fmt.Fprintf(&b, "  port %s %s %s%s\n", dir, kind, p.Name, suffix)
+	}
+	for _, g := range m.Graphs {
+		b.WriteString(g.dump("  "))
+	}
+	for _, f := range m.FSMs {
+		b.WriteString(f.dump("  "))
+	}
+	if len(m.Controls) > 0 {
+		var links []string
+		for _, c := range m.Controls {
+			links = append(links, fmt.Sprintf("  control %s -> %s\n", c.Signal, c.Net.Name))
+		}
+		sort.Strings(links)
+		b.WriteString(strings.Join(links, ""))
+	}
+	return b.String()
+}
+
+func (g *Graph) dump(indent string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%sgraph %s\n", indent, g.Name)
+	for _, blk := range g.Blocks {
+		var parts []string
+		for _, in := range blk.Inputs {
+			parts = append(parts, in.Name)
+		}
+		line := fmt.Sprintf("%s  %s %s", indent, blk.Kind, blk.Name)
+		if blk.Kind.HasParam() {
+			line += fmt.Sprintf(" param=%g", blk.Param)
+		}
+		if blk.Param2 != 0 {
+			line += fmt.Sprintf(" param2=%g", blk.Param2)
+		}
+		if blk.Hyst != 0 {
+			line += fmt.Sprintf(" hyst=%g", blk.Hyst)
+		}
+		if blk.FromFSM {
+			line += " fsm"
+		}
+		if len(parts) > 0 {
+			line += " in=(" + strings.Join(parts, ", ") + ")"
+		}
+		if blk.Ctrl != nil {
+			line += " ctrl=" + blk.Ctrl.Name
+		}
+		if blk.Out != nil {
+			line += " out=" + blk.Out.Name
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}
+
+func (f *FSM) dump(indent string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%sfsm %s\n", indent, f.Name)
+	for _, s := range f.States {
+		fmt.Fprintf(&b, "%s  state %s\n", indent, s.Name)
+		for _, op := range s.Ops {
+			fmt.Fprintf(&b, "%s    %s\n", indent, op)
+		}
+	}
+	for _, a := range f.Arcs {
+		fmt.Fprintf(&b, "%s  arc %s\n", indent, a)
+	}
+	return b.String()
+}

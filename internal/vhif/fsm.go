@@ -1,0 +1,408 @@
+package vhif
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Datapath expressions
+//
+// FSM states carry small data-path operations over control signals, process
+// variables and events. DExpr is a minimal expression tree for them,
+// independent of the front-end AST.
+
+// DExpr is a datapath expression.
+type DExpr interface {
+	dexpr()
+	String() string
+}
+
+// DConst is a literal: a real number or a bit.
+type DConst struct {
+	Value float64
+	Bit   bool // value interpreted as bit when true
+}
+
+// DName references a signal, process variable or quantity by canonical name.
+type DName struct {
+	Name string
+}
+
+// DEvent is a threshold event: Quantity'above(Threshold).
+type DEvent struct {
+	Quantity  string
+	Threshold float64
+}
+
+// DPortEvent is an event on an external signal port.
+type DPortEvent struct {
+	Port string
+}
+
+// DUnary is a prefix operation: "-", "not", "abs".
+type DUnary struct {
+	Op string
+	X  DExpr
+}
+
+// DBinary is an infix operation with VASS operator spelling ("+", "and",
+// "=", "<", ...).
+type DBinary struct {
+	Op   string
+	X, Y DExpr
+}
+
+// DCall is a builtin function application in a datapath.
+type DCall struct {
+	Fun  string
+	Args []DExpr
+}
+
+func (*DConst) dexpr()     {}
+func (*DName) dexpr()      {}
+func (*DEvent) dexpr()     {}
+func (*DPortEvent) dexpr() {}
+func (*DUnary) dexpr()     {}
+func (*DBinary) dexpr()    {}
+func (*DCall) dexpr()      {}
+
+// String renders the datapath expression in VASS-like syntax.
+func (e *DConst) String() string {
+	if e.Bit {
+		if e.Value != 0 {
+			return "'1'"
+		}
+		return "'0'"
+	}
+	return fmt.Sprintf("%g", e.Value)
+}
+
+func (e *DName) String() string { return e.Name }
+
+func (e *DEvent) String() string {
+	return fmt.Sprintf("%s'above(%g)", e.Quantity, e.Threshold)
+}
+
+func (e *DPortEvent) String() string { return e.Port + "'event" }
+
+func (e *DUnary) String() string {
+	if e.Op == "not" || e.Op == "abs" {
+		return e.Op + " " + e.X.String()
+	}
+	return e.Op + e.X.String()
+}
+
+func (e *DBinary) String() string {
+	return "(" + e.X.String() + " " + e.Op + " " + e.Y.String() + ")"
+}
+
+func (e *DCall) String() string {
+	var args []string
+	for _, a := range e.Args {
+		args = append(args, a.String())
+	}
+	return e.Fun + "(" + strings.Join(args, ", ") + ")"
+}
+
+// WalkDExpr traverses e depth-first.
+func WalkDExpr(e DExpr, f func(DExpr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch e := e.(type) {
+	case *DUnary:
+		WalkDExpr(e.X, f)
+	case *DBinary:
+		WalkDExpr(e.X, f)
+		WalkDExpr(e.Y, f)
+	case *DCall:
+		for _, a := range e.Args {
+			WalkDExpr(a, f)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FSM
+
+// DataOp is one operation executed in a state: target := expr (variables)
+// or target <= expr (signals).
+type DataOp struct {
+	Target   string
+	SignalOp bool
+	Expr     DExpr
+}
+
+// String renders the operation.
+func (op *DataOp) String() string {
+	arrow := ":="
+	if op.SignalOp {
+		arrow = "<="
+	}
+	return fmt.Sprintf("%s %s %s", op.Target, arrow, op.Expr)
+}
+
+// State is one FSM state holding a set of concurrent operations.
+type State struct {
+	ID   int
+	Name string
+	Ops  []*DataOp
+}
+
+// Arc is a guarded transition between states. Cond nil means an
+// unconditional transition taken when the state's operations complete.
+type Arc struct {
+	From, To *State
+	Cond     DExpr
+}
+
+// String renders the arc.
+func (a *Arc) String() string {
+	if a.Cond == nil {
+		return fmt.Sprintf("%s -> %s", a.From.Name, a.To.Name)
+	}
+	return fmt.Sprintf("%s -> %s when %s", a.From.Name, a.To.Name, a.Cond)
+}
+
+// FSM is the event-driven part of a VHIF module: a start (suspended) state,
+// a set of operation states, and guarded arcs. Resuming on an event is the
+// arc from the start state guarded by the OR of sensitivity events.
+type FSM struct {
+	Name   string
+	States []*State
+	Arcs   []*Arc
+	Start  *State
+}
+
+// NewFSM returns an FSM with a start state representing process suspension.
+func NewFSM(name string) *FSM {
+	f := &FSM{Name: name}
+	f.Start = f.NewState("start")
+	return f
+}
+
+// NewState appends a state.
+func (f *FSM) NewState(name string) *State {
+	s := &State{ID: len(f.States), Name: name}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("state%d", s.ID)
+	}
+	f.States = append(f.States, s)
+	return s
+}
+
+// AddArc appends a guarded transition.
+func (f *FSM) AddArc(from, to *State, cond DExpr) *Arc {
+	a := &Arc{From: from, To: to, Cond: cond}
+	f.Arcs = append(f.Arcs, a)
+	return a
+}
+
+// ArcsFrom returns the arcs leaving s in insertion order.
+func (f *FSM) ArcsFrom(s *State) []*Arc {
+	var out []*Arc
+	for _, a := range f.Arcs {
+		if a.From == s {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// DatapathCount is the paper's "data-path" metric: the number of distinct
+// operation elements (comparisons, arithmetic operators, function elements)
+// used by the FSM's states and guards. Pure moves (target <= constant or
+// name) contribute nothing.
+func (f *FSM) DatapathCount() int {
+	seen := map[string]bool{}
+	count := func(e DExpr) {
+		WalkDExpr(e, func(x DExpr) {
+			switch x := x.(type) {
+			case *DBinary:
+				seen["bin:"+x.Op+":"+x.X.String()+":"+x.Y.String()] = true
+			case *DUnary:
+				if x.Op != "-" {
+					seen["un:"+x.Op+":"+x.X.String()] = true
+				}
+			case *DCall:
+				seen["call:"+x.String()] = true
+			case *DEvent:
+				seen["event:"+x.String()] = true
+			}
+		})
+	}
+	for _, s := range f.States {
+		for _, op := range s.Ops {
+			count(op.Expr)
+		}
+	}
+	for _, a := range f.Arcs {
+		if a.From != f.Start { // the resume guard re-uses the state ops' events
+			count(a.Cond)
+		}
+	}
+	return len(seen)
+}
+
+// Validate checks FSM invariants: the start state exists, arcs connect
+// states of this FSM, and every non-start state is reachable from start.
+func (f *FSM) Validate() error {
+	if f.Start == nil {
+		return fmt.Errorf("vhif: fsm %q has no start state", f.Name)
+	}
+	index := map[*State]bool{}
+	for _, s := range f.States {
+		index[s] = true
+	}
+	adj := map[*State][]*State{}
+	for _, a := range f.Arcs {
+		if !index[a.From] || !index[a.To] {
+			return fmt.Errorf("vhif: fsm %q arc %s references a foreign state", f.Name, a)
+		}
+		adj[a.From] = append(adj[a.From], a.To)
+	}
+	reach := map[*State]bool{f.Start: true}
+	queue := []*State{f.Start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range adj[s] {
+			if !reach[t] {
+				reach[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	for _, s := range f.States {
+		if !reach[s] {
+			return fmt.Errorf("vhif: fsm %q state %q is unreachable from start", f.Name, s.Name)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Module
+
+// PortDir is the direction of a module port.
+type PortDir int
+
+// Port directions.
+const (
+	DirIn PortDir = iota
+	DirOut
+)
+
+// PortKind distinguishes analog quantity ports from event signal ports.
+type PortKind int
+
+// Port kinds.
+const (
+	PortQuantity PortKind = iota
+	PortSignal
+)
+
+// Port is an external connection of a VHIF module, with the synthesis
+// attributes carried over from the VASS annotations.
+type Port struct {
+	Name    string
+	Dir     PortDir
+	Kind    PortKind
+	Voltage bool // facet: voltage (true) or current (false)
+	// Output stage requirements from annotations.
+	Limited    bool
+	LimitAt    float64
+	DrivesOhms float64
+	PeakDrive  float64
+	Impedance  float64
+	// Signal-property annotations ("is frequency lo to hi",
+	// "is range lo to hi"), used to derive the system specification.
+	FreqLo, FreqHi   float64
+	RangeLo, RangeHi float64
+}
+
+// ControlLink connects an FSM-computed signal to the control inputs it
+// drives in the signal-flow graphs.
+type ControlLink struct {
+	Signal string // canonical signal name
+	Net    *Net   // control net in a graph
+}
+
+// Module is a complete VHIF design: signal-flow graphs for the
+// continuous-time part, FSMs for the event-driven part, and the control
+// links between them.
+type Module struct {
+	Name     string
+	Ports    []*Port
+	Graphs   []*Graph
+	FSMs     []*FSM
+	Controls []*ControlLink
+}
+
+// Port returns the named port or nil.
+func (m *Module) Port(name string) *Port {
+	for _, p := range m.Ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// BlockCount is the Table 1 "nr. blocks" metric over all graphs.
+func (m *Module) BlockCount() int {
+	n := 0
+	for _, g := range m.Graphs {
+		n += g.OpBlockCount()
+	}
+	return n
+}
+
+// StateCount is the Table 1 "nr. states" metric over all FSMs.
+func (m *Module) StateCount() int {
+	n := 0
+	for _, f := range m.FSMs {
+		n += len(f.States)
+	}
+	return n
+}
+
+// DatapathCount is the Table 1 "data-path" metric: the number of datapath
+// elements materialized from the event-driven part — the comparator and
+// Schmitt-trigger blocks the FSM's operations reduce to.
+func (m *Module) DatapathCount() int {
+	n := 0
+	for _, g := range m.Graphs {
+		for _, b := range g.Blocks {
+			if b.FromFSM && b.Kind != BNot {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks the whole module.
+func (m *Module) Validate() error {
+	for _, g := range m.Graphs {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("module %q: %w", m.Name, err)
+		}
+	}
+	for _, f := range m.FSMs {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("module %q: %w", m.Name, err)
+		}
+	}
+	for _, c := range m.Controls {
+		if c.Net == nil {
+			return fmt.Errorf("module %q: control link for signal %q has no net", m.Name, c.Signal)
+		}
+		if !c.Net.Control {
+			return fmt.Errorf("module %q: control link for signal %q drives a non-control net", m.Name, c.Signal)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+package vhif
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the VHIF text format produced by Module.Dump, reconstructing
+// the module. Dump and Parse round-trip: Parse(m.Dump()).Dump() == m.Dump().
+func Parse(text string) (*Module, error) {
+	p := &vhifParser{lines: strings.Split(text, "\n")}
+	m, err := p.module()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type vhifParser struct {
+	lines []string
+	pos   int
+}
+
+func (p *vhifParser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		p.pos++
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+func (p *vhifParser) peek() (string, bool) {
+	save := p.pos
+	line, ok := p.next()
+	p.pos = save
+	return line, ok
+}
+
+func (p *vhifParser) errf(format string, args ...any) error {
+	return fmt.Errorf("vhif: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *vhifParser) module() (*Module, error) {
+	line, ok := p.next()
+	if !ok || !strings.HasPrefix(line, "module ") {
+		return nil, p.errf("expected 'module NAME', got %q", line)
+	}
+	m := &Module{Name: strings.TrimSpace(strings.TrimPrefix(line, "module "))}
+	// nets maps qualified names to nets across graphs; control links refer
+	// to them.
+	nets := map[string]*Net{}
+	for {
+		line, ok := p.peek()
+		if !ok {
+			return m, nil
+		}
+		switch {
+		case strings.HasPrefix(line, "port "):
+			p.next()
+			port, err := p.port(line)
+			if err != nil {
+				return nil, err
+			}
+			m.Ports = append(m.Ports, port)
+		case strings.HasPrefix(line, "graph "):
+			p.next()
+			g, err := p.graph(line, nets)
+			if err != nil {
+				return nil, err
+			}
+			m.Graphs = append(m.Graphs, g)
+		case strings.HasPrefix(line, "fsm "):
+			p.next()
+			f, err := p.fsm(line)
+			if err != nil {
+				return nil, err
+			}
+			m.FSMs = append(m.FSMs, f)
+		case strings.HasPrefix(line, "control "):
+			p.next()
+			rest := strings.TrimPrefix(line, "control ")
+			parts := strings.Split(rest, " -> ")
+			if len(parts) != 2 {
+				return nil, p.errf("malformed control link %q", line)
+			}
+			sig := strings.TrimSpace(parts[0])
+			netName := strings.TrimSpace(parts[1])
+			net, ok := nets[netName]
+			if !ok {
+				return nil, p.errf("control link to unknown net %q", netName)
+			}
+			net.Control = true
+			m.Controls = append(m.Controls, &ControlLink{Signal: sig, Net: net})
+		default:
+			return nil, p.errf("unexpected line %q", line)
+		}
+	}
+}
+
+func (p *vhifParser) port(line string) (*Port, error) {
+	// port (in|out) (quantity|signal) NAME [attrs]
+	rest := strings.TrimPrefix(line, "port ")
+	attrs := ""
+	if i := strings.Index(rest, "["); i >= 0 {
+		attrs = strings.TrimSuffix(strings.TrimSpace(rest[i+1:]), "]")
+		rest = strings.TrimSpace(rest[:i])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 3 {
+		return nil, p.errf("malformed port line %q", line)
+	}
+	port := &Port{Name: fields[2], Voltage: true}
+	switch fields[0] {
+	case "in":
+	case "out":
+		port.Dir = DirOut
+	default:
+		return nil, p.errf("port direction must be in or out, got %q", fields[0])
+	}
+	switch fields[1] {
+	case "quantity":
+	case "signal":
+		port.Kind = PortSignal
+	default:
+		return nil, p.errf("port kind must be quantity or signal, got %q", fields[1])
+	}
+	for _, a := range strings.Fields(attrs) {
+		key, val, hasVal := strings.Cut(a, "=")
+		switch {
+		case strings.HasPrefix(a, "limited@"):
+			port.Limited = true
+			port.LimitAt = parseF(strings.TrimPrefix(a, "limited@"))
+		case a == "current":
+			port.Voltage = false
+		case key == "drives" && hasVal:
+			port.DrivesOhms = parseF(strings.TrimSuffix(val, "ohm"))
+		case key == "peak" && hasVal:
+			port.PeakDrive = parseF(strings.TrimSuffix(val, "v"))
+		case key == "impedance" && hasVal:
+			port.Impedance = parseF(val)
+		case key == "freq" && hasVal:
+			port.FreqLo, port.FreqHi = parsePair(val)
+		case key == "range" && hasVal:
+			port.RangeLo, port.RangeHi = parsePair(val)
+		default:
+			return nil, p.errf("unknown port attribute %q", a)
+		}
+	}
+	return port, nil
+}
+
+func parseF(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func parsePair(s string) (float64, float64) {
+	lo, hi, _ := strings.Cut(s, ":")
+	return parseF(lo), parseF(hi)
+}
+
+var kindByName = func() map[string]BlockKind {
+	m := map[string]BlockKind{}
+	for k := BlockKind(0); k < numBlockKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+func (p *vhifParser) graph(line string, nets map[string]*Net) (*Graph, error) {
+	g := NewGraph(strings.TrimSpace(strings.TrimPrefix(line, "graph ")))
+	netFor := func(name string, control bool) *Net {
+		if n, ok := nets[name]; ok {
+			return n
+		}
+		n := g.NewNet(name)
+		n.Control = control
+		nets[name] = n
+		return n
+	}
+	for {
+		line, ok := p.peek()
+		if !ok {
+			return g, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return g, nil
+		}
+		kind, isBlock := kindByName[fields[0]]
+		if !isBlock {
+			return g, nil
+		}
+		p.next()
+		b := &Block{ID: len(g.Blocks), Kind: kind, Name: fields[1]}
+		for _, f := range fields[2:] {
+			if !strings.Contains(f, "=") {
+				if f == "fsm" {
+					b.FromFSM = true
+				}
+				// Otherwise a continuation token of the input list, which
+				// is re-extracted from the raw line below.
+				continue
+			}
+			key, val, _ := strings.Cut(f, "=")
+			switch key {
+			case "param":
+				b.Param = parseF(val)
+			case "param2":
+				b.Param2 = parseF(val)
+			case "hyst":
+				b.Hyst = parseF(val)
+			case "in", "ctrl", "out":
+				// Structured connections are re-extracted from the raw
+				// line (input lists contain ", " which Fields splits).
+			default:
+				return nil, p.errf("unknown block field %q", f)
+			}
+		}
+		// Re-extract structured fields from the raw line (input lists
+		// contain ", " which confuses Fields).
+		if ins, ok := extractParen(line, "in="); ok {
+			for _, name := range splitList(ins) {
+				n := netFor(name, false)
+				b.Inputs = append(b.Inputs, n)
+				n.Readers = append(n.Readers, b)
+			}
+		}
+		if ctrl, ok := extractField(line, "ctrl="); ok {
+			n := netFor(ctrl, true)
+			n.Control = true // the net may pre-date this reference
+			b.Ctrl = n
+			n.Readers = append(n.Readers, b)
+		}
+		if out, ok := extractField(line, "out="); ok {
+			n := netFor(out, kind.ProducesControl())
+			n.Driver = b
+			n.Control = n.Control || kind.ProducesControl()
+			b.Out = n
+		}
+		g.Blocks = append(g.Blocks, b)
+	}
+}
+
+// extractParen returns the parenthesized list following the key.
+func extractParen(line, key string) (string, bool) {
+	i := strings.Index(line, key+"(")
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(key)+1:]
+	j := strings.Index(rest, ")")
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// extractField returns the whitespace-terminated value following the key.
+func extractField(line, key string) (string, bool) {
+	i := strings.Index(line, key)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(key):]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest), rest != ""
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func (p *vhifParser) fsm(line string) (*FSM, error) {
+	name := strings.TrimSpace(strings.TrimPrefix(line, "fsm "))
+	f := &FSM{Name: name}
+	states := map[string]*State{}
+	stateFor := func(n string) *State {
+		if s, ok := states[n]; ok {
+			return s
+		}
+		s := &State{ID: len(f.States), Name: n}
+		f.States = append(f.States, s)
+		states[n] = s
+		return s
+	}
+	finish := func() (*FSM, error) {
+		start, ok := states["start"]
+		if !ok {
+			return nil, p.errf("fsm %q has no start state", name)
+		}
+		f.Start = start
+		return f, nil
+	}
+	var cur *State
+	for {
+		line, ok := p.peek()
+		if !ok {
+			return finish()
+		}
+		switch {
+		case strings.HasPrefix(line, "state "):
+			p.next()
+			cur = stateFor(strings.TrimSpace(strings.TrimPrefix(line, "state ")))
+		case strings.HasPrefix(line, "arc "):
+			p.next()
+			rest := strings.TrimPrefix(line, "arc ")
+			cond := ""
+			if i := strings.Index(rest, " when "); i >= 0 {
+				cond = rest[i+6:]
+				rest = rest[:i]
+			}
+			from, to, ok := strings.Cut(rest, " -> ")
+			if !ok {
+				return nil, p.errf("malformed arc %q", line)
+			}
+			arc := &Arc{From: stateFor(strings.TrimSpace(from)), To: stateFor(strings.TrimSpace(to))}
+			if cond != "" {
+				e, err := ParseDExpr(cond)
+				if err != nil {
+					return nil, p.errf("arc guard: %v", err)
+				}
+				arc.Cond = e
+			}
+			f.Arcs = append(f.Arcs, arc)
+		case strings.Contains(line, " := ") || strings.Contains(line, " <= "):
+			if cur == nil {
+				return nil, p.errf("operation outside a state: %q", line)
+			}
+			p.next()
+			op, err := parseDataOp(line)
+			if err != nil {
+				return nil, p.errf("operation: %v", err)
+			}
+			cur.Ops = append(cur.Ops, op)
+		default:
+			return finish()
+		}
+	}
+}
+
+func parseDataOp(line string) (*DataOp, error) {
+	op := &DataOp{}
+	var lhs, rhs string
+	if l, r, ok := strings.Cut(line, " <= "); ok {
+		op.SignalOp = true
+		lhs, rhs = l, r
+	} else if l, r, ok := strings.Cut(line, " := "); ok {
+		lhs, rhs = l, r
+	} else {
+		return nil, fmt.Errorf("no assignment in %q", line)
+	}
+	op.Target = strings.TrimSpace(lhs)
+	e, err := ParseDExpr(strings.TrimSpace(rhs))
+	if err != nil {
+		return nil, err
+	}
+	op.Expr = e
+	return op, nil
+}

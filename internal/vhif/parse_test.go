@@ -1,0 +1,187 @@
+package vhif
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip asserts Parse(Dump(m)).Dump() == Dump(m).
+func roundTrip(t *testing.T, m *Module) {
+	t.Helper()
+	d1 := m.Dump()
+	m2, err := Parse(d1)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, d1)
+	}
+	d2 := m2.Dump()
+	if d1 != d2 {
+		t.Fatalf("round trip differs:\n--- original ---\n%s\n--- reparsed ---\n%s", d1, d2)
+	}
+}
+
+func TestParseRoundTripReceiverLike(t *testing.T) {
+	g := buildReceiverGraph(t)
+	f := NewFSM("ctl")
+	s1 := f.NewState("state1")
+	s1.Ops = append(s1.Ops, &DataOp{Target: "c1", SignalOp: true, Expr: &DConst{Value: 1, Bit: true}})
+	f.AddArc(f.Start, s1, &DEvent{Quantity: "line", Threshold: 0.1})
+	f.AddArc(s1, f.Start, nil)
+	m := &Module{
+		Name: "telephone",
+		Ports: []*Port{
+			{Name: "line", Voltage: true},
+			{Name: "earph", Dir: DirOut, Voltage: true, Limited: true, LimitAt: 1.5, DrivesOhms: 270, PeakDrive: 0.285},
+		},
+		Graphs: []*Graph{g},
+		FSMs:   []*FSM{f},
+	}
+	roundTrip(t, m)
+}
+
+func TestParseRoundTripPortAttributes(t *testing.T) {
+	g := NewGraph("main")
+	in := g.AddBlock(BInput, "a")
+	g.AddBlock(BOutput, "y", in.Out)
+	m := &Module{
+		Name: "attrs",
+		Ports: []*Port{
+			{Name: "a", Voltage: false, Impedance: 1e6, FreqLo: 100, FreqHi: 5000, RangeLo: -2, RangeHi: 2},
+			{Name: "s", Kind: PortSignal, Dir: DirOut, Voltage: true},
+		},
+		Graphs: []*Graph{g},
+	}
+	roundTrip(t, m)
+	m2, err := Parse(m.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m2.Port("a")
+	if p.Voltage || p.Impedance != 1e6 || p.FreqLo != 100 || p.FreqHi != 5000 || p.RangeLo != -2 {
+		t.Errorf("attributes lost: %+v", p)
+	}
+}
+
+func TestParseRoundTripFilterParams(t *testing.T) {
+	g := NewGraph("main")
+	in := g.AddBlock(BInput, "a")
+	f := g.AddBlock(BFilter, "bpf", in.Out)
+	f.Param = 2000
+	f.Param2 = 500
+	g.AddBlock(BOutput, "y", f.Out)
+	m := &Module{Name: "filt", Graphs: []*Graph{g}}
+	roundTrip(t, m)
+	m2, _ := Parse(m.Dump())
+	b := m2.Graphs[0].BlockByName("bpf")
+	if b.Param != 2000 || b.Param2 != 500 {
+		t.Errorf("filter params lost: %g/%g", b.Param, b.Param2)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"graph main",
+		"module x\n  bogus line here",
+		"module x\n  port sideways quantity a",
+		"module x\n  control a -> nosuchnet",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDExprForms(t *testing.T) {
+	cases := []string{
+		"'1'",
+		"'0'",
+		"2.5",
+		"c1",
+		"line'above(0.1)",
+		"clk'event",
+		"not c1",
+		"-x",
+		"abs v",
+		"(a + b)",
+		"(a or line'above(0.1))",
+		"((a + b) * (c - d))",
+		"exp(x)",
+		"min(a, b)",
+		"(not a or b)",
+		"(x /= y)",
+		"(x <= y)",
+	}
+	for _, src := range cases {
+		e, err := ParseDExpr(src)
+		if err != nil {
+			t.Errorf("ParseDExpr(%q): %v", src, err)
+			continue
+		}
+		if got := e.String(); got != src {
+			t.Errorf("round trip: %q -> %q", src, got)
+		}
+	}
+}
+
+func TestParseDExprRejects(t *testing.T) {
+	for _, bad := range []string{"", "(a +", "q'above(x)", "1.2.3", "(a ? b)"} {
+		if _, err := ParseDExpr(bad); err == nil {
+			t.Errorf("ParseDExpr(%q) should fail", bad)
+		}
+	}
+}
+
+// randDExpr builds a random datapath expression tree.
+func randDExpr(rng *rand.Rand, depth int) DExpr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return &DConst{Value: 1, Bit: true}
+		case 1:
+			return &DConst{Value: 0, Bit: true}
+		case 2:
+			return &DConst{Value: float64(rng.Intn(100)) / 4}
+		case 3:
+			return &DName{Name: names[rng.Intn(len(names))]}
+		default:
+			return &DEvent{Quantity: names[rng.Intn(len(names))], Threshold: float64(rng.Intn(40))/8 - 2}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &DUnary{Op: "not", X: randDExpr(rng, depth-1)}
+	case 1:
+		ops := []string{"+", "-", "*", "and", "or", "=", "/=", "<", "<=", ">", ">="}
+		return &DBinary{Op: ops[rng.Intn(len(ops))], X: randDExpr(rng, depth-1), Y: randDExpr(rng, depth-1)}
+	case 2:
+		return &DCall{Fun: "min", Args: []DExpr{randDExpr(rng, depth-1), randDExpr(rng, depth-1)}}
+	default:
+		return &DPortEvent{Port: names[rng.Intn(len(names))]}
+	}
+}
+
+var names = []string{"a", "b2", "line", "c_1"}
+
+// TestDExprRoundTripProperty: for random trees, String then ParseDExpr then
+// String is the identity.
+func TestDExprRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randDExpr(rng, 4)
+		text := e.String()
+		parsed, err := ParseDExpr(text)
+		if err != nil {
+			t.Logf("seed %d: parse %q: %v", seed, text, err)
+			return false
+		}
+		if parsed.String() != text {
+			t.Logf("seed %d: %q -> %q", seed, text, parsed.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

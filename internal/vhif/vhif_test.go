@@ -1,0 +1,301 @@
+package vhif
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildReceiverGraph constructs the receiver's signal-flow graph from the
+// paper's Figure 7a: two weighted inputs summed, multiplied by a switched
+// gain, and buffered through an output stage.
+func buildReceiverGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph("main")
+	line := g.AddBlock(BInput, "line")
+	local := g.AddBlock(BInput, "local")
+	g1 := g.AddBlock(BGain, "g_aline", line.Out)
+	g1.Param = 4.0
+	g2 := g.AddBlock(BGain, "g_alocal", local.Out)
+	g2.Param = 2.0
+	sum := g.AddBlock(BAdd, "sum", g1.Out, g2.Out)
+	r1 := g.AddBlock(BConst, "r1c")
+	r1.Param = 0.5
+	r2 := g.AddBlock(BConst, "r1r2c")
+	r2.Param = 0.75
+	cmp := g.AddBlock(BComparator, "zcd", line.Out)
+	cmp.Param = 0.1
+	mux := g.AddBlock(BMux, "rvar", r1.Out, r2.Out)
+	mux.SetCtrl(g, cmp.Out)
+	mul := g.AddBlock(BMul, "mul", sum.Out, mux.Out)
+	buf := g.AddBlock(BBuffer, "outstage", mul.Out)
+	g.AddBlock(BOutput, "earph", buf.Out)
+	return g
+}
+
+func TestGraphValidateReceiver(t *testing.T) {
+	g := buildReceiverGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestOpBlockCount(t *testing.T) {
+	g := buildReceiverGraph(t)
+	// gain, gain, add, cmp, mux, mul = 6 operation blocks; inputs, outputs,
+	// constants and the annotation-inferred output buffer are excluded.
+	// This matches the receiver row of the paper's Table 1.
+	if n := g.OpBlockCount(); n != 6 {
+		t.Errorf("OpBlockCount = %d, want 6", n)
+	}
+}
+
+func TestArityValidation(t *testing.T) {
+	g := NewGraph("bad")
+	in := g.AddBlock(BInput, "x")
+	// Sub requires two inputs.
+	g.AddBlock(BSub, "s", in.Out)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "requires 2 inputs") {
+		t.Fatalf("expected arity error, got %v", err)
+	}
+}
+
+func TestMissingControlRejected(t *testing.T) {
+	g := NewGraph("bad")
+	a := g.AddBlock(BInput, "a")
+	b := g.AddBlock(BInput, "b")
+	g.AddBlock(BMux, "m", a.Out, b.Out) // no control connected
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "control") {
+		t.Fatalf("expected control error, got %v", err)
+	}
+}
+
+func TestControlNetTyping(t *testing.T) {
+	g := NewGraph("bad")
+	a := g.AddBlock(BInput, "a")
+	b := g.AddBlock(BInput, "b")
+	m := g.AddBlock(BMux, "m", a.Out, b.Out)
+	m.SetCtrl(g, a.Out) // analog net used as control
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "not a control net") {
+		t.Fatalf("expected control typing error, got %v", err)
+	}
+}
+
+func TestAlgebraicLoopRejected(t *testing.T) {
+	g := NewGraph("loop")
+	in := g.AddBlock(BInput, "x")
+	add := g.AddBlock(BAdd, "a", in.Out, in.Out)
+	gain := g.AddBlock(BGain, "g", add.Out)
+	gain.Param = 0.5
+	// Close a combinational cycle add -> gain -> add.
+	add.Inputs[1] = gain.Out
+	gain.Out.Readers = append(gain.Out.Readers, add)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "algebraic loop") {
+		t.Fatalf("expected loop error, got %v", err)
+	}
+}
+
+func TestIntegratorLoopAllowed(t *testing.T) {
+	// x' = -x: gain feeds integrator feeds gain; legal because the
+	// integrator is a state element.
+	g := NewGraph("ode")
+	neg := &Block{}
+	_ = neg
+	integ := g.AddBlock(BIntegrator, "x", nil)
+	gain := g.AddBlock(BGain, "fb", integ.Out)
+	gain.Param = -1
+	integ.Inputs[0] = gain.Out
+	gain.Out.Readers = append(gain.Out.Readers, integ)
+	g.AddBlock(BOutput, "out", integ.Out)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("integrator loop should be legal: %v", err)
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := buildReceiverGraph(t)
+	order := g.Topological()
+	pos := map[*Block]int{}
+	for i, b := range order {
+		pos[b] = i
+	}
+	if len(order) != len(g.Blocks) {
+		t.Fatalf("order has %d blocks, want %d", len(order), len(g.Blocks))
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == BIntegrator || b.Kind == BSampleHold {
+			continue
+		}
+		for _, in := range b.Inputs {
+			if in != nil && in.Driver != nil && pos[in.Driver] > pos[b] {
+				t.Errorf("block %q appears before its driver %q", b.Name, in.Driver.Name)
+			}
+		}
+	}
+}
+
+func TestFSMValidate(t *testing.T) {
+	f := NewFSM("ctl")
+	s1 := f.NewState("state1")
+	s2 := f.NewState("state2")
+	f.AddArc(f.Start, s1, &DEvent{Quantity: "line", Threshold: 0.1})
+	f.AddArc(s1, s2, nil)
+	f.AddArc(s2, f.Start, nil)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestFSMUnreachableState(t *testing.T) {
+	f := NewFSM("ctl")
+	f.NewState("orphan")
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("expected unreachable error, got %v", err)
+	}
+}
+
+func TestDatapathCount(t *testing.T) {
+	f := NewFSM("ctl")
+	s1 := f.NewState("state1")
+	s1.Ops = append(s1.Ops, &DataOp{
+		Target: "c1", SignalOp: true,
+		Expr: &DConst{Value: 1, Bit: true},
+	})
+	s2 := f.NewState("state2")
+	s2.Ops = append(s2.Ops, &DataOp{
+		Target: "c1", SignalOp: true,
+		Expr: &DConst{Value: 0, Bit: true},
+	})
+	ev := &DEvent{Quantity: "line", Threshold: 0.1}
+	f.AddArc(f.Start, s1, ev)
+	f.AddArc(s1, s2, &DBinary{Op: "=", X: ev, Y: &DConst{Value: 1}})
+	f.AddArc(s1, f.Start, nil)
+	f.AddArc(s2, f.Start, nil)
+	// Pure constant moves contribute nothing; the comparison guard with its
+	// event contributes.
+	if n := f.DatapathCount(); n != 2 {
+		t.Errorf("DatapathCount = %d, want 2 (event + comparison)", n)
+	}
+}
+
+func TestModuleMetrics(t *testing.T) {
+	g := buildReceiverGraph(t)
+	f := NewFSM("ctl")
+	s1 := f.NewState("state1")
+	f.AddArc(f.Start, s1, &DEvent{Quantity: "line", Threshold: 0.1})
+	f.AddArc(s1, f.Start, nil)
+	m := &Module{Name: "telephone", Graphs: []*Graph{g}, FSMs: []*FSM{f}}
+	if m.BlockCount() != 6 {
+		t.Errorf("BlockCount = %d, want 6", m.BlockCount())
+	}
+	if m.StateCount() != 2 {
+		t.Errorf("StateCount = %d, want 2", m.StateCount())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("module validate: %v", err)
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	g := buildReceiverGraph(t)
+	m := &Module{Name: "telephone", Graphs: []*Graph{g}}
+	d1, d2 := m.Dump(), m.Dump()
+	if d1 != d2 {
+		t.Error("dump is not deterministic")
+	}
+	for _, want := range []string{"module telephone", "graph main", "mux rvar", "gain g_aline param=4"} {
+		if !strings.Contains(d1, want) {
+			t.Errorf("dump missing %q:\n%s", want, d1)
+		}
+	}
+}
+
+func TestDExprStrings(t *testing.T) {
+	cases := []struct {
+		e    DExpr
+		want string
+	}{
+		{&DConst{Value: 1, Bit: true}, "'1'"},
+		{&DConst{Value: 2.5}, "2.5"},
+		{&DName{Name: "c1"}, "c1"},
+		{&DEvent{Quantity: "line", Threshold: 0.1}, "line'above(0.1)"},
+		{&DPortEvent{Port: "clk"}, "clk'event"},
+		{&DUnary{Op: "not", X: &DName{Name: "c1"}}, "not c1"},
+		{&DUnary{Op: "-", X: &DName{Name: "x"}}, "-x"},
+		{&DBinary{Op: "+", X: &DName{Name: "a"}, Y: &DName{Name: "b"}}, "(a + b)"},
+		{&DCall{Fun: "exp", Args: []DExpr{&DName{Name: "x"}}}, "exp(x)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// randomDAG builds a random valid feed-forward graph for property testing.
+func randomDAG(rng *rand.Rand) *Graph {
+	g := NewGraph("rand")
+	nIn := 1 + rng.Intn(4)
+	var nets []*Net
+	for i := 0; i < nIn; i++ {
+		nets = append(nets, g.AddBlock(BInput, "").Out)
+	}
+	nOps := rng.Intn(20)
+	kinds := []BlockKind{BGain, BAdd, BSub, BMul, BNeg, BLog, BExp, BAbs, BIntegrator}
+	for i := 0; i < nOps; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		pick := func() *Net { return nets[rng.Intn(len(nets))] }
+		var b *Block
+		switch k.arity() {
+		case 1:
+			b = g.AddBlock(k, "", pick())
+		case 2:
+			b = g.AddBlock(k, "", pick(), pick())
+		default:
+			b = g.AddBlock(k, "", pick(), pick())
+		}
+		b.Param = rng.Float64()*4 - 2
+		nets = append(nets, b.Out)
+	}
+	g.AddBlock(BOutput, "y", nets[len(nets)-1])
+	return g
+}
+
+func TestRandomDAGsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(rand.New(rand.NewSource(seed)))
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDAGsTopologicalComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(rand.New(rand.NewSource(seed)))
+		order := g.Topological()
+		if len(order) != len(g.Blocks) {
+			return false
+		}
+		pos := map[*Block]int{}
+		for i, b := range order {
+			pos[b] = i
+		}
+		for _, b := range g.Blocks {
+			if isStateElement(b) {
+				continue
+			}
+			for _, in := range b.Inputs {
+				if in != nil && in.Driver != nil && pos[in.Driver] > pos[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package vase is a behavioral synthesis environment for analog systems:
+// an open reimplementation of the VASE flow from "A VHDL-AMS Compiler and
+// Architecture Generator for Behavioral Synthesis of Analog Systems"
+// (Doboli & Vemuri, DATE 1999).
+//
+// The flow has two technology-separated steps:
+//
+//  1. Compile: a VASS specification (the VHDL-AMS subset for synthesis) is
+//     parsed, checked, and translated into VHIF — interconnected
+//     signal-flow graphs for the continuous-time behavior and finite state
+//     machines for the event-driven behavior.
+//  2. Synthesize: a branch-and-bound architecture generator maps the VHIF
+//     representation onto a minimum-area netlist of op-amp-level library
+//     components, guided by an analog performance estimator.
+//
+// Synthesized designs can be verified by behavioral transient simulation
+// (Simulate/SimulateNetlist) and by circuit-level simulation of op-amp
+// macromodel expansions (Spice), reproducing the paper's receiver
+// experiment end to end.
+//
+// A minimal session:
+//
+//	design, err := vase.Compile(vase.Source{Name: "amp.vhd", Text: src})
+//	...
+//	arch, err := design.Synthesize()
+//	fmt.Println(arch.Netlist.Summary(), arch.Report.AreaUm2)
+package vase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vase/internal/ast"
+	"vase/internal/compile"
+	"vase/internal/corpus"
+	"vase/internal/estimate"
+	"vase/internal/mapper"
+	"vase/internal/mna"
+	"vase/internal/netlist"
+	"vase/internal/parser"
+	"vase/internal/patterns"
+	"vase/internal/sema"
+	"vase/internal/sim"
+	"vase/internal/source"
+	"vase/internal/vhif"
+)
+
+// Source is a named VASS source text.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Design is a compiled VASS design: the analyzed front-end model plus its
+// VHIF intermediate representation.
+type Design struct {
+	// Name is the entity name.
+	Name string
+	// AST is the parsed design file.
+	AST *ast.DesignFile
+	// Sema is the analyzed design (symbol tables, types, Table 1 metrics).
+	Sema *sema.Design
+	// VHIF is the intermediate representation.
+	VHIF *vhif.Module
+}
+
+// RenderDiagnostics formats a Compile error with source excerpts and caret
+// markers when the error carries positions; other errors format plainly.
+func RenderDiagnostics(err error, src Source) string {
+	if err == nil {
+		return ""
+	}
+	var list source.ErrorList
+	if errors.As(err, &list) {
+		return list.RenderList(source.NewFile(src.Name, src.Text))
+	}
+	return err.Error()
+}
+
+// Compile parses, analyzes and compiles a VASS source into its primary VHIF
+// representation.
+func Compile(src Source) (*Design, error) {
+	df, err := parser.Parse(src.Name, src.Text)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		return nil, err
+	}
+	m, err := compile.Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Design{Name: d.Name, AST: df, Sema: d, VHIF: m}, nil
+}
+
+// CompileAlternatives compiles up to limit alternative DAE solver
+// topologies (limit <= 0 means all feasible ones).
+func CompileAlternatives(src Source, limit int) ([]*vhif.Module, error) {
+	df, err := parser.Parse(src.Name, src.Text)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sema.AnalyzeOne(df)
+	if err != nil {
+		return nil, err
+	}
+	return compile.CompileAll(d, limit)
+}
+
+// Metrics returns the design's Table 1 metrics.
+func (d *Design) Metrics() corpus.Row {
+	return corpus.Row{
+		ContinuousLines: d.Sema.Stats.ContinuousLines,
+		Quantities:      d.Sema.Stats.QuantityCount,
+		EventLines:      d.Sema.Stats.EventLines,
+		Signals:         d.Sema.Stats.SignalCount,
+		Blocks:          d.VHIF.BlockCount(),
+		States:          d.VHIF.StateCount(),
+		Datapath:        d.VHIF.DatapathCount(),
+	}
+}
+
+// ParseVHIF reads the VHIF text format (as produced by Design.VHIF.Dump or
+// the vassc tool) back into a module, so synthesis can run from serialized
+// intermediate representations.
+func ParseVHIF(text string) (*vhif.Module, error) { return vhif.Parse(text) }
+
+// SynthesizeModule runs the architecture generator directly on a VHIF
+// module (for example one read with ParseVHIF).
+func SynthesizeModule(m *vhif.Module, opts SynthesisOptions) (*Architecture, error) {
+	res, err := mapper.Synthesize(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Architecture{Netlist: res.Netlist, Report: res.Report, Stats: res.Stats, Tree: res.Tree}, nil
+}
+
+// SynthesisOptions re-exports the architecture generator configuration.
+type SynthesisOptions = mapper.Options
+
+// DefaultSynthesisOptions returns the standard configuration (SCN 2.0 µm
+// process, audio-range system specification).
+func DefaultSynthesisOptions() SynthesisOptions { return mapper.DefaultOptions() }
+
+// PatternOptions re-exports the pattern-generation controls.
+type PatternOptions = patterns.Options
+
+// Architecture is a synthesized op-amp-level implementation.
+type Architecture struct {
+	Netlist *netlist.Netlist
+	Report  *netlist.Report
+	Stats   mapper.Stats
+	Tree    *mapper.TreeNode
+}
+
+// Synthesize maps the design onto a minimum-area component netlist with the
+// default options.
+func (d *Design) Synthesize() (*Architecture, error) {
+	return d.SynthesizeWith(DefaultSynthesisOptions())
+}
+
+// SynthesizeWith maps the design with explicit options.
+func (d *Design) SynthesizeWith(opts SynthesisOptions) (*Architecture, error) {
+	res, err := mapper.Synthesize(d.VHIF, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Architecture{Netlist: res.Netlist, Report: res.Report, Stats: res.Stats, Tree: res.Tree}, nil
+}
+
+// Simulation re-exports.
+type (
+	// Waveform is an input source for simulations.
+	Waveform = sim.Source
+	// Trace holds simulated waveforms.
+	Trace = sim.Trace
+	// SimOptions configures a transient run.
+	SimOptions = sim.Options
+)
+
+// Waveform constructors.
+var (
+	// DC is a constant source.
+	DC = sim.DC
+	// Sine is a sinusoidal source (amplitude, frequency Hz, phase rad).
+	Sine = sim.Sine
+	// StepAt switches from one level to another at a given time.
+	StepAt = sim.Step
+	// Ramp is a linear ramp with the given slope.
+	Ramp = sim.Ramp
+)
+
+// Simulate runs a behavioral transient analysis of the design's VHIF
+// signal-flow graphs.
+func (d *Design) Simulate(inputs map[string]Waveform, opts SimOptions) (*Trace, error) {
+	return sim.SimulateModule(d.VHIF, inputs, opts)
+}
+
+// SimulateNetlist runs a functional transient analysis of a synthesized
+// netlist (every component evaluates its ideal transfer function).
+func (a *Architecture) Simulate(inputs map[string]Waveform, opts SimOptions) (*Trace, error) {
+	return sim.SimulateNetlist(a.Netlist, inputs, opts)
+}
+
+// SpiceResult is a circuit-level (MNA) simulation of a synthesized netlist.
+type SpiceResult struct {
+	Elab *mna.Elaborated
+	Tran *mna.Tran
+}
+
+// V returns the polarity-corrected waveform of a port or net.
+func (r *SpiceResult) V(name string) []float64 { return r.Elab.V(r.Tran, name) }
+
+// Time returns the simulation time points.
+func (r *SpiceResult) Time() []float64 { return r.Tran.Time }
+
+// Spice elaborates the netlist into an op-amp macromodel circuit and runs a
+// transient analysis — the paper's SPICE verification step.
+func (a *Architecture) Spice(inputs map[string]Waveform, tstop, tstep float64) (*SpiceResult, error) {
+	waves := make(map[string]mna.Waveform, len(inputs))
+	for name, w := range inputs {
+		waves[name] = mna.Waveform(w)
+	}
+	el, err := mna.Elaborate(a.Netlist, waves)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := el.Circuit.Transient(tstop, tstep)
+	if err != nil {
+		return nil, err
+	}
+	return &SpiceResult{Elab: el, Tran: tr}, nil
+}
+
+// ACResponse is a small-signal frequency sweep of a synthesized circuit.
+type ACResponse struct {
+	Freqs  []float64
+	elab   *mna.Elaborated
+	result *mna.ACResult
+}
+
+// Mag returns the magnitude response at a port or net (polarity-independent).
+func (r *ACResponse) Mag(name string) []float64 {
+	if n, ok := r.elab.NodeOf[name]; ok {
+		return r.result.MagOf(n)
+	}
+	return r.result.Mag(name)
+}
+
+// MagDB returns the magnitude response in decibels.
+func (r *ACResponse) MagDB(name string) []float64 {
+	mags := r.Mag(name)
+	out := make([]float64, len(mags))
+	for i, m := range mags {
+		out[i] = 20 * math.Log10(math.Max(m, 1e-18))
+	}
+	return out
+}
+
+// AC elaborates the netlist into its op-amp macromodel circuit and runs a
+// small-signal frequency sweep with the named input port as the stimulus:
+// points log-spaced frequencies in [f1, f2]. Other inputs are held at their
+// DC values (zero).
+func (a *Architecture) AC(stimulus string, f1, f2 float64, points int) (*ACResponse, error) {
+	waves := map[string]mna.Waveform{}
+	for _, p := range a.Netlist.Ports {
+		if p.Dir == netlist.In {
+			waves[p.Name] = func(float64) float64 { return 0 }
+		}
+	}
+	if _, ok := waves[stimulus]; !ok {
+		return nil, fmt.Errorf("vase: no input port %q for the AC stimulus", stimulus)
+	}
+	el, err := mna.Elaborate(a.Netlist, waves)
+	if err != nil {
+		return nil, err
+	}
+	freqs := mna.LogSweep(f1, f2, points)
+	res, err := el.Circuit.AC("v_"+stimulus, freqs)
+	if err != nil {
+		return nil, err
+	}
+	return &ACResponse{Freqs: freqs, elab: el, result: res}, nil
+}
+
+// SpiceDeck renders the elaborated circuit of the netlist as a SPICE deck.
+func (a *Architecture) SpiceDeck() (string, error) {
+	// Elaborate with placeholder sources; the deck marks them for the user
+	// to replace.
+	waves := map[string]mna.Waveform{}
+	for _, p := range a.Netlist.Ports {
+		if p.Dir == netlist.In {
+			waves[p.Name] = func(float64) float64 { return 0 }
+		}
+	}
+	el, err := mna.Elaborate(a.Netlist, waves)
+	if err != nil {
+		return "", err
+	}
+	return el.Circuit.SpiceDeck(a.Netlist.Name), nil
+}
+
+// Process and SystemSpec re-export the estimation configuration.
+type (
+	// Process is a CMOS technology description.
+	Process = estimate.Process
+	// SystemSpec is the design-wide signal requirement.
+	SystemSpec = estimate.SystemSpec
+)
+
+// SCN20 is the MOSIS SCN 2.0 µm-class process of the paper's experiments.
+var SCN20 = estimate.SCN20
+
+// Sizing runs the transistor-sizing step on the synthesized netlist (the
+// VASE flow's stage after behavioral synthesis) and returns one sized
+// two-stage op amp per instance.
+func (a *Architecture) Sizing() ([]netlist.SizedOpAmp, error) {
+	return a.Netlist.SizingReport(estimate.SCN20, estimate.DefaultSystemSpec())
+}
+
+// FormatSizing renders a sizing report as transistor dimension tables.
+func FormatSizing(sized []netlist.SizedOpAmp) string {
+	return netlist.FormatSizing(estimate.SCN20, sized)
+}
+
+// FormatDecisionTree renders a traced branch-and-bound decision tree
+// (paper Figure 6 style). Synthesize with SynthesisOptions.TraceTree set.
+func FormatDecisionTree(n *mapper.TreeNode) string { return mapper.FormatTree(n) }
+
+// Benchmarks returns the paper's five benchmark applications.
+func Benchmarks() []*corpus.Application { return corpus.Applications() }
+
+// Benchmark returns one benchmark by key (receiver, powermeter, missile,
+// itersolver, funcgen), or an error.
+func Benchmark(key string) (*corpus.Application, error) {
+	app := corpus.ByKey(key)
+	if app == nil {
+		return nil, fmt.Errorf("vase: no benchmark %q", key)
+	}
+	return app, nil
+}
