@@ -24,10 +24,12 @@ func main() {
 	sizing := flag.Bool("sizing", false, "print the transistor sizing report")
 	fromVHIF := flag.Bool("from-vhif", false, "the input file is serialized VHIF, not VASS")
 	benchmark := flag.String("benchmark", "", "synthesize a built-in benchmark")
+	workers := flag.Int("workers", 0, "parallel search workers (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	opts := vase.DefaultSynthesisOptions()
-	opts.TraceTree = *showTree
+	opts.Trace = *showTree
+	opts.Workers = *workers
 
 	var arch *vase.Architecture
 	if *fromVHIF {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"vase/internal/corpus"
+	"vase/internal/mapper"
 )
 
 func main() {
@@ -24,13 +25,16 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "reproduce Figure 6 (branch-and-bound decision tree)")
 	fig7 := flag.Bool("fig7", false, "reproduce Figure 7 (receiver synthesis)")
 	fig8 := flag.Bool("fig8", false, "reproduce Figure 8 (receiver circuit simulation)")
+	workers := flag.Int("workers", 0, "parallel search workers for Table 1 (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	all := !*table1 && !*fig3 && !*fig4 && !*fig6 && !*fig7 && !*fig8
 
 	if *table1 || all {
 		section("Table 1 — behavioral synthesis results for 5 real-life applications")
-		builds, err := corpus.BuildAll()
+		opts := mapper.DefaultOptions()
+		opts.Workers = *workers
+		builds, err := corpus.BuildAllWith(opts)
 		if err != nil {
 			fail(err)
 		}

@@ -262,8 +262,15 @@ type Build struct {
 	AreaUm2 float64
 }
 
-// BuildApp parses, analyzes, compiles and synthesizes one application.
+// BuildApp parses, analyzes, compiles and synthesizes one application with
+// the default synthesis options.
 func BuildApp(app *Application) (*Build, error) {
+	return BuildAppWith(app, mapper.DefaultOptions())
+}
+
+// BuildAppWith is BuildApp under explicit synthesis options (worker count,
+// ablations, objectives).
+func BuildAppWith(app *Application, opts mapper.Options) (*Build, error) {
 	df, err := parser.Parse(app.Key+".vhd", app.Source)
 	if err != nil {
 		return nil, fmt.Errorf("corpus %s: parse: %w", app.Key, err)
@@ -279,7 +286,7 @@ func BuildApp(app *Application) (*Build, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("corpus %s: vhif: %w", app.Key, err)
 	}
-	res, err := mapper.Synthesize(m, mapper.DefaultOptions())
+	res, err := mapper.Synthesize(m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("corpus %s: synthesize: %w", app.Key, err)
 	}
@@ -298,11 +305,16 @@ func BuildApp(app *Application) (*Build, error) {
 	return b, nil
 }
 
-// BuildAll synthesizes every application.
+// BuildAll synthesizes every application with the default options.
 func BuildAll() ([]*Build, error) {
+	return BuildAllWith(mapper.DefaultOptions())
+}
+
+// BuildAllWith synthesizes every application under explicit options.
+func BuildAllWith(opts mapper.Options) ([]*Build, error) {
 	var out []*Build
 	for _, app := range Applications() {
-		b, err := BuildApp(app)
+		b, err := BuildAppWith(app, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -133,9 +133,12 @@ type Figure6Result struct {
 // complete mappings without bounding (the full tree of Figure 6a), then
 // runs the bounded search and reports the minimum-op-amp mapping.
 func Figure6() (*Figure6Result, string, error) {
+	// The figure reproduces the paper's sequential exploration (its node
+	// counts and tree shape), so pin Workers to 1.
 	unbounded := mapper.DefaultOptions()
+	unbounded.Workers = 1
 	unbounded.NoBounding = true
-	unbounded.TraceTree = true
+	unbounded.Trace = true
 	full, err := mapper.Synthesize(Figure6Module(), unbounded)
 	if err != nil {
 		return nil, "", err
@@ -153,7 +156,8 @@ func Figure6() (*Figure6Result, string, error) {
 	walk(full.Tree)
 
 	bounded := mapper.DefaultOptions()
-	bounded.TraceTree = true
+	bounded.Workers = 1
+	bounded.Trace = true
 	res, err := mapper.Synthesize(Figure6Module(), bounded)
 	if err != nil {
 		return nil, "", err

@@ -23,8 +23,12 @@ func buildCascade(n int) *vhif.Module {
 
 func TestFirstFitHeuristic(t *testing.T) {
 	m := buildCascade(10)
-	exact := synth(t, m, DefaultOptions())
-	opts := DefaultOptions()
+	// Sequential search: the single-mapping and node-count assertions
+	// describe the depth-first exploration order.
+	seq := DefaultOptions()
+	seq.Workers = 1
+	exact := synth(t, m, seq)
+	opts := seq
 	opts.FirstFit = true
 	greedy := synth(t, m, opts)
 
@@ -60,6 +64,7 @@ func TestStrongBoundPreservesOptimum(t *testing.T) {
 	// fewer or equal nodes.
 	for _, m := range []*vhif.Module{buildCascade(8), buildFig6(), buildChain()} {
 		weak := DefaultOptions()
+		weak.Workers = 1
 		weak.NoSharing = true
 		strong := weak
 		strong.StrongBound = true
@@ -79,6 +84,7 @@ func TestStrongBoundPreservesOptimum(t *testing.T) {
 func TestStrongBoundPrunesMore(t *testing.T) {
 	m := buildCascade(10)
 	weak := DefaultOptions()
+	weak.Workers = 1
 	weak.NoSharing = true
 	strong := weak
 	strong.StrongBound = true
@@ -155,6 +161,7 @@ func TestLargeDesignFirstFit(t *testing.T) {
 	// everything.
 	m := buildTree(4)
 	opts := DefaultOptions()
+	opts.Workers = 1
 	opts.FirstFit = true
 	res := synth(t, m, opts)
 	// Summing absorption: each adder absorbs its gain inputs; the tree

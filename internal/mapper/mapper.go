@@ -23,6 +23,7 @@ package mapper
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -70,10 +71,26 @@ type Options struct {
 	// mappings that would have shared components for free, so it is a
 	// heuristic there.
 	StrongBound bool
-	// TraceTree records the decision tree (Figure 6).
-	TraceTree bool
-	// MaxNodes caps the search (0 = 1<<22 nodes).
+	// Trace records the decision tree (Figure 6). Tracing is strictly
+	// opt-in: with Trace false the search allocates no tree nodes, which
+	// keeps the hot path allocation-free for parallel workers.
+	Trace bool
+	// MaxNodes caps the search (0 = 1<<22 nodes). With Workers > 1 the cap
+	// is a shared budget across all workers; when it binds, which nodes
+	// were explored (and therefore the returned mapping) depends on
+	// scheduling.
 	MaxNodes int
+	// Workers is the number of concurrent branch-and-bound workers.
+	// 0 selects runtime.GOMAXPROCS(0); 1 runs the exact sequential search
+	// (preserved bit-for-bit for ablations and decision-tree studies).
+	// For any Workers value the returned mapping is identical to the
+	// sequential optimum — workers share the incumbent bound through an
+	// atomic compare-and-swap and ties are broken on canonical (depth-first)
+	// mapping order — except for the inadmissible StrongBound+sharing
+	// combination, where parallel runs are still deterministic but may
+	// settle on a different equal-quality mapping than the sequential
+	// heuristic.
+	Workers int
 	// Performance constraints: complete mappings violating them are
 	// discarded ("so that all performance constraints are satisfied, and
 	// the total ASIC area is minimized"). Zero means unconstrained.
@@ -89,7 +106,8 @@ func DefaultOptions() Options {
 	return Options{Process: estimate.SCN20}
 }
 
-// Stats reports search effort and outcome.
+// Stats reports search effort and outcome. In parallel runs the counters
+// aggregate over the splitter and every worker task.
 type Stats struct {
 	NodesVisited     int
 	CompleteMappings int
@@ -99,6 +117,10 @@ type Stats struct {
 	Infeasible  int
 	BestOpAmps  int
 	BestAreaUm2 float64
+	// Workers and Tasks describe the parallel decomposition (1/1 for the
+	// sequential search).
+	Workers int
+	Tasks   int
 }
 
 // TreeNode is one node of the traced decision tree.
@@ -125,6 +147,9 @@ type Result struct {
 }
 
 // Synthesize maps the module onto a minimum-area component netlist.
+// With Options.Workers != 1 the decision tree is split at the top levels
+// into independent subtree tasks explored by a bounded worker pool; see
+// parallel.go for the decomposition and the determinism argument.
 func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
 	if opts.Process.Name == "" {
 		opts.Process = estimate.SCN20
@@ -135,29 +160,20 @@ func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 1 << 22
 	}
-	s := &search{
-		m:             m,
-		opts:          opts,
-		floorGeneral:  estimate.MinArea(opts.Process),
-		floorDecision: estimate.MinOTAArea(opts.Process),
-		bestArea:      inf,
-		covered:       map[*vhif.Block]*alloc{},
-		costOf:        map[string]cellCost{},
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	if opts.Objective == MinimizePower {
-		// Class floors in watts: the minimum-bias designs of each topology.
-		s.floorGeneral = estimate.MinOpAmp(opts.Process).Power
-		s.floorDecision = 2e-6 * opts.Process.Vdd // one minimum tail current
-	}
-	s.order = blockOrder(m)
-	if opts.StrongBound {
-		s.computeBlockBounds()
-	}
-	if opts.TraceTree {
+	s := newSearch(m, opts)
+	if opts.Trace {
 		s.root = &TreeNode{Decision: "root"}
 		s.cursor = s.root
 	}
-	s.run()
+	if opts.Workers > 1 {
+		s.runParallel()
+	} else {
+		s.stats.Workers, s.stats.Tasks = 1, 1
+		s.run()
+	}
 	if s.best == nil {
 		if s.err != nil {
 			return nil, s.err
@@ -175,6 +191,55 @@ func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
 	s.stats.BestOpAmps = nl.OpAmpCount()
 	s.stats.BestAreaUm2 = rep.AreaUm2
 	return &Result{Netlist: nl, Report: rep, Stats: s.stats, Tree: s.root}, nil
+}
+
+// newSearch builds a search over the module: the block visitation order,
+// the memoized per-block pattern matches (the candidate lists depend only
+// on the block, never on the covering state, so they are computed once and
+// shared read-only by every worker), and the bounding floors.
+func newSearch(m *vhif.Module, opts Options) *search {
+	s := &search{
+		m:             m,
+		opts:          opts,
+		floorGeneral:  estimate.MinArea(opts.Process),
+		floorDecision: estimate.MinOTAArea(opts.Process),
+		bestArea:      inf,
+		covered:       map[*vhif.Block]*alloc{},
+		costOf:        map[string]cellCost{},
+	}
+	if opts.Objective == MinimizePower {
+		// Class floors in watts: the minimum-bias designs of each topology.
+		s.floorGeneral = estimate.MinOpAmp(opts.Process).Power
+		s.floorDecision = 2e-6 * opts.Process.Vdd // one minimum tail current
+	}
+	s.order = blockOrder(m)
+	s.matchTab = make(map[*vhif.Block][]*patterns.Match, len(s.order))
+	for _, b := range s.order {
+		g := graphOf(m, b)
+		ms := patterns.MatchesFor(g, b, opts.Patterns)
+		if opts.NoSequencing {
+			// Ablation: reverse the preference order.
+			for i, j := 0, len(ms)-1; i < j; i, j = i+1, j-1 {
+				ms[i], ms[j] = ms[j], ms[i]
+			}
+		}
+		s.matchTab[b] = ms
+	}
+	if opts.StrongBound {
+		s.computeBlockBounds()
+	}
+	return s
+}
+
+func graphOf(m *vhif.Module, b *vhif.Block) *vhif.Graph {
+	for _, g := range m.Graphs {
+		for _, gb := range g.Blocks {
+			if gb == b {
+				return g
+			}
+		}
+	}
+	return nil
 }
 
 const inf = 1e300
@@ -219,13 +284,21 @@ type alloc struct {
 	placements []*patterns.Match
 }
 
-// search carries the branch-and-bound state.
+// search carries the branch-and-bound state of one sequential exploration:
+// the whole tree for Workers == 1, or one subtree task inside a worker.
 type search struct {
 	m             uModule
 	opts          Options
 	order         []*vhif.Block
 	floorGeneral  float64
 	floorDecision float64
+	// matchTab memoizes the candidate matches of each block in sequencing
+	// order. Read-only after newSearch; shared across workers.
+	matchTab map[*vhif.Block][]*patterns.Match
+
+	// Parallel coordination (nil/zero for the sequential search).
+	shared *sharedState
+	task   int // DFS index of this worker's subtree task
 
 	covered map[*vhif.Block]*alloc
 	allocs  []*alloc
@@ -246,7 +319,10 @@ type search struct {
 	err      error
 	done     bool // FirstFit: stop after the first complete mapping
 
-	costOf map[string]cellCost // match signature -> estimated cost
+	// costOf caches the estimated cost per match signature. Workers receive
+	// a fully precomputed table and must not write to it (frozenCost).
+	costOf     map[string]cellCost
+	frozenCost bool
 	// blockLB is the per-block fractional op amp lower bound used by the
 	// strong bounding rule; remainingLB its sum over uncovered blocks.
 	blockLB     map[*vhif.Block]float64
@@ -393,14 +469,53 @@ func (s *search) bound(match *patterns.Match) float64 {
 	return lb
 }
 
+// visit accounts one node visit and reports whether the search may proceed:
+// it enforces the node budget (shared across workers in parallel runs) and
+// the first-fit early abort.
+func (s *search) visit() bool {
+	if s.shared == nil {
+		s.stats.NodesVisited++
+		if s.stats.NodesVisited >= s.opts.MaxNodes {
+			// Stop the whole search, not just this branch.
+			s.done = true
+			return false
+		}
+		return true
+	}
+	// A task with a DFS index above an already-completed first-fit task can
+	// no longer influence the result: its completion would lose the
+	// canonical-order tie-break.
+	if s.opts.FirstFit && s.shared.ffMin.Load() < int64(s.task) {
+		s.done = true
+		return false
+	}
+	if s.shared.nodes.Add(1) > int64(s.opts.MaxNodes) {
+		s.done = true
+		return false
+	}
+	s.stats.NodesVisited++
+	return true
+}
+
+// shouldPrune applies the bounding rule to a partial-solution lower bound.
+// The sequential search compares against its own incumbent. Workers also
+// consult the shared incumbent, with a tie rule that preserves the
+// sequential result exactly: a subtree whose bound *equals* the incumbent
+// cost may only be pruned when the incumbent came from a task at or before
+// this one in depth-first order — an equal-cost mapping found in a later
+// subtree must not suppress the canonical (first-in-DFS-order) optimum.
+func (s *search) shouldPrune(lb float64) bool {
+	if s.shared != nil && s.shared.bound != nil && s.shared.bound.shouldPrune(lb, s.task) {
+		return true
+	}
+	return lb >= s.bestArea
+}
+
 func (s *search) run() {
 	if s.done {
 		return
 	}
-	s.stats.NodesVisited++
-	if s.stats.NodesVisited >= s.opts.MaxNodes {
-		// Stop the whole search, not just this branch.
-		s.done = true
+	if !s.visit() {
 		return
 	}
 	cur := s.nextUncovered()
@@ -408,22 +523,10 @@ func (s *search) run() {
 		s.complete()
 		return
 	}
-	var g *vhif.Graph
-	for _, gr := range s.m.Graphs {
-		for _, b := range gr.Blocks {
-			if b == cur {
-				g = gr
-			}
-		}
-	}
-	ms := patterns.MatchesFor(g, cur, s.opts.Patterns)
-	if s.opts.NoSequencing {
-		// Ablation: reverse the preference order.
-		for i, j := 0, len(ms)-1; i < j; i, j = i+1, j-1 {
-			ms[i], ms[j] = ms[j], ms[i]
-		}
-	}
-	for _, match := range ms {
+	// NOTE: the branch enumeration below (candidate order, conflict and
+	// feasibility filters, share-before-alloc) is mirrored by the parallel
+	// splitter's expand() in parallel.go; keep the two in sync.
+	for _, match := range s.matchTab[cur] {
 		if s.conflicts(match) {
 			continue
 		}
@@ -440,7 +543,7 @@ func (s *search) run() {
 			}
 		}
 		// Dedicated allocation with the bounding rule.
-		if !s.opts.NoBounding && s.bound(match) >= s.bestArea {
+		if !s.opts.NoBounding && s.shouldPrune(s.bound(match)) {
 			s.stats.Pruned++
 			if s.cursor != nil {
 				s.cursor.Children = append(s.cursor.Children, &TreeNode{
@@ -574,7 +677,9 @@ func (s *search) matchCost(match *patterns.Match) (cellCost, bool) {
 	}
 	est, err := estimate.EstimateCell(s.opts.Process, s.opts.System, inst)
 	if err != nil {
-		s.costOf[sig] = cellCost{}
+		if !s.frozenCost {
+			s.costOf[sig] = cellCost{}
+		}
 		if s.err == nil {
 			s.err = err
 		}
@@ -585,7 +690,9 @@ func (s *search) matchCost(match *patterns.Match) (cellCost, bool) {
 		cost.area *= n
 		cost.power *= n
 	}
-	s.costOf[sig] = cost
+	if !s.frozenCost {
+		s.costOf[sig] = cost
+	}
 	return cost, true
 }
 
@@ -630,6 +737,9 @@ func (s *search) complete() {
 	}
 	if s.opts.FirstFit {
 		s.done = true
+		if s.shared != nil {
+			s.shared.offerFirstFit(s.task)
+		}
 	}
 	if s.cursor != nil {
 		s.cursor.Children = append(s.cursor.Children, &TreeNode{
@@ -638,6 +748,9 @@ func (s *search) complete() {
 			Complete: true,
 			AreaUm2:  area,
 		})
+	}
+	if s.shared != nil && s.shared.bound != nil {
+		s.shared.bound.offer(cost, s.task)
 	}
 	if cost < s.bestArea {
 		s.bestArea = cost

@@ -51,7 +51,7 @@ func TestFig6MinimumMapping(t *testing.T) {
 
 func TestFig6DecisionTreeHasAlternatives(t *testing.T) {
 	opts := DefaultOptions()
-	opts.TraceTree = true
+	opts.Trace = true
 	opts.NoBounding = true // keep all complete leaves for inspection
 	res := synth(t, buildFig6(), opts)
 	var complete []int
@@ -87,8 +87,11 @@ func TestFig6DecisionTreeHasAlternatives(t *testing.T) {
 }
 
 func TestBoundingReducesNodes(t *testing.T) {
-	with := synth(t, buildFig6(), DefaultOptions())
-	opts := DefaultOptions()
+	// Node-count comparisons reason about the sequential exploration order.
+	seq := DefaultOptions()
+	seq.Workers = 1
+	with := synth(t, buildFig6(), seq)
+	opts := seq
 	opts.NoBounding = true
 	without := synth(t, buildFig6(), opts)
 	if with.Stats.NodesVisited > without.Stats.NodesVisited {
@@ -102,8 +105,10 @@ func TestBoundingReducesNodes(t *testing.T) {
 }
 
 func TestSequencingFindsOptimumEarly(t *testing.T) {
-	good := synth(t, buildFig6(), DefaultOptions())
-	opts := DefaultOptions()
+	seq := DefaultOptions()
+	seq.Workers = 1
+	good := synth(t, buildFig6(), seq)
+	opts := seq
 	opts.NoSequencing = true
 	bad := synth(t, buildFig6(), opts)
 	// Same optimum either way; the sequencing rule should not visit more
@@ -165,7 +170,7 @@ func exhaustiveMinOpAmps(t *testing.T, m *vhif.Module) int {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.NoBounding = true
-	opts.TraceTree = true
+	opts.Trace = true
 	res := synth(t, m, opts)
 	min := 1 << 30
 	var walk func(n *TreeNode)
@@ -344,7 +349,7 @@ func TestNetlistPortsComplete(t *testing.T) {
 
 func TestFormatTree(t *testing.T) {
 	opts := DefaultOptions()
-	opts.TraceTree = true
+	opts.Trace = true
 	res := synth(t, buildFig6(), opts)
 	text := FormatTree(res.Tree)
 	if !strings.Contains(text, "complete mapping") {

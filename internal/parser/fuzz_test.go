@@ -1,0 +1,75 @@
+// Fuzz targets for the VASS front end: the lexer and parser must reject
+// arbitrary input with diagnostics, never a panic. Seeds mix hand-picked
+// syntax fragments with the full corpus application sources.
+package parser_test
+
+import (
+	"testing"
+
+	"vase/internal/corpus"
+	"vase/internal/lexer"
+	"vase/internal/parser"
+	"vase/internal/source"
+)
+
+// fuzzSeeds are small VASS fragments chosen to steer the fuzzer toward the
+// grammar's edges: attributes, based literals, guarded statements, loops.
+var fuzzSeeds = []string{
+	"",
+	"entity e is end entity;",
+	"entity e is port (quantity a : in real is voltage); end entity;",
+	`architecture a of e is
+begin
+  procedural is
+    variable t : real;
+  begin
+    t := 16#ff# * 1.0e-3;
+  end procedural;
+end architecture;`,
+	`architecture a of e is
+  signal c : bit;
+begin
+  if (c = '1') use y == w; else y == -w; end use;
+end architecture;`,
+	"process (a'above(1.0)) is begin end process;",
+	"while acc > 1.0 loop acc := acc * 0.5; end loop;",
+	"-- comment only\n",
+	"'",
+	"16#",
+	"entity \x00 is",
+}
+
+func addSeeds(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	for _, app := range corpus.Applications() {
+		f.Add(app.Source)
+	}
+	for _, app := range corpus.Extras() {
+		f.Add(app.Source)
+	}
+}
+
+func FuzzLexer(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		var errs source.ErrorList
+		toks := lexer.ScanAll(source.NewFile("fuzz.vhd", src), &errs)
+		// Every token span must slice the file without panicking.
+		file := source.NewFile("fuzz.vhd", src)
+		for _, tok := range toks {
+			if tok.Span.IsValid() {
+				_ = file.Slice(tok.Span)
+			}
+		}
+	})
+}
+
+func FuzzParse(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		// Errors are expected on arbitrary input; panics are not.
+		_, _ = parser.Parse("fuzz.vhd", src)
+	})
+}

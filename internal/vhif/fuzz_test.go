@@ -1,0 +1,48 @@
+// Fuzz target for the VHIF text format: Parse must never panic, and any
+// module it accepts must round-trip through Dump — Parse(m.Dump()) succeeds
+// and reaches a dump fixed point. Seeds come from the corpus golden VHIF
+// dumps plus hand-written edge fragments.
+package vhif_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vase/internal/vhif"
+)
+
+func FuzzVHIFRoundTrip(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("..", "corpus", "testdata", "*.vhif"))
+	if err != nil || len(seeds) == 0 {
+		f.Fatalf("no corpus VHIF seeds found: %v", err)
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatalf("read seed %s: %v", path, err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("")
+	f.Add("module m\n")
+	f.Add("module m\nport in quantity a [freq=0:1e6 range=-1:1]\n")
+	f.Add("module m\ngraph main\ninput a out=a.out\ngain g param=2 in=(a.out) out=g.out\n")
+	f.Add("module m\nfsm f\nstate start\nx := a + b\narc start -> start when x > 1\n")
+	f.Add("module m\ncontrol c -> net\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := vhif.Parse(text)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		d1 := m.Dump()
+		m2, err := vhif.Parse(d1)
+		if err != nil {
+			t.Fatalf("accepted module failed to re-parse its own dump: %v\n--- dump ---\n%s", err, d1)
+		}
+		if d2 := m2.Dump(); d2 != d1 {
+			t.Fatalf("dump not a fixed point\n--- first ---\n%s\n--- second ---\n%s", d1, d2)
+		}
+	})
+}

@@ -199,6 +199,10 @@ func (p *vhifParser) graph(line string, nets map[string]*Net) (*Graph, error) {
 			return g, nil
 		}
 		p.next()
+		if strings.Contains(fields[1], "=") {
+			// A name like "out=x" would make the dumped line ambiguous.
+			return nil, p.errf("invalid block name %q", fields[1])
+		}
 		b := &Block{ID: len(g.Blocks), Kind: kind, Name: fields[1]}
 		for _, f := range fields[2:] {
 			if !strings.Contains(f, "=") {
@@ -270,10 +274,11 @@ func extractField(line, key string) (string, bool) {
 		return "", false
 	}
 	rest := line[i+len(key):]
-	if j := strings.IndexByte(rest, ' '); j >= 0 {
+	if j := strings.IndexAny(rest, " \t"); j >= 0 {
 		rest = rest[:j]
 	}
-	return strings.TrimSpace(rest), rest != ""
+	rest = strings.TrimSpace(rest)
+	return rest, rest != ""
 }
 
 func splitList(s string) []string {
@@ -327,10 +332,11 @@ func (p *vhifParser) fsm(line string) (*FSM, error) {
 				rest = rest[:i]
 			}
 			from, to, ok := strings.Cut(rest, " -> ")
-			if !ok {
+			fromName, toName := strings.TrimSpace(from), strings.TrimSpace(to)
+			if !ok || fromName == "" || toName == "" {
 				return nil, p.errf("malformed arc %q", line)
 			}
-			arc := &Arc{From: stateFor(strings.TrimSpace(from)), To: stateFor(strings.TrimSpace(to))}
+			arc := &Arc{From: stateFor(fromName), To: stateFor(toName)}
 			if cond != "" {
 				e, err := ParseDExpr(cond)
 				if err != nil {

@@ -142,6 +142,8 @@ func SynthesizeModule(m *vhif.Module, opts SynthesisOptions) (*Architecture, err
 }
 
 // SynthesisOptions re-exports the architecture generator configuration.
+// Workers selects the parallel search width (0 = all CPUs, 1 = sequential);
+// every worker count returns the identical netlist.
 type SynthesisOptions = mapper.Options
 
 // DefaultSynthesisOptions returns the standard configuration (SCN 2.0 µm
@@ -330,7 +332,7 @@ func FormatSizing(sized []netlist.SizedOpAmp) string {
 }
 
 // FormatDecisionTree renders a traced branch-and-bound decision tree
-// (paper Figure 6 style). Synthesize with SynthesisOptions.TraceTree set.
+// (paper Figure 6 style). Synthesize with SynthesisOptions.Trace set.
 func FormatDecisionTree(n *mapper.TreeNode) string { return mapper.FormatTree(n) }
 
 // Benchmarks returns the paper's five benchmark applications.

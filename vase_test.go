@@ -183,7 +183,7 @@ func TestTraceTreeAPI(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	opts := vase.DefaultSynthesisOptions()
-	opts.TraceTree = true
+	opts.Trace = true
 	arch, err := d.SynthesizeWith(opts)
 	if err != nil {
 		t.Fatalf("synthesize: %v", err)
