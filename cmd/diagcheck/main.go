@@ -1,0 +1,38 @@
+// Command diagcheck runs the repository's structured-diagnostics
+// conformance pass: it fails (exit 1) when a migrated front-end package
+// constructs an error with naked fmt.Errorf or errors.New instead of the
+// internal/diag engine. CI runs it on every push.
+//
+// Usage:
+//
+//	diagcheck [package-dir ...]   (default: the migrated packages)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vase/internal/diagcheck"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = diagcheck.DefaultPackages
+	}
+	bad := false
+	for _, dir := range dirs {
+		vs, err := diagcheck.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diagcheck:", err)
+			os.Exit(2)
+		}
+		for _, v := range vs {
+			fmt.Println(v)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vase [-vhif] [-tree] [-spice] [-area] file.vhd
+//	vase [-vhif] [-tree] [-spice] [-area] [-lint] [-Werror] file.vhd
 //	vase -benchmark receiver -area
 package main
 
@@ -25,6 +25,8 @@ func main() {
 	fromVHIF := flag.Bool("from-vhif", false, "the input file is serialized VHIF, not VASS")
 	benchmark := flag.String("benchmark", "", "synthesize a built-in benchmark")
 	workers := flag.Int("workers", 0, "parallel search workers (0 = all CPUs, 1 = sequential)")
+	lintFlag := flag.Bool("lint", false, "run the synthesizability linter before synthesis")
+	werror := flag.Bool("Werror", false, "with -lint, treat warnings as errors")
 	flag.Parse()
 
 	opts := vase.DefaultSynthesisOptions()
@@ -44,6 +46,15 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if *lintFlag || *werror {
+			findings, err := vase.LintVHIF(flag.Args()[0], string(text), vase.LintOptions{})
+			if err != nil {
+				fail(err)
+			}
+			if !reportFindings(findings, vase.Source{Name: flag.Args()[0], Text: string(text)}, *werror) {
+				os.Exit(1)
+			}
+		}
 		if *showVHIF {
 			fmt.Print(m.Dump())
 			fmt.Println()
@@ -56,6 +67,15 @@ func main() {
 		src, err := loadSource(*benchmark, flag.Args())
 		if err != nil {
 			fail(err)
+		}
+		if *lintFlag || *werror {
+			findings, err := vase.Lint(src, vase.LintOptions{})
+			if err != nil {
+				fail(err)
+			}
+			if !reportFindings(findings, src, *werror) {
+				os.Exit(1)
+			}
 		}
 		d, err := vase.Compile(src)
 		if err != nil {
@@ -104,6 +124,19 @@ func main() {
 		fmt.Println("\nSPICE deck:")
 		fmt.Print(deck)
 	}
+}
+
+// reportFindings prints warning-or-worse findings to stderr and reports
+// whether synthesis should proceed.
+func reportFindings(findings vase.Diagnostics, src vase.Source, werror bool) bool {
+	if werror {
+		findings = findings.Promote()
+	}
+	shown := findings.Filter(vase.SeverityWarning)
+	if len(shown) > 0 {
+		fmt.Fprint(os.Stderr, vase.RenderDiagnostics(shown, src))
+	}
+	return !shown.HasErrors()
 }
 
 func formatTree(arch *vase.Architecture) string {

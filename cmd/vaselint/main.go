@@ -1,0 +1,137 @@
+// Command vaselint is the standalone synthesizability linter for VASS
+// sources and serialized VHIF modules. It runs the full front end plus every
+// registered analyzer and prints structured findings with source excerpts,
+// or as JSON for tooling.
+//
+// Usage:
+//
+//	vaselint [-json] [-Werror] [-v] [-passes list] file.vhd dir/ ...
+//	vaselint -list
+//
+// Directories are searched (non-recursively) for .vhd and .vhif files. The
+// exit status is 1 when any error-severity finding is reported — or any
+// warning under -Werror — and 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vase"
+	"vase/internal/source"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	werror := flag.Bool("Werror", false, "treat warnings as errors")
+	verbose := flag.Bool("v", false, "also print info-severity findings")
+	passes := flag.String("passes", "", "comma-separated analyzer names (default: all)")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range vase.LintPasses() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fail(fmt.Errorf("usage: vaselint [flags] file.vhd dir/ ..."))
+	}
+
+	opts := vase.LintOptions{}
+	if *passes != "" {
+		opts.Passes = strings.Split(*passes, ",")
+	}
+
+	files, err := expandArgs(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	if len(files) == 0 {
+		fail(fmt.Errorf("no .vhd or .vhif files among the arguments"))
+	}
+
+	exit := 0
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		text := string(raw)
+		var findings vase.Diagnostics
+		var f *source.File
+		if strings.HasSuffix(path, ".vhif") {
+			findings, err = vase.LintVHIF(path, text, opts)
+		} else {
+			findings, err = vase.Lint(vase.Source{Name: path, Text: text}, opts)
+			f = source.NewFile(path, text)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if *werror {
+			findings = findings.Promote()
+		}
+		min := vase.SeverityWarning
+		if *verbose {
+			min = vase.SeverityInfo
+		}
+		shown := findings.Filter(min)
+		if *jsonOut {
+			out, err := shown.JSON()
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(out)
+			fmt.Println()
+		} else if len(shown) > 0 {
+			fmt.Print(shown.Render(f))
+		}
+		if shown.HasErrors() {
+			exit = 1
+		}
+	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+}
+
+// expandArgs resolves file and directory arguments to the lintable files.
+func expandArgs(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		entries, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			switch filepath.Ext(e.Name()) {
+			case ".vhd", ".vhif":
+				out = append(out, filepath.Join(a, e.Name()))
+			}
+		}
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vaselint:", err)
+	// Driver errors (unknown pass, unreadable file) use a distinct exit code
+	// so scripts can tell them from findings.
+	os.Exit(2)
+}

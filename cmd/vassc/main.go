@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vassc [-metrics] [-alternatives n] file.vhd
+//	vassc [-metrics] [-alternatives n] [-lint] [-Werror] file.vhd
 //	vassc -benchmark receiver
 package main
 
@@ -19,11 +19,19 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the Table 1 specification/VHIF metrics")
 	alts := flag.Int("alternatives", 0, "compile up to n alternative DAE solver topologies (0 = primary only)")
 	benchmark := flag.String("benchmark", "", "compile a built-in benchmark (receiver, powermeter, missile, itersolver, funcgen)")
+	lintFlag := flag.Bool("lint", false, "run the synthesizability linter before compiling")
+	werror := flag.Bool("Werror", false, "with -lint, treat warnings as errors")
 	flag.Parse()
 
 	src, err := loadSource(*benchmark, flag.Args())
 	if err != nil {
 		fail(err)
+	}
+
+	if *lintFlag || *werror {
+		if !runLint(src, *werror) {
+			os.Exit(1)
+		}
 	}
 
 	if *alts > 0 {
@@ -68,6 +76,23 @@ func loadSource(benchmark string, args []string) (vase.Source, error) {
 		return vase.Source{}, err
 	}
 	return vase.Source{Name: args[0], Text: string(text)}, nil
+}
+
+// runLint prints warning-or-worse findings to stderr and reports whether
+// compilation should proceed.
+func runLint(src vase.Source, werror bool) bool {
+	findings, err := vase.Lint(src, vase.LintOptions{})
+	if err != nil {
+		fail(err)
+	}
+	if werror {
+		findings = findings.Promote()
+	}
+	shown := findings.Filter(vase.SeverityWarning)
+	if len(shown) > 0 {
+		fmt.Fprint(os.Stderr, vase.RenderDiagnostics(shown, src))
+	}
+	return !shown.HasErrors()
 }
 
 func plural(n int, one, many string) string {

@@ -1,0 +1,18 @@
+entity func_gen is
+  port (quantity wave : out real; signal sync : out bit);
+end entity;
+
+architecture ramp of func_gen is
+  constant k   : real := 1000.0;
+  constant g2  : real := 2.0;
+  constant amp : real := 1.0;
+  quantity slope : real;
+  signal up, run : bit;
+begin
+  wave'dot == g2 * slope;
+  if (up = '1') use slope == k; else slope == -k; end use;
+  process (wave'above(amp), wave'above(-amp)) is begin
+    up <= not up;
+    sync <= '1'; run <= '1';
+  end process;
+end architecture;

@@ -1,0 +1,15 @@
+entity iter_solver is
+  port (quantity x : out real);
+end entity;
+
+architecture iterative of iter_solver is
+  constant a0 : real := 1.0;
+  signal xs : real;
+  signal conv : bit;
+begin
+  x'dot == a0 - x - x'integ;
+  process (x'above(0.5), x'above(0.4)) is begin
+    conv <= x'above(0.5);
+    xs <= x;
+  end process;
+end architecture;

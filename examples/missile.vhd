@@ -1,0 +1,23 @@
+entity missile_solver is
+  port (
+    quantity cmd  : in real is voltage;
+    quantity wind : in real is voltage;
+    quantity bias : in real is voltage;
+    quantity acc  : out real;
+    quantity dist : out real
+  );
+end entity;
+
+architecture flight of missile_solver is
+  constant k1 : real := 4.0;
+  constant k2 : real := 0.8;
+  constant k3 : real := 0.5;
+  constant cd : real := 0.3;
+  constant n  : real := 2.0;
+  quantity vel, pos, drag, spd : real;
+begin
+  vel'dot == acc; pos'dot == vel;
+  acc == k1 * cmd - k2 * vel - k3 * drag;
+  spd == vel - wind; drag == cd * exp(n * log(spd));
+  dist == pos - bias;
+end architecture;

@@ -1,0 +1,25 @@
+entity power_meter is
+  port (
+    quantity vline : in real is voltage;
+    quantity iline : in real is current;
+    quantity vout  : out real;
+    quantity iout  : out real
+  );
+end entity;
+
+architecture acquisition of power_meter is
+  quantity vheld, iheld : real;
+  signal sv, si, ready : bit;
+begin
+  if (sv = '1') use
+    vheld == vline;
+  end use;
+  if (si = '1') use
+    iheld == iline;
+  end use;
+  vout == adc(vheld, 8.0);
+  iout == adc(iheld, 8.0);
+  process (vline'above(0.0), iline'above(0.0)) is begin
+    sv <= vline'above(0.0); si <= iline'above(0.0); ready <= '1';
+  end process;
+end architecture;

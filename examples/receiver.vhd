@@ -1,0 +1,26 @@
+entity receiver is
+  port (
+    quantity line  : in real is voltage;
+    quantity local : in real is voltage;
+    quantity earph : out real is voltage limited at 1.5 drives 270.0 at 285 mv peak
+  );
+end entity;
+
+architecture behavioral of receiver is
+  constant Aline  : real := 4.0;
+  constant Alocal : real := 2.0;
+  constant r1c    : real := 0.5;
+  constant r2c    : real := 0.25;
+  constant Vth    : real := 0.1;
+  quantity rvar : real;
+  signal c1, busy : bit;
+begin
+  earph == (Aline * line + Alocal * local) * rvar;
+  if (c1 = '1') use rvar == r1c;
+  else rvar == r1c + r2c;
+  end use;
+  process (line'above(Vth)) is begin
+    if (line'above(Vth) = true) then c1 <= '1'; busy <= '1';
+    else c1 <= '0'; busy <= '1'; end if;
+  end process;
+end architecture;

@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"vase/internal/ast"
+	"vase/internal/diag"
 	"vase/internal/sema"
 	"vase/internal/source"
 	"vase/internal/vhif"
@@ -37,6 +38,11 @@ import (
 // from processes, "so that repeated switchings between states are avoided"
 // (paper, Section 6).
 const DefaultHysteresis = 0.01
+
+// Origins maps each VHIF block to the source span of the VASS statement it
+// was compiled from. Downstream analyses (the linter's algebraic-loop pass in
+// particular) use it to attach structural findings to source positions.
+type Origins map[*vhif.Block]source.Span
 
 // Compile translates the design into its primary VHIF module (the first
 // feasible DAE solver topology).
@@ -48,18 +54,34 @@ func Compile(d *sema.Design) (*vhif.Module, error) {
 	return mods[0], nil
 }
 
+// CompileTraced is Compile, additionally returning the block→source-span
+// origin map of the primary module.
+func CompileTraced(d *sema.Design) (*vhif.Module, Origins, error) {
+	mods, origins, err := compileAll(d, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mods[0], origins[0], nil
+}
+
 // CompileAll translates the design into up to limit alternative VHIF
 // modules, one per feasible DAE solver matching. limit <= 0 means all
 // (bounded internally). The first module is the primary topology.
 func CompileAll(d *sema.Design, limit int) ([]*vhif.Module, error) {
+	mods, _, err := compileAll(d, limit)
+	return mods, err
+}
+
+func compileAll(d *sema.Design, limit int) ([]*vhif.Module, []Origins, error) {
 	if limit <= 0 {
 		limit = maxMatchings
 	}
 	matchings, unknowns, eqs, err := enumerateMatchings(d, limit)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var mods []*vhif.Module
+	var origins []Origins
 	var firstErr error
 	for _, match := range matchings {
 		c := newCompiler(d)
@@ -77,24 +99,27 @@ func CompileAll(d *sema.Design, limit int) ([]*vhif.Module, error) {
 			continue
 		}
 		mods = append(mods, m)
+		origins = append(origins, c.origins)
 		if len(mods) >= limit {
 			break
 		}
 	}
 	if len(mods) == 0 {
 		if firstErr != nil {
-			return nil, firstErr
+			return nil, nil, firstErr
 		}
-		return nil, fmt.Errorf("compile: no feasible solver topology for design %q", d.Name)
+		return nil, nil, diag.Errorf(diag.CodeNoRealization, "compile: no feasible solver topology for design %q", d.Name)
 	}
-	return mods, nil
+	return mods, origins, nil
 }
 
 type compiler struct {
-	d    *sema.Design
-	m    *vhif.Module
-	g    *vhif.Graph
-	errs source.ErrorList
+	d       *sema.Design
+	m       *vhif.Module
+	g       *vhif.Graph
+	errs    diag.List
+	rep     *diag.Reporter
+	origins Origins
 
 	// nets binds quantity canonical names to the nets carrying their value.
 	nets map[string]*vhif.Net
@@ -111,8 +136,9 @@ type compiler struct {
 }
 
 func newCompiler(d *sema.Design) *compiler {
-	return &compiler{
+	c := &compiler{
 		d:           d,
+		origins:     make(Origins),
 		nets:        make(map[string]*vhif.Net),
 		ctrl:        make(map[string]*vhif.Net),
 		inverted:    make(map[*vhif.Net]*vhif.Net),
@@ -120,18 +146,32 @@ func newCompiler(d *sema.Design) *compiler {
 		constBlocks: make(map[float64]*vhif.Net),
 		ctrlConsts:  make(map[bool]*vhif.Net),
 	}
+	c.rep = diag.NewReporter(d.File, &c.errs, diag.CodeCompile)
+	return c
 }
 
 func (c *compiler) errorf(sp source.Span, format string, args ...any) {
-	c.errs.Add(c.d.File.Position(sp.Start), format, args...)
+	c.rep.Errorf(sp, format, args...)
+}
+
+func (c *compiler) report(code diag.Code, sp source.Span, format string, args ...any) *diag.Diagnostic {
+	return c.rep.Report(code, sp, format, args...)
 }
 
 func (c *compiler) failed() error {
-	if len(c.errs) == 0 {
-		return nil
-	}
-	c.errs.Sort()
 	return c.errs.Err()
+}
+
+// stamp runs f and records sp as the origin of every block f adds to the
+// current graph. Nested stamps keep the innermost (most specific) span.
+func (c *compiler) stamp(sp source.Span, f func()) {
+	before := len(c.g.Blocks)
+	f()
+	for _, b := range c.g.Blocks[before:] {
+		if _, done := c.origins[b]; !done && sp.IsValid() {
+			c.origins[b] = sp
+		}
+	}
 }
 
 // compileModule builds one module for the given DAE matching.
@@ -145,7 +185,7 @@ func (c *compiler) compileModule(eqs []*equation, unknowns []string, match match
 	// diagnostic instead of failing deep in expression translation.
 	for _, q := range append(append([]*sema.Symbol{}, c.d.Quantities...), c.d.Signals...) {
 		if q.Type.Kind == sema.TRealVector || q.Type.Kind == sema.TBitVector {
-			c.errorf(q.Decl.Span(), "%s %q has a composite type; the compiler requires scalar objects (declare the elements individually)", q.Kind, q.Orig)
+			c.report(diag.CodeComposite, q.Decl.Span(), "%s %q has a composite type; the compiler requires scalar objects (declare the elements individually)", q.Kind, q.Orig)
 		}
 	}
 	if err := c.failed(); err != nil {
@@ -160,17 +200,19 @@ func (c *compiler) compileModule(eqs []*equation, unknowns []string, match match
 	integs := make(map[string]*vhif.Block)
 	for i := range eqs {
 		if match[i].viaDot {
-			b := c.g.AddBlock(vhif.BIntegrator, match[i].unknown, nil)
-			b.Out.Name = match[i].unknown
-			c.nets[match[i].unknown] = b.Out
-			integs[match[i].unknown] = b
+			c.stamp(eqs[i].stmt.SpanV, func() {
+				b := c.g.AddBlock(vhif.BIntegrator, match[i].unknown, nil)
+				b.Out.Name = match[i].unknown
+				c.nets[match[i].unknown] = b.Out
+				integs[match[i].unknown] = b
+			})
 		}
 	}
 
 	// Event-driven part next: its control nets feed the continuous part.
 	for _, st := range c.d.Arch.Stmts {
 		if p, ok := st.(*ast.Process); ok {
-			c.compileProcess(p)
+			c.stamp(p.SpanV, func() { c.compileProcess(p) })
 		}
 	}
 	if err := c.failed(); err != nil {
@@ -196,6 +238,13 @@ func (c *compiler) compileModule(eqs []*equation, unknowns []string, match match
 // declarePorts creates module ports and input blocks.
 func (c *compiler) declarePorts() {
 	for _, p := range c.d.Ports {
+		p := p
+		c.stamp(p.Decl.Span(), func() { c.declarePort(p) })
+	}
+}
+
+func (c *compiler) declarePort(p *sema.Symbol) {
+	{
 		port := &vhif.Port{
 			Name:       p.Name,
 			Voltage:    p.Attr.Kind != sema.KindCurrent,
@@ -225,7 +274,7 @@ func (c *compiler) declarePorts() {
 		case sema.SymSignal:
 			port.Kind = vhif.PortSignal
 		default:
-			continue // generics are not ports of the module
+			return // generics are not ports of the module
 		}
 		c.m.Ports = append(c.m.Ports, port)
 	}
@@ -238,10 +287,18 @@ func (c *compiler) connectOutputs() {
 		if p.Kind != sema.SymQuantity || p.Mode != ast.ModeOut {
 			continue
 		}
+		p := p
+		c.stamp(p.Decl.Span(), func() { c.connectOutput(p) })
+	}
+	c.linkSignalPorts()
+}
+
+func (c *compiler) connectOutput(p *sema.Symbol) {
+	{
 		net := c.nets[p.Name]
 		if net == nil {
 			c.errorf(p.Decl.Span(), "output quantity %q was never defined", p.Orig)
-			continue
+			return
 		}
 		if p.Attr.HasFreq && p.Attr.FreqHi > 0 {
 			// Filter inference (paper Section 3): a frequency range on the
@@ -268,8 +325,11 @@ func (c *compiler) connectOutputs() {
 		}
 		c.g.AddBlock(vhif.BOutput, p.Name, net)
 	}
-	// Signal output ports are controls computed by the FSM; record links
-	// for any not already registered by the extraction pass.
+}
+
+// linkSignalPorts records control links for signal output ports not already
+// registered by the FSM extraction pass.
+func (c *compiler) linkSignalPorts() {
 	linked := map[string]bool{}
 	for _, l := range c.m.Controls {
 		linked[l.Signal] = true

@@ -1,10 +1,10 @@
 package compile
 
 import (
-	"fmt"
 	"sort"
 
 	"vase/internal/ast"
+	"vase/internal/diag"
 	"vase/internal/sema"
 	"vase/internal/source"
 	"vase/internal/token"
@@ -35,9 +35,10 @@ type matching []candidate
 // design and enumerates up to limit feasible equation→unknown matchings.
 // It returns the matchings, the unknown names, and the equations.
 func enumerateMatchings(d *sema.Design, limit int) ([]matching, []string, []*equation, error) {
-	var errs source.ErrorList
+	errs := &diag.List{}
+	rep := diag.NewReporter(d.File, errs, diag.CodeDAEMatch)
 	fail := func(sp source.Span, format string, args ...any) ([]matching, []string, []*equation, error) {
-		errs.Add(d.File.Position(sp.Start), format, args...)
+		rep.Errorf(sp, format, args...)
 		return nil, nil, nil, errs.Err()
 	}
 
@@ -318,13 +319,13 @@ func (c *compiler) isolate(eq *ast.SimpleSimultaneous, cand candidate) (ast.Expr
 	containsR := containsTarget(eq.RHS, cand)
 	switch {
 	case containsL && containsR:
-		return nil, fmt.Errorf("unknown %q occurs on both sides", cand.unknown)
+		return nil, diag.Errorf(diag.CodeNoRealization, "unknown %q occurs on both sides", cand.unknown)
 	case containsL:
 		return c.peel(eq.LHS, eq.RHS, cand)
 	case containsR:
 		return c.peel(eq.RHS, eq.LHS, cand)
 	}
-	return nil, fmt.Errorf("unknown %q does not occur in equation", cand.unknown)
+	return nil, diag.Errorf(diag.CodeNoRealization, "unknown %q does not occur in equation", cand.unknown)
 }
 
 // containsTarget reports whether the target occurrence is inside e.
@@ -433,5 +434,5 @@ func (c *compiler) peel(side, rest ast.Expr, cand candidate) (ast.Expr, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("cannot isolate %q through %s", cand.unknown, ast.ExprString(side))
+	return nil, diag.Errorf(diag.CodeNoRealization, "cannot isolate %q through %s", cand.unknown, ast.ExprString(side))
 }

@@ -1,8 +1,12 @@
 package compile
 
 import (
+	"sort"
+
 	"vase/internal/ast"
+	"vase/internal/diag"
 	"vase/internal/sema"
+	"vase/internal/source"
 	"vase/internal/vhif"
 )
 
@@ -10,6 +14,8 @@ import (
 // simultaneous equation, a procedural, or a simultaneous if/use (or
 // case/use) group. Units are ordered by data dependencies before compiling.
 type unit struct {
+	// span locates the unit's source statement (for block origin tracking).
+	span source.Span
 	// defines are the quantities the unit produces.
 	defines []string
 	// reads are the quantities the unit consumes.
@@ -28,7 +34,7 @@ func (c *compiler) collectUnits(eqs []*equation, match matching) []*unit {
 			i := eqIndex
 			eqIndex++
 			cand := match[i]
-			u := &unit{reads: map[string]bool{}}
+			u := &unit{span: st.SpanV, reads: map[string]bool{}}
 			if !cand.viaDot {
 				u.defines = []string{cand.unknown}
 			}
@@ -46,21 +52,21 @@ func (c *compiler) collectUnits(eqs []*equation, match matching) []*unit {
 			u.run = func() { c.compileEquation(stmt, candidate) }
 			units = append(units, u)
 		case *ast.Procedural:
-			u := &unit{reads: map[string]bool{}}
+			u := &unit{span: st.SpanV, reads: map[string]bool{}}
 			u.defines = c.proceduralDefines(st)
 			c.collectQuantityReads(st, u.reads, u.defines)
 			stmt := st
 			u.run = func() { c.compileProcedural(stmt) }
 			units = append(units, u)
 		case *ast.SimultaneousIf:
-			u := &unit{reads: map[string]bool{}}
+			u := &unit{span: st.SpanV, reads: map[string]bool{}}
 			u.defines = c.ifUseDefines(st)
 			c.collectQuantityReads(st, u.reads, u.defines)
 			stmt := st
 			u.run = func() { c.compileIfUse(stmt) }
 			units = append(units, u)
 		case *ast.SimultaneousCase:
-			u := &unit{reads: map[string]bool{}}
+			u := &unit{span: st.SpanV, reads: map[string]bool{}}
 			u.defines = c.caseUseDefines(st)
 			c.collectQuantityReads(st, u.reads, u.defines)
 			stmt := st
@@ -112,7 +118,7 @@ func (c *compiler) compileUnits(units []*unit, integs map[string]*vhif.Block) er
 				next = append(next, u)
 				continue
 			}
-			u.run()
+			c.stamp(u.span, u.run)
 			progressed = true
 		}
 		if !progressed {
@@ -124,7 +130,15 @@ func (c *compiler) compileUnits(units []*unit, integs map[string]*vhif.Block) er
 					}
 				}
 			}
-			c.errorf(c.d.Arch.SpanV, "algebraic dependency cycle among continuous statements (unresolved: %v)", missing)
+			sort.Strings(missing)
+			// Report at the first blocked statement, not the whole
+			// architecture: that is the DAE the loop originates from.
+			sp := c.d.Arch.SpanV
+			if len(next) > 0 && next[0].span.IsValid() {
+				sp = next[0].span
+			}
+			c.report(diag.CodeDepCycle, sp, "algebraic dependency cycle among continuous statements (unresolved: %v)", missing).
+				WithFix("break the cycle with an integrator (define one quantity through its 'dot) or reorder the definitions")
 			return c.failed()
 		}
 		pending = next

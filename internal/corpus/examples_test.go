@@ -1,0 +1,24 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesMatchCorpus locks the shipped examples/*.vhd files to the
+// corpus constants: the files users point vaselint and vassc at must be the
+// exact sources the Table 1 reproduction is built from.
+func TestExamplesMatchCorpus(t *testing.T) {
+	for _, app := range Applications() {
+		path := filepath.Join("..", "..", "examples", app.Key+".vhd")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing example for %s: %v", app.Key, err)
+			continue
+		}
+		if string(raw) != app.Source {
+			t.Errorf("examples/%s.vhd has drifted from corpus.%sSource; regenerate it from the corpus constant", app.Key, app.Name)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package diag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Code is a stable diagnostic code such as "VASS0201". Codes never change
+// meaning once released; retired codes are not reused.
+//
+// The numbering blocks are:
+//
+//	VASS01xx  lexical and syntax diagnostics (lexer, parser)
+//	VASS02xx  semantic diagnostics (sema)
+//	VASS03xx  VHIF compilation diagnostics (compile)
+//	VASS04xx  VHIF structural diagnostics (vhif validation and parsing)
+//	VASS05xx  lint analyzers (internal/lint)
+type Code string
+
+// CodeInfo is the registry entry of one code.
+type CodeInfo struct {
+	Code     Code
+	Severity Severity
+	Summary  string
+}
+
+var registry = map[Code]CodeInfo{}
+
+func reg(c Code, sev Severity, summary string) Code {
+	if _, dup := registry[c]; dup {
+		panic(fmt.Sprintf("diag: duplicate code %s", c))
+	}
+	registry[c] = CodeInfo{Code: c, Severity: sev, Summary: summary}
+	return c
+}
+
+// Severity returns the registered default severity of c (Error when c is
+// unregistered).
+func (c Code) Severity() Severity {
+	if info, ok := registry[c]; ok {
+		return info.Severity
+	}
+	return Error
+}
+
+// Summary returns the registered one-line summary of c.
+func (c Code) Summary() string { return registry[c].Summary }
+
+// Lookup returns the registry entry for c.
+func Lookup(c Code) (CodeInfo, bool) {
+	info, ok := registry[c]
+	return info, ok
+}
+
+// Codes returns every registered code sorted by code, for documentation and
+// registry-stability tests.
+func Codes() []CodeInfo {
+	out := make([]CodeInfo, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// Lexical and syntax diagnostics (VASS01xx).
+var (
+	CodeSyntax        = reg("VASS0100", Error, "syntax error")
+	CodeLex           = reg("VASS0101", Error, "lexical error")
+	CodeOutsideSubset = reg("VASS0110", Error, "VHDL-AMS construct outside the VASS synthesis subset")
+)
+
+// Semantic diagnostics (VASS02xx).
+var (
+	CodeSema          = reg("VASS0200", Error, "semantic error")
+	CodeUndeclared    = reg("VASS0201", Error, "undeclared name")
+	CodeDuplicate     = reg("VASS0202", Error, "duplicate declaration")
+	CodeTypeMismatch  = reg("VASS0203", Error, "type mismatch")
+	CodeUnknownType   = reg("VASS0204", Error, "unknown type")
+	CodeBadAnnotation = reg("VASS0205", Error, "invalid synthesis annotation")
+	CodeBadProcess    = reg("VASS0206", Error, "process violates VASS restrictions")
+	CodeNotStatic     = reg("VASS0207", Error, "expression must be statically known")
+	CodeUndriven      = reg("VASS0208", Error, "output quantity is never defined")
+	CodeBadLoop       = reg("VASS0209", Error, "loop violates VASS restrictions")
+)
+
+// Compilation diagnostics (VASS03xx).
+var (
+	CodeCompile       = reg("VASS0300", Error, "compilation error")
+	CodeDAEMatch      = reg("VASS0301", Error, "DAE set cannot be matched to its unknowns")
+	CodeNoRealization = reg("VASS0302", Error, "expression has no analog signal-flow realization")
+	CodeNoControl     = reg("VASS0303", Error, "condition has no control-signal realization")
+	CodeDepCycle      = reg("VASS0304", Error, "algebraic dependency cycle among continuous statements")
+	CodeComposite     = reg("VASS0305", Error, "composite-typed object is not compilable to scalar nets")
+	CodeNoTopology    = reg("VASS0306", Error, "no feasible DAE solver topology")
+)
+
+// VHIF structural diagnostics (VASS04xx).
+var (
+	CodeVHIF          = reg("VASS0400", Error, "VHIF structural error")
+	CodeVHIFArity     = reg("VASS0401", Error, "block input arity violation")
+	CodeVHIFControl   = reg("VASS0402", Error, "control input typing violation")
+	CodeVHIFNet       = reg("VASS0403", Error, "net connectivity violation")
+	CodeAlgebraicLoop = reg("VASS0404", Error, "algebraic loop without a state element")
+	CodeFSMStructure  = reg("VASS0405", Error, "FSM structural error")
+	CodeVHIFLink      = reg("VASS0406", Error, "control link violation")
+	CodeVHIFParse     = reg("VASS0410", Error, "VHIF text format parse error")
+)
+
+// Lint diagnostics (VASS05xx). Grouped by analyzer: 050x unused, 051x FSM
+// states, 052x algebraic loops, 053x dimensions, 054x division, 055x ranges,
+// 056x annotations, 057x subset conformance.
+var (
+	CodeUnusedObject     = reg("VASS0501", Warning, "object is declared but never used")
+	CodeWriteOnlySignal  = reg("VASS0502", Info, "signal is written but never read")
+	CodeUnusedFunction   = reg("VASS0503", Info, "function is declared but never called")
+	CodeUnreachableState = reg("VASS0511", Warning, "FSM state is unreachable from the start state")
+	CodeDeadEndState     = reg("VASS0512", Warning, "FSM state has no outgoing transition")
+	CodeLintLoop         = reg("VASS0521", Error, "algebraic loop in the compiled signal-flow graph")
+	CodeDimension        = reg("VASS0531", Warning, "mixed voltage and current quantities")
+	CodeDivByZero        = reg("VASS0541", Error, "division by a constant zero")
+	CodeDivMaybeZero     = reg("VASS0542", Warning, "divisor may be zero within its declared range")
+	CodeConstOutOfRange  = reg("VASS0551", Warning, "constant lies outside the declared range of its target")
+	CodeDeadThreshold    = reg("VASS0552", Warning, "'above threshold lies outside the declared range of its quantity")
+	CodeAnnFreqOrder     = reg("VASS0561", Error, "frequency annotation bounds are inverted")
+	CodeAnnRangeOrder    = reg("VASS0562", Error, "range annotation bounds are inverted")
+	CodeAnnWrongDir      = reg("VASS0563", Warning, "output-stage annotation on an input port")
+	CodeAnnBadDrive      = reg("VASS0564", Error, "drive annotation requires a positive load resistance")
+	CodeAnnPeakVsLimit   = reg("VASS0565", Warning, "required peak drive exceeds the clipping level")
+	CodeSubsetProcess    = reg("VASS0571", Error, "process form outside the VASS subset")
+	CodeSubsetLoop       = reg("VASS0572", Error, "loop form outside the VASS subset")
+	CodeSubsetComposite  = reg("VASS0573", Warning, "composite types compile only element-wise")
+	CodeSubsetPortMode   = reg("VASS0574", Error, "port mode outside the VASS subset")
+	CodeSubsetDerivative = reg("VASS0575", Error, "derivative form outside the VASS subset")
+)

@@ -1,0 +1,141 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vase/internal/source"
+)
+
+func TestCodeRegistry(t *testing.T) {
+	codes := Codes()
+	if len(codes) < 30 {
+		t.Fatalf("registry has %d codes, want a populated registry", len(codes))
+	}
+	seen := map[Code]bool{}
+	for _, info := range codes {
+		if seen[info.Code] {
+			t.Errorf("duplicate code %s", info.Code)
+		}
+		seen[info.Code] = true
+		if !strings.HasPrefix(string(info.Code), "VASS0") || len(info.Code) != 8 {
+			t.Errorf("code %q does not match the VASSnnnn shape", info.Code)
+		}
+		if info.Summary == "" {
+			t.Errorf("code %s has no summary", info.Code)
+		}
+	}
+	if CodeUndeclared.Severity() != Error {
+		t.Errorf("CodeUndeclared severity = %v", CodeUndeclared.Severity())
+	}
+	if CodeUnusedObject.Severity() != Warning {
+		t.Errorf("CodeUnusedObject severity = %v", CodeUnusedObject.Severity())
+	}
+}
+
+func TestDiagnosticError(t *testing.T) {
+	f := source.NewFile("t.vhd", "quantity q : real;\n")
+	d := New(CodeUndeclared, f.Position(9), "undeclared name %q", "q")
+	want := `t.vhd:1:10: undeclared name "q" [VASS0201]`
+	if got := d.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	w := New(CodeUnusedObject, f.Position(0), "never used")
+	if got := w.Error(); !strings.Contains(got, "warning: never used [VASS0501]") {
+		t.Errorf("warning Error() = %q", got)
+	}
+	p := Errorf(CodeVHIF, "vhif: net %q has no driver", "n1")
+	if got := p.Error(); got != `vhif: net "n1" has no driver [VASS0400]` {
+		t.Errorf("position-less Error() = %q", got)
+	}
+}
+
+func TestListSortDedupeErr(t *testing.T) {
+	f := source.NewFile("t.vhd", "a\nb\nc\n")
+	var l List
+	l.Addf(CodeSema, f.Position(4), "second")
+	l.Addf(CodeSema, f.Position(0), "first")
+	l.Addf(CodeSema, f.Position(0), "first") // duplicate
+	l.Addf(CodeUnusedObject, f.Position(2), "warn only")
+	err := l.Err()
+	if err == nil {
+		t.Fatal("Err() = nil with errors present")
+	}
+	if len(l) != 3 {
+		t.Fatalf("after dedupe len = %d, want 3", len(l))
+	}
+	if l[0].Msg != "first" || l[1].Msg != "warn only" || l[2].Msg != "second" {
+		t.Errorf("sorted order = %q, %q, %q", l[0].Msg, l[1].Msg, l[2].Msg)
+	}
+
+	var warnOnly List
+	warnOnly.Addf(CodeUnusedObject, f.Position(0), "w")
+	if err := warnOnly.Err(); err != nil {
+		t.Errorf("warnings-only Err() = %v, want nil", err)
+	}
+}
+
+func TestPromoteAndFilter(t *testing.T) {
+	var l List
+	l.Addf(CodeUnusedObject, source.Position{}, "w")
+	l.Addf(CodeWriteOnlySignal, source.Position{}, "i")
+	p := l.Promote()
+	if !p.HasErrors() {
+		t.Error("Promote did not raise warnings to errors")
+	}
+	if l.HasErrors() {
+		t.Error("Promote mutated the original list")
+	}
+	if p[1].Severity != Info {
+		t.Error("Promote changed an info diagnostic")
+	}
+	if got := len(l.Filter(Warning)); got != 1 {
+		t.Errorf("Filter(Warning) kept %d, want 1", got)
+	}
+}
+
+func TestRenderExcerpt(t *testing.T) {
+	text := "entity e is\n  quantity earph : out real;\nend entity;\n"
+	f := source.NewFile("r.vhd", text)
+	r := NewReporter(f, &List{}, CodeSema)
+	start := source.Pos(strings.Index(text, "earph"))
+	d := r.Report(CodeUndeclared, source.NewSpan(start, start+5), "undeclared name %q", "earph").
+		WithFix("declare %q first", "earph")
+	out := d.Render(f)
+	for _, want := range []string{
+		"r.vhd:2:12:",
+		"[VASS0201]",
+		"quantity earph : out real;",
+		"^^^^^",
+		`help: declare "earph" first`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSON(t *testing.T) {
+	f := source.NewFile("t.vhd", "xx\n")
+	var l List
+	l.Addf(CodeDivByZero, f.Position(1), "division by zero").WithFix("guard the divisor")
+	data, err := l.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d entries", len(decoded))
+	}
+	got := decoded[0]
+	if got["code"] != "VASS0541" || got["severity"] != "error" || got["line"] != float64(1) || got["column"] != float64(2) {
+		t.Errorf("JSON fields wrong: %v", got)
+	}
+	if got["fix"] != "guard the divisor" {
+		t.Errorf("fix = %v", got["fix"])
+	}
+}

@@ -1,0 +1,60 @@
+package diag
+
+import "encoding/json"
+
+// jsonDiag is the stable JSON shape of one diagnostic.
+type jsonDiag struct {
+	Code     string        `json:"code"`
+	Severity string        `json:"severity"`
+	Summary  string        `json:"summary,omitempty"`
+	File     string        `json:"file,omitempty"`
+	Line     int           `json:"line,omitempty"`
+	Column   int           `json:"column,omitempty"`
+	EndLine  int           `json:"endLine,omitempty"`
+	EndCol   int           `json:"endColumn,omitempty"`
+	Message  string        `json:"message"`
+	Fix      string        `json:"fix,omitempty"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+type jsonRelated struct {
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Column  int    `json:"column,omitempty"`
+	Message string `json:"message"`
+}
+
+func toJSON(d *Diagnostic) jsonDiag {
+	j := jsonDiag{
+		Code:     string(d.Code),
+		Severity: d.Severity.String(),
+		Summary:  d.Code.Summary(),
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Column:   d.Pos.Column,
+		Message:  d.Msg,
+		Fix:      d.Fix,
+	}
+	if d.End.Line > 0 {
+		j.EndLine = d.End.Line
+		j.EndCol = d.End.Column
+	}
+	for _, r := range d.Related {
+		j.Related = append(j.Related, jsonRelated{
+			File:    r.Pos.Filename,
+			Line:    r.Pos.Line,
+			Column:  r.Pos.Column,
+			Message: r.Msg,
+		})
+	}
+	return j
+}
+
+// JSON renders the list as an indented JSON array with a stable field order.
+func (l List) JSON() ([]byte, error) {
+	out := make([]jsonDiag, 0, len(l))
+	for _, d := range l {
+		out = append(out, toJSON(d))
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

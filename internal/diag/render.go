@@ -1,0 +1,90 @@
+package diag
+
+import (
+	"strings"
+
+	"vase/internal/source"
+)
+
+// Render formats the diagnostic with a source excerpt and caret markers when
+// f contains its position:
+//
+//	receiver.vhd:12:9: undeclared name "rvra" [VASS0201]
+//	  earph == rvra * line;
+//	           ^^^^
+//	  help: declare a quantity "rvra" in the architecture
+func (d *Diagnostic) Render(f *source.File) string {
+	var b strings.Builder
+	b.WriteString(d.Error())
+	if f != nil && d.Pos.Line > 0 && d.Pos.Line <= f.LineCount() && f.Name() == d.Pos.Filename {
+		line := lineText(f, d.Pos.Line)
+		b.WriteString("\n  ")
+		b.WriteString(strings.ReplaceAll(line, "\t", " "))
+		b.WriteString("\n  ")
+		col := clampCol(d.Pos.Column, line)
+		width := 1
+		if d.End.Line == d.Pos.Line && d.End.Column > d.Pos.Column {
+			width = clampCol(d.End.Column, line) - col
+			if width < 1 {
+				width = 1
+			}
+		}
+		b.WriteString(strings.Repeat(" ", col-1))
+		b.WriteString(strings.Repeat("^", width))
+	}
+	for _, r := range d.Related {
+		b.WriteString("\n  note: ")
+		if r.Pos.Line > 0 || r.Pos.Filename != "" {
+			b.WriteString(r.Pos.String())
+			b.WriteString(": ")
+		}
+		b.WriteString(r.Msg)
+	}
+	if d.Fix != "" {
+		b.WriteString("\n  help: ")
+		b.WriteString(d.Fix)
+	}
+	return b.String()
+}
+
+// Render formats every diagnostic of the list with source excerpts, one
+// blank-line-free entry per diagnostic, without the ten-entry cap of Error.
+func (l List) Render(f *source.File) string {
+	var b strings.Builder
+	for _, d := range l {
+		b.WriteString(d.Render(f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func clampCol(col int, line string) int {
+	if col < 1 {
+		col = 1
+	}
+	if col > len(line)+1 {
+		col = len(line) + 1
+	}
+	return col
+}
+
+// lineText returns the 1-based line of f without its newline.
+func lineText(f *source.File, line int) string {
+	if line < 1 || line > f.LineCount() {
+		return ""
+	}
+	text := f.Text()
+	start := 0
+	for i := 1; i < line; i++ {
+		nl := strings.IndexByte(text[start:], '\n')
+		if nl < 0 {
+			return ""
+		}
+		start += nl + 1
+	}
+	end := strings.IndexByte(text[start:], '\n')
+	if end < 0 {
+		return text[start:]
+	}
+	return text[start : start+end]
+}

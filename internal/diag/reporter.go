@@ -1,0 +1,55 @@
+package diag
+
+import "vase/internal/source"
+
+// Reporter binds a source file, a destination list and a default code, so
+// that passes can report span-based diagnostics without repeating position
+// resolution. It is the position-plumbing layer between the byte-offset
+// spans the front end works with and the line:column diagnostics tools
+// print.
+type Reporter struct {
+	file *source.File
+	list *List
+	def  Code
+}
+
+// NewReporter returns a reporter writing to list with the given default
+// code. file may be nil; diagnostics are then position-less.
+func NewReporter(file *source.File, list *List, def Code) *Reporter {
+	return &Reporter{file: file, list: list, def: def}
+}
+
+// File returns the reporter's source file (may be nil).
+func (r *Reporter) File() *source.File { return r.file }
+
+// List returns the destination list.
+func (r *Reporter) List() *List { return r.list }
+
+// Errorf reports a diagnostic with the reporter's default code at sp.
+func (r *Reporter) Errorf(sp source.Span, format string, args ...any) *Diagnostic {
+	return r.Report(r.def, sp, format, args...)
+}
+
+// Report reports a diagnostic with an explicit code at sp and returns it so
+// callers can chain WithFix / WithRelated.
+func (r *Reporter) Report(code Code, sp source.Span, format string, args ...any) *Diagnostic {
+	var pos, end source.Position
+	if r.file != nil {
+		pos = r.file.Position(sp.Start)
+		if sp.End > sp.Start {
+			end = r.file.Position(sp.End)
+		}
+	}
+	d := New(code, pos, format, args...)
+	d.End = end
+	r.list.Add(d)
+	return d
+}
+
+// Position resolves a span start through the reporter's file.
+func (r *Reporter) Position(p source.Pos) source.Position {
+	if r.file == nil {
+		return source.Position{}
+	}
+	return r.file.Position(p)
+}

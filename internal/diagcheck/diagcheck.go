@@ -1,0 +1,146 @@
+// Package diagcheck is the repository's own static-analysis pass: it
+// enforces that the migrated front-end packages construct every error
+// through the structured diagnostics engine (internal/diag) instead of
+// naked fmt.Errorf / errors.New, so no diagnostic can lose its stable code,
+// severity and span.
+//
+// It is built on the standard library's go/parser and go/ast only, so it
+// runs anywhere the repository builds — no external analysis framework is
+// required.
+package diagcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DefaultPackages are the package directories (relative to the repository
+// root) that have been migrated to structured diagnostics and must stay
+// that way.
+var DefaultPackages = []string{
+	"internal/sema",
+	"internal/compile",
+	"internal/vhif",
+}
+
+// forbidden maps "pkg.Func" selectors to the reason they are banned in
+// migrated packages.
+var forbidden = map[string]string{
+	"fmt.Errorf": "construct errors with diag.Errorf (or a *diag.Reporter) so the diagnostic keeps a stable code and span",
+	"errors.New": "construct errors with diag.Errorf so the diagnostic keeps a stable code and span",
+}
+
+// Violation is one banned call site.
+type Violation struct {
+	Pos    token.Position
+	Call   string // e.g. "fmt.Errorf"
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s is forbidden here: %s", v.Pos, v.Call, v.Reason)
+}
+
+// CheckDir parses every non-test Go file in dir (non-recursively) and
+// returns the banned call sites found.
+func CheckDir(dir string) ([]Violation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		vs, err := CheckFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	sortViolations(out)
+	return out, nil
+}
+
+// CheckFile parses one Go file and returns the banned call sites found.
+func CheckFile(path string) ([]Violation, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve import aliases so "e.New" with `e "errors"` is still caught.
+	aliases := map[string]string{}
+	for _, imp := range f.Imports {
+		pathVal := strings.Trim(imp.Path.Value, `"`)
+		name := pathVal[strings.LastIndex(pathVal, "/")+1:]
+		if imp.Name != nil && imp.Name.Name != "_" && imp.Name.Name != "." {
+			name = imp.Name.Name
+		}
+		aliases[name] = pathVal
+	}
+	var out []Violation
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgPath, ok := aliases[ident.Name]
+		if !ok {
+			return true
+		}
+		key := pkgPath + "." + sel.Sel.Name
+		if reason, banned := forbidden[key]; banned {
+			out = append(out, Violation{
+				Pos:    fset.Position(call.Pos()),
+				Call:   key,
+				Reason: reason,
+			})
+		}
+		return true
+	})
+	return out, nil
+}
+
+// CheckAll runs CheckDir over every default package under root.
+func CheckAll(root string) ([]Violation, error) {
+	var out []Violation
+	for _, pkg := range DefaultPackages {
+		vs, err := CheckDir(filepath.Join(root, pkg))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	sortViolations(out)
+	return out, nil
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i].Pos, vs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -1,0 +1,72 @@
+package diagcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMigratedPackagesClean is the enforcement test: the three migrated
+// front-end packages must construct every error through internal/diag.
+func TestMigratedPackagesClean(t *testing.T) {
+	vs, err := CheckAll(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestSeededViolation proves the checker actually fires: a file with a naked
+// fmt.Errorf, an aliased import, and a dot-free errors.New must all be
+// caught, while diag.Errorf and test files are left alone.
+func TestSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	seed := `package bad
+
+import (
+	"fmt"
+	e "errors"
+
+	"vase/internal/diag"
+)
+
+func f() error { return fmt.Errorf("naked %d", 1) }
+func g() error { return e.New("aliased") }
+func h() error { return diag.Errorf(diag.CodeSema, "fine") }
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Test files are exempt: they assert on messages, not user-facing errors.
+	testSeed := "package bad\n\nimport \"fmt\"\n\nfunc tf() error { return fmt.Errorf(\"ok in tests\") }\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad_test.go"), []byte(testSeed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("expected exactly the two seeded violations, got %d: %v", len(vs), vs)
+	}
+	if vs[0].Call != "fmt.Errorf" || vs[0].Pos.Line != 10 {
+		t.Errorf("first violation = %v, want fmt.Errorf at line 10", vs[0])
+	}
+	if vs[1].Call != "errors.New" || vs[1].Pos.Line != 11 {
+		t.Errorf("second violation = %v, want errors.New at line 11", vs[1])
+	}
+	for _, v := range vs {
+		if !strings.Contains(v.String(), "diag.Errorf") {
+			t.Errorf("violation message should point at the fix: %s", v)
+		}
+	}
+}
+
+func TestCheckDirMissing(t *testing.T) {
+	if _, err := CheckDir(filepath.Join(t.TempDir(), "nosuch")); err == nil {
+		t.Error("expected an error for a missing directory")
+	}
+}

@@ -12,6 +12,7 @@ package lexer
 import (
 	"strings"
 
+	"vase/internal/diag"
 	"vase/internal/source"
 	"vase/internal/token"
 )
@@ -28,20 +29,20 @@ type Lexer struct {
 	file   *source.File
 	src    string
 	offset int
-	errs   *source.ErrorList
+	errs   *diag.Reporter
 	// last is the kind of the previous non-comment token; it drives the
 	// apostrophe disambiguation.
 	last token.Kind
 }
 
 // New returns a Lexer over f that records lexical errors into errs.
-func New(f *source.File, errs *source.ErrorList) *Lexer {
-	return &Lexer{file: f, src: f.Text(), errs: errs, last: token.ILLEGAL}
+func New(f *source.File, errs *diag.List) *Lexer {
+	return &Lexer{file: f, src: f.Text(), errs: diag.NewReporter(f, errs, diag.CodeLex), last: token.ILLEGAL}
 }
 
 // ScanAll scans the whole file and returns the token stream, excluding
 // comments and including a final EOF token.
-func ScanAll(f *source.File, errs *source.ErrorList) []Token {
+func ScanAll(f *source.File, errs *diag.List) []Token {
 	lx := New(f, errs)
 	var toks []Token
 	for {
@@ -57,7 +58,7 @@ func ScanAll(f *source.File, errs *source.ErrorList) []Token {
 }
 
 func (lx *Lexer) errorf(at source.Pos, format string, args ...any) {
-	lx.errs.Add(lx.file.Position(at), format, args...)
+	lx.errs.Errorf(source.NewSpan(at, at), format, args...)
 }
 
 func (lx *Lexer) peek() byte {

@@ -3,13 +3,14 @@ package lexer
 import (
 	"testing"
 
+	"vase/internal/diag"
 	"vase/internal/source"
 	"vase/internal/token"
 )
 
 func scan(t *testing.T, src string) []Token {
 	t.Helper()
-	var errs source.ErrorList
+	var errs diag.List
 	toks := ScanAll(source.NewFile("test.vhd", src), &errs)
 	if err := errs.Err(); err != nil {
 		t.Fatalf("unexpected scan errors: %v", err)
@@ -151,7 +152,7 @@ func TestStringEscapedQuote(t *testing.T) {
 }
 
 func TestUnterminatedStringReported(t *testing.T) {
-	var errs source.ErrorList
+	var errs diag.List
 	ScanAll(source.NewFile("t", `"abc`), &errs)
 	if errs.Len() == 0 {
 		t.Fatal("expected error for unterminated string")
@@ -159,7 +160,7 @@ func TestUnterminatedStringReported(t *testing.T) {
 }
 
 func TestIllegalCharacterReported(t *testing.T) {
-	var errs source.ErrorList
+	var errs diag.List
 	toks := ScanAll(source.NewFile("t", "a $ b"), &errs)
 	if errs.Len() == 0 {
 		t.Fatal("expected error for illegal character")
@@ -180,7 +181,7 @@ func TestSpans(t *testing.T) {
 }
 
 func TestTrailingUnderscoreRejected(t *testing.T) {
-	var errs source.ErrorList
+	var errs diag.List
 	ScanAll(source.NewFile("t", "bad_ "), &errs)
 	if errs.Len() == 0 {
 		t.Fatal("expected error for trailing underscore")
@@ -203,7 +204,7 @@ PORT (
   QUANTITY earph : OUT real IS voltage limited
 );
 END ENTITY;`
-	var errs source.ErrorList
+	var errs diag.List
 	toks := ScanAll(source.NewFile("fig2", src), &errs)
 	if err := errs.Err(); err != nil {
 		t.Fatalf("scan errors: %v", err)

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"vase/internal/diag"
+	"vase/internal/vhif"
+)
+
+// algLoopPass reports combinational cycles in the compiled signal-flow
+// graphs. For modules compiled from source the finding is anchored at the
+// source span of the DAE statement the first cycle block originated from;
+// for serialized VHIF it names the cycle structurally.
+var algLoopPass = &Pass{
+	Name: "algloop",
+	Doc:  "algebraic loops in signal-flow graphs, located at the originating DAE",
+	Run:  runAlgLoop,
+}
+
+func runAlgLoop(u *Unit) {
+	if u.Module == nil {
+		return
+	}
+	for _, g := range u.Module.Graphs {
+		cycle := g.FindAlgebraicLoop()
+		if cycle == nil {
+			continue
+		}
+		// Anchor at the first cycle block with a known source origin.
+		sp := u.OriginOf(cycle[0])
+		for _, b := range cycle[1:] {
+			if sp.IsValid() {
+				break
+			}
+			sp = u.OriginOf(b)
+		}
+		u.Report(diag.CodeLintLoop, sp,
+			"graph %q has an algebraic loop: %s", g.Name, vhif.DescribeCycle(cycle)).
+			WithFix("insert a state element (integrator or sample-and-hold) into the feedback path")
+	}
+}

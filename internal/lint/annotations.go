@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/sema"
+)
+
+// annotationsPass validates the synthesis annotations after sema has parsed
+// them into PortAttr: inverted frequency or range bounds, output-stage
+// annotations (drive, limit) on input ports, non-positive load resistances,
+// and a required peak drive above the configured clipping level.
+var annotationsPass = &Pass{
+	Name: "annotations",
+	Doc:  "consistency of synthesis annotations (frequency, range, drive, limit)",
+	Run:  runAnnotations,
+}
+
+func runAnnotations(u *Unit) {
+	d := u.Design
+	if d == nil {
+		return
+	}
+	seen := map[*sema.Symbol]bool{}
+	check := func(sym *sema.Symbol) {
+		if sym == nil || seen[sym] {
+			return
+		}
+		seen[sym] = true
+		sp := u.SpanOfDecl(sym)
+		a := sym.Attr
+		if a.HasFreq && a.FreqLo > a.FreqHi {
+			u.Report(diag.CodeAnnFreqOrder, sp,
+				"%q: frequency band [%g, %g] Hz is inverted", sym.Orig, a.FreqLo, a.FreqHi).
+				WithFix("swap the bounds: the lower edge must come first")
+		}
+		if a.HasRange && a.RangeLo > a.RangeHi {
+			u.Report(diag.CodeAnnRangeOrder, sp,
+				"%q: range [%g, %g] is inverted", sym.Orig, a.RangeLo, a.RangeHi).
+				WithFix("swap the bounds: the lower bound must come first")
+		}
+		if a.DrivesOhms < 0 {
+			u.Report(diag.CodeAnnBadDrive, sp,
+				"%q: drive annotation with load resistance %g ohm", sym.Orig, a.DrivesOhms).
+				WithFix("a drive annotation needs a positive external load resistance")
+		}
+		if sym.IsPort && sym.Mode == ast.ModeIn && (a.DrivesOhms != 0 || a.PeakDrive != 0 || a.Limited) {
+			u.Report(diag.CodeAnnWrongDir, sp,
+				"%q is an input port but carries an output-stage annotation", sym.Orig).
+				WithFix("move the drive/limit annotation to the driving output, or drop it")
+		}
+		if a.Limited && a.LimitAt > 0 && a.PeakDrive > a.LimitAt {
+			u.Report(diag.CodeAnnPeakVsLimit, sp,
+				"%q: required peak drive %g V exceeds the clipping level %g V",
+				sym.Orig, a.PeakDrive, a.LimitAt).
+				WithFix("raise the limit annotation or lower the required peak amplitude")
+		}
+	}
+	for _, sym := range d.Ports {
+		check(sym)
+	}
+	for _, sym := range d.Quantities {
+		check(sym)
+	}
+	for _, sym := range d.Signals {
+		check(sym)
+	}
+}

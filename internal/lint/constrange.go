@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/sema"
+	"vase/internal/token"
+)
+
+// constRangePass checks constants against the declared 'range of the
+// quantity they interact with. An equation that pins a ranged quantity to a
+// constant outside its range can never be satisfied within specification;
+// a comparison or 'above threshold outside the range always evaluates the
+// same way, so the branch it guards is dead.
+var constRangePass = &Pass{
+	Name: "constrange",
+	Doc:  "constants and thresholds outside a quantity's declared range",
+	Run:  runConstRange,
+}
+
+func runConstRange(u *Unit) {
+	d := u.Design
+	if d == nil {
+		return
+	}
+	// rangedQty returns the symbol and its range when e names a quantity
+	// carrying an explicit 'range annotation.
+	rangedQty := func(e ast.Expr) *sema.Symbol {
+		nm, ok := unparenExpr(e).(*ast.Name)
+		if !ok {
+			return nil
+		}
+		sym := d.Lookup(nm.Ident.Canon)
+		if sym != nil && sym.Kind == sema.SymQuantity && sym.Attr.HasRange {
+			return sym
+		}
+		return nil
+	}
+	constOf := func(e ast.Expr) (float64, bool) {
+		if v := d.ConstOf(e); v != nil && v.Type.IsNumeric() {
+			return v.AsReal(), true
+		}
+		return 0, false
+	}
+	outside := func(sym *sema.Symbol, c float64) bool {
+		return c < sym.Attr.RangeLo || c > sym.Attr.RangeHi
+	}
+
+	for _, st := range d.Arch.Stmts {
+		ast.Walk(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SimpleSimultaneous:
+				sym, c, ok := qtyVsConst(rangedQty, constOf, n.LHS, n.RHS)
+				if ok && outside(sym, c) {
+					u.Report(diag.CodeConstOutOfRange, n.SpanV,
+						"equation pins %q to %g, outside its declared range [%g, %g]",
+						sym.Orig, c, sym.Attr.RangeLo, sym.Attr.RangeHi).
+						WithFix("widen the 'range annotation or correct the constant")
+				}
+			case *ast.Binary:
+				switch n.Op {
+				case token.LT, token.LE, token.GT, token.GE:
+					sym, c, ok := qtyVsConst(rangedQty, constOf, n.X, n.Y)
+					if ok && outside(sym, c) {
+						u.Report(diag.CodeDeadThreshold, n.SpanV,
+							"comparison of %q against %g is constant: %g is outside the declared range [%g, %g]",
+							sym.Orig, c, c, sym.Attr.RangeLo, sym.Attr.RangeHi).
+							WithFix("move the threshold inside the range, or drop the dead branch")
+					}
+				}
+			case *ast.Attribute:
+				if n.Attr == "above" && len(n.Args) == 1 {
+					sym := rangedQty(n.X)
+					if sym == nil {
+						return true
+					}
+					if c, ok := constOf(n.Args[0]); ok && outside(sym, c) {
+						u.Report(diag.CodeDeadThreshold, n.SpanV,
+							"'above threshold %g is outside the declared range [%g, %g] of %q, so the event never fires",
+							c, sym.Attr.RangeLo, sym.Attr.RangeHi, sym.Orig).
+							WithFix("move the threshold inside the range of %q", sym.Orig)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// qtyVsConst matches "ranged-quantity vs constant" in either order.
+func qtyVsConst(rangedQty func(ast.Expr) *sema.Symbol, constOf func(ast.Expr) (float64, bool), a, b ast.Expr) (*sema.Symbol, float64, bool) {
+	if sym := rangedQty(a); sym != nil {
+		if c, ok := constOf(b); ok {
+			return sym, c, true
+		}
+	}
+	if sym := rangedQty(b); sym != nil {
+		if c, ok := constOf(a); ok {
+			return sym, c, true
+		}
+	}
+	return nil, 0, false
+}

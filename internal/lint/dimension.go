@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/sema"
+	"vase/internal/token"
+)
+
+// dimensionPass checks physical-kind consistency of simultaneous equations:
+// adding, subtracting or equating a voltage-kind quantity with a
+// current-kind quantity is dimensionally inconsistent (the "is voltage" /
+// "is current" annotations give quantities their physical facet).
+// Multiplication and division legitimately change dimension, so the check
+// tracks only sums, differences and the two equation sides; a derivative or
+// any arithmetic product resets the inferred kind to unspecified.
+var dimensionPass = &Pass{
+	Name: "dimension",
+	Doc:  "voltage/current consistency of simultaneous statements",
+	Run:  runDimension,
+}
+
+func runDimension(u *Unit) {
+	d := u.Design
+	if d == nil {
+		return
+	}
+	var kindOf func(e ast.Expr) sema.SignalKind
+	kindOf = func(e ast.Expr) sema.SignalKind {
+		switch e := e.(type) {
+		case *ast.Name:
+			if sym := d.Lookup(e.Ident.Canon); sym != nil && sym.Kind == sema.SymQuantity {
+				return sym.Attr.Kind
+			}
+		case *ast.Paren:
+			return kindOf(e.X)
+		case *ast.Unary:
+			if e.Op == token.PLUS || e.Op == token.MINUS {
+				return kindOf(e.X)
+			}
+		case *ast.Binary:
+			switch e.Op {
+			case token.PLUS, token.MINUS:
+				x, y := kindOf(e.X), kindOf(e.Y)
+				if x != sema.KindUnspecified && y != sema.KindUnspecified && x != y {
+					u.Report(diag.CodeDimension, e.SpanV,
+						"expression mixes %s and %s quantities in a sum", x, y).
+						WithFix("convert one side explicitly (multiply by an impedance or admittance constant)")
+					return sema.KindUnspecified
+				}
+				if x != sema.KindUnspecified {
+					return x
+				}
+				return y
+			default:
+				// Products and quotients change dimension; still descend so
+				// mixed sums inside them are found.
+				kindOf(e.X)
+				kindOf(e.Y)
+			}
+		case *ast.Call:
+			for _, a := range e.Args {
+				kindOf(a)
+			}
+		case *ast.Attribute:
+			kindOf(e.X)
+		}
+		return sema.KindUnspecified
+	}
+	for _, st := range d.Arch.Stmts {
+		ast.Walk(st, func(n ast.Node) bool {
+			ss, ok := n.(*ast.SimpleSimultaneous)
+			if !ok {
+				return true
+			}
+			l, r := kindOf(ss.LHS), kindOf(ss.RHS)
+			if l != sema.KindUnspecified && r != sema.KindUnspecified && l != r {
+				u.Report(diag.CodeDimension, ss.SpanV,
+					"equation relates a %s quantity to a %s quantity", l, r).
+					WithFix("convert one side explicitly (multiply by an impedance or admittance constant)")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/sema"
+	"vase/internal/token"
+)
+
+// divZeroPass inspects every division in the design. A divisor that folds to
+// the constant zero is an error (the divider block output is unbounded); a
+// divisor that is an input quantity whose declared 'range includes zero is a
+// warning — the analog divider will saturate whenever the input crosses
+// zero, and nothing in the specification prevents that.
+var divZeroPass = &Pass{
+	Name: "divzero",
+	Doc:  "division by zero or by a possibly-zero annotated input",
+	Run:  runDivZero,
+}
+
+func runDivZero(u *Unit) {
+	d := u.Design
+	if d == nil {
+		return
+	}
+	for _, st := range d.Arch.Stmts {
+		ast.Walk(st, func(n ast.Node) bool {
+			b, ok := n.(*ast.Binary)
+			if !ok || b.Op != token.SLASH {
+				return true
+			}
+			div := b.Y
+			if v := d.ConstOf(div); v != nil && v.Type.IsNumeric() && v.AsReal() == 0 {
+				u.Report(diag.CodeDivByZero, div.Span(), "division by constant zero").
+					WithFix("the divider output is unbounded; fix the constant or restructure the equation")
+				return true
+			}
+			if nm, ok := unparenExpr(div).(*ast.Name); ok {
+				sym := d.Lookup(nm.Ident.Canon)
+				if sym != nil && sym.Kind == sema.SymQuantity && sym.Attr.HasRange &&
+					sym.Attr.RangeLo <= 0 && 0 <= sym.Attr.RangeHi {
+					u.Report(diag.CodeDivMaybeZero, div.Span(),
+						"divisor %q has declared range [%g, %g], which includes zero",
+						sym.Orig, sym.Attr.RangeLo, sym.Attr.RangeHi).
+						WithFix("tighten the 'range annotation or guard the division with an if/use")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func unparenExpr(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.Paren)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"vase/internal/diag"
+	"vase/internal/source"
+	"vase/internal/vhif"
+)
+
+// fsmStatesPass inspects the event-driven part of the module: states that
+// can never be entered from the start state (unreachable) and states the
+// machine can never leave again (dead ends — entering one deadlocks the
+// process forever, since VASS processes resume only through their arcs).
+var fsmStatesPass = &Pass{
+	Name: "fsmstates",
+	Doc:  "unreachable and dead-end FSM states",
+	Run:  runFSMStates,
+}
+
+func runFSMStates(u *Unit) {
+	if u.Module == nil {
+		return
+	}
+	for _, f := range u.Module.FSMs {
+		if f.Start == nil || len(f.States) == 0 {
+			u.Report(diag.CodeFSMStructure, source.NewSpan(source.NoPos, source.NoPos),
+				"fsm %q has no start state", f.Name)
+			continue
+		}
+		reach := map[*vhif.State]bool{f.Start: true}
+		work := []*vhif.State{f.Start}
+		for len(work) > 0 {
+			s := work[0]
+			work = work[1:]
+			for _, a := range f.ArcsFrom(s) {
+				if a.To != nil && !reach[a.To] {
+					reach[a.To] = true
+					work = append(work, a.To)
+				}
+			}
+		}
+		for _, s := range f.States {
+			if !reach[s] {
+				u.Report(diag.CodeUnreachableState, source.NewSpan(source.NoPos, source.NoPos),
+					"fsm %q: state %q is unreachable from the start state", f.Name, s.Name).
+					WithFix("add an arc into %q or delete the state", s.Name)
+				continue
+			}
+			if s != f.Start && len(f.ArcsFrom(s)) == 0 {
+				u.Report(diag.CodeDeadEndState, source.NewSpan(source.NoPos, source.NoPos),
+					"fsm %q: state %q has no outgoing arc; the process deadlocks once it enters", f.Name, s.Name).
+					WithFix("add an arc returning to the start (suspended) state")
+			}
+		}
+	}
+}

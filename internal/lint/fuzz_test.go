@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"testing"
+
+	"vase/internal/corpus"
+)
+
+// FuzzLint proves the robustness contract of the linter: no pass may panic,
+// whatever the input — syntactically broken, semantically absurd, or
+// truncated mid-token. The driver already promises to keep going after
+// front-end errors; this target makes that promise mechanical.
+func FuzzLint(f *testing.F) {
+	for _, app := range corpus.Applications() {
+		f.Add(app.Source)
+	}
+	f.Add("")
+	f.Add("entity e is end entity;")
+	f.Add(`entity e is
+  port (quantity a : in real is voltage range 1.0 to -1.0;
+        quantity b : inout real;
+        quantity w : out real);
+end entity;
+architecture x of e is
+  signal s : bit;
+begin
+  w == (a + a)'dot / 0.0;
+  process is begin
+    while (s = '0') loop s <= '1'; end loop;
+  end process;
+end architecture;`)
+	f.Add("architecture a of nowhere is begin end architecture;")
+	f.Add("entity e is port (quantity q : out real); end entity;\narchitecture a of e is begin q == q / q; end architecture;")
+	f.Fuzz(func(t *testing.T, src string) {
+		list, err := CheckSource("fuzz.vhd", src, Options{})
+		if err != nil {
+			t.Fatalf("CheckSource returned a driver error (must fold into the list): %v", err)
+		}
+		_ = list.Error()
+	})
+}
+
+// FuzzLintVHIF drives the module-level passes with arbitrary VHIF text.
+func FuzzLintVHIF(f *testing.F) {
+	f.Add("module m\n")
+	f.Add("module m\nfsm ctl\nstate start\nstate stuck\narc start -> stuck when go\n")
+	f.Add("module m\ngraph g\nadd a in=(b.out) out=a.out\ngain b in=(a.out) out=b.out\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		list, err := CheckVHIF("fuzz.vhif", src, Options{})
+		if err != nil {
+			t.Fatalf("CheckVHIF returned a driver error (must fold into the list): %v", err)
+		}
+		_ = list.Error()
+	})
+}

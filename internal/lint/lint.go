@@ -1,0 +1,241 @@
+// Package lint implements the VASS/VHIF synthesizability linter: a driver
+// running a set of analyzers over checked designs (sema.Design) and their
+// compiled intermediate representation (vhif.Module).
+//
+// The passes report structured diagnostics (internal/diag) with stable
+// VASS05xx codes, so findings can be filtered, rendered with source
+// excerpts, or consumed as JSON. Front-end diagnostics (syntax, semantic and
+// compile errors) are folded into the same list: the linter keeps going
+// after errors and reports everything it can still see.
+package lint
+
+import (
+	"errors"
+	"sort"
+
+	"vase/internal/ast"
+	"vase/internal/compile"
+	"vase/internal/diag"
+	"vase/internal/parser"
+	"vase/internal/sema"
+	"vase/internal/source"
+	"vase/internal/vhif"
+)
+
+// Unit is one analysis subject. Source units carry the full front-end view
+// (File, AST, Design, and — when compilation succeeded — Module and block
+// origins); VHIF units read from serialized intermediate files carry only
+// Name and Module.
+type Unit struct {
+	Name    string
+	File    *source.File
+	AST     *ast.DesignFile
+	Design  *sema.Design
+	Module  *vhif.Module
+	Origins compile.Origins
+
+	diags *diag.List
+}
+
+// Report emits a diagnostic at the given source span. For units without
+// source text the diagnostic carries only the unit name.
+func (u *Unit) Report(code diag.Code, sp source.Span, format string, args ...any) *diag.Diagnostic {
+	if u.File != nil {
+		d := diag.New(code, u.File.Position(sp.Start), format, args...)
+		if sp.End > sp.Start {
+			d.End = u.File.Position(sp.End)
+		}
+		u.diags.Add(d)
+		return d
+	}
+	d := diag.New(code, source.Position{Filename: u.Name}, format, args...)
+	u.diags.Add(d)
+	return d
+}
+
+// SpanOfDecl returns the span of the symbol's declaration, or an invalid
+// span when the symbol was synthesized (builtins, implicit objects).
+func (u *Unit) SpanOfDecl(sym *sema.Symbol) source.Span {
+	if sym != nil && sym.Decl != nil {
+		return sym.Decl.Span()
+	}
+	return source.NewSpan(source.NoPos, source.NoPos)
+}
+
+// OriginOf returns the source span the block was compiled from, or an
+// invalid span when unknown.
+func (u *Unit) OriginOf(b *vhif.Block) source.Span {
+	if u.Origins != nil {
+		if sp, ok := u.Origins[b]; ok {
+			return sp
+		}
+	}
+	return source.NewSpan(source.NoPos, source.NoPos)
+}
+
+// Pass is one analyzer. Run inspects the unit and reports findings through
+// Unit.Report; passes must tolerate partial units (nil Design or Module).
+type Pass struct {
+	// Name identifies the pass on the command line (-passes).
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	Run func(u *Unit)
+}
+
+// passes holds the registered analyzers in execution (and documentation)
+// order.
+var passes = []*Pass{
+	unusedPass,
+	fsmStatesPass,
+	algLoopPass,
+	dimensionPass,
+	divZeroPass,
+	constRangePass,
+	annotationsPass,
+	subsetPass,
+}
+
+// Passes returns the registered analyzers.
+func Passes() []*Pass { return passes }
+
+// PassByName returns the named pass, or nil.
+func PassByName(name string) *Pass {
+	for _, p := range passes {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Passes selects analyzers by name; nil or empty means all.
+	Passes []string
+}
+
+func (o Options) selected() ([]*Pass, error) {
+	if len(o.Passes) == 0 {
+		return passes, nil
+	}
+	var out []*Pass
+	for _, name := range o.Passes {
+		p := PassByName(name)
+		if p == nil {
+			return nil, diag.Errorf(diag.CodeSema, "lint: unknown pass %q", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Run executes the selected passes over the unit, appending findings to the
+// returned list.
+func Run(u *Unit, opts Options) (diag.List, error) {
+	var out diag.List
+	u.diags = &out
+	sel, err := opts.selected()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range sel {
+		p.Run(u)
+	}
+	out.Sort()
+	out.Dedupe()
+	return out, nil
+}
+
+// CheckSource runs the front end (parse, analyze, compile) and the selected
+// passes over one VASS source, returning every diagnostic found. Front-end
+// errors do not stop the linter: semantic passes run on the partial design,
+// and module passes are skipped only when no VHIF could be built.
+func CheckSource(name, text string, opts Options) (diag.List, error) {
+	sel, err := opts.selected()
+	if err != nil {
+		return nil, err
+	}
+	var out diag.List
+	df, perrs := parser.ParseCollect(name, text)
+	out = append(out, *perrs...)
+
+	designs, serrs := sema.AnalyzeCollect(df)
+	out = append(out, *serrs...)
+
+	if len(designs) == 0 {
+		out.Sort()
+		out.Dedupe()
+		return out, nil
+	}
+	for _, d := range designs {
+		u := &Unit{Name: name, File: df.File, AST: df, Design: d, diags: &out}
+		if !out.HasErrors() {
+			m, origins, err := compile.CompileTraced(d)
+			if err != nil {
+				appendError(&out, name, err)
+			} else {
+				u.Module = m
+				u.Origins = origins
+			}
+		}
+		for _, p := range sel {
+			p.Run(u)
+		}
+	}
+	out.Sort()
+	out.Dedupe()
+	return out, nil
+}
+
+// CheckVHIF runs the module-level passes over a serialized VHIF text. The
+// module is parsed leniently: structural invariant violations are exactly
+// what the FSM and loop passes are there to report.
+func CheckVHIF(name, text string, opts Options) (diag.List, error) {
+	sel, err := opts.selected()
+	if err != nil {
+		return nil, err
+	}
+	var out diag.List
+	m, perr := vhif.ParseLenient(text)
+	if perr != nil {
+		appendError(&out, name, perr)
+		return out, nil
+	}
+	u := &Unit{Name: name, Module: m, diags: &out}
+	for _, p := range sel {
+		p.Run(u)
+	}
+	out.Sort()
+	out.Dedupe()
+	return out, nil
+}
+
+// appendError folds an error from a front-end stage into the list,
+// preserving structure when it already is a diagnostic.
+func appendError(out *diag.List, name string, err error) {
+	var list diag.List
+	if errors.As(err, &list) {
+		*out = append(*out, list...)
+		return
+	}
+	var d *diag.Diagnostic
+	if errors.As(err, &d) {
+		if !d.HasPos() {
+			d.Pos.Filename = name
+		}
+		out.Add(d)
+		return
+	}
+	out.Addf(diag.CodeCompile, source.Position{Filename: name}, "%v", err)
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vase/internal/corpus"
+	"vase/internal/diag"
+	"vase/internal/source"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden runs the full linter over every fixture in testdata and
+// compares the rendered diagnostics (with source excerpts and carets, so
+// spans are part of the contract) against the .golden file next to it.
+func TestGolden(t *testing.T) {
+	vhd, err := filepath.Glob(filepath.Join("testdata", "*.vhd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vhif, err := filepath.Glob(filepath.Join("testdata", "*.vhif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := append(vhd, vhif...)
+	if len(fixtures) == 0 {
+		t.Fatal("no fixtures under testdata/")
+	}
+	for _, path := range fixtures {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := filepath.Base(path)
+			text := string(raw)
+			var list diag.List
+			var f *source.File
+			switch filepath.Ext(path) {
+			case ".vhd":
+				list, err = CheckSource(name, text, Options{})
+				f = source.NewFile(name, text)
+			case ".vhif":
+				list, err = CheckVHIF(name, text, Options{})
+			default:
+				t.Fatalf("unexpected fixture extension %q", path)
+			}
+			if err != nil {
+				t.Fatalf("lint %s: %v", name, err)
+			}
+			got := list.Render(f)
+			goldenPath := path + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/lint -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCoverage asserts that the fixtures exercise every analyzer: each
+// pass must produce at least one of its codes somewhere in the goldens.
+func TestGoldenCoverage(t *testing.T) {
+	codesOf := map[string][]diag.Code{
+		"unused":      {diag.CodeUnusedObject, diag.CodeWriteOnlySignal, diag.CodeUnusedFunction},
+		"fsmstates":   {diag.CodeUnreachableState, diag.CodeDeadEndState},
+		"algloop":     {diag.CodeLintLoop},
+		"dimension":   {diag.CodeDimension},
+		"divzero":     {diag.CodeDivByZero, diag.CodeDivMaybeZero},
+		"constrange":  {diag.CodeConstOutOfRange, diag.CodeDeadThreshold},
+		"annotations": {diag.CodeAnnFreqOrder, diag.CodeAnnRangeOrder, diag.CodeAnnWrongDir, diag.CodeAnnBadDrive, diag.CodeAnnPeakVsLimit},
+		"subset":      {diag.CodeSubsetProcess, diag.CodeSubsetLoop, diag.CodeSubsetComposite, diag.CodeSubsetPortMode, diag.CodeSubsetDerivative},
+	}
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	for _, g := range goldens {
+		raw, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.Write(raw)
+	}
+	text := all.String()
+	for _, p := range Passes() {
+		codes, ok := codesOf[p.Name]
+		if !ok {
+			t.Errorf("pass %q has no expected codes registered in this test", p.Name)
+			continue
+		}
+		hit := false
+		for _, c := range codes {
+			if strings.Contains(text, string(c)) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("no fixture triggers pass %q (none of %v appear in the goldens)", p.Name, codes)
+		}
+	}
+}
+
+// TestCorpusClean locks in that the shipped corpus lints without warnings or
+// errors: the linter must not cry wolf on the five known-good designs.
+func TestCorpusClean(t *testing.T) {
+	for _, app := range corpus.Applications() {
+		app := app
+		t.Run(app.Key, func(t *testing.T) {
+			list, err := CheckSource(app.Key+".vhd", app.Source, Options{})
+			if err != nil {
+				t.Fatalf("lint: %v", err)
+			}
+			if noisy := list.Filter(diag.Warning); len(noisy) > 0 {
+				t.Errorf("corpus %s is not lint-clean:\n%s", app.Key, noisy.Render(source.NewFile(app.Key+".vhd", app.Source)))
+			}
+		})
+	}
+}
+
+func TestPassRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Passes() {
+		if p.Name == "" || p.Doc == "" || p.Run == nil {
+			t.Errorf("pass %+v is missing a name, doc or run function", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate pass name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if PassByName(p.Name) != p {
+			t.Errorf("PassByName(%q) does not round-trip", p.Name)
+		}
+	}
+	if PassByName("nosuch") != nil {
+		t.Error("PassByName accepted an unknown name")
+	}
+}
+
+func TestSelectPasses(t *testing.T) {
+	src := `entity e is
+  port (quantity v1 : in real is voltage;
+        quantity i1 : in real is current;
+        quantity vo : out real is voltage);
+end entity;
+architecture a of e is
+  signal dead : bit;
+begin
+  vo == v1 + i1;
+end architecture;
+`
+	all, err := CheckSource("sel.vhd", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Count(diag.Warning) < 2 {
+		t.Fatalf("expected both the dimension and unused findings, got:\n%s", all.Error())
+	}
+	only, err := CheckSource("sel.vhd", src, Options{Passes: []string{"dimension"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range only {
+		if d.Code != diag.CodeDimension {
+			t.Errorf("pass selection leaked %s", d.Code)
+		}
+	}
+	if len(only) == 0 {
+		t.Error("selected dimension pass found nothing")
+	}
+	if _, err := CheckSource("sel.vhd", src, Options{Passes: []string{"nosuch"}}); err == nil {
+		t.Error("unknown pass name was accepted")
+	}
+}
+
+// TestBrokenSourceStillLints verifies the keep-going contract: semantic
+// errors do not stop the source-level passes.
+func TestBrokenSourceStillLints(t *testing.T) {
+	src := `entity broken is
+  port (quantity vin : in real is voltage;
+        quantity vout : out real);
+end entity;
+architecture a of broken is
+  signal dead : bit;
+begin
+  vout == vin + nosuch;
+end architecture;
+`
+	list, err := CheckSource("broken.vhd", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !list.HasErrors() {
+		t.Fatalf("expected the undeclared-name error, got:\n%s", list.Error())
+	}
+	foundUnused := false
+	for _, d := range list {
+		if d.Code == diag.CodeUnusedObject {
+			foundUnused = true
+		}
+	}
+	if !foundUnused {
+		t.Errorf("unused pass did not run on the broken design:\n%s", list.Error())
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/sema"
+)
+
+// subsetPass explains VASS subset conformance for constructs the rest of the
+// front end either rejects tersely or accepts with surprising semantics:
+// inout ports (no analog bidirectional stage exists), vector objects
+// (compiled element-wise, one hardware block per element), derivatives of
+// computed expressions (only named quantities have continuous state), and
+// the process forms that break the suspend/resume model (no sensitivity
+// list, while-loops under event-driven semantics).
+var subsetPass = &Pass{
+	Name: "subset",
+	Doc:  "VASS subset conformance explanations",
+	Run:  runSubset,
+}
+
+func runSubset(u *Unit) {
+	if u.AST == nil {
+		return
+	}
+	for _, unit := range u.AST.Units {
+		ent, ok := unit.(*ast.Entity)
+		if !ok {
+			continue
+		}
+		for _, p := range ent.Ports {
+			if p.Mode == ast.ModeInOut {
+				u.Report(diag.CodeSubsetPortMode, p.SpanV,
+					"inout ports are outside the VASS subset: analog stages are unidirectional").
+					WithFix("split the port into a separate in and out pair")
+			}
+		}
+	}
+	for _, arch := range u.AST.Architectures() {
+		for _, st := range arch.Stmts {
+			ast.Walk(st, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Process:
+					if len(n.Sensitivity) == 0 {
+						u.Report(diag.CodeSubsetProcess, n.SpanV,
+							"process without a sensitivity list is outside the VASS subset: the FSM extractor needs explicit resume events").
+							WithFix("list the signals and 'above events that resume the process, e.g. process (clk, q'above(vth))")
+					}
+					for _, s := range n.Body {
+						ast.Walk(s, func(m ast.Node) bool {
+							if w, ok := m.(*ast.WhileStmt); ok {
+								u.Report(diag.CodeSubsetLoop, w.SpanV,
+									"while-loop inside a process is outside the VASS subset: event-driven bodies must terminate within one activation").
+									WithFix("move the loop into a procedural body (sampling semantics) or bound it with a static for-loop")
+							}
+							return true
+						})
+					}
+				case *ast.Attribute:
+					if n.Attr == "dot" || n.Attr == "integ" {
+						if _, ok := unparenExpr(n.X).(*ast.Name); !ok {
+							u.Report(diag.CodeSubsetDerivative, n.SpanV,
+								"'%s of a computed expression is outside the VASS subset: only named quantities carry continuous state", n.Attr).
+								WithFix("introduce a free quantity for the expression and take '%s of that quantity", n.Attr)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Vector-typed objects compile element-wise: legal, but each element
+	// becomes its own hardware block, which is worth knowing about.
+	if d := u.Design; d != nil {
+		seen := map[*sema.Symbol]bool{}
+		warnVec := func(sym *sema.Symbol) {
+			if sym == nil || seen[sym] {
+				return
+			}
+			seen[sym] = true
+			if sym.Type.Kind == sema.TBitVector || sym.Type.Kind == sema.TRealVector {
+				u.Report(diag.CodeSubsetComposite, u.SpanOfDecl(sym),
+					"%s %q has a composite type %s; it compiles element-wise into %d parallel blocks",
+					sym.Kind, sym.Orig, sym.Type, sym.Type.Len)
+			}
+		}
+		for _, sym := range d.Ports {
+			warnVec(sym)
+		}
+		for _, sym := range d.Quantities {
+			warnVec(sym)
+		}
+		for _, sym := range d.Signals {
+			warnVec(sym)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+entity ann_demo is
+  port (
+    quantity vin  : in real is voltage drives 100.0 at 0.5 peak;
+    quantity v2   : in real is frequency 5000.0 to 300.0;
+    quantity vo   : out real is range 2.0 to -2.0;
+    quantity vb   : out real is voltage limited at 1.0 drives 50.0 at 2.5 peak;
+    quantity vneg : out real is drives -50.0
+  );
+end entity;
+
+architecture behavioral of ann_demo is
+begin
+  vo == vin + v2;
+  vb == vin;
+  vneg == v2;
+end architecture;

@@ -1,0 +1,12 @@
+entity clean_demo is
+  port (
+    quantity vin  : in real is voltage;
+    quantity vout : out real is voltage
+  );
+end entity;
+
+architecture behavioral of clean_demo is
+  constant g : real := 3.0;
+begin
+  vout == g * vin;
+end architecture;

@@ -1,0 +1,18 @@
+entity range_demo is
+  port (
+    quantity vin : in real is voltage range -1.0 to 1.0;
+    quantity vq  : out real is range -1.0 to 1.0;
+    quantity vo  : out real
+  );
+end entity;
+
+architecture behavioral of range_demo is
+  signal over : bit;
+begin
+  vq == 5.0;
+  vo == 2.0 * vin;
+  process (vin'above(5.0)) is
+  begin
+    over <= '1';
+  end process;
+end architecture;

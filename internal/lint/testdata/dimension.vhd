@@ -1,0 +1,12 @@
+entity dim_demo is
+  port (
+    quantity v1 : in real is voltage;
+    quantity i1 : in real is current;
+    quantity vo : out real is voltage
+  );
+end entity;
+
+architecture behavioral of dim_demo is
+begin
+  vo == v1 + i1;
+end architecture;

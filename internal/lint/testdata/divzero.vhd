@@ -1,0 +1,15 @@
+entity div_demo is
+  port (
+    quantity num : in real is voltage;
+    quantity den : in real is voltage range -1.0 to 1.0;
+    quantity q1  : out real;
+    quantity q2  : out real
+  );
+end entity;
+
+architecture behavioral of div_demo is
+  constant zero : real := 0.0;
+begin
+  q1 == num / zero;
+  q2 == num / den;
+end architecture;

@@ -1,0 +1,20 @@
+entity subset_demo is
+  port (
+    quantity a : in real is voltage;
+    quantity b : inout real;
+    quantity w : out real
+  );
+end entity;
+
+architecture behavioral of subset_demo is
+  signal bits : bit_vector(1 to 4);
+  signal go : bit;
+begin
+  w == (a + a)'dot;
+  process is
+  begin
+    while (go = '0') loop
+      go <= '1';
+    end loop;
+  end process;
+end architecture;

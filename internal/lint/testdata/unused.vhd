@@ -1,0 +1,22 @@
+entity unused_demo is
+  port (
+    quantity vin  : in real is voltage;
+    quantity vout : out real is voltage
+  );
+end entity;
+
+architecture behavioral of unused_demo is
+  constant g : real := 2.0;
+  signal spare : bit;
+  signal flag : bit;
+  function twice(x : real) return real is
+  begin
+    return 2.0 * x;
+  end function;
+begin
+  vout == g * vin;
+  process (vin'above(0.0)) is
+  begin
+    flag <= '1';
+  end process;
+end architecture;

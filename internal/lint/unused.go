@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/sema"
+)
+
+// unusedPass finds declared objects the design never touches: quantities,
+// signals and terminals with no reference at all (warning), signals that are
+// only ever written (informational — a write-only status output like a busy
+// flag is common, but nothing in this design observes it), and user
+// functions that are never called.
+var unusedPass = &Pass{
+	Name: "unused",
+	Doc:  "unused quantities, signals, terminals and functions; write-only signals",
+	Run:  runUnused,
+}
+
+func runUnused(u *Unit) {
+	d := u.Design
+	if d == nil {
+		return
+	}
+	reads := map[string]int{}
+	writes := map[string]int{}
+	calls := map[string]int{}
+
+	noteStmts(u.AST, reads, writes, calls)
+
+	seen := map[*sema.Symbol]bool{}
+	check := func(sym *sema.Symbol) {
+		if sym == nil || seen[sym] || sym.Decl == nil {
+			return
+		}
+		seen[sym] = true
+		r, w := reads[sym.Name], writes[sym.Name]
+		switch {
+		case r == 0 && w == 0 && !sym.IsPort:
+			u.Report(diag.CodeUnusedObject, sym.Decl.Span(),
+				"%s %q is declared but never used", sym.Kind, sym.Orig).
+				WithFix("remove the declaration, or wire %q into the design", sym.Orig)
+		case r == 0 && w > 0 && sym.Kind == sema.SymSignal && sym.Mode != ast.ModeOut:
+			u.Report(diag.CodeWriteOnlySignal, sym.Decl.Span(),
+				"signal %q is assigned but never read", sym.Orig).
+				WithFix("expose %q as an out port if it is a status output, or remove it", sym.Orig)
+		}
+	}
+	for _, sym := range d.Quantities {
+		check(sym)
+	}
+	for _, sym := range d.Signals {
+		check(sym)
+	}
+	for _, sym := range d.Ports {
+		if sym.Kind == sema.SymTerminal {
+			if reads[sym.Name] == 0 && writes[sym.Name] == 0 {
+				u.Report(diag.CodeUnusedObject, sym.Decl.Span(),
+					"terminal %q is declared but never used", sym.Orig)
+			}
+		}
+	}
+	for _, name := range sortedKeys(d.Funcs) {
+		f := d.Funcs[name]
+		if f.Decl == nil || f.Builtin != "" {
+			continue
+		}
+		if calls[name] == 0 {
+			u.Report(diag.CodeUnusedFunction, f.Decl.SpanV,
+				"function %q is declared but never called", f.Name)
+		}
+	}
+}
+
+// noteStmts walks the design file recording reads, writes and calls per
+// canonical name. Assignment targets count as writes; every other name
+// occurrence (including sensitivity-list entries and equation sides) counts
+// as a read, because simultaneous statements use quantities relationally.
+func noteStmts(df *ast.DesignFile, reads, writes, calls map[string]int) {
+	var noteExpr func(e ast.Expr)
+	noteExpr = func(e ast.Expr) {
+		ast.Walk(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Name:
+				reads[n.Ident.Canon]++
+			case *ast.Call:
+				calls[n.Fun.Canon]++
+			}
+			return true
+		})
+	}
+	var noteSeq func(sts []ast.SeqStmt)
+	noteSeq = func(sts []ast.SeqStmt) {
+		for _, st := range sts {
+			switch st := st.(type) {
+			case *ast.Assign:
+				if nm, ok := st.LHS.(*ast.Name); ok {
+					writes[nm.Ident.Canon]++
+				} else {
+					noteExpr(st.LHS)
+				}
+				noteExpr(st.RHS)
+			case *ast.IfStmt:
+				noteExpr(st.Cond)
+				noteSeq(st.Then)
+				for _, e := range st.Elifs {
+					noteExpr(e.Cond)
+					noteSeq(e.Then)
+				}
+				noteSeq(st.Else)
+			case *ast.CaseStmt:
+				noteExpr(st.Expr)
+				for _, arm := range st.Arms {
+					noteSeq(arm.Seq)
+				}
+			case *ast.ForStmt:
+				noteExpr(st.Range.Lo)
+				noteExpr(st.Range.Hi)
+				noteSeq(st.Body)
+			case *ast.WhileStmt:
+				noteExpr(st.Cond)
+				noteSeq(st.Body)
+			case *ast.ReturnStmt:
+				noteExpr(st.Value)
+			}
+		}
+	}
+	var noteConc func(sts []ast.ConcStmt)
+	noteConc = func(sts []ast.ConcStmt) {
+		for _, st := range sts {
+			switch st := st.(type) {
+			case *ast.SimpleSimultaneous:
+				noteExpr(st.LHS)
+				noteExpr(st.RHS)
+			case *ast.SimultaneousIf:
+				noteExpr(st.Cond)
+				noteConc(st.Then)
+				for _, e := range st.Elifs {
+					noteExpr(e.Cond)
+					noteConc(e.Then)
+				}
+				noteConc(st.Else)
+			case *ast.SimultaneousCase:
+				noteExpr(st.Expr)
+				for _, arm := range st.Arms {
+					noteConc(arm.Conc)
+				}
+			case *ast.Procedural:
+				noteSeq(st.Body)
+			case *ast.Process:
+				for _, e := range st.Sensitivity {
+					noteExpr(e)
+				}
+				noteSeq(st.Body)
+			}
+		}
+	}
+	for _, arch := range df.Architectures() {
+		noteConc(arch.Stmts)
+		for _, decl := range arch.Decls {
+			if fd, ok := decl.(*ast.FunctionDecl); ok {
+				noteSeq(fd.Body)
+			}
+			if od, ok := decl.(*ast.ObjectDecl); ok && od.Init != nil {
+				noteExpr(od.Init)
+			}
+		}
+	}
+	for _, unit := range df.Units {
+		switch unit := unit.(type) {
+		case *ast.Package:
+			notePackageDecls(unit.Decls, noteExpr, noteSeq)
+		case *ast.PackageBody:
+			notePackageDecls(unit.Decls, noteExpr, noteSeq)
+		}
+	}
+}
+
+func notePackageDecls(decls []ast.Decl, noteExpr func(ast.Expr), noteSeq func([]ast.SeqStmt)) {
+	for _, decl := range decls {
+		switch decl := decl.(type) {
+		case *ast.FunctionDecl:
+			noteSeq(decl.Body)
+		case *ast.ObjectDecl:
+			if decl.Init != nil {
+				noteExpr(decl.Init)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"vase/internal/corpus"
+	"vase/internal/diag"
 	"vase/internal/lexer"
 	"vase/internal/parser"
 	"vase/internal/source"
@@ -54,7 +55,7 @@ func addSeeds(f *testing.F) {
 func FuzzLexer(f *testing.F) {
 	addSeeds(f)
 	f.Fuzz(func(t *testing.T, src string) {
-		var errs source.ErrorList
+		var errs diag.List
 		toks := lexer.ScanAll(source.NewFile("fuzz.vhd", src), &errs)
 		// Every token span must slice the file without panicking.
 		file := source.NewFile("fuzz.vhd", src)

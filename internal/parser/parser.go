@@ -16,29 +16,36 @@ import (
 	"strings"
 
 	"vase/internal/ast"
+	"vase/internal/diag"
 	"vase/internal/lexer"
 	"vase/internal/source"
 	"vase/internal/token"
 )
 
 // Parse scans and parses the given source text registered under name.
-// It always returns the (possibly partial) design file; errs is non-nil
-// when diagnostics were produced.
+// It always returns the (possibly partial) design file; the error, when
+// non-nil, is a diag.List of structured syntax diagnostics.
 func Parse(name, text string) (*ast.DesignFile, error) {
-	var errs source.ErrorList
+	df, errs := ParseCollect(name, text)
+	return df, errs.Err()
+}
+
+// ParseCollect is Parse returning the raw diagnostic list, for tools (the
+// linter) that keep going after syntax errors.
+func ParseCollect(name, text string) (*ast.DesignFile, *diag.List) {
+	var errs diag.List
 	file := source.NewFile(name, text)
 	toks := lexer.ScanAll(file, &errs)
-	p := &parser{file: file, toks: toks, errs: &errs}
+	p := &parser{file: file, toks: toks, errs: diag.NewReporter(file, &errs, diag.CodeSyntax)}
 	df := p.parseFile()
-	errs.Sort()
-	return df, errs.Err()
+	return df, &errs
 }
 
 type parser struct {
 	file *source.File
 	toks []lexer.Token
 	pos  int
-	errs *source.ErrorList
+	errs *diag.Reporter
 }
 
 func (p *parser) tok() lexer.Token     { return p.toks[p.pos] }
@@ -61,7 +68,34 @@ func (p *parser) next() lexer.Token {
 }
 
 func (p *parser) errorf(sp source.Span, format string, args ...any) {
-	p.errs.Add(p.file.Position(sp.Start), format, args...)
+	p.errs.Errorf(sp, format, args...)
+}
+
+// report emits a diagnostic with an explicit code, returning it so call
+// sites can attach fixes.
+func (p *parser) report(code diag.Code, sp source.Span, format string, args ...any) *diag.Diagnostic {
+	return p.errs.Report(code, sp, format, args...)
+}
+
+// outOfSubsetSeq explains VHDL-AMS sequential statements that VASS excludes,
+// keyed by their leading word. The explanations replace bare syntax errors
+// (the "subset conformance" part of the paper's restrictions).
+var outOfSubsetSeq = map[string]string{
+	"assert": "assertions have no analog synthesis semantics; express operating conditions as 'range annotations on ports",
+	"report": "report statements have no analog synthesis semantics; remove them from the synthesizable model",
+	"next":   "loop control is outside VASS: loops must be statically bounded so they unroll to pure dataflow",
+	"exit":   "loop control is outside VASS: loops must be statically bounded so they unroll to pure dataflow",
+	"loop":   "bare loops are outside VASS: only statically-bounded for-loops and sampled while-loops are synthesizable",
+}
+
+// outOfSubsetConc explains excluded concurrent statements.
+var outOfSubsetConc = map[string]string{
+	"assert":    "concurrent assertions have no analog synthesis semantics; express operating conditions as 'range annotations",
+	"block":     "block statements are outside VASS: an architecture body is a flat set of simultaneous, procedural and process statements",
+	"component": "component instantiation is outside VASS: behavioral synthesis starts from a single behavioral architecture, not a structural one",
+	"generate":  "generate statements are outside VASS: replication must be written as statically-bounded for-loops inside procedurals",
+	"with":      "selected signal assignment is outside VASS: use a simultaneous case/use statement instead",
+	"break":     "break statements are outside VASS: discontinuities are modeled through process-controlled switch and sample-hold structures",
 }
 
 // expect consumes a token of kind k, reporting an error (without consuming)
@@ -236,6 +270,13 @@ func (p *parser) parseInterfaceDecl(defaultClass ast.ObjectClass) *ast.ObjectDec
 	case token.OUT:
 		p.next()
 		d.Mode = ast.ModeOut
+	default:
+		// "inout" is not a VASS keyword; accept it so the subset linter can
+		// explain why bidirectional ports cannot be synthesized.
+		if p.atContextual("inout") {
+			p.next()
+			d.Mode = ast.ModeInOut
+		}
 	}
 	d.Type = p.parseTypeRef()
 	if p.accept(token.ASSIGN) {
@@ -488,6 +529,23 @@ func (p *parser) parseConcStmt() ast.ConcStmt {
 		return s
 	case token.EOF, token.END:
 		return nil
+	case token.FOR, token.WHILE:
+		t := p.tok()
+		p.report(diag.CodeOutsideSubset, t.Span,
+			"%s loops are sequential statements; at architecture level VASS admits only simultaneous, procedural and process statements", t.Kind).
+			WithFix("move the loop inside a procedural body")
+		p.sync(token.SEMICOLON)
+		p.accept(token.SEMICOLON)
+		return p.parseConcStmt()
+	}
+	if p.at(token.IDENT) && p.peekKind(1) != token.EQEQ {
+		if why, ok := outOfSubsetConc[strings.ToLower(p.tok().Text)]; ok {
+			t := p.tok()
+			p.report(diag.CodeOutsideSubset, t.Span, "%q is outside the VASS synthesis subset: %s", strings.ToLower(t.Text), why)
+			p.sync(token.SEMICOLON)
+			p.accept(token.SEMICOLON)
+			return p.parseConcStmt()
+		}
 	}
 	// Simple simultaneous statement: expr == expr ;
 	start := p.tok().Span
@@ -653,7 +711,9 @@ func (p *parser) parseSeqStmt() ast.SeqStmt {
 		return s
 	case token.WAIT:
 		t := p.tok()
-		p.errorf(t.Span, "wait statements are not allowed in VASS processes")
+		p.report(diag.CodeOutsideSubset, t.Span,
+			"wait statements are not allowed in VASS processes: a process resumes on its sensitivity-list events, runs to completion and suspends").
+			WithFix("move the waited-for condition into the sensitivity list, e.g. process (q'above(threshold))")
 		p.sync(token.SEMICOLON)
 		p.accept(token.SEMICOLON)
 		return &ast.NullStmt{SpanV: t.Span}
@@ -662,6 +722,13 @@ func (p *parser) parseSeqStmt() ast.SeqStmt {
 			start := p.next().Span
 			end := p.expect(token.SEMICOLON).Span.End
 			return &ast.NullStmt{SpanV: source.NewSpan(start.Start, end)}
+		}
+		if why, ok := outOfSubsetSeq[strings.ToLower(p.tok().Text)]; ok && p.peekKind(1) != token.ASSIGN && p.peekKind(1) != token.LE {
+			t := p.tok()
+			p.report(diag.CodeOutsideSubset, t.Span, "%q is outside the VASS synthesis subset: %s", strings.ToLower(t.Text), why)
+			p.sync(token.SEMICOLON, token.END)
+			p.accept(token.SEMICOLON)
+			return &ast.NullStmt{SpanV: t.Span}
 		}
 		return p.parseAssign()
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"vase/internal/ast"
+	"vase/internal/diag"
 	"vase/internal/token"
 )
 
@@ -42,7 +43,7 @@ func (a *analyzer) typeOfUncached(s *Scope, e ast.Expr) Type {
 		}
 		sym := s.Lookup(e.Ident.Canon)
 		if sym == nil {
-			a.errorf(e.SpanV, "undeclared name %q", e.Ident.Name)
+			a.report(diag.CodeUndeclared, e.SpanV, "undeclared name %q", e.Ident.Name)
 			return ErrType
 		}
 		if sym.Kind == SymFunction {
@@ -55,13 +56,13 @@ func (a *analyzer) typeOfUncached(s *Scope, e ast.Expr) Type {
 		switch e.Op {
 		case token.MINUS, token.PLUS, token.ABS:
 			if !t.IsNumeric() && t.Kind != TError {
-				a.errorf(e.SpanV, "operator %s requires a numeric operand, got %s", e.Op, t)
+				a.report(diag.CodeTypeMismatch, e.SpanV, "operator %s requires a numeric operand, got %s", e.Op, t)
 				return ErrType
 			}
 			return t
 		case token.NOT:
 			if t.Kind != TBool && t.Kind != TBit && t.Kind != TError {
-				a.errorf(e.SpanV, "not requires a boolean or bit operand, got %s", t)
+				a.report(diag.CodeTypeMismatch, e.SpanV, "not requires a boolean or bit operand, got %s", t)
 				return ErrType
 			}
 			return t
@@ -86,7 +87,7 @@ func (a *analyzer) typeOfBinary(s *Scope, e *ast.Binary) Type {
 	switch e.Op {
 	case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.DSTAR, token.MOD, token.REM:
 		if !x.IsNumeric() || !y.IsNumeric() {
-			a.errorf(e.SpanV, "operator %s requires numeric operands, got %s and %s", e.Op, x, y)
+			a.report(diag.CodeTypeMismatch, e.SpanV, "operator %s requires numeric operands, got %s and %s", e.Op, x, y)
 			return ErrType
 		}
 		if x.Kind == TReal || y.Kind == TReal {
@@ -95,20 +96,20 @@ func (a *analyzer) typeOfBinary(s *Scope, e *ast.Binary) Type {
 		return Int
 	case token.EQ, token.NEQ:
 		if !comparable(x, y) {
-			a.errorf(e.SpanV, "cannot compare %s and %s", x, y)
+			a.report(diag.CodeTypeMismatch, e.SpanV, "cannot compare %s and %s", x, y)
 			return ErrType
 		}
 		return Bool
 	case token.LT, token.LE, token.GT, token.GE:
 		if !x.IsNumeric() || !y.IsNumeric() {
-			a.errorf(e.SpanV, "ordering comparison requires numeric operands, got %s and %s", x, y)
+			a.report(diag.CodeTypeMismatch, e.SpanV, "ordering comparison requires numeric operands, got %s and %s", x, y)
 			return ErrType
 		}
 		return Bool
 	case token.AND, token.OR, token.NAND, token.NOR, token.XOR:
 		okKind := func(t Type) bool { return t.Kind == TBool || t.Kind == TBit }
 		if !okKind(x) || !okKind(y) {
-			a.errorf(e.SpanV, "logical operator %s requires boolean or bit operands, got %s and %s", e.Op, x, y)
+			a.report(diag.CodeTypeMismatch, e.SpanV, "logical operator %s requires boolean or bit operands, got %s and %s", e.Op, x, y)
 			return ErrType
 		}
 		if x.Kind == TBit && y.Kind == TBit {
@@ -138,7 +139,7 @@ func comparable(x, y Type) bool {
 func (a *analyzer) typeOfCall(s *Scope, e *ast.Call) Type {
 	sym := s.Lookup(e.Fun.Canon)
 	if sym == nil {
-		a.errorf(e.SpanV, "undeclared function %q", e.Fun.Name)
+		a.report(diag.CodeUndeclared, e.SpanV, "undeclared function %q", e.Fun.Name)
 		for _, arg := range e.Args {
 			a.typeOf(s, arg)
 		}
@@ -152,7 +153,7 @@ func (a *analyzer) typeOfCall(s *Scope, e *ast.Call) Type {
 			}
 			for _, arg := range e.Args {
 				if it := a.typeOf(s, arg); !it.IsNumeric() && it.Kind != TError {
-					a.errorf(arg.Span(), "index must be numeric, got %s", it)
+					a.report(diag.CodeTypeMismatch, arg.Span(), "index must be numeric, got %s", it)
 				}
 			}
 			if sym.Type.Kind == TRealVector {
@@ -172,7 +173,7 @@ func (a *analyzer) typeOfCall(s *Scope, e *ast.Call) Type {
 		if i < len(f.Params) {
 			want := f.Params[i].Type
 			if !t.Same(want) && t.Kind != TError && !(t.IsNumeric() && want.IsNumeric()) {
-				a.errorf(arg.Span(), "argument %d of %q has type %s, want %s", i+1, e.Fun.Name, t, want)
+				a.report(diag.CodeTypeMismatch, arg.Span(), "argument %d of %q has type %s, want %s", i+1, e.Fun.Name, t, want)
 			}
 		}
 	}
@@ -190,7 +191,7 @@ func (a *analyzer) typeOfAttribute(s *Scope, e *ast.Attribute) Type {
 			a.errorf(e.SpanV, "'above requires a threshold argument")
 		} else {
 			if t := a.typeOf(s, e.Args[0]); !t.IsNumeric() && t.Kind != TError {
-				a.errorf(e.Args[0].Span(), "'above threshold must be numeric, got %s", t)
+				a.report(diag.CodeTypeMismatch, e.Args[0].Span(), "'above threshold must be numeric, got %s", t)
 			}
 		}
 		return Bool
@@ -261,7 +262,7 @@ func (a *analyzer) recordTerminalFacet(sym *Symbol, e *ast.Attribute) {
 func (a *analyzer) checkCond(s *Scope, e ast.Expr) {
 	t := a.typeOf(s, e)
 	if t.Kind != TBool && t.Kind != TBit && t.Kind != TError {
-		a.errorf(e.Span(), "condition must be boolean, got %s", t)
+		a.report(diag.CodeTypeMismatch, e.Span(), "condition must be boolean, got %s", t)
 	}
 }
 
@@ -517,10 +518,10 @@ func (a *analyzer) checkConcStmt(s *Scope, st ast.ConcStmt) {
 		lt := a.typeOf(s, st.LHS)
 		rt := a.typeOf(s, st.RHS)
 		if lt.Kind != TError && !lt.IsNumeric() {
-			a.errorf(st.LHS.Span(), "simultaneous statement sides must be real expressions, got %s", lt)
+			a.report(diag.CodeTypeMismatch, st.LHS.Span(), "simultaneous statement sides must be real expressions, got %s", lt)
 		}
 		if rt.Kind != TError && !rt.IsNumeric() {
-			a.errorf(st.RHS.Span(), "simultaneous statement sides must be real expressions, got %s", rt)
+			a.report(diag.CodeTypeMismatch, st.RHS.Span(), "simultaneous statement sides must be real expressions, got %s", rt)
 		}
 	case *ast.SimultaneousIf:
 		a.checkCond(s, st.Cond)
@@ -606,31 +607,31 @@ func (a *analyzer) checkProcedural(s *Scope, st *ast.Procedural) {
 
 func (a *analyzer) checkProcess(s *Scope, st *ast.Process) {
 	if len(st.Sensitivity) == 0 {
-		a.errorf(st.SpanV, "VASS processes require a sensitivity list (no wait statements)")
+		a.report(diag.CodeBadProcess, st.SpanV, "VASS processes require a sensitivity list (no wait statements)")
 	}
 	for _, e := range st.Sensitivity {
 		switch e := e.(type) {
 		case *ast.Name:
 			sym := s.Lookup(e.Ident.Canon)
 			if sym == nil {
-				a.errorf(e.SpanV, "undeclared name %q in sensitivity list", e.Ident.Name)
+				a.report(diag.CodeUndeclared, e.SpanV, "undeclared name %q in sensitivity list", e.Ident.Name)
 			} else if sym.Kind != SymSignal {
-				a.errorf(e.SpanV, "sensitivity list entry %q must be a signal or an 'above event, not a %s", e.Ident.Name, sym.Kind)
+				a.report(diag.CodeBadProcess, e.SpanV, "sensitivity list entry %q must be a signal or an 'above event, not a %s", e.Ident.Name, sym.Kind)
 			}
 		case *ast.Attribute:
 			if e.Attr != "above" && e.Attr != "event" {
-				a.errorf(e.SpanV, "sensitivity list attribute must be 'above or 'event, got '%s", e.Attr)
+				a.report(diag.CodeBadProcess, e.SpanV, "sensitivity list attribute must be 'above or 'event, got '%s", e.Attr)
 			}
 			a.typeOf(s, e)
 		default:
-			a.errorf(e.Span(), "invalid sensitivity list entry")
+			a.report(diag.CodeBadProcess, e.Span(), "invalid sensitivity list entry")
 		}
 	}
 	inner := NewScope(s)
 	for _, d := range st.Decls {
 		if od, ok := d.(*ast.ObjectDecl); ok {
 			if od.Class != ast.ClassVariable && od.Class != ast.ClassConstant {
-				a.errorf(od.SpanV, "process declarations must be variables or constants")
+				a.report(diag.CodeBadProcess, od.SpanV, "process declarations must be variables or constants")
 				continue
 			}
 			a.declareObjects(inner, od, false)
@@ -695,17 +696,17 @@ func (a *analyzer) enterFor(s *Scope, st *ast.ForStmt) *Scope {
 	lo := a.constIntOf(st.Range.Lo)
 	hi := a.constIntOf(st.Range.Hi)
 	if lo == nil || hi == nil {
-		a.errorf(st.Range.SpanV, "for-loop bounds must be statically known in VASS (loops are unrolled)")
+		a.report(diag.CodeBadLoop, st.Range.SpanV, "for-loop bounds must be statically known in VASS (loops are unrolled)")
 	} else {
 		n := *hi - *lo + 1
 		if st.Range.Down {
 			n = *lo - *hi + 1
 		}
 		if n < 0 {
-			a.errorf(st.Range.SpanV, "for-loop range is empty")
+			a.report(diag.CodeBadLoop, st.Range.SpanV, "for-loop range is empty")
 		}
 		if n > 1024 {
-			a.errorf(st.Range.SpanV, "for-loop unrolls to %d iterations; the VASS limit is 1024", n)
+			a.report(diag.CodeBadLoop, st.Range.SpanV, "for-loop unrolls to %d iterations; the VASS limit is 1024", n)
 		}
 	}
 	inner := NewScope(s)
@@ -721,7 +722,7 @@ func (a *analyzer) enterFor(s *Scope, st *ast.ForStmt) *Scope {
 // execution).
 func (a *analyzer) checkWhile(s *Scope, st *ast.WhileStmt, ctx *seqCtx) {
 	if ctx.inProcess {
-		a.errorf(st.SpanV, "while-loops are only allowed in procedural bodies (sampling semantics)")
+		a.report(diag.CodeBadLoop, st.SpanV, "while-loops are only allowed in procedural bodies (sampling semantics)")
 	}
 	a.checkCond(s, st.Cond)
 
@@ -761,7 +762,7 @@ func (a *analyzer) checkWhile(s *Scope, st *ast.WhileStmt, ctx *seqCtx) {
 		return true
 	})
 	if !depends {
-		a.errorf(st.Cond.Span(), "while condition must depend on a value computed in the loop body (VASS sampling semantics: external signals are constant during loop execution)")
+		a.report(diag.CodeBadLoop, st.Cond.Span(), "while condition must depend on a value computed in the loop body (VASS sampling semantics: external signals are constant during loop execution)")
 	}
 
 	ctx.loopDepth++
@@ -777,7 +778,7 @@ func (a *analyzer) checkReadAfterWrite(s *Scope, e ast.Expr, ctx *seqCtx) {
 	}
 	ast.Walk(e, func(n ast.Node) bool {
 		if name, ok := n.(*ast.Name); ok && ctx.assignedSignals[name.Ident.Canon] {
-			a.errorf(name.SpanV, "signal %q is read after being assigned in this process; VASS allows one memory block per signal", name.Ident.Name)
+			a.report(diag.CodeBadProcess, name.SpanV, "signal %q is read after being assigned in this process; VASS allows one memory block per signal", name.Ident.Name)
 		}
 		return true
 	})
@@ -801,7 +802,7 @@ func (a *analyzer) checkSeqAssign(s *Scope, st *ast.Assign, ctx seqCtx) {
 	}
 	sym := s.Lookup(targetName.Canon)
 	if sym == nil {
-		a.errorf(targetName.SpanV, "undeclared name %q", targetName.Name)
+		a.report(diag.CodeUndeclared, targetName.SpanV, "undeclared name %q", targetName.Name)
 		a.typeOf(s, st.RHS)
 		return
 	}
@@ -835,7 +836,7 @@ func (a *analyzer) checkSeqAssign(s *Scope, st *ast.Assign, ctx seqCtx) {
 	if lt.Kind != TError && rt.Kind != TError && !lt.Same(rt) {
 		if !(lt.IsNumeric() && rt.IsNumeric()) &&
 			!(lt.Kind == TBit && rt.Kind == TBool) && !(lt.Kind == TBool && rt.Kind == TBit) {
-			a.errorf(st.SpanV, "cannot assign %s to %s target %q", rt, lt, targetName.Name)
+			a.report(diag.CodeTypeMismatch, st.SpanV, "cannot assign %s to %s target %q", rt, lt, targetName.Name)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package sema
 
 import (
 	"vase/internal/ast"
+	"vase/internal/diag"
 	"vase/internal/source"
 )
 
@@ -56,8 +57,15 @@ func (d *Design) ConstOf(e ast.Expr) *Value { return d.Consts[e] }
 // Analyze checks all architectures in the file and returns one Design per
 // entity/architecture pair, in source order.
 func Analyze(df *ast.DesignFile) ([]*Design, error) {
-	var errs source.ErrorList
-	a := &analyzer{file: df.File, errs: &errs}
+	designs, errs := AnalyzeCollect(df)
+	return designs, errs.Err()
+}
+
+// AnalyzeCollect is Analyze exposing the full diagnostic list, including
+// warnings that Err() would not surface.
+func AnalyzeCollect(df *ast.DesignFile) ([]*Design, *diag.List) {
+	errs := &diag.List{}
+	a := &analyzer{file: df.File, errs: diag.NewReporter(df.File, errs, diag.CodeSema)}
 	global := NewScope(nil)
 	declareBuiltins(global)
 
@@ -74,7 +82,7 @@ func Analyze(df *ast.DesignFile) ([]*Design, error) {
 	entities := make(map[string]*ast.Entity)
 	for _, e := range df.Entities() {
 		if _, dup := entities[e.Name.Canon]; dup {
-			a.errorf(e.Name.SpanV, "duplicate entity %q", e.Name.Name)
+			a.report(diag.CodeDuplicate, e.Name.SpanV, "duplicate entity %q", e.Name.Name)
 		}
 		entities[e.Name.Canon] = e
 	}
@@ -89,7 +97,7 @@ func Analyze(df *ast.DesignFile) ([]*Design, error) {
 		designs = append(designs, a.analyzeDesign(global, ent, arch))
 	}
 	errs.Sort()
-	return designs, errs.Err()
+	return designs, errs
 }
 
 // AnalyzeOne is Analyze restricted to the (single) design in the file; it
@@ -100,8 +108,8 @@ func AnalyzeOne(df *ast.DesignFile) (*Design, error) {
 		return nil, err
 	}
 	if len(ds) != 1 {
-		var errs source.ErrorList
-		errs.Add(df.File.Position(0), "expected exactly one architecture, found %d", len(ds))
+		errs := &diag.List{}
+		errs.Addf(diag.CodeSema, df.File.Position(0), "expected exactly one architecture, found %d", len(ds))
 		return nil, errs.Err()
 	}
 	return ds[0], nil
@@ -109,12 +117,16 @@ func AnalyzeOne(df *ast.DesignFile) (*Design, error) {
 
 type analyzer struct {
 	file *source.File
-	errs *source.ErrorList
+	errs *diag.Reporter
 	d    *Design
 }
 
 func (a *analyzer) errorf(sp source.Span, format string, args ...any) {
-	a.errs.Add(a.file.Position(sp.Start), format, args...)
+	a.errs.Errorf(sp, format, args...)
+}
+
+func (a *analyzer) report(code diag.Code, sp source.Span, format string, args ...any) *diag.Diagnostic {
+	return a.errs.Report(code, sp, format, args...)
 }
 
 // builtins are the pure real functions available to VASS expressions. They
@@ -178,12 +190,18 @@ func (a *analyzer) declareFunction(s *Scope, fd *ast.FunctionDecl) {
 		if existing.Func.Decl != nil && existing.Func.Decl.Body == nil && fd.Body != nil {
 			// Body completing a package-header declaration.
 			existing.Func = f
+			if a.d != nil {
+				a.d.Funcs[f.Name] = f
+			}
 			return
 		}
-		a.errorf(fd.Name.SpanV, "duplicate function %q", fd.Name.Name)
+		a.report(diag.CodeDuplicate, fd.Name.SpanV, "duplicate function %q", fd.Name.Name)
 		return
 	}
 	s.Declare(&Symbol{Name: fd.Name.Canon, Orig: fd.Name.Name, Kind: SymFunction, Type: f.Result, Func: f, Decl: fd})
+	if a.d != nil {
+		a.d.Funcs[f.Name] = f
+	}
 }
 
 func (a *analyzer) checkFuncBody(s *Scope, body []ast.SeqStmt, result Type, returns *bool) {
@@ -197,7 +215,7 @@ func (a *analyzer) checkFuncBody(s *Scope, body []ast.SeqStmt, result Type, retu
 			}
 			t := a.typeOf(s, st.Value)
 			if !t.Same(result) && t.Kind != TError && !(t.IsNumeric() && result.IsNumeric()) {
-				a.errorf(st.SpanV, "return type %s does not match result type %s", t, result)
+				a.report(diag.CodeTypeMismatch, st.SpanV, "return type %s does not match result type %s", t, result)
 			}
 		case *ast.Assign:
 			a.checkSeqAssign(s, st, seqCtx{inFunction: true})
@@ -228,7 +246,7 @@ func (a *analyzer) resolveType(tr *ast.TypeRef) Type {
 		lo := a.constIntOf(tr.Constraint.Lo)
 		hi := a.constIntOf(tr.Constraint.Hi)
 		if lo == nil || hi == nil {
-			a.errorf(tr.SpanV, "type constraint bounds must be static")
+			a.report(diag.CodeNotStatic, tr.SpanV, "type constraint bounds must be static")
 		} else {
 			length = int(*hi - *lo + 1)
 			if tr.Constraint.Down {
@@ -259,7 +277,7 @@ func (a *analyzer) resolveType(tr *ast.TypeRef) Type {
 		// Terminal nature.
 		return Real
 	}
-	a.errorf(tr.Name.SpanV, "unknown type %q (VASS admits real, bit, boolean, integer and their vectors)", tr.Name.Name)
+	a.report(diag.CodeUnknownType, tr.Name.SpanV, "unknown type %q (VASS admits real, bit, boolean, integer and their vectors)", tr.Name.Name)
 	return ErrType
 }
 
@@ -309,14 +327,14 @@ func (a *analyzer) declareObjects(s *Scope, od *ast.ObjectDecl, isPort bool) []*
 			} else if isPort {
 				// Generic without a bound value: keep the default nil.
 			} else {
-				a.errorf(od.Init.Span(), "constant %q initializer is not static", id.Name)
+				a.report(diag.CodeNotStatic, od.Init.Span(), "constant %q initializer is not static", id.Name)
 			}
 		}
 		if kind == SymConstant && od.Init == nil && !isPort {
 			a.errorf(od.SpanV, "constant %q requires an initializer", id.Name)
 		}
 		if !s.Declare(sym) {
-			a.errorf(id.SpanV, "duplicate declaration of %q", id.Name)
+			a.report(diag.CodeDuplicate, id.SpanV, "duplicate declaration of %q", id.Name)
 		}
 		out = append(out, sym)
 	}
@@ -333,7 +351,7 @@ func (a *analyzer) resolveAnnotations(s *Scope, od *ast.ObjectDecl) PortAttr {
 		}
 		v := a.constOf(s, an.Args[i])
 		if v == nil {
-			a.errorf(an.Args[i].Span(), "annotation argument must be static")
+			a.report(diag.CodeNotStatic, an.Args[i].Span(), "annotation argument must be static")
 			return 0
 		}
 		return v.AsReal()
@@ -365,7 +383,7 @@ func (a *analyzer) resolveAnnotations(s *Scope, od *ast.ObjectDecl) PortAttr {
 		case "impedance":
 			attr.Impedance = argReal(an, 0)
 		default:
-			a.errorf(an.SpanV, "unknown annotation %q", an.Name)
+			a.report(diag.CodeBadAnnotation, an.SpanV, "unknown annotation %q", an.Name)
 		}
 	}
 	return attr
@@ -561,7 +579,7 @@ func (a *analyzer) checkDriven(d *Design) {
 	}
 	for _, p := range d.Ports {
 		if p.Kind == SymQuantity && p.Mode == ast.ModeOut && !driven[p.Name] {
-			a.errorf(p.Decl.Span(), "output quantity %q is never defined by any statement", p.Orig)
+			a.report(diag.CodeUndriven, p.Decl.Span(), "output quantity %q is never defined by any statement", p.Orig)
 		}
 	}
 }

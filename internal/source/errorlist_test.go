@@ -1,0 +1,41 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+// Err must sort by position and drop duplicate messages so that golden
+// diagnostic tests are stable regardless of pass emission order.
+func TestErrorListDeterministic(t *testing.T) {
+	f := NewFile("t.vhd", "line one\nline two\nline three\n")
+	var l ErrorList
+	l.Add(f.Position(20), "third")
+	l.Add(f.Position(0), "first")
+	l.Add(f.Position(9), "second")
+	l.Add(f.Position(0), "first") // exact duplicate
+	l.Add(f.Position(0), "also first, later message")
+
+	err := l.Err()
+	if err == nil {
+		t.Fatal("Err() = nil for non-empty list")
+	}
+	if len(l) != 4 {
+		t.Fatalf("after dedupe len = %d, want 4", len(l))
+	}
+	want := []string{"also first, later message", "first", "second", "third"}
+	for i, msg := range want {
+		if l[i].Msg != msg {
+			t.Errorf("l[%d].Msg = %q, want %q", i, l[i].Msg, msg)
+		}
+	}
+	out := err.Error()
+	if strings.Count(out, "first") != 2 { // "also first..." and "first"
+		t.Errorf("duplicate not removed from rendering:\n%s", out)
+	}
+
+	var empty ErrorList
+	if err := empty.Err(); err != nil {
+		t.Errorf("empty Err() = %v, want nil", err)
+	}
+}

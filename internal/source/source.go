@@ -190,15 +190,34 @@ func (l ErrorList) Sort() {
 	})
 }
 
+// Dedupe removes entries with identical position and message, keeping the
+// first occurrence.
+func (l *ErrorList) Dedupe() {
+	seen := make(map[Error]bool, len(*l))
+	out := (*l)[:0]
+	for _, e := range *l {
+		if seen[*e] {
+			continue
+		}
+		seen[*e] = true
+		out = append(out, e)
+	}
+	*l = out
+}
+
 // Len returns the number of collected diagnostics.
 func (l ErrorList) Len() int { return len(l) }
 
-// Err returns the list as an error, or nil if it is empty.
-func (l ErrorList) Err() error {
-	if len(l) == 0 {
+// Err sorts the list by position and removes duplicate messages, so that
+// rendered output is deterministic, then returns the list as an error, or
+// nil if it is empty.
+func (l *ErrorList) Err() error {
+	l.Sort()
+	l.Dedupe()
+	if len(*l) == 0 {
 		return nil
 	}
-	return l
+	return *l
 }
 
 // Error renders at most ten diagnostics, one per line.

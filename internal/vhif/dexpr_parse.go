@@ -1,9 +1,10 @@
 package vhif
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
+
+	"vase/internal/diag"
 )
 
 // ParseDExpr parses the textual form produced by DExpr.String back into a
@@ -16,7 +17,7 @@ func ParseDExpr(s string) (DExpr, error) {
 		return nil, err
 	}
 	if strings.TrimSpace(rest) != "" {
-		return nil, fmt.Errorf("trailing input %q after expression", rest)
+		return nil, diag.Errorf(diag.CodeVHIFParse, "trailing input %q after expression", rest)
 	}
 	return e, nil
 }
@@ -29,7 +30,7 @@ func parseDE(s string) (DExpr, string, error) {
 	s = strings.TrimSpace(s)
 	switch {
 	case s == "":
-		return nil, "", fmt.Errorf("empty expression")
+		return nil, "", diag.Errorf(diag.CodeVHIFParse, "empty expression")
 	case strings.HasPrefix(s, "'0'"):
 		return &DConst{Value: 0, Bit: true}, s[3:], nil
 	case strings.HasPrefix(s, "'1'"):
@@ -79,7 +80,7 @@ func parseDEBinary(s string) (DExpr, string, error) {
 		}
 	}
 	if end < 0 {
-		return nil, "", fmt.Errorf("unbalanced parentheses in %q", s)
+		return nil, "", diag.Errorf(diag.CodeVHIFParse, "unbalanced parentheses in %q", s)
 	}
 	inner := s[1:end]
 	rest := s[end+1:]
@@ -127,7 +128,7 @@ func parseDEBinary(s string) (DExpr, string, error) {
 		return nil, "", err
 	}
 	if strings.TrimSpace(lrest) != "" {
-		return nil, "", fmt.Errorf("cannot parse %q", s)
+		return nil, "", diag.Errorf(diag.CodeVHIFParse, "cannot parse %q", s)
 	}
 	return x, rest, nil
 }
@@ -140,7 +141,7 @@ func parseDENumber(s string) (DExpr, string, error) {
 	}
 	v, err := strconv.ParseFloat(s[:i], 64)
 	if err != nil {
-		return nil, "", fmt.Errorf("bad number in %q: %v", s, err)
+		return nil, "", diag.Errorf(diag.CodeVHIFParse, "bad number in %q: %v", s, err)
 	}
 	return &DConst{Value: v}, s[i:], nil
 }
@@ -152,7 +153,7 @@ func parseDEName(s string) (DExpr, string, error) {
 		i++
 	}
 	if i == 0 {
-		return nil, "", fmt.Errorf("expected a name in %q", s)
+		return nil, "", diag.Errorf(diag.CodeVHIFParse, "expected a name in %q", s)
 	}
 	name := s[:i]
 	rest := s[i:]
@@ -161,11 +162,11 @@ func parseDEName(s string) (DExpr, string, error) {
 		rest = rest[len("'above("):]
 		j := strings.IndexByte(rest, ')')
 		if j < 0 {
-			return nil, "", fmt.Errorf("unterminated 'above in %q", s)
+			return nil, "", diag.Errorf(diag.CodeVHIFParse, "unterminated 'above in %q", s)
 		}
 		th, err := strconv.ParseFloat(rest[:j], 64)
 		if err != nil {
-			return nil, "", fmt.Errorf("bad threshold in %q", s)
+			return nil, "", diag.Errorf(diag.CodeVHIFParse, "bad threshold in %q", s)
 		}
 		return &DEvent{Quantity: name, Threshold: th}, rest[j+1:], nil
 	case strings.HasPrefix(rest, "'event"):
@@ -191,7 +192,7 @@ func parseDEName(s string) (DExpr, string, error) {
 			if strings.HasPrefix(rest, ")") {
 				return call, rest[1:], nil
 			}
-			return nil, "", fmt.Errorf("malformed call arguments in %q", s)
+			return nil, "", diag.Errorf(diag.CodeVHIFParse, "malformed call arguments in %q", s)
 		}
 	}
 	return &DName{Name: name}, rest, nil

@@ -2,7 +2,9 @@ package vhif
 
 import (
 	"fmt"
+
 	"strings"
+	"vase/internal/diag"
 )
 
 // ---------------------------------------------------------------------------
@@ -250,7 +252,7 @@ func (f *FSM) DatapathCount() int {
 // states of this FSM, and every non-start state is reachable from start.
 func (f *FSM) Validate() error {
 	if f.Start == nil {
-		return fmt.Errorf("vhif: fsm %q has no start state", f.Name)
+		return diag.Errorf(diag.CodeFSMStructure, "vhif: fsm %q has no start state", f.Name)
 	}
 	index := map[*State]bool{}
 	for _, s := range f.States {
@@ -259,7 +261,7 @@ func (f *FSM) Validate() error {
 	adj := map[*State][]*State{}
 	for _, a := range f.Arcs {
 		if !index[a.From] || !index[a.To] {
-			return fmt.Errorf("vhif: fsm %q arc %s references a foreign state", f.Name, a)
+			return diag.Errorf(diag.CodeFSMStructure, "vhif: fsm %q arc %s references a foreign state", f.Name, a)
 		}
 		adj[a.From] = append(adj[a.From], a.To)
 	}
@@ -277,7 +279,7 @@ func (f *FSM) Validate() error {
 	}
 	for _, s := range f.States {
 		if !reach[s] {
-			return fmt.Errorf("vhif: fsm %q state %q is unreachable from start", f.Name, s.Name)
+			return diag.Errorf(diag.CodeFSMStructure, "vhif: fsm %q state %q is unreachable from start", f.Name, s.Name)
 		}
 	}
 	return nil
@@ -388,20 +390,20 @@ func (m *Module) DatapathCount() int {
 func (m *Module) Validate() error {
 	for _, g := range m.Graphs {
 		if err := g.Validate(); err != nil {
-			return fmt.Errorf("module %q: %w", m.Name, err)
+			return diag.Wrapf(err, "module %q", m.Name)
 		}
 	}
 	for _, f := range m.FSMs {
 		if err := f.Validate(); err != nil {
-			return fmt.Errorf("module %q: %w", m.Name, err)
+			return diag.Wrapf(err, "module %q", m.Name)
 		}
 	}
 	for _, c := range m.Controls {
 		if c.Net == nil {
-			return fmt.Errorf("module %q: control link for signal %q has no net", m.Name, c.Signal)
+			return diag.Errorf(diag.CodeVHIFLink, "module %q: control link for signal %q has no net", m.Name, c.Signal)
 		}
 		if !c.Net.Control {
-			return fmt.Errorf("module %q: control link for signal %q drives a non-control net", m.Name, c.Signal)
+			return diag.Errorf(diag.CodeVHIFLink, "module %q: control link for signal %q drives a non-control net", m.Name, c.Signal)
 		}
 	}
 	return nil

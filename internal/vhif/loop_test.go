@@ -1,0 +1,67 @@
+package vhif
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vase/internal/diag"
+)
+
+// The algebraic-loop rejection must name every block and net on the cycle,
+// not just the block where the DFS closed it: the user has to see the whole
+// feedback path to know where to break it.
+func TestAlgebraicLoopNamesCycle(t *testing.T) {
+	g := NewGraph("loop")
+	in := g.AddBlock(BInput, "x")
+	add := g.AddBlock(BAdd, "mix", in.Out, in.Out)
+	gain := g.AddBlock(BGain, "fb", add.Out)
+	gain.Param = 0.5
+	div := g.AddBlock(BDiv, "scale", gain.Out, in.Out)
+	// Close the combinational cycle mix -> fb -> scale -> mix.
+	add.Inputs[1] = div.Out
+	div.Out.Readers = append(div.Out.Readers, add)
+
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted an algebraic loop")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`add "mix"`, `gain "fb"`, `div "scale"`,
+		"mix.out", "fb.out", "scale.out",
+		"[VASS0404]",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("loop error does not mention %q:\n%s", want, msg)
+		}
+	}
+	var d *diag.Diagnostic
+	if !errors.As(err, &d) || d.Code != diag.CodeAlgebraicLoop {
+		t.Errorf("loop error is not a CodeAlgebraicLoop diagnostic: %v", err)
+	}
+
+	cycle := g.FindAlgebraicLoop()
+	if len(cycle) != 3 {
+		t.Fatalf("FindAlgebraicLoop returned %d blocks, want 3", len(cycle))
+	}
+	if cycle[0].Name != "mix" || cycle[1].Name != "fb" || cycle[2].Name != "scale" {
+		t.Errorf("cycle order = %q, %q, %q", cycle[0].Name, cycle[1].Name, cycle[2].Name)
+	}
+}
+
+// Cycles broken by any state element are not algebraic; FindAlgebraicLoop
+// must return nil for them.
+func TestFindAlgebraicLoopStateElements(t *testing.T) {
+	for _, kind := range []BlockKind{BIntegrator, BSampleHold, BSchmitt} {
+		g := NewGraph("state")
+		state := g.AddBlock(kind, "st", nil)
+		gain := g.AddBlock(BGain, "fb", state.Out)
+		gain.Param = -1
+		state.Inputs[0] = gain.Out
+		gain.Out.Readers = append(gain.Out.Readers, state)
+		if cycle := g.FindAlgebraicLoop(); cycle != nil {
+			t.Errorf("%s feedback reported as algebraic loop: %v", kind, DescribeCycle(cycle))
+		}
+	}
+}

@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"vase/internal/diag"
 )
 
 // Parse reads the VHIF text format produced by Module.Dump, reconstructing
 // the module. Dump and Parse round-trip: Parse(m.Dump()).Dump() == m.Dump().
 func Parse(text string) (*Module, error) {
-	p := &vhifParser{lines: strings.Split(text, "\n")}
-	m, err := p.module()
+	m, err := ParseLenient(text)
 	if err != nil {
 		return nil, err
 	}
@@ -18,6 +19,15 @@ func Parse(text string) (*Module, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// ParseLenient reads the VHIF text format without validating structural
+// invariants. Analyses that must look at deliberately broken modules (the
+// linter's FSM and loop passes in particular) use it to get a module even
+// when Validate would reject it.
+func ParseLenient(text string) (*Module, error) {
+	p := &vhifParser{lines: strings.Split(text, "\n")}
+	return p.module()
 }
 
 type vhifParser struct {
@@ -44,7 +54,7 @@ func (p *vhifParser) peek() (string, bool) {
 }
 
 func (p *vhifParser) errf(format string, args ...any) error {
-	return fmt.Errorf("vhif: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+	return diag.Errorf(diag.CodeVHIFParse, "vhif: line %d: %s", p.pos, fmt.Sprintf(format, args...))
 }
 
 func (p *vhifParser) module() (*Module, error) {
@@ -370,7 +380,7 @@ func parseDataOp(line string) (*DataOp, error) {
 	} else if l, r, ok := strings.Cut(line, " := "); ok {
 		lhs, rhs = l, r
 	} else {
-		return nil, fmt.Errorf("no assignment in %q", line)
+		return nil, diag.Errorf(diag.CodeVHIFParse, "no assignment in %q", line)
 	}
 	op.Target = strings.TrimSpace(lhs)
 	e, err := ParseDExpr(strings.TrimSpace(rhs))

@@ -16,7 +16,11 @@
 // sample-and-hold blocks in the signal-flow graphs.
 package vhif
 
-import "fmt"
+import (
+	"fmt"
+
+	"vase/internal/diag"
+)
 
 // BlockKind enumerates the signal-flow block types. Every kind is
 // implementable with electronic circuits from the component library.
@@ -287,36 +291,36 @@ func (g *Graph) Validate() error {
 		switch {
 		case want == -1:
 			if len(b.Inputs) < 2 {
-				return fmt.Errorf("vhif: %s block %q requires at least 2 inputs, has %d", b.Kind, b.Name, len(b.Inputs))
+				return diag.Errorf(diag.CodeVHIFArity, "vhif: %s block %q requires at least 2 inputs, has %d", b.Kind, b.Name, len(b.Inputs))
 			}
 		case len(b.Inputs) != want:
-			return fmt.Errorf("vhif: %s block %q requires %d inputs, has %d", b.Kind, b.Name, want, len(b.Inputs))
+			return diag.Errorf(diag.CodeVHIFArity, "vhif: %s block %q requires %d inputs, has %d", b.Kind, b.Name, want, len(b.Inputs))
 		}
 		if b.Kind.HasControl() && b.Ctrl == nil {
-			return fmt.Errorf("vhif: %s block %q is missing its control input", b.Kind, b.Name)
+			return diag.Errorf(diag.CodeVHIFControl, "vhif: %s block %q is missing its control input", b.Kind, b.Name)
 		}
 		if !b.Kind.HasControl() && b.Ctrl != nil {
-			return fmt.Errorf("vhif: %s block %q cannot take a control input", b.Kind, b.Name)
+			return diag.Errorf(diag.CodeVHIFControl, "vhif: %s block %q cannot take a control input", b.Kind, b.Name)
 		}
 		if b.Ctrl != nil && !b.Ctrl.Control {
-			return fmt.Errorf("vhif: control input of block %q is not a control net", b.Name)
+			return diag.Errorf(diag.CodeVHIFControl, "vhif: control input of block %q is not a control net", b.Name)
 		}
 		for i, in := range b.Inputs {
 			if in == nil {
-				return fmt.Errorf("vhif: input %d of block %q is unconnected", i, b.Name)
+				return diag.Errorf(diag.CodeVHIFNet, "vhif: input %d of block %q is unconnected", i, b.Name)
 			}
 			if in.Driver == nil {
-				return fmt.Errorf("vhif: net %q read by block %q has no driver", in.Name, b.Name)
+				return diag.Errorf(diag.CodeVHIFNet, "vhif: net %q read by block %q has no driver", in.Name, b.Name)
 			}
 		}
 		if b.Kind != BOutput && b.Out == nil {
-			return fmt.Errorf("vhif: block %q has no output net", b.Name)
+			return diag.Errorf(diag.CodeVHIFNet, "vhif: block %q has no output net", b.Name)
 		}
 	}
 	// Each net with readers must have a driver in this graph.
 	for _, n := range g.Nets {
 		if len(n.Readers) > 0 && n.Driver == nil {
-			return fmt.Errorf("vhif: net %q has readers but no driver", n.Name)
+			return diag.Errorf(diag.CodeVHIFNet, "vhif: net %q has readers but no driver", n.Name)
 		}
 	}
 	return g.checkAlgebraicLoops()
@@ -328,15 +332,31 @@ func (g *Graph) Validate() error {
 // Schmitt triggers hold their decision with hysteresis, so feedback through
 // them is relaxation dynamics, not an algebraic loop.
 func (g *Graph) checkAlgebraicLoops() error {
+	cycle := g.FindAlgebraicLoop()
+	if cycle == nil {
+		return nil
+	}
+	return diag.Errorf(diag.CodeAlgebraicLoop, "vhif: algebraic loop through block %q: %s",
+		cycle[0].Name, DescribeCycle(cycle))
+}
+
+// FindAlgebraicLoop returns the blocks of one combinational cycle (a cycle
+// not broken by a state element), in signal-flow order starting from the
+// first block of the cycle that was declared, or nil when the graph has
+// none. Block declaration order makes the result deterministic.
+func (g *Graph) FindAlgebraicLoop() []*Block {
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
 	color := make(map[*Block]int, len(g.Blocks))
-	var visit func(b *Block) error
-	visit = func(b *Block) error {
+	var stack []*Block
+	var cycle []*Block
+	var visit func(b *Block) bool
+	visit = func(b *Block) bool {
 		color[b] = gray
+		stack = append(stack, b)
 		if b.Out != nil {
 			for _, r := range b.Out.Readers {
 				// State elements break combinational cycles.
@@ -345,25 +365,57 @@ func (g *Graph) checkAlgebraicLoops() error {
 				}
 				switch color[r] {
 				case gray:
-					return fmt.Errorf("vhif: algebraic loop through block %q", r.Name)
+					// The cycle is the stack suffix starting at r.
+					for i, s := range stack {
+						if s == r {
+							cycle = append(cycle, stack[i:]...)
+							return true
+						}
+					}
 				case white:
-					if err := visit(r); err != nil {
-						return err
+					if visit(r) {
+						return true
 					}
 				}
 			}
 		}
+		stack = stack[:len(stack)-1]
 		color[b] = black
-		return nil
+		return false
 	}
 	for _, b := range g.Blocks {
-		if color[b] == white {
-			if err := visit(b); err != nil {
-				return err
-			}
+		if color[b] == white && visit(b) {
+			return cycle
 		}
 	}
 	return nil
+}
+
+// DescribeCycle renders a block cycle as "kind "name" --net--> kind "name"
+// --net--> ...", naming the nets carrying the feedback.
+func DescribeCycle(cycle []*Block) string {
+	if len(cycle) == 0 {
+		return ""
+	}
+	var b []byte
+	for i, blk := range cycle {
+		if i > 0 {
+			prev := cycle[i-1]
+			net := "?"
+			if prev.Out != nil {
+				net = prev.Out.Name
+			}
+			b = append(b, fmt.Sprintf(" --%s--> ", net)...)
+		}
+		b = append(b, fmt.Sprintf("%s %q", blk.Kind, blk.Name)...)
+	}
+	last := cycle[len(cycle)-1]
+	net := "?"
+	if last.Out != nil {
+		net = last.Out.Name
+	}
+	b = append(b, fmt.Sprintf(" --%s--> %s %q", net, cycle[0].Kind, cycle[0].Name)...)
+	return string(b)
 }
 
 // Topological returns the blocks in a dataflow evaluation order: a block

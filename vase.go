@@ -34,7 +34,9 @@ import (
 	"vase/internal/ast"
 	"vase/internal/compile"
 	"vase/internal/corpus"
+	"vase/internal/diag"
 	"vase/internal/estimate"
+	"vase/internal/lint"
 	"vase/internal/mapper"
 	"vase/internal/mna"
 	"vase/internal/netlist"
@@ -71,9 +73,18 @@ func RenderDiagnostics(err error, src Source) string {
 	if err == nil {
 		return ""
 	}
+	f := source.NewFile(src.Name, src.Text)
+	var dl diag.List
+	if errors.As(err, &dl) {
+		return dl.Render(f)
+	}
+	var d *diag.Diagnostic
+	if errors.As(err, &d) {
+		return d.Render(f)
+	}
 	var list source.ErrorList
 	if errors.As(err, &list) {
-		return list.RenderList(source.NewFile(src.Name, src.Text))
+		return list.RenderList(f)
 	}
 	return err.Error()
 }
@@ -98,6 +109,38 @@ func Compile(src Source) (*Design, error) {
 	}
 	return &Design{Name: d.Name, AST: df, Sema: d, VHIF: m}, nil
 }
+
+// LintOptions configures a lint run (pass selection).
+type LintOptions = lint.Options
+
+// Diagnostics is a sorted, deduplicated list of structured findings.
+type Diagnostics = diag.List
+
+// Severity levels for filtering Diagnostics.
+const (
+	SeverityInfo    = diag.Info
+	SeverityWarning = diag.Warning
+	SeverityError   = diag.Error
+)
+
+// Lint runs the synthesizability linter over a VASS source: the full front
+// end plus every analyzer (unused objects, FSM liveness, algebraic loops,
+// dimension consistency, division hazards, range checks, annotation
+// validation, subset conformance). Front-end errors are folded into the
+// returned list; the error return is reserved for driver misuse such as an
+// unknown pass name.
+func Lint(src Source, opts LintOptions) (Diagnostics, error) {
+	return lint.CheckSource(src.Name, src.Text, opts)
+}
+
+// LintVHIF runs the module-level analyzers over serialized VHIF text.
+func LintVHIF(name, text string, opts LintOptions) (Diagnostics, error) {
+	return lint.CheckVHIF(name, text, opts)
+}
+
+// LintPasses returns the registered analyzers (name and one-line doc), in
+// execution order.
+func LintPasses() []*lint.Pass { return lint.Passes() }
 
 // CompileAlternatives compiles up to limit alternative DAE solver
 // topologies (limit <= 0 means all feasible ones).
