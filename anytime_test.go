@@ -1,0 +1,87 @@
+// Public-API surface of the anytime contract: Synthesize under a context,
+// cancellation of Compile/Lint, and truncated simulations.
+package vase_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vase"
+)
+
+func TestSynthesizeCancelledReturnsNonoptimal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	arch, err := vase.Synthesize(ctx, vase.Source{Name: "mixer.vhd", Text: mixerSrc},
+		vase.DefaultSynthesisOptions())
+	if err != nil {
+		t.Fatalf("cancelled Synthesize failed instead of returning incumbent: %v", err)
+	}
+	if !arch.Nonoptimal {
+		t.Error("cancelled Synthesize did not set Nonoptimal")
+	}
+	if arch.Netlist.OpAmpCount() < 1 {
+		t.Error("incumbent has no op amps")
+	}
+}
+
+func TestSynthesizeDeadlineOption(t *testing.T) {
+	// An ample deadline changes nothing: same netlist, Nonoptimal unset.
+	opts := vase.DefaultSynthesisOptions()
+	arch, err := vase.Synthesize(context.Background(), vase.Source{Name: "mixer.vhd", Text: mixerSrc}, opts)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	opts.Deadline = time.Hour
+	bounded, err := vase.Synthesize(context.Background(), vase.Source{Name: "mixer.vhd", Text: mixerSrc}, opts)
+	if err != nil {
+		t.Fatalf("synthesize with deadline: %v", err)
+	}
+	if bounded.Nonoptimal {
+		t.Error("ample deadline marked result Nonoptimal")
+	}
+	if a, b := arch.Netlist.Dump(), bounded.Netlist.Dump(); a != b {
+		t.Errorf("deadline changed the netlist:\n--- unbounded ---\n%s\n--- bounded ---\n%s", a, b)
+	}
+}
+
+func TestCompileContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := vase.CompileContext(ctx, vase.Source{Name: "mixer.vhd", Text: mixerSrc}); err == nil {
+		t.Fatal("cancelled CompileContext succeeded")
+	}
+}
+
+func TestLintContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := vase.LintContext(ctx, vase.Source{Name: "mixer.vhd", Text: mixerSrc}, vase.LintOptions{}); err == nil {
+		t.Fatal("cancelled LintContext succeeded")
+	}
+	// An open context lints normally.
+	if _, err := vase.LintContext(context.Background(),
+		vase.Source{Name: "mixer.vhd", Text: mixerSrc}, vase.LintOptions{}); err != nil {
+		t.Fatalf("background LintContext failed: %v", err)
+	}
+}
+
+func TestSimulateContextTruncates(t *testing.T) {
+	d, err := vase.Compile(vase.Source{Name: "mixer.vhd", Text: mixerSrc})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inputs := map[string]vase.Waveform{"a": vase.DC(1), "b": vase.DC(1)}
+	tr, err := d.SimulateContext(context.Background(), inputs,
+		vase.SimOptions{TStop: 1, TStep: 1e-4, MaxSteps: 7})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if !tr.Truncated {
+		t.Error("MaxSteps did not truncate the trace")
+	}
+	if len(tr.Time) != 7 {
+		t.Errorf("trace holds %d samples, want 7", len(tr.Time))
+	}
+}

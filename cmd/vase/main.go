@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vase"
 )
@@ -27,11 +29,21 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel search workers (0 = all CPUs, 1 = sequential)")
 	lintFlag := flag.Bool("lint", false, "run the synthesizability linter before synthesis")
 	werror := flag.Bool("Werror", false, "with -lint, treat warnings as errors")
+	timeout := flag.Duration("timeout", 0, "deadline for the search; on expiry the best netlist found so far is printed (0 = none)")
+	maxSteps := flag.Int("max-steps", 0, "search node budget; on exhaustion the best netlist so far is printed (0 = unlimited)")
 	flag.Parse()
 
 	opts := vase.DefaultSynthesisOptions()
 	opts.Trace = *showTree
 	opts.Workers = *workers
+	opts.MaxNodes = *maxSteps
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var arch *vase.Architecture
 	if *fromVHIF {
@@ -59,7 +71,7 @@ func main() {
 			fmt.Print(m.Dump())
 			fmt.Println()
 		}
-		arch, err = vase.SynthesizeModule(m, opts)
+		arch, err = vase.SynthesizeModuleContext(ctx, m, opts)
 		if err != nil {
 			fail(err)
 		}
@@ -86,7 +98,7 @@ func main() {
 			fmt.Print(d.VHIF.Dump())
 			fmt.Println()
 		}
-		arch, err = d.SynthesizeWith(opts)
+		arch, err = d.SynthesizeContext(ctx, opts)
 		if err != nil {
 			fail(err)
 		}
@@ -95,8 +107,12 @@ func main() {
 	fmt.Printf("\nsynthesis result: %s\n", arch.Netlist.Summary())
 	fmt.Printf("op amps: %d, estimated area: %.0f um^2, power: %.2f mW\n",
 		arch.Netlist.OpAmpCount(), arch.Report.AreaUm2, arch.Report.PowerMW)
-	fmt.Printf("search: %d nodes visited, %d complete mappings, %d pruned\n",
-		arch.Stats.NodesVisited, arch.Stats.CompleteMappings, arch.Stats.Pruned)
+	fmt.Printf("search: %d nodes visited, %d complete mappings, %d pruned (%.1f ms)\n",
+		arch.Stats.NodesVisited, arch.Stats.CompleteMappings, arch.Stats.Pruned,
+		float64(arch.Stats.Elapsed)/float64(time.Millisecond))
+	if arch.Nonoptimal {
+		fmt.Println("note: search budget expired — this is the best implementation found, not a proven optimum")
+	}
 
 	if *area {
 		fmt.Println("\nper-component area (um^2):")

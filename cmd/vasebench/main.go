@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,8 @@ func main() {
 	fig7 := flag.Bool("fig7", false, "reproduce Figure 7 (receiver synthesis)")
 	fig8 := flag.Bool("fig8", false, "reproduce Figure 8 (receiver circuit simulation)")
 	workers := flag.Int("workers", 0, "parallel search workers for Table 1 (0 = all CPUs, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "shared deadline for the Table 1 searches; expired entries use the best netlist found so far (0 = none)")
+	maxSteps := flag.Int("max-steps", 0, "per-application search node budget for Table 1 (0 = unlimited)")
 	flag.Parse()
 
 	all := !*table1 && !*fig3 && !*fig4 && !*fig6 && !*fig7 && !*fig8
@@ -34,11 +37,24 @@ func main() {
 		section("Table 1 — behavioral synthesis results for 5 real-life applications")
 		opts := mapper.DefaultOptions()
 		opts.Workers = *workers
-		builds, err := corpus.BuildAllWith(opts)
+		opts.MaxNodes = *maxSteps
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		builds, err := corpus.BuildAllContext(ctx, opts)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(corpus.Table1(builds))
+		for _, b := range builds {
+			if b.Result.Nonoptimal {
+				fmt.Printf("note: %s search budget expired after %d nodes — result is the best incumbent, not a proven optimum\n",
+					b.App.Key, b.Result.Stats.NodesVisited)
+			}
+		}
 	}
 	if *fig3 || all {
 		section("Figure 3")

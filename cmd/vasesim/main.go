@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -94,17 +95,26 @@ func main() {
 	every := flag.Int("every", 50, "print every n-th sample")
 	csvPath := flag.String("csv", "", "also write the full trace as CSV to this file")
 	benchmark := flag.String("benchmark", "", "simulate a built-in benchmark")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline; an expired simulation prints the partial trace (0 = none)")
+	maxSteps := flag.Int("max-steps", 0, "integration step budget; the trace is truncated on exhaustion (0 = unlimited)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	src, err := loadSource(*benchmark, flag.Args())
 	if err != nil {
 		fail(err)
 	}
-	d, err := vase.Compile(src)
+	d, err := vase.CompileContext(ctx, src)
 	if err != nil {
 		fail(err)
 	}
-	opts := vase.SimOptions{TStop: *tstop, TStep: *tstep}
+	opts := vase.SimOptions{TStop: *tstop, TStep: *tstep, MaxSteps: *maxSteps}
 
 	writeCSV := func(tr *vase.Trace) {
 		if *csvPath == "" {
@@ -123,35 +133,46 @@ func main() {
 
 	switch *level {
 	case "vhif":
-		tr, err := d.Simulate(inputs, opts)
+		tr, err := d.SimulateContext(ctx, inputs, opts)
 		if err != nil {
 			fail(err)
 		}
 		printTrace(tr, *every)
 		writeCSV(tr)
+		noteTruncated(tr.Truncated)
 	case "netlist":
-		arch, err := d.Synthesize()
+		arch, err := d.SynthesizeContext(ctx, vase.DefaultSynthesisOptions())
 		if err != nil {
 			fail(err)
 		}
-		tr, err := arch.Simulate(inputs, opts)
+		tr, err := arch.SimulateContext(ctx, inputs, opts)
 		if err != nil {
 			fail(err)
 		}
 		printTrace(tr, *every)
 		writeCSV(tr)
+		noteTruncated(tr.Truncated)
 	case "circuit":
-		arch, err := d.Synthesize()
+		arch, err := d.SynthesizeContext(ctx, vase.DefaultSynthesisOptions())
 		if err != nil {
 			fail(err)
 		}
-		res, err := arch.Spice(inputs, *tstop, *tstep)
+		res, err := arch.SpiceContext(ctx, inputs, *tstop, *tstep)
 		if err != nil {
 			fail(err)
 		}
 		printSpice(d, res, *every)
+		noteTruncated(res.Tran.Truncated)
 	default:
 		fail(fmt.Errorf("unknown level %q", *level))
+	}
+}
+
+// noteTruncated flags a deadlined or budget-bound trace on stderr so a
+// partial result is never mistaken for a full run.
+func noteTruncated(truncated bool) {
+	if truncated {
+		fmt.Fprintln(os.Stderr, "note: simulation budget expired — trace is truncated")
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +22,15 @@ func main() {
 	benchmark := flag.String("benchmark", "", "compile a built-in benchmark (receiver, powermeter, missile, itersolver, funcgen)")
 	lintFlag := flag.Bool("lint", false, "run the synthesizability linter before compiling")
 	werror := flag.Bool("Werror", false, "with -lint, treat warnings as errors")
+	timeout := flag.Duration("timeout", 0, "deadline for compiling and linting (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	src, err := loadSource(*benchmark, flag.Args())
 	if err != nil {
@@ -29,7 +38,7 @@ func main() {
 	}
 
 	if *lintFlag || *werror {
-		if !runLint(src, *werror) {
+		if !runLint(ctx, src, *werror) {
 			os.Exit(1)
 		}
 	}
@@ -46,7 +55,7 @@ func main() {
 		return
 	}
 
-	d, err := vase.Compile(src)
+	d, err := vase.CompileContext(ctx, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
 		os.Exit(1)
@@ -80,8 +89,8 @@ func loadSource(benchmark string, args []string) (vase.Source, error) {
 
 // runLint prints warning-or-worse findings to stderr and reports whether
 // compilation should proceed.
-func runLint(src vase.Source, werror bool) bool {
-	findings, err := vase.Lint(src, vase.LintOptions{})
+func runLint(ctx context.Context, src vase.Source, werror bool) bool {
+	findings, err := vase.LintContext(ctx, src, vase.LintOptions{})
 	if err != nil {
 		fail(err)
 	}

@@ -13,6 +13,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -271,6 +272,15 @@ func BuildApp(app *Application) (*Build, error) {
 // BuildAppWith is BuildApp under explicit synthesis options (worker count,
 // ablations, objectives).
 func BuildAppWith(app *Application, opts mapper.Options) (*Build, error) {
+	return BuildAppContext(context.Background(), app, opts)
+}
+
+// BuildAppContext is BuildAppWith under a context: a deadline or
+// cancellation turns the branch-and-bound search anytime — the returned
+// Build carries the mapper's best incumbent so far, with Result.Nonoptimal
+// set. The front end always runs to completion (it is fast and its output
+// is needed for even a truncated synthesis).
+func BuildAppContext(ctx context.Context, app *Application, opts mapper.Options) (*Build, error) {
 	df, err := parser.Parse(app.Key+".vhd", app.Source)
 	if err != nil {
 		return nil, fmt.Errorf("corpus %s: parse: %w", app.Key, err)
@@ -286,7 +296,7 @@ func BuildAppWith(app *Application, opts mapper.Options) (*Build, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("corpus %s: vhif: %w", app.Key, err)
 	}
-	res, err := mapper.Synthesize(m, opts)
+	res, err := mapper.SynthesizeContext(ctx, m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("corpus %s: synthesize: %w", app.Key, err)
 	}
@@ -312,9 +322,16 @@ func BuildAll() ([]*Build, error) {
 
 // BuildAllWith synthesizes every application under explicit options.
 func BuildAllWith(opts mapper.Options) ([]*Build, error) {
+	return BuildAllContext(context.Background(), opts)
+}
+
+// BuildAllContext synthesizes every application under a shared context; a
+// deadline bounds the whole batch, with each search returning its best
+// incumbent so far.
+func BuildAllContext(ctx context.Context, opts mapper.Options) ([]*Build, error) {
 	var out []*Build
 	for _, app := range Applications() {
-		b, err := BuildAppWith(app, opts)
+		b, err := BuildAppContext(ctx, app, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,51 @@
+// Cancellation contract of the lint driver: a dead context aborts between
+// stages and passes with the context's error; a live one changes nothing.
+package lint
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"vase/internal/corpus"
+)
+
+func TestCheckSourceContextCancelled(t *testing.T) {
+	app := corpus.ByKey("receiver")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CheckSourceContext(ctx, "receiver.vhd", app.Source, Options{})
+	if err == nil {
+		t.Fatal("cancelled lint run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled before") {
+		t.Errorf("error %q does not say where the run stopped", err)
+	}
+}
+
+func TestCheckSourceContextBackgroundMatchesPlain(t *testing.T) {
+	app := corpus.ByKey("receiver")
+	plain, err := CheckSource("receiver.vhd", app.Source, Options{})
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	ctxList, err := CheckSourceContext(context.Background(), "receiver.vhd", app.Source, Options{})
+	if err != nil {
+		t.Fatalf("CheckSourceContext: %v", err)
+	}
+	if len(plain) != len(ctxList) {
+		t.Errorf("background context changed findings: %d vs %d", len(plain), len(ctxList))
+	}
+}
+
+func TestCheckVHIFContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CheckVHIFContext(ctx, "m.vhif", "module m\n", Options{}); err == nil {
+		t.Fatal("cancelled VHIF lint run succeeded")
+	}
+}

@@ -10,7 +10,9 @@
 package lint
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sort"
 
 	"vase/internal/ast"
@@ -147,19 +149,42 @@ func Run(u *Unit, opts Options) (diag.List, error) {
 	return out, nil
 }
 
+// cancelled reports a context expiry as an error naming the pass the linter
+// was about to run. Passes themselves are not interruptible (each is fast);
+// the driver checks between passes and between front-end stages.
+func cancelled(ctx context.Context, before string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("lint: cancelled before %s: %w", before, err)
+	}
+	return nil
+}
+
 // CheckSource runs the front end (parse, analyze, compile) and the selected
 // passes over one VASS source, returning every diagnostic found. Front-end
 // errors do not stop the linter: semantic passes run on the partial design,
 // and module passes are skipped only when no VHIF could be built.
 func CheckSource(name, text string, opts Options) (diag.List, error) {
+	return CheckSourceContext(context.Background(), name, text, opts)
+}
+
+// CheckSourceContext is CheckSource with cancellation: the context is
+// checked between front-end stages and between analyzer passes, so a
+// deadlined lint run returns promptly with the context's error.
+func CheckSourceContext(ctx context.Context, name, text string, opts Options) (diag.List, error) {
 	sel, err := opts.selected()
 	if err != nil {
+		return nil, err
+	}
+	if err := cancelled(ctx, "parse"); err != nil {
 		return nil, err
 	}
 	var out diag.List
 	df, perrs := parser.ParseCollect(name, text)
 	out = append(out, *perrs...)
 
+	if err := cancelled(ctx, "semantic analysis"); err != nil {
+		return nil, err
+	}
 	designs, serrs := sema.AnalyzeCollect(df)
 	out = append(out, *serrs...)
 
@@ -171,6 +196,9 @@ func CheckSource(name, text string, opts Options) (diag.List, error) {
 	for _, d := range designs {
 		u := &Unit{Name: name, File: df.File, AST: df, Design: d, diags: &out}
 		if !out.HasErrors() {
+			if err := cancelled(ctx, "compile"); err != nil {
+				return nil, err
+			}
 			m, origins, err := compile.CompileTraced(d)
 			if err != nil {
 				appendError(&out, name, err)
@@ -180,6 +208,9 @@ func CheckSource(name, text string, opts Options) (diag.List, error) {
 			}
 		}
 		for _, p := range sel {
+			if err := cancelled(ctx, "pass "+p.Name); err != nil {
+				return nil, err
+			}
 			p.Run(u)
 		}
 	}
@@ -192,8 +223,16 @@ func CheckSource(name, text string, opts Options) (diag.List, error) {
 // module is parsed leniently: structural invariant violations are exactly
 // what the FSM and loop passes are there to report.
 func CheckVHIF(name, text string, opts Options) (diag.List, error) {
+	return CheckVHIFContext(context.Background(), name, text, opts)
+}
+
+// CheckVHIFContext is CheckVHIF with cancellation between passes.
+func CheckVHIFContext(ctx context.Context, name, text string, opts Options) (diag.List, error) {
 	sel, err := opts.selected()
 	if err != nil {
+		return nil, err
+	}
+	if err := cancelled(ctx, "parse"); err != nil {
 		return nil, err
 	}
 	var out diag.List
@@ -204,6 +243,9 @@ func CheckVHIF(name, text string, opts Options) (diag.List, error) {
 	}
 	u := &Unit{Name: name, Module: m, diags: &out}
 	for _, p := range sel {
+		if err := cancelled(ctx, "pass "+p.Name); err != nil {
+			return nil, err
+		}
 		p.Run(u)
 	}
 	out.Sort()

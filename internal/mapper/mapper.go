@@ -22,10 +22,13 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"vase/internal/estimate"
 	"vase/internal/library"
@@ -78,8 +81,14 @@ type Options struct {
 	// MaxNodes caps the search (0 = 1<<22 nodes). With Workers > 1 the cap
 	// is a shared budget across all workers; when it binds, which nodes
 	// were explored (and therefore the returned mapping) depends on
-	// scheduling.
+	// scheduling. A binding cap truncates the search: the best incumbent
+	// found so far is returned with Result.Nonoptimal set.
 	MaxNodes int
+	// Deadline bounds the wall-clock time of the search (0 = none). It is
+	// applied on top of any context passed to SynthesizeContext; on expiry
+	// the search stops and returns the incumbent with Result.Nonoptimal
+	// set (the anytime contract, DESIGN.md §9).
+	Deadline time.Duration
 	// Workers is the number of concurrent branch-and-bound workers.
 	// 0 selects runtime.GOMAXPROCS(0); 1 runs the exact sequential search
 	// (preserved bit-for-bit for ablations and decision-tree studies).
@@ -121,6 +130,10 @@ type Stats struct {
 	// sequential search).
 	Workers int
 	Tasks   int
+	// Elapsed is the wall-clock time of the whole synthesis call, so
+	// callers of a deadlined run can reason about how much search the
+	// incumbent received.
+	Elapsed time.Duration
 }
 
 // TreeNode is one node of the traced decision tree.
@@ -144,6 +157,11 @@ type Result struct {
 	Report  *netlist.Report
 	Stats   Stats
 	Tree    *TreeNode
+	// Nonoptimal marks a truncated search: the node budget or the
+	// deadline/cancellation stopped exploration before the whole decision
+	// tree was covered, so Netlist is the best incumbent found rather than
+	// the proven optimum.
+	Nonoptimal bool
 }
 
 // Synthesize maps the module onto a minimum-area component netlist.
@@ -151,6 +169,22 @@ type Result struct {
 // into independent subtree tasks explored by a bounded worker pool; see
 // parallel.go for the decomposition and the determinism argument.
 func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), m, opts)
+}
+
+// SynthesizeContext is Synthesize under a context: branch-and-bound is a
+// natural anytime algorithm, so on cancellation or deadline expiry the
+// search stops and returns the best incumbent found so far tagged
+// Result.Nonoptimal — never a hang, and an error only when not even a
+// greedy first-fit completion exists. A context that can never be
+// cancelled leaves the search byte-identical to Synthesize.
+func SynthesizeContext(ctx context.Context, m *vhif.Module, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 	if opts.Process.Name == "" {
 		opts.Process = estimate.SCN20
 	}
@@ -164,6 +198,20 @@ func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	s := newSearch(m, opts)
+	if ctx.Done() != nil {
+		// The workers poll an atomic flag instead of the context channel:
+		// one flag load per node is cheap, and a context that can never
+		// fire (Background) costs nothing at all.
+		var flag atomic.Bool
+		stop := context.AfterFunc(ctx, func() { flag.Store(true) })
+		defer stop()
+		if ctx.Err() != nil {
+			// AfterFunc fires asynchronously; an already-expired context
+			// must truncate the search deterministically, not race it.
+			flag.Store(true)
+		}
+		s.cancel = &flag
+	}
 	if opts.Trace {
 		s.root = &TreeNode{Decision: "root"}
 		s.cursor = s.root
@@ -174,9 +222,35 @@ func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
 		s.stats.Workers, s.stats.Tasks = 1, 1
 		s.run()
 	}
+	if s.truncated && s.best == nil {
+		// Anytime fallback: the search was cut off before its first
+		// complete mapping. A bounded greedy first-fit descent (the
+		// sequencing rule makes its first completion a good one) still
+		// produces a valid incumbent to return.
+		gopts := opts
+		gopts.FirstFit = true
+		gopts.Trace = false
+		gopts.Workers = 1
+		// The truncated run may have exhausted the node budget before its
+		// first completion; the first-fit descent needs its own headroom
+		// (it stops at the first complete mapping, so it stays cheap).
+		gopts.MaxNodes = 1 << 22
+		g := newSearch(m, gopts)
+		g.run()
+		s.best, s.bestArea = g.best, g.bestArea
+		s.stats.NodesVisited += g.stats.NodesVisited
+		s.stats.CompleteMappings += g.stats.CompleteMappings
+		s.stats.Infeasible += g.stats.Infeasible
+		if s.err == nil {
+			s.err = g.err
+		}
+	}
 	if s.best == nil {
 		if s.err != nil {
 			return nil, s.err
+		}
+		if s.truncated && ctx.Err() != nil {
+			return nil, fmt.Errorf("mapper: search for module %q cancelled before any feasible mapping: %w", m.Name, ctx.Err())
 		}
 		return nil, fmt.Errorf("mapper: no feasible mapping for module %q", m.Name)
 	}
@@ -190,7 +264,8 @@ func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
 	}
 	s.stats.BestOpAmps = nl.OpAmpCount()
 	s.stats.BestAreaUm2 = rep.AreaUm2
-	return &Result{Netlist: nl, Report: rep, Stats: s.stats, Tree: s.root}, nil
+	s.stats.Elapsed = time.Since(start)
+	return &Result{Netlist: nl, Report: rep, Stats: s.stats, Tree: s.root, Nonoptimal: s.truncated}, nil
 }
 
 // newSearch builds a search over the module: the block visitation order,
@@ -318,6 +393,13 @@ type search struct {
 	stats    Stats
 	err      error
 	done     bool // FirstFit: stop after the first complete mapping
+	// cancel is the cooperative stop flag armed by SynthesizeContext (nil
+	// when the context can never fire); every node visit polls it.
+	cancel *atomic.Bool
+	// truncated records that the search stopped early — node budget
+	// exhausted or cancel observed — so the returned mapping is the best
+	// incumbent, not the proven optimum.
+	truncated bool
 
 	// costOf caches the estimated cost per match signature. Workers receive
 	// a fully precomputed table and must not write to it (frozenCost).
@@ -470,14 +552,22 @@ func (s *search) bound(match *patterns.Match) float64 {
 }
 
 // visit accounts one node visit and reports whether the search may proceed:
-// it enforces the node budget (shared across workers in parallel runs) and
-// the first-fit early abort.
+// it enforces cancellation, the node budget (shared across workers in
+// parallel runs) and the first-fit early abort.
 func (s *search) visit() bool {
+	if s.cancel != nil && s.cancel.Load() {
+		// Deadline expired or the caller cancelled: stop the whole search
+		// and let the incumbent stand (anytime contract).
+		s.done = true
+		s.truncated = true
+		return false
+	}
 	if s.shared == nil {
 		s.stats.NodesVisited++
 		if s.stats.NodesVisited >= s.opts.MaxNodes {
 			// Stop the whole search, not just this branch.
 			s.done = true
+			s.truncated = true
 			return false
 		}
 		return true
@@ -491,6 +581,7 @@ func (s *search) visit() bool {
 	}
 	if s.shared.nodes.Add(1) > int64(s.opts.MaxNodes) {
 		s.done = true
+		s.truncated = true
 		return false
 	}
 	s.stats.NodesVisited++

@@ -142,6 +142,7 @@ func (s *search) fork() *search {
 		bestArea:      inf,
 		blockLB:       s.blockLB,
 		remainingLB:   s.remainingLB,
+		cancel:        s.cancel,
 	}
 }
 
@@ -196,6 +197,11 @@ func (w *search) expandSteps() []pathStep {
 func (s *search) split(target int) []*splitTask {
 	frontier := []*splitTask{{node: s.root}}
 	for grew := true; grew && len(frontier) < target; {
+		if s.cancel != nil && s.cancel.Load() {
+			// Cancelled while splitting: stop growing; the tasks themselves
+			// observe the flag on their first visit.
+			break
+		}
 		grew = false
 		next := make([]*splitTask, 0, 2*len(frontier))
 		for _, t := range frontier {
@@ -314,6 +320,7 @@ func (s *search) reduce(t *splitTask, w *search) {
 	s.stats.CompleteMappings += w.stats.CompleteMappings
 	s.stats.Pruned += w.stats.Pruned
 	s.stats.Infeasible += w.stats.Infeasible
+	s.truncated = s.truncated || w.truncated
 	if s.err == nil {
 		s.err = w.err
 	}

@@ -1,0 +1,122 @@
+// Tests for the anytime/budget contract of the MNA engine (cancellation,
+// step and iteration budgets) and the scaled pivot regression.
+package mna
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNanoConductancePivot locks the scaled singularity test: a perfectly
+// well-conditioned voltage divider built from 10-petaohm resistors stamps
+// conductances of 1e-16 S, which the old absolute 1e-15 pivot threshold
+// misclassified as a singular matrix.
+func TestNanoConductancePivot(t *testing.T) {
+	c := New()
+	top := c.NodeByName("top")
+	mid := c.NodeByName("mid")
+	c.AddV("vs", top, Ground, func(float64) float64 { return 1 })
+	c.AddR("r1", top, mid, 1e16)
+	c.AddR("r2", mid, Ground, 1e16)
+	sol, err := c.DC()
+	if err != nil {
+		t.Fatalf("nano-conductance divider reported as unsolvable: %v", err)
+	}
+	if got := sol.V(mid); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("V(mid) = %g, want 0.5", got)
+	}
+}
+
+// TestScaledPivotStillDetectsSingular checks the relative threshold has not
+// weakened the floating-node diagnosis: a node with no DC path stays a
+// structured singular-matrix error.
+func TestScaledPivotStillDetectsSingular(t *testing.T) {
+	c := New()
+	n := c.NodeByName("floating")
+	c.AddI("i1", Ground, n, func(float64) float64 { return 1e-3 })
+	_, err := c.DC()
+	if err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+	if !strings.Contains(err.Error(), "singular") {
+		t.Errorf("error %q does not mention singularity", err)
+	}
+}
+
+// rcCircuit builds a driven RC low-pass (tau = 1 ms).
+func rcCircuit() (*Circuit, Node) {
+	c := New()
+	in := c.NodeByName("in")
+	out := c.NodeByName("out")
+	c.AddV("vs", in, Ground, func(float64) float64 { return 1 })
+	c.AddR("r", in, out, 1e3)
+	c.AddC("c", out, Ground, 1e-6, 0)
+	return c, out
+}
+
+func TestMaxTranStepsTruncates(t *testing.T) {
+	c, _ := rcCircuit()
+	c.MaxTranSteps = 10
+	tr, err := c.Transient(1e-3, 1e-6) // would be 1000 steps unbounded
+	if err != nil {
+		t.Fatalf("transient: %v", err)
+	}
+	if !tr.Truncated {
+		t.Error("step budget bound but Truncated not set")
+	}
+	if got := len(tr.Time); got != 11 { // t=0 plus 10 steps
+		t.Errorf("recorded %d samples, want 11", got)
+	}
+}
+
+func TestTransientDeadlineReturnsPartialTrace(t *testing.T) {
+	c, _ := rcCircuit()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// 1e9 steps: unbounded this would run for hours.
+	tr, err := c.TransientContext(ctx, 1e3, 1e-6)
+	if err != nil {
+		t.Fatalf("cancelled transient should return the partial trace, got error: %v", err)
+	}
+	if !tr.Truncated {
+		t.Error("deadlined transient did not set Truncated")
+	}
+	if len(tr.Time) < 1 {
+		t.Error("truncated trace holds no samples")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("deadline ignored: transient ran %v", elapsed)
+	}
+}
+
+func TestDCCancellationReturnsError(t *testing.T) {
+	c, _ := rcCircuit()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DCContext(ctx); err == nil {
+		t.Fatal("cancelled DC should fail (no useful partial operating point)")
+	}
+}
+
+func TestMaxNewtonIterBudget(t *testing.T) {
+	// A diode clamp needs several Newton iterations; a budget of 1 must
+	// surface as a convergence error, not a hang or a silent wrong answer.
+	c := New()
+	in := c.NodeByName("in")
+	out := c.NodeByName("out")
+	c.AddV("vs", in, Ground, func(float64) float64 { return 5 })
+	c.AddR("r", in, out, 1e3)
+	c.AddDiode("d", out, Ground)
+	c.MaxNewtonIter = 1
+	if _, err := c.DC(); err == nil {
+		t.Fatal("expected convergence error under a 1-iteration budget")
+	}
+	c.MaxNewtonIter = 0 // default budget converges
+	if _, err := c.DC(); err != nil {
+		t.Fatalf("default budget failed: %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 package mna
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -88,6 +89,14 @@ type Circuit struct {
 	method Method
 	// prevI holds each capacitor's previous-step current (trapezoidal).
 	prevI map[*device]float64
+
+	// MaxNewtonIter bounds the Newton iteration count per solve point
+	// (0 = the default of 300). Exceeding it is a convergence error.
+	MaxNewtonIter int
+	// MaxTranSteps bounds the number of transient steps (0 = unlimited).
+	// When it binds the transient returns the truncated trace computed so
+	// far with Tran.Truncated set, not an error.
+	MaxTranSteps int
 }
 
 // New returns an empty circuit.
@@ -397,6 +406,19 @@ func (m *matrix) solve() (Solution, error) {
 		copy(a[i], m.a[i+1][1:])
 		a[i][n] = m.rhs[i+1]
 	}
+	// Per-column magnitude of the original system: the singularity test is
+	// relative to it, so a well-conditioned circuit whose conductances are
+	// uniformly tiny (nano-siemens resistors stamp ~1e-16 entries) is not
+	// misclassified as singular by an absolute threshold, while a column
+	// whose pivot collapses relative to its own scale still is.
+	scale := make([]float64, n)
+	for r := 0; r < n; r++ {
+		for col := 0; col < n; col++ {
+			if v := math.Abs(a[r][col]); v > scale[col] {
+				scale[col] = v
+			}
+		}
+	}
 	for col := 0; col < n; col++ {
 		// Pivot.
 		p := col
@@ -405,7 +427,7 @@ func (m *matrix) solve() (Solution, error) {
 				p = r
 			}
 		}
-		if math.Abs(a[p][col]) < 1e-15 {
+		if piv := math.Abs(a[p][col]); scale[col] == 0 || piv < 1e-12*scale[col] {
 			return nil, fmt.Errorf("mna: singular matrix at column %d (floating node?)", col+1)
 		}
 		a[col], a[p] = a[p], a[col]
@@ -434,19 +456,26 @@ func (m *matrix) solve() (Solution, error) {
 // newton iterates the nonlinear system to convergence with a damped update:
 // the per-iteration voltage change is limited so that the saturating op-amp
 // and diode characteristics cannot make the iteration oscillate across
-// their knees.
-func (c *Circuit) newton(m *matrix, x0, prev Solution, t, h float64) (Solution, error) {
+// their knees. Cancellation is observed between iterations, so no solve can
+// hold its goroutine past the caller's deadline by more than one iteration.
+func (c *Circuit) newton(ctx context.Context, m *matrix, x0, prev Solution, t, h float64) (Solution, error) {
 	x := make(Solution, len(x0))
 	copy(x, x0)
 	for _, d := range c.devices {
 		d.hasLast = false
 	}
 	const (
-		maxIter   = 300
 		maxChange = 0.5 // volts per Newton step
 		tol       = 1e-8
 	)
+	maxIter := c.MaxNewtonIter
+	if maxIter <= 0 {
+		maxIter = 300
+	}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mna: solve at t=%g cancelled: %w", t, err)
+		}
 		c.stamp(m, x, prev, t, h)
 		next, err := m.solve()
 		if err != nil {
@@ -474,10 +503,17 @@ func (c *Circuit) newton(m *matrix, x0, prev Solution, t, h float64) (Solution, 
 
 // DC computes the operating point at t=0.
 func (c *Circuit) DC() (Solution, error) {
+	return c.DCContext(context.Background())
+}
+
+// DCContext computes the operating point at t=0 under a context: the Newton
+// iteration polls ctx between iterations and returns the context error on
+// cancellation (a half-converged operating point is not useful).
+func (c *Circuit) DCContext(ctx context.Context) (Solution, error) {
 	nb := c.assignBranches()
 	m := newMatrix(c.nodes + nb)
 	zero := make(Solution, c.nodes+nb+1)
-	return c.newton(m, zero, zero, 0, -1)
+	return c.newton(ctx, m, zero, zero, 0, -1)
 }
 
 // Tran holds a transient result.
@@ -485,7 +521,10 @@ type Tran struct {
 	Time []float64
 	// V holds node voltage waveforms indexed by node.
 	V map[Node][]float64
-	c *Circuit
+	// Truncated marks a run stopped early by cancellation, deadline or
+	// Circuit.MaxTranSteps: Time/V hold the samples computed so far.
+	Truncated bool
+	c         *Circuit
 }
 
 // Node returns the waveform of a named node.
@@ -499,6 +538,15 @@ func (tr *Tran) Node(name string) []float64 {
 
 // Transient runs a fixed-step backward-Euler transient analysis.
 func (c *Circuit) Transient(tstop, h float64) (*Tran, error) {
+	return c.TransientContext(context.Background(), tstop, h)
+}
+
+// TransientContext is Transient under a context. The transient is an
+// anytime computation: on cancellation or deadline expiry (and when
+// Circuit.MaxTranSteps binds) it returns the trace computed so far with
+// Tran.Truncated set and a nil error; genuine solve failures still return
+// an error.
+func (c *Circuit) TransientContext(ctx context.Context, tstop, h float64) (*Tran, error) {
 	if tstop <= 0 || h <= 0 {
 		return nil, fmt.Errorf("mna: tstop and h must be positive")
 	}
@@ -515,7 +563,7 @@ func (c *Circuit) Transient(tstop, h float64) (*Tran, error) {
 			prev[d.a] = d.ic
 		}
 	}
-	x0, err := c.newton(m, x, prev, 0, h)
+	x0, err := c.newton(ctx, m, x, prev, 0, h)
 	if err != nil {
 		return nil, err
 	}
@@ -536,10 +584,20 @@ func (c *Circuit) Transient(tstop, h float64) (*Tran, error) {
 		}
 	}
 	steps := int(math.Ceil(tstop / h))
+	if c.MaxTranSteps > 0 && steps > c.MaxTranSteps {
+		steps = c.MaxTranSteps
+		tr.Truncated = true
+	}
 	for s := 1; s <= steps; s++ {
 		t := float64(s) * h
-		next, err := c.newton(m, x, x, t, h)
+		next, err := c.newton(ctx, m, x, x, t, h)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Cancelled mid-solve: the samples up to the previous step
+				// stand as the (truncated) result.
+				tr.Truncated = true
+				return tr, nil
+			}
 			return nil, err
 		}
 		if c.method == Trapezoidal {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -33,7 +34,9 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 		}
 		for _, n := range names {
 			s := tr.Signals[n]
-			v := 0.0
+			// A signal shorter than the time axis has no sample here; emit
+			// NaN so plots show a gap instead of fabricated data.
+			v := math.NaN()
 			if i < len(s) {
 				v = s[i]
 			}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,11 +15,18 @@ import (
 // It verifies that a mapped architecture still computes the specified
 // behavior (the paper's Section 6 check before SPICE-level simulation).
 func SimulateNetlist(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*Trace, error) {
+	return SimulateNetlistContext(context.Background(), nl, inputs, opts)
+}
+
+// SimulateNetlistContext is SimulateNetlist under a context: cancellation
+// is observed between RK4 steps and returns the truncated trace computed
+// so far (Trace.Truncated) rather than an error.
+func SimulateNetlistContext(ctx context.Context, nl *netlist.Netlist, inputs map[string]Source, opts Options) (*Trace, error) {
 	s, err := newNetSim(nl, inputs, opts)
 	if err != nil {
 		return nil, err
 	}
-	return s.run()
+	return s.run(ctx)
 }
 
 // netState is one dynamic component: integrator (1 state), low-pass filter
@@ -122,6 +130,16 @@ func newNetSim(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*ne
 				s.probes[name] = n
 			}
 		}
+	}
+	valid := map[string]bool{}
+	for _, n := range nl.Nets {
+		valid[n.Name] = true
+	}
+	for name := range s.probes {
+		valid[name] = true
+	}
+	if err := checkProbes(opts.Probes, valid); err != nil {
+		return nil, err
 	}
 	var err error
 	s.order, err = nl.Topological()
@@ -360,7 +378,7 @@ func (s *netSim) initDiscrete(vals map[*netlist.Net]float64) {
 	}
 }
 
-func (s *netSim) run() (*Trace, error) {
+func (s *netSim) run(ctx context.Context) (*Trace, error) {
 	n := int(math.Ceil(s.opts.TStop/s.opts.TStep)) + 1
 	tr := &Trace{Signals: map[string][]float64{}}
 	x := make([]float64, s.nStates)
@@ -368,7 +386,12 @@ func (s *netSim) run() (*Trace, error) {
 	s.initDiscrete(v0)
 
 	h := s.opts.TStep
+	st := newStopper(ctx, s.opts)
 	for step := 0; step < n; step++ {
+		if st.stop(step) {
+			tr.Truncated = true
+			break
+		}
 		t := float64(step) * h
 		vals := s.eval(t, x)
 		tr.Time = append(tr.Time, t)

@@ -11,8 +11,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
+	"time"
 
 	"vase/internal/vhif"
 )
@@ -50,8 +54,18 @@ type Options struct {
 	// TStep is the fixed integration step, s.
 	TStep float64
 	// Probes lists additional net names to record (output ports and
-	// control links are always recorded).
+	// control links are always recorded). A name matching no net in the
+	// design is an error listing the valid nets, so a probe typo cannot
+	// silently yield a missing column.
 	Probes []string
+	// MaxSteps bounds the number of integration steps (0 = unlimited).
+	// When it binds, the run returns the samples computed so far with
+	// Trace.Truncated set.
+	MaxSteps int
+	// Deadline bounds the wall-clock time of the run (0 = none); it is
+	// applied on top of any context passed to the Context variants and
+	// truncates the trace the same way.
+	Deadline time.Duration
 	// ModelBandwidth (netlist simulation only) gives every sized amplifier
 	// a first-order pole at its achieved unity-gain frequency divided by
 	// its noise gain, verifying that the estimator's bandwidth guard
@@ -64,6 +78,9 @@ type Options struct {
 type Trace struct {
 	Time    []float64
 	Signals map[string][]float64
+	// Truncated marks a run stopped early by cancellation, a deadline or
+	// Options.MaxSteps: the waveforms hold the samples computed so far.
+	Truncated bool
 }
 
 // Get returns the samples of a recorded signal.
@@ -137,11 +154,75 @@ func safeDiv(num, den float64) float64 {
 // SimulateModule runs a transient analysis of the module's signal-flow
 // graphs. inputs maps input port (quantity) names to sources.
 func SimulateModule(m *vhif.Module, inputs map[string]Source, opts Options) (*Trace, error) {
+	return SimulateModuleContext(context.Background(), m, inputs, opts)
+}
+
+// SimulateModuleContext is SimulateModule under a context: cancellation is
+// observed between RK4 steps and returns the truncated trace computed so
+// far (Trace.Truncated) rather than an error, matching the anytime
+// contract of the other engines.
+func SimulateModuleContext(ctx context.Context, m *vhif.Module, inputs map[string]Source, opts Options) (*Trace, error) {
 	s, err := newModSim(m, inputs, opts)
 	if err != nil {
 		return nil, err
 	}
-	return s.run()
+	return s.run(ctx)
+}
+
+// stopper decides when a transient loop must stop early: on a bound step
+// budget, a wall-clock deadline, or context cancellation.
+type stopper struct {
+	ctx      context.Context
+	deadline time.Time // zero = none
+	maxSteps int       // 0 = unlimited
+}
+
+func newStopper(ctx context.Context, opts Options) stopper {
+	st := stopper{ctx: ctx, maxSteps: opts.MaxSteps}
+	if opts.Deadline > 0 {
+		st.deadline = time.Now().Add(opts.Deadline)
+	}
+	return st
+}
+
+// stop reports whether integration step number step may not run.
+func (st *stopper) stop(step int) bool {
+	if st.maxSteps > 0 && step >= st.maxSteps {
+		return true
+	}
+	if st.ctx.Err() != nil {
+		return true
+	}
+	return !st.deadline.IsZero() && time.Now().After(st.deadline)
+}
+
+// checkProbes verifies every requested probe name resolved to a net; the
+// error lists the valid names so a typo is immediately actionable.
+func checkProbes(requested []string, valid map[string]bool) error {
+	var missing []string
+	for _, name := range requested {
+		if !valid[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(valid))
+	for name := range valid {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sort.Strings(missing)
+	return fmt.Errorf("sim: unknown probe net%s %s (valid nets: %s)",
+		plural(len(missing)), strings.Join(missing, ", "), strings.Join(names, ", "))
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
 }
 
 // stateBlock is one dynamic element contributing entries to the RK4 state
@@ -224,6 +305,18 @@ func newModSim(m *vhif.Module, inputs map[string]Source, opts Options) (*modSim,
 	}
 	for _, c := range m.Controls {
 		s.probes[c.Signal] = c.Net
+	}
+	valid := map[string]bool{}
+	for _, g := range m.Graphs {
+		for _, n := range g.Nets {
+			valid[n.Name] = true
+		}
+	}
+	for name := range s.probes {
+		valid[name] = true
+	}
+	if err := checkProbes(opts.Probes, valid); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -444,7 +537,7 @@ func (s *modSim) initDiscrete(vals map[*vhif.Net]float64) {
 	}
 }
 
-func (s *modSim) run() (*Trace, error) {
+func (s *modSim) run(ctx context.Context) (*Trace, error) {
 	n := int(math.Ceil(s.opts.TStop/s.opts.TStep)) + 1
 	tr := &Trace{Signals: map[string][]float64{}}
 	x := make([]float64, s.nStates)
@@ -454,7 +547,12 @@ func (s *modSim) run() (*Trace, error) {
 	s.initDiscrete(v0)
 
 	h := s.opts.TStep
+	st := newStopper(ctx, s.opts)
 	for step := 0; step < n; step++ {
+		if st.stop(step) {
+			tr.Truncated = true
+			break
+		}
 		t := float64(step) * h
 		vals := s.eval(t, x)
 		tr.Time = append(tr.Time, t)

@@ -27,6 +27,7 @@
 package vase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -92,13 +93,26 @@ func RenderDiagnostics(err error, src Source) string {
 // Compile parses, analyzes and compiles a VASS source into its primary VHIF
 // representation.
 func Compile(src Source) (*Design, error) {
+	return CompileContext(context.Background(), src)
+}
+
+// CompileContext is Compile with cancellation: the context is checked
+// between front-end stages (parse, analyze, compile, validate), so a
+// deadlined compilation returns promptly with the context's error.
+func CompileContext(ctx context.Context, src Source) (*Design, error) {
 	df, err := parser.Parse(src.Name, src.Text)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("vase: compile of %s cancelled after parse: %w", src.Name, err)
+	}
 	d, err := sema.AnalyzeOne(df)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("vase: compile of %s cancelled after analysis: %w", src.Name, err)
 	}
 	m, err := compile.Compile(d)
 	if err != nil {
@@ -133,9 +147,20 @@ func Lint(src Source, opts LintOptions) (Diagnostics, error) {
 	return lint.CheckSource(src.Name, src.Text, opts)
 }
 
+// LintContext is Lint with cancellation between front-end stages and
+// analyzer passes.
+func LintContext(ctx context.Context, src Source, opts LintOptions) (Diagnostics, error) {
+	return lint.CheckSourceContext(ctx, src.Name, src.Text, opts)
+}
+
 // LintVHIF runs the module-level analyzers over serialized VHIF text.
 func LintVHIF(name, text string, opts LintOptions) (Diagnostics, error) {
 	return lint.CheckVHIF(name, text, opts)
+}
+
+// LintVHIFContext is LintVHIF with cancellation between analyzer passes.
+func LintVHIFContext(ctx context.Context, name, text string, opts LintOptions) (Diagnostics, error) {
+	return lint.CheckVHIFContext(ctx, name, text, opts)
 }
 
 // LintPasses returns the registered analyzers (name and one-line doc), in
@@ -177,11 +202,44 @@ func ParseVHIF(text string) (*vhif.Module, error) { return vhif.Parse(text) }
 // SynthesizeModule runs the architecture generator directly on a VHIF
 // module (for example one read with ParseVHIF).
 func SynthesizeModule(m *vhif.Module, opts SynthesisOptions) (*Architecture, error) {
-	res, err := mapper.Synthesize(m, opts)
+	return SynthesizeModuleContext(context.Background(), m, opts)
+}
+
+// SynthesizeModuleContext is SynthesizeModule under a context. Cancellation
+// and Options.Deadline make the branch-and-bound search anytime: instead of
+// failing, it returns the best implementation found so far with
+// Architecture.Nonoptimal set (the result is a valid netlist, just without
+// an optimality proof).
+func SynthesizeModuleContext(ctx context.Context, m *vhif.Module, opts SynthesisOptions) (*Architecture, error) {
+	res, err := mapper.SynthesizeContext(ctx, m, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Architecture{Netlist: res.Netlist, Report: res.Report, Stats: res.Stats, Tree: res.Tree}, nil
+	return newArchitecture(res), nil
+}
+
+// newArchitecture wraps a mapper result in the public Architecture type.
+func newArchitecture(res *mapper.Result) *Architecture {
+	return &Architecture{
+		Netlist:    res.Netlist,
+		Report:     res.Report,
+		Stats:      res.Stats,
+		Tree:       res.Tree,
+		Nonoptimal: res.Nonoptimal,
+	}
+}
+
+// Synthesize compiles and synthesizes a VASS source in one call under a
+// context — the anytime entry point. The front end always runs to
+// completion (it is fast, and its output is needed even for a truncated
+// result); the context governs the branch-and-bound search, which on
+// expiry returns its best incumbent with Architecture.Nonoptimal set.
+func Synthesize(ctx context.Context, src Source, opts SynthesisOptions) (*Architecture, error) {
+	d, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return d.SynthesizeContext(ctx, opts)
 }
 
 // SynthesisOptions re-exports the architecture generator configuration.
@@ -202,6 +260,11 @@ type Architecture struct {
 	Report  *netlist.Report
 	Stats   mapper.Stats
 	Tree    *mapper.TreeNode
+	// Nonoptimal is set when the search was cut short by a cancellation,
+	// deadline or node budget: the netlist is the best incumbent found, not
+	// a proven minimum-area implementation. Stats.Elapsed and
+	// Stats.NodesVisited record how far the search got.
+	Nonoptimal bool
 }
 
 // Synthesize maps the design onto a minimum-area component netlist with the
@@ -212,11 +275,17 @@ func (d *Design) Synthesize() (*Architecture, error) {
 
 // SynthesizeWith maps the design with explicit options.
 func (d *Design) SynthesizeWith(opts SynthesisOptions) (*Architecture, error) {
-	res, err := mapper.Synthesize(d.VHIF, opts)
+	return d.SynthesizeContext(context.Background(), opts)
+}
+
+// SynthesizeContext maps the design under a context; see
+// SynthesizeModuleContext for the anytime contract.
+func (d *Design) SynthesizeContext(ctx context.Context, opts SynthesisOptions) (*Architecture, error) {
+	res, err := mapper.SynthesizeContext(ctx, d.VHIF, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Architecture{Netlist: res.Netlist, Report: res.Report, Stats: res.Stats, Tree: res.Tree}, nil
+	return newArchitecture(res), nil
 }
 
 // Simulation re-exports.
@@ -247,10 +316,23 @@ func (d *Design) Simulate(inputs map[string]Waveform, opts SimOptions) (*Trace, 
 	return sim.SimulateModule(d.VHIF, inputs, opts)
 }
 
+// SimulateContext is Simulate under a context: cancellation (or
+// SimOptions.Deadline / SimOptions.MaxSteps) stops the integration early
+// and returns the partial trace with Trace.Truncated set.
+func (d *Design) SimulateContext(ctx context.Context, inputs map[string]Waveform, opts SimOptions) (*Trace, error) {
+	return sim.SimulateModuleContext(ctx, d.VHIF, inputs, opts)
+}
+
 // SimulateNetlist runs a functional transient analysis of a synthesized
 // netlist (every component evaluates its ideal transfer function).
 func (a *Architecture) Simulate(inputs map[string]Waveform, opts SimOptions) (*Trace, error) {
 	return sim.SimulateNetlist(a.Netlist, inputs, opts)
+}
+
+// SimulateContext is Simulate under a context; a cancelled or deadlined
+// run returns the partial trace with Trace.Truncated set.
+func (a *Architecture) SimulateContext(ctx context.Context, inputs map[string]Waveform, opts SimOptions) (*Trace, error) {
+	return sim.SimulateNetlistContext(ctx, a.Netlist, inputs, opts)
 }
 
 // SpiceResult is a circuit-level (MNA) simulation of a synthesized netlist.
@@ -268,6 +350,12 @@ func (r *SpiceResult) Time() []float64 { return r.Tran.Time }
 // Spice elaborates the netlist into an op-amp macromodel circuit and runs a
 // transient analysis — the paper's SPICE verification step.
 func (a *Architecture) Spice(inputs map[string]Waveform, tstop, tstep float64) (*SpiceResult, error) {
+	return a.SpiceContext(context.Background(), inputs, tstop, tstep)
+}
+
+// SpiceContext is Spice under a context: a cancelled or deadlined transient
+// returns the samples computed so far with Tran.Truncated set.
+func (a *Architecture) SpiceContext(ctx context.Context, inputs map[string]Waveform, tstop, tstep float64) (*SpiceResult, error) {
 	waves := make(map[string]mna.Waveform, len(inputs))
 	for name, w := range inputs {
 		waves[name] = mna.Waveform(w)
@@ -276,7 +364,7 @@ func (a *Architecture) Spice(inputs map[string]Waveform, tstop, tstep float64) (
 	if err != nil {
 		return nil, err
 	}
-	tr, err := el.Circuit.Transient(tstop, tstep)
+	tr, err := el.Circuit.TransientContext(ctx, tstop, tstep)
 	if err != nil {
 		return nil, err
 	}
