@@ -10,10 +10,22 @@ import (
 	"vase"
 )
 
+// isolated returns a fresh pipeline so the cancellation contract is tested
+// against a real computation — the shared default pipeline could serve a
+// cached (complete) result and mask it.
+func isolated(t *testing.T) *vase.Pipeline {
+	t.Helper()
+	p, err := vase.NewPipeline(vase.PipelineOptions{})
+	if err != nil {
+		t.Fatalf("new pipeline: %v", err)
+	}
+	return p
+}
+
 func TestSynthesizeCancelledReturnsNonoptimal(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	arch, err := vase.Synthesize(ctx, vase.Source{Name: "mixer.vhd", Text: mixerSrc},
+	arch, err := vase.SynthesizeVia(ctx, isolated(t), vase.Source{Name: "mixer.vhd", Text: mixerSrc},
 		vase.DefaultSynthesisOptions())
 	if err != nil {
 		t.Fatalf("cancelled Synthesize failed instead of returning incumbent: %v", err)
@@ -49,7 +61,7 @@ func TestSynthesizeDeadlineOption(t *testing.T) {
 func TestCompileContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := vase.CompileContext(ctx, vase.Source{Name: "mixer.vhd", Text: mixerSrc}); err == nil {
+	if _, err := vase.CompileVia(ctx, isolated(t), vase.Source{Name: "mixer.vhd", Text: mixerSrc}); err == nil {
 		t.Fatal("cancelled CompileContext succeeded")
 	}
 }
@@ -57,13 +69,44 @@ func TestCompileContextCancelled(t *testing.T) {
 func TestLintContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := vase.LintContext(ctx, vase.Source{Name: "mixer.vhd", Text: mixerSrc}, vase.LintOptions{}); err == nil {
+	if _, err := vase.LintVia(ctx, isolated(t), vase.Source{Name: "mixer.vhd", Text: mixerSrc}, vase.LintOptions{}); err == nil {
 		t.Fatal("cancelled LintContext succeeded")
 	}
 	// An open context lints normally.
 	if _, err := vase.LintContext(context.Background(),
 		vase.Source{Name: "mixer.vhd", Text: mixerSrc}, vase.LintOptions{}); err != nil {
 		t.Fatalf("background LintContext failed: %v", err)
+	}
+}
+
+func TestACContextTruncates(t *testing.T) {
+	d, err := vase.Compile(vase.Source{Name: "mixer.vhd", Text: mixerSrc})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	arch, err := d.Synthesize()
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp, err := arch.ACContext(ctx, "a", 10, 1e6, 16)
+	if err != nil {
+		t.Fatalf("cancelled AC failed instead of truncating: %v", err)
+	}
+	if !resp.Truncated {
+		t.Error("cancelled AC sweep did not set Truncated")
+	}
+	if len(resp.Freqs) != 0 {
+		t.Errorf("cancelled-before-start sweep holds %d points, want 0", len(resp.Freqs))
+	}
+	// A live context sweeps all points.
+	full, err := arch.ACContext(context.Background(), "a", 10, 1e6, 16)
+	if err != nil {
+		t.Fatalf("AC: %v", err)
+	}
+	if full.Truncated || len(full.Freqs) != 16 {
+		t.Errorf("full sweep: truncated=%v points=%d, want 16 untruncated", full.Truncated, len(full.Freqs))
 	}
 }
 

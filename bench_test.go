@@ -6,6 +6,7 @@
 package vase_test
 
 import (
+	"context"
 	"runtime"
 	"strconv"
 	"testing"
@@ -320,6 +321,56 @@ func BenchmarkAblationDirect(b *testing.B) {
 	}
 	b.Run("twostep", func(b *testing.B) { run(b, false) })
 	b.Run("naive", func(b *testing.B) { run(b, true) })
+}
+
+// ---------------------------------------------------------------------------
+// Pass pipeline and artifact cache (DESIGN.md section 10).
+
+// BenchmarkPipelineCold measures the uncached full flow (parse, analyze,
+// compile, branch-and-bound search) on the receiver — a fresh pipeline per
+// iteration, so every stage recomputes.
+func BenchmarkPipelineCold(b *testing.B) {
+	src := vase.Source{Name: "receiver.vhd", Text: corpus.ByKey("receiver").Source}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := vase.NewPipeline(vase.PipelineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		arch, err := vase.SynthesizeVia(context.Background(), p, src, vase.DefaultSynthesisOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if arch.Cached {
+			b.Fatal("cold synthesis hit the cache")
+		}
+	}
+}
+
+// BenchmarkPipelineCached measures the same flow through a pre-warmed
+// pipeline: only key derivation and netlist rematerialization remain, so
+// this should run at least an order of magnitude faster than
+// BenchmarkPipelineCold.
+func BenchmarkPipelineCached(b *testing.B) {
+	p, err := vase.NewPipeline(vase.PipelineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := vase.Source{Name: "receiver.vhd", Text: corpus.ByKey("receiver").Source}
+	if _, err := vase.SynthesizeVia(context.Background(), p, src, vase.DefaultSynthesisOptions()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arch, err := vase.SynthesizeVia(context.Background(), p, src, vase.DefaultSynthesisOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !arch.Cached {
+			b.Fatal("warm synthesis missed the cache")
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -31,12 +31,22 @@ func main() {
 	werror := flag.Bool("Werror", false, "with -lint, treat warnings as errors")
 	timeout := flag.Duration("timeout", 0, "deadline for the search; on expiry the best netlist found so far is printed (0 = none)")
 	maxSteps := flag.Int("max-steps", 0, "search node budget; on exhaustion the best netlist so far is printed (0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persist compile and synthesis artifacts in this directory (content-addressed, shareable across runs)")
+	cacheStats := flag.Bool("cache-stats", false, "print the per-stage cache hit/miss table to stderr on exit")
 	flag.Parse()
 
 	opts := vase.DefaultSynthesisOptions()
 	opts.Trace = *showTree
 	opts.Workers = *workers
 	opts.MaxNodes = *maxSteps
+
+	pipe, err := vase.NewPipeline(vase.PipelineOptions{CacheDir: *cacheDir})
+	if err != nil {
+		fail(err)
+	}
+	if *cacheStats {
+		defer func() { fmt.Fprint(os.Stderr, pipe.Stats()) }()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -59,7 +69,7 @@ func main() {
 			fail(err)
 		}
 		if *lintFlag || *werror {
-			findings, err := vase.LintVHIF(flag.Args()[0], string(text), vase.LintOptions{})
+			findings, err := vase.LintVHIFVia(context.Background(), pipe, flag.Args()[0], string(text), vase.LintOptions{})
 			if err != nil {
 				fail(err)
 			}
@@ -71,7 +81,7 @@ func main() {
 			fmt.Print(m.Dump())
 			fmt.Println()
 		}
-		arch, err = vase.SynthesizeModuleContext(ctx, m, opts)
+		arch, err = vase.SynthesizeModuleVia(ctx, pipe, m, opts)
 		if err != nil {
 			fail(err)
 		}
@@ -81,7 +91,7 @@ func main() {
 			fail(err)
 		}
 		if *lintFlag || *werror {
-			findings, err := vase.Lint(src, vase.LintOptions{})
+			findings, err := vase.LintVia(context.Background(), pipe, src, vase.LintOptions{})
 			if err != nil {
 				fail(err)
 			}
@@ -89,7 +99,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		d, err := vase.Compile(src)
+		d, err := vase.CompileVia(context.Background(), pipe, src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
 			os.Exit(1)
@@ -112,6 +122,9 @@ func main() {
 		float64(arch.Stats.Elapsed)/float64(time.Millisecond))
 	if arch.Nonoptimal {
 		fmt.Println("note: search budget expired — this is the best implementation found, not a proven optimum")
+	}
+	if arch.Cached {
+		fmt.Println("note: netlist served from the synthesis cache (search stats describe the original run)")
 	}
 
 	if *area {

@@ -17,6 +17,7 @@ import (
 
 	"vase/internal/corpus"
 	"vase/internal/mapper"
+	"vase/internal/pipeline"
 )
 
 func main() {
@@ -29,7 +30,17 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel search workers for Table 1 (0 = all CPUs, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "shared deadline for the Table 1 searches; expired entries use the best netlist found so far (0 = none)")
 	maxSteps := flag.Int("max-steps", 0, "per-application search node budget for Table 1 (0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persist compile and synthesis artifacts in this directory (content-addressed, shareable across runs)")
+	cacheStats := flag.Bool("cache-stats", false, "print the per-stage cache hit/miss table to stderr on exit")
 	flag.Parse()
+
+	pipe, err := pipeline.New(pipeline.Options{CacheDir: *cacheDir})
+	if err != nil {
+		fail(err)
+	}
+	if *cacheStats {
+		defer func() { fmt.Fprint(os.Stderr, pipe.Stats()) }()
+	}
 
 	all := !*table1 && !*fig3 && !*fig4 && !*fig6 && !*fig7 && !*fig8
 
@@ -44,7 +55,7 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		builds, err := corpus.BuildAllContext(ctx, opts)
+		builds, err := corpus.BuildAllIn(ctx, pipe, opts)
 		if err != nil {
 			fail(err)
 		}

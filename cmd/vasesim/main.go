@@ -97,7 +97,17 @@ func main() {
 	benchmark := flag.String("benchmark", "", "simulate a built-in benchmark")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline; an expired simulation prints the partial trace (0 = none)")
 	maxSteps := flag.Int("max-steps", 0, "integration step budget; the trace is truncated on exhaustion (0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persist compile and synthesis artifacts in this directory (content-addressed, shareable across runs)")
+	cacheStats := flag.Bool("cache-stats", false, "print the per-stage cache hit/miss table to stderr on exit")
 	flag.Parse()
+
+	pipe, err := vase.NewPipeline(vase.PipelineOptions{CacheDir: *cacheDir})
+	if err != nil {
+		fail(err)
+	}
+	if *cacheStats {
+		defer func() { fmt.Fprint(os.Stderr, pipe.Stats()) }()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -110,7 +120,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	d, err := vase.CompileContext(ctx, src)
+	d, err := vase.CompileVia(ctx, pipe, src)
 	if err != nil {
 		fail(err)
 	}

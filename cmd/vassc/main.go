@@ -23,7 +23,17 @@ func main() {
 	lintFlag := flag.Bool("lint", false, "run the synthesizability linter before compiling")
 	werror := flag.Bool("Werror", false, "with -lint, treat warnings as errors")
 	timeout := flag.Duration("timeout", 0, "deadline for compiling and linting (0 = none)")
+	cacheDir := flag.String("cache-dir", "", "persist compile artifacts in this directory (content-addressed, shareable across runs)")
+	cacheStats := flag.Bool("cache-stats", false, "print the per-stage cache hit/miss table to stderr on exit")
 	flag.Parse()
+
+	pipe, err := vase.NewPipeline(vase.PipelineOptions{CacheDir: *cacheDir})
+	if err != nil {
+		fail(err)
+	}
+	if *cacheStats {
+		defer func() { fmt.Fprint(os.Stderr, pipe.Stats()) }()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -38,7 +48,7 @@ func main() {
 	}
 
 	if *lintFlag || *werror {
-		if !runLint(ctx, src, *werror) {
+		if !runLint(ctx, pipe, src, *werror) {
 			os.Exit(1)
 		}
 	}
@@ -55,7 +65,7 @@ func main() {
 		return
 	}
 
-	d, err := vase.CompileContext(ctx, src)
+	d, err := vase.CompileVia(ctx, pipe, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
 		os.Exit(1)
@@ -89,8 +99,8 @@ func loadSource(benchmark string, args []string) (vase.Source, error) {
 
 // runLint prints warning-or-worse findings to stderr and reports whether
 // compilation should proceed.
-func runLint(ctx context.Context, src vase.Source, werror bool) bool {
-	findings, err := vase.LintContext(ctx, src, vase.LintOptions{})
+func runLint(ctx context.Context, pipe *vase.Pipeline, src vase.Source, werror bool) bool {
+	findings, err := vase.LintVia(ctx, pipe, src, vase.LintOptions{})
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,18 @@
+package estimate
+
+import "fmt"
+
+// Canonical returns a deterministic encoding of the process for cache-key
+// derivation: every electrical and geometric parameter changes estimated
+// cell areas, so every field is included.
+func (p Process) Canonical() string {
+	return fmt.Sprintf("name=%s|kpn=%g|kpp=%g|vtn=%g|vtp=%g|ln=%g|lp=%g|lmin=%g|wmin=%g|vdd=%g|cap=%g|rsheet=%g|ovh=%g",
+		p.Name, p.KPn, p.KPp, p.VTn, p.VTp, p.LambdaN, p.LambdaP,
+		p.Lmin, p.Wmin, p.Vdd, p.CapDensity, p.RSheet, p.Overhead)
+}
+
+// Canonical returns a deterministic encoding of the system specification
+// for cache-key derivation.
+func (s SystemSpec) Canonical() string {
+	return fmt.Sprintf("bw=%g|peak=%g|guard=%g", s.Bandwidth, s.PeakV, s.GBWGuard)
+}

@@ -1,0 +1,54 @@
+package library
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// kindFromString is the inverse of CellKind.String, built once from the
+// mnemonic table.
+var kindFromString = func() map[string]CellKind {
+	m := make(map[string]CellKind, len(cellKindNames))
+	for k, name := range cellKindNames {
+		m[name] = CellKind(k)
+	}
+	return m
+}()
+
+// KindFromString resolves a cell-kind mnemonic (the CellKind.String form,
+// e.g. "summing_amp") back to its kind. ok is false for unknown mnemonics.
+func KindFromString(name string) (CellKind, bool) {
+	k, ok := kindFromString[name]
+	return k, ok
+}
+
+var fingerprintOnce struct {
+	sync.Once
+	hex string
+}
+
+// Fingerprint returns a stable SHA-256 hex digest of the whole cell
+// catalog: every cell's kind, name, op-amp budget, device counts, fan-in
+// limit and gain range. It is one of the inputs of the pipeline's
+// content-addressed cache keys (DESIGN.md §10), so any catalog edit — a new
+// cell, a different op-amp budget, a widened gain range — invalidates every
+// cached synthesis result.
+func Fingerprint() string {
+	fingerprintOnce.Do(func() {
+		h := sha256.New()
+		var b strings.Builder
+		for _, c := range Catalog() {
+			b.Reset()
+			fmt.Fprintf(&b, "%d|%s|%d|r%d|c%d|d%d|s%d|in%d|g%g:%g\n",
+				int(c.Kind), c.Name, c.OpAmps,
+				c.Resistors, c.Capacitors, c.Diodes, c.Switches,
+				c.MaxInputs, c.GainMin, c.GainMax)
+			h.Write([]byte(b.String()))
+		}
+		fingerprintOnce.hex = hex.EncodeToString(h.Sum(nil))
+	})
+	return fingerprintOnce.hex
+}

@@ -1,6 +1,10 @@
 // Cancellation contract of the lint driver: a dead context aborts between
 // stages and passes with the context's error; a live one changes nothing.
-package lint
+//
+// This is an external test package because it imports corpus, which now
+// builds through the pipeline — and the pipeline's cache keys depend on
+// this package.
+package lint_test
 
 import (
 	"context"
@@ -9,13 +13,14 @@ import (
 	"testing"
 
 	"vase/internal/corpus"
+	"vase/internal/lint"
 )
 
 func TestCheckSourceContextCancelled(t *testing.T) {
 	app := corpus.ByKey("receiver")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := CheckSourceContext(ctx, "receiver.vhd", app.Source, Options{})
+	_, err := lint.CheckSourceContext(ctx, "receiver.vhd", app.Source, lint.Options{})
 	if err == nil {
 		t.Fatal("cancelled lint run succeeded")
 	}
@@ -29,11 +34,11 @@ func TestCheckSourceContextCancelled(t *testing.T) {
 
 func TestCheckSourceContextBackgroundMatchesPlain(t *testing.T) {
 	app := corpus.ByKey("receiver")
-	plain, err := CheckSource("receiver.vhd", app.Source, Options{})
+	plain, err := lint.CheckSource("receiver.vhd", app.Source, lint.Options{})
 	if err != nil {
 		t.Fatalf("CheckSource: %v", err)
 	}
-	ctxList, err := CheckSourceContext(context.Background(), "receiver.vhd", app.Source, Options{})
+	ctxList, err := lint.CheckSourceContext(context.Background(), "receiver.vhd", app.Source, lint.Options{})
 	if err != nil {
 		t.Fatalf("CheckSourceContext: %v", err)
 	}
@@ -45,7 +50,7 @@ func TestCheckSourceContextBackgroundMatchesPlain(t *testing.T) {
 func TestCheckVHIFContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := CheckVHIFContext(ctx, "m.vhif", "module m\n", Options{}); err == nil {
+	if _, err := lint.CheckVHIFContext(ctx, "m.vhif", "module m\n", lint.Options{}); err == nil {
 		t.Fatal("cancelled VHIF lint run succeeded")
 	}
 }

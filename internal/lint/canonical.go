@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Canonical returns a deterministic encoding of the lint options for
+// cache-key derivation. An explicit pass selection and the default (all
+// passes) encode differently even when they select the same set, which is
+// safe: it can only cause a redundant recomputation, never a wrong hit.
+func (o Options) Canonical() string {
+	return fmt.Sprintf("passes=%s", strings.Join(o.Passes, ","))
+}
+
+var fingerprintOnce struct {
+	sync.Once
+	hex string
+}
+
+// Fingerprint returns a stable SHA-256 hex digest of the analyzer
+// registry: the registered pass names in execution order, with a revision
+// tag. Bump the tag when a pass's findings change for unchanged input, so
+// cached lint results are invalidated (DESIGN.md §10).
+func Fingerprint() string {
+	fingerprintOnce.Do(func() {
+		var b strings.Builder
+		b.WriteString("lint/v1:")
+		for _, p := range Passes() {
+			b.WriteString(p.Name)
+			b.WriteByte(',')
+		}
+		sum := sha256.Sum256([]byte(b.String()))
+		fingerprintOnce.hex = hex.EncodeToString(sum[:])
+	})
+	return fingerprintOnce.hex
+}

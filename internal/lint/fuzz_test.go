@@ -1,9 +1,10 @@
-package lint
+package lint_test
 
 import (
 	"testing"
 
 	"vase/internal/corpus"
+	"vase/internal/lint"
 )
 
 // FuzzLint proves the robustness contract of the linter: no pass may panic,
@@ -32,7 +33,7 @@ end architecture;`)
 	f.Add("architecture a of nowhere is begin end architecture;")
 	f.Add("entity e is port (quantity q : out real); end entity;\narchitecture a of e is begin q == q / q; end architecture;")
 	f.Fuzz(func(t *testing.T, src string) {
-		list, err := CheckSource("fuzz.vhd", src, Options{})
+		list, err := lint.CheckSource("fuzz.vhd", src, lint.Options{})
 		if err != nil {
 			t.Fatalf("CheckSource returned a driver error (must fold into the list): %v", err)
 		}
@@ -47,7 +48,7 @@ func FuzzLintVHIF(f *testing.F) {
 	f.Add("module m\ngraph g\nadd a in=(b.out) out=a.out\ngain b in=(a.out) out=b.out\n")
 	f.Add("garbage")
 	f.Fuzz(func(t *testing.T, src string) {
-		list, err := CheckVHIF("fuzz.vhif", src, Options{})
+		list, err := lint.CheckVHIF("fuzz.vhif", src, lint.Options{})
 		if err != nil {
 			t.Fatalf("CheckVHIF returned a driver error (must fold into the list): %v", err)
 		}

@@ -1,4 +1,4 @@
-package lint
+package lint_test
 
 import (
 	"flag"
@@ -9,6 +9,7 @@ import (
 
 	"vase/internal/corpus"
 	"vase/internal/diag"
+	"vase/internal/lint"
 	"vase/internal/source"
 )
 
@@ -43,10 +44,10 @@ func TestGolden(t *testing.T) {
 			var f *source.File
 			switch filepath.Ext(path) {
 			case ".vhd":
-				list, err = CheckSource(name, text, Options{})
+				list, err = lint.CheckSource(name, text, lint.Options{})
 				f = source.NewFile(name, text)
 			case ".vhif":
-				list, err = CheckVHIF(name, text, Options{})
+				list, err = lint.CheckVHIF(name, text, lint.Options{})
 			default:
 				t.Fatalf("unexpected fixture extension %q", path)
 			}
@@ -98,7 +99,7 @@ func TestGoldenCoverage(t *testing.T) {
 		all.Write(raw)
 	}
 	text := all.String()
-	for _, p := range Passes() {
+	for _, p := range lint.Passes() {
 		codes, ok := codesOf[p.Name]
 		if !ok {
 			t.Errorf("pass %q has no expected codes registered in this test", p.Name)
@@ -123,7 +124,7 @@ func TestCorpusClean(t *testing.T) {
 	for _, app := range corpus.Applications() {
 		app := app
 		t.Run(app.Key, func(t *testing.T) {
-			list, err := CheckSource(app.Key+".vhd", app.Source, Options{})
+			list, err := lint.CheckSource(app.Key+".vhd", app.Source, lint.Options{})
 			if err != nil {
 				t.Fatalf("lint: %v", err)
 			}
@@ -136,7 +137,7 @@ func TestCorpusClean(t *testing.T) {
 
 func TestPassRegistry(t *testing.T) {
 	seen := map[string]bool{}
-	for _, p := range Passes() {
+	for _, p := range lint.Passes() {
 		if p.Name == "" || p.Doc == "" || p.Run == nil {
 			t.Errorf("pass %+v is missing a name, doc or run function", p)
 		}
@@ -144,11 +145,11 @@ func TestPassRegistry(t *testing.T) {
 			t.Errorf("duplicate pass name %q", p.Name)
 		}
 		seen[p.Name] = true
-		if PassByName(p.Name) != p {
-			t.Errorf("PassByName(%q) does not round-trip", p.Name)
+		if lint.PassByName(p.Name) != p {
+			t.Errorf("lint.PassByName(%q) does not round-trip", p.Name)
 		}
 	}
-	if PassByName("nosuch") != nil {
+	if lint.PassByName("nosuch") != nil {
 		t.Error("PassByName accepted an unknown name")
 	}
 }
@@ -165,14 +166,14 @@ begin
   vo == v1 + i1;
 end architecture;
 `
-	all, err := CheckSource("sel.vhd", src, Options{})
+	all, err := lint.CheckSource("sel.vhd", src, lint.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if all.Count(diag.Warning) < 2 {
 		t.Fatalf("expected both the dimension and unused findings, got:\n%s", all.Error())
 	}
-	only, err := CheckSource("sel.vhd", src, Options{Passes: []string{"dimension"}})
+	only, err := lint.CheckSource("sel.vhd", src, lint.Options{Passes: []string{"dimension"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ end architecture;
 	if len(only) == 0 {
 		t.Error("selected dimension pass found nothing")
 	}
-	if _, err := CheckSource("sel.vhd", src, Options{Passes: []string{"nosuch"}}); err == nil {
+	if _, err := lint.CheckSource("sel.vhd", src, lint.Options{Passes: []string{"nosuch"}}); err == nil {
 		t.Error("unknown pass name was accepted")
 	}
 }
@@ -202,7 +203,7 @@ begin
   vout == vin + nosuch;
 end architecture;
 `
-	list, err := CheckSource("broken.vhd", src, Options{})
+	list, err := lint.CheckSource("broken.vhd", src, lint.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

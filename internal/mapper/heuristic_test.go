@@ -101,7 +101,7 @@ func TestSystemSpecFromAnnotations(t *testing.T) {
 	// bandwidth above the audio default.
 	m := buildCascade(2)
 	m.Ports = []*vhif.Port{{Name: "a", FreqHi: 1e6, RangeHi: 2.0}}
-	sys := systemSpecFor(m)
+	sys := SystemSpecFor(m)
 	if sys.Bandwidth != 1e6 {
 		t.Errorf("derived bandwidth = %g, want 1e6", sys.Bandwidth)
 	}
@@ -109,7 +109,7 @@ func TestSystemSpecFromAnnotations(t *testing.T) {
 		t.Errorf("derived peak = %g, want 2.0", sys.PeakV)
 	}
 	// Unannotated: audio defaults.
-	sys = systemSpecFor(buildCascade(2))
+	sys = SystemSpecFor(buildCascade(2))
 	if sys.Bandwidth != 20e3 {
 		t.Errorf("default bandwidth = %g, want 20e3", sys.Bandwidth)
 	}

@@ -189,7 +189,7 @@ func SynthesizeContext(ctx context.Context, m *vhif.Module, opts Options) (*Resu
 		opts.Process = estimate.SCN20
 	}
 	if opts.System.Bandwidth == 0 {
-		opts.System = systemSpecFor(m)
+		opts.System = SystemSpecFor(m)
 	}
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 1 << 22
@@ -319,11 +319,13 @@ func graphOf(m *vhif.Module, b *vhif.Block) *vhif.Graph {
 
 const inf = 1e300
 
-// systemSpecFor derives the design-wide signal specification from the
+// SystemSpecFor derives the design-wide signal specification from the
 // module's port annotations: the highest annotated frequency bound sets the
 // bandwidth, the widest annotated range or peak drive the signal swing.
-// Unannotated designs fall back to the audio-range default.
-func systemSpecFor(m *vhif.Module) estimate.SystemSpec {
+// Unannotated designs fall back to the audio-range default. It is exported
+// so the pipeline's estimate stage applies the identical defaulting when it
+// re-estimates a netlist materialized from a cached artifact.
+func SystemSpecFor(m *vhif.Module) estimate.SystemSpec {
 	sys := estimate.DefaultSystemSpec()
 	for _, p := range m.Ports {
 		if p.FreqHi > sys.Bandwidth {

@@ -1,6 +1,7 @@
 package mna
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -11,7 +12,10 @@ import (
 type ACResult struct {
 	Freqs []float64
 	V     map[Node][]complex128
-	c     *Circuit
+	// Truncated is set when a cancelled or deadlined context stopped the
+	// sweep early: Freqs and V hold the points solved so far.
+	Truncated bool
+	c         *Circuit
 }
 
 // Mag returns the magnitude response of a named node.
@@ -77,6 +81,13 @@ func LogSweep(f1, f2 float64, n int) []float64 {
 // contribute their local conductances and gains), the named source becomes
 // a unit AC stimulus, and the complex MNA system is solved per frequency.
 func (c *Circuit) AC(acSource string, freqs []float64) (*ACResult, error) {
+	return c.ACContext(context.Background(), acSource, freqs)
+}
+
+// ACContext is AC under a context, checked between frequency points: a
+// cancelled or deadlined sweep returns the prefix solved so far with
+// Truncated set, mirroring the transient simulator's anytime contract.
+func (c *Circuit) ACContext(ctx context.Context, acSource string, freqs []float64) (*ACResult, error) {
 	op, err := c.DC()
 	if err != nil {
 		return nil, fmt.Errorf("mna: AC operating point: %w", err)
@@ -94,7 +105,12 @@ func (c *Circuit) AC(acSource string, freqs []float64) (*ACResult, error) {
 	}
 
 	res := &ACResult{Freqs: freqs, V: map[Node][]complex128{}, c: c}
-	for _, f := range freqs {
+	for fi, f := range freqs {
+		if ctx.Err() != nil {
+			res.Freqs = freqs[:fi]
+			res.Truncated = true
+			return res, nil
+		}
 		sol, err := c.acSolve(op, acSource, f)
 		if err != nil {
 			return nil, fmt.Errorf("mna: AC at %g Hz: %w", f, err)

@@ -1,0 +1,257 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vase/internal/library"
+)
+
+// encodeHeader identifies (and versions) the netlist artifact format. Bump
+// the version when the encoding changes shape: the header participates in
+// decode validation, so stale on-disk cache artifacts from an older format
+// fail cleanly instead of decoding wrongly.
+const encodeHeader = "vase-netlist v1"
+
+// Encode renders the netlist in a complete, deterministic text form that
+// Decode reconstructs exactly: unlike Dump (a human-oriented rendering that
+// omits net identities and constant levels), Encode/Decode round-trip the
+// full structure — Decode(Encode(n)).Dump() == n.Dump() and estimation of
+// the decoded netlist yields the identical report. This is the on-disk
+// artifact format of the synthesis cache (DESIGN.md §10).
+//
+// Names of nets, components and ports must be whitespace-free (they are:
+// every name originates from a VHIF identifier); Encode returns an error
+// otherwise rather than producing an ambiguous artifact.
+func (n *Netlist) Encode() (string, error) {
+	var b strings.Builder
+	check := func(kind, name string) error {
+		if name == "" || strings.ContainsAny(name, " \t\n") {
+			return fmt.Errorf("netlist: cannot encode %s name %q (empty or contains whitespace)", kind, name)
+		}
+		return nil
+	}
+	if err := check("netlist", n.Name); err != nil {
+		return "", err
+	}
+	b.WriteString(encodeHeader + "\n")
+	fmt.Fprintf(&b, "name %s\n", n.Name)
+	for i, net := range n.Nets {
+		if net.ID != i {
+			return "", fmt.Errorf("netlist: net %q has id %d at index %d; cannot encode non-dense ids", net.Name, net.ID, i)
+		}
+		if err := check("net", net.Name); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "net %d %s", net.ID, net.Name)
+		if net.Const != nil {
+			fmt.Fprintf(&b, " const=%g", *net.Const)
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range n.Components {
+		if err := check("component", c.Name); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "comp %s %s", c.Cell.Kind, c.Name)
+		if c.Out != nil {
+			fmt.Fprintf(&b, " out=%d", c.Out.ID)
+		}
+		if len(c.Inputs) > 0 {
+			ids := make([]string, len(c.Inputs))
+			for i, in := range c.Inputs {
+				ids[i] = strconv.Itoa(in.ID)
+			}
+			fmt.Fprintf(&b, " in=%s", strings.Join(ids, ","))
+		}
+		if c.Ctrl != nil {
+			fmt.Fprintf(&b, " ctrl=%d", c.Ctrl.ID)
+		}
+		if c.Shared {
+			b.WriteString(" shared")
+		}
+		keys := make([]string, 0, len(c.Params))
+		for k := range c.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := check("parameter", k); err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, " p:%s=%g", k, c.Params[k])
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range n.Ports {
+		dir := "in"
+		if p.Dir == Out {
+			dir = "out"
+		}
+		if err := check("port", p.Name); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "port %s %s %d\n", dir, p.Name, p.Net.ID)
+	}
+	return b.String(), nil
+}
+
+// Decode reconstructs a netlist from its Encode form.
+func Decode(text string) (*Netlist, error) {
+	lines := strings.Split(text, "\n")
+	pos := 0
+	next := func() (string, bool) {
+		for pos < len(lines) {
+			line := strings.TrimSpace(lines[pos])
+			pos++
+			if line != "" {
+				return line, true
+			}
+		}
+		return "", false
+	}
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("netlist: decode line %d: %s", pos, fmt.Sprintf(format, args...))
+	}
+
+	line, ok := next()
+	if !ok || line != encodeHeader {
+		return nil, errf("missing %q header", encodeHeader)
+	}
+	line, ok = next()
+	var name string
+	if !ok || !strings.HasPrefix(line, "name ") {
+		return nil, errf("expected netlist name, got %q", line)
+	}
+	name = strings.TrimPrefix(line, "name ")
+	nl := New(name)
+
+	netByID := func(id int) (*Net, error) {
+		if id < 0 || id >= len(nl.Nets) {
+			return nil, errf("net id %d out of range (have %d nets)", id, len(nl.Nets))
+		}
+		return nl.Nets[id], nil
+	}
+	for {
+		line, ok = next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "net":
+			if len(fields) < 3 {
+				return nil, errf("malformed net line %q", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, errf("bad net id %q", fields[1])
+			}
+			net := nl.NewNet(fields[2])
+			if net.ID != id {
+				return nil, errf("net %q declared with id %d but allocated %d (ids must be dense and in order)", fields[2], id, net.ID)
+			}
+			for _, f := range fields[3:] {
+				val, found := strings.CutPrefix(f, "const=")
+				if !found {
+					return nil, errf("unknown net attribute %q", f)
+				}
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, errf("bad const value %q", val)
+				}
+				net.Const = &v
+			}
+		case "comp":
+			if len(fields) < 3 {
+				return nil, errf("malformed component line %q", line)
+			}
+			kind, ok := library.KindFromString(fields[1])
+			if !ok {
+				return nil, errf("unknown cell kind %q", fields[1])
+			}
+			var out *Net
+			var inputs []*Net
+			var ctrl *Net
+			shared := false
+			params := map[string]float64{}
+			for _, f := range fields[3:] {
+				switch {
+				case f == "shared":
+					shared = true
+				case strings.HasPrefix(f, "out="):
+					id, err := strconv.Atoi(f[len("out="):])
+					if err != nil {
+						return nil, errf("bad out id in %q", f)
+					}
+					if out, err = netByID(id); err != nil {
+						return nil, err
+					}
+				case strings.HasPrefix(f, "in="):
+					for _, s := range strings.Split(f[len("in="):], ",") {
+						id, err := strconv.Atoi(s)
+						if err != nil {
+							return nil, errf("bad input id %q", s)
+						}
+						in, err := netByID(id)
+						if err != nil {
+							return nil, err
+						}
+						inputs = append(inputs, in)
+					}
+				case strings.HasPrefix(f, "ctrl="):
+					id, err := strconv.Atoi(f[len("ctrl="):])
+					if err != nil {
+						return nil, errf("bad ctrl id in %q", f)
+					}
+					if ctrl, err = netByID(id); err != nil {
+						return nil, err
+					}
+				case strings.HasPrefix(f, "p:"):
+					kv := f[len("p:"):]
+					k, v, found := strings.Cut(kv, "=")
+					if !found {
+						return nil, errf("malformed parameter %q", f)
+					}
+					val, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, errf("bad parameter value %q", v)
+					}
+					params[k] = val
+				default:
+					return nil, errf("unknown component attribute %q", f)
+				}
+			}
+			c := nl.AddComponent(library.Get(kind), fields[2], inputs, out)
+			c.Ctrl = ctrl
+			c.Shared = shared
+			c.Params = params
+		case "port":
+			if len(fields) != 4 {
+				return nil, errf("malformed port line %q", line)
+			}
+			dir := In
+			switch fields[1] {
+			case "in":
+			case "out":
+				dir = Out
+			default:
+				return nil, errf("unknown port direction %q", fields[1])
+			}
+			id, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, errf("bad port net id %q", fields[3])
+			}
+			net, err := netByID(id)
+			if err != nil {
+				return nil, err
+			}
+			nl.AddPort(fields[2], dir, net)
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	return nl, nil
+}

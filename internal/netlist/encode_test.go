@@ -1,0 +1,112 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"vase/internal/estimate"
+	"vase/internal/library"
+)
+
+// sample builds a netlist exercising every encoded feature: constant nets,
+// multi-input components, control nets, shared components, parameters and
+// both port directions.
+func sample() *Netlist {
+	nl := New("sample")
+	in1 := nl.NewNet("a")
+	in2 := nl.NewNet("b")
+	ref := nl.NewNet("vref")
+	level := 0.5
+	ref.Const = &level
+	ctl := nl.NewNet("sel")
+	mid := nl.NewNet("mid")
+	out := nl.NewNet("y")
+	nl.AddPort("a", In, in1)
+	nl.AddPort("b", In, in2)
+	sum := nl.AddComponent(library.Get(library.CellSummingAmp), "sum1", []*Net{in1, in2}, mid)
+	sum.Params = map[string]float64{"gain0": 4, "gain1": 2.5}
+	sh := nl.AddComponent(library.Get(library.CellSampleHold), "sh1", []*Net{mid}, out)
+	sh.Ctrl = ctl
+	sh.Shared = true
+	sh.Params = map[string]float64{}
+	cmp := nl.AddComponent(library.Get(library.CellComparator), "det1", []*Net{ref}, ctl)
+	cmp.Params = map[string]float64{"threshold": 0.1, "hysteresis": 0.02}
+	nl.AddPort("y", Out, out)
+	return nl
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	nl := sample()
+	text, err := nl.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(text)
+	if err != nil {
+		t.Fatalf("decode: %v\nartifact:\n%s", err, text)
+	}
+	if a, b := nl.Dump(), got.Dump(); a != b {
+		t.Errorf("dump changed across the round trip:\n--- original ---\n%s--- decoded ---\n%s", a, b)
+	}
+	again, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if text != again {
+		t.Errorf("encode not stable across decode:\n--- first ---\n%s--- second ---\n%s", text, again)
+	}
+	// Structural details Dump does not show.
+	if got.Nets[2].Const == nil || *got.Nets[2].Const != 0.5 {
+		t.Error("constant net level lost")
+	}
+	if !got.Components[1].Shared {
+		t.Error("shared flag lost")
+	}
+	if got.Components[1].Ctrl == nil || got.Components[1].Ctrl.Name != "sel" {
+		t.Error("control net lost")
+	}
+	if got.OpAmpCount() != nl.OpAmpCount() {
+		t.Errorf("op amp count %d != %d", got.OpAmpCount(), nl.OpAmpCount())
+	}
+	// A decoded netlist estimates identically.
+	sys := estimate.DefaultSystemSpec()
+	repA, err := nl.Estimate(estimate.SCN20, sys)
+	if err != nil {
+		t.Fatalf("estimate original: %v", err)
+	}
+	repB, err := got.Estimate(estimate.SCN20, sys)
+	if err != nil {
+		t.Fatalf("estimate decoded: %v", err)
+	}
+	if repA.AreaUm2 != repB.AreaUm2 || repA.PowerMW != repB.PowerMW || repA.OpAmps != repB.OpAmps {
+		t.Errorf("estimate diverged: %+v vs %+v", repA, repB)
+	}
+	// A further net allocated after decoding must not collide with ids.
+	n := got.NewNet("extra")
+	if n.ID != len(got.Nets)-1 || n.ID != 6 {
+		t.Errorf("post-decode net got id %d, want 6", n.ID)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "not-a-netlist\nname x\n",
+		"bad net id":  "vase-netlist v1\nname x\nnet 5 a\n",
+		"bad kind":    "vase-netlist v1\nname x\nnet 0 a\ncomp warp_drive c1 out=0\n",
+		"bad out ref": "vase-netlist v1\nname x\nnet 0 a\ncomp inv_amp c1 out=7\n",
+		"bad port":    "vase-netlist v1\nname x\nnet 0 a\nport sideways a 0\n",
+	}
+	for name, text := range cases {
+		if _, err := Decode(text); err == nil {
+			t.Errorf("%s: decode accepted malformed artifact", name)
+		}
+	}
+}
+
+func TestEncodeRejectsAmbiguousNames(t *testing.T) {
+	nl := New("bad name")
+	if _, err := nl.Encode(); err == nil || !strings.Contains(err.Error(), "whitespace") {
+		t.Errorf("whitespace netlist name not rejected: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package patterns
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// rulesRevision names the matcher rule set. The pattern library is code,
+// not data, so its cache fingerprint cannot be derived from a catalog the
+// way internal/library's is; instead this constant enumerates the rules and
+// carries a version tag. Bump the tag whenever a rule's covered sub-graph,
+// parameters or preference order changes — that is what invalidates cached
+// mappings.
+const rulesRevision = "patterns/v1:" +
+	"simple,gain,gain_split,summing_amp,plain_summing,diff_amp,pga," +
+	"summing_integrator,scaled_log,inverted_detector,output_stage"
+
+// Fingerprint returns a stable SHA-256 hex digest identifying the matcher
+// rule set, one of the inputs of the pipeline's content-addressed cache
+// keys (DESIGN.md §10).
+func Fingerprint() string {
+	sum := sha256.Sum256([]byte(rulesRevision))
+	return hex.EncodeToString(sum[:])
+}
+
+// Canonical returns a deterministic encoding of the pattern-generation
+// options for cache-key derivation: every field changes the generated
+// candidate set, so every field is included.
+func (o Options) Canonical() string {
+	return fmt.Sprintf("noabs=%t|notrans=%t|fanin=%d",
+		o.NoAbsorption, o.NoTransformations, o.MaxFanIn)
+}

@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// diskStore is the on-disk artifact cache: one file per (stage, key), named
+// <stage>-<keyhex>.art. Artifacts are content-addressed, so files are
+// immutable once written and a directory can be shared by concurrent
+// processes — the worst race outcome is two writers producing the same
+// bytes.
+type diskStore struct {
+	dir string
+}
+
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+func (d *diskStore) path(st Stage, k Key) string {
+	return filepath.Join(d.dir, st.String()+"-"+k.String()+".art")
+}
+
+func (d *diskStore) read(st Stage, k Key) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(st, k))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// write stores an artifact atomically (temp file + rename), so a reader in
+// another process never observes a half-written artifact.
+func (d *diskStore) write(st Stage, k Key, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "tmp-*.art")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.path(st, k)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

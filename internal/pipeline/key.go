@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"vase/internal/library"
+	"vase/internal/lint"
+	"vase/internal/mapper"
+	"vase/internal/patterns"
+)
+
+// Key is a content-addressed cache key: the SHA-256 over a domain tag, the
+// canonical input artifact, the canonically-encoded stage options and the
+// fingerprints of whatever libraries the stage consults. Equal keys denote
+// equal stage outputs (byte-determinism, PR 1); any input change — one
+// character of source, one option field that can affect the result, one
+// library cell — changes the key.
+type Key [sha256.Size]byte
+
+// String returns the key as lowercase hex (the disk artifact basename).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// keyOf hashes the parts with length prefixes, so part boundaries are
+// unambiguous ("ab","c" never collides with "a","bc").
+func keyOf(parts ...string) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Key-domain tags. The version suffix is bumped when a stage's output
+// format or semantics change, invalidating older artifacts.
+const (
+	parseDomain    = "vase/parse/v1"
+	semaDomain     = "vase/sema/v1"
+	compileDomain  = "vase/compile/v1"
+	lintSrcDomain  = "vase/lint-src/v1"
+	lintVHIFDomain = "vase/lint-vhif/v1"
+	mapDomain      = "vase/map/v1"
+)
+
+// CompileKey is the content address of the front end's output (the VHIF
+// module plus Table 1 metrics) for one named source text. The front end has
+// no options and consults no libraries, so the key covers the source alone.
+func CompileKey(name, text string) Key {
+	return keyOf(compileDomain, name, text)
+}
+
+// LintSourceKey is the content address of a source-level lint run: the
+// source, the pass selection, and the analyzer registry fingerprint (so
+// adding or changing a pass invalidates cached findings).
+func LintSourceKey(name, text string, opts lint.Options) Key {
+	return keyOf(lintSrcDomain, name, text, opts.Canonical(), lint.Fingerprint())
+}
+
+// LintVHIFKey is LintSourceKey for module-level lint over serialized VHIF.
+func LintVHIFKey(name, text string, opts lint.Options) Key {
+	return keyOf(lintVHIFDomain, name, text, opts.Canonical(), lint.Fingerprint())
+}
+
+// MapKey is the content address of an architecture-generation result: the
+// serialized VHIF input, the canonical synthesis options (result-neutral
+// fields — Workers, Deadline, MaxNodes, Trace — excluded; see
+// mapper.Options.Canonical), and the fingerprints of the cell library and
+// the pattern-generation rules the search draws candidates from.
+func MapKey(vhifText string, opts mapper.Options) Key {
+	return keyOf(mapDomain, vhifText, opts.Canonical(),
+		library.Fingerprint(), patterns.Fingerprint())
+}

@@ -1,0 +1,48 @@
+package pipeline
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used map from keys to stage
+// values. It is not self-synchronized: every call happens under the owning
+// Pipeline's mutex.
+type lruCache struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *lruEntry
+	items    map[Key]*list.Element
+}
+
+type lruEntry struct {
+	key Key
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[Key]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(k Key) (any, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(k Key, v any) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry{key: k, val: v})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}

@@ -1,0 +1,323 @@
+// Package pipeline is the unified pass manager of the VASE flow: it models
+// the two technology-separated steps of the paper (VASS→VHIF compilation,
+// VHIF→netlist architecture generation) as a sequence of typed stages
+//
+//	Parse → Sema → Compile (VHIF) → Lint → Map → Estimate → Netlist
+//
+// and memoizes each stage under a content-addressed key: the SHA-256 of the
+// stage's canonical input artifact, the canonically-encoded stage options,
+// and the fingerprints of the pattern and cell libraries. PR 1 made every
+// stage byte-deterministic — the same key always denotes the same bytes —
+// which is exactly the property that makes this memoization sound.
+//
+// Three layers serve a key:
+//
+//  1. an in-memory LRU shared by every caller of the same Pipeline,
+//  2. an optional on-disk artifact store (Options.CacheDir) holding the
+//     serializable artifacts (VHIF text for the compile stage, the netlist
+//     encoding for the map stage) so results survive across processes, and
+//  3. single-flight deduplication: concurrent requests for the same key
+//     share one computation instead of racing redundant searches.
+//
+// Degraded results are never cached: a search truncated by a deadline, node
+// budget or cancellation (Result.Nonoptimal), or any stage that observed a
+// cancelled context, produces an artifact that depends on scheduling rather
+// than on its inputs alone, so it is returned to the caller but never
+// stored. Errors are likewise never cached. Traced synthesis runs
+// (Options.Trace) bypass the cache entirely — a decision tree must reflect
+// a real search, and a cached netlist has none.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stage identifies one pass of the flow.
+type Stage int
+
+// The pipeline stages in execution order. StageNetlist is the
+// materialization pass that decodes a netlist artifact into a fresh object
+// graph, and StageEstimate re-derives the area/power report on it; both run
+// on every synthesis request — cached or not — because estimation annotates
+// the netlist in place, so handing out a shared cached object would race.
+// Their counters therefore track computations and latency only.
+const (
+	StageParse Stage = iota
+	StageSema
+	StageCompile
+	StageLint
+	StageMap
+	StageEstimate
+	StageNetlist
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageParse:    "parse",
+	StageSema:     "sema",
+	StageCompile:  "compile",
+	StageLint:     "lint",
+	StageMap:      "map",
+	StageEstimate: "estimate",
+	StageNetlist:  "netlist",
+}
+
+// String returns the stage slug used in stats output and disk filenames.
+func (s Stage) String() string {
+	if s >= 0 && s < NumStages {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Options configures a Pipeline.
+type Options struct {
+	// MemoryEntries caps the in-memory LRU (0 selects the default of 512
+	// entries; negative disables in-memory caching).
+	MemoryEntries int
+	// CacheDir enables the on-disk artifact store rooted at the given
+	// directory ("" = memory only). Artifacts are content-addressed, so a
+	// directory may safely be shared by concurrent processes.
+	CacheDir string
+}
+
+// DefaultMemoryEntries is the in-memory LRU capacity when
+// Options.MemoryEntries is zero.
+const DefaultMemoryEntries = 512
+
+// StageStats counts one stage's cache traffic.
+type StageStats struct {
+	// Hits are requests served by the in-memory LRU.
+	Hits uint64
+	// DiskHits are requests served by the on-disk artifact store.
+	DiskHits uint64
+	// Shared are requests that joined an in-flight identical computation.
+	Shared uint64
+	// Misses are requests that ran the stage.
+	Misses uint64
+	// Errors are stage computations that failed.
+	Errors uint64
+	// ComputeTime accumulates the wall-clock time of the misses.
+	ComputeTime time.Duration
+}
+
+// Cached is the number of requests served without running the stage.
+func (s StageStats) Cached() uint64 { return s.Hits + s.DiskHits + s.Shared }
+
+// Stats is a snapshot of every stage's counters.
+type Stats struct {
+	Stages [NumStages]StageStats
+}
+
+// Stage returns the counters of one stage.
+func (s Stats) Stage(st Stage) StageStats { return s.Stages[st] }
+
+// String renders the per-stage counters as a table (the -cache-stats
+// output of the CLIs).
+func (s Stats) String() string {
+	out := fmt.Sprintf("%-9s %8s %8s %8s %8s %8s %12s\n",
+		"stage", "mem-hit", "disk-hit", "shared", "miss", "error", "compute")
+	for st := Stage(0); st < NumStages; st++ {
+		c := s.Stages[st]
+		out += fmt.Sprintf("%-9s %8d %8d %8d %8d %8d %12s\n",
+			st, c.Hits, c.DiskHits, c.Shared, c.Misses, c.Errors,
+			c.ComputeTime.Round(time.Microsecond))
+	}
+	return out
+}
+
+// Pipeline is a concurrency-safe pass manager with content-addressed
+// memoization. The zero value is not usable; construct with New, or use the
+// process-wide Default.
+type Pipeline struct {
+	mu      sync.Mutex
+	lru     *lruCache // nil when in-memory caching is disabled
+	flights map[Key]*flight
+	stats   [NumStages]StageStats
+	disk    *diskStore // nil when no cache dir is configured
+}
+
+// New builds a pipeline. The error is non-nil only when the configured
+// cache directory cannot be created.
+func New(opts Options) (*Pipeline, error) {
+	p := &Pipeline{flights: map[Key]*flight{}}
+	entries := opts.MemoryEntries
+	if entries == 0 {
+		entries = DefaultMemoryEntries
+	}
+	if entries > 0 {
+		p.lru = newLRU(entries)
+	}
+	if opts.CacheDir != "" {
+		d, err := newDiskStore(opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: cache dir: %w", err)
+		}
+		p.disk = d
+	}
+	return p, nil
+}
+
+var defaultOnce struct {
+	sync.Once
+	p *Pipeline
+}
+
+// Default returns the process-wide pipeline (in-memory LRU only, no disk
+// store). The public vase entry points and the corpus harness run through
+// it, so repeated compilations and syntheses of the same design within one
+// process are served from cache.
+func Default() *Pipeline {
+	defaultOnce.Do(func() {
+		defaultOnce.p, _ = New(Options{})
+	})
+	return defaultOnce.p
+}
+
+// Stats returns a snapshot of the per-stage counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Stages: p.stats}
+}
+
+// source reports how a memoized value was obtained.
+type source int
+
+const (
+	srcCompute source = iota // ran the stage
+	srcShared                // joined another caller's in-flight computation
+	srcMemory                // in-memory LRU
+	srcDisk                  // on-disk artifact store
+)
+
+// cached reports whether the value was served without running the stage in
+// this call.
+func (s source) cached() bool { return s == srcMemory || s == srcDisk }
+
+// codec serializes a stage value for the on-disk store. Stages without a
+// codec are memoized in memory only.
+type codec struct {
+	encode func(any) ([]byte, error)
+	decode func([]byte) (any, error)
+}
+
+// flight is one in-progress stage computation that concurrent identical
+// requests wait on.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// isCtxErr reports whether err is a cancellation/deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// memo serves one stage request: in-memory LRU, then the single-flight
+// table, then the disk store, then compute. compute returns the stage value
+// plus a cacheable flag: degraded results (cancelled context, truncated
+// search) are returned but never stored. A waiter whose leader was
+// cancelled retries the computation itself if its own context is still
+// live, so one impatient caller cannot poison the result for patient ones.
+func (p *Pipeline) memo(ctx context.Context, st Stage, key Key, c *codec, compute func(context.Context) (any, bool, error)) (any, source, error) {
+	for {
+		p.mu.Lock()
+		if p.lru != nil {
+			if v, ok := p.lru.get(key); ok {
+				p.stats[st].Hits++
+				p.mu.Unlock()
+				return v, srcMemory, nil
+			}
+		}
+		if f, ok := p.flights[key]; ok {
+			p.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, srcShared, ctx.Err()
+			}
+			if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
+				// The leader was cancelled but this caller is alive:
+				// take over the computation.
+				continue
+			}
+			p.mu.Lock()
+			p.stats[st].Shared++
+			p.mu.Unlock()
+			return f.val, srcShared, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		p.flights[key] = f
+		p.mu.Unlock()
+
+		v, src, err := p.lead(ctx, st, key, c, compute)
+		f.val, f.err = v, err
+		p.mu.Lock()
+		delete(p.flights, key)
+		p.mu.Unlock()
+		close(f.done)
+		return v, src, err
+	}
+}
+
+// lead runs the miss path of memo as the single-flight leader: disk probe,
+// then compute, then store.
+func (p *Pipeline) lead(ctx context.Context, st Stage, key Key, c *codec, compute func(context.Context) (any, bool, error)) (any, source, error) {
+	if c != nil && p.disk != nil {
+		if data, ok := p.disk.read(st, key); ok {
+			if v, err := c.decode(data); err == nil {
+				p.mu.Lock()
+				p.stats[st].DiskHits++
+				if p.lru != nil {
+					p.lru.add(key, v)
+				}
+				p.mu.Unlock()
+				return v, srcDisk, nil
+			}
+			// A corrupt or stale-format artifact: fall through to
+			// recompute (the fresh write below replaces it).
+		}
+	}
+	start := time.Now()
+	v, cacheable, err := compute(ctx)
+	elapsed := time.Since(start)
+	p.mu.Lock()
+	if err != nil {
+		p.stats[st].Errors++
+	} else {
+		p.stats[st].Misses++
+		p.stats[st].ComputeTime += elapsed
+		if cacheable && p.lru != nil {
+			p.lru.add(key, v)
+		}
+	}
+	p.mu.Unlock()
+	if err == nil && cacheable && c != nil && p.disk != nil {
+		if data, eerr := c.encode(v); eerr == nil {
+			// Best-effort: a full disk or racing writer must not fail the
+			// request; the artifact is content-addressed, so any complete
+			// write is as good as ours.
+			_ = p.disk.write(st, key, data)
+		}
+	}
+	return v, srcCompute, err
+}
+
+// count records a computation of an unmemoized stage (netlist
+// materialization, estimation).
+func (p *Pipeline) count(st Stage, err error, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.stats[st].Errors++
+		return
+	}
+	p.stats[st].Misses++
+	p.stats[st].ComputeTime += elapsed
+}

@@ -1,0 +1,377 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"vase/internal/mapper"
+	"vase/internal/vhif"
+)
+
+const mixerSrc = `
+entity mixer is
+  port (
+    quantity a : in real is voltage;
+    quantity b : in real is voltage;
+    quantity y : out real is voltage
+  );
+end entity;
+architecture beh of mixer is
+begin
+  y == 3.0 * a + 2.0 * b;
+end architecture;
+`
+
+func newPipe(t *testing.T, opts Options) *Pipeline {
+	t.Helper()
+	p, err := New(opts)
+	if err != nil {
+		t.Fatalf("new pipeline: %v", err)
+	}
+	return p
+}
+
+func TestCompileMemoized(t *testing.T) {
+	p := newPipe(t, Options{})
+	ctx := context.Background()
+	first, err := p.Compile(ctx, "mixer.vhd", mixerSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if first.Cached {
+		t.Error("first compile reported Cached")
+	}
+	if first.AST == nil || first.Sema == nil {
+		t.Error("computed compile lost the AST or symbol tables")
+	}
+	second, err := p.Compile(ctx, "mixer.vhd", mixerSrc)
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	if !second.Cached {
+		t.Error("second compile of identical source was not a cache hit")
+	}
+	if second.Module != first.Module {
+		t.Error("cache hit did not share the immutable module")
+	}
+	st := p.Stats().Stage(StageCompile)
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("compile stage counters = %+v, want 1 miss and 1 memory hit", st)
+	}
+	// A different file name is a different artifact.
+	if _, err := p.Compile(ctx, "other.vhd", mixerSrc); err != nil {
+		t.Fatalf("compile under other name: %v", err)
+	}
+	if st := p.Stats().Stage(StageCompile); st.Misses != 2 {
+		t.Errorf("renamed source did not recompile: %+v", st)
+	}
+}
+
+func TestSynthesizeWarm(t *testing.T) {
+	p := newPipe(t, Options{})
+	ctx := context.Background()
+	opts := mapper.DefaultOptions()
+	cold, _, cachedCold, err := p.Synthesize(ctx, "mixer.vhd", mixerSrc, opts)
+	if err != nil {
+		t.Fatalf("cold synthesize: %v", err)
+	}
+	if cachedCold {
+		t.Error("cold synthesis reported cached")
+	}
+	warm, _, cachedWarm, err := p.Synthesize(ctx, "mixer.vhd", mixerSrc, opts)
+	if err != nil {
+		t.Fatalf("warm synthesize: %v", err)
+	}
+	if !cachedWarm {
+		t.Error("warm synthesis was not a cache hit")
+	}
+	if a, b := cold.Netlist.Dump(), warm.Netlist.Dump(); a != b {
+		t.Errorf("warm netlist differs:\n--- cold ---\n%s--- warm ---\n%s", a, b)
+	}
+	if cold.Netlist == warm.Netlist {
+		t.Error("cache hit shared the mutable netlist instead of materializing a fresh one")
+	}
+	if cold.Report.AreaUm2 != warm.Report.AreaUm2 || cold.Report.OpAmps != warm.Report.OpAmps {
+		t.Errorf("warm report differs: %+v vs %+v", cold.Report, warm.Report)
+	}
+	if cold.Stats.NodesVisited != warm.Stats.NodesVisited {
+		t.Errorf("cache hit did not report the original search stats: %d vs %d",
+			cold.Stats.NodesVisited, warm.Stats.NodesVisited)
+	}
+	ms := p.Stats().Stage(StageMap)
+	if ms.Misses != 1 || ms.Hits != 1 {
+		t.Errorf("map stage counters = %+v, want 1 miss and 1 hit", ms)
+	}
+	// Materialization runs on both passes.
+	if nls := p.Stats().Stage(StageNetlist); nls.Misses != 2 {
+		t.Errorf("netlist stage ran %d times, want 2", nls.Misses)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	opts := mapper.DefaultOptions()
+
+	a := newPipe(t, Options{CacheDir: dir})
+	resA, crA, _, err := a.Synthesize(ctx, "mixer.vhd", mixerSrc, opts)
+	if err != nil {
+		t.Fatalf("first process synthesize: %v", err)
+	}
+
+	// A second pipeline over the same directory models a second process:
+	// nothing in memory, everything served from disk.
+	b := newPipe(t, Options{CacheDir: dir})
+	resB, crB, cached, err := b.Synthesize(ctx, "mixer.vhd", mixerSrc, opts)
+	if err != nil {
+		t.Fatalf("second process synthesize: %v", err)
+	}
+	if !cached || !crB.Cached {
+		t.Error("second process did not hit the disk cache")
+	}
+	st := b.Stats()
+	if cs := st.Stage(StageCompile); cs.DiskHits != 1 || cs.Misses != 0 {
+		t.Errorf("compile stage = %+v, want 1 disk hit and no misses", cs)
+	}
+	if ms := st.Stage(StageMap); ms.DiskHits != 1 || ms.Misses != 0 {
+		t.Errorf("map stage = %+v, want 1 disk hit and no misses", ms)
+	}
+	if crB.AST != nil || crB.Sema != nil {
+		t.Error("disk artifact claims to carry an AST or symbol tables")
+	}
+	if crB.Name != crA.Name || crB.Text != crA.Text || crB.Stats != crA.Stats {
+		t.Errorf("disk compile artifact differs: %+v vs %+v", crB, crA)
+	}
+	if x, y := resA.Netlist.Dump(), resB.Netlist.Dump(); x != y {
+		t.Errorf("disk netlist differs:\n--- computed ---\n%s--- disk ---\n%s", x, y)
+	}
+	if resA.Stats != resB.Stats {
+		t.Errorf("disk map artifact lost the search stats: %+v vs %+v", resA.Stats, resB.Stats)
+	}
+}
+
+func TestCorruptDiskArtifactRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	a := newPipe(t, Options{CacheDir: dir})
+	if _, err := a.Compile(ctx, "mixer.vhd", mixerSrc); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := a.disk.write(StageCompile, CompileKey("mixer.vhd", mixerSrc), []byte("garbage")); err != nil {
+		t.Fatalf("corrupt artifact: %v", err)
+	}
+	b := newPipe(t, Options{CacheDir: dir})
+	cr, err := b.Compile(ctx, "mixer.vhd", mixerSrc)
+	if err != nil {
+		t.Fatalf("compile over corrupt artifact: %v", err)
+	}
+	if cr.Cached {
+		t.Error("corrupt artifact was served as a cache hit")
+	}
+	if st := b.Stats().Stage(StageCompile); st.Misses != 1 || st.DiskHits != 0 {
+		t.Errorf("compile stage = %+v, want a recompute", st)
+	}
+	// The recompute replaced the corrupt artifact.
+	c := newPipe(t, Options{CacheDir: dir})
+	if cr, err := c.Compile(ctx, "mixer.vhd", mixerSrc); err != nil || !cr.Cached {
+		t.Errorf("repaired artifact not served from disk (err=%v cached=%v)", err, cr != nil && cr.Cached)
+	}
+}
+
+func TestNeverCacheDegraded(t *testing.T) {
+	p := newPipe(t, Options{CacheDir: t.TempDir()})
+	opts := mapper.DefaultOptions()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, cached, err := p.SynthesizeModule(ctx, mustModule(t, p), opts)
+	if err != nil {
+		t.Fatalf("cancelled synthesize: %v", err)
+	}
+	if cached {
+		t.Error("cancelled synthesis reported cached")
+	}
+	if !res.Nonoptimal {
+		t.Fatal("cancelled synthesis did not mark the result Nonoptimal")
+	}
+	// The degraded incumbent must not poison later full runs.
+	full, cached, err := p.SynthesizeModule(context.Background(), mustModule(t, p), opts)
+	if err != nil {
+		t.Fatalf("full synthesize: %v", err)
+	}
+	if cached {
+		t.Error("full run was served the degraded cached result")
+	}
+	if full.Nonoptimal {
+		t.Error("full run is marked Nonoptimal")
+	}
+	if ms := p.Stats().Stage(StageMap); ms.Misses != 2 || ms.Hits != 0 || ms.DiskHits != 0 {
+		t.Errorf("map stage = %+v, want 2 misses and no hits", ms)
+	}
+	// And only the full result becomes cacheable.
+	again, cached, err := p.SynthesizeModule(context.Background(), mustModule(t, p), opts)
+	if err != nil || !cached || again.Nonoptimal {
+		t.Errorf("third run: err=%v cached=%v nonoptimal=%v, want a clean cache hit", err, cached, again.Nonoptimal)
+	}
+}
+
+func TestTraceBypassesCache(t *testing.T) {
+	p := newPipe(t, Options{})
+	opts := mapper.DefaultOptions()
+	m := mustModule(t, p)
+	if _, _, err := p.SynthesizeModule(context.Background(), m, opts); err != nil {
+		t.Fatalf("warmup synthesize: %v", err)
+	}
+	opts.Trace = true
+	res, cached, err := p.SynthesizeModule(context.Background(), m, opts)
+	if err != nil {
+		t.Fatalf("traced synthesize: %v", err)
+	}
+	if cached {
+		t.Error("traced run was served from cache")
+	}
+	if res.Tree == nil {
+		t.Error("traced run has no decision tree")
+	}
+}
+
+func mustModule(t *testing.T, p *Pipeline) *vhif.Module {
+	t.Helper()
+	cr, err := p.Compile(context.Background(), "mixer.vhd", mixerSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return cr.Module
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	p := newPipe(t, Options{})
+	key := keyOf("test/flight", "k")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	computes := 0
+	var mu sync.Mutex
+
+	compute := func(ctx context.Context) (any, bool, error) {
+		mu.Lock()
+		computes++
+		mu.Unlock()
+		close(started)
+		<-release
+		return "value", true, nil
+	}
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	results := make([]any, waiters)
+	go func() {
+		// Leader.
+		v, _, err := p.memo(context.Background(), StageMap, key, nil, compute)
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		results[0] = v
+		wg.Done()
+	}()
+	<-started
+	for i := 1; i < waiters; i++ {
+		i := i
+		go func() {
+			v, _, err := p.memo(context.Background(), StageMap, key, nil, compute)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+			wg.Done()
+		}()
+	}
+	close(release)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Errorf("compute ran %d times, want 1", computes)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Errorf("caller %d got %v", i, v)
+		}
+	}
+	st := p.Stats().Stage(StageMap)
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Shared != waiters-1 {
+		t.Errorf("hits+shared = %d, want %d (stats %+v)", st.Hits+st.Shared, waiters-1, st)
+	}
+}
+
+func TestMemoWaiterRetriesAfterCancelledLeader(t *testing.T) {
+	p := newPipe(t, Options{})
+	key := keyOf("test/retry", "k")
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+
+	go func() {
+		_, _, err := p.memo(leaderCtx, StageMap, key, nil, func(ctx context.Context) (any, bool, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, false, ctx.Err()
+		})
+		if err == nil {
+			t.Error("cancelled leader succeeded")
+		}
+	}()
+	<-started
+
+	done := make(chan struct{})
+	var got any
+	var gotErr error
+	go func() {
+		defer close(done)
+		got, _, gotErr = p.memo(context.Background(), StageMap, key, nil,
+			func(ctx context.Context) (any, bool, error) { return "fresh", true, nil })
+	}()
+	cancelLeader()
+	<-done
+	if gotErr != nil {
+		t.Fatalf("patient waiter inherited the leader's cancellation: %v", gotErr)
+	}
+	if got != "fresh" {
+		t.Errorf("waiter got %v, want its own recomputation", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := newPipe(t, Options{MemoryEntries: 2})
+	ctx := context.Background()
+	compute := func(v string) func(context.Context) (any, bool, error) {
+		return func(context.Context) (any, bool, error) { return v, true, nil }
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, err := p.memo(ctx, StageParse, keyOf("test/lru", k), nil, compute(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "a" was evicted by "c"; "b" and "c" remain.
+	if _, src, _ := p.memo(ctx, StageParse, keyOf("test/lru", "b"), nil, compute("b")); src != srcMemory {
+		t.Errorf("b: source %v, want memory hit", src)
+	}
+	if _, src, _ := p.memo(ctx, StageParse, keyOf("test/lru", "a"), nil, compute("a")); src != srcCompute {
+		t.Errorf("a: source %v, want recompute after eviction", src)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	p := newPipe(t, Options{})
+	if _, err := p.Compile(context.Background(), "mixer.vhd", mixerSrc); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Stats().String()
+	for _, want := range []string{"stage", "compile", "map", "mem-hit", "miss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats table lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"vase/internal/ast"
 	"vase/internal/compile"
@@ -41,8 +42,8 @@ import (
 	"vase/internal/mapper"
 	"vase/internal/mna"
 	"vase/internal/netlist"
-	"vase/internal/parser"
 	"vase/internal/patterns"
+	"vase/internal/pipeline"
 	"vase/internal/sema"
 	"vase/internal/sim"
 	"vase/internal/source"
@@ -60,13 +61,48 @@ type Source struct {
 type Design struct {
 	// Name is the entity name.
 	Name string
-	// AST is the parsed design file.
+	// AST is the parsed design file. It is nil when the design was served
+	// from a pipeline's on-disk cache (only the VHIF module and the front
+	// metrics are persisted).
 	AST *ast.DesignFile
 	// Sema is the analyzed design (symbol tables, types, Table 1 metrics).
+	// Like AST, it is nil on a disk-cache hit.
 	Sema *sema.Design
 	// VHIF is the intermediate representation.
 	VHIF *vhif.Module
+	// Stats are the front-end Table 1 metrics (available even when Sema is
+	// nil).
+	Stats pipeline.FrontStats
+	// Cached reports that compilation was served from the pipeline cache.
+	Cached bool
+
+	// pipe is the pipeline that compiled the design (synthesis and
+	// simulation of the design route through it); text is the VHIF module's
+	// canonical serialization, the map stage's cache-key input.
+	pipe *pipeline.Pipeline
+	text string
 }
+
+// Pipeline is a pass manager that memoizes the synthesis flow's stages
+// (parse, sema, VHIF compilation, lint, architecture generation) under
+// content-addressed keys, with an in-memory LRU and an optional on-disk
+// artifact store shared across processes. See NewPipeline.
+type Pipeline = pipeline.Pipeline
+
+// PipelineOptions configures NewPipeline (LRU size, cache directory).
+type PipelineOptions = pipeline.Options
+
+// PipelineStats is a snapshot of a pipeline's per-stage cache counters.
+type PipelineStats = pipeline.Stats
+
+// NewPipeline builds a pass pipeline. With a zero Options value the
+// pipeline memoizes in memory only; set Options.CacheDir to persist compile
+// and synthesis artifacts across processes.
+func NewPipeline(opts PipelineOptions) (*Pipeline, error) { return pipeline.New(opts) }
+
+// DefaultPipeline returns the process-wide pipeline used by Compile, Lint,
+// Synthesize and the benchmark harness when no explicit pipeline is given.
+func DefaultPipeline() *Pipeline { return pipeline.Default() }
 
 // RenderDiagnostics formats a Compile error with source excerpts and caret
 // markers when the error carries positions; other errors format plainly.
@@ -91,7 +127,8 @@ func RenderDiagnostics(err error, src Source) string {
 }
 
 // Compile parses, analyzes and compiles a VASS source into its primary VHIF
-// representation.
+// representation, through the process-wide pipeline: recompilations of an
+// unchanged source are served from cache.
 func Compile(src Source) (*Design, error) {
 	return CompileContext(context.Background(), src)
 }
@@ -99,29 +136,28 @@ func Compile(src Source) (*Design, error) {
 // CompileContext is Compile with cancellation: the context is checked
 // between front-end stages (parse, analyze, compile, validate), so a
 // deadlined compilation returns promptly with the context's error.
+// Cancelled compilations are never cached.
 func CompileContext(ctx context.Context, src Source) (*Design, error) {
-	df, err := parser.Parse(src.Name, src.Text)
+	return CompileVia(ctx, pipeline.Default(), src)
+}
+
+// CompileVia is CompileContext through an explicit pipeline (for example
+// one with an on-disk cache, or an isolated one for tests).
+func CompileVia(ctx context.Context, p *Pipeline, src Source) (*Design, error) {
+	cr, err := p.Compile(ctx, src.Name, src.Text)
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("vase: compile of %s cancelled after parse: %w", src.Name, err)
-	}
-	d, err := sema.AnalyzeOne(df)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("vase: compile of %s cancelled after analysis: %w", src.Name, err)
-	}
-	m, err := compile.Compile(d)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	return &Design{Name: d.Name, AST: df, Sema: d, VHIF: m}, nil
+	return &Design{
+		Name:   cr.Name,
+		AST:    cr.AST,
+		Sema:   cr.Sema,
+		VHIF:   cr.Module,
+		Stats:  cr.Stats,
+		Cached: cr.Cached,
+		pipe:   p,
+		text:   cr.Text,
+	}, nil
 }
 
 // LintOptions configures a lint run (pass selection).
@@ -144,23 +180,33 @@ const (
 // returned list; the error return is reserved for driver misuse such as an
 // unknown pass name.
 func Lint(src Source, opts LintOptions) (Diagnostics, error) {
-	return lint.CheckSource(src.Name, src.Text, opts)
+	return LintContext(context.Background(), src, opts)
 }
 
 // LintContext is Lint with cancellation between front-end stages and
 // analyzer passes.
 func LintContext(ctx context.Context, src Source, opts LintOptions) (Diagnostics, error) {
-	return lint.CheckSourceContext(ctx, src.Name, src.Text, opts)
+	return LintVia(ctx, pipeline.Default(), src, opts)
+}
+
+// LintVia is LintContext through an explicit pipeline.
+func LintVia(ctx context.Context, p *Pipeline, src Source, opts LintOptions) (Diagnostics, error) {
+	return p.Lint(ctx, src.Name, src.Text, opts)
 }
 
 // LintVHIF runs the module-level analyzers over serialized VHIF text.
 func LintVHIF(name, text string, opts LintOptions) (Diagnostics, error) {
-	return lint.CheckVHIF(name, text, opts)
+	return LintVHIFContext(context.Background(), name, text, opts)
 }
 
 // LintVHIFContext is LintVHIF with cancellation between analyzer passes.
 func LintVHIFContext(ctx context.Context, name, text string, opts LintOptions) (Diagnostics, error) {
-	return lint.CheckVHIFContext(ctx, name, text, opts)
+	return LintVHIFVia(ctx, pipeline.Default(), name, text, opts)
+}
+
+// LintVHIFVia is LintVHIFContext through an explicit pipeline.
+func LintVHIFVia(ctx context.Context, p *Pipeline, name, text string, opts LintOptions) (Diagnostics, error) {
+	return p.LintVHIF(ctx, name, text, opts)
 }
 
 // LintPasses returns the registered analyzers (name and one-line doc), in
@@ -168,13 +214,11 @@ func LintVHIFContext(ctx context.Context, name, text string, opts LintOptions) (
 func LintPasses() []*lint.Pass { return lint.Passes() }
 
 // CompileAlternatives compiles up to limit alternative DAE solver
-// topologies (limit <= 0 means all feasible ones).
+// topologies (limit <= 0 means all feasible ones). The front end reuses the
+// pipeline's parse and sema stages; the alternatives themselves are not
+// cached.
 func CompileAlternatives(src Source, limit int) ([]*vhif.Module, error) {
-	df, err := parser.Parse(src.Name, src.Text)
-	if err != nil {
-		return nil, err
-	}
-	d, err := sema.AnalyzeOne(df)
+	d, err := pipeline.Default().Analyze(context.Background(), src.Name, src.Text)
 	if err != nil {
 		return nil, err
 	}
@@ -184,10 +228,10 @@ func CompileAlternatives(src Source, limit int) ([]*vhif.Module, error) {
 // Metrics returns the design's Table 1 metrics.
 func (d *Design) Metrics() corpus.Row {
 	return corpus.Row{
-		ContinuousLines: d.Sema.Stats.ContinuousLines,
-		Quantities:      d.Sema.Stats.QuantityCount,
-		EventLines:      d.Sema.Stats.EventLines,
-		Signals:         d.Sema.Stats.SignalCount,
+		ContinuousLines: d.Stats.ContinuousLines,
+		Quantities:      d.Stats.Quantities,
+		EventLines:      d.Stats.EventLines,
+		Signals:         d.Stats.Signals,
 		Blocks:          d.VHIF.BlockCount(),
 		States:          d.VHIF.StateCount(),
 		Datapath:        d.VHIF.DatapathCount(),
@@ -209,23 +253,30 @@ func SynthesizeModule(m *vhif.Module, opts SynthesisOptions) (*Architecture, err
 // and Options.Deadline make the branch-and-bound search anytime: instead of
 // failing, it returns the best implementation found so far with
 // Architecture.Nonoptimal set (the result is a valid netlist, just without
-// an optimality proof).
+// an optimality proof). Truncated results are never cached.
 func SynthesizeModuleContext(ctx context.Context, m *vhif.Module, opts SynthesisOptions) (*Architecture, error) {
-	res, err := mapper.SynthesizeContext(ctx, m, opts)
+	return SynthesizeModuleVia(ctx, pipeline.Default(), m, opts)
+}
+
+// SynthesizeModuleVia is SynthesizeModuleContext through an explicit
+// pipeline.
+func SynthesizeModuleVia(ctx context.Context, p *Pipeline, m *vhif.Module, opts SynthesisOptions) (*Architecture, error) {
+	res, cached, err := p.SynthesizeModule(ctx, m, opts)
 	if err != nil {
 		return nil, err
 	}
-	return newArchitecture(res), nil
+	return newArchitecture(res, cached), nil
 }
 
 // newArchitecture wraps a mapper result in the public Architecture type.
-func newArchitecture(res *mapper.Result) *Architecture {
+func newArchitecture(res *mapper.Result, cached bool) *Architecture {
 	return &Architecture{
 		Netlist:    res.Netlist,
 		Report:     res.Report,
 		Stats:      res.Stats,
 		Tree:       res.Tree,
 		Nonoptimal: res.Nonoptimal,
+		Cached:     cached,
 	}
 }
 
@@ -235,7 +286,15 @@ func newArchitecture(res *mapper.Result) *Architecture {
 // result); the context governs the branch-and-bound search, which on
 // expiry returns its best incumbent with Architecture.Nonoptimal set.
 func Synthesize(ctx context.Context, src Source, opts SynthesisOptions) (*Architecture, error) {
-	d, err := Compile(src)
+	return SynthesizeVia(ctx, pipeline.Default(), src, opts)
+}
+
+// SynthesizeVia is Synthesize through an explicit pipeline: both the front
+// end and the architecture generation are memoized there. Only the search
+// runs under ctx — the front end always completes, per the anytime
+// contract.
+func SynthesizeVia(ctx context.Context, p *Pipeline, src Source, opts SynthesisOptions) (*Architecture, error) {
+	d, err := CompileVia(context.Background(), p, src)
 	if err != nil {
 		return nil, err
 	}
@@ -263,8 +322,13 @@ type Architecture struct {
 	// Nonoptimal is set when the search was cut short by a cancellation,
 	// deadline or node budget: the netlist is the best incumbent found, not
 	// a proven minimum-area implementation. Stats.Elapsed and
-	// Stats.NodesVisited record how far the search got.
+	// Stats.NodesVisited record how far the search got. Nonoptimal results
+	// are never cached.
 	Nonoptimal bool
+	// Cached reports that the architecture was served from the pipeline
+	// cache instead of running the branch-and-bound search; Stats then
+	// describes the original search that produced the cached artifact.
+	Cached bool
 }
 
 // Synthesize maps the design onto a minimum-area component netlist with the
@@ -279,13 +343,26 @@ func (d *Design) SynthesizeWith(opts SynthesisOptions) (*Architecture, error) {
 }
 
 // SynthesizeContext maps the design under a context; see
-// SynthesizeModuleContext for the anytime contract.
+// SynthesizeModuleContext for the anytime contract. The search runs through
+// the pipeline that compiled the design, so re-synthesizing an unchanged
+// design under unchanged options is a cache hit.
 func (d *Design) SynthesizeContext(ctx context.Context, opts SynthesisOptions) (*Architecture, error) {
-	res, err := mapper.SynthesizeContext(ctx, d.VHIF, opts)
+	p := d.pipe
+	if p == nil {
+		p = pipeline.Default()
+	}
+	var res *mapper.Result
+	var cached bool
+	var err error
+	if d.text != "" {
+		res, cached, err = p.SynthesizeText(ctx, d.VHIF, d.text, opts)
+	} else {
+		res, cached, err = p.SynthesizeModule(ctx, d.VHIF, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return newArchitecture(res), nil
+	return newArchitecture(res, cached), nil
 }
 
 // Simulation re-exports.
@@ -373,9 +450,12 @@ func (a *Architecture) SpiceContext(ctx context.Context, inputs map[string]Wavef
 
 // ACResponse is a small-signal frequency sweep of a synthesized circuit.
 type ACResponse struct {
-	Freqs  []float64
-	elab   *mna.Elaborated
-	result *mna.ACResult
+	Freqs []float64
+	// Truncated is set when a cancelled or deadlined ACContext stopped the
+	// sweep early; Freqs holds the points solved so far.
+	Truncated bool
+	elab      *mna.Elaborated
+	result    *mna.ACResult
 }
 
 // Mag returns the magnitude response at a port or net (polarity-independent).
@@ -401,6 +481,14 @@ func (r *ACResponse) MagDB(name string) []float64 {
 // points log-spaced frequencies in [f1, f2]. Other inputs are held at their
 // DC values (zero).
 func (a *Architecture) AC(stimulus string, f1, f2 float64, points int) (*ACResponse, error) {
+	return a.ACContext(context.Background(), stimulus, f1, f2, points)
+}
+
+// ACContext is AC under a context, checked between frequency points: a
+// cancelled or deadlined sweep returns the prefix of points solved so far
+// with ACResponse.Truncated set, matching the anytime contract of the
+// transient simulators.
+func (a *Architecture) ACContext(ctx context.Context, stimulus string, f1, f2 float64, points int) (*ACResponse, error) {
 	waves := map[string]mna.Waveform{}
 	for _, p := range a.Netlist.Ports {
 		if p.Dir == netlist.In {
@@ -415,11 +503,11 @@ func (a *Architecture) AC(stimulus string, f1, f2 float64, points int) (*ACRespo
 		return nil, err
 	}
 	freqs := mna.LogSweep(f1, f2, points)
-	res, err := el.Circuit.AC("v_"+stimulus, freqs)
+	res, err := el.Circuit.ACContext(ctx, "v_"+stimulus, freqs)
 	if err != nil {
 		return nil, err
 	}
-	return &ACResponse{Freqs: freqs, elab: el, result: res}, nil
+	return &ACResponse{Freqs: res.Freqs, Truncated: res.Truncated, elab: el, result: res}, nil
 }
 
 // SpiceDeck renders the elaborated circuit of the netlist as a SPICE deck.
@@ -470,11 +558,12 @@ func FormatDecisionTree(n *mapper.TreeNode) string { return mapper.FormatTree(n)
 func Benchmarks() []*corpus.Application { return corpus.Applications() }
 
 // Benchmark returns one benchmark by key (receiver, powermeter, missile,
-// itersolver, funcgen), or an error.
+// itersolver, funcgen). An unknown key's error lists the valid keys.
 func Benchmark(key string) (*corpus.Application, error) {
 	app := corpus.ByKey(key)
 	if app == nil {
-		return nil, fmt.Errorf("vase: no benchmark %q", key)
+		return nil, fmt.Errorf("vase: no benchmark %q (valid keys: %s)",
+			key, strings.Join(corpus.Keys(), ", "))
 	}
 	return app, nil
 }
