@@ -99,6 +99,8 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "integration step budget; the trace is truncated on exhaustion (0 = unlimited)")
 	cacheDir := flag.String("cache-dir", "", "persist compile and synthesis artifacts in this directory (content-addressed, shareable across runs)")
 	cacheStats := flag.Bool("cache-stats", false, "print the per-stage cache hit/miss table to stderr on exit")
+	solverStats := flag.Bool("stats", false, "print linear-solver statistics to stderr on exit (circuit level only)")
+	workers := flag.Int("workers", 0, "parallel fan-out of circuit-level AC sweeps (0 = all CPUs, 1 = sequential; results are identical)")
 	flag.Parse()
 
 	pipe, err := vase.NewPipeline(vase.PipelineOptions{CacheDir: *cacheDir})
@@ -167,14 +169,21 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		arch.SimWorkers = *workers
 		res, err := arch.SpiceContext(ctx, inputs, *tstop, *tstep)
 		if err != nil {
 			fail(err)
 		}
 		printSpice(d, res, *every)
+		if *solverStats {
+			fmt.Fprintln(os.Stderr, "solver:", res.Stats)
+		}
 		noteTruncated(res.Tran.Truncated)
 	default:
 		fail(fmt.Errorf("unknown level %q", *level))
+	}
+	if *solverStats && *level != "circuit" {
+		fmt.Fprintln(os.Stderr, "note: -stats applies to -level circuit only")
 	}
 }
 

@@ -2,6 +2,7 @@ package estimate
 
 import (
 	"math"
+	"sync"
 
 	"vase/internal/library"
 )
@@ -51,9 +52,53 @@ type CellEstimate struct {
 	Power   float64
 }
 
+// cellKey identifies one estimation problem. Every field of Process,
+// SystemSpec and CellInstance is a comparable value (the Cell pointer is a
+// catalog singleton), so the composite is usable as a map key and two equal
+// keys describe byte-identical computations.
+type cellKey struct {
+	p    Process
+	sys  SystemSpec
+	inst CellInstance
+}
+
+// cellMemo caches EstimateCell results. The branch-and-bound mapper
+// re-estimates the same (process, spec, instance) triple at every tree node
+// that binds the same component, and its parallel workers do so
+// concurrently, so the cache is shared and lock-free on the hit path.
+var cellMemo sync.Map // cellKey -> cellResult
+
+type cellResult struct {
+	est CellEstimate
+	err error
+}
+
 // EstimateCell sizes the op amps of a cell instance and rolls up its area
-// and power.
+// and power. Results are memoized: the estimator is a pure function of its
+// arguments, so a repeat call returns the cached design — byte-identical,
+// since it is the same computation — without re-running topology selection.
 func EstimateCell(p Process, sys SystemSpec, inst CellInstance) (CellEstimate, error) {
+	key := cellKey{p: p, sys: sys, inst: inst}
+	if v, ok := cellMemo.Load(key); ok {
+		r := v.(cellResult)
+		return r.est.copied(), r.err
+	}
+	est, err := estimateCellUncached(p, sys, inst)
+	cellMemo.Store(key, cellResult{est: est, err: err})
+	return est.copied(), err
+}
+
+// copied returns the estimate with its own OpAmps backing array, so a caller
+// mutating the returned designs cannot corrupt the cached entry (OpAmpDesign
+// itself is a pure value type).
+func (e CellEstimate) copied() CellEstimate {
+	if e.OpAmps != nil {
+		e.OpAmps = append([]OpAmpDesign(nil), e.OpAmps...)
+	}
+	return e
+}
+
+func estimateCellUncached(p Process, sys SystemSpec, inst CellInstance) (CellEstimate, error) {
 	var est CellEstimate
 	if sys.GBWGuard <= 0 {
 		sys.GBWGuard = 10

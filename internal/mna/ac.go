@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // ACResult holds a small-signal frequency sweep: complex node voltages per
@@ -87,9 +90,22 @@ func (c *Circuit) AC(acSource string, freqs []float64) (*ACResult, error) {
 // ACContext is AC under a context, checked between frequency points: a
 // cancelled or deadlined sweep returns the prefix solved so far with
 // Truncated set, mirroring the transient simulator's anytime contract.
+//
+// The sweep fans out across Circuit.Workers goroutines (0 = all CPUs):
+// frequency points are independent complex solves over the same structure,
+// dispatched by an ascending atomic counter to per-worker workspaces.
+// Every worker count produces the identical result — each point's
+// arithmetic is self-contained, results land in preallocated per-point
+// slots, a failing sweep always reports the lowest failing frequency, and
+// cancellation truncates to the contiguous prefix of completed points.
 func (c *Circuit) ACContext(ctx context.Context, acSource string, freqs []float64) (*ACResult, error) {
-	op, err := c.DC()
+	op, err := c.DCContext(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled before any point could be solved: the empty
+			// prefix is the anytime result.
+			return &ACResult{Freqs: freqs[:0], V: map[Node][]complex128{}, Truncated: true, c: c}, nil
+		}
 		return nil, fmt.Errorf("mna: AC operating point: %w", err)
 	}
 	c.assignBranches()
@@ -105,19 +121,108 @@ func (c *Circuit) ACContext(ctx context.Context, acSource string, freqs []float6
 	}
 
 	res := &ACResult{Freqs: freqs, V: map[Node][]complex128{}, c: c}
-	for fi, f := range freqs {
+	if c.Solver == SolverReference {
+		for fi, f := range freqs {
+			if ctx.Err() != nil {
+				res.Freqs = freqs[:fi]
+				res.Truncated = true
+				return res, nil
+			}
+			sol, err := c.acSolve(op, acSource, f)
+			if err != nil {
+				return nil, fmt.Errorf("mna: AC at %g Hz: %w", f, err)
+			}
+			c.stats.Factorizations++
+			for i := 1; i <= c.nodes; i++ {
+				res.V[Node(i)] = append(res.V[Node(i)], sol[i])
+			}
+		}
+		return res, nil
+	}
+
+	s, err := c.ensureSolver()
+	if err != nil {
+		return nil, err
+	}
+	tmpl := c.buildACTemplate(s, op, acSource)
+	dim := s.dim
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(freqs) {
+		workers = len(freqs)
+	}
+
+	// Per-point solution slots (no append contention) and completion
+	// marks; each index is written by exactly one worker.
+	sols := make([]complex128, len(freqs)*(dim+1))
+	done := make([]bool, len(freqs))
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		failIdx = -1
+		failErr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := newACWorkspace(s, tmpl)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(freqs) || ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				bail := failIdx >= 0 && failIdx < i
+				mu.Unlock()
+				if bail {
+					return
+				}
+				if err := ws.solvePoint(s, tmpl, freqs[i]); err != nil {
+					mu.Lock()
+					if failIdx < 0 || i < failIdx {
+						failIdx = i
+						failErr = fmt.Errorf("mna: AC at %g Hz: %w", freqs[i], err)
+					}
+					mu.Unlock()
+					continue
+				}
+				copy(sols[i*(dim+1):(i+1)*(dim+1)], ws.x)
+				done[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Contiguous prefix of completed points: with ascending dispatch this
+	// is everything on success, and the lowest failing index is always
+	// attempted, so a genuine failure is reported deterministically.
+	solved := 0
+	for solved < len(freqs) && done[solved] {
+		solved++
+	}
+	c.stats.Factorizations += int64(solved)
+	if solved < len(freqs) {
 		if ctx.Err() != nil {
-			res.Freqs = freqs[:fi]
+			res.Freqs = freqs[:solved]
 			res.Truncated = true
-			return res, nil
+		} else {
+			if failErr == nil {
+				failErr = fmt.Errorf("mna: AC sweep stalled at %g Hz", freqs[solved])
+			}
+			return nil, failErr
 		}
-		sol, err := c.acSolve(op, acSource, f)
-		if err != nil {
-			return nil, fmt.Errorf("mna: AC at %g Hz: %w", f, err)
+	}
+	for i := 1; i <= c.nodes; i++ {
+		col := make([]complex128, solved)
+		for fi := 0; fi < solved; fi++ {
+			col[fi] = sols[fi*(dim+1)+i]
 		}
-		for i := 1; i <= c.nodes; i++ {
-			res.V[Node(i)] = append(res.V[Node(i)], sol[i])
-		}
+		res.V[Node(i)] = col
 	}
 	return res, nil
 }

@@ -463,8 +463,13 @@ func (e *elab) behavioral(c *netlist.Component) error {
 	op := c.Param("op", 0)
 	bits := c.Param("bits", 8)
 	scale := c.Param("scale", 1)
+	// tv is hoisted out of the closure so steady-state evaluation (every
+	// Newton iteration touches each behavioral element several times for
+	// the numeric Jacobian) allocates nothing. Safe: the simulator calls
+	// each element's f sequentially — the parallel AC sweep evaluates
+	// behavioral Jacobians only once, while building the template.
+	tv := make([]float64, len(ctrls))
 	f := func(v []float64) float64 {
-		tv := make([]float64, len(v))
 		for i := range v {
 			tv[i] = v[i] * pols[i]
 		}

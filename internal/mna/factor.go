@@ -1,0 +1,294 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the in-place numeric factorizations behind the stamp
+// plan. Both perform the reference eliminator's exact floating-point
+// operation sequence — scaled-partial-pivot selection by strict comparison
+// in logical row order, the f==0 row skip, elimination left-to-right, and
+// ascending back-substitution — so their solutions are bit-identical to
+// SolverReference (pinned corpus-wide by the equivalence tests).
+//
+// The sparse eliminator additionally skips operations on structural zeros.
+// That is bit-exact, not approximate: stamped and fill slots start at +0
+// and no operation in the sequence can produce -0 in a matrix slot or
+// right-hand-side accumulator (a+(-a) and x-x round to +0; the only -0
+// source would be an accumulator already at -0), so every skipped term is
+// of the form acc -= f*(+0) or acc -= (+0)*x with acc != -0, which leaves
+// acc unchanged in IEEE-754 arithmetic.
+
+// denseFactorSolve factors the stamped dense system in place and writes the
+// solution into x (1-based, x[0]=0). Row exchanges are permutation updates,
+// not data movement; no memory is allocated.
+func (s *solver) denseFactorSolve(x Solution) error {
+	n := s.dim
+	a, rhs, perm, scale := s.vals, s.rhsv, s.perm, s.scale
+	for i := 0; i < n; i++ {
+		perm[i] = i
+		scale[i] = 0
+	}
+	// Per-column magnitude of the original system: the singularity test is
+	// relative to it, so a well-conditioned circuit whose conductances are
+	// uniformly tiny is not misclassified as singular by an absolute
+	// threshold, while a column whose pivot collapses relative to its own
+	// scale still is.
+	for r := 0; r < n; r++ {
+		row := a[r*n : r*n+n]
+		for col, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > scale[col] {
+				scale[col] = v
+			}
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude in logical row order (strict >), the
+		// reference tie-breaking rule.
+		p := col
+		pv := math.Abs(a[perm[p]*n+col])
+		for r := col + 1; r < n; r++ {
+			if av := math.Abs(a[perm[r]*n+col]); av > pv {
+				p, pv = r, av
+			}
+		}
+		if scale[col] == 0 || pv < 1e-12*scale[col] {
+			return fmt.Errorf("mna: singular matrix at column %d (floating node?)", col+1)
+		}
+		perm[col], perm[p] = perm[p], perm[col]
+		pr := perm[col]
+		piv := a[pr*n+col]
+		prow := a[pr*n : pr*n+n]
+		for r := col + 1; r < n; r++ {
+			rr := perm[r]
+			num := a[rr*n+col]
+			if num == 0 {
+				// The reference would compute f = 0/piv = ±0 and skip;
+				// skipping before the (expensive) division is bit-identical.
+				continue
+			}
+			f := num / piv
+			if f == 0 {
+				continue
+			}
+			row := a[rr*n : rr*n+n]
+			for k := col; k < n; k++ {
+				row[k] -= f * prow[k]
+			}
+			rhs[rr] -= f * rhs[pr]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		rr := perm[r]
+		sum := rhs[rr]
+		row := a[rr*n : rr*n+n]
+		for k := r + 1; k < n; k++ {
+			sum -= row[k] * x[k+1]
+		}
+		x[r+1] = sum / row[r]
+	}
+	x[0] = 0
+	return nil
+}
+
+// sparseFactorSolve is the CSR twin of denseFactorSolve, driven by the
+// plan's column-compressed index: each column's pivot scan and elimination
+// touch only the physical rows with a pattern entry at that column (rows
+// without one hold an exact zero there and can never win the strict pivot
+// comparison or produce a nonzero multiplier). The inverse permutation pos
+// classifies each column entry as U (row already a pivot), the pivot row,
+// or an elimination target, and diagQ records each pivot's diagonal slot
+// for back-substitution.
+func (s *solver) sparseFactorSolve(x Solution) error {
+	n := s.dim
+	vals, ci, rp := s.vals, s.colIdx, s.rowPtr
+	rhs, perm, pos, scale := s.rhsv, s.perm, s.pos, s.scale
+	cp, crow, cslot, diagQ := s.colPtr, s.colRow, s.colSlot, s.diagQ
+	for i := 0; i < n; i++ {
+		perm[i] = i
+		pos[i] = i
+	}
+	// Column scale from the stamped slots only: this pass runs before any
+	// elimination, when every adaptively discovered fill slot still holds
+	// an exact zero, so fill cannot contribute to a column's magnitude.
+	sp, ss := s.scalePtr, s.scaleSlot
+	for col := 0; col < n; col++ {
+		m := 0.0
+		for k := sp[col]; k < sp[col+1]; k++ {
+			v := vals[ss[k]]
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		scale[col] = m
+	}
+	cursor := 0 // read position into the replay stream
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude among rows not yet eliminated, earliest
+		// logical position on ties — exactly the reference's strict-> scan
+		// in logical row order, restricted to the rows that can win. When
+		// the replay cache covers this column, the candidate set is read
+		// from the cached segment (it is exact: the candidate rows are
+		// fully determined by the pivot prefix, which has matched so far);
+		// otherwise the column-compressed pattern is scanned and U entries
+		// filtered by logical position.
+		pr, pq, plp := -1, 0, col
+		pv := 0.0
+		if col < s.schedN {
+			st := s.sched[cursor:]
+			cpr, cpq := int(st[0]), int(st[1])
+			tail, nt := int(st[2]), int(st[3])
+			pr, pq, plp = cpr, cpq, pos[cpr]
+			pv = vals[cpq]
+			if pv < 0 {
+				pv = -pv
+			}
+			off := 4
+			for t := 0; t < nt; t++ {
+				q, rr := int(st[off]), int(st[off+1])
+				off += 2 + tail
+				av := vals[q]
+				if av < 0 {
+					av = -av
+				}
+				if lp := pos[rr]; av > pv || (av == pv && lp < plp) {
+					pr, pq, plp, pv = rr, q, lp, av
+				}
+			}
+			if scale[col] == 0 || pv < 1e-12*scale[col] {
+				return fmt.Errorf("mna: singular matrix at column %d (floating node?)", col+1)
+			}
+			if pr == cpr {
+				// Cached pivot still wins: replay the recorded
+				// eliminations. Source slots are the pivot row's
+				// contiguous tail, destinations come from the stream.
+				other := perm[col]
+				perm[col], perm[plp] = pr, other
+				pos[pr], pos[other] = col, plp
+				diagQ[col] = pq
+				piv := vals[pq]
+				off = 4
+				for t := 0; t < nt; t++ {
+					q, rr := int(st[off]), int(st[off+1])
+					dst := st[off+2 : off+2+tail]
+					off += 2 + tail
+					num := vals[q]
+					if num == 0 {
+						// f = 0/piv = ±0: the reference's f==0 skip,
+						// taken before the division.
+						continue
+					}
+					f := num / piv
+					if f == 0 {
+						continue
+					}
+					pk := pq
+					for _, dj := range dst {
+						vals[dj] -= f * vals[pk]
+						pk++
+					}
+					rhs[rr] -= f * rhs[pr]
+				}
+				cursor += off
+				continue
+			}
+			// The pivot moved: the cached suffix no longer describes the
+			// elimination. Drop it and re-record from this column.
+			s.schedN = col
+			s.sched = s.sched[:cursor]
+		} else {
+			for k := cp[col]; k < cp[col+1]; k++ {
+				rr := int(crow[k])
+				lp := pos[rr]
+				if lp < col {
+					continue // already eliminated: this entry is in U
+				}
+				av := vals[cslot[k]]
+				if av < 0 {
+					av = -av
+				}
+				if av > pv || (av == pv && lp < plp) {
+					pr, pq, plp, pv = rr, int(cslot[k]), lp, av
+				}
+			}
+			if scale[col] == 0 || pv < 1e-12*scale[col] {
+				return fmt.Errorf("mna: singular matrix at column %d (floating node?)", col+1)
+			}
+		}
+		other := perm[col]
+		perm[col], perm[plp] = pr, other
+		pos[pr], pos[other] = col, plp
+		diagQ[col] = pq
+		pend := rp[pr+1]
+		tail := pend - pq
+		piv := vals[pq]
+		s.sched = append(s.sched, int32(pr), int32(pq), int32(tail), 0)
+		ntPos := len(s.sched) - 1
+		nt := int32(0)
+		for k := cp[col]; k < cp[col+1]; k++ {
+			rr := int(crow[k])
+			if pos[rr] <= col {
+				continue // the pivot row itself, or a U entry
+			}
+			q := int(cslot[k])
+			s.sched = append(s.sched, int32(q), int32(rr))
+			// Merge walk over the pivot row's tail, recorded
+			// value-independently so a later replay can apply it even when
+			// this iteration's multiplier happens to be zero. A target
+			// slot outside this row's pattern means elimination fill the
+			// pattern has not seen yet: grow the pattern (monotonically)
+			// and have the caller restamp and retry. Until that first
+			// miss, every out-of-pattern position is an exact zero, so the
+			// values computed so far match the dense elimination bit for
+			// bit and can simply be discarded.
+			end := rp[rr+1]
+			w := q
+			for pk := pq; pk < pend; pk++ {
+				c2 := ci[pk]
+				for w < end && ci[w] < c2 {
+					w++
+				}
+				if w >= end || ci[w] != c2 {
+					s.grow(rr, pr, col)
+					return errPatternGrown
+				}
+				s.sched = append(s.sched, int32(w))
+			}
+			nt++
+			num := vals[q]
+			if num == 0 {
+				continue
+			}
+			f := num / piv
+			if f == 0 {
+				continue
+			}
+			dst := s.sched[len(s.sched)-tail:]
+			for j, pk := 0, pq; pk < pend; j, pk = j+1, pk+1 {
+				vals[dst[j]] -= f * vals[pk]
+			}
+			rhs[rr] -= f * rhs[pr]
+		}
+		s.sched[ntPos] = nt
+		cursor = len(s.sched)
+		s.schedN = col + 1
+	}
+	for r := n - 1; r >= 0; r-- {
+		rr := perm[r]
+		q := diagQ[r]
+		sum := rhs[rr]
+		for k := q + 1; k < rp[rr+1]; k++ {
+			sum -= vals[k] * x[ci[k]+1]
+		}
+		x[r+1] = sum / vals[q]
+	}
+	x[0] = 0
+	return nil
+}

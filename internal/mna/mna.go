@@ -9,6 +9,14 @@
 // transient response reproduces the receiver experiment of Figure 8 —
 // amplification, comparator-controlled gain switching, and diode clipping
 // of the output stage.
+//
+// The linear-algebra core is built around structure reuse: a stamp plan
+// records once per circuit which matrix slots every device touches, the
+// elimination structure (including fill) is analyzed symbolically once, and
+// every subsequent Newton iteration restamps and refactors in place inside
+// preallocated flat storage — dense below a crossover dimension, CSR above
+// it — with zero steady-state allocation. All solver modes produce
+// bit-identical solutions (see factor.go for the argument).
 package mna
 
 import (
@@ -53,6 +61,8 @@ type device struct {
 	wave Waveform
 	// ic is the capacitor initial voltage.
 	ic float64
+	// prevI is the capacitor's previous-step current (trapezoidal rule).
+	prevI float64
 	// Diode parameters.
 	isat, vt float64
 	// Switch parameters.
@@ -80,6 +90,60 @@ const (
 	Trapezoidal
 )
 
+// SolverMode selects the linear-solver implementation backing DC, transient
+// and AC analyses. Every mode produces bit-identical solutions; they differ
+// only in speed and allocation behavior.
+type SolverMode int
+
+const (
+	// SolverAuto picks the dense factorization below the sparse crossover
+	// dimension and the CSR factorization above it (the default).
+	SolverAuto SolverMode = iota
+	// SolverDense forces the flat row-major in-place LU.
+	SolverDense
+	// SolverSparse forces the CSR in-place LU.
+	SolverSparse
+	// SolverReference selects the original allocate-per-solve dense
+	// eliminator, kept as the oracle for equivalence tests.
+	SolverReference
+)
+
+// defaultSparseCrossover is the reduced-system dimension at which
+// SolverAuto switches from dense to CSR. Elaborated op-amp macromodel
+// circuits are mostly structural zeros well before this size, and with the
+// elimination replay cache the CSR path overtakes the dense one at around a
+// dozen unknowns (measured on the corpus receiver/missile circuits).
+const defaultSparseCrossover = 12
+
+// SolverStats counts the work done by the linear-algebra core of a circuit
+// across all DC, transient and AC analyses run on it.
+type SolverStats struct {
+	// NewtonIterations counts nonlinear iterations across all solves.
+	NewtonIterations int64
+	// Factorizations counts LU factorizations: one per Newton iteration
+	// plus one per AC frequency point.
+	Factorizations int64
+	// PeakDim is the largest reduced-system dimension solved.
+	PeakDim int
+	// Sparse reports whether the current stamp plan uses the CSR
+	// factorization.
+	Sparse bool
+	// Nonzeros is the number of stamped matrix slots; Fill is the number
+	// of extra slots added by the symbolic elimination analysis.
+	Nonzeros, Fill int
+}
+
+// String renders the stats as a one-line summary, the format behind the
+// vasesim -stats flag.
+func (s SolverStats) String() string {
+	plan := "dense"
+	if s.Sparse {
+		plan = fmt.Sprintf("sparse (%d stamped + %d fill)", s.Nonzeros, s.Fill)
+	}
+	return fmt.Sprintf("dim %d %s, %d newton iterations, %d factorizations",
+		s.PeakDim, plan, s.NewtonIterations, s.Factorizations)
+}
+
 // Circuit is a netlist of MNA devices.
 type Circuit struct {
 	names   map[string]Node
@@ -87,8 +151,6 @@ type Circuit struct {
 	devices []*device
 	// method is the transient integration scheme.
 	method Method
-	// prevI holds each capacitor's previous-step current (trapezoidal).
-	prevI map[*device]float64
 
 	// MaxNewtonIter bounds the Newton iteration count per solve point
 	// (0 = the default of 300). Exceeding it is a convergence error.
@@ -97,18 +159,35 @@ type Circuit struct {
 	// When it binds the transient returns the truncated trace computed so
 	// far with Tran.Truncated set, not an error.
 	MaxTranSteps int
+
+	// Solver selects the linear-solver implementation (see SolverMode).
+	Solver SolverMode
+	// SparseCrossover overrides the dimension at which SolverAuto switches
+	// from the dense to the CSR factorization (0 = the default of 12).
+	SparseCrossover int
+	// Workers bounds the AC-sweep fan-out (0 = all CPUs, 1 = sequential).
+	// Every worker count produces the identical sweep.
+	Workers int
+
+	// sol is the cached stamp plan + factorization workspace, rebuilt when
+	// the device list or dimension changes.
+	sol   *solver
+	stats SolverStats
 }
 
 // New returns an empty circuit.
 func New() *Circuit {
 	return &Circuit{
 		names: map[string]Node{"0": Ground, "gnd": Ground},
-		prevI: map[*device]float64{},
 	}
 }
 
 // SetMethod selects the transient integration scheme.
 func (c *Circuit) SetMethod(m Method) { c.method = m }
+
+// SolverStats reports the cumulative linear-algebra work done by this
+// circuit's analyses so far.
+func (c *Circuit) SolverStats() SolverStats { return c.stats }
 
 // NodeByName interns a named node.
 func (c *Circuit) NodeByName(name string) Node {
@@ -221,284 +300,174 @@ func (s Solution) V(n Node) float64 {
 	return s[n]
 }
 
-// stamp builds the linearized MNA system around the iterate x at time t.
-// h <= 0 means DC (capacitors open). prev is the previous-step solution for
-// companion models.
-func (c *Circuit) stamp(m *matrix, x Solution, prev Solution, t, h float64) {
-	m.clear()
-	vx := func(n Node) float64 {
+// ---------------------------------------------------------------------------
+// Device linearization. These helpers hold the per-iteration companion
+// models shared by the plan-based and reference stamping paths, so the two
+// cannot drift numerically.
+
+// diodeLinearize returns the small-signal conductance and equivalent
+// current of the diode at junction voltage v.
+func (d *device) diodeLinearize(v float64) (g, ieq float64) {
+	// Limit the junction voltage for convergence.
+	if v > 0.9 {
+		v = 0.9
+	}
+	e := math.Exp(v / d.vt)
+	i := d.isat * (e - 1)
+	g = d.isat * e / d.vt
+	if g < 1e-12 {
+		g = 1e-12
+	}
+	return g, i - g*v
+}
+
+// switchR returns the switch resistance for the control voltage vc.
+func (d *device) switchR(vc float64) float64 {
+	if vc > d.vth {
+		return d.ron
+	}
+	return d.roff
+}
+
+// opampLinearize returns the linearized gain and right-hand side of the
+// saturating op-amp characteristic at control voltage vc, updating the
+// per-device Newton limiting memory.
+func (d *device) opampLinearize(vc float64) (dg, rhs float64) {
+	knee := d.vmax / d.gain
+	// Deep saturation is flat: clamping the linearization point to
+	// ±20 knee widths leaves the model output unchanged but keeps
+	// the point a few iterations away from the active region.
+	if vc > 20*knee {
+		vc = 20 * knee
+	} else if vc < -20*knee {
+		vc = -20 * knee
+	}
+	// Limit the per-iteration excursion to a few knee widths
+	// (SPICE junction-limiting style) so Newton cannot jump across
+	// the knee and oscillate.
+	if d.hasLast {
+		lim := 4 * knee
+		if vc > d.lastVc+lim {
+			vc = d.lastVc + lim
+		} else if vc < d.lastVc-lim {
+			vc = d.lastVc - lim
+		}
+	}
+	d.lastVc = vc
+	d.hasLast = true
+	arg := d.gain * vc / d.vmax
+	out := d.vmax * math.Tanh(arg)
+	// Derivative of the saturating characteristic.
+	sech := 1 / math.Cosh(arg)
+	dg = d.gain * sech * sech
+	// Equation: V(a) - (out + dg*(vc' - vc)) = 0.
+	return dg, out - dg*vc
+}
+
+// funcLinearize evaluates the behavioral element around x: scratch receives
+// the control voltages (len(d.ctrl)), dps the numeric Jacobian per control
+// (0 for grounded controls), and the return value is the right-hand side of
+// the linearized branch equation.
+func (d *device) funcLinearize(x Solution, scratch, dps []float64) float64 {
+	for i, n := range d.ctrl {
+		scratch[i] = x.V(n)
+	}
+	out := d.f(scratch)
+	rhs := out
+	const eps = 1e-6
+	for i, n := range d.ctrl {
 		if n == Ground {
-			return 0
+			dps[i] = 0
+			continue
 		}
-		return x[n]
+		scratch[i] += eps
+		dp := (d.f(scratch) - out) / eps
+		scratch[i] -= eps
+		dps[i] = dp
+		rhs -= dp * scratch[i]
 	}
-	for _, d := range c.devices {
-		switch d.kind {
-		case dResistor:
-			g := 1 / d.value
-			m.addG(d.a, d.b, g)
-		case dCapacitor:
-			if h <= 0 {
-				// DC: tiny conductance to avoid floating nodes.
-				m.addG(d.a, d.b, 1e-12)
-				continue
-			}
-			vprev := prev.V(d.a) - prev.V(d.b)
-			if c.method == Trapezoidal {
-				// Companion model: i = (2C/h)(v - vprev) - iprev.
-				g := 2 * d.value / h
-				m.addG(d.a, d.b, g)
-				m.addI(d.a, d.b, g*vprev+c.prevI[d])
-			} else {
-				g := d.value / h
-				m.addG(d.a, d.b, g)
-				m.addI(d.a, d.b, g*vprev)
-			}
-		case dVSource:
-			m.stampVSource(d.branch, d.a, d.b, d.wave(t))
-		case dISource:
-			m.addI(d.a, d.b, -d.wave(t))
-		case dVCVS:
-			// V(a,b) - gain*V(cp,cm) = 0 with branch current into a.
-			m.a[d.branch][d.a] += 1
-			m.a[d.branch][d.b] -= 1
-			m.a[d.branch][d.cp] -= d.value
-			m.a[d.branch][d.cm] += d.value
-			m.a[d.a][d.branch] += 1
-			m.a[d.b][d.branch] -= 1
-		case dDiode:
-			v := vx(d.a) - vx(d.b)
-			// Limit the junction voltage for convergence.
-			if v > 0.9 {
-				v = 0.9
-			}
-			e := math.Exp(v / d.vt)
-			i := d.isat * (e - 1)
-			g := d.isat * e / d.vt
-			if g < 1e-12 {
-				g = 1e-12
-			}
-			ieq := i - g*v
-			m.addG(d.a, d.b, g)
-			m.addI(d.a, d.b, -ieq)
-		case dSwitch:
-			vc := vx(d.cp) - vx(d.cm)
-			r := d.roff
-			if vc > d.vth {
-				r = d.ron
-			}
-			m.addG(d.a, d.b, 1/r)
-		case dOpAmp:
-			vc := vx(d.cp) - vx(d.cm)
-			knee := d.vmax / d.gain
-			// Deep saturation is flat: clamping the linearization point to
-			// ±20 knee widths leaves the model output unchanged but keeps
-			// the point a few iterations away from the active region.
-			if vc > 20*knee {
-				vc = 20 * knee
-			} else if vc < -20*knee {
-				vc = -20 * knee
-			}
-			// Limit the per-iteration excursion to a few knee widths
-			// (SPICE junction-limiting style) so Newton cannot jump across
-			// the knee and oscillate.
-			if d.hasLast {
-				lim := 4 * knee
-				if vc > d.lastVc+lim {
-					vc = d.lastVc + lim
-				} else if vc < d.lastVc-lim {
-					vc = d.lastVc - lim
-				}
-			}
-			d.lastVc = vc
-			d.hasLast = true
-			arg := d.gain * vc / d.vmax
-			out := d.vmax * math.Tanh(arg)
-			// Derivative of the saturating characteristic.
-			sech := 1 / math.Cosh(arg)
-			dg := d.gain * sech * sech
-			// Equation: V(a) - (out + dg*(vc' - vc)) = 0.
-			m.a[d.branch][d.a] += 1
-			m.a[d.branch][d.cp] -= dg
-			m.a[d.branch][d.cm] += dg
-			m.rhs[d.branch] += out - dg*vc
-			m.a[d.a][d.branch] += 1
-		case dFunc:
-			vals := make([]float64, len(d.ctrl))
-			for i, n := range d.ctrl {
-				vals[i] = vx(n)
-			}
-			out := d.f(vals)
-			// Numeric Jacobian w.r.t. each control.
-			m.a[d.branch][d.a] += 1
-			rhs := out
-			const eps = 1e-6
-			for i, n := range d.ctrl {
-				if n == Ground {
-					continue
-				}
-				vals[i] += eps
-				dp := (d.f(vals) - out) / eps
-				vals[i] -= eps
-				m.a[d.branch][n] -= dp
-				rhs -= dp * vals[i]
-			}
-			m.rhs[d.branch] += rhs
-			m.a[d.a][d.branch] += 1
-		}
-	}
+	return rhs
 }
 
-// matrix is a dense MNA system Ax = b with ground row/column folded away.
-type matrix struct {
-	n   int
-	a   [][]float64
-	rhs []float64
-}
+// ---------------------------------------------------------------------------
+// Newton iteration.
 
-func newMatrix(n int) *matrix {
-	m := &matrix{n: n, rhs: make([]float64, n+1)}
-	m.a = make([][]float64, n+1)
-	for i := range m.a {
-		m.a[i] = make([]float64, n+1)
-	}
-	return m
-}
+const (
+	defaultNewtonIter = 300
+	newtonMaxChange   = 0.5 // volts per Newton step
+	newtonTol         = 1e-8
+)
 
-func (m *matrix) clear() {
-	for i := range m.a {
-		for j := range m.a[i] {
-			m.a[i][j] = 0
-		}
-		m.rhs[i] = 0
-	}
-}
-
-func (m *matrix) addG(a, b Node, g float64) {
-	m.a[a][a] += g
-	m.a[b][b] += g
-	m.a[a][b] -= g
-	m.a[b][a] -= g
-}
-
-// addI injects current ieq into node a (out of b).
-func (m *matrix) addI(a, b Node, ieq float64) {
-	m.rhs[a] += ieq
-	m.rhs[b] -= ieq
-}
-
-func (m *matrix) stampVSource(branch int, a, b Node, v float64) {
-	m.a[branch][a] += 1
-	m.a[branch][b] -= 1
-	m.a[a][branch] += 1
-	m.a[b][branch] -= 1
-	m.rhs[branch] += v
-}
-
-// solve performs Gaussian elimination with partial pivoting, ignoring the
-// ground row/column (index 0).
-func (m *matrix) solve() (Solution, error) {
-	n := m.n
-	// Build the reduced system (indices 1..n).
-	a := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		a[i] = make([]float64, n+1)
-		copy(a[i], m.a[i+1][1:])
-		a[i][n] = m.rhs[i+1]
-	}
-	// Per-column magnitude of the original system: the singularity test is
-	// relative to it, so a well-conditioned circuit whose conductances are
-	// uniformly tiny (nano-siemens resistors stamp ~1e-16 entries) is not
-	// misclassified as singular by an absolute threshold, while a column
-	// whose pivot collapses relative to its own scale still is.
-	scale := make([]float64, n)
-	for r := 0; r < n; r++ {
-		for col := 0; col < n; col++ {
-			if v := math.Abs(a[r][col]); v > scale[col] {
-				scale[col] = v
-			}
-		}
-	}
-	for col := 0; col < n; col++ {
-		// Pivot.
-		p := col
-		for r := col + 1; r < n; r++ {
-			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
-				p = r
-			}
-		}
-		if piv := math.Abs(a[p][col]); scale[col] == 0 || piv < 1e-12*scale[col] {
-			return nil, fmt.Errorf("mna: singular matrix at column %d (floating node?)", col+1)
-		}
-		a[col], a[p] = a[p], a[col]
-		piv := a[col][col]
-		for r := col + 1; r < n; r++ {
-			f := a[r][col] / piv
-			if f == 0 {
-				continue
-			}
-			for k := col; k <= n; k++ {
-				a[r][k] -= f * a[col][k]
-			}
-		}
-	}
-	x := make(Solution, n+1)
-	for r := n - 1; r >= 0; r-- {
-		sum := a[r][n]
-		for k := r + 1; k < n; k++ {
-			sum -= a[r][k] * x[k+1]
-		}
-		x[r+1] = sum / a[r][r]
-	}
-	return x, nil
-}
-
-// newton iterates the nonlinear system to convergence with a damped update:
-// the per-iteration voltage change is limited so that the saturating op-amp
-// and diode characteristics cannot make the iteration oscillate across
-// their knees. Cancellation is observed between iterations, so no solve can
-// hold its goroutine past the caller's deadline by more than one iteration.
-func (c *Circuit) newton(ctx context.Context, m *matrix, x0, prev Solution, t, h float64) (Solution, error) {
-	x := make(Solution, len(x0))
-	copy(x, x0)
+// newtonFast iterates the nonlinear system to convergence with a damped
+// update: the per-iteration voltage change is limited so that the
+// saturating op-amp and diode characteristics cannot make the iteration
+// oscillate across their knees. Cancellation is observed between
+// iterations, so no solve can hold its goroutine past the caller's deadline
+// by more than one iteration.
+//
+// dst is the caller's iterate buffer (len s.dim+1); the converged solution
+// is returned aliasing dst. The loop allocates nothing: stamping writes
+// through the plan's precomputed slots and the factorization runs in place
+// inside the solver workspace (pinned by TestNewtonZeroAllocs).
+func (c *Circuit) newtonFast(ctx context.Context, s *solver, dst, x0, prev Solution, t, h float64) (Solution, error) {
+	copy(dst, x0)
 	for _, d := range c.devices {
 		d.hasLast = false
 	}
-	const (
-		maxChange = 0.5 // volts per Newton step
-		tol       = 1e-8
-	)
 	maxIter := c.MaxNewtonIter
 	if maxIter <= 0 {
-		maxIter = 300
+		maxIter = defaultNewtonIter
 	}
+	next := s.next
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("mna: solve at t=%g cancelled: %w", t, err)
 		}
-		c.stamp(m, x, prev, t, h)
-		next, err := m.solve()
+		// Snapshot the op-amp Newton-limiting state: a restamp after
+		// adaptive pattern growth must replay the identical linearization,
+		// and opampLinearize advances lastVc on every call.
+		for i, d := range s.ops {
+			s.opVc[i], s.opHas[i] = d.lastVc, d.hasLast
+		}
+		s.clear()
+		c.stampInto(s, dst, prev, t, h)
+		c.stats.Factorizations++
+		err := s.factorSolve(next)
+		for err == errPatternGrown {
+			// The sparse pattern just absorbed new elimination fill:
+			// relayout the plan, restamp and refactor. Growth is
+			// monotone, so this settles after the first few solves.
+			c.layout(s)
+			for i, d := range s.ops {
+				d.lastVc, d.hasLast = s.opVc[i], s.opHas[i]
+			}
+			s.clear()
+			c.stampInto(s, dst, prev, t, h)
+			c.stats.Factorizations++
+			err = s.factorSolve(next)
+		}
 		if err != nil {
 			return nil, err
 		}
+		c.stats.NewtonIterations++
 		worst := 0.0
 		for i := 1; i < len(next); i++ {
-			if d := math.Abs(next[i] - x[i]); d > worst {
+			if d := math.Abs(next[i] - dst[i]); d > worst {
 				worst = d
 			}
 		}
 		alpha := 1.0
-		if worst > maxChange {
-			alpha = maxChange / worst
+		if worst > newtonMaxChange {
+			alpha = newtonMaxChange / worst
 		}
 		for i := 1; i < len(next); i++ {
-			x[i] += alpha * (next[i] - x[i])
+			dst[i] += alpha * (next[i] - dst[i])
 		}
-		if worst < tol {
-			return x, nil
+		if worst < newtonTol {
+			return dst, nil
 		}
 	}
-	return x, fmt.Errorf("mna: Newton iteration did not converge at t=%g", t)
+	return dst, fmt.Errorf("mna: Newton iteration did not converge at t=%g", t)
 }
 
 // DC computes the operating point at t=0.
@@ -510,10 +479,18 @@ func (c *Circuit) DC() (Solution, error) {
 // iteration polls ctx between iterations and returns the context error on
 // cancellation (a half-converged operating point is not useful).
 func (c *Circuit) DCContext(ctx context.Context) (Solution, error) {
-	nb := c.assignBranches()
-	m := newMatrix(c.nodes + nb)
-	zero := make(Solution, c.nodes+nb+1)
-	return c.newton(ctx, m, zero, zero, 0, -1)
+	if c.Solver == SolverReference {
+		nb := c.assignBranches()
+		m := newMatrix(c.nodes + nb)
+		zero := make(Solution, c.nodes+nb+1)
+		return c.newtonRef(ctx, m, zero, zero, 0, -1)
+	}
+	s, err := c.ensureSolver()
+	if err != nil {
+		return nil, err
+	}
+	dst := make(Solution, s.dim+1)
+	return c.newtonFast(ctx, s, dst, s.zero, s.zero, 0, -1)
 }
 
 // Tran holds a transient result.
@@ -550,52 +527,89 @@ func (c *Circuit) TransientContext(ctx context.Context, tstop, h float64) (*Tran
 	if tstop <= 0 || h <= 0 {
 		return nil, fmt.Errorf("mna: tstop and h must be positive")
 	}
-	nb := c.assignBranches()
-	dim := c.nodes + nb
-	m := newMatrix(dim)
+
+	// newton dispatches to the selected solver implementation; dst is the
+	// reusable iterate buffer of the plan-based path (the reference path
+	// allocates per solve, matching the seed behavior).
+	var refM *matrix
+	var s *solver
+	var dim int
+	if c.Solver == SolverReference {
+		nb := c.assignBranches()
+		dim = c.nodes + nb
+		refM = newMatrix(dim)
+	} else {
+		var err error
+		s, err = c.ensureSolver()
+		if err != nil {
+			return nil, err
+		}
+		dim = s.dim
+	}
+	newton := func(dst, x0, prev Solution, t float64) (Solution, error) {
+		if refM != nil {
+			return c.newtonRef(ctx, refM, x0, prev, t, h)
+		}
+		return c.newtonFast(ctx, s, dst, x0, prev, t, h)
+	}
 
 	// Initial condition: capacitor ICs enforced via a pseudo-DC with the
 	// companion model of a tiny step.
 	x := make(Solution, dim+1)
+	xNext := make(Solution, dim+1)
 	prev := make(Solution, dim+1)
 	for _, d := range c.devices {
 		if d.kind == dCapacitor && d.ic != 0 {
 			prev[d.a] = d.ic
 		}
 	}
-	x0, err := c.newton(ctx, m, x, prev, 0, h)
+	x0, err := newton(xNext, x, prev, 0)
 	if err != nil {
 		return nil, err
 	}
-	x = x0
+	x, xNext = x0, x
 
+	steps := int(math.Ceil(tstop / h))
 	tr := &Tran{V: map[Node][]float64{}, c: c}
+	if c.MaxTranSteps > 0 && steps > c.MaxTranSteps {
+		steps = c.MaxTranSteps
+		tr.Truncated = true
+	}
+
+	// Sample storage is preallocated per node and published into the map
+	// once, so the per-step recording is append-free and map-free.
+	tr.Time = make([]float64, 0, steps+1)
+	cols := make([][]float64, c.nodes+1)
+	for i := 1; i <= c.nodes; i++ {
+		cols[i] = make([]float64, 0, steps+1)
+	}
 	record := func(t float64, s Solution) {
 		tr.Time = append(tr.Time, t)
 		for i := 1; i <= c.nodes; i++ {
-			tr.V[Node(i)] = append(tr.V[Node(i)], s[i])
+			cols[i] = append(cols[i], s[i])
+		}
+	}
+	finish := func() {
+		for i := 1; i <= c.nodes; i++ {
+			tr.V[Node(i)] = cols[i]
 		}
 	}
 	record(0, x)
 	// Initialize capacitor current memory for the trapezoidal rule.
 	for _, d := range c.devices {
 		if d.kind == dCapacitor {
-			c.prevI[d] = 0
+			d.prevI = 0
 		}
 	}
-	steps := int(math.Ceil(tstop / h))
-	if c.MaxTranSteps > 0 && steps > c.MaxTranSteps {
-		steps = c.MaxTranSteps
-		tr.Truncated = true
-	}
-	for s := 1; s <= steps; s++ {
-		t := float64(s) * h
-		next, err := c.newton(ctx, m, x, x, t, h)
+	for step := 1; step <= steps; step++ {
+		t := float64(step) * h
+		next, err := newton(xNext, x, x, t)
 		if err != nil {
 			if ctx.Err() != nil {
 				// Cancelled mid-solve: the samples up to the previous step
 				// stand as the (truncated) result.
 				tr.Truncated = true
+				finish()
 				return tr, nil
 			}
 			return nil, err
@@ -607,12 +621,13 @@ func (c *Circuit) TransientContext(ctx context.Context, tstop, h float64) (*Tran
 				}
 				vprev := x.V(d.a) - x.V(d.b)
 				vnew := next.V(d.a) - next.V(d.b)
-				c.prevI[d] = 2*d.value/h*(vnew-vprev) - c.prevI[d]
+				d.prevI = 2*d.value/h*(vnew-vprev) - d.prevI
 			}
 		}
-		x = next
+		x, xNext = next, x
 		record(t, x)
 	}
+	finish()
 	return tr, nil
 }
 

@@ -1,0 +1,506 @@
+package mna
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// This file builds the stamp plan: a one-time structural analysis of the
+// circuit that lets every subsequent Newton iteration restamp and refactor
+// the MNA system without allocating or re-deriving matrix positions.
+//
+// The plan records, per device, the flat storage slots its companion model
+// writes (in the exact order the reference stamper writes them, so aliased
+// slots accumulate identically). For the CSR representation the pattern is
+// adaptive: it starts as exactly the stamped entries and grows on demand.
+// Because partial pivoting picks pivots from runtime values, the fill
+// pattern of an elimination cannot be known in advance without a ruinous
+// over-approximation (closing the stamped pattern under every possible
+// pivot sequence fills ~half the matrix on real circuits). Instead the
+// numeric factorization detects the first write that lands outside the
+// pattern, the pattern absorbs the pivot row that caused it, and the
+// factorization is restamped and retried. Growth is monotone and bounded,
+// so the pattern converges after the first few solves and the steady state
+// runs with zero misses and zero allocations.
+
+// errPatternGrown is returned by the sparse factorization when an
+// elimination update needed a slot outside the current pattern: the pattern
+// has been grown and the caller must restamp and retry.
+var errPatternGrown = errors.New("mna: sparse pattern grown, restamp and retry")
+
+// solver is the reusable linear-system workspace of a circuit: flat matrix
+// storage (dense row-major or CSR), the elimination scratch, and the Newton
+// iterate buffers. It is rebuilt only when the circuit's structure changes.
+type solver struct {
+	dim    int  // reduced system dimension (nodes + branches)
+	ndev   int  // device count at plan time (structure-change detection)
+	sparse bool // CSR vs. flat dense representation
+
+	// pat holds the per-row column bitsets of the current CSR pattern
+	// (sparse only); words is the row stride in uint64s. stampedPat is the
+	// initial (stamped-entry) pattern, kept so relayouts can tell stamped
+	// slots from adaptively discovered fill.
+	pat        []uint64
+	stampedPat []uint64
+	words      int
+
+	// vals is the matrix storage: dense dim*dim row-major (reduced,
+	// 0-based) or the CSR value array; one extra slot at the end absorbs
+	// writes aimed at the folded-away ground row/column.
+	vals []float64
+	// rowPtr/colIdx describe the CSR pattern (sparse only). Column
+	// indices are ascending within each row.
+	rowPtr, colIdx []int
+	trash          int // index of the ground write-off slot in vals
+
+	// rhsv is the right-hand side by physical (reduced) row, with a
+	// ground write-off slot at index dim.
+	rhsv []float64
+
+	perm  []int // logical→physical row permutation (pivoting)
+	pos   []int // physical→logical inverse of perm (sparse)
+	diagQ []int // per-logical-row diagonal slot, set at pivot time (sparse)
+	scale []float64
+
+	// Column-compressed view of the CSR pattern (sparse only): for column
+	// col, entries colPtr[col]..colPtr[col+1] give the physical rows with a
+	// pattern slot at col (colRow) and the slot's index in vals (colSlot).
+	// The factorization reads columns directly instead of advancing
+	// per-row cursors.
+	colPtr  []int
+	colRow  []int32
+	colSlot []int32
+
+	// scalePtr/scaleSlot group the stamped value slots by column: the
+	// pivot-scale pass runs before any elimination, when every fill slot
+	// still holds an exact zero, so only stamped slots can contribute to a
+	// column's magnitude, and grouping them lets each column's maximum be
+	// reduced locally.
+	scalePtr  []int32
+	scaleSlot []int32
+
+	// Elimination replay cache. Partial pivoting re-selects pivots from
+	// runtime values every factorization, but on a converging Newton
+	// iteration the magnitudes move slowly and the chosen sequence is
+	// almost always the previous one. sched caches, per column, the
+	// elimination structure under the last pivot sequence as a flat
+	// stream of segments
+	//   [pivotRow, pivotSlot, tailLen, nTargets,
+	//    {numSlot, targetRow, dst[tailLen]} x nTargets]
+	// valid for the first schedN columns. A factorization replays a
+	// column when its freshly scanned pivot matches the cached one (the
+	// cached candidate set is exact as long as every earlier column
+	// matched); the first mismatch truncates the stream and re-records
+	// from there. Replayed columns skip the U-entry filtering and the
+	// merge walks entirely. layout() resets the cache.
+	sched  []int32
+	schedN int
+
+	next Solution // Newton update workspace
+	zero Solution // immutable all-zero guess / previous solution
+
+	// slots packs per-device write positions; devOff[i] is device i's
+	// offset. Layout per kind is fixed and mirrored by Circuit.stampInto.
+	slots  []int
+	devOff []int
+
+	// fnVals/fnDps are shared scratch for behavioral (dFunc) Jacobians,
+	// sized to the widest control list.
+	fnVals, fnDps []float64
+
+	// ops lists the op-amp devices, whose Newton-limiting memory
+	// (lastVc/hasLast) advances on every stamp. A restamp after adaptive
+	// pattern growth must replay the same linearization, so newtonFast
+	// snapshots the state here before stamping and restores it before a
+	// retry.
+	ops   []*device
+	opVc  []float64
+	opHas []bool
+
+	stamped int // stamped (structural) slot count
+	fill    int // adaptively discovered fill slot count
+}
+
+func (s *solver) clear() {
+	for i := range s.vals {
+		s.vals[i] = 0
+	}
+	for i := range s.rhsv {
+		s.rhsv[i] = 0
+	}
+}
+
+func (s *solver) factorSolve(x Solution) error {
+	if s.sparse {
+		return s.sparseFactorSolve(x)
+	}
+	return s.denseFactorSolve(x)
+}
+
+// grow absorbs the pivot row's pattern tail (columns ≥ col) into row rr
+// after a fill miss; the caller then relayouts, restamps and retries.
+func (s *solver) grow(rr, pr, col int) {
+	dst := s.pat[rr*s.words : (rr+1)*s.words]
+	src := s.pat[pr*s.words : (pr+1)*s.words]
+	w, bit := col/64, uint64(1)<<(col%64)
+	dst[w] |= src[w] &^ (bit - 1)
+	for i := w + 1; i < s.words; i++ {
+		dst[i] |= src[i]
+	}
+}
+
+// matrixEntries enumerates the MNA matrix positions (in MNA coordinates,
+// ground included) every device stamps, in device order.
+func (c *Circuit) matrixEntries(yield func(r, col int)) {
+	for _, d := range c.devices {
+		switch d.kind {
+		case dResistor, dCapacitor, dDiode, dSwitch:
+			yield(int(d.a), int(d.a))
+			yield(int(d.b), int(d.b))
+			yield(int(d.a), int(d.b))
+			yield(int(d.b), int(d.a))
+		case dVSource:
+			yield(d.branch, int(d.a))
+			yield(d.branch, int(d.b))
+			yield(int(d.a), d.branch)
+			yield(int(d.b), d.branch)
+		case dVCVS:
+			yield(d.branch, int(d.a))
+			yield(d.branch, int(d.b))
+			yield(d.branch, int(d.cp))
+			yield(d.branch, int(d.cm))
+			yield(int(d.a), d.branch)
+			yield(int(d.b), d.branch)
+		case dOpAmp:
+			yield(d.branch, int(d.a))
+			yield(d.branch, int(d.cp))
+			yield(d.branch, int(d.cm))
+			yield(int(d.a), d.branch)
+		case dFunc:
+			yield(d.branch, int(d.a))
+			yield(int(d.a), d.branch)
+			for _, n := range d.ctrl {
+				yield(d.branch, int(n))
+			}
+		}
+	}
+}
+
+// ensureSolver returns the circuit's stamp plan, rebuilding it if the
+// structure (dimension, device count, or representation choice) changed
+// since the last analysis.
+func (c *Circuit) ensureSolver() (*solver, error) {
+	nb := c.assignBranches()
+	dim := c.nodes + nb
+	cross := c.SparseCrossover
+	if cross <= 0 {
+		cross = defaultSparseCrossover
+	}
+	sparse := c.Solver == SolverSparse || (c.Solver == SolverAuto && dim >= cross)
+	if s := c.sol; s != nil && s.dim == dim && s.ndev == len(c.devices) && s.sparse == sparse {
+		return s, nil
+	}
+
+	s := &solver{dim: dim, ndev: len(c.devices), sparse: sparse}
+	s.words = (dim + 63) / 64
+	if s.words == 0 {
+		s.words = 1
+	}
+
+	// Stamped pattern over the reduced system (ground folded away).
+	s.pat = make([]uint64, dim*s.words)
+	c.matrixEntries(func(r, col int) {
+		if r == 0 || col == 0 {
+			return
+		}
+		s.pat[(r-1)*s.words+(col-1)/64] |= 1 << ((col - 1) % 64)
+	})
+	for _, wd := range s.pat {
+		s.stamped += bits.OnesCount64(wd)
+	}
+	s.stampedPat = append([]uint64(nil), s.pat...)
+
+	s.rhsv = make([]float64, dim+1)
+	s.perm = make([]int, dim)
+	s.scale = make([]float64, dim)
+	s.next = make(Solution, dim+1)
+	s.zero = make(Solution, dim+1)
+	if sparse {
+		s.pos = make([]int, dim)
+		s.diagQ = make([]int, dim)
+	}
+	for _, d := range c.devices {
+		if d.kind == dOpAmp {
+			s.ops = append(s.ops, d)
+		}
+	}
+	s.opVc = make([]float64, len(s.ops))
+	s.opHas = make([]bool, len(s.ops))
+	c.layout(s)
+
+	c.sol = s
+	if dim > c.stats.PeakDim {
+		c.stats.PeakDim = dim
+	}
+	return s, nil
+}
+
+// layout (re)derives the value storage and per-device slot lists from the
+// current pattern. It runs once per plan and again after each adaptive
+// pattern growth; stamped values do not survive it — the caller restamps.
+func (c *Circuit) layout(s *solver) {
+	dim := s.dim
+	if s.sparse {
+		nnz := 0
+		for _, wd := range s.pat {
+			nnz += bits.OnesCount64(wd)
+		}
+		s.rowPtr = make([]int, dim+1)
+		s.colIdx = make([]int, 0, nnz)
+		stampedIdx := make([]int32, 0, s.stamped)
+		stampedCol := make([]int32, 0, s.stamped)
+		for r := 0; r < dim; r++ {
+			s.rowPtr[r] = len(s.colIdx)
+			base := r * s.words
+			for i := 0; i < s.words; i++ {
+				wd := s.pat[base+i]
+				for wd != 0 {
+					b := bits.TrailingZeros64(wd)
+					if s.stampedPat[base+i]&(1<<b) != 0 {
+						stampedIdx = append(stampedIdx, int32(len(s.colIdx)))
+						stampedCol = append(stampedCol, int32(i*64+b))
+					}
+					s.colIdx = append(s.colIdx, i*64+b)
+					wd &^= 1 << b
+				}
+			}
+		}
+		s.rowPtr[dim] = len(s.colIdx)
+
+		// Stamped slots grouped by column, for the pivot-scale pass.
+		s.scalePtr = make([]int32, dim+1)
+		for _, col := range stampedCol {
+			s.scalePtr[col+1]++
+		}
+		for i := 0; i < dim; i++ {
+			s.scalePtr[i+1] += s.scalePtr[i]
+		}
+		s.scaleSlot = make([]int32, len(stampedIdx))
+		fillAt := make([]int32, dim)
+		copy(fillAt, s.scalePtr[:dim])
+		for k, col := range stampedCol {
+			s.scaleSlot[fillAt[col]] = stampedIdx[k]
+			fillAt[col]++
+		}
+		s.trash = nnz
+		s.vals = make([]float64, nnz+1)
+		s.fill = nnz - s.stamped
+		// Slot indices changed: the elimination replay cache is stale.
+		s.sched = s.sched[:0]
+		s.schedN = 0
+
+		// Column-compressed twin of the row pattern, for direct pivot
+		// scans and column elimination without per-row cursors.
+		s.colPtr = make([]int, dim+1)
+		for _, col := range s.colIdx {
+			s.colPtr[col+1]++
+		}
+		for i := 0; i < dim; i++ {
+			s.colPtr[i+1] += s.colPtr[i]
+		}
+		s.colRow = make([]int32, nnz)
+		s.colSlot = make([]int32, nnz)
+		next := make([]int, dim)
+		copy(next, s.colPtr[:dim])
+		for r := 0; r < dim; r++ {
+			for q := s.rowPtr[r]; q < s.rowPtr[r+1]; q++ {
+				col := s.colIdx[q]
+				k := next[col]
+				next[col] = k + 1
+				s.colRow[k] = int32(r)
+				s.colSlot[k] = int32(q)
+			}
+		}
+	} else {
+		s.trash = dim * dim
+		s.vals = make([]float64, dim*dim+1)
+		s.fill = 0
+	}
+
+	// slotOf maps an MNA coordinate to its storage slot; ground writes go
+	// to the trash slot.
+	slotOf := func(r, col int) int {
+		if r == 0 || col == 0 {
+			return s.trash
+		}
+		if !s.sparse {
+			return (r-1)*dim + (col - 1)
+		}
+		lo, hi := s.rowPtr[r-1], s.rowPtr[r]
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.colIdx[mid] < col-1 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= s.rowPtr[r] || s.colIdx[lo] != col-1 {
+			panic("mna: stamped entry missing from CSR pattern")
+		}
+		return lo
+	}
+	rhsSlot := func(r int) int {
+		if r == 0 {
+			return dim
+		}
+		return r - 1
+	}
+
+	// Per-device slot lists. Layout per kind (mirrored by stampInto):
+	//   R/S     : aa bb ab ba
+	//   C/D     : aa bb ab ba rhs-a rhs-b
+	//   V       : br,a br,b a,br b,br rhs-br
+	//   I       : rhs-a rhs-b
+	//   VCVS    : br,a br,b br,cp br,cm a,br b,br
+	//   OpAmp   : br,a br,cp br,cm rhs-br a,br
+	//   Func    : br,a a,br rhs-br br,ctrl...
+	s.slots = s.slots[:0]
+	if s.devOff == nil {
+		s.devOff = make([]int, len(c.devices))
+	}
+	maxCtrl := 0
+	for di, d := range c.devices {
+		s.devOff[di] = len(s.slots)
+		a, b := int(d.a), int(d.b)
+		switch d.kind {
+		case dResistor, dSwitch:
+			s.slots = append(s.slots, slotOf(a, a), slotOf(b, b), slotOf(a, b), slotOf(b, a))
+		case dCapacitor, dDiode:
+			s.slots = append(s.slots, slotOf(a, a), slotOf(b, b), slotOf(a, b), slotOf(b, a),
+				rhsSlot(a), rhsSlot(b))
+		case dVSource:
+			s.slots = append(s.slots, slotOf(d.branch, a), slotOf(d.branch, b),
+				slotOf(a, d.branch), slotOf(b, d.branch), rhsSlot(d.branch))
+		case dISource:
+			s.slots = append(s.slots, rhsSlot(a), rhsSlot(b))
+		case dVCVS:
+			s.slots = append(s.slots, slotOf(d.branch, a), slotOf(d.branch, b),
+				slotOf(d.branch, int(d.cp)), slotOf(d.branch, int(d.cm)),
+				slotOf(a, d.branch), slotOf(b, d.branch))
+		case dOpAmp:
+			s.slots = append(s.slots, slotOf(d.branch, a), slotOf(d.branch, int(d.cp)),
+				slotOf(d.branch, int(d.cm)), rhsSlot(d.branch), slotOf(a, d.branch))
+		case dFunc:
+			s.slots = append(s.slots, slotOf(d.branch, a), slotOf(a, d.branch), rhsSlot(d.branch))
+			for _, n := range d.ctrl {
+				s.slots = append(s.slots, slotOf(d.branch, int(n)))
+			}
+			if len(d.ctrl) > maxCtrl {
+				maxCtrl = len(d.ctrl)
+			}
+		}
+	}
+	if s.fnVals == nil {
+		s.fnVals = make([]float64, maxCtrl)
+		s.fnDps = make([]float64, maxCtrl)
+	}
+
+	c.stats.Sparse = s.sparse
+	c.stats.Nonzeros = s.stamped
+	c.stats.Fill = s.fill
+}
+
+// stampInto builds the linearized MNA system around the iterate x at time t
+// by writing through the plan's precomputed slots. It performs the same
+// arithmetic in the same order as stampRef (the slot lists mirror the
+// reference write order, so aliased slots accumulate identically) and
+// allocates nothing.
+func (c *Circuit) stampInto(s *solver, x, prev Solution, t, h float64) {
+	v, rhs := s.vals, s.rhsv
+	for di, d := range c.devices {
+		sl := s.slots[s.devOff[di]:]
+		switch d.kind {
+		case dResistor:
+			g := 1 / d.value
+			v[sl[0]] += g
+			v[sl[1]] += g
+			v[sl[2]] -= g
+			v[sl[3]] -= g
+		case dCapacitor:
+			if h <= 0 {
+				// DC: tiny conductance to avoid floating nodes.
+				g := 1e-12
+				v[sl[0]] += g
+				v[sl[1]] += g
+				v[sl[2]] -= g
+				v[sl[3]] -= g
+				continue
+			}
+			vprev := prev.V(d.a) - prev.V(d.b)
+			var g, ieq float64
+			if c.method == Trapezoidal {
+				// Companion model: i = (2C/h)(v - vprev) - iprev.
+				g = 2 * d.value / h
+				ieq = g*vprev + d.prevI
+			} else {
+				g = d.value / h
+				ieq = g * vprev
+			}
+			v[sl[0]] += g
+			v[sl[1]] += g
+			v[sl[2]] -= g
+			v[sl[3]] -= g
+			rhs[sl[4]] += ieq
+			rhs[sl[5]] -= ieq
+		case dVSource:
+			v[sl[0]] += 1
+			v[sl[1]] -= 1
+			v[sl[2]] += 1
+			v[sl[3]] -= 1
+			rhs[sl[4]] += d.wave(t)
+		case dISource:
+			ieq := -d.wave(t)
+			rhs[sl[0]] += ieq
+			rhs[sl[1]] -= ieq
+		case dVCVS:
+			// V(a,b) - gain*V(cp,cm) = 0 with branch current into a.
+			v[sl[0]] += 1
+			v[sl[1]] -= 1
+			v[sl[2]] -= d.value
+			v[sl[3]] += d.value
+			v[sl[4]] += 1
+			v[sl[5]] -= 1
+		case dDiode:
+			g, ieq := d.diodeLinearize(x.V(d.a) - x.V(d.b))
+			v[sl[0]] += g
+			v[sl[1]] += g
+			v[sl[2]] -= g
+			v[sl[3]] -= g
+			rhs[sl[4]] -= ieq
+			rhs[sl[5]] += ieq
+		case dSwitch:
+			g := 1 / d.switchR(x.V(d.cp)-x.V(d.cm))
+			v[sl[0]] += g
+			v[sl[1]] += g
+			v[sl[2]] -= g
+			v[sl[3]] -= g
+		case dOpAmp:
+			dg, r := d.opampLinearize(x.V(d.cp) - x.V(d.cm))
+			v[sl[0]] += 1
+			v[sl[1]] -= dg
+			v[sl[2]] += dg
+			rhs[sl[3]] += r
+			v[sl[4]] += 1
+		case dFunc:
+			nc := len(d.ctrl)
+			v[sl[0]] += 1
+			r := d.funcLinearize(x, s.fnVals[:nc], s.fnDps[:nc])
+			for i := 0; i < nc; i++ {
+				v[sl[3+i]] -= s.fnDps[i]
+			}
+			rhs[sl[2]] += r
+			v[sl[1]] += 1
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package mna
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// This file preserves the original dense allocate-per-solve eliminator as
+// SolverReference: the oracle against which the plan-based dense and sparse
+// solvers are proven bit-identical (see the corpus equivalence tests). It is
+// never used outside tests unless explicitly selected via Circuit.Solver.
+
+// matrix is a dense MNA system Ax = b with ground row/column folded away.
+type matrix struct {
+	n   int
+	a   [][]float64
+	rhs []float64
+}
+
+func newMatrix(n int) *matrix {
+	m := &matrix{n: n, rhs: make([]float64, n+1)}
+	m.a = make([][]float64, n+1)
+	for i := range m.a {
+		m.a[i] = make([]float64, n+1)
+	}
+	return m
+}
+
+func (m *matrix) clear() {
+	for i := range m.a {
+		for j := range m.a[i] {
+			m.a[i][j] = 0
+		}
+		m.rhs[i] = 0
+	}
+}
+
+func (m *matrix) addG(a, b Node, g float64) {
+	m.a[a][a] += g
+	m.a[b][b] += g
+	m.a[a][b] -= g
+	m.a[b][a] -= g
+}
+
+// addI injects current ieq into node a (out of b).
+func (m *matrix) addI(a, b Node, ieq float64) {
+	m.rhs[a] += ieq
+	m.rhs[b] -= ieq
+}
+
+func (m *matrix) stampVSource(branch int, a, b Node, v float64) {
+	m.a[branch][a] += 1
+	m.a[branch][b] -= 1
+	m.a[a][branch] += 1
+	m.a[b][branch] -= 1
+	m.rhs[branch] += v
+}
+
+// stampRef builds the linearized MNA system around the iterate x at time t.
+// h <= 0 means DC (capacitors open). prev is the previous-step solution for
+// companion models.
+func (c *Circuit) stampRef(m *matrix, x Solution, prev Solution, t, h float64) {
+	m.clear()
+	vx := func(n Node) float64 {
+		if n == Ground {
+			return 0
+		}
+		return x[n]
+	}
+	for _, d := range c.devices {
+		switch d.kind {
+		case dResistor:
+			g := 1 / d.value
+			m.addG(d.a, d.b, g)
+		case dCapacitor:
+			if h <= 0 {
+				// DC: tiny conductance to avoid floating nodes.
+				m.addG(d.a, d.b, 1e-12)
+				continue
+			}
+			vprev := prev.V(d.a) - prev.V(d.b)
+			if c.method == Trapezoidal {
+				// Companion model: i = (2C/h)(v - vprev) - iprev.
+				g := 2 * d.value / h
+				m.addG(d.a, d.b, g)
+				m.addI(d.a, d.b, g*vprev+d.prevI)
+			} else {
+				g := d.value / h
+				m.addG(d.a, d.b, g)
+				m.addI(d.a, d.b, g*vprev)
+			}
+		case dVSource:
+			m.stampVSource(d.branch, d.a, d.b, d.wave(t))
+		case dISource:
+			m.addI(d.a, d.b, -d.wave(t))
+		case dVCVS:
+			// V(a,b) - gain*V(cp,cm) = 0 with branch current into a.
+			m.a[d.branch][d.a] += 1
+			m.a[d.branch][d.b] -= 1
+			m.a[d.branch][d.cp] -= d.value
+			m.a[d.branch][d.cm] += d.value
+			m.a[d.a][d.branch] += 1
+			m.a[d.b][d.branch] -= 1
+		case dDiode:
+			g, ieq := d.diodeLinearize(vx(d.a) - vx(d.b))
+			m.addG(d.a, d.b, g)
+			m.addI(d.a, d.b, -ieq)
+		case dSwitch:
+			m.addG(d.a, d.b, 1/d.switchR(vx(d.cp)-vx(d.cm)))
+		case dOpAmp:
+			dg, rhs := d.opampLinearize(vx(d.cp) - vx(d.cm))
+			m.a[d.branch][d.a] += 1
+			m.a[d.branch][d.cp] -= dg
+			m.a[d.branch][d.cm] += dg
+			m.rhs[d.branch] += rhs
+			m.a[d.a][d.branch] += 1
+		case dFunc:
+			vals := make([]float64, len(d.ctrl))
+			dps := make([]float64, len(d.ctrl))
+			m.a[d.branch][d.a] += 1
+			rhs := d.funcLinearize(x, vals, dps)
+			for i, n := range d.ctrl {
+				if n == Ground {
+					continue
+				}
+				m.a[d.branch][n] -= dps[i]
+			}
+			m.rhs[d.branch] += rhs
+			m.a[d.a][d.branch] += 1
+		}
+	}
+}
+
+// solve performs Gaussian elimination with partial pivoting, ignoring the
+// ground row/column (index 0).
+func (m *matrix) solve() (Solution, error) {
+	n := m.n
+	// Build the reduced system (indices 1..n).
+	a := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n+1)
+		copy(a[i], m.a[i+1][1:])
+		a[i][n] = m.rhs[i+1]
+	}
+	// Per-column magnitude of the original system: the singularity test is
+	// relative to it, so a well-conditioned circuit whose conductances are
+	// uniformly tiny (nano-siemens resistors stamp ~1e-16 entries) is not
+	// misclassified as singular by an absolute threshold, while a column
+	// whose pivot collapses relative to its own scale still is.
+	scale := make([]float64, n)
+	for r := 0; r < n; r++ {
+		for col := 0; col < n; col++ {
+			if v := math.Abs(a[r][col]); v > scale[col] {
+				scale[col] = v
+			}
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if piv := math.Abs(a[p][col]); scale[col] == 0 || piv < 1e-12*scale[col] {
+			return nil, fmt.Errorf("mna: singular matrix at column %d (floating node?)", col+1)
+		}
+		a[col], a[p] = a[p], a[col]
+		piv := a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / piv
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	x := make(Solution, n+1)
+	for r := n - 1; r >= 0; r-- {
+		sum := a[r][n]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * x[k+1]
+		}
+		x[r+1] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// newtonRef is the original Newton iteration over the reference matrix; see
+// newtonFast for the iteration contract (the damping, tolerance and
+// cancellation behavior are identical).
+func (c *Circuit) newtonRef(ctx context.Context, m *matrix, x0, prev Solution, t, h float64) (Solution, error) {
+	if m.n > c.stats.PeakDim {
+		c.stats.PeakDim = m.n
+	}
+	x := make(Solution, len(x0))
+	copy(x, x0)
+	for _, d := range c.devices {
+		d.hasLast = false
+	}
+	maxIter := c.MaxNewtonIter
+	if maxIter <= 0 {
+		maxIter = defaultNewtonIter
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mna: solve at t=%g cancelled: %w", t, err)
+		}
+		c.stampRef(m, x, prev, t, h)
+		c.stats.Factorizations++
+		next, err := m.solve()
+		if err != nil {
+			return nil, err
+		}
+		c.stats.NewtonIterations++
+		worst := 0.0
+		for i := 1; i < len(next); i++ {
+			if d := math.Abs(next[i] - x[i]); d > worst {
+				worst = d
+			}
+		}
+		alpha := 1.0
+		if worst > newtonMaxChange {
+			alpha = newtonMaxChange / worst
+		}
+		for i := 1; i < len(next); i++ {
+			x[i] += alpha * (next[i] - x[i])
+		}
+		if worst < newtonTol {
+			return x, nil
+		}
+	}
+	return x, fmt.Errorf("mna: Newton iteration did not converge at t=%g", t)
+}

@@ -1,0 +1,230 @@
+package mna
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// activeChain builds a chain of diode-clamped inverting integrator stages:
+// enough op-amp branch rows and cross-stage coupling that the sparse plan
+// exercises pivoting, elimination fill and the replay cache, while staying
+// deterministic (fixed stimulus, fixed step).
+func activeChain(stages int) *Circuit {
+	c := New()
+	in := c.NodeByName("in")
+	c.AddV("vin", in, Ground, func(t float64) float64 {
+		return math.Sin(2 * math.Pi * 1e3 * t)
+	})
+	prev := in
+	for i := 0; i < stages; i++ {
+		sum := c.NodeByName(fmt.Sprintf("s%d", i))
+		out := c.NodeByName(fmt.Sprintf("o%d", i))
+		c.AddR(fmt.Sprintf("ri%d", i), prev, sum, 1e4)
+		c.AddC(fmt.Sprintf("cf%d", i), sum, out, 1e-9, 0)
+		c.AddR(fmt.Sprintf("rf%d", i), sum, out, 1e6)
+		c.AddOpAmp(fmt.Sprintf("op%d", i), out, Ground, sum, 2e5, 12)
+		if i%2 == 1 {
+			c.AddDiode(fmt.Sprintf("d%d", i), out, Ground)
+		}
+		prev = out
+	}
+	return c
+}
+
+// TestNewtonZeroAllocs pins the steady-state allocation behavior the stamp
+// plan was built for: once the pattern has converged and the elimination
+// schedule is recorded, a full Newton solve — clear, stamp, factor,
+// back-substitute, damped update — allocates nothing, in both the dense and
+// the CSR factorization.
+func TestNewtonZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode SolverMode
+	}{
+		{"dense", SolverDense},
+		{"sparse", SolverSparse},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := activeChain(6)
+			c.Solver = tc.mode
+			s, err := c.ensureSolver()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			dst := make(Solution, s.dim+1)
+			// Warm until the adaptive pattern and the replay cache have
+			// settled; repeated identical solves pick identical pivots, so
+			// the schedule never grows again.
+			for i := 0; i < 3; i++ {
+				if _, err := c.newtonFast(ctx, s, dst, s.zero, s.zero, 0, 1e-6); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := c.newtonFast(ctx, s, dst, s.zero, s.zero, 0, 1e-6); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s Newton solve: %v allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestSparsePatternGrowth pins the adaptive-fill path: the chain's op-amp
+// branch rows force elimination fill outside the stamped pattern, the plan
+// grows it mid-factorization, and the converged solution is still bit-exact
+// against the reference dense solver.
+func TestSparsePatternGrowth(t *testing.T) {
+	ref := activeChain(6)
+	ref.Solver = SolverReference
+	want, err := ref.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := activeChain(6)
+	c.Solver = SolverSparse
+	got, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.SolverStats()
+	if !st.Sparse {
+		t.Fatalf("stats.Sparse = false, want the CSR plan")
+	}
+	if st.Fill == 0 {
+		t.Errorf("stats.Fill = 0: the chain was chosen to force adaptive elimination fill")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("solution length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("DC[%d] = %x, reference %x", i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestACParallelDeterministic pins the parallel sweep contract: every worker
+// count produces bitwise-identical complex responses. Run under -race this
+// also exercises the per-worker workspace isolation.
+func TestACParallelDeterministic(t *testing.T) {
+	freqs := LogSweep(10, 1e7, 97)
+	sweep := func(workers int) *ACResult {
+		t.Helper()
+		c := activeChain(7)
+		c.Workers = workers
+		res, err := c.AC("vin", freqs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := sweep(1)
+	for _, workers := range []int{2, 8} {
+		got := sweep(workers)
+		for n, col := range want.V {
+			gcol := got.V[n]
+			if len(gcol) != len(col) {
+				t.Fatalf("workers=%d node %d: %d points, want %d", workers, n, len(gcol), len(col))
+			}
+			for i := range col {
+				if math.Float64bits(real(gcol[i])) != math.Float64bits(real(col[i])) ||
+					math.Float64bits(imag(gcol[i])) != math.Float64bits(imag(col[i])) {
+					t.Errorf("workers=%d node %d point %d: %v, want %v", workers, n, i, gcol[i], col[i])
+				}
+			}
+		}
+	}
+}
+
+// TestACCancelledBeforeSweep pins the anytime contract's degenerate case: a
+// context cancelled before the operating point completes yields the empty
+// truncated prefix, not an error.
+func TestACCancelledBeforeSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := activeChain(4)
+	res, err := c.ACContext(ctx, "vin", LogSweep(10, 1e6, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || len(res.Freqs) != 0 {
+		t.Fatalf("Truncated=%v len(Freqs)=%d, want truncated empty prefix", res.Truncated, len(res.Freqs))
+	}
+}
+
+// BenchmarkMNASolve measures one warm Newton solve (clear + stamp + factor +
+// back-substitute) through each factorization on the same 23-dimension
+// chain. This is the inner loop of every transient step.
+func BenchmarkMNASolve(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mode SolverMode
+	}{
+		{"reference", SolverReference},
+		{"dense", SolverDense},
+		{"sparse", SolverSparse},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := activeChain(7)
+			c.Solver = tc.mode
+			if tc.mode == SolverReference {
+				nb := c.assignBranches()
+				m := newMatrix(c.nodes + nb)
+				zero := make(Solution, c.nodes+nb+1)
+				ctx := context.Background()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.newtonRef(ctx, m, zero, zero, 0, 1e-6); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return
+			}
+			s, err := c.ensureSolver()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			dst := make(Solution, s.dim+1)
+			for i := 0; i < 3; i++ {
+				if _, err := c.newtonFast(ctx, s, dst, s.zero, s.zero, 0, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.newtonFast(ctx, s, dst, s.zero, s.zero, 0, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkACSweepParallel measures the full AC sweep (operating point +
+// template + 256 complex solves) across worker counts.
+func BenchmarkACSweepParallel(b *testing.B) {
+	freqs := LogSweep(10, 1e8, 256)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := activeChain(7)
+			c.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AC("vin", freqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -98,6 +98,11 @@ type netSim struct {
 	prevIn   map[*netlist.Component]float64
 
 	probes map[string]*netlist.Net
+
+	// vals is eval's single scratch buffer, reused (cleared, not
+	// reallocated) across the four derivative evaluations of every RK4
+	// step; see eval for the aliasing contract.
+	vals map[*netlist.Net]float64
 }
 
 func newNetSim(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*netSim, error) {
@@ -164,8 +169,19 @@ func newNetSim(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*ne
 	return s, nil
 }
 
+// eval computes every net value at (t, x) in topological order. The returned
+// map is the simulator's shared scratch buffer: it is valid until the next
+// eval call, which clears and refills it in place. Every caller finishes
+// reading its map before triggering another evaluation (the run loop probes
+// and updates discrete state between derivative evaluations, never across
+// them), so reuse is safe and the per-call allocation — once per RK4
+// substep, on every step — disappears.
 func (s *netSim) eval(t float64, x []float64) map[*netlist.Net]float64 {
-	vals := make(map[*netlist.Net]float64, len(s.nl.Nets))
+	if s.vals == nil {
+		s.vals = make(map[*netlist.Net]float64, len(s.nl.Nets))
+	}
+	vals := s.vals
+	clear(vals)
 	for _, net := range s.nl.Nets {
 		if net.Const != nil {
 			vals[net] = *net.Const

@@ -329,6 +329,10 @@ type Architecture struct {
 	// cache instead of running the branch-and-bound search; Stats then
 	// describes the original search that produced the cached artifact.
 	Cached bool
+	// SimWorkers bounds the fan-out of the parallel AC sweep in the Spice
+	// and AC verification steps (0 = all CPUs, 1 = sequential). Every
+	// worker count produces bitwise-identical results.
+	SimWorkers int
 }
 
 // Synthesize maps the design onto a minimum-area component netlist with the
@@ -416,6 +420,10 @@ func (a *Architecture) SimulateContext(ctx context.Context, inputs map[string]Wa
 type SpiceResult struct {
 	Elab *mna.Elaborated
 	Tran *mna.Tran
+	// Stats summarizes the linear-solver work behind the run: Newton
+	// iterations, factorizations, system dimension and the sparse plan's
+	// pattern size.
+	Stats mna.SolverStats
 }
 
 // V returns the polarity-corrected waveform of a port or net.
@@ -441,11 +449,12 @@ func (a *Architecture) SpiceContext(ctx context.Context, inputs map[string]Wavef
 	if err != nil {
 		return nil, err
 	}
+	el.Circuit.Workers = a.SimWorkers
 	tr, err := el.Circuit.TransientContext(ctx, tstop, tstep)
 	if err != nil {
 		return nil, err
 	}
-	return &SpiceResult{Elab: el, Tran: tr}, nil
+	return &SpiceResult{Elab: el, Tran: tr, Stats: el.Circuit.SolverStats()}, nil
 }
 
 // ACResponse is a small-signal frequency sweep of a synthesized circuit.
@@ -454,8 +463,10 @@ type ACResponse struct {
 	// Truncated is set when a cancelled or deadlined ACContext stopped the
 	// sweep early; Freqs holds the points solved so far.
 	Truncated bool
-	elab      *mna.Elaborated
-	result    *mna.ACResult
+	// Stats summarizes the linear-solver work behind the sweep.
+	Stats  mna.SolverStats
+	elab   *mna.Elaborated
+	result *mna.ACResult
 }
 
 // Mag returns the magnitude response at a port or net (polarity-independent).
@@ -502,12 +513,13 @@ func (a *Architecture) ACContext(ctx context.Context, stimulus string, f1, f2 fl
 	if err != nil {
 		return nil, err
 	}
+	el.Circuit.Workers = a.SimWorkers
 	freqs := mna.LogSweep(f1, f2, points)
 	res, err := el.Circuit.ACContext(ctx, "v_"+stimulus, freqs)
 	if err != nil {
 		return nil, err
 	}
-	return &ACResponse{Freqs: res.Freqs, Truncated: res.Truncated, elab: el, result: res}, nil
+	return &ACResponse{Freqs: res.Freqs, Truncated: res.Truncated, Stats: el.Circuit.SolverStats(), elab: el, result: res}, nil
 }
 
 // SpiceDeck renders the elaborated circuit of the netlist as a SPICE deck.
