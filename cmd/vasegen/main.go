@@ -1,0 +1,211 @@
+// Command vasegen generates seeded, well-typed-by-construction VASS
+// specifications and drives differential fuzzing campaigns over the
+// toolchain's redundant implementation pairs.
+//
+// Every spec is derived deterministically from (-seed, index): the same
+// invocation regenerates byte-identical sources, so a failing spec is
+// always reproducible from the two numbers printed on divergence.
+//
+// Modes:
+//
+//	vasegen -seed 1 -n 5                      # print 5 specs to stdout
+//	vasegen -seed 1 -n 200 -out corpus/       # write corpus/*.vhd
+//	vasegen -seed 1 -n 1000 -check            # front contract: parse+lint+synthesize
+//	vasegen -seed 7 -n 200 -campaign          # differential campaign, all pairs
+//	vasegen -campaign -modes solver,monitors  # subset of redundant pairs
+//	vasegen -list-pairs                       # describe the registered pairs
+//
+// On a campaign divergence vasegen prints the seed/index pair, shrinks the
+// spec to a minimal reproducer (disable with -shrink=false), writes it
+// under -repro-dir, and exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"vase/internal/gen"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "campaign master seed; spec i derives from (seed, i)")
+	n := flag.Int("n", 1, "number of specs to generate")
+	sizeFlag := flag.String("size", "mixed", "size grade: toy (2-4 nets), small, medium, large (100+ nets), or mixed")
+	outDir := flag.String("out", "", "write generated specs as <dir>/<name>.vhd instead of stdout")
+	check := flag.Bool("check", false, "run the front contract on each spec: parse, lint clean, synthesize")
+	campaign := flag.Bool("campaign", false, "run the differential campaign over the generated specs")
+	modes := flag.String("modes", "", "comma-separated pair subset for -campaign (default: all pairs; see -list-pairs)")
+	shrink := flag.Bool("shrink", true, "shrink failing specs to minimal reproducers")
+	reproDir := flag.String("repro-dir", ".", "directory for shrunken reproducer .vhd files on divergence")
+	benchPath := flag.String("bench", "", "write generator/campaign throughput JSON to this file")
+	listPairs := flag.Bool("list-pairs", false, "list the registered redundant pairs and exit")
+	workers := flag.Int("workers", 0, "campaign specs evaluated concurrently (0 = all CPUs; the divergence set is identical at any count)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *listPairs {
+		for _, p := range gen.Pairs() {
+			cap := ""
+			if p.MaxQuants > 0 {
+				cap = fmt.Sprintf(" (specs up to %d quantities)", p.MaxQuants)
+			}
+			fmt.Printf("%-10s %s%s\n", p.Name, p.Doc, cap)
+		}
+		return
+	}
+	if *n <= 0 {
+		fail(fmt.Errorf("-n must be positive"))
+	}
+
+	var fixed *gen.Size
+	if *sizeFlag != "mixed" {
+		s, err := gen.ParseSize(*sizeFlag)
+		if err != nil {
+			fail(err)
+		}
+		fixed = &s
+	}
+	sizeOf := func(i int) gen.Size {
+		if fixed != nil {
+			return *fixed
+		}
+		return gen.MixedSize(i)
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	// Generation (timed for -bench).
+	genStart := time.Now()
+	specs := make([]*gen.Spec, *n)
+	for i := range specs {
+		specs[i] = gen.Generate(*seed, i, sizeOf(i))
+	}
+	genElapsed := time.Since(genStart)
+	genRate := float64(*n) / genElapsed.Seconds()
+	logf("generated %d specs in %v (%.0f specs/sec)", *n, genElapsed.Round(time.Millisecond), genRate)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail(err)
+		}
+		for _, sp := range specs {
+			path := filepath.Join(*outDir, sp.Name+".vhd")
+			if err := os.WriteFile(path, []byte(sp.Source), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		logf("wrote %d specs to %s", len(specs), *outDir)
+	} else if !*check && !*campaign {
+		for _, sp := range specs {
+			fmt.Println(sp.Source)
+		}
+	}
+
+	bench := map[string]any{
+		"description": "vasegen corpus generation and differential campaign throughput",
+		"date":        time.Now().UTC().Format("2006-01-02"),
+		"go":          runtime.Version(),
+		"seed":        *seed,
+		"n":           *n,
+		"size":        *sizeFlag,
+		"generator": map[string]any{
+			"elapsed_ms":    genElapsed.Milliseconds(),
+			"specs_per_sec": round2(genRate),
+		},
+	}
+
+	exit := 0
+	if *check {
+		pairs := []string{"front"}
+		res := runCampaign(*seed, *n, fixed, pairs, *shrink, *workers, *reproDir, logf)
+		bench["check"] = benchCampaign(res)
+		if len(res.Divergences) > 0 {
+			exit = 1
+		}
+	}
+	if *campaign {
+		var pairs []string
+		if *modes != "" {
+			pairs = strings.Split(*modes, ",")
+		}
+		res := runCampaign(*seed, *n, fixed, pairs, *shrink, *workers, *reproDir, logf)
+		logf("campaign: %d specs, %d pair runs (%d skipped by size caps), %d divergences in %v",
+			res.Specs, res.PairRuns, res.Skipped, len(res.Divergences), res.Elapsed.Round(time.Millisecond))
+		bench["campaign"] = benchCampaign(res)
+		if len(res.Divergences) > 0 {
+			exit = 1
+		}
+	}
+
+	if *benchPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*benchPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		logf("wrote %s", *benchPath)
+	}
+	os.Exit(exit)
+}
+
+func runCampaign(seed int64, n int, fixed *gen.Size, pairs []string, shrink bool, workers int, reproDir string, logf func(string, ...any)) *gen.CampaignResult {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	res, err := gen.RunCampaign(seed, n, gen.CampaignOptions{
+		Pairs:   pairs,
+		Size:    fixed,
+		Shrink:  shrink,
+		Workers: workers,
+		Log:     logf,
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, d := range res.Divergences {
+		fmt.Fprintf(os.Stderr, "vasegen: DIVERGENCE: %s\n", d)
+		fmt.Fprintf(os.Stderr, "vasegen: reproduce with: vasegen -seed %d -n %d -campaign -modes %s\n",
+			d.Seed, d.Index+1, d.Pair)
+		if d.Shrunk != nil {
+			name := fmt.Sprintf("repro_s%d_i%d_%s.vhd", d.Seed, d.Index, d.Pair)
+			path := filepath.Join(reproDir, name)
+			if err := os.MkdirAll(reproDir, 0o755); err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(path, []byte(d.Shrunk.Source), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "vasegen: shrunken reproducer (%d quantities) written to %s\n",
+				d.Shrunk.Quants(), path)
+		}
+	}
+	return res
+}
+
+func benchCampaign(res *gen.CampaignResult) map[string]any {
+	return map[string]any{
+		"specs":        res.Specs,
+		"pair_runs":    res.PairRuns,
+		"skipped":      res.Skipped,
+		"divergences":  len(res.Divergences),
+		"wall_time_ms": res.Elapsed.Milliseconds(),
+	}
+}
+
+func round2(v float64) float64 { return float64(int(v*100)) / 100 }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vasegen:", err)
+	os.Exit(2)
+}

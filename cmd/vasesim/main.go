@@ -5,6 +5,11 @@
 // Inputs are specified as -in name=spec with specs dc:V, sine:AMP,FREQ,
 // step:V0,V1,T0 or ramp:SLOPE.
 //
+// With -assert, any "-- assert:" pragmas in the source are evaluated
+// against the simulated trace and the per-assertion verdicts printed; a
+// FAIL exits nonzero, and truncated traces resolve undecided assertions to
+// UNKNOWN rather than FAIL.
+//
 // Usage:
 //
 //	vasesim -benchmark receiver -in line=sine:1.5,1000 -in local=dc:0 \
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"vase"
+	"vase/internal/assertlang"
 )
 
 type inputFlags map[string]vase.Waveform
@@ -101,6 +107,7 @@ func main() {
 	cacheStats := flag.Bool("cache-stats", false, "print the per-stage cache hit/miss table to stderr on exit")
 	solverStats := flag.Bool("stats", false, "print linear-solver statistics to stderr on exit (circuit level only)")
 	workers := flag.Int("workers", 0, "parallel fan-out of circuit-level AC sweeps (0 = all CPUs, 1 = sequential; results are identical)")
+	checkAsserts := flag.Bool("assert", false, "evaluate the source's '-- assert:' pragmas against the trace; FAIL exits nonzero (truncated traces resolve to UNKNOWN)")
 	flag.Parse()
 
 	pipe, err := vase.NewPipeline(vase.PipelineOptions{CacheDir: *cacheDir})
@@ -121,6 +128,16 @@ func main() {
 	src, err := loadSource(*benchmark, flag.Args())
 	if err != nil {
 		fail(err)
+	}
+	var asserts []*assertlang.Assertion
+	if *checkAsserts {
+		asserts, err = assertlang.FromSource(src.Text)
+		if err != nil {
+			fail(err)
+		}
+		if len(asserts) == 0 {
+			fmt.Fprintln(os.Stderr, "note: -assert set but the source has no '-- assert:' pragmas")
+		}
 	}
 	d, err := vase.CompileVia(ctx, pipe, src)
 	if err != nil {
@@ -143,6 +160,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
 
+	var outcomes []assertlang.Outcome
 	switch *level {
 	case "vhif":
 		tr, err := d.SimulateContext(ctx, inputs, opts)
@@ -152,6 +170,7 @@ func main() {
 		printTrace(tr, *every)
 		writeCSV(tr)
 		noteTruncated(tr.Truncated)
+		outcomes = assertlang.CheckTrace(asserts, tr)
 	case "netlist":
 		arch, err := d.SynthesizeContext(ctx, vase.DefaultSynthesisOptions())
 		if err != nil {
@@ -164,6 +183,7 @@ func main() {
 		printTrace(tr, *every)
 		writeCSV(tr)
 		noteTruncated(tr.Truncated)
+		outcomes = assertlang.CheckTrace(asserts, tr)
 	case "circuit":
 		arch, err := d.SynthesizeContext(ctx, vase.DefaultSynthesisOptions())
 		if err != nil {
@@ -179,12 +199,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "solver:", res.Stats)
 		}
 		noteTruncated(res.Tran.Truncated)
+		outcomes = assertlang.CheckTran(asserts, res.Elab, res.Tran)
 	default:
 		fail(fmt.Errorf("unknown level %q", *level))
 	}
 	if *solverStats && *level != "circuit" {
 		fmt.Fprintln(os.Stderr, "note: -stats applies to -level circuit only")
 	}
+	for _, o := range outcomes {
+		fmt.Fprintln(os.Stderr, "assert:", o)
+	}
+	if assertlang.Failed(outcomes) {
+		fail(fmt.Errorf("%d assertion(s) failed", countFails(outcomes)))
+	}
+}
+
+func countFails(outs []assertlang.Outcome) int {
+	n := 0
+	for _, o := range outs {
+		if o.Verdict == assertlang.Fail {
+			n++
+		}
+	}
+	return n
 }
 
 // noteTruncated flags a deadlined or budget-bound trace on stderr so a

@@ -1,0 +1,728 @@
+// Package assertlang implements a small dense-time assertion language over
+// simulated analog traces, in the spirit of "Recurrence in Dense-time AMS
+// Assertions": bounded-response and recurrence predicates over continuous
+// quantities, compiled into streaming monitors that observe a transient
+// simulation sample by sample.
+//
+// The language has four assertion forms:
+//
+//	always <pred>                    -- the predicate holds at every sample
+//	eventually <pred> within <dur>   -- the predicate holds at some sample
+//	                                    with t <= dur (bounded response)
+//	recurrence <pred> every <dur>    -- no observed gap between consecutive
+//	                                    samples satisfying the predicate
+//	                                    exceeds dur (dense-time recurrence)
+//	bound <name> in <lo> .. <hi>     -- sugar for
+//	                                    always (name >= lo and name <= hi)
+//
+// Predicates are boolean combinations (and, or, not) of comparisons
+// (<, <=, >, >=, =, /=) between arithmetic expressions over signal
+// references, numeric literals, abs(...), min(...)/max(...), + - * /.
+// A signal is referenced by its net name, optionally written v(name).
+// Durations accept the suffixes s, ms, us and ns (default s).
+//
+// Monitors are three-valued. A run that completes normally resolves every
+// assertion to Pass or Fail; a truncated run (cancellation, deadline, step
+// budget — Trace.Truncated / Tran.Truncated) resolves an assertion that has
+// not already failed conclusively to Unknown, because the unobserved suffix
+// of the trace could still change the verdict. See monitor.go for the exact
+// per-form semantics.
+package assertlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assertion is one parsed assertion.
+type Assertion struct {
+	// Text is the source text the assertion was parsed from.
+	Text string
+	// Form is the top-level operator.
+	Form Form
+	// Pred is the monitored predicate.
+	Pred Pred
+	// Window is the time bound of eventually-within and recurrence-every
+	// assertions, in seconds (0 for always/bound).
+	Window float64
+	// Signals lists the distinct signal names the predicate reads, sorted.
+	Signals []string
+}
+
+// Form is the top-level temporal operator of an assertion.
+type Form int
+
+// Assertion forms.
+const (
+	Always Form = iota
+	Eventually
+	Recurrence
+)
+
+func (f Form) String() string {
+	switch f {
+	case Always:
+		return "always"
+	case Eventually:
+		return "eventually"
+	case Recurrence:
+		return "recurrence"
+	}
+	return fmt.Sprintf("Form(%d)", int(f))
+}
+
+// Pred is a boolean predicate over one sample.
+type Pred interface {
+	// Eval evaluates the predicate in env. The boolean result is valid
+	// only when ok is true; ok is false when a referenced signal is not
+	// available in env.
+	Eval(env func(name string) (float64, bool)) (val, ok bool)
+	String() string
+}
+
+// Expr is an arithmetic expression over one sample.
+type Expr interface {
+	Eval(env func(name string) (float64, bool)) (val float64, ok bool)
+	String() string
+}
+
+// --- expression nodes ---
+
+type numExpr float64
+
+func (n numExpr) Eval(func(string) (float64, bool)) (float64, bool) { return float64(n), true }
+func (n numExpr) String() string                                    { return strconv.FormatFloat(float64(n), 'g', -1, 64) }
+
+type sigExpr string
+
+func (s sigExpr) Eval(env func(string) (float64, bool)) (float64, bool) { return env(string(s)) }
+func (s sigExpr) String() string                                        { return "v(" + string(s) + ")" }
+
+type unaryExpr struct {
+	op string // "-", "abs"
+	x  Expr
+}
+
+func (u *unaryExpr) Eval(env func(string) (float64, bool)) (float64, bool) {
+	v, ok := u.x.Eval(env)
+	if !ok {
+		return 0, false
+	}
+	if u.op == "abs" {
+		if v < 0 {
+			v = -v
+		}
+		return v, true
+	}
+	return -v, true
+}
+
+func (u *unaryExpr) String() string {
+	if u.op == "abs" {
+		return "abs(" + u.x.String() + ")"
+	}
+	return "-" + u.x.String()
+}
+
+type binExpr struct {
+	op   string // + - * / min max
+	x, y Expr
+}
+
+func (b *binExpr) Eval(env func(string) (float64, bool)) (float64, bool) {
+	x, ok := b.x.Eval(env)
+	if !ok {
+		return 0, false
+	}
+	y, ok := b.y.Eval(env)
+	if !ok {
+		return 0, false
+	}
+	switch b.op {
+	case "+":
+		return x + y, true
+	case "-":
+		return x - y, true
+	case "*":
+		return x * y, true
+	case "/":
+		return x / y, true
+	case "min":
+		if x < y {
+			return x, true
+		}
+		return y, true
+	case "max":
+		if x > y {
+			return x, true
+		}
+		return y, true
+	}
+	return 0, false
+}
+
+func (b *binExpr) String() string {
+	if b.op == "min" || b.op == "max" {
+		return b.op + "(" + b.x.String() + ", " + b.y.String() + ")"
+	}
+	return "(" + b.x.String() + " " + b.op + " " + b.y.String() + ")"
+}
+
+// --- predicate nodes ---
+
+type cmpPred struct {
+	op   string // < <= > >= = /=
+	x, y Expr
+}
+
+func (c *cmpPred) Eval(env func(string) (float64, bool)) (bool, bool) {
+	x, ok := c.x.Eval(env)
+	if !ok {
+		return false, false
+	}
+	y, ok := c.y.Eval(env)
+	if !ok {
+		return false, false
+	}
+	switch c.op {
+	case "<":
+		return x < y, true
+	case "<=":
+		return x <= y, true
+	case ">":
+		return x > y, true
+	case ">=":
+		return x >= y, true
+	case "=":
+		return x == y, true
+	case "/=":
+		return x != y, true
+	}
+	return false, false
+}
+
+func (c *cmpPred) String() string { return c.x.String() + " " + c.op + " " + c.y.String() }
+
+type boolPred struct {
+	op   string // and or
+	x, y Pred
+}
+
+func (b *boolPred) Eval(env func(string) (float64, bool)) (bool, bool) {
+	x, ok := b.x.Eval(env)
+	if !ok {
+		return false, false
+	}
+	y, ok := b.y.Eval(env)
+	if !ok {
+		return false, false
+	}
+	if b.op == "and" {
+		return x && y, true
+	}
+	return x || y, true
+}
+
+func (b *boolPred) String() string {
+	return "(" + b.x.String() + " " + b.op + " " + b.y.String() + ")"
+}
+
+type notPred struct{ x Pred }
+
+func (n *notPred) Eval(env func(string) (float64, bool)) (bool, bool) {
+	v, ok := n.x.Eval(env)
+	return !v, ok
+}
+
+func (n *notPred) String() string { return "not " + n.x.String() }
+
+// --- parser ---
+
+// Parse parses one assertion from its source text.
+func Parse(text string) (*Assertion, error) {
+	p := &parser{src: text}
+	p.next()
+	a, err := p.assertion()
+	if err != nil {
+		return nil, fmt.Errorf("assert: %v", err)
+	}
+	if p.tok != "" {
+		return nil, fmt.Errorf("assert: unexpected trailing input %q", p.tok)
+	}
+	a.Text = strings.TrimSpace(text)
+	a.Signals = collectSignals(a.Pred)
+	return a, nil
+}
+
+// collectSignals returns the sorted distinct signal names read by the
+// predicate.
+func collectSignals(p Pred) []string {
+	set := map[string]bool{}
+	var walkE func(e Expr)
+	walkE = func(e Expr) {
+		switch e := e.(type) {
+		case sigExpr:
+			set[string(e)] = true
+		case *unaryExpr:
+			walkE(e.x)
+		case *binExpr:
+			walkE(e.x)
+			walkE(e.y)
+		}
+	}
+	var walkP func(p Pred)
+	walkP = func(p Pred) {
+		switch p := p.(type) {
+		case *cmpPred:
+			walkE(p.x)
+			walkE(p.y)
+		case *boolPred:
+			walkP(p.x)
+			walkP(p.y)
+		case *notPred:
+			walkP(p.x)
+		}
+	}
+	walkP(p)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+type parser struct {
+	src string
+	pos int
+	tok string
+}
+
+// next advances to the next token: an identifier, a number, or one of the
+// operator glyphs. Comparisons and ".." are scanned greedily.
+func (p *parser) next() {
+	for p.pos < len(p.src) && isSpace(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		p.tok = ""
+		return
+	}
+	c := p.src[p.pos]
+	start := p.pos
+	switch {
+	case isAlpha(c):
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if isAlpha(c) || isDigit(c) {
+				p.pos++
+				continue
+			}
+			// Net names may embed dots (instance.port) and attribute primes
+			// (wave'dot); both continue the identifier only when followed by
+			// another identifier character, so ".." stays a range operator.
+			if (c == '.' || c == '\'') && p.pos+1 < len(p.src) && isAlpha(p.src[p.pos+1]) {
+				p.pos += 2
+				continue
+			}
+			break
+		}
+	case isDigit(c) || c == '.' && p.pos+1 < len(p.src) && isDigit(p.src[p.pos+1]):
+		// Number: digits, dot, exponent. ".." terminates the number.
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if isDigit(c) {
+				p.pos++
+				continue
+			}
+			if c == '.' {
+				if p.pos+1 < len(p.src) && p.src[p.pos+1] == '.' {
+					break // range operator
+				}
+				p.pos++
+				continue
+			}
+			if c == 'e' || c == 'E' {
+				p.pos++
+				if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+					p.pos++
+				}
+				continue
+			}
+			break
+		}
+	default:
+		p.pos++
+		two := ""
+		if p.pos < len(p.src) {
+			two = p.src[start : p.pos+1]
+		}
+		switch two {
+		case "<=", ">=", "/=", "..":
+			p.pos++
+		}
+	}
+	p.tok = p.src[start:p.pos]
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (p *parser) expect(tok string) error {
+	if p.tok != tok {
+		return fmt.Errorf("expected %q, got %q", tok, p.tok)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) assertion() (*Assertion, error) {
+	switch p.tok {
+	case "always":
+		p.next()
+		pred, err := p.pred()
+		if err != nil {
+			return nil, err
+		}
+		return &Assertion{Form: Always, Pred: pred}, nil
+	case "eventually":
+		p.next()
+		pred, err := p.pred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("within"); err != nil {
+			return nil, err
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		return &Assertion{Form: Eventually, Pred: pred, Window: d}, nil
+	case "recurrence":
+		p.next()
+		pred, err := p.pred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("every"); err != nil {
+			return nil, err
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		return &Assertion{Form: Recurrence, Pred: pred, Window: d}, nil
+	case "bound":
+		p.next()
+		if !isIdent(p.tok) {
+			return nil, fmt.Errorf("bound: expected a signal name, got %q", p.tok)
+		}
+		name := p.tok
+		p.next()
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		lo, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("bound: empty range %g .. %g", lo, hi)
+		}
+		pred := &boolPred{op: "and",
+			x: &cmpPred{op: ">=", x: sigExpr(name), y: numExpr(lo)},
+			y: &cmpPred{op: "<=", x: sigExpr(name), y: numExpr(hi)},
+		}
+		return &Assertion{Form: Always, Pred: pred}, nil
+	}
+	return nil, fmt.Errorf("expected always, eventually, recurrence or bound, got %q", p.tok)
+}
+
+// duration parses a number with an optional s/ms/us/ns unit token.
+func (p *parser) duration() (float64, error) {
+	v, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	switch p.tok {
+	case "s":
+		p.next()
+	case "ms":
+		v *= 1e-3
+		p.next()
+	case "us":
+		v *= 1e-6
+		p.next()
+	case "ns":
+		v *= 1e-9
+		p.next()
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("duration must be positive, got %g", v)
+	}
+	return v, nil
+}
+
+func (p *parser) number() (float64, error) {
+	neg := false
+	if p.tok == "-" {
+		neg = true
+		p.next()
+	}
+	v, err := strconv.ParseFloat(p.tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("expected a number, got %q", p.tok)
+	}
+	p.next()
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// pred := orTerm { "or" orTerm }
+func (p *parser) pred() (Pred, error) {
+	x, err := p.andTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == "or" {
+		p.next()
+		y, err := p.andTerm()
+		if err != nil {
+			return nil, err
+		}
+		x = &boolPred{op: "or", x: x, y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) andTerm() (Pred, error) {
+	x, err := p.notTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == "and" {
+		p.next()
+		y, err := p.notTerm()
+		if err != nil {
+			return nil, err
+		}
+		x = &boolPred{op: "and", x: x, y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) notTerm() (Pred, error) {
+	if p.tok == "not" {
+		p.next()
+		x, err := p.notTerm()
+		if err != nil {
+			return nil, err
+		}
+		return &notPred{x: x}, nil
+	}
+	if p.tok == "(" {
+		// Either a parenthesized predicate or a parenthesized expression
+		// beginning a comparison; try the predicate first and fall back.
+		save := *p
+		p.next()
+		x, err := p.pred()
+		if err == nil && p.tok == ")" {
+			p.next()
+			if !isCmpOp(p.tok) && !isArith(p.tok) {
+				return x, nil
+			}
+		}
+		*p = save
+	}
+	return p.comparison()
+}
+
+func isCmpOp(tok string) bool {
+	switch tok {
+	case "<", "<=", ">", ">=", "=", "/=":
+		return true
+	}
+	return false
+}
+
+func isArith(tok string) bool {
+	switch tok {
+	case "+", "-", "*", "/":
+		return true
+	}
+	return false
+}
+
+func (p *parser) comparison() (Pred, error) {
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !isCmpOp(p.tok) {
+		return nil, fmt.Errorf("expected a comparison operator, got %q", p.tok)
+	}
+	op := p.tok
+	p.next()
+	y, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &cmpPred{op: op, x: x, y: y}, nil
+}
+
+// expr := term { (+|-) term }
+func (p *parser) expr() (Expr, error) {
+	x, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == "+" || p.tok == "-" {
+		op := p.tok
+		p.next()
+		y, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{op: op, x: x, y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	x, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == "*" || p.tok == "/" {
+		op := p.tok
+		p.next()
+		y, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		x = &binExpr{op: op, x: x, y: y}
+	}
+	return x, nil
+}
+
+func isIdent(tok string) bool { return tok != "" && isAlpha(tok[0]) }
+
+func (p *parser) factor() (Expr, error) {
+	switch {
+	case p.tok == "-":
+		p.next()
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "-", x: x}, nil
+	case p.tok == "(":
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case p.tok == "abs":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "abs", x: x}, nil
+	case p.tok == "min" || p.tok == "max":
+		op := p.tok
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		y, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &binExpr{op: op, x: x, y: y}, nil
+	case p.tok == "v":
+		// v(name) signal reference; a bare identifier also works, so "v"
+		// followed by "(" is the only case to disambiguate.
+		save := *p
+		p.next()
+		if p.tok == "(" {
+			p.next()
+			if !isIdent(p.tok) {
+				return nil, fmt.Errorf("v(...): expected a signal name, got %q", p.tok)
+			}
+			name := p.tok
+			p.next()
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return sigExpr(name), nil
+		}
+		*p = save
+		fallthrough
+	default:
+		if isIdent(p.tok) {
+			name := p.tok
+			p.next()
+			return sigExpr(name), nil
+		}
+		if v, err := strconv.ParseFloat(p.tok, 64); err == nil {
+			p.next()
+			return numExpr(v), nil
+		}
+		return nil, fmt.Errorf("unexpected token %q in expression", p.tok)
+	}
+}
+
+// String renders the assertion canonically.
+func (a *Assertion) String() string {
+	switch a.Form {
+	case Eventually:
+		return fmt.Sprintf("eventually %s within %g", a.Pred, a.Window)
+	case Recurrence:
+		return fmt.Sprintf("recurrence %s every %g", a.Pred, a.Window)
+	default:
+		return "always " + a.Pred.String()
+	}
+}

@@ -1,0 +1,257 @@
+package assertlang
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, text string) *Assertion {
+	t.Helper()
+	a, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	return a
+}
+
+func TestParseForms(t *testing.T) {
+	cases := []struct {
+		text    string
+		form    Form
+		window  float64
+		signals []string
+	}{
+		{"always v(earph) <= 1.6", Always, 0, []string{"earph"}},
+		{"always abs(earph) <= 1.6", Always, 0, []string{"earph"}},
+		{"eventually earph >= 1.4 within 0.4 ms", Eventually, 0.4e-3, []string{"earph"}},
+		{"eventually v(y) > 0.5 within 2e-3", Eventually, 2e-3, []string{"y"}},
+		{"recurrence v(wave) > 0 every 1.5 ms", Recurrence, 1.5e-3, []string{"wave"}},
+		{"bound y in -2.5 .. 2.5", Always, 0, []string{"y"}},
+		{"always v(a) + 2 * v(b) < abs(v(c)) - 0.5", Always, 0, []string{"a", "b", "c"}},
+		{"always (v(a) > 0 and v(b) > 0) or not v(c) >= 1", Always, 0, []string{"a", "b", "c"}},
+		{"always min(v(a), v(b)) <= max(v(a), v(b))", Always, 0, []string{"a", "b"}},
+		{"eventually v(x) /= 0 within 10 us", Eventually, 10 * 1e-6, []string{"x"}},
+		{"always v(g1.out) >= -10", Always, 0, []string{"g1.out"}},
+	}
+	for _, tc := range cases {
+		a := mustParse(t, tc.text)
+		if a.Form != tc.form {
+			t.Errorf("%q: form %v, want %v", tc.text, a.Form, tc.form)
+		}
+		if d := a.Window - tc.window; d > 1e-12*tc.window || d < -1e-12*tc.window {
+			t.Errorf("%q: window %g, want %g", tc.text, a.Window, tc.window)
+		}
+		if strings.Join(a.Signals, ",") != strings.Join(tc.signals, ",") {
+			t.Errorf("%q: signals %v, want %v", tc.text, a.Signals, tc.signals)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"sometimes v(a) > 0",
+		"always v(a)",
+		"always > 0",
+		"eventually v(a) > 0",
+		"eventually v(a) > 0 within",
+		"eventually v(a) > 0 within -1",
+		"eventually v(a) > 0 within 0",
+		"recurrence v(a) > 0",
+		"bound in 0 .. 1",
+		"bound x in 2 .. 1",
+		"bound x in 0 ..",
+		"always v( > 0",
+		"always v(a) > 0 trailing",
+		"always abs(a > 0",
+	}
+	for _, text := range bad {
+		if a, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) accepted: %+v", text, a)
+		}
+	}
+}
+
+func TestBoundDesugarsToAlways(t *testing.T) {
+	a := mustParse(t, "bound y in -1.5 .. 1.5")
+	env := func(v float64) func(string) (float64, bool) {
+		return func(string) (float64, bool) { return v, true }
+	}
+	for _, tc := range []struct {
+		v    float64
+		want bool
+	}{{0, true}, {1.5, true}, {-1.5, true}, {1.6, false}, {-2, false}} {
+		got, ok := a.Pred.Eval(env(tc.v))
+		if !ok || got != tc.want {
+			t.Errorf("bound at v=%g: got %v ok=%v, want %v", tc.v, got, ok, tc.want)
+		}
+	}
+}
+
+func TestPragmaExtraction(t *testing.T) {
+	src := `-- assert: always v(y) <= 2
+entity e is
+  port (quantity y : out real);
+end entity;
+-- a plain comment
+architecture a of e is
+begin -- assert: eventually v(y) > 1 within 2 ms
+  y == 1.0;
+end architecture;
+`
+	as, err := FromSource(src)
+	if err != nil {
+		t.Fatalf("FromSource: %v", err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("got %d assertions, want 2", len(as))
+	}
+	if as[0].Form != Always || as[1].Form != Eventually {
+		t.Errorf("forms %v/%v, want always/eventually", as[0].Form, as[1].Form)
+	}
+}
+
+func TestPragmaErrorsCarryLine(t *testing.T) {
+	src := "entity e is end entity;\n-- assert: nonsense here\n"
+	_, err := FromSource(src)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want a line-2 parse error, got %v", err)
+	}
+}
+
+// series feeds a monitor a sampled waveform with uniform step h.
+func series(a *Assertion, h float64, vals []float64, truncated bool) Outcome {
+	m := NewMonitor(a)
+	for i, v := range vals {
+		v := v
+		m.Step(float64(i)*h, func(string) (float64, bool) { return v, true })
+	}
+	return m.Finish(truncated)
+}
+
+func TestAlwaysSemantics(t *testing.T) {
+	a := mustParse(t, "always v(y) <= 1")
+	if o := series(a, 1, []float64{0, 0.5, 1}, false); o.Verdict != Pass {
+		t.Errorf("always hold: %v", o)
+	}
+	if o := series(a, 1, []float64{0, 2, 0}, false); o.Verdict != Fail || o.At != 1 {
+		t.Errorf("always violation: %v at %g", o, o.At)
+	}
+	// A violation in the observed prefix is conclusive even when truncated.
+	if o := series(a, 1, []float64{0, 2}, true); o.Verdict != Fail {
+		t.Errorf("always violated prefix must fail: %v", o)
+	}
+	// An unviolated truncated prefix is inconclusive, not a pass.
+	if o := series(a, 1, []float64{0, 0.5}, true); o.Verdict != Unknown {
+		t.Errorf("always truncated prefix must be unknown: %v", o)
+	}
+}
+
+func TestEventuallySemantics(t *testing.T) {
+	a := mustParse(t, "eventually v(y) > 1 within 2.5")
+	if o := series(a, 1, []float64{0, 0, 2, 0}, false); o.Verdict != Pass || o.At != 2 {
+		t.Errorf("eventually satisfied: %v", o)
+	}
+	if o := series(a, 1, []float64{0, 0, 0, 0, 2}, false); o.Verdict != Fail {
+		t.Errorf("eventually late satisfaction must fail: %v", o)
+	}
+	if o := series(a, 1, []float64{0, 0, 0, 0}, false); o.Verdict != Fail {
+		t.Errorf("eventually expired: %v", o)
+	}
+	// Truncated before the window closes: inconclusive.
+	if o := series(a, 1, []float64{0, 0}, true); o.Verdict != Unknown {
+		t.Errorf("eventually truncated inside window must be unknown: %v", o)
+	}
+	// Run (untruncated) shorter than the window: also unresolved.
+	if o := series(a, 1, []float64{0, 0}, false); o.Verdict != Unknown {
+		t.Errorf("eventually short run must be unknown: %v", o)
+	}
+	// A pass decided in the prefix survives truncation.
+	if o := series(a, 1, []float64{0, 2}, true); o.Verdict != Pass {
+		t.Errorf("eventually satisfied prefix must pass despite truncation: %v", o)
+	}
+}
+
+func TestRecurrenceSemantics(t *testing.T) {
+	a := mustParse(t, "recurrence v(y) > 0 every 2.5")
+	if o := series(a, 1, []float64{1, 0, 1, 0, 1, 0, 1}, false); o.Verdict != Pass {
+		t.Errorf("recurrence holds: %v", o)
+	}
+	if o := series(a, 1, []float64{1, 0, 0, 0, 1}, false); o.Verdict != Fail {
+		t.Errorf("recurrence gap of 3 > 2.5 must fail: %v", o)
+	}
+	// The initial window counts: never holding fails once the span exceeds
+	// the window.
+	if o := series(a, 1, []float64{0, 0, 0, 0}, false); o.Verdict != Fail {
+		t.Errorf("recurrence never holding: %v", o)
+	}
+	// Truncation leaves pending windows open.
+	if o := series(a, 1, []float64{1, 0, 0}, true); o.Verdict != Unknown {
+		t.Errorf("recurrence truncated must be unknown: %v", o)
+	}
+	// An observed gap is conclusive regardless of truncation.
+	if o := series(a, 1, []float64{1, 0, 0, 0, 0}, true); o.Verdict != Fail {
+		t.Errorf("recurrence observed gap must fail despite truncation: %v", o)
+	}
+	// Span shorter than the window resolves nothing.
+	if o := series(a, 1, []float64{0, 0}, false); o.Verdict != Unknown {
+		t.Errorf("recurrence short span must be unknown: %v", o)
+	}
+}
+
+func TestMissingSignalIsUnknown(t *testing.T) {
+	a := mustParse(t, "always v(nosuch) <= 1")
+	m := NewMonitor(a)
+	m.Step(0, func(string) (float64, bool) { return 0, false })
+	m.Step(1, func(string) (float64, bool) { return 0, false })
+	if o := m.Finish(false); o.Verdict != Unknown {
+		t.Errorf("missing signal must be unknown, got %v", o)
+	}
+}
+
+func TestNoSamplesIsUnknown(t *testing.T) {
+	a := mustParse(t, "always v(y) <= 1")
+	if o := NewMonitor(a).Finish(false); o.Verdict != Unknown {
+		t.Errorf("empty trace must be unknown, got %v", o)
+	}
+}
+
+func TestCheckSampledMatchesStreaming(t *testing.T) {
+	as := []*Assertion{
+		mustParse(t, "always v(y) <= 10"),
+		mustParse(t, "eventually v(y) > 3 within 4"),
+		mustParse(t, "recurrence v(y) < 1 every 3"),
+	}
+	vals := []float64{0, 2, 4, 0, 5, 0}
+	time := make([]float64, len(vals))
+	for i := range time {
+		time[i] = float64(i)
+	}
+	for _, truncated := range []bool{false, true} {
+		offline := CheckSampled(as, time, func(_ string, i int) (float64, bool) { return vals[i], true }, truncated)
+		for i, a := range as {
+			if got := series(a, 1, vals, truncated); got.Verdict != offline[i].Verdict {
+				t.Errorf("truncated=%v assertion %d: streaming %v, offline %v",
+					truncated, i, got.Verdict, offline[i].Verdict)
+			}
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		"always v(a) >= -1",
+		"eventually abs(v(a)) > 1.5 within 0.001",
+		"recurrence v(a) > 0 every 0.01",
+	} {
+		a := mustParse(t, text)
+		b, err := Parse(a.String())
+		if err != nil {
+			t.Errorf("reparse of %q -> %q: %v", text, a.String(), err)
+			continue
+		}
+		if a.Form != b.Form || a.Window != b.Window || a.Pred.String() != b.Pred.String() {
+			t.Errorf("round trip of %q changed: %q vs %q", text, a.String(), b.String())
+		}
+	}
+}

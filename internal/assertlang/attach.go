@@ -1,0 +1,94 @@
+package assertlang
+
+import (
+	"vase/internal/mna"
+	"vase/internal/sim"
+)
+
+// Monitors compiles one monitor per assertion.
+func Monitors(as []*Assertion) []*Monitor {
+	ms := make([]*Monitor, len(as))
+	for i, a := range as {
+		ms[i] = NewMonitor(a)
+	}
+	return ms
+}
+
+// FinishAll resolves every monitor against the trace's truncation flag.
+func FinishAll(ms []*Monitor, truncated bool) []Outcome {
+	out := make([]Outcome, len(ms))
+	for i, m := range ms {
+		out[i] = m.Finish(truncated)
+	}
+	return out
+}
+
+// StreamSim returns a sim.Options.OnSample callback that drives the
+// monitors during the transient — the streaming evaluation path. Resolve
+// the verdicts afterwards with FinishAll(ms, trace.Truncated).
+func StreamSim(ms []*Monitor) func(t float64, probe func(name string) (float64, bool)) {
+	return func(t float64, probe func(name string) (float64, bool)) {
+		for _, m := range ms {
+			m.Step(t, probe)
+		}
+	}
+}
+
+// CheckTrace evaluates the assertions offline over a recorded behavioral
+// trace. It observes exactly the recorded signals; an assertion referencing
+// an unrecorded net resolves to Unknown.
+func CheckTrace(as []*Assertion, tr *sim.Trace) []Outcome {
+	return CheckSampled(as, tr.Time, func(name string, i int) (float64, bool) {
+		s, ok := tr.Signals[name]
+		if !ok || i >= len(s) {
+			return 0, false
+		}
+		return s[i], true
+	}, tr.Truncated)
+}
+
+// StreamCircuit returns an mna.Circuit.OnSample callback that drives the
+// monitors during a circuit-level transient, resolving netlist net names to
+// polarity-corrected node voltages through the elaboration. Resolve the
+// verdicts afterwards with FinishAll(ms, tran.Truncated).
+func StreamCircuit(el *mna.Elaborated, ms []*Monitor) func(t float64, v mna.Solution) {
+	return func(t float64, v mna.Solution) {
+		env := func(name string) (float64, bool) { return circuitValue(el, v, name) }
+		for _, m := range ms {
+			m.Step(t, env)
+		}
+	}
+}
+
+// circuitValue resolves one net name against a solution vector.
+func circuitValue(el *mna.Elaborated, v mna.Solution, name string) (float64, bool) {
+	n, ok := el.NodeOf[name]
+	if !ok || int(n) >= len(v) {
+		return 0, false
+	}
+	pol := el.PolOf[name]
+	if pol == 0 {
+		pol = 1
+	}
+	return pol * v[n], true
+}
+
+// CheckTran evaluates the assertions offline over a recorded circuit-level
+// transient.
+func CheckTran(as []*Assertion, el *mna.Elaborated, tr *mna.Tran) []Outcome {
+	cols := map[string][]float64{}
+	for _, a := range as {
+		for _, name := range a.Signals {
+			if _, seen := cols[name]; !seen {
+				cols[name] = el.V(tr, name)
+			}
+		}
+	}
+	return CheckSampled(as, tr.Time, func(name string, i int) (float64, bool) {
+		s := cols[name]
+		if s == nil || i >= len(s) {
+			return 0, false
+		}
+		return s[i], true
+	}, tr.Truncated)
+}

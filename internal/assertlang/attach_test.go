@@ -1,0 +1,125 @@
+package assertlang
+
+import (
+	"context"
+	"testing"
+
+	"vase/internal/sim"
+	"vase/internal/vhif"
+)
+
+// rampModule integrates a DC input: y(t) = t for a unit input, a waveform
+// whose monitored properties have exact closed forms.
+func rampModule() *vhif.Module {
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "a")
+	integ := g.AddBlock(vhif.BIntegrator, "i1", in.Out)
+	g.AddBlock(vhif.BOutput, "y", integ.Out)
+	return &vhif.Module{Name: "ramp", Graphs: []*vhif.Graph{g}}
+}
+
+func rampInputs() map[string]sim.Source {
+	return map[string]sim.Source{"a": sim.DC(1)}
+}
+
+func TestStreamingMonitorsOnSimTransient(t *testing.T) {
+	as := []*Assertion{
+		mustParse(t, "always v(y) <= 2"),
+		mustParse(t, "eventually v(y) >= 0.5 within 0.8"),
+		mustParse(t, "recurrence v(y) >= 0 every 0.1"),
+	}
+	ms := Monitors(as)
+	opts := sim.Options{TStop: 1, TStep: 1e-2, OnSample: StreamSim(ms)}
+	tr, err := sim.SimulateModule(rampModule(), rampInputs(), opts)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	outs := FinishAll(ms, tr.Truncated)
+	for i, o := range outs {
+		if o.Verdict != Pass {
+			t.Errorf("assertion %d (%s): %v", i, as[i].Text, o)
+		}
+	}
+	// The offline evaluation over the stored trace must agree sample for
+	// sample with the streaming path.
+	offline := CheckTrace(as, tr)
+	for i := range outs {
+		if outs[i].Verdict != offline[i].Verdict {
+			t.Errorf("assertion %d: streaming %v, offline %v", i, outs[i].Verdict, offline[i].Verdict)
+		}
+	}
+}
+
+// TestTruncatedTransientIsInconclusive is the regression for the
+// truncation contract: a step-budget- or deadline-cancelled transient
+// yields a prefix, and monitors must report Unknown — never Fail — for
+// properties the prefix leaves unresolved.
+func TestTruncatedTransientIsInconclusive(t *testing.T) {
+	as := []*Assertion{
+		// On the full 1 s run y reaches 1.0, violating this always; the
+		// truncated prefix (y <= ~0.25) never observes the violation.
+		mustParse(t, "always v(y) <= 0.5"),
+		// Satisfied only at t ~ 0.9, far beyond the truncation point.
+		mustParse(t, "eventually v(y) >= 0.9 within 1"),
+	}
+	ms := Monitors(as)
+	opts := sim.Options{TStop: 1, TStep: 1e-2, MaxSteps: 25, OnSample: StreamSim(ms)}
+	tr, err := sim.SimulateModule(rampModule(), rampInputs(), opts)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if !tr.Truncated {
+		t.Fatal("MaxSteps did not truncate the trace")
+	}
+	for i, o := range FinishAll(ms, tr.Truncated) {
+		if o.Verdict != Unknown {
+			t.Errorf("assertion %d (%s) on truncated prefix: %v, want UNKNOWN", i, as[i].Text, o)
+		}
+	}
+	// Offline over the truncated trace agrees.
+	for i, o := range CheckTrace(as, tr) {
+		if o.Verdict != Unknown {
+			t.Errorf("offline assertion %d on truncated prefix: %v, want UNKNOWN", i, o)
+		}
+	}
+
+	// The full run resolves both conclusively: the always fails (y passes
+	// 0.5), the eventually passes.
+	full, err := sim.SimulateModule(rampModule(), rampInputs(), sim.Options{TStop: 1, TStep: 1e-2})
+	if err != nil {
+		t.Fatalf("full simulate: %v", err)
+	}
+	outs := CheckTrace(as, full)
+	if outs[0].Verdict != Fail {
+		t.Errorf("always on full run: %v, want FAIL", outs[0])
+	}
+	if outs[1].Verdict != Pass {
+		t.Errorf("eventually on full run: %v, want PASS", outs[1])
+	}
+}
+
+// TestDeadlineCancelledTransientIsInconclusive drives the cancellation path
+// (context already expired): the run returns an empty-or-prefix truncated
+// trace and every monitor must resolve to Unknown.
+func TestDeadlineCancelledTransientIsInconclusive(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	as := []*Assertion{
+		mustParse(t, "always v(y) <= 0.5"),
+		mustParse(t, "eventually v(y) >= 0.9 within 1"),
+	}
+	ms := Monitors(as)
+	opts := sim.Options{TStop: 1, TStep: 1e-2, OnSample: StreamSim(ms)}
+	tr, err := sim.SimulateModuleContext(ctx, rampModule(), rampInputs(), opts)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if !tr.Truncated {
+		t.Fatal("cancelled run did not truncate the trace")
+	}
+	for i, o := range FinishAll(ms, tr.Truncated) {
+		if o.Verdict != Unknown {
+			t.Errorf("assertion %d on cancelled run: %v, want UNKNOWN", i, o)
+		}
+	}
+}

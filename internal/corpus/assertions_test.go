@@ -1,0 +1,99 @@
+package corpus
+
+import (
+	"context"
+	"testing"
+
+	"vase/internal/assertlang"
+)
+
+// TestFigure8GoldenAssertions is the golden monitored property: the
+// receiver's +-1.5 V output clipping (the paper's Figure 8), expressed in
+// the dense-time assertion language and checked by streaming monitors on
+// the circuit-level transient. Streaming and offline evaluation must agree.
+func TestFigure8GoldenAssertions(t *testing.T) {
+	outs, el, tr, err := Figure8Monitored(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatalf("figure 8 monitored run: %v", err)
+	}
+	if tr.Truncated {
+		t.Fatal("full run reported truncated")
+	}
+	for _, o := range outs {
+		if o.Verdict != assertlang.Pass {
+			t.Errorf("golden assertion did not pass: %s", o)
+		}
+	}
+	offline := assertlang.CheckTran(Figure8Assertions(), el, tr)
+	for i := range outs {
+		if outs[i].Verdict != offline[i].Verdict {
+			t.Errorf("assertion %q: streaming %s vs offline %s",
+				Figure8AssertionTexts[i], outs[i].Verdict, offline[i].Verdict)
+		}
+	}
+}
+
+// TestFigure8TruncatedUnknown cuts the transient off by step budget after
+// 0.3 ms: properties the prefix cannot decide (the whole-run bound, the
+// negative-rail eventually whose window is still open) must resolve to
+// Unknown — a partial run is inconclusive, not failing.
+func TestFigure8TruncatedUnknown(t *testing.T) {
+	outs, _, tr, err := Figure8Monitored(context.Background(), 300, nil)
+	if err != nil {
+		t.Fatalf("figure 8 truncated run: %v", err)
+	}
+	if !tr.Truncated {
+		t.Fatal("step-budgeted run not marked truncated")
+	}
+	for _, o := range outs {
+		if o.Verdict == assertlang.Fail {
+			t.Errorf("truncated prefix produced a Fail verdict: %s", o)
+		}
+	}
+	// The bound over the full window cannot be decided by a prefix.
+	if outs[0].Verdict != assertlang.Unknown {
+		t.Errorf("bound on a truncated trace resolved to %s, want UNKNOWN", outs[0].Verdict)
+	}
+	// The positive clip is reached inside the observed 0.3 ms, so that
+	// eventually is conclusively satisfied even on the prefix.
+	if outs[1].Verdict != assertlang.Pass {
+		t.Errorf("positive-clip eventually on the prefix resolved to %s, want PASS", outs[1].Verdict)
+	}
+}
+
+// TestFigure8DeadlineCancelledUnknown is the anytime regression: a
+// mid-flight context cancellation (the deadline path) must surface as a
+// truncated trace whose undecided assertions read Unknown, exactly like a
+// step budget. The cancel fires from the sample hook after 50 us of
+// simulated time, so the truncation point is deterministic.
+func TestFigure8DeadlineCancelledUnknown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	outs, _, tr, err := Figure8Monitored(ctx, 0, func(t float64) {
+		if t >= 50e-6 {
+			cancel()
+		}
+	})
+	if err != nil {
+		t.Fatalf("figure 8 cancelled run: %v", err)
+	}
+	if !tr.Truncated {
+		t.Fatal("cancelled run not marked truncated")
+	}
+	if last := tr.Time[len(tr.Time)-1]; last >= 3e-3/2 {
+		t.Errorf("cancellation barely truncated the run (last sample at t=%g)", last)
+	}
+	for _, o := range outs {
+		if o.Verdict == assertlang.Fail {
+			t.Errorf("cancelled run produced a Fail verdict: %s", o)
+		}
+	}
+	// 50 us is before the first clip: every property is still open, so
+	// every verdict is Unknown.
+	for _, o := range outs {
+		if o.Verdict != assertlang.Unknown {
+			t.Errorf("cancelled-at-50us run resolved %q to %s, want UNKNOWN",
+				o.Assertion.Text, o.Verdict)
+		}
+	}
+}

@@ -1,0 +1,609 @@
+package gen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vase/internal/assertlang"
+	"vase/internal/compile"
+	"vase/internal/diag"
+	"vase/internal/lint"
+	"vase/internal/mapper"
+	"vase/internal/mna"
+	"vase/internal/parser"
+	"vase/internal/pipeline"
+	"vase/internal/sema"
+	"vase/internal/sim"
+	"vase/internal/vhif"
+)
+
+// A Pair is one redundant implementation pair the differential campaign
+// compares. Run returns nil when both sides agree (byte-level, where the
+// contract is bitwise) and a descriptive error on any divergence.
+type Pair struct {
+	Name string
+	Doc  string
+	// MaxQuants skips specs larger than this (0 = no cap) — expensive
+	// comparisons (exhaustive search, circuit-level solves) run on the
+	// small grades only.
+	MaxQuants int
+	Run       func(*Spec) error
+}
+
+// Pairs returns the registered redundant pairs in execution order.
+func Pairs() []*Pair {
+	return []*Pair{
+		{
+			Name: "front",
+			Doc:  "generated specs parse, lint clean and synthesize (generator contract)",
+			Run:  pairFront,
+		},
+		{
+			Name: "mapper",
+			Doc:  "parallel vs sequential architecture search returns identical netlists",
+			Run:  pairMapper,
+		},
+		{
+			Name: "pipeline",
+			Doc:  "cold vs disk-cached compilation and synthesis are byte-identical",
+			Run:  pairPipeline,
+		},
+		{
+			Name:      "solver",
+			Doc:       "reference vs dense vs CSR linear solvers agree bitwise on DC/transient/AC",
+			MaxQuants: 10,
+			Run:       pairSolver,
+		},
+		{
+			Name: "anytime",
+			Doc:  "truncated transients are bitwise prefixes; budgeted searches stay valid",
+			Run:  pairAnytime,
+		},
+		{
+			Name: "monitors",
+			Doc:  "streaming and offline assertion checking agree; derived assertions hold",
+			Run:  pairMonitors,
+		},
+	}
+}
+
+// PairNames lists the registered pair names.
+func PairNames() []string {
+	ps := Pairs()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// CompileSpec runs the front end directly (no shared caches, so campaign
+// runs are hermetic).
+func CompileSpec(sp *Spec) (*vhif.Module, error) {
+	f, err := parser.Parse(sp.Name+".vhd", sp.Source)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	d, err := sema.AnalyzeOne(f)
+	if err != nil {
+		return nil, fmt.Errorf("sema: %w", err)
+	}
+	m, err := compile.Compile(d)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	return m, nil
+}
+
+// searchOptions picks the synthesis strategy for a spec: exhaustive
+// branch-and-bound on toys, first-fit on everything larger (the
+// time-effective heuristic), so stress cases stay tractable.
+func searchOptions(sp *Spec) mapper.Options {
+	opts := mapper.DefaultOptions()
+	if sp.Quants() > 12 {
+		opts.FirstFit = true
+	}
+	return opts
+}
+
+func pairFront(sp *Spec) error {
+	m, err := CompileSpec(sp)
+	if err != nil {
+		return err
+	}
+	diags, err := lint.CheckSource(sp.Name+".vhd", sp.Source, lint.Options{})
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	for _, d := range diags {
+		if d.Severity >= diag.Warning {
+			return fmt.Errorf("lint: generated spec not clean: %v", d)
+		}
+	}
+	if _, err := mapper.Synthesize(m, searchOptions(sp)); err != nil {
+		return fmt.Errorf("synthesize: %w", err)
+	}
+	return nil
+}
+
+func pairMapper(sp *Spec) error {
+	m, err := CompileSpec(sp)
+	if err != nil {
+		return err
+	}
+	opts := searchOptions(sp)
+	opts.Workers = 1
+	seq, err := mapper.Synthesize(m, opts)
+	if err != nil {
+		return fmt.Errorf("sequential search: %w", err)
+	}
+	opts.Workers = 4
+	par, err := mapper.Synthesize(m, opts)
+	if err != nil {
+		return fmt.Errorf("parallel search: %w", err)
+	}
+	if s, p := seq.Netlist.Dump(), par.Netlist.Dump(); s != p {
+		return fmt.Errorf("netlist bytes diverge between 1 and 4 workers:\n--- sequential\n%s\n--- parallel\n%s", s, p)
+	}
+	if !bitsEq(seq.Report.AreaUm2, par.Report.AreaUm2) {
+		return fmt.Errorf("area diverges: %g (1 worker) vs %g (4 workers)",
+			seq.Report.AreaUm2, par.Report.AreaUm2)
+	}
+	return nil
+}
+
+func pairPipeline(sp *Spec) error {
+	dir, err := os.MkdirTemp("", "vase-campaign-")
+	if err != nil {
+		return fmt.Errorf("tempdir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+	opts := searchOptions(sp)
+
+	run := func() (string, string, error) {
+		p, err := pipeline.New(pipeline.Options{CacheDir: dir})
+		if err != nil {
+			return "", "", fmt.Errorf("pipeline: %w", err)
+		}
+		cr, err := p.Compile(ctx, sp.Name+".vhd", sp.Source)
+		if err != nil {
+			return "", "", fmt.Errorf("compile: %w", err)
+		}
+		res, _, err := p.SynthesizeText(ctx, cr.Module, cr.Text, opts)
+		if err != nil {
+			return "", "", fmt.Errorf("synthesize: %w", err)
+		}
+		return cr.Text, res.Netlist.Dump(), nil
+	}
+	coldVHIF, coldNet, err := run()
+	if err != nil {
+		return fmt.Errorf("cold run: %w", err)
+	}
+	// The second pipeline shares only the on-disk store; its artifacts
+	// must be byte-identical to the cold computation.
+	warmVHIF, warmNet, err := run()
+	if err != nil {
+		return fmt.Errorf("warm run: %w", err)
+	}
+	if coldVHIF != warmVHIF {
+		return fmt.Errorf("VHIF text diverges between cold and disk-cached compilation:\n--- cold\n%s\n--- warm\n%s", coldVHIF, warmVHIF)
+	}
+	if coldNet != warmNet {
+		return fmt.Errorf("netlist diverges between cold and disk-cached synthesis:\n--- cold\n%s\n--- warm\n%s", coldNet, warmNet)
+	}
+	return nil
+}
+
+func bitsEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// solverObservation is the complete observable output of one solver mode.
+type solverObservation struct {
+	dc    mna.Solution
+	dcErr string
+	tr    *mna.Tran
+	trErr string
+	nodes int
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func pairSolver(sp *Spec) error {
+	m, err := CompileSpec(sp)
+	if err != nil {
+		return err
+	}
+	res, err := mapper.Synthesize(m, searchOptions(sp))
+	if err != nil {
+		return fmt.Errorf("synthesize: %w", err)
+	}
+	waves := make(map[string]mna.Waveform, len(sp.Inputs))
+	for name, w := range sp.Inputs {
+		waves[name] = mna.Waveform(w.Source())
+	}
+	observe := func(mode mna.SolverMode, workers int) (*solverObservation, error) {
+		el, err := mna.Elaborate(res.Netlist, waves)
+		if err != nil {
+			return nil, fmt.Errorf("elaborate: %w", err)
+		}
+		c := el.Circuit
+		c.Solver = mode
+		c.Workers = workers
+		o := &solverObservation{nodes: c.NumNodes()}
+		dc, err := c.DC()
+		o.dc, o.dcErr = dc, errText(err)
+		// A short circuit-level window: long enough to exercise the
+		// macromodels, short enough for the allocate-per-solve reference
+		// eliminator.
+		tr, err := c.Transient(100*sp.TStep, sp.TStep/5)
+		o.tr, o.trErr = tr, errText(err)
+		return o, nil
+	}
+	ref, err := observe(mna.SolverReference, 1)
+	if err != nil {
+		return err
+	}
+	for _, alt := range []struct {
+		label   string
+		mode    mna.SolverMode
+		workers int
+	}{
+		{"dense", mna.SolverDense, 1},
+		{"sparse", mna.SolverSparse, 1},
+		{"auto/2-workers", mna.SolverAuto, 2},
+	} {
+		got, err := observe(alt.mode, alt.workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", alt.label, err)
+		}
+		if err := compareObservations(ref, got); err != nil {
+			return fmt.Errorf("%s vs reference: %w", alt.label, err)
+		}
+	}
+	return nil
+}
+
+// compareObservations demands bitwise equality (identical errors count as
+// agreement: every mode must fail the same way).
+func compareObservations(ref, got *solverObservation) error {
+	if ref.dcErr != got.dcErr {
+		return fmt.Errorf("DC error %q, reference %q", got.dcErr, ref.dcErr)
+	}
+	if len(ref.dc) != len(got.dc) {
+		return fmt.Errorf("DC dimension %d, reference %d", len(got.dc), len(ref.dc))
+	}
+	for i := range ref.dc {
+		if !bitsEq(ref.dc[i], got.dc[i]) {
+			return fmt.Errorf("DC[%d] %x, reference %x", i,
+				math.Float64bits(got.dc[i]), math.Float64bits(ref.dc[i]))
+		}
+	}
+	if ref.trErr != got.trErr {
+		return fmt.Errorf("transient error %q, reference %q", got.trErr, ref.trErr)
+	}
+	if (ref.tr == nil) != (got.tr == nil) {
+		return fmt.Errorf("transient presence mismatch")
+	}
+	if ref.tr == nil {
+		return nil
+	}
+	if len(ref.tr.Time) != len(got.tr.Time) || ref.tr.Truncated != got.tr.Truncated {
+		return fmt.Errorf("transient shape mismatch: %d/%v, reference %d/%v",
+			len(got.tr.Time), got.tr.Truncated, len(ref.tr.Time), ref.tr.Truncated)
+	}
+	for n := 1; n <= ref.nodes; n++ {
+		rw, gw := ref.tr.V[mna.Node(n)], got.tr.V[mna.Node(n)]
+		for i := range rw {
+			if !bitsEq(rw[i], gw[i]) {
+				return fmt.Errorf("node %d sample %d (t=%g): %x, reference %x",
+					n, i, ref.tr.Time[i], math.Float64bits(gw[i]), math.Float64bits(rw[i]))
+			}
+		}
+	}
+	return nil
+}
+
+func pairAnytime(sp *Spec) error {
+	m, err := CompileSpec(sp)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{TStop: sp.TStop, TStep: sp.TStep}
+	full, err := sim.SimulateModule(m, sp.Sources(), opts)
+	if err != nil {
+		return fmt.Errorf("full transient: %w", err)
+	}
+	opts.MaxSteps = len(full.Time) / 2
+	if opts.MaxSteps < 1 {
+		opts.MaxSteps = 1
+	}
+	part, err := sim.SimulateModule(m, sp.Sources(), opts)
+	if err != nil {
+		return fmt.Errorf("budgeted transient: %w", err)
+	}
+	if !part.Truncated {
+		return fmt.Errorf("step budget %d did not truncate a %d-sample run",
+			opts.MaxSteps, len(full.Time))
+	}
+	if len(part.Time) >= len(full.Time) {
+		return fmt.Errorf("truncated run has %d samples, full run %d",
+			len(part.Time), len(full.Time))
+	}
+	for i := range part.Time {
+		if !bitsEq(part.Time[i], full.Time[i]) {
+			return fmt.Errorf("time[%d] diverges: %x vs %x",
+				i, math.Float64bits(part.Time[i]), math.Float64bits(full.Time[i]))
+		}
+	}
+	for name, pw := range part.Signals {
+		fw, ok := full.Signals[name]
+		if !ok {
+			return fmt.Errorf("signal %q only in truncated run", name)
+		}
+		for i := range pw {
+			if !bitsEq(pw[i], fw[i]) {
+				return fmt.Errorf("signal %q sample %d (t=%g) diverges: %x vs %x",
+					name, i, part.Time[i], math.Float64bits(pw[i]), math.Float64bits(fw[i]))
+			}
+		}
+	}
+
+	// A node-budgeted search must stay an anytime algorithm: a valid
+	// (possibly nonoptimal) netlist or a clean error — never a corrupt
+	// result. When the budget did not truncate, the result must equal the
+	// unbudgeted search's.
+	mopts := searchOptions(sp)
+	fullRes, err := mapper.Synthesize(m, mopts)
+	if err != nil {
+		return fmt.Errorf("unbudgeted search: %w", err)
+	}
+	mopts.MaxNodes = 64
+	budRes, err := mapper.Synthesize(m, mopts)
+	if err != nil {
+		return fmt.Errorf("budgeted search errored (anytime contract wants an incumbent): %w", err)
+	}
+	if budRes.Netlist == nil || budRes.Report == nil {
+		return fmt.Errorf("budgeted search returned nil netlist/report")
+	}
+	if !budRes.Nonoptimal && budRes.Netlist.Dump() != fullRes.Netlist.Dump() {
+		return fmt.Errorf("budgeted search claims optimality but differs from the unbudgeted result")
+	}
+	return nil
+}
+
+func pairMonitors(sp *Spec) error {
+	m, err := CompileSpec(sp)
+	if err != nil {
+		return err
+	}
+	check := func(maxSteps int) ([]assertlang.Outcome, []assertlang.Outcome, *sim.Trace, error) {
+		ms := assertlang.Monitors(sp.Asserts)
+		tr, err := sim.SimulateModule(m, sp.Sources(), sim.Options{
+			TStop: sp.TStop, TStep: sp.TStep, MaxSteps: maxSteps,
+			OnSample: assertlang.StreamSim(ms),
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		streaming := assertlang.FinishAll(ms, tr.Truncated)
+		offline := assertlang.CheckTrace(sp.Asserts, tr)
+		return streaming, offline, tr, nil
+	}
+	streaming, offline, tr, err := check(0)
+	if err != nil {
+		return fmt.Errorf("transient: %w", err)
+	}
+	for i := range streaming {
+		if streaming[i].Verdict != offline[i].Verdict {
+			return fmt.Errorf("assertion %q: streaming %v, offline %v",
+				sp.Asserts[i].Text, streaming[i].Verdict, offline[i].Verdict)
+		}
+		if streaming[i].Verdict == assertlang.Fail {
+			return fmt.Errorf("derived assertion %q failed on the full run: %s",
+				sp.Asserts[i].Text, streaming[i].Detail)
+		}
+	}
+	// On a truncated prefix every verdict must be Pass or Unknown — a
+	// Fail would claim a violation the sound prefix semantics cannot
+	// justify (the full run above just showed none exists).
+	pStream, pOff, ptr, err := check(len(tr.Time) / 2)
+	if err != nil {
+		return fmt.Errorf("truncated transient: %w", err)
+	}
+	if !ptr.Truncated {
+		return fmt.Errorf("step budget did not truncate the monitor run")
+	}
+	for i := range pStream {
+		if pStream[i].Verdict != pOff[i].Verdict {
+			return fmt.Errorf("assertion %q on prefix: streaming %v, offline %v",
+				sp.Asserts[i].Text, pStream[i].Verdict, pOff[i].Verdict)
+		}
+		if pStream[i].Verdict == assertlang.Fail {
+			return fmt.Errorf("assertion %q fails on a truncated prefix of a passing run",
+				sp.Asserts[i].Text)
+		}
+	}
+	return nil
+}
+
+// Divergence is one campaign failure: a spec on which a redundant pair
+// disagreed, plus its shrunken reproducer when shrinking ran.
+type Divergence struct {
+	Seed  int64
+	Index int
+	Size  Size
+	Pair  string
+	Err   error
+	Spec  *Spec
+	// Shrunk is the minimal model still reproducing the divergence (nil
+	// when shrinking was disabled).
+	Shrunk *Spec
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("pair %q diverged on spec seed=%d index=%d size=%s: %v",
+		d.Pair, d.Seed, d.Index, d.Size, d.Err)
+}
+
+// CampaignOptions configures RunCampaign.
+type CampaignOptions struct {
+	// Pairs selects pair names to run (nil = all registered pairs).
+	Pairs []string
+	// Size forces one size grade; nil uses the mixed ladder (MixedSize).
+	Size *Size
+	// Shrink minimizes each failing spec to a reproducer.
+	Shrink bool
+	// MaxDivergences stops the campaign early (0 = collect all).
+	MaxDivergences int
+	// Workers runs specs concurrently (0 or 1 = sequential). Every
+	// spec×pair combination is evaluated hermetically, so the divergence
+	// set is independent of the worker count; divergences are reported in
+	// spec order either way.
+	Workers int
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Specs       int
+	PairRuns    int
+	Skipped     int // pair×spec combinations skipped by MaxQuants caps
+	Divergences []*Divergence
+	Elapsed     time.Duration
+}
+
+// RunCampaign generates n specs from the seed and drives every selected
+// redundant pair over each, recording divergences (shrunken to minimal
+// reproducers when opts.Shrink is set).
+func RunCampaign(seed int64, n int, opts CampaignOptions) (*CampaignResult, error) {
+	pairs, err := selectPairs(opts.Pairs)
+	if err != nil {
+		return nil, err
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	start := time.Now()
+	res := &CampaignResult{}
+	var (
+		mu      sync.Mutex
+		next    atomic.Int64
+		stopped atomic.Bool
+	)
+	next.Store(-1)
+	runSpec := func() {
+		for {
+			i := int(next.Add(1))
+			if i >= n || stopped.Load() {
+				return
+			}
+			size := MixedSize(i)
+			if opts.Size != nil {
+				size = *opts.Size
+			}
+			sp := Generate(seed, i, size)
+			var runs, skipped int
+			var divs []*Divergence
+			for _, p := range pairs {
+				if p.MaxQuants > 0 && sp.Quants() > p.MaxQuants {
+					skipped++
+					continue
+				}
+				runs++
+				err := p.Run(sp)
+				if err == nil {
+					continue
+				}
+				d := &Divergence{
+					Seed: seed, Index: i, Size: size,
+					Pair: p.Name, Err: err, Spec: sp,
+				}
+				if opts.Shrink {
+					d.Shrunk = Shrink(sp, p.Run)
+				}
+				divs = append(divs, d)
+			}
+			mu.Lock()
+			res.Specs++
+			res.PairRuns += runs
+			res.Skipped += skipped
+			for _, d := range divs {
+				logf("DIVERGENCE %s", d)
+				if d.Shrunk != nil {
+					logf("shrunk seed=%d index=%d: %d -> %d quantities",
+						seed, i, d.Spec.Quants(), d.Shrunk.Quants())
+				}
+			}
+			res.Divergences = append(res.Divergences, divs...)
+			if opts.MaxDivergences > 0 && len(res.Divergences) >= opts.MaxDivergences {
+				stopped.Store(true)
+			}
+			if res.Specs%50 == 0 {
+				logf("%d/%d specs, %d pair runs, %d divergences",
+					res.Specs, n, res.PairRuns, len(res.Divergences))
+			}
+			mu.Unlock()
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runSpec()
+		}()
+	}
+	wg.Wait()
+	// Workers complete specs out of order; normalize so the report (and
+	// the first divergence a caller inspects) is worker-count independent.
+	sort.Slice(res.Divergences, func(a, b int) bool {
+		da, db := res.Divergences[a], res.Divergences[b]
+		if da.Index != db.Index {
+			return da.Index < db.Index
+		}
+		return da.Pair < db.Pair
+	})
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func selectPairs(names []string) ([]*Pair, error) {
+	all := Pairs()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Pair, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	var out []*Pair
+	for _, n := range names {
+		p, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("gen: unknown pair %q (have %v)", n, PairNames())
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

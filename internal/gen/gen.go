@@ -1,0 +1,547 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"vase/internal/assertlang"
+	"vase/internal/sim"
+)
+
+// Size grades the generated design from 2-net toys to 100+-net stress
+// cases.
+type Size int
+
+const (
+	SizeToy Size = iota
+	SizeSmall
+	SizeMedium
+	SizeLarge
+)
+
+func (s Size) String() string {
+	switch s {
+	case SizeToy:
+		return "toy"
+	case SizeSmall:
+		return "small"
+	case SizeMedium:
+		return "medium"
+	case SizeLarge:
+		return "large"
+	}
+	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// ParseSize parses a size name as accepted by vasegen's -size flag.
+func ParseSize(s string) (Size, error) {
+	switch strings.ToLower(s) {
+	case "toy":
+		return SizeToy, nil
+	case "small":
+		return SizeSmall, nil
+	case "medium":
+		return SizeMedium, nil
+	case "large":
+		return SizeLarge, nil
+	}
+	return 0, fmt.Errorf("gen: unknown size %q (want toy, small, medium, large or mixed)", s)
+}
+
+// MixedSize picks the size grade the mixed campaign assigns to spec index
+// i: mostly toys and small designs, a medium every 4th and a large stress
+// case every 16th spec.
+func MixedSize(i int) Size {
+	switch {
+	case i%16 == 15:
+		return SizeLarge
+	case i%4 == 3:
+		return SizeMedium
+	case i%2 == 1:
+		return SizeSmall
+	default:
+		return SizeToy
+	}
+}
+
+// Spec is a generated specification: the rendered VASS source (with
+// assertion pragmas), its parsed assertions, the input stimuli, and the
+// model it was rendered from (kept for shrinking).
+type Spec struct {
+	// Name is the entity name, unique per (seed, index).
+	Name string
+	// Seed and Index identify the spec within a campaign; regenerating
+	// with the same pair is byte-identical.
+	Seed  int64
+	Index int
+	Size  Size
+	// Source is the VASS text, assertion pragmas included.
+	Source string
+	// Asserts are the parsed "-- assert:" pragmas.
+	Asserts []*assertlang.Assertion
+	// Inputs maps each input port to its stimulus.
+	Inputs map[string]Wave
+	// TStop and TStep are the transient horizon the assertions were
+	// calibrated for.
+	TStop, TStep float64
+
+	model *Model
+}
+
+// Sources converts the input stimuli to simulator waveforms.
+func (s *Spec) Sources() map[string]sim.Source {
+	out := make(map[string]sim.Source, len(s.Inputs))
+	for name, w := range s.Inputs {
+		out[name] = w.Source()
+	}
+	return out
+}
+
+// AssertSignals returns the deduplicated signal names the spec's
+// assertions observe, in first-use order — the probe list a simulation
+// needs for offline checking.
+func (s *Spec) AssertSignals() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, a := range s.Asserts {
+		for _, n := range a.Signals {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	return names
+}
+
+// Quants reports the number of free-quantity definitions — the size proxy
+// the campaign uses to pick search strategies.
+func (s *Spec) Quants() int { return len(s.model.Quants) }
+
+// mix derives a per-spec rng seed from the campaign seed and spec index
+// (splitmix64 finalizer, so neighboring indices decorrelate).
+func mix(seed int64, index int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Generate builds the spec for (seed, index) at the given size. The result
+// is deterministic: the same triple renders byte-identical source.
+func Generate(seed int64, index int, size Size) *Spec {
+	b := &builder{
+		rng:  rand.New(rand.NewSource(mix(seed, index))),
+		size: size,
+	}
+	m := b.model(fmt.Sprintf("gen_s%d_i%d", uint64(seed)%100000, index))
+	return Build(m, seed, index, size)
+}
+
+// Build renders a model into a Spec, deriving and validating its
+// assertion pragmas. The shrinker re-enters here after every mutation.
+func Build(m *Model, seed int64, index int, size Size) *Spec {
+	var b strings.Builder
+	asserts := m.assertions()
+	for _, a := range asserts {
+		fmt.Fprintf(&b, "%s %s\n", assertlang.PragmaPrefix, a)
+	}
+	b.WriteString(m.Render())
+	src := b.String()
+	parsed, err := assertlang.FromSource(src)
+	if err != nil {
+		// Assertions are generated from a grammar the parser accepts; a
+		// failure here is a generator bug, not an input condition.
+		panic(fmt.Sprintf("gen: generated invalid assertion: %v", err))
+	}
+	inputs := make(map[string]Wave, len(m.Inputs))
+	for _, in := range m.Inputs {
+		inputs[in.Name] = in.Wave
+	}
+	return &Spec{
+		Name:    m.Entity,
+		Seed:    seed,
+		Index:   index,
+		Size:    size,
+		Source:  src,
+		Asserts: parsed,
+		Inputs:  inputs,
+		TStop:   m.TStop,
+		TStep:   m.TStep,
+		model:   m,
+	}
+}
+
+// builder holds generation state.
+type builder struct {
+	rng  *rand.Rand
+	size Size
+
+	m       *Model
+	nConst  int
+	nSig    int
+	sineIns []string // inputs eligible for 'integ
+}
+
+// newConst registers a fresh positive constant and returns its name.
+func (b *builder) newConst(prefix string, v float64) string {
+	b.nConst++
+	name := fmt.Sprintf("%s%d", prefix, b.nConst)
+	// Round to 4 significant decimals so rendered literals stay short;
+	// interval analysis runs on the rounded value, keeping bounds sound.
+	v = math.Round(v*1000) / 1000
+	if v <= 0 {
+		v = 0.001
+	}
+	b.m.Consts = append(b.m.Consts, &Const{Name: name, Val: v})
+	return name
+}
+
+func (b *builder) between(lo, hi float64) float64 {
+	return lo + b.rng.Float64()*(hi-lo)
+}
+
+// counts returns the size-graded design dimensions.
+func (b *builder) counts() (nIn, nQuant, nOut int) {
+	r := b.rng
+	switch b.size {
+	case SizeToy:
+		return 1 + r.Intn(2), 2 + r.Intn(3), 1
+	case SizeSmall:
+		return 2 + r.Intn(2), 5 + r.Intn(6), 1 + r.Intn(2)
+	case SizeMedium:
+		return 3 + r.Intn(2), 18 + r.Intn(19), 2 + r.Intn(2)
+	default:
+		return 4 + r.Intn(3), 100 + r.Intn(41), 3 + r.Intn(2)
+	}
+}
+
+func (b *builder) wave() Wave {
+	switch b.rng.Intn(4) {
+	case 0:
+		return Wave{Shape: "dc", Level: math.Round(b.between(-2, 2)*100) / 100}
+	case 1:
+		return Wave{Shape: "step",
+			V0: math.Round(b.between(-1, 1)*100) / 100,
+			V1: math.Round(b.between(-2, 2)*100) / 100,
+			At: math.Round(b.between(0.2, 0.7)*1e4) / 1e4 * 0.01, // 2..7 ms
+		}
+	default:
+		return Wave{Shape: "sine",
+			Amp:   math.Round(b.between(0.5, 2)*100) / 100,
+			Freq:  math.Round(b.between(200, 2000)),
+			Phase: math.Round(b.between(0, 1)*100) / 100,
+		}
+	}
+}
+
+// symbol picks a referenceable analog symbol: an input, a recent quantity,
+// or (rarely) the integral of a sine input.
+func (b *builder) symbol(quants int) *expr {
+	r := b.rng
+	if len(b.sineIns) > 0 && r.Float64() < 0.08 {
+		return integOf(b.sineIns[r.Intn(len(b.sineIns))])
+	}
+	if quants > 0 && r.Float64() < 0.6 {
+		// Prefer recent definitions so deep models stay connected.
+		lo := 0
+		if quants > 6 {
+			lo = quants - 6
+		}
+		return ref(b.m.Quants[lo+r.Intn(quants-lo)].Name)
+	}
+	return ref(b.m.Inputs[r.Intn(len(b.m.Inputs))].Name)
+}
+
+// expr builds a random expression over the first `quants` quantity
+// definitions.
+func (b *builder) expr(depth, quants int) *expr {
+	r := b.rng
+	if depth <= 0 || r.Float64() < 0.3 {
+		if r.Float64() < 0.5 {
+			return gain(b.newConst("g", b.between(0.1, 2.5)), b.symbol(quants))
+		}
+		return b.symbol(quants)
+	}
+	switch r.Intn(10) {
+	case 0, 1, 2:
+		return add(b.expr(depth-1, quants), b.expr(depth-1, quants))
+	case 3, 4:
+		return sub(b.expr(depth-1, quants), b.expr(depth-1, quants))
+	case 5:
+		return mul(b.expr(depth-1, quants), b.expr(depth-1, quants))
+	case 6:
+		return neg(b.expr(depth-1, quants))
+	case 7:
+		return absOf(b.expr(depth-1, quants))
+	default:
+		return gain(b.newConst("g", b.between(0.1, 2.5)), b.expr(depth-1, quants))
+	}
+}
+
+// feasibleStages decomposes a scale factor in (0, 1] into per-stage gain
+// values the component library can realize in one amplifier (|gain| >=
+// 0.05): a deep attenuation becomes a chain of feasible stages.
+func feasibleStages(k float64) []float64 {
+	if k > 1 {
+		k = 1
+	}
+	n := 1
+	for ; n < 8; n++ {
+		if math.Pow(k, 1/float64(n)) >= 0.05 {
+			break
+		}
+	}
+	f := math.Round(math.Pow(k, 1/float64(n))*1000) / 1000
+	if f < 0.05 {
+		f = 0.05
+	}
+	stages := make([]float64, n)
+	for i := range stages {
+		stages[i] = f
+	}
+	return stages
+}
+
+// normalized wraps e in scaling gains when its hull exceeds ±8, so deep
+// DAGs keep bounded dynamic range (and the derived assertions keep tight).
+func (b *builder) normalized(e *expr) *expr {
+	iv := b.evalIn(e)
+	if m := iv.maxAbs(); m > 8 {
+		for _, f := range feasibleStages(4 / m) {
+			e = gain(b.newConst("g", f), e)
+		}
+	}
+	return e
+}
+
+// evalIn computes the interval of e in the model built so far.
+func (b *builder) evalIn(e *expr) interval {
+	probe := &Model{
+		Inputs: b.m.Inputs, Consts: b.m.Consts, Quants: b.m.Quants,
+		Outs: []*Out{{Name: "__probe", RHS: e}},
+	}
+	return probe.intervals()["__probe"]
+}
+
+// guardSignal returns a bit signal to control a guarded definition,
+// reusing an existing process's signal half the time and otherwise
+// spawning a new threshold-watcher process.
+func (b *builder) guardSignal(quants int) string {
+	r := b.rng
+	if len(b.m.Procs) > 0 && r.Float64() < 0.5 {
+		return b.m.Procs[r.Intn(len(b.m.Procs))].Signal
+	}
+	// Only inputs and integrator states are visible to the event-driven
+	// part, so the watch candidates are restricted accordingly.
+	var cands []string
+	for _, in := range b.m.Inputs {
+		cands = append(cands, in.Name)
+	}
+	for _, q := range b.m.Quants[:quants] {
+		if q.Kind == qState {
+			cands = append(cands, q.Name)
+		}
+	}
+	watch := ref(cands[r.Intn(len(cands))])
+	iv := b.evalIn(watch)
+	t := iv.Lo + (0.2+0.6*r.Float64())*iv.span()
+	p := &Proc{Watch: watch.Ref, ThNeg: t < 0}
+	p.Thresh = b.newConst("th", math.Abs(t))
+	b.nSig++
+	p.Signal = fmt.Sprintf("cs%d", b.nSig)
+	b.m.Procs = append(b.m.Procs, p)
+	return p.Signal
+}
+
+// model generates the full design.
+func (b *builder) model(entity string) *Model {
+	r := b.rng
+	b.m = &Model{Entity: entity, TStop: 0.01, TStep: 5e-6}
+	nIn, nQuant, nOut := b.counts()
+
+	for i := 0; i < nIn; i++ {
+		in := &In{Name: fmt.Sprintf("in%d", i+1), Wave: b.wave(), Annotated: r.Float64() < 0.5}
+		b.m.Inputs = append(b.m.Inputs, in)
+		if in.Wave.Shape == "sine" {
+			b.sineIns = append(b.sineIns, in.Name)
+		}
+	}
+
+	for i := 0; i < nQuant; i++ {
+		q := &Quant{Name: fmt.Sprintf("q%d", i+1)}
+		roll := r.Float64()
+		switch {
+		case roll < 0.25:
+			q.Kind = qState
+			q.RHS = b.normalized(b.expr(1+r.Intn(2), i))
+			// Rate constants keep k*TStep well under the RK4 stability
+			// bound and settle the lag inside the transient horizon.
+			q.Rate = b.newConst("kr", b.between(500, 5000))
+		case roll < 0.40:
+			q.Kind = qGuarded
+			q.Guard = b.guardSignal(i)
+			q.RHS = b.normalized(b.expr(1, i))
+			q.Alt = b.normalized(b.expr(1, i))
+		default:
+			q.Kind = qComb
+			q.RHS = b.normalized(b.expr(1+r.Intn(3), i))
+		}
+		b.m.Quants = append(b.m.Quants, q)
+	}
+
+	n := len(b.m.Quants)
+	for i := 0; i < nOut; i++ {
+		o := &Out{Name: fmt.Sprintf("y%d", i+1)}
+		// Outputs tap late quantities so the whole DAG feeds the ports.
+		lo := 0
+		if n > 8 {
+			lo = n - 8
+		}
+		e := ref(b.m.Quants[lo+r.Intn(n-lo)].Name)
+		if r.Float64() < 0.5 {
+			e = add(e, gain(b.newConst("g", b.between(0.1, 1.5)), b.symbol(n)))
+		}
+		o.RHS = b.normalized(e)
+		if r.Float64() < 0.3 {
+			o.Limit = math.Ceil(b.evalIn(o.RHS).maxAbs() + 1)
+		}
+		b.m.Outs = append(b.m.Outs, o)
+	}
+
+	// Plant monitor ports copying one sine and one step input: the
+	// derived recurrence/bounded-response assertions attach to these
+	// (see Model.assertions).
+	mon := 0
+	for _, shape := range []string{"sine", "step"} {
+		for _, in := range b.m.Inputs {
+			if in.Wave.Shape == shape {
+				mon++
+				b.m.Outs = append(b.m.Outs, &Out{
+					Name: fmt.Sprintf("ymon%d", mon), RHS: ref(in.Name),
+				})
+				break
+			}
+		}
+	}
+
+	repair(b.m)
+	return b.m
+}
+
+// repair restores the "everything declared is used" invariant: any input
+// or quantity referenced nowhere is absorbed into a normalizing sink
+// output, and constants or processes left unreferenced are dropped. Both
+// the generator (whose random outputs may miss early quantities) and the
+// shrinker (whose mutations orphan symbols) funnel through it.
+func repair(m *Model) {
+	// Drop any existing sink: it is rebuilt from scratch.
+	for i, o := range m.Outs {
+		if o.Name == "ysink" {
+			m.Outs = append(m.Outs[:i], m.Outs[i+1:]...)
+			break
+		}
+	}
+	// Processes whose signal no guarded definition reads are write-only;
+	// drop them first — their watches were references, so pruning them can
+	// orphan quantities the sink pass below must then absorb.
+	refs := m.refCounts()
+	for {
+		kept := m.Procs[:0]
+		dropped := false
+		for _, p := range m.Procs {
+			if refs[p.Signal] > 0 {
+				kept = append(kept, p)
+			} else {
+				dropped = true
+			}
+		}
+		m.Procs = kept
+		if !dropped {
+			break
+		}
+		refs = m.refCounts()
+	}
+	var orphans []*expr
+	for _, in := range m.Inputs {
+		if refs[in.Name] == 0 {
+			orphans = append(orphans, ref(in.Name))
+		}
+	}
+	for _, q := range m.Quants {
+		if refs[q.Name] == 0 {
+			orphans = append(orphans, ref(q.Name))
+		}
+	}
+	if len(m.Outs) == 0 && len(orphans) == 0 {
+		// Shrunk to nothing visible: expose the last quantity (or first
+		// input) so the design keeps an output port.
+		if n := len(m.Quants); n > 0 {
+			orphans = append(orphans, ref(m.Quants[n-1].Name))
+		} else if len(m.Inputs) > 0 {
+			orphans = append(orphans, ref(m.Inputs[0].Name))
+		}
+	}
+	if len(orphans) > 0 {
+		// Any previous sink-scaling constants are rebuilt from scratch.
+		keptK := m.Consts[:0]
+		for _, k := range m.Consts {
+			if !strings.HasPrefix(k.Name, "gsink") {
+				keptK = append(keptK, k)
+			}
+		}
+		m.Consts = keptK
+		e := orphans[0]
+		for _, o := range orphans[1:] {
+			e = add(e, o)
+		}
+		sink := &Out{Name: "ysink", RHS: e}
+		if iv := (&Model{Inputs: m.Inputs, Consts: m.Consts, Quants: m.Quants,
+			Outs: []*Out{sink}}).intervals()["ysink"]; iv.maxAbs() > 8 {
+			// A wide sink sum is attenuated through a chain of
+			// library-feasible gain stages to keep assertion bounds tight.
+			for i, f := range feasibleStages(4 / iv.maxAbs()) {
+				c := &Const{Name: fmt.Sprintf("gsink%d", i+1), Val: f}
+				m.Consts = append(m.Consts, c)
+				sink.RHS = gain(c.Name, sink.RHS)
+			}
+		}
+		m.Outs = append(m.Outs, sink)
+	}
+	// Unreferenced constants (orphaned by mutations) are dropped.
+	used := make(map[string]bool)
+	for _, q := range m.Quants {
+		for _, e := range []*expr{q.RHS, q.Alt} {
+			e.walk(func(x *expr) {
+				if x.Op == opRef {
+					used[x.Ref] = true
+				}
+			})
+		}
+		if q.Kind == qState {
+			used[q.Rate] = true
+		}
+	}
+	for _, o := range m.Outs {
+		o.RHS.walk(func(x *expr) {
+			if x.Op == opRef {
+				used[x.Ref] = true
+			}
+		})
+	}
+	for _, p := range m.Procs {
+		used[p.Thresh] = true
+	}
+	keptC := m.Consts[:0]
+	for _, k := range m.Consts {
+		if used[k.Name] {
+			keptC = append(keptC, k)
+		}
+	}
+	m.Consts = keptC
+}

@@ -1,0 +1,223 @@
+package gen
+
+// Shrink minimizes a failing spec to a smaller reproducer: it greedily
+// applies model-level reductions (drop quantity suffixes, simplify
+// equations, drop outputs, processes and inputs), keeping each mutation
+// only if the re-rendered spec still makes the failing check fail. Because
+// mutations operate on the model and every candidate re-enters Build
+// (whose repair pass restores the everything-declared-is-used invariant),
+// the reproducer is again well-typed by construction — it fails for the
+// original reason, not because shrinking broke the spec.
+//
+// fails is the predicate under minimization: a pair's Run function, or any
+// func(*Spec) error. The search is bounded by a fixed evaluation budget so
+// pathological predicates cannot loop forever.
+func Shrink(sp *Spec, fails func(*Spec) error) *Spec {
+	budget := 300
+	check := func(m *Model) (*Spec, bool) {
+		if budget <= 0 {
+			return nil, false
+		}
+		budget--
+		cand := m.clone()
+		repair(cand)
+		if len(cand.Outs) == 0 {
+			return nil, false
+		}
+		s := Build(cand, sp.Seed, sp.Index, sp.Size)
+		if fails(s) != nil {
+			return s, true
+		}
+		return nil, false
+	}
+
+	best := sp
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+		for _, mutate := range []func(*Model) []*Model{
+			dropQuantSuffix,
+			dropEachQuant,
+			dropOutputs,
+			dropProcs,
+			simplifyQuants,
+			dropInputs,
+		} {
+			for _, cand := range mutate(best.model) {
+				if s, ok := check(cand); ok {
+					best = s
+					improved = true
+					break
+				}
+			}
+		}
+	}
+	return best
+}
+
+// dropQuantSuffix proposes truncating the definition list — aggressive
+// halvings first, then a single-definition trim. Because definitions are
+// topologically ordered, a prefix is always self-consistent; repair
+// rewires outputs that referenced the dropped tail.
+func dropQuantSuffix(m *Model) []*Model {
+	n := len(m.Quants)
+	if n == 0 {
+		return nil
+	}
+	var out []*Model
+	for _, keep := range []int{n / 2, n - 1} {
+		if keep < 0 || keep >= n {
+			continue
+		}
+		c := m.clone()
+		dropped := make(map[string]bool)
+		for _, q := range c.Quants[keep:] {
+			dropped[q.Name] = true
+		}
+		c.Quants = c.Quants[:keep]
+		retarget(c, dropped)
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropEachQuant proposes removing each definition individually (suffix
+// drops miss failures living in the last definition); references to the
+// removed quantity retarget to the first input.
+func dropEachQuant(m *Model) []*Model {
+	var out []*Model
+	for i := len(m.Quants) - 1; i >= 0; i-- {
+		c := m.clone()
+		dropped := map[string]bool{c.Quants[i].Name: true}
+		c.Quants = append(c.Quants[:i], c.Quants[i+1:]...)
+		retarget(c, dropped)
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropOutputs proposes removing each non-sink output (repair rebuilds the
+// sink, so the design keeps at least one port).
+func dropOutputs(m *Model) []*Model {
+	var out []*Model
+	for i, o := range m.Outs {
+		if o.Name == "ysink" {
+			continue
+		}
+		c := m.clone()
+		c.Outs = append(c.Outs[:i], c.Outs[i+1:]...)
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropProcs proposes removing each process; guarded definitions that lose
+// their controlling signal collapse to their then-branch.
+func dropProcs(m *Model) []*Model {
+	var out []*Model
+	for i := range m.Procs {
+		c := m.clone()
+		sig := c.Procs[i].Signal
+		c.Procs = append(c.Procs[:i], c.Procs[i+1:]...)
+		stillDriven := make(map[string]bool)
+		for _, p := range c.Procs {
+			stillDriven[p.Signal] = true
+		}
+		for _, q := range c.Quants {
+			if q.Kind == qGuarded && q.Guard == sig && !stillDriven[sig] {
+				q.Kind = qComb
+				q.Guard, q.Alt = "", nil
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// simplifyQuants proposes replacing each structurally interesting
+// definition with the plainest one (a combinational copy of the first
+// input), localizing which definition the failure needs.
+func simplifyQuants(m *Model) []*Model {
+	if len(m.Inputs) == 0 {
+		return nil
+	}
+	first := m.Inputs[0].Name
+	var out []*Model
+	for i, q := range m.Quants {
+		if q.Kind == qComb && q.RHS.Op == opRef && q.RHS.Ref == first {
+			continue // already minimal
+		}
+		c := m.clone()
+		cq := c.Quants[i]
+		wasState := cq.Kind == qState
+		cq.Kind, cq.RHS, cq.Alt = qComb, ref(first), nil
+		cq.Rate, cq.Guard = "", ""
+		if wasState {
+			// Only inputs and integrator states may be watched by
+			// processes; a state demoted to combinational retargets its
+			// watchers to the first input.
+			for _, p := range c.Procs {
+				if p.Watch == cq.Name {
+					p.Watch = first
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// dropInputs proposes removing each input beyond the first; references to
+// it retarget to the first input.
+func dropInputs(m *Model) []*Model {
+	if len(m.Inputs) <= 1 {
+		return nil
+	}
+	var out []*Model
+	for i := 1; i < len(m.Inputs); i++ {
+		c := m.clone()
+		dropped := map[string]bool{c.Inputs[i].Name: true}
+		c.Inputs = append(c.Inputs[:i], c.Inputs[i+1:]...)
+		retarget(c, dropped)
+		out = append(out, c)
+	}
+	return out
+}
+
+// retarget rewrites references to dropped symbols so the model stays
+// closed: expression references fall back to the first input (or the
+// first surviving quantity), process watches to the first input, and
+// guarded definitions whose guard vanished collapse to combinational.
+func retarget(m *Model, dropped map[string]bool) {
+	fallback := ""
+	if len(m.Inputs) > 0 {
+		fallback = m.Inputs[0].Name
+	} else if len(m.Quants) > 0 {
+		fallback = m.Quants[0].Name
+	}
+	fix := func(e *expr) {
+		e.walk(func(x *expr) {
+			if (x.Op == opRef || x.Op == opInteg) && dropped[x.Ref] {
+				x.Op, x.Ref = opRef, fallback
+			}
+		})
+	}
+	for _, q := range m.Quants {
+		fix(q.RHS)
+		fix(q.Alt)
+	}
+	for _, o := range m.Outs {
+		fix(o.RHS)
+	}
+	kept := m.Procs[:0]
+	for _, p := range m.Procs {
+		if dropped[p.Watch] {
+			if fallback == "" {
+				continue
+			}
+			p.Watch = fallback
+		}
+		kept = append(kept, p)
+	}
+	m.Procs = kept
+}

@@ -169,6 +169,14 @@ type Circuit struct {
 	// Every worker count produces the identical sweep.
 	Workers int
 
+	// OnSample, when set, is called once per recorded transient sample with
+	// the sample time and the solution vector (node voltages indexed by
+	// Node, branch currents after them). It is the attachment point for
+	// streaming assertion monitors (internal/assertlang), which observe
+	// even the samples of a run later truncated by cancellation. The
+	// callback must not retain the slice: it is the live iterate buffer.
+	OnSample func(t float64, v Solution)
+
 	// sol is the cached stamp plan + factorization workspace, rebuilt when
 	// the device list or dimension changes.
 	sol   *solver
@@ -587,6 +595,9 @@ func (c *Circuit) TransientContext(ctx context.Context, tstop, h float64) (*Tran
 		tr.Time = append(tr.Time, t)
 		for i := 1; i <= c.nodes; i++ {
 			cols[i] = append(cols[i], s[i])
+		}
+		if c.OnSample != nil {
+			c.OnSample(t, s)
 		}
 	}
 	finish := func() {

@@ -8,6 +8,7 @@ import (
 
 	"vase/internal/corpus"
 	"vase/internal/diag"
+	"vase/internal/gen"
 	"vase/internal/lexer"
 	"vase/internal/parser"
 	"vase/internal/source"
@@ -49,6 +50,11 @@ func addSeeds(f *testing.F) {
 	}
 	for _, app := range corpus.Extras() {
 		f.Add(app.Source)
+	}
+	// Generated specs exercise grammar shapes the hand-written corpus does
+	// not (deep parenthesization, assert pragmas, 100+-statement bodies).
+	for i := 0; i < 12; i++ {
+		f.Add(gen.Generate(1, i, gen.MixedSize(i)).Source)
 	}
 }
 

@@ -98,6 +98,8 @@ type netSim struct {
 	prevIn   map[*netlist.Component]float64
 
 	probes map[string]*netlist.Net
+	// byName resolves any net for Options.OnSample probes.
+	byName map[string]*netlist.Net
 
 	// vals is eval's single scratch buffer, reused (cleared, not
 	// reallocated) across the four derivative evaluations of every RK4
@@ -150,6 +152,13 @@ func newNetSim(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*ne
 	s.order, err = nl.Topological()
 	if err != nil {
 		return nil, err
+	}
+	s.byName = map[string]*netlist.Net{}
+	for _, n := range nl.Nets {
+		s.byName[n.Name] = n
+	}
+	for name, n := range s.probes {
+		s.byName[name] = n
 	}
 	for _, c := range s.order {
 		switch {
@@ -413,6 +422,17 @@ func (s *netSim) run(ctx context.Context) (*Trace, error) {
 		tr.Time = append(tr.Time, t)
 		for name, net := range s.probes {
 			tr.Signals[name] = append(tr.Signals[name], vals[net])
+		}
+		if s.opts.OnSample != nil {
+			// vals is the shared scratch buffer: it is valid until the next
+			// eval call, so the monitors must run before the RK4 substeps.
+			s.opts.OnSample(t, func(name string) (float64, bool) {
+				n, ok := s.byName[name]
+				if !ok {
+					return 0, false
+				}
+				return vals[n], true
+			})
 		}
 		s.updateDifferentiators(vals)
 		k1 := s.derivs(t, x)

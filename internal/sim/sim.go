@@ -66,6 +66,14 @@ type Options struct {
 	// applied on top of any context passed to the Context variants and
 	// truncates the trace the same way.
 	Deadline time.Duration
+	// OnSample, when set, is called once per recorded integration step with
+	// the sample time and a probe resolving net names to their values at
+	// that instant (any net of the design, not just the recorded ones; the
+	// probe reports ok=false for unknown names). It is the attachment point
+	// for streaming assertion monitors (internal/assertlang): monitors run
+	// during the transient rather than over the stored trace, so a
+	// deadline-truncated run still observes every computed sample.
+	OnSample func(t float64, probe func(name string) (float64, bool))
 	// ModelBandwidth (netlist simulation only) gives every sized amplifier
 	// a first-order pole at its achieved unity-gain frequency divided by
 	// its noise gain, verifying that the estimator's bandwidth guard
@@ -248,6 +256,9 @@ type modSim struct {
 	prevIn   map[*vhif.Block]float64 // differentiator memory
 
 	probes map[string]*vhif.Net
+	// byName resolves any net of the design for Options.OnSample probes:
+	// all graph nets by name, with port/control aliases overlaid.
+	byName map[string]*vhif.Net
 }
 
 func newModSim(m *vhif.Module, inputs map[string]Source, opts Options) (*modSim, error) {
@@ -317,6 +328,15 @@ func newModSim(m *vhif.Module, inputs map[string]Source, opts Options) (*modSim,
 	}
 	if err := checkProbes(opts.Probes, valid); err != nil {
 		return nil, err
+	}
+	s.byName = map[string]*vhif.Net{}
+	for _, g := range m.Graphs {
+		for _, n := range g.Nets {
+			s.byName[n.Name] = n
+		}
+	}
+	for name, n := range s.probes {
+		s.byName[name] = n
 	}
 	return s, nil
 }
@@ -558,6 +578,17 @@ func (s *modSim) run(ctx context.Context) (*Trace, error) {
 		tr.Time = append(tr.Time, t)
 		for name, net := range s.probes {
 			tr.Signals[name] = append(tr.Signals[name], vals[net])
+		}
+		if s.opts.OnSample != nil {
+			// vals is valid here (before the next eval); the probe resolves
+			// any net of the design, not just the recorded ones.
+			s.opts.OnSample(t, func(name string) (float64, bool) {
+				n, ok := s.byName[name]
+				if !ok {
+					return 0, false
+				}
+				return vals[n], true
+			})
 		}
 		s.updateDifferentiators(vals)
 		// Classic RK4 over the integrator state.

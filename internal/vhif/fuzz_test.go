@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"vase/internal/gen"
 	"vase/internal/vhif"
 )
 
@@ -23,6 +24,16 @@ func FuzzVHIFRoundTrip(f *testing.F) {
 			f.Fatalf("read seed %s: %v", path, err)
 		}
 		f.Add(string(data))
+	}
+	// Compiled generator specs contribute VHIF shapes beyond the golden
+	// corpus: wide fan-in sums, guarded-mux FSMs, long gain chains.
+	for i := 0; i < 8; i++ {
+		sp := gen.Generate(1, i, gen.MixedSize(i))
+		m, err := gen.CompileSpec(sp)
+		if err != nil {
+			f.Fatalf("generated spec %d failed to compile: %v", i, err)
+		}
+		f.Add(m.Dump())
 	}
 	f.Add("")
 	f.Add("module m\n")
