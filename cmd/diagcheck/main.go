@@ -1,14 +1,27 @@
-// Command diagcheck runs the repository's structured-diagnostics
-// conformance pass: it fails (exit 1) when a migrated front-end package
-// constructs an error with naked fmt.Errorf or errors.New instead of the
-// internal/diag engine. CI runs it on every push.
+// Command diagcheck runs the repository's self-enforcement static
+// analyses and fails (exit 1) on any violation. CI runs it on every push.
+//
+// Two suites:
+//
+//   - diag: migrated front-end packages must construct every error through
+//     the internal/diag engine (no naked fmt.Errorf / errors.New), so no
+//     diagnostic can lose its stable code, severity and span.
+//   - determinism: engine packages must stay pure functions of their
+//     inputs — no wall-clock reads outside annotated anytime/telemetry
+//     plumbing (//vase:walltime), no map-range iteration feeding ordered
+//     output without a sort or an //vase:unordered annotation.
 //
 // Usage:
 //
-//	diagcheck [package-dir ...]   (default: the migrated packages)
+//	diagcheck [-suite diag|determinism|all] [package-dir ...]
+//
+// With explicit package directories the selected suite(s) run on those
+// directories; by default the diag suite covers the migrated packages and
+// the determinism suite covers the engine packages.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -16,20 +29,42 @@ import (
 )
 
 func main() {
-	dirs := os.Args[1:]
-	if len(dirs) == 0 {
-		dirs = diagcheck.DefaultPackages
+	suite := flag.String("suite", "all", "which checks to run: diag, determinism, or all")
+	flag.Parse()
+
+	type check struct {
+		name string
+		dirs []string
+		run  func(string) ([]diagcheck.Violation, error)
 	}
+	var checks []check
+	if *suite == "diag" || *suite == "all" {
+		checks = append(checks, check{"diag", diagcheck.DefaultPackages, diagcheck.CheckDir})
+	}
+	if *suite == "determinism" || *suite == "all" {
+		checks = append(checks, check{"determinism", diagcheck.EnginePackages, diagcheck.CheckDeterminismDir})
+	}
+	if len(checks) == 0 {
+		fmt.Fprintf(os.Stderr, "diagcheck: unknown suite %q (diag, determinism, all)\n", *suite)
+		os.Exit(2)
+	}
+
 	bad := false
-	for _, dir := range dirs {
-		vs, err := diagcheck.CheckDir(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "diagcheck:", err)
-			os.Exit(2)
+	for _, c := range checks {
+		dirs := flag.Args()
+		if len(dirs) == 0 {
+			dirs = c.dirs
 		}
-		for _, v := range vs {
-			fmt.Println(v)
-			bad = true
+		for _, dir := range dirs {
+			vs, err := c.run(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "diagcheck:", err)
+				os.Exit(2)
+			}
+			for _, v := range vs {
+				fmt.Printf("[%s] %s\n", c.name, v)
+				bad = true
+			}
 		}
 	}
 	if bad {

@@ -5,10 +5,14 @@
 // Inputs are specified as -in name=spec with specs dc:V, sine:AMP,FREQ,
 // step:V0,V1,T0 or ramp:SLOPE.
 //
-// With -assert, any "-- assert:" pragmas in the source are evaluated
-// against the simulated trace and the per-assertion verdicts printed; a
-// FAIL exits nonzero, and truncated traces resolve undecided assertions to
-// UNKNOWN rather than FAIL.
+// With -assert, any "-- assert:" pragmas in the source are first decided
+// statically by the value-range analysis: a property the abstract
+// interpreter proves holds for EVERY input waveform, so its runtime monitor
+// is skipped. The remaining assertions are evaluated against the simulated
+// trace and the per-assertion verdicts printed. A FAIL exits 1; a run whose
+// final verdicts include UNKNOWN (an undecided monitor on a truncated or
+// too-short trace) prints a distinct summary line and exits 3, so scripts
+// can tell "checked and passed" from "not decided".
 //
 // Usage:
 //
@@ -143,6 +147,36 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	// Static verdicts first: a proved assertion holds for every input
+	// waveform, so its runtime monitor is pure overhead and is skipped. A
+	// refuted or undecided assertion keeps its monitor — the run supplies
+	// the concrete witness (or stays undecided).
+	monitored := asserts
+	if len(asserts) > 0 {
+		ranges, err := d.RangesContext(ctx)
+		if err != nil {
+			fail(err)
+		}
+		monitored = monitored[:0:0]
+		proved := 0
+		for _, p := range ranges.CheckAll(asserts) {
+			fmt.Fprintf(os.Stderr, "assert: static %s: %s", strings.ToUpper(p.Verdict.String()), p.Assertion.Text)
+			if p.Reason != "" {
+				fmt.Fprintf(os.Stderr, " (%s)", p.Reason)
+			}
+			fmt.Fprintln(os.Stderr)
+			if p.Verdict == vase.StaticProve {
+				proved++
+				continue
+			}
+			monitored = append(monitored, p.Assertion)
+		}
+		if proved > 0 {
+			fmt.Fprintf(os.Stderr, "note: %d assertion(s) statically proved — monitors skipped\n", proved)
+		}
+	}
+
 	opts := vase.SimOptions{TStop: *tstop, TStep: *tstep, MaxSteps: *maxSteps}
 
 	writeCSV := func(tr *vase.Trace) {
@@ -170,7 +204,7 @@ func main() {
 		printTrace(tr, *every)
 		writeCSV(tr)
 		noteTruncated(tr.Truncated)
-		outcomes = assertlang.CheckTrace(asserts, tr)
+		outcomes = assertlang.CheckTrace(monitored, tr)
 	case "netlist":
 		arch, err := d.SynthesizeContext(ctx, vase.DefaultSynthesisOptions())
 		if err != nil {
@@ -183,7 +217,7 @@ func main() {
 		printTrace(tr, *every)
 		writeCSV(tr)
 		noteTruncated(tr.Truncated)
-		outcomes = assertlang.CheckTrace(asserts, tr)
+		outcomes = assertlang.CheckTrace(monitored, tr)
 	case "circuit":
 		arch, err := d.SynthesizeContext(ctx, vase.DefaultSynthesisOptions())
 		if err != nil {
@@ -199,7 +233,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "solver:", res.Stats)
 		}
 		noteTruncated(res.Tran.Truncated)
-		outcomes = assertlang.CheckTran(asserts, res.Elab, res.Tran)
+		outcomes = assertlang.CheckTran(monitored, res.Elab, res.Tran)
 	default:
 		fail(fmt.Errorf("unknown level %q", *level))
 	}
@@ -212,6 +246,22 @@ func main() {
 	if assertlang.Failed(outcomes) {
 		fail(fmt.Errorf("%d assertion(s) failed", countFails(outcomes)))
 	}
+	if n := countUnknown(outcomes); n > 0 {
+		// Distinct from both success (0) and failure (1): the run decided
+		// nothing either way for these assertions.
+		fmt.Fprintf(os.Stderr, "vasesim: %d assertion(s) undecided (UNKNOWN)\n", n)
+		os.Exit(3)
+	}
+}
+
+func countUnknown(outs []assertlang.Outcome) int {
+	n := 0
+	for _, o := range outs {
+		if o.Verdict == assertlang.Unknown {
+			n++
+		}
+	}
+	return n
 }
 
 func countFails(outs []assertlang.Outcome) int {

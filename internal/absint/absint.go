@@ -1,0 +1,524 @@
+// Package absint is an abstract interpreter over VHIF: a sound static
+// value-range analysis of the signal-flow graphs and the event interface.
+//
+// The analysis runs a Kleene fixpoint over an interval domain (with an
+// affine-form refinement for the feedback seen by dynamic elements),
+// iterating each graph's dataflow order until the per-net value hulls
+// stabilize. Cycles pass only through state elements (integrators,
+// filters, sample-and-hold stages, comparators — vhif.Graph.Validate
+// rejects algebraic loops), so each pass evaluates every combinational
+// block from already-computed inputs and re-estimates the state elements
+// from the previous iterate:
+//
+//   - DAE quantities (integrators, low-pass filters) are bounded by a
+//     contraction/equilibrium argument: the block's drive is decomposed
+//     into an affine form a + b·s over the block's own output s; when b
+//     is provably negative (the loop is damped) the state can never
+//     escape the hull of its initial value and the equilibrium set
+//     -a/b, which mirrors the generator's qState invariant.
+//   - Sample-and-hold output is always a past input sample (or the zero
+//     initial hold), so it is bounded by the hull of {0} and the input,
+//     with a discrete-contraction refinement for S/H iteration loops.
+//   - Event parts are branch-sensitive: comparators and Schmitt triggers
+//     evaluate to a three-valued truth (constant-true, constant-false or
+//     unknown) against their threshold and hysteresis band, and
+//     switches/muxes propagate only the branches their control can
+//     select.
+//
+// After MaxIter passes any still-rising bound is widened to infinity
+// (termination in at most two widening steps per bound); a short
+// narrowing phase then re-tightens bounds that widening overshot. Every
+// transfer function over-approximates the corresponding concrete
+// semantics in internal/sim — including its guarded division, clamped
+// exponential and ADC full-scale clipping — so the computed hulls contain
+// every value the behavioral simulator can produce for inputs inside the
+// declared port ranges (unannotated inputs are unbounded).
+package absint
+
+import (
+	"math"
+
+	"vase/internal/interval"
+	"vase/internal/vhif"
+)
+
+// Options tunes the fixpoint engine.
+type Options struct {
+	// MaxIter is the number of fixpoint passes run before widening kicks
+	// in (0 = default 8). Widening guarantees termination regardless.
+	MaxIter int
+	// Narrow is the number of narrowing passes run after stabilization
+	// (0 = default 2).
+	Narrow int
+}
+
+// Result holds the analysis facts for one module.
+type Result struct {
+	Module *vhif.Module
+	// Iterations is the total number of fixpoint passes run (including
+	// widening passes, excluding narrowing).
+	Iterations int
+	// Widened reports whether any bound had to be widened to infinity.
+	Widened bool
+
+	nets   map[*vhif.Net]interval.Interval
+	ctrl   map[*vhif.Net]interval.Tri
+	byName map[string]*vhif.Net
+}
+
+// Analyze runs the analysis with default options.
+func Analyze(m *vhif.Module) *Result { return AnalyzeWith(m, Options{}) }
+
+// AnalyzeWith runs the analysis on every graph of the module.
+func AnalyzeWith(m *vhif.Module, opts Options) *Result {
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 8
+	}
+	if opts.Narrow <= 0 {
+		opts.Narrow = 2
+	}
+	a := &analyzer{
+		m:    m,
+		opts: opts,
+		vals: map[*vhif.Net]interval.Interval{},
+		ctrl: map[*vhif.Net]interval.Tri{},
+		def:  map[*vhif.Net]bool{},
+	}
+	for _, g := range m.Graphs {
+		a.order = append(a.order, g.Topological()...)
+	}
+	a.run()
+	r := &Result{
+		Module:     m,
+		Iterations: a.iterations,
+		Widened:    a.widened,
+		nets:       a.vals,
+		ctrl:       a.ctrl,
+		byName:     map[string]*vhif.Net{},
+	}
+	// Mirror the simulator's probe resolution: every graph net by name,
+	// with output-port and control-link aliases overlaid, so an assertion
+	// signal resolves to exactly the net the runtime monitors observe.
+	for _, g := range m.Graphs {
+		for _, n := range g.Nets {
+			r.byName[n.Name] = n
+		}
+	}
+	for _, g := range m.Graphs {
+		for _, b := range g.Blocks {
+			if b.Kind == vhif.BOutput && len(b.Inputs) > 0 {
+				r.byName[b.Name] = b.Inputs[0]
+			}
+		}
+	}
+	for _, c := range m.Controls {
+		r.byName[c.Signal] = c.Net
+	}
+	return r
+}
+
+// Net returns the value hull of a net.
+func (r *Result) Net(n *vhif.Net) interval.Interval {
+	if v, ok := r.nets[n]; ok {
+		return v
+	}
+	return interval.Top()
+}
+
+// Ctrl returns the three-valued truth of a control net.
+func (r *Result) Ctrl(n *vhif.Net) interval.Tri {
+	if t, ok := r.ctrl[n]; ok {
+		return t
+	}
+	return interval.Maybe
+}
+
+// Signal resolves a runtime probe name (net, output port or control
+// signal — the same namespace the simulator's monitors observe) and
+// returns its value hull; ok is false for unknown names.
+func (r *Result) Signal(name string) (interval.Interval, bool) {
+	n, ok := r.byName[name]
+	if !ok {
+		return interval.Interval{}, false
+	}
+	return r.Net(n), true
+}
+
+// NetOf resolves a probe name to its net.
+func (r *Result) NetOf(name string) (*vhif.Net, bool) {
+	n, ok := r.byName[name]
+	return n, ok
+}
+
+// SignalHulls returns the value hull of every resolvable probe name — the
+// full namespace runtime monitors can observe. The map is freshly
+// allocated; iteration order is the caller's business.
+func (r *Result) SignalHulls() map[string]interval.Interval {
+	out := make(map[string]interval.Interval, len(r.byName))
+	for name, n := range r.byName { //vase:unordered (map-to-map copy)
+		out[name] = r.Net(n)
+	}
+	return out
+}
+
+// analyzer is the fixpoint engine. Nets absent from def are bottom
+// (unreached by the iteration so far); after the main loop any net still
+// at bottom resolves to Top / Maybe, which keeps the result sound for
+// structures the iteration cannot break (e.g. comparator-only cycles).
+type analyzer struct {
+	m     *vhif.Module
+	opts  Options
+	order []*vhif.Block
+
+	vals map[*vhif.Net]interval.Interval
+	ctrl map[*vhif.Net]interval.Tri
+	def  map[*vhif.Net]bool
+
+	iterations int
+	widened    bool
+}
+
+func (a *analyzer) run() {
+	a.ascend()
+	// Resolve bottoms: a net the iteration could not reach (cycles broken
+	// only by comparators, whose transfer is bottom-strict) gets no
+	// bound. Resolving to Top can raise other nets — ascend again from
+	// the now fully defined state so the result is a genuine fixpoint.
+	resolved := false
+	for _, b := range a.order {
+		if b.Out != nil && !a.def[b.Out] {
+			a.set(b.Out, interval.Top(), interval.Maybe)
+			resolved = true
+		}
+	}
+	if resolved {
+		a.ascend()
+	}
+	// Narrowing: re-run the transfer functions from the (sound) fixpoint.
+	// Every recomputation from sound inputs is itself sound, so the
+	// narrowed values may simply replace the widened ones.
+	for i := 0; i < a.opts.Narrow; i++ {
+		for _, b := range a.order {
+			if out, tri, ok := a.transfer(b); ok {
+				a.set(b.Out, out, tri)
+			}
+		}
+	}
+}
+
+// ascend runs fixpoint passes with delayed widening until stable.
+// Widening bounds every chain (each bound can only jump to infinity
+// once); the pass cap is a defensive backstop, never the expected exit.
+func (a *analyzer) ascend() {
+	maxPasses := a.opts.MaxIter + 2*countNets(a.m) + 4
+	for pass := 0; ; pass++ {
+		changed := a.pass(pass >= a.opts.MaxIter)
+		a.iterations++
+		if !changed {
+			break
+		}
+		if pass > maxPasses {
+			a.forceTop()
+			break
+		}
+	}
+}
+
+func countNets(m *vhif.Module) int {
+	n := 0
+	for _, g := range m.Graphs {
+		n += len(g.Nets)
+	}
+	return n
+}
+
+func (a *analyzer) forceTop() {
+	for _, b := range a.order {
+		if b.Out != nil {
+			a.set(b.Out, interval.Top(), interval.Maybe)
+		}
+	}
+}
+
+// pass runs one sweep over the dataflow order; widen applies interval
+// widening to any net still changing.
+func (a *analyzer) pass(widen bool) bool {
+	changed := false
+	for _, b := range a.order {
+		out, tri, ok := a.transfer(b)
+		if !ok || b.Out == nil {
+			continue
+		}
+		old, wasDef := a.vals[b.Out]
+		oldTri := a.ctrl[b.Out]
+		if wasDef && widen && out != old {
+			out = old.Widen(out)
+			a.widened = true
+		}
+		if wasDef && widen && b.Out.Control && tri != oldTri {
+			tri = interval.Maybe
+		}
+		if !wasDef || out != old || (b.Out.Control && tri != oldTri) {
+			changed = true
+		}
+		a.set(b.Out, out, tri)
+	}
+	return changed
+}
+
+func (a *analyzer) set(n *vhif.Net, v interval.Interval, t interval.Tri) {
+	if n == nil {
+		return
+	}
+	if n.Control {
+		a.ctrl[n] = t
+		a.vals[n] = triIv(t)
+	} else {
+		a.vals[n] = v
+	}
+	a.def[n] = true
+}
+
+// triIv is the numeric image of a control truth value (controls read as
+// analog values are 0/1 levels).
+func triIv(t interval.Tri) interval.Interval {
+	switch t {
+	case interval.True:
+		return interval.Point(1)
+	case interval.False:
+		return interval.Point(0)
+	}
+	return interval.Interval{Lo: 0, Hi: 1}
+}
+
+// in returns the value hull of a data input; ok=false at bottom.
+func (a *analyzer) in(b *vhif.Block, i int) (interval.Interval, bool) {
+	n := b.Inputs[i]
+	if n == nil || !a.def[n] {
+		return interval.Interval{}, false
+	}
+	return a.vals[n], true
+}
+
+// ctrlOf returns the three-valued truth of the block's control input.
+func (a *analyzer) ctrlOf(b *vhif.Block) (interval.Tri, bool) {
+	if b.Ctrl == nil || !a.def[b.Ctrl] {
+		return interval.Maybe, false
+	}
+	if !b.Ctrl.Control {
+		// An analog net used as control: the simulator thresholds at 0.5.
+		v := a.vals[b.Ctrl]
+		switch {
+		case v.Lo > 0.5:
+			return interval.True, true
+		case v.Hi <= 0.5:
+			return interval.False, true
+		}
+		return interval.Maybe, true
+	}
+	return a.ctrl[b.Ctrl], true
+}
+
+// transfer computes the output hull (and control truth) of one block
+// from the current iterate. ok=false keeps the output at bottom.
+func (a *analyzer) transfer(b *vhif.Block) (interval.Interval, interval.Tri, bool) {
+	iv := func(v interval.Interval) (interval.Interval, interval.Tri, bool) {
+		return v, interval.Maybe, true
+	}
+	bot := func() (interval.Interval, interval.Tri, bool) {
+		return interval.Interval{}, interval.Maybe, false
+	}
+	un := func(f func(interval.Interval) interval.Interval) (interval.Interval, interval.Tri, bool) {
+		x, ok := a.in(b, 0)
+		if !ok {
+			return bot()
+		}
+		return iv(f(x))
+	}
+	bin := func(f func(x, y interval.Interval) interval.Interval) (interval.Interval, interval.Tri, bool) {
+		x, ok := a.in(b, 0)
+		if !ok {
+			return bot()
+		}
+		y, ok := a.in(b, 1)
+		if !ok {
+			return bot()
+		}
+		return iv(f(x, y))
+	}
+
+	switch b.Kind {
+	case vhif.BOutput:
+		return bot()
+	case vhif.BInput:
+		if p := a.m.Port(b.Name); p != nil && p.RangeLo <= p.RangeHi && (p.RangeLo != 0 || p.RangeHi != 0) {
+			return iv(interval.Interval{Lo: p.RangeLo, Hi: p.RangeHi})
+		}
+		return iv(interval.Top())
+	case vhif.BConst:
+		if b.Out != nil && b.Out.Control {
+			return interval.Interval{}, interval.FromBool(b.Param > 0.5), true
+		}
+		return iv(interval.Point(b.Param))
+	case vhif.BGain:
+		return un(func(x interval.Interval) interval.Interval {
+			return x.Mul(interval.Point(b.Param))
+		})
+	case vhif.BAdd, vhif.BMul:
+		acc := interval.Point(0)
+		if b.Kind == vhif.BMul {
+			acc = interval.Point(1)
+		}
+		for i := range b.Inputs {
+			x, ok := a.in(b, i)
+			if !ok {
+				return bot()
+			}
+			if b.Kind == vhif.BAdd {
+				acc = acc.Add(x)
+			} else {
+				acc = acc.Mul(x)
+			}
+		}
+		return iv(acc)
+	case vhif.BSub:
+		return bin(interval.Interval.Sub)
+	case vhif.BNeg:
+		return un(interval.Interval.Neg)
+	case vhif.BDiv:
+		return bin(interval.Interval.Div)
+	case vhif.BLog:
+		return un(interval.Interval.Log)
+	case vhif.BExp:
+		return un(interval.Interval.Exp)
+	case vhif.BSqrt:
+		return un(interval.Interval.Sqrt)
+	case vhif.BSin:
+		return un(interval.Interval.Sin)
+	case vhif.BCos:
+		return un(interval.Interval.Cos)
+	case vhif.BAbs:
+		return un(interval.Interval.Abs)
+	case vhif.BMin:
+		return bin(interval.Interval.Min)
+	case vhif.BMax:
+		return bin(interval.Interval.Max)
+	case vhif.BSign:
+		return un(interval.Interval.SignHull)
+	case vhif.BLimiter:
+		lim := b.Param
+		if lim <= 0 {
+			lim = 1.5
+		}
+		// A limiter's output is bounded even for an unbounded input, but
+		// stays bottom until the input is reached so cycle detection via
+		// bottom keeps working.
+		return un(func(x interval.Interval) interval.Interval {
+			return x.Clamp(lim)
+		})
+	case vhif.BBuffer:
+		return un(func(x interval.Interval) interval.Interval { return x })
+	case vhif.BADC:
+		bits := b.Param
+		if bits <= 0 {
+			bits = 8
+		}
+		const fullScale = 2.5
+		q := fullScale / math.Exp2(bits-1)
+		return un(func(x interval.Interval) interval.Interval {
+			c := x.Clamp(fullScale)
+			return interval.Interval{
+				Lo: math.Max(-fullScale, c.Lo-q/2),
+				Hi: math.Min(fullScale, c.Hi+q/2),
+			}
+		})
+	case vhif.BDifferentiator:
+		// The backward difference divides by the (statically unknown)
+		// simulation step; no finite bound is sound.
+		if _, ok := a.in(b, 0); !ok {
+			return bot()
+		}
+		return iv(interval.Top())
+	case vhif.BSwitch:
+		x, xok := a.in(b, 0)
+		t, tok := a.ctrlOf(b)
+		if !tok {
+			return bot()
+		}
+		switch t {
+		case interval.False:
+			return iv(interval.Point(0)) // open switch outputs 0
+		case interval.True:
+			if !xok {
+				return bot()
+			}
+			return iv(x)
+		}
+		if !xok {
+			return bot()
+		}
+		return iv(x.Hull(interval.Point(0)))
+	case vhif.BMux:
+		t, tok := a.ctrlOf(b)
+		if !tok {
+			return bot()
+		}
+		x0, ok0 := a.in(b, 0)
+		x1, ok1 := a.in(b, 1)
+		switch t {
+		case interval.True:
+			if !ok0 {
+				return bot()
+			}
+			return iv(x0)
+		case interval.False:
+			if !ok1 {
+				return bot()
+			}
+			return iv(x1)
+		}
+		if !ok0 || !ok1 {
+			return bot()
+		}
+		return iv(x0.Hull(x1))
+	case vhif.BComparator, vhif.BSchmitt:
+		x, ok := a.in(b, 0)
+		if !ok {
+			return bot()
+		}
+		// The discrete state initializes to in(0) > threshold and can only
+		// flip by leaving the hysteresis band, so a hull strictly above
+		// (resp. at or below) the threshold pins the output.
+		switch {
+		case x.Lo > b.Param:
+			return interval.Interval{}, interval.True, true
+		case x.Hi <= b.Param:
+			return interval.Interval{}, interval.False, true
+		}
+		return interval.Interval{}, interval.Maybe, true
+	case vhif.BNot:
+		n := b.Inputs[0]
+		if n == nil || !a.def[n] {
+			return bot()
+		}
+		if n.Control {
+			return interval.Interval{}, a.ctrl[n].Not(), true
+		}
+		v := a.vals[n]
+		switch {
+		case v.Lo > 0.5:
+			return interval.Interval{}, interval.False, true
+		case v.Hi <= 0.5:
+			return interval.Interval{}, interval.True, true
+		}
+		return interval.Interval{}, interval.Maybe, true
+	case vhif.BIntegrator:
+		return a.integratorBound(b)
+	case vhif.BFilter:
+		return a.filterBound(b)
+	case vhif.BSampleHold:
+		return a.sampleHoldBound(b)
+	}
+	// Unknown kind: be sound.
+	return interval.Top(), interval.Maybe, true
+}

@@ -1,0 +1,288 @@
+package absint
+
+import (
+	"math"
+	"testing"
+
+	"vase/internal/interval"
+	"vase/internal/vhif"
+)
+
+// module wraps a single graph with the given input-port range
+// annotations (name -> [lo, hi]; absent names stay unbounded).
+func module(g *vhif.Graph, ranges map[string][2]float64) *vhif.Module {
+	m := &vhif.Module{Name: "t", Graphs: []*vhif.Graph{g}}
+	for _, b := range g.InputBlocks() {
+		p := &vhif.Port{Name: b.Name, Dir: vhif.DirIn, Kind: vhif.PortQuantity, Voltage: true}
+		if r, ok := ranges[b.Name]; ok {
+			p.RangeLo, p.RangeHi = r[0], r[1]
+		}
+		m.Ports = append(m.Ports, p)
+	}
+	return m
+}
+
+func TestCombinationalChain(t *testing.T) {
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	gain := g.AddBlock(vhif.BGain, "g", in.Out)
+	gain.Param = 3
+	neg := g.AddBlock(vhif.BNeg, "n", gain.Out)
+	sum := g.AddBlock(vhif.BAdd, "s", gain.Out, neg.Out)
+	r := Analyze(module(g, map[string][2]float64{"u": {-1, 2}}))
+
+	if got := r.Net(gain.Out); got != (interval.Interval{Lo: -3, Hi: 6}) {
+		t.Errorf("gain hull = %v", got)
+	}
+	// The interval domain cannot see that g + (-g) cancels; it must still
+	// be sound.
+	if got := r.Net(sum.Out); !((interval.Interval{Lo: 0, Hi: 0}).Within(got)) {
+		t.Errorf("sum hull %v does not contain 0", got)
+	}
+	if r.Widened {
+		t.Error("combinational chain should not widen")
+	}
+}
+
+func TestUnannotatedInputIsUnbounded(t *testing.T) {
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	gain := g.AddBlock(vhif.BGain, "g", in.Out)
+	gain.Param = 2
+	r := Analyze(module(g, nil))
+	if got := r.Net(gain.Out); !got.IsTop() {
+		t.Errorf("gain of unbounded input = %v, want Top", got)
+	}
+}
+
+func TestLimiterBoundsUnboundedInput(t *testing.T) {
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	lim := g.AddBlock(vhif.BLimiter, "l", in.Out)
+	lim.Param = 1.5
+	r := Analyze(module(g, nil))
+	if got := r.Net(lim.Out); got != (interval.Interval{Lo: -1.5, Hi: 1.5}) {
+		t.Errorf("limiter hull = %v, want [-1.5, 1.5]", got)
+	}
+}
+
+func TestIntegratorContraction(t *testing.T) {
+	// s' = k*(u - s): a contracting lag; s must stay inside
+	// hull({0}, range(u)) = [0, 2].
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	integ := g.AddBlock(vhif.BIntegrator, "s", nil)
+	diff := g.AddBlock(vhif.BSub, "d", in.Out, integ.Out)
+	gain := g.AddBlock(vhif.BGain, "k", diff.Out)
+	gain.Param = 3
+	integ.Inputs[0] = gain.Out
+	gain.Out.Readers = append(gain.Out.Readers, integ)
+
+	r := Analyze(module(g, map[string][2]float64{"u": {0, 2}}))
+	got := r.Net(integ.Out)
+	want := interval.Interval{Lo: 0, Hi: 2}
+	if got != want {
+		t.Errorf("contracting state hull = %v, want %v", got, want)
+	}
+	if r.Widened {
+		t.Error("contracting loop should not widen")
+	}
+}
+
+func TestIntegratorRamp(t *testing.T) {
+	// s' = u with u >= 1: a ramp; only the one-sided bound is sound.
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	integ := g.AddBlock(vhif.BIntegrator, "s", in.Out)
+	r := Analyze(module(g, map[string][2]float64{"u": {1, 2}}))
+	got := r.Net(integ.Out)
+	if got.Lo != 0 || !math.IsInf(got.Hi, 1) {
+		t.Errorf("ramp hull = %v, want [0, +Inf)", got)
+	}
+}
+
+func TestIntegratorExpansiveIsTop(t *testing.T) {
+	// s' = +2s: expansive feedback; no finite bound is sound.
+	g := vhif.NewGraph("main")
+	integ := g.AddBlock(vhif.BIntegrator, "s", nil)
+	gain := g.AddBlock(vhif.BGain, "k", integ.Out)
+	gain.Param = 2
+	integ.Inputs[0] = gain.Out
+	gain.Out.Readers = append(gain.Out.Readers, integ)
+	r := Analyze(module(g, nil))
+	if got := r.Net(integ.Out); !got.IsTop() {
+		t.Errorf("expansive state hull = %v, want Top", got)
+	}
+}
+
+func TestBranchSensitivityMux(t *testing.T) {
+	// The comparator input [2, 3] is strictly above the threshold 1, so
+	// the control is constant-true and the mux can only select its first
+	// input: the hull must be {5}, not [-5, 5].
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	cmp := g.AddBlock(vhif.BComparator, "c", in.Out)
+	cmp.Param = 1
+	c5 := g.AddBlock(vhif.BConst, "p5")
+	c5.Param = 5
+	cm5 := g.AddBlock(vhif.BConst, "m5")
+	cm5.Param = -5
+	mux := g.AddBlock(vhif.BMux, "m", c5.Out, cm5.Out)
+	mux.SetCtrl(g, cmp.Out)
+
+	r := Analyze(module(g, map[string][2]float64{"u": {2, 3}}))
+	if got := r.Ctrl(cmp.Out); got != interval.True {
+		t.Errorf("comparator truth = %v, want true", got)
+	}
+	if got := r.Net(mux.Out); got != interval.Point(5) {
+		t.Errorf("mux hull = %v, want {5}", got)
+	}
+}
+
+func TestBranchSensitivitySwitchAndNot(t *testing.T) {
+	// Input [−3, −2] is at or below the threshold 0: constant-false.
+	// The switch outputs 0; through BNot the inverted control is
+	// constant-true and the second switch passes its input.
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	cmp := g.AddBlock(vhif.BSchmitt, "c", in.Out)
+	cmp.Param = 0
+	cmp.Hyst = 0.1
+	sw := g.AddBlock(vhif.BSwitch, "sw", in.Out)
+	sw.SetCtrl(g, cmp.Out)
+	inv := g.AddBlock(vhif.BNot, "inv", cmp.Out)
+	sw2 := g.AddBlock(vhif.BSwitch, "sw2", in.Out)
+	sw2.SetCtrl(g, inv.Out)
+
+	r := Analyze(module(g, map[string][2]float64{"u": {-3, -2}}))
+	if got := r.Ctrl(cmp.Out); got != interval.False {
+		t.Errorf("schmitt truth = %v, want false", got)
+	}
+	if got := r.Net(sw.Out); got != interval.Point(0) {
+		t.Errorf("open switch hull = %v, want {0}", got)
+	}
+	if got := r.Net(sw2.Out); got != (interval.Interval{Lo: -3, Hi: -2}) {
+		t.Errorf("closed switch hull = %v, want input", got)
+	}
+}
+
+func TestMaybeControlHullsBothBranches(t *testing.T) {
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	cmp := g.AddBlock(vhif.BComparator, "c", in.Out)
+	cmp.Param = 0
+	c5 := g.AddBlock(vhif.BConst, "p5")
+	c5.Param = 5
+	cm5 := g.AddBlock(vhif.BConst, "m5")
+	cm5.Param = -5
+	mux := g.AddBlock(vhif.BMux, "m", c5.Out, cm5.Out)
+	mux.SetCtrl(g, cmp.Out)
+	r := Analyze(module(g, map[string][2]float64{"u": {-1, 1}}))
+	if got := r.Ctrl(cmp.Out); got != interval.Maybe {
+		t.Errorf("comparator truth = %v, want maybe", got)
+	}
+	if got := r.Net(mux.Out); got != (interval.Interval{Lo: -5, Hi: 5}) {
+		t.Errorf("mux hull = %v, want [-5, 5]", got)
+	}
+}
+
+func TestWideningTerminatesGrowingLoop(t *testing.T) {
+	// Two cross-coupled sample-and-hold stages with gain 2 in the loop:
+	// the concrete iteration diverges geometrically, so the ascending
+	// analysis keeps growing until widening forces the hulls to
+	// infinity. The test is that Analyze terminates at all (in a bounded
+	// number of passes) and reports the widening.
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	sh1 := g.AddBlock(vhif.BSampleHold, "sh1", nil)
+	sh2 := g.AddBlock(vhif.BSampleHold, "sh2", nil)
+	g1 := g.AddBlock(vhif.BGain, "g1", sh2.Out)
+	g1.Param = 2
+	add := g.AddBlock(vhif.BAdd, "a", in.Out, g1.Out)
+	sh1.Inputs[0] = add.Out
+	add.Out.Readers = append(add.Out.Readers, sh1)
+	g2 := g.AddBlock(vhif.BGain, "g2", sh1.Out)
+	g2.Param = 2
+	sh2.Inputs[0] = g2.Out
+	g2.Out.Readers = append(g2.Out.Readers, sh2)
+
+	opts := Options{MaxIter: 4}
+	r := AnalyzeWith(module(g, map[string][2]float64{"u": {1, 1}}), opts)
+	if !r.Widened {
+		t.Error("diverging loop did not widen")
+	}
+	if r.Iterations > 4+2*6+4+1 {
+		t.Errorf("widening did not terminate promptly: %d passes", r.Iterations)
+	}
+	if got := r.Net(sh1.Out); got.Hi != math.Inf(1) {
+		t.Errorf("diverging state hull = %v, want +Inf upper bound", got)
+	}
+}
+
+func TestSampleHoldContractionLoop(t *testing.T) {
+	// sh_{k+1} = 0.5*sh_k + u with |u| <= 1: discrete contraction; the
+	// affine refinement bounds the iteration by |A|/(1-|B|) = 2.
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	sh := g.AddBlock(vhif.BSampleHold, "sh", nil)
+	half := g.AddBlock(vhif.BGain, "h", sh.Out)
+	half.Param = 0.5
+	add := g.AddBlock(vhif.BAdd, "a", in.Out, half.Out)
+	sh.Inputs[0] = add.Out
+	add.Out.Readers = append(add.Out.Readers, sh)
+
+	r := Analyze(module(g, map[string][2]float64{"u": {-1, 1}}))
+	got := r.Net(sh.Out)
+	if !got.Bounded() || got.MaxAbs() > 2+1e-9 {
+		t.Errorf("contracting S/H hull = %v, want within [-2, 2]", got)
+	}
+	if r.Widened && got.IsTop() {
+		t.Errorf("contraction refinement failed to rescue the widened loop")
+	}
+}
+
+func TestFilterLowPassBound(t *testing.T) {
+	g := vhif.NewGraph("main")
+	in := g.AddBlock(vhif.BInput, "u")
+	f := g.AddBlock(vhif.BFilter, "f", in.Out)
+	f.Param = 1e3 // low-pass corner
+	r := Analyze(module(g, map[string][2]float64{"u": {-2, 5}}))
+	want := interval.Interval{Lo: -2, Hi: 5}
+	if got := r.Net(f.Out); got != want {
+		t.Errorf("low-pass hull = %v, want %v", got, want)
+	}
+	// Band-pass has no sound static envelope.
+	g2 := vhif.NewGraph("main")
+	in2 := g2.AddBlock(vhif.BInput, "u")
+	bp := g2.AddBlock(vhif.BFilter, "bp", in2.Out)
+	bp.Param, bp.Param2 = 2e3, 1e3
+	r2 := Analyze(module(g2, map[string][2]float64{"u": {-1, 1}}))
+	if got := r2.Net(bp.Out); !got.IsTop() {
+		t.Errorf("band-pass hull = %v, want Top", got)
+	}
+}
+
+func TestComparatorCycleStaysSound(t *testing.T) {
+	// A comparator watching the mux it controls: the bottom-strict
+	// comparator transfer cannot break the cycle, so the resolver must
+	// fall back to Maybe / hull-of-branches instead of leaving bottoms.
+	g := vhif.NewGraph("main")
+	c1 := g.AddBlock(vhif.BConst, "c1")
+	c1.Param = 1
+	c2 := g.AddBlock(vhif.BConst, "c2")
+	c2.Param = -1
+	cmp := g.AddBlock(vhif.BComparator, "c", nil)
+	cmp.Param = 0
+	mux := g.AddBlock(vhif.BMux, "m", c1.Out, c2.Out)
+	mux.SetCtrl(g, cmp.Out)
+	cmp.Inputs = []*vhif.Net{mux.Out}
+	mux.Out.Readers = append(mux.Out.Readers, cmp)
+
+	r := Analyze(module(g, nil))
+	if got := r.Ctrl(cmp.Out); got != interval.Maybe {
+		t.Errorf("cyclic comparator truth = %v, want maybe", got)
+	}
+	if got := r.Net(mux.Out); !((interval.Interval{Lo: -1, Hi: 1}).Within(got)) {
+		t.Errorf("cyclic mux hull = %v, want to contain [-1, 1]", got)
+	}
+}

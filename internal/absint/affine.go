@@ -1,0 +1,201 @@
+package absint
+
+import (
+	"math"
+
+	"vase/internal/interval"
+	"vase/internal/vhif"
+)
+
+// aff is an affine form a + b·s over a single state symbol s: for every
+// time t and every state value s, the decomposed net's value lies in
+// A + B·s. The coefficient intervals absorb everything that is not a
+// linear function of s (other inputs, nonlinear terms), so the form is
+// exact through gain/sum chains and degrades gracefully elsewhere.
+type aff struct{ a, b interval.Interval }
+
+func affConst(v interval.Interval) aff {
+	return aff{a: v, b: interval.Point(0)}
+}
+
+// affineOf decomposes the value of net n into an affine form over the
+// state symbol sym (a state element's output net). The recursion walks
+// drivers through combinational blocks only — cycles pass exclusively
+// through state elements, whose outputs (other than sym itself) are cut
+// off at their current interval — so it terminates on any valid graph.
+// ok=false means some contributing net is still at bottom.
+func (an *analyzer) affineOf(n *vhif.Net, sym *vhif.Net) (aff, bool) {
+	if n == sym {
+		return aff{a: interval.Point(0), b: interval.Point(1)}, true
+	}
+	d := n.Driver
+	if d == nil {
+		if !an.def[n] {
+			return aff{}, false
+		}
+		return affConst(an.vals[n]), true
+	}
+	switch d.Kind {
+	case vhif.BGain:
+		x, ok := an.affineOf(d.Inputs[0], sym)
+		if !ok {
+			return aff{}, false
+		}
+		k := interval.Point(d.Param)
+		return aff{a: x.a.Mul(k), b: x.b.Mul(k)}, true
+	case vhif.BNeg:
+		x, ok := an.affineOf(d.Inputs[0], sym)
+		if !ok {
+			return aff{}, false
+		}
+		return aff{a: x.a.Neg(), b: x.b.Neg()}, true
+	case vhif.BBuffer:
+		return an.affineOf(d.Inputs[0], sym)
+	case vhif.BAdd:
+		acc := aff{a: interval.Point(0), b: interval.Point(0)}
+		for _, in := range d.Inputs {
+			x, ok := an.affineOf(in, sym)
+			if !ok {
+				return aff{}, false
+			}
+			acc = aff{a: acc.a.Add(x.a), b: acc.b.Add(x.b)}
+		}
+		return acc, true
+	case vhif.BSub:
+		x, ok := an.affineOf(d.Inputs[0], sym)
+		if !ok {
+			return aff{}, false
+		}
+		y, ok := an.affineOf(d.Inputs[1], sym)
+		if !ok {
+			return aff{}, false
+		}
+		return aff{a: x.a.Sub(y.a), b: x.b.Sub(y.b)}, true
+	case vhif.BMul:
+		// (a1 + b1·s)·c is affine when at most one factor depends on s;
+		// the others contribute their interval hulls. A second
+		// s-dependent factor collapses the whole product to its hull.
+		acc := aff{a: interval.Point(1), b: interval.Point(0)}
+		for _, in := range d.Inputs {
+			x, ok := an.affineOf(in, sym)
+			if !ok {
+				return aff{}, false
+			}
+			accDep := acc.b != interval.Point(0)
+			xDep := x.b != interval.Point(0)
+			switch {
+			case accDep && xDep:
+				if !an.def[n] {
+					return aff{}, false
+				}
+				return affConst(an.vals[n]), true
+			case xDep:
+				// acc is a pure interval: scale x by it.
+				acc = aff{a: x.a.Mul(acc.a), b: x.b.Mul(acc.a)}
+			default:
+				acc = aff{a: acc.a.Mul(x.a), b: acc.b.Mul(x.a)}
+			}
+		}
+		return acc, true
+	}
+	// Nonlinear or stateful: cut off at the net's current hull.
+	if !an.def[n] {
+		return aff{}, false
+	}
+	return affConst(an.vals[n]), true
+}
+
+// integratorBound bounds an integrator s with s(0) = 0 and s' equal to
+// the input net, decomposed as s' in A + B·s:
+//
+//   - B < 0 strictly: the loop is a contraction; by the differential
+//     inequality s can never leave the hull of {s(0)} and the
+//     equilibrium set -A/B = A/(-B).
+//   - B = {0} (drive independent of s): the integral is monotone in the
+//     drive's sign — a one-sided or zero drive gives a half-bounded (or
+//     zero) ramp; a sign-varying drive is unbounded.
+//   - otherwise the feedback can be expansive: no finite bound is sound.
+func (an *analyzer) integratorBound(b *vhif.Block) (interval.Interval, interval.Tri, bool) {
+	x, ok := an.affineOf(b.Inputs[0], b.Out)
+	if !ok {
+		// Drive still at bottom: only the initial condition is known.
+		return interval.Point(0), interval.Maybe, true
+	}
+	if x.b.Hi < 0 {
+		if eq, ok := x.a.DivStrict(x.b.Neg()); ok {
+			return eq.Hull(interval.Point(0)), interval.Maybe, true
+		}
+	}
+	if x.b == interval.Point(0) {
+		switch {
+		case x.a == interval.Point(0):
+			return interval.Point(0), interval.Maybe, true
+		case x.a.Lo >= 0:
+			return interval.Interval{Lo: 0, Hi: math.Inf(1)}, interval.Maybe, true
+		case x.a.Hi <= 0:
+			return interval.Interval{Lo: math.Inf(-1), Hi: 0}, interval.Maybe, true
+		}
+	}
+	return interval.Top(), interval.Maybe, true
+}
+
+// filterBound bounds a BFilter. The low-pass realizes y' = wc·(u - y)
+// with y(0) = 0: with u in A + B·y this is y' = wc·(A + (B-1)·y), a
+// contraction whenever wc > 0 and B < 1, bounded by hull({0}, A/(1-B)).
+// The band-pass biquad carries two states whose envelope depends on the
+// (statically unknown) input spectrum; it stays unbounded.
+func (an *analyzer) filterBound(b *vhif.Block) (interval.Interval, interval.Tri, bool) {
+	if b.Param2 > 0 { // band-pass
+		if _, ok := an.in(b, 0); !ok {
+			return interval.Point(0), interval.Maybe, true
+		}
+		return interval.Top(), interval.Maybe, true
+	}
+	if b.Param <= 0 {
+		// Non-positive corner: the lag is not contracting.
+		return interval.Top(), interval.Maybe, true
+	}
+	x, ok := an.affineOf(b.Inputs[0], b.Out)
+	if !ok {
+		return interval.Point(0), interval.Maybe, true
+	}
+	bEff := x.b.Sub(interval.Point(1))
+	if bEff.Hi < 0 {
+		if eq, ok := x.a.DivStrict(bEff.Neg()); ok {
+			return eq.Hull(interval.Point(0)), interval.Maybe, true
+		}
+	}
+	return interval.Top(), interval.Maybe, true
+}
+
+// sampleHoldBound bounds a sample-and-hold: the output is always either
+// the zero initial hold or a past input sample, so hull({0}, input) is
+// sound whenever the input has a bound. For S/H iteration loops (the
+// input depends on the S/H's own output) a discrete contraction
+// refinement applies: with input in A + B·x and |B| < 1 the iteration
+// x_{k+1} = a + b·x_k from x_0 = 0 stays inside ±|A|/(1-|B|).
+func (an *analyzer) sampleHoldBound(b *vhif.Block) (interval.Interval, interval.Tri, bool) {
+	in, inOK := an.in(b, 0)
+	var plain interval.Interval
+	havePlain := false
+	if inOK {
+		plain = in.Hull(interval.Point(0))
+		havePlain = true
+	}
+	if x, ok := an.affineOf(b.Inputs[0], b.Out); ok {
+		if bm := x.b.MaxAbs(); bm < 1 {
+			m := x.a.MaxAbs() / (1 - bm)
+			contr := interval.Interval{Lo: -m, Hi: m}
+			if havePlain {
+				if meet, ok := plain.Intersect(contr); ok {
+					return meet, interval.Maybe, true
+				}
+			}
+			return contr, interval.Maybe, true
+		}
+	}
+	if havePlain {
+		return plain, interval.Maybe, true
+	}
+	return interval.Point(0), interval.Maybe, true
+}

@@ -1,0 +1,100 @@
+package absint
+
+import (
+	"fmt"
+	"strings"
+
+	"vase/internal/assertlang"
+	"vase/internal/interval"
+)
+
+// Verdict is the static outcome for one assertion.
+type Verdict int
+
+// Static verdicts. The soundness contract against the runtime monitors
+// (assertlang.Verdict) is:
+//
+//	Prove  ⇒ the runtime verdict is Pass or Unknown, never Fail
+//	Refute ⇒ the runtime verdict is Fail or Unknown, never Pass
+//
+// Unknown makes no claim. The differential campaign in cmd/vasegen
+// (-modes static) enforces exactly this contract at corpus scale.
+const (
+	Unknown Verdict = iota
+	Prove
+	Refute
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Prove:
+		return "prove"
+	case Refute:
+		return "refute"
+	}
+	return "unknown"
+}
+
+// Property pairs an assertion with its static verdict.
+type Property struct {
+	Assertion *assertlang.Assertion
+	Verdict   Verdict
+	// Reason summarizes the range facts the verdict rests on, e.g.
+	// "earph in [-1.5, 1.5]".
+	Reason string
+}
+
+// Check statically evaluates one assertion against the computed hulls.
+func (r *Result) Check(a *assertlang.Assertion) Property {
+	return CheckWith(a, r.Signal)
+}
+
+// CheckAll statically evaluates a set of assertions.
+func (r *Result) CheckAll(as []*assertlang.Assertion) []Property {
+	out := make([]Property, len(as))
+	for i, a := range as {
+		out[i] = r.Check(a)
+	}
+	return out
+}
+
+// CheckWith evaluates an assertion against an arbitrary signal-hull
+// environment (e.g. a cached range table instead of a live Result).
+//
+// The predicate is evaluated three-valuedly over the hulls. Because a
+// hull covers every sample of the run, a True predicate holds at every
+// sample and a False predicate fails at every sample; the verdict per
+// form follows:
+//
+//	always     True → Prove (holds everywhere)   False → Refute (first sample fails)
+//	eventually True → Prove (first sample is in any positive window)
+//	           False → Refute (no sample can ever satisfy it)
+//	recurrence True → Prove (no gap at all)      False → Refute (never satisfied)
+func CheckWith(a *assertlang.Assertion, env func(string) (interval.Interval, bool)) Property {
+	tri := a.StaticEval(env)
+	p := Property{Assertion: a, Reason: reasonFor(a, env)}
+	switch tri {
+	case interval.True:
+		p.Verdict = Prove
+	case interval.False:
+		p.Verdict = Refute
+	default:
+		p.Verdict = Unknown
+	}
+	return p
+}
+
+// reasonFor renders the signal hulls the verdict was decided on.
+func reasonFor(a *assertlang.Assertion, env func(string) (interval.Interval, bool)) string {
+	parts := make([]string, 0, len(a.Signals))
+	for _, s := range a.Signals {
+		v, ok := env(s)
+		if !ok {
+			parts = append(parts, s+" unresolved")
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s in [%g, %g]", s, v.Lo, v.Hi))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,85 @@
+package assertlang
+
+import "vase/internal/interval"
+
+// StaticEval evaluates the assertion's predicate three-valuedly over
+// per-signal value hulls: interval.True means the predicate holds for
+// every combination of signal values inside the hulls (hence at every
+// sample of any run the hulls are sound for), interval.False means it
+// fails for every combination, and interval.Maybe means the hulls cannot
+// decide it.
+//
+// env returns the value hull of a signal over the whole run; ok=false
+// marks a signal the analysis cannot bound (the result degrades to
+// Maybe). Division is the language's raw "/" (not the simulator's guarded
+// division), so a denominator hull containing zero also degrades to
+// Maybe.
+func (a *Assertion) StaticEval(env func(name string) (interval.Interval, bool)) interval.Tri {
+	return staticPred(a.Pred, env)
+}
+
+func staticExpr(e Expr, env func(string) (interval.Interval, bool)) (interval.Interval, bool) {
+	switch e := e.(type) {
+	case numExpr:
+		return interval.Point(float64(e)), true
+	case sigExpr:
+		return env(string(e))
+	case *unaryExpr:
+		x, ok := staticExpr(e.x, env)
+		if !ok {
+			return interval.Interval{}, false
+		}
+		if e.op == "abs" {
+			return x.Abs(), true
+		}
+		return x.Neg(), true
+	case *binExpr:
+		x, ok := staticExpr(e.x, env)
+		if !ok {
+			return interval.Interval{}, false
+		}
+		y, ok := staticExpr(e.y, env)
+		if !ok {
+			return interval.Interval{}, false
+		}
+		switch e.op {
+		case "+":
+			return x.Add(y), true
+		case "-":
+			return x.Sub(y), true
+		case "*":
+			return x.Mul(y), true
+		case "/":
+			return x.DivStrict(y)
+		case "min":
+			return x.Min(y), true
+		case "max":
+			return x.Max(y), true
+		}
+	}
+	return interval.Interval{}, false
+}
+
+func staticPred(p Pred, env func(string) (interval.Interval, bool)) interval.Tri {
+	switch p := p.(type) {
+	case *cmpPred:
+		x, ok := staticExpr(p.x, env)
+		if !ok {
+			return interval.Maybe
+		}
+		y, ok := staticExpr(p.y, env)
+		if !ok {
+			return interval.Maybe
+		}
+		return interval.Cmp(x, p.op, y)
+	case *boolPred:
+		x, y := staticPred(p.x, env), staticPred(p.y, env)
+		if p.op == "and" {
+			return x.And(y)
+		}
+		return x.Or(y)
+	case *notPred:
+		return staticPred(p.x, env).Not()
+	}
+	return interval.Maybe
+}

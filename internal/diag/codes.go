@@ -109,7 +109,8 @@ var (
 
 // Lint diagnostics (VASS05xx). Grouped by analyzer: 050x unused, 051x FSM
 // states, 052x algebraic loops, 053x dimensions, 054x division, 055x ranges,
-// 056x annotations, 057x subset conformance.
+// 056x annotations, 057x subset conformance, 058x value-range analysis
+// (abstract interpretation).
 var (
 	CodeUnusedObject     = reg("VASS0501", Warning, "object is declared but never used")
 	CodeWriteOnlySignal  = reg("VASS0502", Info, "signal is written but never read")
@@ -132,4 +133,9 @@ var (
 	CodeSubsetComposite  = reg("VASS0573", Warning, "composite types compile only element-wise")
 	CodeSubsetPortMode   = reg("VASS0574", Error, "port mode outside the VASS subset")
 	CodeSubsetDerivative = reg("VASS0575", Error, "derivative form outside the VASS subset")
+	CodeAssertViolated   = reg("VASS0581", Error, "assertion is statically violated for every admissible input")
+	CodeAssertVacuous    = reg("VASS0582", Info, "assertion is vacuous: it decides without observing any signal")
+	CodeDeadBranch       = reg("VASS0583", Warning, "event branch is statically unreachable")
+	CodeDeadNet          = reg("VASS0584", Warning, "net is computed but can never influence an output")
+	CodeSaturation       = reg("VASS0585", Warning, "signal range exceeds the library cell output headroom")
 )

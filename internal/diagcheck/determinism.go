@@ -1,0 +1,244 @@
+package diagcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// EnginePackages are the package directories (relative to the repository
+// root) whose outputs must be pure functions of their inputs: the paper's
+// reproducibility claims (bitwise-identical netlists at any worker count,
+// content-addressed caching, shrinkable fuzz reproducers) all rest on it.
+// The determinism analyzer bans wall-clock reads and unordered map
+// iteration in these packages unless a site is explicitly annotated.
+var EnginePackages = []string{
+	"internal/absint",
+	"internal/estimate",
+	"internal/gen",
+	"internal/mapper",
+	"internal/mna",
+	"internal/netlist",
+	"internal/pipeline",
+	"internal/sim",
+	"internal/vhif",
+}
+
+// Escape-hatch directives. A directive on the offending line, or on the
+// line directly above it, suppresses the finding — the annotation is the
+// reviewable record that the site was judged deliberately.
+const (
+	// WalltimeDirective marks a deliberate wall-clock read: anytime
+	// plumbing (deadlines, budgets) and telemetry (stats counters) may
+	// observe real time because their output is advisory, never part of a
+	// deterministic artifact.
+	WalltimeDirective = "//vase:walltime"
+	// UnorderedDirective marks a map-range loop whose body is order
+	// insensitive (commutative accumulation, per-key writes) even though
+	// the enclosing function never sorts.
+	UnorderedDirective = "//vase:unordered"
+)
+
+// wallclock maps banned "pkg.Func" selectors to the reason.
+var wallclock = map[string]string{
+	"time.Now":   "engine output must not depend on the wall clock; annotate anytime/telemetry plumbing with " + WalltimeDirective,
+	"time.Since": "engine output must not depend on the wall clock; annotate anytime/telemetry plumbing with " + WalltimeDirective,
+}
+
+// sortCalls are the selector calls that establish a deterministic order in
+// the enclosing function, licensing its map-range loops.
+var sortCalls = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+	"slices.Sorted": true, "slices.SortedFunc": true,
+}
+
+// CheckDeterminismDir type-checks one package directory (non-test files
+// only) and reports wall-clock reads and unguarded map-range loops. The
+// type information comes from the standard library's source importer, so
+// the check needs no compiled export data and no external analysis
+// framework.
+func CheckDeterminismDir(dir string) ([]Violation, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// Lenient type check: collect expression types, swallow errors. An
+	// unresolvable expression simply isn't flagged — the analyzer must
+	// never fail a build the compiler accepts.
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {},
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	_, _ = conf.Check(dir, fset, files, info)
+
+	var out []Violation
+	for _, f := range files {
+		out = append(out, checkDeterminismFile(fset, f, info)...)
+	}
+	sortViolations(out)
+	return out, nil
+}
+
+// checkDeterminismFile walks one file's top-level declarations. Findings
+// are attributed per enclosing function so a sort call anywhere in the
+// function licenses its map ranges.
+func checkDeterminismFile(fset *token.FileSet, f *ast.File, info *types.Info) []Violation {
+	directives := directiveLines(fset, f)
+	allowed := func(directive string, pos token.Pos) bool {
+		line := fset.Position(pos).Line
+		return directives[directive][line] || directives[directive][line-1]
+	}
+	aliases := importAliases(f)
+	selector := func(call *ast.CallExpr) string {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		pkgPath, ok := aliases[ident.Name]
+		if !ok {
+			return ""
+		}
+		return pkgPath + "." + sel.Sel.Name
+	}
+
+	var out []Violation
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		sorted := false
+		var clocks []*ast.CallExpr
+		var mapRanges []*ast.RangeStmt
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				key := selector(n)
+				if sortCalls[key] {
+					sorted = true
+				}
+				if _, banned := wallclock[key]; banned {
+					clocks = append(clocks, n)
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					mapRanges = append(mapRanges, n)
+				}
+			}
+			return true
+		})
+		for _, call := range clocks {
+			if allowed(WalltimeDirective, call.Pos()) {
+				continue
+			}
+			key := selector(call)
+			out = append(out, Violation{
+				Pos:    fset.Position(call.Pos()),
+				Call:   key,
+				Reason: wallclock[key],
+			})
+		}
+		if sorted {
+			// The function establishes an explicit order somewhere; its
+			// map iterations are taken as feeding that normalization.
+			continue
+		}
+		for _, rs := range mapRanges {
+			if allowed(UnorderedDirective, rs.Pos()) {
+				continue
+			}
+			out = append(out, Violation{
+				Pos:  fset.Position(rs.Pos()),
+				Call: "range over map",
+				Reason: fmt.Sprintf("map iteration order is random and %s never sorts; "+
+					"sort the keys before ordered output, or annotate an order-insensitive loop with %s",
+					fn.Name.Name, UnorderedDirective),
+			})
+		}
+	}
+	return out
+}
+
+// importAliases maps local import names to package paths, resolving
+// aliases the same way the diagnostics checker does.
+func importAliases(f *ast.File) map[string]string {
+	aliases := map[string]string{}
+	for _, imp := range f.Imports {
+		pathVal := strings.Trim(imp.Path.Value, `"`)
+		name := pathVal[strings.LastIndex(pathVal, "/")+1:]
+		if imp.Name != nil && imp.Name.Name != "_" && imp.Name.Name != "." {
+			name = imp.Name.Name
+		}
+		aliases[name] = pathVal
+	}
+	return aliases
+}
+
+// directiveLines indexes, per directive, the source lines carrying it
+// (trailing comments and full-line comments alike).
+func directiveLines(fset *token.FileSet, f *ast.File) map[string]map[int]bool {
+	out := map[string]map[int]bool{
+		WalltimeDirective:  {},
+		UnorderedDirective: {},
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for directive, lines := range out {
+				if strings.HasPrefix(c.Text, directive) {
+					lines[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckDeterminismAll runs CheckDeterminismDir over every engine package
+// under root.
+func CheckDeterminismAll(root string) ([]Violation, error) {
+	var out []Violation
+	for _, pkg := range EnginePackages {
+		vs, err := CheckDeterminismDir(filepath.Join(root, pkg))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	sortViolations(out)
+	return out, nil
+}

@@ -70,3 +70,91 @@ func TestCheckDirMissing(t *testing.T) {
 		t.Error("expected an error for a missing directory")
 	}
 }
+
+// TestEnginePackagesDeterministic is the enforcement test for the
+// determinism analyzer: engine packages read no wall clock and iterate no
+// map into ordered output without an explicit, reviewable annotation.
+func TestEnginePackagesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every engine package from source")
+	}
+	vs, err := CheckDeterminismAll(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestSeededDeterminismViolations proves the determinism checker fires and
+// that every escape hatch works: the walltime directive, the unordered
+// directive, and a sort call in the enclosing function.
+func TestSeededDeterminismViolations(t *testing.T) {
+	dir := t.TempDir()
+	seed := `package engine
+
+import (
+	"sort"
+	"time"
+)
+
+func clockBad() time.Time { return time.Now() }
+
+func clockAllowed() time.Time {
+	return time.Now() //vase:walltime (deadline plumbing)
+}
+
+func rangeBad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func rangeSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rangeAnnotated(m map[string]int) int {
+	n := 0
+	for _, v := range m { //vase:unordered (commutative sum of ints)
+		n += v
+	}
+	return n
+}
+
+func rangeSlice(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "engine.go"), []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := CheckDeterminismDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("expected exactly the two seeded violations, got %d: %v", len(vs), vs)
+	}
+	if vs[0].Call != "time.Now" || vs[0].Pos.Line != 8 {
+		t.Errorf("first violation = %v, want time.Now at line 8", vs[0])
+	}
+	if vs[1].Call != "range over map" || vs[1].Pos.Line != 16 {
+		t.Errorf("second violation = %v, want the map range at line 16", vs[1])
+	}
+	if !strings.Contains(vs[1].Reason, "rangeBad") {
+		t.Errorf("map-range violation should name the enclosing function: %s", vs[1].Reason)
+	}
+}

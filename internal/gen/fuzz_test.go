@@ -8,6 +8,7 @@ package gen_test
 import (
 	"testing"
 
+	"vase/internal/assertlang"
 	"vase/internal/ast"
 	"vase/internal/gen"
 	"vase/internal/parser"
@@ -36,6 +37,52 @@ func FuzzGenRoundTrip(f *testing.F) {
 		}
 		if again := ast.FileString(file2); again != printed {
 			t.Fatalf("printer not a fixed point\n--- first ---\n%s\n--- second ---\n%s", printed, again)
+		}
+	})
+}
+
+// FuzzAssertParse fuzzes the assertion language round trip: any text the
+// parser accepts must reach a printer fixed point — parse(print(parse(s)))
+// prints identically — and preserve form, window and signal set. The seed
+// corpus is generator-emitted pragmas, so the grammar the generator writes
+// and the grammar the parser reads can never drift.
+func FuzzAssertParse(f *testing.F) {
+	for i := 0; i < 6; i++ {
+		sp := gen.Generate(11, i, gen.MixedSize(i))
+		for _, a := range sp.Asserts {
+			f.Add(a.Text)
+		}
+	}
+	f.Add("always v(x) >= -1.5 and v(x) <= 1.5")
+	f.Add("eventually v(out) > 0.5 within 2e-3")
+	f.Add("recurrence v(clk) > 0.0 every 1e-3")
+	f.Add("bound y in -2.0 .. 2.0")
+	f.Fuzz(func(t *testing.T, text string) {
+		a, err := assertlang.Parse(text)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		printed := a.String()
+		b, err := assertlang.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed assertion does not reparse: %v\n--- input ---\n%s\n--- printed ---\n%s", err, text, printed)
+		}
+		if again := b.String(); again != printed {
+			t.Fatalf("printer not a fixed point\n--- first ---\n%s\n--- second ---\n%s", printed, again)
+		}
+		if b.Form != a.Form || b.Window != a.Window {
+			t.Fatalf("form/window changed across round trip: %v/%g vs %v/%g\n--- input ---\n%s",
+				b.Form, b.Window, a.Form, a.Window, text)
+		}
+		if len(b.Signals) != len(a.Signals) {
+			t.Fatalf("signal set changed across round trip: %v vs %v\n--- input ---\n%s",
+				b.Signals, a.Signals, text)
+		}
+		for i := range a.Signals {
+			if b.Signals[i] != a.Signals[i] {
+				t.Fatalf("signal set changed across round trip: %v vs %v\n--- input ---\n%s",
+					b.Signals, a.Signals, text)
+			}
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"vase/internal/assertlang"
+	"vase/internal/interval"
 	"vase/internal/sim"
 )
 
@@ -93,7 +94,7 @@ type Spec struct {
 // Sources converts the input stimuli to simulator waveforms.
 func (s *Spec) Sources() map[string]sim.Source {
 	out := make(map[string]sim.Source, len(s.Inputs))
-	for name, w := range s.Inputs {
+	for name, w := range s.Inputs { //vase:unordered (map-to-map conversion)
 		out[name] = w.Source()
 	}
 	return out
@@ -312,7 +313,7 @@ func feasibleStages(k float64) []float64 {
 // DAGs keep bounded dynamic range (and the derived assertions keep tight).
 func (b *builder) normalized(e *expr) *expr {
 	iv := b.evalIn(e)
-	if m := iv.maxAbs(); m > 8 {
+	if m := iv.MaxAbs(); m > 8 {
 		for _, f := range feasibleStages(4 / m) {
 			e = gain(b.newConst("g", f), e)
 		}
@@ -321,7 +322,7 @@ func (b *builder) normalized(e *expr) *expr {
 }
 
 // evalIn computes the interval of e in the model built so far.
-func (b *builder) evalIn(e *expr) interval {
+func (b *builder) evalIn(e *expr) interval.Interval {
 	probe := &Model{
 		Inputs: b.m.Inputs, Consts: b.m.Consts, Quants: b.m.Quants,
 		Outs: []*Out{{Name: "__probe", RHS: e}},
@@ -350,7 +351,7 @@ func (b *builder) guardSignal(quants int) string {
 	}
 	watch := ref(cands[r.Intn(len(cands))])
 	iv := b.evalIn(watch)
-	t := iv.Lo + (0.2+0.6*r.Float64())*iv.span()
+	t := iv.Lo + (0.2+0.6*r.Float64())*iv.Span()
 	p := &Proc{Watch: watch.Ref, ThNeg: t < 0}
 	p.Thresh = b.newConst("th", math.Abs(t))
 	b.nSig++
@@ -409,7 +410,7 @@ func (b *builder) model(entity string) *Model {
 		}
 		o.RHS = b.normalized(e)
 		if r.Float64() < 0.3 {
-			o.Limit = math.Ceil(b.evalIn(o.RHS).maxAbs() + 1)
+			o.Limit = math.Ceil(b.evalIn(o.RHS).MaxAbs() + 1)
 		}
 		b.m.Outs = append(b.m.Outs, o)
 	}
@@ -502,10 +503,10 @@ func repair(m *Model) {
 		}
 		sink := &Out{Name: "ysink", RHS: e}
 		if iv := (&Model{Inputs: m.Inputs, Consts: m.Consts, Quants: m.Quants,
-			Outs: []*Out{sink}}).intervals()["ysink"]; iv.maxAbs() > 8 {
+			Outs: []*Out{sink}}).intervals()["ysink"]; iv.MaxAbs() > 8 {
 			// A wide sink sum is attenuated through a chain of
 			// library-feasible gain stages to keep assertion bounds tight.
-			for i, f := range feasibleStages(4 / iv.maxAbs()) {
+			for i, f := range feasibleStages(4 / iv.MaxAbs()) {
 				c := &Const{Name: fmt.Sprintf("gsink%d", i+1), Val: f}
 				m.Consts = append(m.Consts, c)
 				sink.RHS = gain(c.Name, sink.RHS)

@@ -7,6 +7,7 @@ import (
 
 	"vase/internal/assertlang"
 	"vase/internal/compile"
+	"vase/internal/diag"
 	"vase/internal/lint"
 	"vase/internal/mapper"
 	"vase/internal/parser"
@@ -80,6 +81,13 @@ func TestCorpusIsValid(t *testing.T) {
 			t.Fatalf("spec %d lint: %v", i, err)
 		}
 		for _, dg := range diags {
+			// Range-advisory findings are expected on random specs: the
+			// generator does not scale signal chains to the cell headroom
+			// (same allowance as the front campaign pair).
+			switch dg.Code {
+			case diag.CodeDeadBranch, diag.CodeDeadNet, diag.CodeSaturation:
+				continue
+			}
 			t.Errorf("spec %d (%s) lint diagnostic: %v", i, sp.Size, dg)
 		}
 		opts := mapper.DefaultOptions()

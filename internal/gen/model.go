@@ -27,38 +27,13 @@ import (
 	"strconv"
 	"strings"
 
+	"vase/internal/interval"
 	"vase/internal/sim"
 )
 
-// interval is a closed real interval used for sound bounds propagation.
-type interval struct{ Lo, Hi float64 }
-
-func point(v float64) interval             { return interval{v, v} }
-func (a interval) span() float64           { return a.Hi - a.Lo }
-func (a interval) maxAbs() float64         { return math.Max(math.Abs(a.Lo), math.Abs(a.Hi)) }
-func (a interval) add(b interval) interval { return interval{a.Lo + b.Lo, a.Hi + b.Hi} }
-func (a interval) sub(b interval) interval { return interval{a.Lo - b.Hi, a.Hi - b.Lo} }
-func (a interval) neg() interval           { return interval{-a.Hi, -a.Lo} }
-func (a interval) hull(b interval) interval {
-	return interval{math.Min(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
-}
-func (a interval) mul(b interval) interval {
-	p := [4]float64{a.Lo * b.Lo, a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi}
-	lo, hi := p[0], p[0]
-	for _, v := range p[1:] {
-		lo, hi = math.Min(lo, v), math.Max(hi, v)
-	}
-	return interval{lo, hi}
-}
-func (a interval) abs() interval {
-	if a.Lo >= 0 {
-		return a
-	}
-	if a.Hi <= 0 {
-		return a.neg()
-	}
-	return interval{0, a.maxAbs()}
-}
+// Interval arithmetic lives in internal/interval, shared with the
+// abstract interpreter (internal/absint) so the generator's assertion
+// derivation and the static prover can never drift.
 
 // Wave describes an input stimulus. The same description serves the
 // behavioral simulator, the MNA circuit simulator (both consume a
@@ -87,26 +62,26 @@ func (w Wave) Source() sim.Source {
 }
 
 // iv is the wave's value hull over any time horizon.
-func (w Wave) iv() interval {
+func (w Wave) iv() interval.Interval {
 	switch w.Shape {
 	case "sine":
 		a := math.Abs(w.Amp)
-		return interval{-a, a}
+		return interval.Interval{Lo: -a, Hi: a}
 	case "step":
-		return interval{math.Min(w.V0, w.V1), math.Max(w.V0, w.V1)}
+		return interval.Interval{Lo: math.Min(w.V0, w.V1), Hi: math.Max(w.V0, w.V1)}
 	default:
-		return point(w.Level)
+		return interval.Point(w.Level)
 	}
 }
 
 // integIV bounds the running integral of the wave; only sine waves (whose
 // integral is periodic, hence bounded) support it.
-func (w Wave) integIV() (interval, bool) {
+func (w Wave) integIV() (interval.Interval, bool) {
 	if w.Shape != "sine" || w.Freq <= 0 {
-		return interval{}, false
+		return interval.Interval{}, false
 	}
 	b := math.Abs(w.Amp) / (math.Pi * w.Freq)
-	return interval{-b, b}, true
+	return interval.Interval{Lo: -b, Hi: b}, true
 }
 
 // Expression operators.
@@ -305,16 +280,16 @@ func (m *Model) constVal(name string) (float64, bool) {
 
 // intervals computes the sound value hull of every input, quantity and
 // output by forward propagation over the definition order.
-func (m *Model) intervals() map[string]interval {
-	iv := make(map[string]interval, len(m.Inputs)+len(m.Quants)+len(m.Outs))
+func (m *Model) intervals() map[string]interval.Interval {
+	iv := make(map[string]interval.Interval, len(m.Inputs)+len(m.Quants)+len(m.Outs))
 	for _, in := range m.Inputs {
 		iv[in.Name] = in.Wave.iv()
 	}
 	for _, k := range m.Consts {
-		iv[k.Name] = point(k.Val)
+		iv[k.Name] = interval.Point(k.Val)
 	}
-	var eval func(e *expr) interval
-	eval = func(e *expr) interval {
+	var eval func(e *expr) interval.Interval
+	eval = func(e *expr) interval.Interval {
 		switch e.Op {
 		case opRef:
 			return iv[e.Ref]
@@ -325,19 +300,19 @@ func (m *Model) intervals() map[string]interval {
 					return b
 				}
 			}
-			return interval{}
+			return interval.Interval{}
 		case opAdd:
-			return eval(e.A).add(eval(e.B))
+			return eval(e.A).Add(eval(e.B))
 		case opSub:
-			return eval(e.A).sub(eval(e.B))
+			return eval(e.A).Sub(eval(e.B))
 		case opMul:
-			return eval(e.A).mul(eval(e.B))
+			return eval(e.A).Mul(eval(e.B))
 		case opNeg:
-			return eval(e.A).neg()
+			return eval(e.A).Neg()
 		case opAbs:
-			return eval(e.A).abs()
+			return eval(e.A).Abs()
 		}
-		return interval{}
+		return interval.Interval{}
 	}
 	for _, q := range m.Quants {
 		switch q.Kind {
@@ -348,9 +323,9 @@ func (m *Model) intervals() map[string]interval {
 			// hull of {0} and the drive's range (a contracting lag is a
 			// convex combination of past drive values and the initial
 			// state).
-			iv[q.Name] = eval(q.RHS).hull(point(0))
+			iv[q.Name] = eval(q.RHS).Hull(interval.Point(0))
 		case qGuarded:
-			iv[q.Name] = eval(q.RHS).hull(eval(q.Alt))
+			iv[q.Name] = eval(q.RHS).Hull(eval(q.Alt))
 		}
 	}
 	for _, o := range m.Outs {
@@ -380,7 +355,7 @@ func (m *Model) Render() string {
 		decl := fmt.Sprintf("    quantity %s : in real is voltage", in.Name)
 		if in.Annotated {
 			r := in.Wave.iv()
-			pad := 0.05*r.span() + 0.05
+			pad := 0.05*r.Span() + 0.05
 			decl += fmt.Sprintf(" range %s to %s", lit(r.Lo-pad), lit(r.Hi+pad))
 		}
 		ports = append(ports, decl)
@@ -448,8 +423,8 @@ func (m *Model) Render() string {
 func (m *Model) assertions() []string {
 	iv := m.intervals()
 	var out []string
-	bound := func(name string, r interval) {
-		pad := 0.05*r.span() + 0.05 + 0.02*r.maxAbs()
+	bound := func(name string, r interval.Interval) {
+		pad := 0.05*r.Span() + 0.05 + 0.02*r.MaxAbs()
 		out = append(out, fmt.Sprintf("bound %s in %s .. %s", name, lit(r.Lo-pad), lit(r.Hi+pad)))
 	}
 	for _, o := range m.Outs {

@@ -1,0 +1,364 @@
+// Package interval implements closed-interval arithmetic over float64,
+// shared by the spec generator's assertion derivation (internal/gen) and
+// the abstract interpreter (internal/absint) so the two can never drift.
+//
+// An Interval is the set [Lo, Hi]. The zero value is the degenerate point
+// {0}. Top() is the whole real line [-Inf, +Inf]; every transfer function
+// here is a sound over-approximation of the corresponding concrete
+// operation in internal/sim (Div/Log/Exp mirror the simulator's
+// safeDiv/safeLog/clampExp guards exactly).
+//
+// All operations treat the interval as a value; none mutate the receiver.
+package interval
+
+import "math"
+
+// Interval is a closed real interval [Lo, Hi].
+type Interval struct{ Lo, Hi float64 }
+
+// Point returns the degenerate interval {v}.
+func Point(v float64) Interval { return Interval{v, v} }
+
+// New returns [lo, hi], swapping the endpoints if given reversed.
+func New(lo, hi float64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{lo, hi}
+}
+
+// Top returns the whole real line.
+func Top() Interval { return Interval{math.Inf(-1), math.Inf(1)} }
+
+// IsTop reports whether both endpoints are infinite.
+func (a Interval) IsTop() bool { return math.IsInf(a.Lo, -1) && math.IsInf(a.Hi, 1) }
+
+// Bounded reports whether both endpoints are finite.
+func (a Interval) Bounded() bool {
+	return !math.IsInf(a.Lo, 0) && !math.IsInf(a.Hi, 0) &&
+		!math.IsNaN(a.Lo) && !math.IsNaN(a.Hi)
+}
+
+// Span returns Hi - Lo.
+func (a Interval) Span() float64 { return a.Hi - a.Lo }
+
+// MaxAbs returns the largest absolute value in the interval.
+func (a Interval) MaxAbs() float64 { return math.Max(math.Abs(a.Lo), math.Abs(a.Hi)) }
+
+// Contains reports whether v lies in [Lo, Hi].
+func (a Interval) Contains(v float64) bool { return a.Lo <= v && v <= a.Hi }
+
+// Within reports whether a is entirely inside b.
+func (a Interval) Within(b Interval) bool { return b.Lo <= a.Lo && a.Hi <= b.Hi }
+
+// Add returns {x+y : x in a, y in b}.
+func (a Interval) Add(b Interval) Interval { return Interval{a.Lo + b.Lo, a.Hi + b.Hi} }
+
+// Sub returns {x-y : x in a, y in b}.
+func (a Interval) Sub(b Interval) Interval { return Interval{a.Lo - b.Hi, a.Hi - b.Lo} }
+
+// Neg returns {-x : x in a}.
+func (a Interval) Neg() Interval { return Interval{-a.Hi, -a.Lo} }
+
+// Hull returns the smallest interval containing both a and b.
+func (a Interval) Hull(b Interval) Interval {
+	return Interval{math.Min(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// Intersect returns the overlap of a and b; ok is false when they are
+// disjoint (in which case the returned interval is meaningless).
+func (a Interval) Intersect(b Interval) (Interval, bool) {
+	lo, hi := math.Max(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)
+	if lo > hi {
+		return Interval{}, false
+	}
+	return Interval{lo, hi}, true
+}
+
+// prod multiplies endpoints with the convention 0 * ±Inf = 0, which keeps
+// Top().Mul(Point(0)) sound (the concrete product of 0 with anything
+// representable is 0, never NaN).
+func prod(x, y float64) float64 {
+	if x == 0 || y == 0 {
+		return 0
+	}
+	return x * y
+}
+
+// Mul returns {x*y : x in a, y in b}.
+func (a Interval) Mul(b Interval) Interval {
+	p := [4]float64{prod(a.Lo, b.Lo), prod(a.Lo, b.Hi), prod(a.Hi, b.Lo), prod(a.Hi, b.Hi)}
+	lo, hi := p[0], p[0]
+	for _, v := range p[1:] {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return Interval{lo, hi}
+}
+
+// Abs returns {|x| : x in a}.
+func (a Interval) Abs() Interval {
+	if a.Lo >= 0 {
+		return a
+	}
+	if a.Hi <= 0 {
+		return a.Neg()
+	}
+	return Interval{0, a.MaxAbs()}
+}
+
+// Min returns {min(x,y) : x in a, y in b}.
+func (a Interval) Min(b Interval) Interval {
+	return Interval{math.Min(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)}
+}
+
+// Max returns {max(x,y) : x in a, y in b}.
+func (a Interval) Max(b Interval) Interval {
+	return Interval{math.Max(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// Clamp returns the image of a under clamping to [-limit, limit] — the
+// transfer function of a limiter stage. The result is always bounded,
+// even for Top input.
+func (a Interval) Clamp(limit float64) Interval {
+	return Interval{
+		math.Max(-limit, math.Min(limit, a.Lo)),
+		math.Max(-limit, math.Min(limit, a.Hi)),
+	}
+}
+
+// DivEps is the denominator guard used by the behavioral simulator's
+// safeDiv; Div mirrors it so static bounds stay sound for the simulated
+// semantics.
+const DivEps = 1e-9
+
+// Div returns a sound hull of {x / guard(y)} where guard pushes
+// denominators away from zero exactly like sim's safeDiv: |den| < DivEps
+// is replaced by ±DivEps, keeping the sign. When b straddles zero the
+// effective denominator magnitude is at least DivEps, so the result is
+// finite (though typically enormous).
+func (a Interval) Div(b Interval) Interval {
+	// Split the denominator into its negative and positive guarded parts
+	// and take the hull of the two quotients.
+	var out Interval
+	first := true
+	quot := func(den Interval) {
+		inv := Interval{1 / den.Hi, 1 / den.Lo}
+		q := a.Mul(inv)
+		if first {
+			out, first = q, false
+		} else {
+			out = out.Hull(q)
+		}
+	}
+	if b.Hi >= 0 {
+		// Positive part: the guard maps [0, DivEps) up to DivEps, so the
+		// positive denominators are [max(Lo, eps), max(Hi, eps)].
+		quot(Interval{math.Max(b.Lo, DivEps), math.Max(b.Hi, DivEps)})
+	}
+	if b.Lo < 0 {
+		quot(Interval{math.Min(b.Lo, -DivEps), math.Min(b.Hi, -DivEps)})
+	}
+	return out
+}
+
+// DivStrict returns the exact quotient hull {x/y : x in a, y in b} for a
+// denominator that provably excludes zero; ok is false when 0 in b (the
+// mathematical quotient is unbounded there — use Div for the simulator's
+// guarded semantics instead).
+func (a Interval) DivStrict(b Interval) (Interval, bool) {
+	if b.Lo <= 0 && b.Hi >= 0 {
+		return Interval{}, false
+	}
+	return a.Mul(Interval{1 / b.Hi, 1 / b.Lo}), true
+}
+
+// LogEps is the argument floor used by the simulator's safeLog.
+const LogEps = 1e-12
+
+// Log returns the hull of {log(max(LogEps, x)) : x in a}, matching sim's
+// safeLog semantics.
+func (a Interval) Log() Interval {
+	return Interval{math.Log(math.Max(LogEps, a.Lo)), math.Log(math.Max(LogEps, a.Hi))}
+}
+
+// ExpClamp is the exponent clamp used by the simulator's clampExp.
+const ExpClamp = 50
+
+// Exp returns the hull of {exp(clamp(x, ±ExpClamp)) : x in a}, matching
+// sim's clampExp semantics. The result is always bounded.
+func (a Interval) Exp() Interval {
+	c := func(x float64) float64 { return math.Min(ExpClamp, math.Max(-ExpClamp, x)) }
+	return Interval{math.Exp(c(a.Lo)), math.Exp(c(a.Hi))}
+}
+
+// Sqrt returns the hull of {sqrt(max(0, x)) : x in a}.
+func (a Interval) Sqrt() Interval {
+	return Interval{math.Sqrt(math.Max(0, a.Lo)), math.Sqrt(math.Max(0, a.Hi))}
+}
+
+// Sin returns the exact hull of {sin(x) : x in a}: the endpoint values,
+// stretched to ±1 when the interval encloses a maximum (π/2 + 2kπ) or
+// minimum (-π/2 + 2kπ).
+func (a Interval) Sin() Interval { return trig(a, math.Sin, math.Pi/2, -math.Pi/2) }
+
+// Cos returns the exact hull of {cos(x) : x in a} (maxima at 2kπ, minima
+// at π + 2kπ).
+func (a Interval) Cos() Interval { return trig(a, math.Cos, 0, math.Pi) }
+
+// containsPhase reports whether [lo, hi] contains any point c + 2kπ.
+func containsPhase(lo, hi, c float64) bool {
+	if math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return true
+	}
+	k := math.Ceil((lo - c) / (2 * math.Pi))
+	return c+2*math.Pi*k <= hi
+}
+
+func trig(a Interval, f func(float64) float64, maxAt, minAt float64) Interval {
+	if a.Lo == a.Hi {
+		return Point(f(a.Lo))
+	}
+	lo, hi := f(a.Lo), f(a.Hi)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if containsPhase(a.Lo, a.Hi, maxAt) {
+		hi = 1
+	}
+	if containsPhase(a.Lo, a.Hi, minAt) {
+		lo = -1
+	}
+	return Interval{lo, hi}
+}
+
+// SignHull returns the image of a under the sign function ({-1,0,1}).
+func (a Interval) SignHull() Interval {
+	switch {
+	case a.Lo > 0:
+		return Point(1)
+	case a.Hi < 0:
+		return Point(-1)
+	case a.Lo == 0 && a.Hi == 0:
+		return Point(0)
+	case a.Lo >= 0:
+		return Interval{0, 1}
+	case a.Hi <= 0:
+		return Interval{-1, 0}
+	}
+	return Interval{-1, 1}
+}
+
+// Widen returns the classic interval widening of a by b: any endpoint of
+// b that escapes a jumps to infinity. Widen guarantees termination of
+// ascending fixpoint chains in at most two steps per bound.
+func (a Interval) Widen(b Interval) Interval {
+	w := a
+	if b.Lo < a.Lo {
+		w.Lo = math.Inf(-1)
+	}
+	if b.Hi > a.Hi {
+		w.Hi = math.Inf(1)
+	}
+	return w
+}
+
+// Tri is a three-valued truth value for predicates evaluated over
+// intervals: True and False hold for every point of the interval; Maybe
+// means the interval contains both satisfying and violating points (or
+// the analysis cannot tell).
+type Tri int
+
+// The three truth values. Maybe is the zero value so that "unknown" is
+// the default.
+const (
+	Maybe Tri = iota
+	True
+	False
+)
+
+// String renders the truth value.
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	}
+	return "maybe"
+}
+
+// Not negates a three-valued truth value.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Maybe
+}
+
+// And conjoins two three-valued truth values (Kleene strong logic).
+func (t Tri) And(u Tri) Tri {
+	if t == False || u == False {
+		return False
+	}
+	if t == True && u == True {
+		return True
+	}
+	return Maybe
+}
+
+// Or disjoins two three-valued truth values (Kleene strong logic).
+func (t Tri) Or(u Tri) Tri {
+	if t == True || u == True {
+		return True
+	}
+	if t == False && u == False {
+		return False
+	}
+	return Maybe
+}
+
+// FromBool lifts a concrete boolean.
+func FromBool(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Cmp evaluates "a op b" over all pairs (x in a, y in b) three-valuedly.
+// Supported operators: "<", "<=", ">", ">=", "=", "/=".
+func Cmp(a Interval, op string, b Interval) Tri {
+	switch op {
+	case "<":
+		if a.Hi < b.Lo {
+			return True
+		}
+		if a.Lo >= b.Hi {
+			return False
+		}
+	case "<=":
+		if a.Hi <= b.Lo {
+			return True
+		}
+		if a.Lo > b.Hi {
+			return False
+		}
+	case ">":
+		return Cmp(b, "<", a)
+	case ">=":
+		return Cmp(b, "<=", a)
+	case "=":
+		if a.Lo == a.Hi && b.Lo == b.Hi && a.Lo == b.Lo {
+			return True
+		}
+		if _, ok := a.Intersect(b); !ok {
+			return False
+		}
+	case "/=":
+		return Cmp(a, "=", b).Not()
+	}
+	return Maybe
+}

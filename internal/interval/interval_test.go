@@ -1,0 +1,232 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	a, b := New(-1, 2), New(3, 5)
+	if got := a.Add(b); got != (Interval{2, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Interval{-6, -1}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Neg(); got != (Interval{-2, 1}) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Mul(b); got != (Interval{-5, 10}) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Abs(); got != (Interval{0, 2}) {
+		t.Errorf("Abs = %v", got)
+	}
+	if got := a.Hull(b); got != (Interval{-1, 5}) {
+		t.Errorf("Hull = %v", got)
+	}
+	if got := a.Min(b); got != (Interval{-1, 2}) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (Interval{3, 5}) {
+		t.Errorf("Max = %v", got)
+	}
+	if got, ok := a.Intersect(New(0, 10)); !ok || got != (Interval{0, 2}) {
+		t.Errorf("Intersect = %v ok=%v", got, ok)
+	}
+	if _, ok := a.Intersect(New(3, 4)); ok {
+		t.Error("disjoint Intersect reported ok")
+	}
+	if New(1.4, 1.5) != (Interval{1.4, 1.5}) || New(1.5, 1.4) != (Interval{1.4, 1.5}) {
+		t.Error("New does not normalize")
+	}
+}
+
+func TestTopIsAbsorbing(t *testing.T) {
+	top := Top()
+	if !top.IsTop() || top.Bounded() {
+		t.Fatal("Top misclassified")
+	}
+	// 0 * Top must stay sound (and finite at zero), not NaN.
+	z := top.Mul(Point(0))
+	if z != Point(0) {
+		t.Errorf("Top*{0} = %v, want {0}", z)
+	}
+	if got := top.Clamp(1.5); got != (Interval{-1.5, 1.5}) {
+		t.Errorf("Top.Clamp = %v", got)
+	}
+	if got := top.Exp(); !got.Bounded() {
+		t.Errorf("Top.Exp = %v, want bounded (clampExp)", got)
+	}
+	if got := top.Sin(); got != (Interval{-1, 1}) {
+		t.Errorf("Top.Sin = %v", got)
+	}
+}
+
+func TestDivMatchesSafeDiv(t *testing.T) {
+	// Mirror sim's safeDiv guard.
+	safeDiv := func(num, den float64) float64 {
+		if math.Abs(den) < DivEps {
+			if den < 0 {
+				den = -DivEps
+			} else {
+				den = DivEps
+			}
+		}
+		return num / den
+	}
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct{ a, b Interval }{
+		{New(1, 2), New(3, 4)},
+		{New(-2, 2), New(0.5, 1)},
+		{New(1, 1), New(-1, 1)},   // denominator straddles zero
+		{New(-3, -1), New(-2, 0)}, // zero endpoint
+		{New(0, 0), New(0, 0)},
+		{New(-5, 7), New(-1e-12, 1e-12)}, // entirely inside the guard band
+	}
+	for _, tc := range cases {
+		hull := tc.a.Div(tc.b)
+		for i := 0; i < 2000; i++ {
+			x := tc.a.Lo + rng.Float64()*tc.a.Span()
+			y := tc.b.Lo + rng.Float64()*tc.b.Span()
+			v := safeDiv(x, y)
+			if v < hull.Lo-1e-9*math.Abs(v) || v > hull.Hi+1e-9*math.Abs(v) {
+				t.Fatalf("Div(%v,%v)=%v misses safeDiv(%v,%v)=%v", tc.a, tc.b, hull, x, y, v)
+			}
+		}
+	}
+}
+
+func TestElementaryHulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(name string, a Interval, hull Interval, f func(float64) float64) {
+		t.Helper()
+		for i := 0; i < 2000; i++ {
+			x := a.Lo + rng.Float64()*a.Span()
+			v := f(x)
+			if v < hull.Lo-1e-12 || v > hull.Hi+1e-12 {
+				t.Fatalf("%s(%v)=%v misses f(%v)=%v", name, a, hull, x, v)
+			}
+		}
+	}
+	safeLog := func(x float64) float64 { return math.Log(math.Max(LogEps, x)) }
+	clampExp := func(x float64) float64 {
+		return math.Exp(math.Min(ExpClamp, math.Max(-ExpClamp, x)))
+	}
+	for _, a := range []Interval{New(-2, 3), New(0.1, 9), New(-4, -1), New(-0.5, 0.5)} {
+		check("Log", a, a.Log(), safeLog)
+		check("Exp", a, a.Exp(), clampExp)
+		check("Sqrt", a, a.Sqrt(), func(x float64) float64 { return math.Sqrt(math.Max(0, x)) })
+		check("Sin", a, a.Sin(), math.Sin)
+		check("Cos", a, a.Cos(), math.Cos)
+		check("Clamp", a, a.Clamp(1.5), func(x float64) float64 {
+			return math.Max(-1.5, math.Min(1.5, x))
+		})
+	}
+}
+
+func TestSinExtrema(t *testing.T) {
+	// [0, pi] encloses the maximum but not the minimum.
+	got := New(0, math.Pi).Sin()
+	if got.Hi != 1 {
+		t.Errorf("Sin[0,pi].Hi = %v, want 1", got.Hi)
+	}
+	if got.Lo < -1e-9 {
+		t.Errorf("Sin[0,pi].Lo = %v, want ~0", got.Lo)
+	}
+	// A narrow interval away from extrema stays narrow.
+	got = New(0.1, 0.2).Sin()
+	if got.Hi >= 0.9 || got.Lo <= 0 {
+		t.Errorf("Sin[0.1,0.2] = %v, want tight", got)
+	}
+	if got := New(-0.1, 0.1).Cos(); got.Hi != 1 {
+		t.Errorf("Cos[-0.1,0.1].Hi = %v, want 1", got.Hi)
+	}
+}
+
+func TestSignHull(t *testing.T) {
+	cases := []struct {
+		in   Interval
+		want Interval
+	}{
+		{New(1, 2), Point(1)},
+		{New(-2, -1), Point(-1)},
+		{Point(0), Point(0)},
+		{New(0, 3), Interval{0, 1}},
+		{New(-3, 0), Interval{-1, 0}},
+		{New(-1, 1), Interval{-1, 1}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.SignHull(); got != tc.want {
+			t.Errorf("SignHull(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWiden(t *testing.T) {
+	a := New(0, 1)
+	if got := a.Widen(New(0.2, 0.8)); got != a {
+		t.Errorf("Widen inside = %v, want unchanged", got)
+	}
+	w := a.Widen(New(-1, 0.5))
+	if !math.IsInf(w.Lo, -1) || w.Hi != 1 {
+		t.Errorf("Widen low escape = %v", w)
+	}
+	w = a.Widen(New(0, 2))
+	if w.Lo != 0 || !math.IsInf(w.Hi, 1) {
+		t.Errorf("Widen high escape = %v", w)
+	}
+	// Widening chains terminate: after both bounds widen the result is Top
+	// and absorbs everything.
+	w = a.Widen(Top())
+	if !w.IsTop() || !w.Widen(New(-1e300, 1e300)).IsTop() {
+		t.Errorf("Widen to Top = %v", w)
+	}
+}
+
+func TestTriLogic(t *testing.T) {
+	if True.And(Maybe) != Maybe || False.And(Maybe) != False || True.And(True) != True {
+		t.Error("And table wrong")
+	}
+	if False.Or(Maybe) != Maybe || True.Or(False) != True || False.Or(False) != False {
+		t.Error("Or table wrong")
+	}
+	if True.Not() != False || Maybe.Not() != Maybe {
+		t.Error("Not table wrong")
+	}
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+	if Maybe.String() != "maybe" || True.String() != "true" || False.String() != "false" {
+		t.Error("String wrong")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a    Interval
+		op   string
+		b    Interval
+		want Tri
+	}{
+		{New(0, 1), "<", New(2, 3), True},
+		{New(2, 3), "<", New(0, 1), False},
+		{New(0, 2), "<", New(1, 3), Maybe},
+		{New(0, 1), "<=", New(1, 3), True},
+		{New(1.01, 2), "<=", New(0, 1), False},
+		{New(2, 3), ">", New(0, 1), True},
+		{New(0, 1), ">=", New(1, 2), Maybe},
+		{New(1, 1), "=", New(1, 1), True},
+		{New(0, 1), "=", New(2, 3), False},
+		{New(0, 1), "=", New(1, 2), Maybe},
+		{New(0, 1), "/=", New(2, 3), True},
+		{New(1, 1), "/=", New(1, 1), False},
+		{New(0, 1), "??", New(0, 1), Maybe},
+	}
+	for _, tc := range cases {
+		if got := Cmp(tc.a, tc.op, tc.b); got != tc.want {
+			t.Errorf("Cmp(%v %s %v) = %v, want %v", tc.a, tc.op, tc.b, got, tc.want)
+		}
+	}
+}

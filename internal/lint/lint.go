@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"vase/internal/absint"
 	"vase/internal/ast"
 	"vase/internal/compile"
 	"vase/internal/diag"
@@ -37,6 +38,9 @@ type Unit struct {
 	Origins compile.Origins
 
 	diags *diag.List
+	// ranges caches the abstract interpretation shared by the VASS058x
+	// passes (computed on first use).
+	ranges *absint.Result
 }
 
 // Report emits a diagnostic at the given source span. For units without
@@ -96,6 +100,10 @@ var passes = []*Pass{
 	constRangePass,
 	annotationsPass,
 	subsetPass,
+	assertStaticPass,
+	deadBranchPass,
+	deadNetPass,
+	saturationPass,
 }
 
 // Passes returns the registered analyzers.

@@ -77,14 +77,18 @@ func TestGolden(t *testing.T) {
 // pass must produce at least one of its codes somewhere in the goldens.
 func TestGoldenCoverage(t *testing.T) {
 	codesOf := map[string][]diag.Code{
-		"unused":      {diag.CodeUnusedObject, diag.CodeWriteOnlySignal, diag.CodeUnusedFunction},
-		"fsmstates":   {diag.CodeUnreachableState, diag.CodeDeadEndState},
-		"algloop":     {diag.CodeLintLoop},
-		"dimension":   {diag.CodeDimension},
-		"divzero":     {diag.CodeDivByZero, diag.CodeDivMaybeZero},
-		"constrange":  {diag.CodeConstOutOfRange, diag.CodeDeadThreshold},
-		"annotations": {diag.CodeAnnFreqOrder, diag.CodeAnnRangeOrder, diag.CodeAnnWrongDir, diag.CodeAnnBadDrive, diag.CodeAnnPeakVsLimit},
-		"subset":      {diag.CodeSubsetProcess, diag.CodeSubsetLoop, diag.CodeSubsetComposite, diag.CodeSubsetPortMode, diag.CodeSubsetDerivative},
+		"unused":       {diag.CodeUnusedObject, diag.CodeWriteOnlySignal, diag.CodeUnusedFunction},
+		"fsmstates":    {diag.CodeUnreachableState, diag.CodeDeadEndState},
+		"algloop":      {diag.CodeLintLoop},
+		"dimension":    {diag.CodeDimension},
+		"divzero":      {diag.CodeDivByZero, diag.CodeDivMaybeZero},
+		"constrange":   {diag.CodeConstOutOfRange, diag.CodeDeadThreshold},
+		"annotations":  {diag.CodeAnnFreqOrder, diag.CodeAnnRangeOrder, diag.CodeAnnWrongDir, diag.CodeAnnBadDrive, diag.CodeAnnPeakVsLimit},
+		"subset":       {diag.CodeSubsetProcess, diag.CodeSubsetLoop, diag.CodeSubsetComposite, diag.CodeSubsetPortMode, diag.CodeSubsetDerivative},
+		"assertstatic": {diag.CodeAssertViolated, diag.CodeAssertVacuous},
+		"deadbranch":   {diag.CodeDeadBranch},
+		"deadnet":      {diag.CodeDeadNet},
+		"saturation":   {diag.CodeSaturation},
 	}
 	goldens, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
 	if err != nil {

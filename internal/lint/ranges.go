@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"strings"
+
+	"vase/internal/absint"
+	"vase/internal/assertlang"
+	"vase/internal/diag"
+	"vase/internal/interval"
+	"vase/internal/source"
+	"vase/internal/vhif"
+)
+
+// The range-driven analyzers (VASS058x) share one abstract interpretation
+// of the compiled module: a sound per-net value hull plus three-valued
+// control truths (internal/absint). Findings are calibrated to the
+// analysis being an over-approximation — a pass fires only on facts the
+// hulls actually prove, never on mere imprecision, so an unbounded (Top)
+// hull silences every 058x check that consults it.
+
+// rangesOf lazily computes (and caches) the abstract interpretation of the
+// unit's module.
+func (u *Unit) rangesOf() *absint.Result {
+	if u.Module == nil {
+		return nil
+	}
+	if u.ranges == nil {
+		u.ranges = absint.Analyze(u.Module)
+	}
+	return u.ranges
+}
+
+// assertStaticPass statically evaluates every "-- assert:" pragma against
+// the value hulls: a refuted assertion fails on every run that reaches its
+// signals (VASS0581), and an assertion that decides without observing any
+// signal — a tautology, a contradiction, or a probe of a non-existent
+// signal — never checks anything (VASS0582).
+var assertStaticPass = &Pass{
+	Name: "assertstatic",
+	Doc:  "statically violated or vacuous assertion pragmas",
+	Run:  runAssertStatic,
+}
+
+// pragmaAt holds one parsed assertion pragma and its source span.
+type pragmaAt struct {
+	a    *assertlang.Assertion
+	span source.Span
+}
+
+// pragmas extracts the unit's assertion pragmas with their spans. Unparsable
+// pragmas are skipped here: the front end reports those.
+func (u *Unit) pragmas() []pragmaAt {
+	if u.File == nil {
+		return nil
+	}
+	var out []pragmaAt
+	off := 0
+	for _, line := range strings.Split(u.File.Text(), "\n") {
+		idx := strings.Index(line, assertlang.PragmaPrefix)
+		if idx >= 0 {
+			spec := strings.TrimSpace(line[idx+len(assertlang.PragmaPrefix):])
+			if a, err := assertlang.Parse(spec); err == nil {
+				sp := source.NewSpan(source.Pos(off+idx), source.Pos(off+len(line)))
+				out = append(out, pragmaAt{a: a, span: sp})
+			}
+		}
+		off += len(line) + 1
+	}
+	return out
+}
+
+func runAssertStatic(u *Unit) {
+	r := u.rangesOf()
+	if r == nil {
+		return
+	}
+	for _, p := range u.pragmas() {
+		prop := r.Check(p.a)
+		if vacuousReason(r, p.a) != "" {
+			u.Report(diag.CodeAssertVacuous, p.span,
+				"assertion %q is vacuous: %s", p.a.Text, vacuousReason(r, p.a)).
+				WithFix("probe a signal the design drives, or drop the assertion")
+			continue
+		}
+		if prop.Verdict == absint.Refute {
+			u.Report(diag.CodeAssertViolated, p.span,
+				"assertion %q is statically violated: %s", p.a.Text, prop.Reason).
+				WithFix("the property fails on every run; fix the design or the bound")
+		}
+	}
+}
+
+// vacuousReason reports why an assertion cannot check anything: a signal
+// that resolves to no net, or a predicate that decides with every signal
+// left unconstrained (a tautology or contradiction over the hulls).
+func vacuousReason(r *absint.Result, a *assertlang.Assertion) string {
+	for _, s := range a.Signals {
+		if _, ok := r.NetOf(s); !ok {
+			return "signal " + s + " resolves to no net, so a monitor could never decide it"
+		}
+	}
+	top := func(string) (interval.Interval, bool) { return interval.Top(), true }
+	switch a.StaticEval(top) {
+	case interval.True:
+		return "the predicate is a tautology: it holds for arbitrary signal values"
+	case interval.False:
+		return "the predicate is a contradiction: it fails for arbitrary signal values"
+	}
+	return ""
+}
+
+// deadBranchPass reports muxes and switches whose control the analysis
+// proves constant: the unselected branch can never be observed, which
+// usually means a comparator threshold sits outside its input's range.
+var deadBranchPass = &Pass{
+	Name: "deadbranch",
+	Doc:  "mux/switch branches a statically-constant control can never select",
+	Run:  runDeadBranch,
+}
+
+func runDeadBranch(u *Unit) {
+	r := u.rangesOf()
+	if r == nil {
+		return
+	}
+	for _, g := range u.Module.Graphs {
+		for _, b := range g.Blocks {
+			if b.Ctrl == nil {
+				continue
+			}
+			t := r.Ctrl(b.Ctrl)
+			if t == interval.Maybe {
+				continue
+			}
+			switch b.Kind {
+			case vhif.BMux:
+				dead := "second"
+				if t == interval.False {
+					dead = "first"
+				}
+				u.Report(diag.CodeDeadBranch, u.OriginOf(b),
+					"control %q of mux %q is always %s: the %s input is never selected",
+					b.Ctrl.Name, b.Name, t, dead).
+					WithFix("check the comparator threshold against the declared input ranges")
+			case vhif.BSwitch:
+				state := "closed: it passes its input unconditionally"
+				if t == interval.False {
+					state = "open: its output is the constant 0"
+				}
+				u.Report(diag.CodeDeadBranch, u.OriginOf(b),
+					"control %q of switch %q is always %s", b.Ctrl.Name, b.Name, state).
+					WithFix("check the comparator threshold against the declared input ranges")
+			}
+		}
+	}
+}
+
+// deadNetPass reports driven nets that can never influence an output or a
+// control interface — either because nothing reads them, or because every
+// path to an output runs through a branch the control analysis proved
+// unreachable. Only the frontier net of a dead region is reported (the one
+// a live block ignores); its upstream cone follows from it.
+var deadNetPass = &Pass{
+	Name: "deadnet",
+	Doc:  "nets no output can observe, including via statically-dead branches",
+	Run:  runDeadNet,
+}
+
+func runDeadNet(u *Unit) {
+	r := u.rangesOf()
+	if r == nil {
+		return
+	}
+	ctrlNets := map[*vhif.Net]bool{}
+	for _, c := range u.Module.Controls {
+		ctrlNets[c.Net] = true
+	}
+	for _, g := range u.Module.Graphs {
+		live := liveNets(g, r, ctrlNets)
+		for _, n := range g.Nets {
+			if live[n] || n.Driver == nil || ctrlNets[n] {
+				continue
+			}
+			// Input ports are the unused pass's business, not dead-branch
+			// fallout; FSM-sampled signals live on the event side, where the
+			// write-only-signal pass already reports them.
+			if n.Driver.Kind == vhif.BInput || n.Driver.FromFSM {
+				continue
+			}
+			if !deadFrontier(n, live) {
+				continue
+			}
+			u.Report(diag.CodeDeadNet, u.OriginOf(n.Driver),
+				"net %q is dead: no output or control can observe it", n.Name).
+				WithFix("remove the computation or reconnect it to an output")
+		}
+	}
+}
+
+// liveNets walks backward from the graph's observation points (output
+// blocks and control-link nets) through each block's inputs, pruning the
+// branches a constant control can never select.
+func liveNets(g *vhif.Graph, r *absint.Result, ctrlNets map[*vhif.Net]bool) map[*vhif.Net]bool {
+	live := map[*vhif.Net]bool{}
+	var visit func(n *vhif.Net)
+	visitBlock := func(b *vhif.Block) {
+		ins := b.Inputs
+		switch b.Kind {
+		case vhif.BMux:
+			switch r.Ctrl(b.Ctrl) {
+			case interval.True:
+				ins = b.Inputs[:1]
+			case interval.False:
+				ins = b.Inputs[1:2]
+			}
+		case vhif.BSwitch:
+			if r.Ctrl(b.Ctrl) == interval.False {
+				ins = nil // open switch: output is 0, input unsampled
+			}
+		}
+		for _, in := range ins {
+			visit(in)
+		}
+		if b.Ctrl != nil {
+			visit(b.Ctrl)
+		}
+	}
+	visit = func(n *vhif.Net) {
+		if n == nil || live[n] {
+			return
+		}
+		live[n] = true
+		if n.Driver != nil {
+			visitBlock(n.Driver)
+		}
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == vhif.BOutput {
+			visitBlock(b)
+		}
+	}
+	for _, n := range g.Nets {
+		if ctrlNets[n] {
+			visit(n)
+		}
+	}
+	return live
+}
+
+// deadFrontier reports whether the dead net directly borders the live
+// region: some live block reads it (a pruned branch input), or nothing
+// reads it at all.
+func deadFrontier(n *vhif.Net, live map[*vhif.Net]bool) bool {
+	if len(n.Readers) == 0 {
+		return true
+	}
+	for _, rd := range n.Readers {
+		if rd.Kind == vhif.BOutput || (rd.Out != nil && live[rd.Out]) {
+			return true
+		}
+	}
+	return false
+}
+
+// opAmpSwing is the guaranteed output swing (±V) of the library's op-amp
+// cells on the ±5 V supply — the same constant the circuit-level
+// realization clips at (internal/mna). adcFullScale mirrors the simulator's
+// converter model.
+const (
+	opAmpSwing   = 4.0
+	adcFullScale = 2.5
+)
+
+// saturationPass compares proved value hulls against the headroom of the
+// physical cell interfaces they drive: voltage output ports must fit the
+// op-amp output swing, and ADC inputs must fit the converter full scale.
+// Only these carry a voltage dimension by construction — internal nets can
+// be rates or scaled intermediates, and an unbounded hull means the
+// analysis knows nothing, not that the design clips — so the pass fires
+// only on finite hulls at dimensioned interfaces.
+var saturationPass = &Pass{
+	Name: "saturation",
+	Doc:  "voltage ports and ADC inputs whose range exceeds the cell headroom",
+	Run:  runSaturation,
+}
+
+func runSaturation(u *Unit) {
+	r := u.rangesOf()
+	if r == nil {
+		return
+	}
+	for _, p := range u.Module.Ports {
+		if p.Dir != vhif.DirOut || p.Kind != vhif.PortQuantity || !p.Voltage {
+			continue
+		}
+		v, ok := r.Signal(p.Name)
+		if !ok || !v.Bounded() || v.MaxAbs() <= opAmpSwing {
+			continue
+		}
+		sp := source.NewSpan(source.NoPos, source.NoPos)
+		if n, ok := r.NetOf(p.Name); ok && n.Driver != nil {
+			sp = u.OriginOf(n.Driver)
+		}
+		u.Report(diag.CodeSaturation, sp,
+			"output port %q spans [%g, %g], beyond the ±%g V op-amp output swing: the output stage will saturate",
+			p.Name, v.Lo, v.Hi, opAmpSwing).
+			WithFix("rescale the signal chain or add a limiter ahead of the output stage")
+	}
+	for _, g := range u.Module.Graphs {
+		for _, b := range g.Blocks {
+			if b.Kind != vhif.BADC || len(b.Inputs) == 0 || b.Inputs[0] == nil {
+				continue
+			}
+			iv := r.Net(b.Inputs[0])
+			if iv.Bounded() && iv.MaxAbs() > adcFullScale {
+				u.Report(diag.CodeSaturation, u.OriginOf(b),
+					"ADC %q input spans [%g, %g], beyond the ±%g V full scale: conversions will clip",
+					b.Name, iv.Lo, iv.Hi, adcFullScale).
+					WithFix("attenuate the input or widen the converter's full-scale range")
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+entity range_lint is
+  port (
+    quantity vin  : in real is voltage range 2.0 to 3.0;
+    quantity vout : out real is voltage
+  );
+end entity;
+
+-- assert: always v(vout) >= 10.0
+-- assert: always 1.0 > 0.0
+-- assert: bound ghost in -1.0 .. 1.0
+
+architecture behavioral of range_lint is
+  constant g1  : real := 0.5;
+  constant g2  : real := 0.25;
+  constant Vth : real := 1.0;
+  quantity rv, scratch : real;
+  signal sel : bit;
+begin
+  vout == 6.0 * vin * rv;
+  scratch == 2.0 * vin;
+  if (sel = '1') use rv == g1;
+  else rv == g2;
+  end use;
+  process (vin'above(Vth)) is begin
+    if (vin'above(Vth) = true) then sel <= '1';
+    else sel <= '0'; end if;
+  end process;
+end architecture;

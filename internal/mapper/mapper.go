@@ -179,7 +179,7 @@ func Synthesize(m *vhif.Module, opts Options) (*Result, error) {
 // greedy first-fit completion exists. A context that can never be
 // cancelled leaves the search byte-identical to Synthesize.
 func SynthesizeContext(ctx context.Context, m *vhif.Module, opts Options) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //vase:walltime (stats telemetry)
 	if opts.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
@@ -264,7 +264,7 @@ func SynthesizeContext(ctx context.Context, m *vhif.Module, opts Options) (*Resu
 	}
 	s.stats.BestOpAmps = nl.OpAmpCount()
 	s.stats.BestAreaUm2 = rep.AreaUm2
-	s.stats.Elapsed = time.Since(start)
+	s.stats.Elapsed = time.Since(start) //vase:walltime (stats telemetry)
 	return &Result{Netlist: nl, Report: rep, Stats: s.stats, Tree: s.root, Nonoptimal: s.truncated}, nil
 }
 
@@ -525,10 +525,15 @@ func (s *search) computeBlockBounds() {
 			}
 		}
 	}
+	// Sum in graph order, not map order: float addition rounds, so a
+	// map-ordered sum would make the bound (and with it a borderline
+	// prune) vary run to run.
 	s.remainingLB = 0
-	for _, lb := range s.blockLB {
-		if lb < inf {
-			s.remainingLB += lb
+	for _, g := range s.m.Graphs {
+		for _, b := range g.Blocks {
+			if lb, ok := s.blockLB[b]; ok && lb < inf {
+				s.remainingLB += lb
+			}
 		}
 	}
 }
@@ -791,7 +796,7 @@ func (s *search) matchCost(match *patterns.Match) (cellCost, bool) {
 
 func maxGain(m *patterns.Match) float64 {
 	g := 1.0
-	for k, v := range m.Params {
+	for k, v := range m.Params { //vase:unordered (exact max fold, commutative)
 		if strings.HasPrefix(k, "gain") {
 			if v < 0 {
 				v = -v
@@ -917,7 +922,7 @@ func (s *search) buildNetlist(allocs []*alloc) (*netlist.Netlist, error) {
 		}
 		comp := nl.AddComponent(m.Cell, m.Root.Name, ins, netFor(m.Root.Out))
 		comp.Params = map[string]float64{}
-		for k, v := range m.Params {
+		for k, v := range m.Params { //vase:unordered (map-to-map copy)
 			comp.Params[k] = v
 		}
 		if m.Ctrl != nil {

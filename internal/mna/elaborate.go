@@ -100,7 +100,7 @@ func Elaborate(nl *netlist.Netlist, inputs map[string]Waveform) (*Elaborated, er
 	// Export the node/polarity maps. Internal nets may reuse quantity
 	// names (the compiler names a defining net after its quantity), so
 	// external ports are mapped last and win any collision.
-	for net, n := range e.node {
+	for net, n := range e.node { //vase:unordered (per-key writes; net names are unique)
 		e.out.NodeOf[net.Name] = n
 		e.out.PolOf[net.Name] = e.pol[net]
 	}

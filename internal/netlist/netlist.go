@@ -251,7 +251,7 @@ func maxGainOf(c *Component) float64 {
 	if g < 0 {
 		g = -g
 	}
-	for k, v := range c.Params {
+	for k, v := range c.Params { //vase:unordered (exact max fold, commutative)
 		if strings.HasPrefix(k, "gain") {
 			if v < 0 {
 				v = -v

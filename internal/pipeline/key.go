@@ -45,6 +45,7 @@ const (
 	compileDomain  = "vase/compile/v1"
 	lintSrcDomain  = "vase/lint-src/v1"
 	lintVHIFDomain = "vase/lint-vhif/v1"
+	rangesDomain   = "vase/ranges/v1"
 	mapDomain      = "vase/map/v1"
 )
 
@@ -65,6 +66,14 @@ func LintSourceKey(name, text string, opts lint.Options) Key {
 // LintVHIFKey is LintSourceKey for module-level lint over serialized VHIF.
 func LintVHIFKey(name, text string, opts lint.Options) Key {
 	return keyOf(lintVHIFDomain, name, text, opts.Canonical(), lint.Fingerprint())
+}
+
+// RangesKey is the content address of a value-range analysis result for one
+// serialized VHIF module. The analysis has no options and consults no
+// libraries; the domain tag's version is bumped whenever the abstract
+// domains or transfer functions change, invalidating older range facts.
+func RangesKey(vhifText string) Key {
+	return keyOf(rangesDomain, vhifText)
 }
 
 // MapKey is the content address of an architecture-generation result: the

@@ -2,7 +2,7 @@
 // the two technology-separated steps of the paper (VASS→VHIF compilation,
 // VHIF→netlist architecture generation) as a sequence of typed stages
 //
-//	Parse → Sema → Compile (VHIF) → Lint → Map → Estimate → Netlist
+//	Parse → Sema → Compile (VHIF) → Lint → Ranges → Map → Estimate → Netlist
 //
 // and memoizes each stage under a content-addressed key: the SHA-256 of the
 // stage's canonical input artifact, the canonically-encoded stage options,
@@ -50,6 +50,7 @@ const (
 	StageSema
 	StageCompile
 	StageLint
+	StageRanges
 	StageMap
 	StageEstimate
 	StageNetlist
@@ -61,6 +62,7 @@ var stageNames = [NumStages]string{
 	StageSema:     "sema",
 	StageCompile:  "compile",
 	StageLint:     "lint",
+	StageRanges:   "ranges",
 	StageMap:      "map",
 	StageEstimate: "estimate",
 	StageNetlist:  "netlist",
@@ -284,9 +286,9 @@ func (p *Pipeline) lead(ctx context.Context, st Stage, key Key, c *codec, comput
 			// recompute (the fresh write below replaces it).
 		}
 	}
-	start := time.Now()
+	start := time.Now() //vase:walltime (stats telemetry)
 	v, cacheable, err := compute(ctx)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //vase:walltime (stats telemetry)
 	p.mu.Lock()
 	if err != nil {
 		p.stats[st].Errors++

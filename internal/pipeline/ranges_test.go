@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"vase/internal/absint"
+	"vase/internal/assertlang"
+)
+
+// limiterSrc bounds its output by construction, so the ranges stage
+// produces a finite hull the static checker can prove things about.
+const limiterSrc = `
+entity clipper is
+  port (
+    quantity vin : in real is voltage;
+    quantity vout : out real is voltage limited at 1.5
+  );
+end entity;
+architecture beh of clipper is
+begin
+  vout == 2.0 * vin;
+end architecture;
+`
+
+func TestRangesMemoized(t *testing.T) {
+	p := newPipe(t, Options{})
+	ctx := context.Background()
+	first, err := p.Ranges(ctx, "clipper.vhd", limiterSrc)
+	if err != nil {
+		t.Fatalf("ranges: %v", err)
+	}
+	if first.Cached {
+		t.Error("first analysis reported Cached")
+	}
+	h, ok := first.Signal("vout")
+	if !ok {
+		t.Fatal("vout did not resolve in the hull table")
+	}
+	if h.Lo < -1.5 || h.Hi > 1.5 {
+		t.Errorf("vout hull = %v, want within [-1.5, 1.5]", h)
+	}
+	second, err := p.Ranges(ctx, "clipper.vhd", limiterSrc)
+	if err != nil {
+		t.Fatalf("second ranges: %v", err)
+	}
+	if !second.Cached {
+		t.Error("second analysis of identical source was not a cache hit")
+	}
+	st := p.Stats().Stage(StageRanges)
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("ranges stage counters = %+v, want 1 miss and 1 memory hit", st)
+	}
+}
+
+func TestRangesDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	a := newPipe(t, Options{CacheDir: dir})
+	live, err := a.Ranges(ctx, "clipper.vhd", limiterSrc)
+	if err != nil {
+		t.Fatalf("first process ranges: %v", err)
+	}
+
+	b := newPipe(t, Options{CacheDir: dir})
+	disk, err := b.Ranges(ctx, "clipper.vhd", limiterSrc)
+	if err != nil {
+		t.Fatalf("second process ranges: %v", err)
+	}
+	if !disk.Cached {
+		t.Error("second process did not hit the disk cache")
+	}
+	if st := b.Stats().Stage(StageRanges); st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("ranges stage = %+v, want 1 disk hit and no misses", st)
+	}
+	if disk.Name != live.Name || disk.Widened != live.Widened || disk.Iterations != live.Iterations {
+		t.Errorf("disk artifact metadata differs: %+v vs %+v", disk, live)
+	}
+	if len(disk.Signals) != len(live.Signals) {
+		t.Fatalf("disk artifact has %d signals, live has %d", len(disk.Signals), len(live.Signals))
+	}
+	for name, want := range live.Signals {
+		got, ok := disk.Signals[name]
+		if !ok {
+			t.Errorf("signal %q lost in disk round trip", name)
+			continue
+		}
+		// Infinite bounds (the unannotated vin is unbounded) must survive
+		// the text round trip exactly, as must finite ones.
+		if got != want && !(math.IsNaN(got.Lo) && math.IsNaN(want.Lo)) {
+			t.Errorf("signal %q hull %v != %v after disk round trip", name, got, want)
+		}
+	}
+	vin, ok := disk.Signal("vin")
+	if !ok {
+		t.Fatal("vin did not resolve from the disk artifact")
+	}
+	if !math.IsInf(vin.Lo, -1) || !math.IsInf(vin.Hi, 1) {
+		t.Errorf("vin hull = %v, want an unbounded hull to survive the round trip", vin)
+	}
+
+	// A cached hull table still decides assertions — no re-analysis needed.
+	as, err := assertlang.Parse("always v(vout) <= 2.0")
+	if err != nil {
+		t.Fatalf("parse assertion: %v", err)
+	}
+	if prop := disk.Check(as); prop.Verdict != absint.Prove {
+		t.Errorf("cached table gave verdict %v for the clip bound, want prove (reason: %s)",
+			prop.Verdict, prop.Reason)
+	}
+}

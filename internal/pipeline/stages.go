@@ -285,9 +285,9 @@ func (p *Pipeline) SynthesizeModule(ctx context.Context, m *vhif.Module, opts ma
 // Results of truncated searches (Nonoptimal) are returned but never cached.
 func (p *Pipeline) SynthesizeText(ctx context.Context, m *vhif.Module, text string, opts mapper.Options) (*mapper.Result, bool, error) {
 	if opts.Trace {
-		start := time.Now()
+		start := time.Now() //vase:walltime (stats telemetry)
 		res, err := mapper.SynthesizeContext(ctx, m, opts)
-		p.count(StageMap, err, time.Since(start))
+		p.count(StageMap, err, time.Since(start)) //vase:walltime (stats telemetry)
 		if err != nil {
 			return nil, false, err
 		}
@@ -332,9 +332,9 @@ func (p *Pipeline) materialize(mv *mapValue, m *vhif.Module, opts mapper.Options
 	if mv.live != nil {
 		return mv.live, nil
 	}
-	start := time.Now()
+	start := time.Now() //vase:walltime (stats telemetry)
 	nl, err := netlist.Decode(mv.Data)
-	p.count(StageNetlist, err, time.Since(start))
+	p.count(StageNetlist, err, time.Since(start)) //vase:walltime (stats telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: netlist artifact: %w", err)
 	}
@@ -346,9 +346,9 @@ func (p *Pipeline) materialize(mv *mapValue, m *vhif.Module, opts mapper.Options
 	if sys.Bandwidth == 0 {
 		sys = mapper.SystemSpecFor(m)
 	}
-	start = time.Now()
+	start = time.Now() //vase:walltime (stats telemetry)
 	rep, err := nl.Estimate(proc, sys)
-	p.count(StageEstimate, err, time.Since(start))
+	p.count(StageEstimate, err, time.Since(start)) //vase:walltime (stats telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: estimate: %w", err)
 	}

@@ -142,7 +142,7 @@ func newNetSim(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*ne
 	for _, n := range nl.Nets {
 		valid[n.Name] = true
 	}
-	for name := range s.probes {
+	for name := range s.probes { //vase:unordered (per-key set insertion)
 		valid[name] = true
 	}
 	if err := checkProbes(opts.Probes, valid); err != nil {
@@ -157,7 +157,7 @@ func newNetSim(nl *netlist.Netlist, inputs map[string]Source, opts Options) (*ne
 	for _, n := range nl.Nets {
 		s.byName[n.Name] = n
 	}
-	for name, n := range s.probes {
+	for name, n := range s.probes { //vase:unordered (per-key writes; probe names are unique)
 		s.byName[name] = n
 	}
 	for _, c := range s.order {
@@ -196,7 +196,7 @@ func (s *netSim) eval(t float64, x []float64) map[*netlist.Net]float64 {
 			vals[net] = *net.Const
 		}
 	}
-	for net, src := range s.srcs {
+	for net, src := range s.srcs { //vase:unordered (per-key writes of pure source values)
 		vals[net] = src(t)
 	}
 	stateIdx := 0
@@ -420,7 +420,7 @@ func (s *netSim) run(ctx context.Context) (*Trace, error) {
 		t := float64(step) * h
 		vals := s.eval(t, x)
 		tr.Time = append(tr.Time, t)
-		for name, net := range s.probes {
+		for name, net := range s.probes { //vase:unordered (per-key append into the probe's own series)
 			tr.Signals[name] = append(tr.Signals[name], vals[net])
 		}
 		if s.opts.OnSample != nil {

@@ -188,7 +188,7 @@ type stopper struct {
 func newStopper(ctx context.Context, opts Options) stopper {
 	st := stopper{ctx: ctx, maxSteps: opts.MaxSteps}
 	if opts.Deadline > 0 {
-		st.deadline = time.Now().Add(opts.Deadline)
+		st.deadline = time.Now().Add(opts.Deadline) //vase:walltime (anytime deadline)
 	}
 	return st
 }
@@ -201,7 +201,7 @@ func (st *stopper) stop(step int) bool {
 	if st.ctx.Err() != nil {
 		return true
 	}
-	return !st.deadline.IsZero() && time.Now().After(st.deadline)
+	return !st.deadline.IsZero() && time.Now().After(st.deadline) //vase:walltime (anytime deadline)
 }
 
 // checkProbes verifies every requested probe name resolved to a net; the
@@ -323,7 +323,7 @@ func newModSim(m *vhif.Module, inputs map[string]Source, opts Options) (*modSim,
 			valid[n.Name] = true
 		}
 	}
-	for name := range s.probes {
+	for name := range s.probes { //vase:unordered (per-key set insertion)
 		valid[name] = true
 	}
 	if err := checkProbes(opts.Probes, valid); err != nil {
@@ -335,7 +335,7 @@ func newModSim(m *vhif.Module, inputs map[string]Source, opts Options) (*modSim,
 			s.byName[n.Name] = n
 		}
 	}
-	for name, n := range s.probes {
+	for name, n := range s.probes { //vase:unordered (per-key writes; probe names are unique)
 		s.byName[name] = n
 	}
 	return s, nil
@@ -576,7 +576,7 @@ func (s *modSim) run(ctx context.Context) (*Trace, error) {
 		t := float64(step) * h
 		vals := s.eval(t, x)
 		tr.Time = append(tr.Time, t)
-		for name, net := range s.probes {
+		for name, net := range s.probes { //vase:unordered (per-key append into the probe's own series)
 			tr.Signals[name] = append(tr.Signals[name], vals[net])
 		}
 		if s.opts.OnSample != nil {

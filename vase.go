@@ -33,6 +33,7 @@ import (
 	"math"
 	"strings"
 
+	"vase/internal/absint"
 	"vase/internal/ast"
 	"vase/internal/compile"
 	"vase/internal/corpus"
@@ -158,6 +159,39 @@ func CompileVia(ctx context.Context, p *Pipeline, src Source) (*Design, error) {
 		pipe:   p,
 		text:   cr.Text,
 	}, nil
+}
+
+// RangeAnalysis is the memoized output of the pipeline's ranges stage: the
+// static value hull of every probe-resolvable signal of a design, computed
+// by abstract interpretation over the VHIF graph. Its Check/CheckAll
+// methods decide assert pragmas statically (Prove/Refute/Unknown).
+type RangeAnalysis = pipeline.RangesResult
+
+// StaticProperty pairs an assertion with its static verdict and the range
+// facts it rests on.
+type StaticProperty = absint.Property
+
+// StaticVerdict is the outcome of checking one assertion against static
+// hulls. Prove guarantees the runtime monitor can never report Fail;
+// Refute guarantees it can never report Pass; Unknown makes no claim.
+type StaticVerdict = absint.Verdict
+
+// The static verdicts.
+const (
+	StaticUnknown = absint.Unknown
+	StaticProve   = absint.Prove
+	StaticRefute  = absint.Refute
+)
+
+// Ranges runs (or reuses) the value-range analysis for the design through
+// the pipeline that compiled it.
+func (d *Design) Ranges() (*RangeAnalysis, error) {
+	return d.RangesContext(context.Background())
+}
+
+// RangesContext is Ranges with cancellation.
+func (d *Design) RangesContext(ctx context.Context) (*RangeAnalysis, error) {
+	return d.pipe.RangesText(ctx, d.VHIF, d.text)
 }
 
 // LintOptions configures a lint run (pass selection).
