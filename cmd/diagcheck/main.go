@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"vase/internal/diagcheck"
+	"vase/internal/exitcode"
 )
 
 func main() {
@@ -46,7 +47,7 @@ func main() {
 	}
 	if len(checks) == 0 {
 		fmt.Fprintf(os.Stderr, "diagcheck: unknown suite %q (diag, determinism, all)\n", *suite)
-		os.Exit(2)
+		os.Exit(exitcode.Usage)
 	}
 
 	bad := false
@@ -58,8 +59,7 @@ func main() {
 		for _, dir := range dirs {
 			vs, err := c.run(dir)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "diagcheck:", err)
-				os.Exit(2)
+				exitcode.Fail("diagcheck", exitcode.Error, err)
 			}
 			for _, v := range vs {
 				fmt.Printf("[%s] %s\n", c.name, v)
@@ -68,6 +68,6 @@ func main() {
 		}
 	}
 	if bad {
-		os.Exit(1)
+		os.Exit(exitcode.Error)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vase"
+	"vase/internal/exitcode"
 )
 
 func main() {
@@ -58,11 +59,11 @@ func main() {
 	var arch *vase.Architecture
 	if *fromVHIF {
 		if len(flag.Args()) != 1 {
-			fail(fmt.Errorf("usage: vase -from-vhif file.vhif"))
+			usage(fmt.Errorf("usage: vase -from-vhif file.vhif"))
 		}
 		text, err := os.ReadFile(flag.Args()[0])
 		if err != nil {
-			fail(err)
+			usage(err)
 		}
 		m, err := vase.ParseVHIF(string(text))
 		if err != nil {
@@ -74,7 +75,7 @@ func main() {
 				fail(err)
 			}
 			if !reportFindings(findings, vase.Source{Name: flag.Args()[0], Text: string(text)}, *werror) {
-				os.Exit(1)
+				os.Exit(exitcode.Error)
 			}
 		}
 		if *showVHIF {
@@ -88,7 +89,7 @@ func main() {
 	} else {
 		src, err := loadSource(*benchmark, flag.Args())
 		if err != nil {
-			fail(err)
+			usage(err)
 		}
 		if *lintFlag || *werror {
 			findings, err := vase.LintVia(context.Background(), pipe, src, vase.LintOptions{})
@@ -96,13 +97,13 @@ func main() {
 				fail(err)
 			}
 			if !reportFindings(findings, src, *werror) {
-				os.Exit(1)
+				os.Exit(exitcode.Error)
 			}
 		}
 		d, err := vase.CompileVia(context.Background(), pipe, src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
-			os.Exit(1)
+			os.Exit(exitcode.Error)
 		}
 		if *showVHIF {
 			fmt.Print(d.VHIF.Dump())
@@ -194,6 +195,9 @@ func loadSource(benchmark string, args []string) (vase.Source, error) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "vase:", err)
-	os.Exit(1)
+	exitcode.Fail("vase", exitcode.Error, err)
+}
+
+func usage(err error) {
+	exitcode.Fail("vase", exitcode.Usage, err)
 }

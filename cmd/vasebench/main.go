@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"vase/internal/corpus"
+	"vase/internal/exitcode"
 	"vase/internal/mapper"
 	"vase/internal/pipeline"
 )
@@ -114,6 +115,5 @@ func section(title string) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "vasebench:", err)
-	os.Exit(1)
+	exitcode.Fail("vasebench", exitcode.Error, err)
 }

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"vase/internal/exitcode"
 	"vase/internal/gen"
 )
 
@@ -60,14 +61,14 @@ func main() {
 		return
 	}
 	if *n <= 0 {
-		fail(fmt.Errorf("-n must be positive"))
+		usage(fmt.Errorf("-n must be positive"))
 	}
 
 	var fixed *gen.Size
 	if *sizeFlag != "mixed" {
 		s, err := gen.ParseSize(*sizeFlag)
 		if err != nil {
-			fail(err)
+			usage(err)
 		}
 		fixed = &s
 	}
@@ -123,13 +124,13 @@ func main() {
 		},
 	}
 
-	exit := 0
+	exit := exitcode.OK
 	if *check {
 		pairs := []string{"front"}
 		res := runCampaign(*seed, *n, fixed, pairs, *shrink, *workers, *reproDir, logf)
 		bench["check"] = benchCampaign(res)
 		if len(res.Divergences) > 0 {
-			exit = 1
+			exit = exitcode.Error
 		}
 	}
 	if *campaign {
@@ -142,7 +143,7 @@ func main() {
 			res.Specs, res.PairRuns, res.Skipped, len(res.Divergences), res.Elapsed.Round(time.Millisecond))
 		bench["campaign"] = benchCampaign(res)
 		if len(res.Divergences) > 0 {
-			exit = 1
+			exit = exitcode.Error
 		}
 	}
 
@@ -206,6 +207,9 @@ func benchCampaign(res *gen.CampaignResult) map[string]any {
 func round2(v float64) float64 { return float64(int(v*100)) / 100 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "vasegen:", err)
-	os.Exit(2)
+	exitcode.Fail("vasegen", exitcode.Error, err)
+}
+
+func usage(err error) {
+	exitcode.Fail("vasegen", exitcode.Usage, err)
 }

@@ -8,9 +8,10 @@
 //	vaselint [-json] [-Werror] [-v] [-passes list] file.vhd dir/ ...
 //	vaselint -list
 //
-// Directories are searched (non-recursively) for .vhd and .vhif files. The
-// exit status is 1 when any error-severity finding is reported — or any
-// warning under -Werror — and 0 otherwise.
+// Directories are searched (non-recursively) for .vhd and .vhif files. Exit
+// status follows the shared contract (internal/exitcode): 1 when any
+// error-severity finding is reported — or any warning under -Werror — 2 for
+// invocation problems (no lintable files, unreadable paths), 0 otherwise.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"vase"
+	"vase/internal/exitcode"
 	"vase/internal/source"
 )
 
@@ -39,7 +41,7 @@ func main() {
 		return
 	}
 	if flag.NArg() == 0 {
-		fail(fmt.Errorf("usage: vaselint [flags] file.vhd dir/ ..."))
+		usage(fmt.Errorf("usage: vaselint [flags] file.vhd dir/ ..."))
 	}
 
 	opts := vase.LintOptions{}
@@ -49,17 +51,17 @@ func main() {
 
 	files, err := expandArgs(flag.Args())
 	if err != nil {
-		fail(err)
+		usage(err)
 	}
 	if len(files) == 0 {
-		fail(fmt.Errorf("no .vhd or .vhif files among the arguments"))
+		usage(fmt.Errorf("no .vhd or .vhif files among the arguments"))
 	}
 
-	exit := 0
+	exit := exitcode.OK
 	for _, path := range files {
 		raw, err := os.ReadFile(path)
 		if err != nil {
-			fail(err)
+			usage(err)
 		}
 		text := string(raw)
 		var findings vase.Diagnostics
@@ -92,10 +94,10 @@ func main() {
 			fmt.Print(shown.Render(f))
 		}
 		if shown.HasErrors() {
-			exit = 1
+			exit = exitcode.Error
 		}
 	}
-	if exit != 0 {
+	if exit != exitcode.OK {
 		os.Exit(exit)
 	}
 }
@@ -129,9 +131,13 @@ func expandArgs(args []string) ([]string, error) {
 	return out, nil
 }
 
+// fail reports an operational error (the lint ran and broke); usage reports
+// an invocation problem. The distinct codes let scripts tell findings (1)
+// from a mistyped command line (2).
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "vaselint:", err)
-	// Driver errors (unknown pass, unreadable file) use a distinct exit code
-	// so scripts can tell them from findings.
-	os.Exit(2)
+	exitcode.Fail("vaselint", exitcode.Error, err)
+}
+
+func usage(err error) {
+	exitcode.Fail("vaselint", exitcode.Usage, err)
 }

@@ -26,11 +26,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"vase"
 	"vase/internal/assertlang"
+	"vase/internal/exitcode"
 )
 
 type inputFlags map[string]vase.Waveform
@@ -42,58 +42,12 @@ func (f inputFlags) Set(arg string) error {
 	if !ok {
 		return fmt.Errorf("input must be name=spec, got %q", arg)
 	}
-	w, err := parseWave(spec)
+	w, err := vase.ParseWaveform(spec)
 	if err != nil {
 		return err
 	}
 	f[name] = w
 	return nil
-}
-
-func parseWave(spec string) (vase.Waveform, error) {
-	kind, rest, _ := strings.Cut(spec, ":")
-	nums := func(n int) ([]float64, error) {
-		parts := strings.Split(rest, ",")
-		if len(parts) != n {
-			return nil, fmt.Errorf("waveform %q requires %d parameters", kind, n)
-		}
-		out := make([]float64, n)
-		for i, p := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			if err != nil {
-				return nil, fmt.Errorf("waveform parameter %q: %v", p, err)
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	switch kind {
-	case "dc":
-		v, err := nums(1)
-		if err != nil {
-			return nil, err
-		}
-		return vase.DC(v[0]), nil
-	case "sine":
-		v, err := nums(2)
-		if err != nil {
-			return nil, err
-		}
-		return vase.Sine(v[0], v[1], 0), nil
-	case "step":
-		v, err := nums(3)
-		if err != nil {
-			return nil, err
-		}
-		return vase.StepAt(v[0], v[1], v[2]), nil
-	case "ramp":
-		v, err := nums(1)
-		if err != nil {
-			return nil, err
-		}
-		return vase.Ramp(v[0]), nil
-	}
-	return nil, fmt.Errorf("unknown waveform kind %q (dc, sine, step, ramp)", kind)
 }
 
 func main() {
@@ -131,7 +85,7 @@ func main() {
 
 	src, err := loadSource(*benchmark, flag.Args())
 	if err != nil {
-		fail(err)
+		usage(err)
 	}
 	var asserts []*assertlang.Assertion
 	if *checkAsserts {
@@ -235,7 +189,7 @@ func main() {
 		noteTruncated(res.Tran.Truncated)
 		outcomes = assertlang.CheckTran(monitored, res.Elab, res.Tran)
 	default:
-		fail(fmt.Errorf("unknown level %q", *level))
+		usage(fmt.Errorf("unknown level %q", *level))
 	}
 	if *solverStats && *level != "circuit" {
 		fmt.Fprintln(os.Stderr, "note: -stats applies to -level circuit only")
@@ -250,7 +204,7 @@ func main() {
 		// Distinct from both success (0) and failure (1): the run decided
 		// nothing either way for these assertions.
 		fmt.Fprintf(os.Stderr, "vasesim: %d assertion(s) undecided (UNKNOWN)\n", n)
-		os.Exit(3)
+		os.Exit(exitcode.Unknown)
 	}
 }
 
@@ -354,6 +308,9 @@ func loadSource(benchmark string, args []string) (vase.Source, error) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "vasesim:", err)
-	os.Exit(1)
+	exitcode.Fail("vasesim", exitcode.Error, err)
+}
+
+func usage(err error) {
+	exitcode.Fail("vasesim", exitcode.Usage, err)
 }

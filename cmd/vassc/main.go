@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"vase"
+	"vase/internal/exitcode"
 )
 
 func main() {
@@ -44,12 +45,12 @@ func main() {
 
 	src, err := loadSource(*benchmark, flag.Args())
 	if err != nil {
-		fail(err)
+		usage(err)
 	}
 
 	if *lintFlag || *werror {
 		if !runLint(ctx, pipe, src, *werror) {
-			os.Exit(1)
+			os.Exit(exitcode.Error)
 		}
 	}
 
@@ -68,7 +69,7 @@ func main() {
 	d, err := vase.CompileVia(ctx, pipe, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
-		os.Exit(1)
+		os.Exit(exitcode.Error)
 	}
 	fmt.Print(d.VHIF.Dump())
 	if *metrics {
@@ -122,6 +123,9 @@ func plural(n int, one, many string) string {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "vassc:", err)
-	os.Exit(1)
+	exitcode.Fail("vassc", exitcode.Error, err)
+}
+
+func usage(err error) {
+	exitcode.Fail("vassc", exitcode.Usage, err)
 }

@@ -1,0 +1,70 @@
+// Package exitcode defines the process exit-code contract shared by every
+// VASE command-line tool and its mapping onto HTTP statuses for vased.
+//
+// The contract:
+//
+//	0  OK       the requested work completed
+//	1  Error    the work ran and failed: compile errors, error-severity lint
+//	            findings, failed assertions, campaign divergences
+//	2  Usage    the invocation was wrong: bad flags, wrong argument count,
+//	            unknown pass/suite/level names, unreadable input paths
+//	3  Unknown  the run decided nothing either way — vasesim -assert with
+//	            undecided monitors on a truncated or too-short trace
+//
+// Scripts can therefore distinguish "checked and passed" (0) from "checked
+// and failed" (1) from "you called it wrong" (2) from "not decided" (3)
+// uniformly across vase, vassc, vaselint, vasesim, vasegen, vasebench and
+// diagcheck. The flag package's own parse failures already exit 2, which the
+// contract adopts as the Usage code.
+package exitcode
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+)
+
+const (
+	// OK: the requested work completed.
+	OK = 0
+	// Error: the work ran and failed (diagnostics, findings, divergences).
+	Error = 1
+	// Usage: the invocation itself was wrong.
+	Usage = 2
+	// Unknown: the run completed but decided nothing (undecided assertions).
+	Unknown = 3
+)
+
+// HTTPStatus maps a tool exit code onto the HTTP status vased uses for the
+// equivalent outcome:
+//
+//	OK      -> 200 OK
+//	Usage   -> 400 Bad Request        (malformed request body or parameters)
+//	Error   -> 422 Unprocessable Entity (well-formed input that fails to
+//	           compile, lint clean, or synthesize)
+//	Unknown -> 206 Partial Content    (an answer was produced but is not a
+//	           definitive verdict — mirrors vasesim's exit 3)
+//
+// Transport-level conditions (queue saturation 429, queue deadline 503,
+// request deadline 504) have no exit-code analogue and are handled by the
+// server directly.
+func HTTPStatus(code int) int {
+	switch code {
+	case OK:
+		return http.StatusOK
+	case Usage:
+		return http.StatusBadRequest
+	case Unknown:
+		return http.StatusPartialContent
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// Fail prints "tool: err" to stderr and exits with the given code. It is the
+// shared tail of every CLI's error path; keeping it here keeps the code
+// choice next to the contract it implements.
+func Fail(tool string, code int, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(code)
+}

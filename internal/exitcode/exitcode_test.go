@@ -1,0 +1,32 @@
+package exitcode
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestContractValues(t *testing.T) {
+	// The numeric values are the contract: scripts and CI match on them.
+	if OK != 0 || Error != 1 || Usage != 2 || Unknown != 3 {
+		t.Fatalf("exit-code contract drifted: OK=%d Error=%d Usage=%d Unknown=%d",
+			OK, Error, Usage, Unknown)
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		code int
+		want int
+	}{
+		{OK, http.StatusOK},
+		{Usage, http.StatusBadRequest},
+		{Error, http.StatusUnprocessableEntity},
+		{Unknown, http.StatusPartialContent},
+		{99, http.StatusUnprocessableEntity}, // anything unrecognized is an error
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.code); got != c.want {
+			t.Errorf("HTTPStatus(%d) = %d, want %d", c.code, got, c.want)
+		}
+	}
+}

@@ -115,6 +115,17 @@ func DefaultOptions() Options {
 	return Options{Process: estimate.SCN20}
 }
 
+// EffectiveWorkers resolves an Options.Workers value to the worker count a
+// search will actually use: n itself when positive, runtime.GOMAXPROCS(0)
+// otherwise. Exported so a scheduler arbitrating a shared worker budget
+// (the vased server) agrees with the search about what a request consumes.
+func EffectiveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 // Stats reports search effort and outcome. In parallel runs the counters
 // aggregate over the splitter and every worker task.
 type Stats struct {
@@ -194,9 +205,7 @@ func SynthesizeContext(ctx context.Context, m *vhif.Module, opts Options) (*Resu
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 1 << 22
 	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
+	opts.Workers = EffectiveWorkers(opts.Workers)
 	s := newSearch(m, opts)
 	if ctx.Done() != nil {
 		// The workers poll an atomic flag instead of the context channel:

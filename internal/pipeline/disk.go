@@ -3,6 +3,10 @@ package pipeline
 import (
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 )
 
 // diskStore is the on-disk artifact cache: one file per (stage, key), named
@@ -10,15 +14,100 @@ import (
 // immutable once written and a directory can be shared by concurrent
 // processes — the worst race outcome is two writers producing the same
 // bytes.
+//
+// With a byte budget (maxBytes > 0) the store evicts least-recently-used
+// artifacts when a write would exceed the budget: reads touch the
+// artifact's mtime (best effort), so eviction order approximates LRU. The
+// in-memory size tally is resynchronized from a directory scan on every
+// eviction pass, so concurrent processes sharing the directory drift only
+// between evictions.
 type diskStore struct {
-	dir string
+	dir      string
+	maxBytes int64
+
+	mu   sync.Mutex
+	size int64 // tracked bytes of *.art files; see resync note above
 }
 
-func newDiskStore(dir string) (*diskStore, error) {
+// tmpPrefix names in-progress atomic writes. A crash between CreateTemp and
+// the rename orphans such a file; sweepStaleTemps reclaims them.
+const tmpPrefix = "tmp-"
+
+// staleTempAge is how old a temp file must be before the open-time sweep
+// treats it as an orphan of a crashed writer rather than a live write in
+// another process. Writes are small and take milliseconds; ten minutes is
+// conservatively far above any live write.
+const staleTempAge = 10 * time.Minute
+
+func newDiskStore(dir string, maxBytes int64) (*diskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &diskStore{dir: dir}, nil
+	d := &diskStore{dir: dir, maxBytes: maxBytes}
+	d.sweepStaleTemps(time.Now()) //vase:walltime (orphan-age threshold)
+	d.size = d.scanSize()
+	return d, nil
+}
+
+// sweepStaleTemps removes temp files left behind by writers that crashed
+// between the temp write and the atomic rename. Only files older than
+// staleTempAge go: a younger temp may be a live write in another process
+// sharing the directory.
+func (d *diskStore) sweepStaleTemps(now time.Time) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if now.Sub(info.ModTime()) >= staleTempAge {
+			_ = os.Remove(filepath.Join(d.dir, e.Name()))
+		}
+	}
+}
+
+// scanSize sums the bytes of the completed artifacts in the directory.
+func (d *diskStore) scanSize() int64 {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".art") || strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// usage reports the tracked byte size and the artifact count.
+func (d *diskStore) usage() (int64, int) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, 0
+	}
+	var total int64
+	files := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".art") || strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+			files++
+		}
+	}
+	return total, files
 }
 
 func (d *diskStore) path(st Stage, k Key) string {
@@ -26,17 +115,38 @@ func (d *diskStore) path(st Stage, k Key) string {
 }
 
 func (d *diskStore) read(st Stage, k Key) ([]byte, bool) {
-	data, err := os.ReadFile(d.path(st, k))
+	path := d.path(st, k)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
+	}
+	if d.maxBytes > 0 {
+		// Touch the artifact so the byte-budget eviction approximates LRU
+		// instead of FIFO. Best effort: a failed touch only worsens the
+		// eviction order, never correctness.
+		now := time.Now() //vase:walltime (LRU eviction recency)
+		_ = os.Chtimes(path, now, now)
 	}
 	return data, true
 }
 
 // write stores an artifact atomically (temp file + rename), so a reader in
-// another process never observes a half-written artifact.
+// another process never observes a half-written artifact. Under a byte
+// budget the store evicts LRU artifacts first so the write fits; an
+// artifact larger than the whole budget is skipped outright.
 func (d *diskStore) write(st Stage, k Key, data []byte) error {
-	tmp, err := os.CreateTemp(d.dir, "tmp-*.art")
+	if d.maxBytes > 0 {
+		if int64(len(data)) > d.maxBytes {
+			return nil // can never fit; storing it would evict everything else
+		}
+		d.mu.Lock()
+		if d.size+int64(len(data)) > d.maxBytes {
+			d.evict(d.maxBytes - int64(len(data)))
+		}
+		d.size += int64(len(data))
+		d.mu.Unlock()
+	}
+	tmp, err := os.CreateTemp(d.dir, tmpPrefix+"*.art")
 	if err != nil {
 		return err
 	}
@@ -54,4 +164,47 @@ func (d *diskStore) write(st Stage, k Key, data []byte) error {
 		return err
 	}
 	return nil
+}
+
+// evict removes least-recently-used artifacts until the store holds at most
+// budget bytes. Called with d.mu held; resynchronizes d.size from the
+// directory, so drift from concurrent processes self-corrects here.
+func (d *diskStore) evict(budget int64) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	type artifact struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var arts []artifact
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".art") || strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		arts = append(arts, artifact{e.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(arts, func(i, j int) bool {
+		if !arts[i].mtime.Equal(arts[j].mtime) {
+			return arts[i].mtime.Before(arts[j].mtime)
+		}
+		return arts[i].name < arts[j].name // tie-break for a stable order
+	})
+	for _, a := range arts {
+		if total <= budget {
+			break
+		}
+		if os.Remove(filepath.Join(d.dir, a.name)) == nil {
+			total -= a.size
+		}
+	}
+	d.size = total
 }

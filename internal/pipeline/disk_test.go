@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeTemp plants a temp file in the cache dir as an interrupted atomic
+// write would leave it, with the given age.
+func writeTemp(t *testing.T, dir string, age time.Duration) string {
+	t.Helper()
+	f, err := os.CreateTemp(dir, tmpPrefix+"*.art")
+	if err != nil {
+		t.Fatalf("create temp: %v", err)
+	}
+	if _, err := f.WriteString("half-written artifact"); err != nil {
+		t.Fatalf("write temp: %v", err)
+	}
+	f.Close()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(f.Name(), old, old); err != nil {
+		t.Fatalf("age temp: %v", err)
+	}
+	return f.Name()
+}
+
+// TestDiskSweepsOrphanedTemps is the crash-simulation test: a writer that
+// died between CreateTemp and the rename leaves a temp file behind; opening
+// the store must reclaim it. A recent temp (a live write in another
+// process) must survive the sweep.
+func TestDiskSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := writeTemp(t, dir, staleTempAge+time.Hour)
+	fresh := writeTemp(t, dir, 0)
+
+	if _, err := newDiskStore(dir, 0); err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp %s survived the open-time sweep (err=%v)", filepath.Base(stale), err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp %s was swept although it may be a live write: %v", filepath.Base(fresh), err)
+	}
+}
+
+// TestDiskSweepRepeatedOpens models the pre-fix failure: every crashed run
+// adds a temp file and nothing ever removes them. After the fix, reopening
+// the directory holds the orphan population at zero.
+func TestDiskSweepRepeatedOpens(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 5; i++ {
+		writeTemp(t, dir, staleTempAge+time.Duration(i+1)*time.Minute)
+		if _, err := newDiskStore(dir, 0); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Errorf("orphaned temp %s accumulated across opens", e.Name())
+		}
+	}
+}
+
+func TestDiskByteBudgetEviction(t *testing.T) {
+	dir := t.TempDir()
+	const artifact = 100 // bytes per artifact
+	d, err := newDiskStore(dir, 3*artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Repeat("x", artifact)
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i] = keyOf("test/budget", fmt.Sprint(i))
+		if err := d.write(StageCompile, keys[i], []byte(payload)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		// Space the mtimes out so LRU order is unambiguous on coarse
+		// filesystem timestamps.
+		old := time.Now().Add(-time.Duration(len(keys)-i) * time.Hour)
+		if err := os.Chtimes(d.path(StageCompile, keys[i]), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if size, files := d.usage(); size > 3*artifact || files > 3 {
+		t.Errorf("store holds %d bytes in %d files, budget is %d", size, files, 3*artifact)
+	}
+	// The oldest artifacts are the evicted ones.
+	for i, k := range keys {
+		_, ok := d.read(StageCompile, k)
+		wantEvicted := i < 2
+		if ok == wantEvicted {
+			t.Errorf("artifact %d: present=%v, want evicted=%v", i, ok, wantEvicted)
+		}
+	}
+	// An artifact larger than the whole budget is skipped, not stored.
+	huge := keyOf("test/budget", "huge")
+	if err := d.write(StageCompile, huge, []byte(strings.Repeat("y", 4*artifact))); err != nil {
+		t.Fatalf("oversized write errored: %v", err)
+	}
+	if _, ok := d.read(StageCompile, huge); ok {
+		t.Error("an artifact larger than the budget was stored")
+	}
+}
+
+// TestDiskBudgetEndToEnd drives the eviction through the Pipeline API: a
+// store too small for both artifacts keeps serving, just with misses.
+func TestDiskBudgetEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	p := newPipe(t, Options{CacheDir: dir, CacheBytes: 1}) // evict ~everything
+	if _, err := p.Compile(context.Background(), "mixer.vhd", mixerSrc); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	bytes, files, ok := p.DiskUsage()
+	if !ok {
+		t.Fatal("DiskUsage reported no disk store")
+	}
+	if bytes > 1 || files > 0 {
+		t.Errorf("1-byte budget holds %d bytes in %d files", bytes, files)
+	}
+	// A second process over the same dir recomputes instead of failing.
+	q := newPipe(t, Options{CacheDir: dir, CacheBytes: 1})
+	cr, err := q.Compile(context.Background(), "mixer.vhd", mixerSrc)
+	if err != nil {
+		t.Fatalf("compile after eviction: %v", err)
+	}
+	if cr.Cached {
+		t.Error("evicted artifact was served as a cache hit")
+	}
+}

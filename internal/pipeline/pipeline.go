@@ -17,7 +17,11 @@
 //     serializable artifacts (VHIF text for the compile stage, the netlist
 //     encoding for the map stage) so results survive across processes, and
 //  3. single-flight deduplication: concurrent requests for the same key
-//     share one computation instead of racing redundant searches.
+//     share one computation instead of racing redundant searches. The
+//     shared computation is detached from every individual request's
+//     context — it is cancelled only when the last interested caller has
+//     departed — so one client's timeout can never fail another client's
+//     request (the property a multi-tenant server depends on).
 //
 // Degraded results are never cached: a search truncated by a deadline, node
 // budget or cancellation (Result.Nonoptimal), or any stage that observed a
@@ -85,6 +89,11 @@ type Options struct {
 	// directory ("" = memory only). Artifacts are content-addressed, so a
 	// directory may safely be shared by concurrent processes.
 	CacheDir string
+	// CacheBytes bounds the on-disk store (0 = unbounded). When a write
+	// pushes the store past the budget, the least-recently-used artifacts
+	// are evicted until it fits again; an artifact larger than the whole
+	// budget is simply not stored.
+	CacheBytes int64
 }
 
 // DefaultMemoryEntries is the in-memory LRU capacity when
@@ -103,6 +112,10 @@ type StageStats struct {
 	Misses uint64
 	// Errors are stage computations that failed.
 	Errors uint64
+	// Degraded are computations that completed but produced a result the
+	// never-cache-degraded rule refused to store (truncated searches,
+	// cancelled contexts). A server maps these to explicit load-shedding.
+	Degraded uint64
 	// ComputeTime accumulates the wall-clock time of the misses.
 	ComputeTime time.Duration
 }
@@ -113,6 +126,9 @@ func (s StageStats) Cached() uint64 { return s.Hits + s.DiskHits + s.Shared }
 // Stats is a snapshot of every stage's counters.
 type Stats struct {
 	Stages [NumStages]StageStats
+	// Latency holds the per-stage compute-latency histograms (misses only;
+	// cache hits are not observed). Bucket bounds are HistBounds().
+	Latency [NumStages]Histogram
 }
 
 // Stage returns the counters of one stage.
@@ -121,12 +137,12 @@ func (s Stats) Stage(st Stage) StageStats { return s.Stages[st] }
 // String renders the per-stage counters as a table (the -cache-stats
 // output of the CLIs).
 func (s Stats) String() string {
-	out := fmt.Sprintf("%-9s %8s %8s %8s %8s %8s %12s\n",
-		"stage", "mem-hit", "disk-hit", "shared", "miss", "error", "compute")
+	out := fmt.Sprintf("%-9s %8s %8s %8s %8s %8s %8s %12s\n",
+		"stage", "mem-hit", "disk-hit", "shared", "miss", "error", "degrade", "compute")
 	for st := Stage(0); st < NumStages; st++ {
 		c := s.Stages[st]
-		out += fmt.Sprintf("%-9s %8d %8d %8d %8d %8d %12s\n",
-			st, c.Hits, c.DiskHits, c.Shared, c.Misses, c.Errors,
+		out += fmt.Sprintf("%-9s %8d %8d %8d %8d %8d %8d %12s\n",
+			st, c.Hits, c.DiskHits, c.Shared, c.Misses, c.Errors, c.Degraded,
 			c.ComputeTime.Round(time.Microsecond))
 	}
 	return out
@@ -136,11 +152,11 @@ func (s Stats) String() string {
 // memoization. The zero value is not usable; construct with New, or use the
 // process-wide Default.
 type Pipeline struct {
-	mu      sync.Mutex
-	lru     *lruCache // nil when in-memory caching is disabled
-	flights map[Key]*flight
-	stats   [NumStages]StageStats
-	disk    *diskStore // nil when no cache dir is configured
+	mu       sync.Mutex
+	lru      *lruCache // nil when in-memory caching is disabled
+	flights  map[Key]*flight
+	counters [NumStages]stageCounters
+	disk     *diskStore // nil when no cache dir is configured
 }
 
 // New builds a pipeline. The error is non-nil only when the configured
@@ -155,7 +171,7 @@ func New(opts Options) (*Pipeline, error) {
 		p.lru = newLRU(entries)
 	}
 	if opts.CacheDir != "" {
-		d, err := newDiskStore(opts.CacheDir)
+		d, err := newDiskStore(opts.CacheDir, opts.CacheBytes)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: cache dir: %w", err)
 		}
@@ -180,11 +196,26 @@ func Default() *Pipeline {
 	return defaultOnce.p
 }
 
-// Stats returns a snapshot of the per-stage counters.
+// Stats returns a snapshot of the per-stage counters. The counters are
+// atomics, so the snapshot never blocks in-flight requests and never tears
+// an individual counter; see stageCounters.snapshot for the coherence
+// contract.
 func (p *Pipeline) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return Stats{Stages: p.stats}
+	var s Stats
+	for i := range p.counters {
+		s.Stages[i], s.Latency[i] = p.counters[i].snapshot()
+	}
+	return s
+}
+
+// DiskUsage reports the byte size and artifact count of the on-disk store,
+// or ok=false when the pipeline has none.
+func (p *Pipeline) DiskUsage() (bytes int64, files int, ok bool) {
+	if p.disk == nil {
+		return 0, 0, false
+	}
+	bytes, files = p.disk.usage()
+	return bytes, files, true
 }
 
 // source reports how a memoized value was obtained.
@@ -209,11 +240,26 @@ type codec struct {
 }
 
 // flight is one in-progress stage computation that concurrent identical
-// requests wait on.
+// requests wait on. The computation runs in its own goroutine under a
+// context detached from every caller (context.WithoutCancel), so no single
+// request's timeout can fail the shared work; refs counts the callers still
+// interested, and cancel fires only when the last of them departs — at
+// which point the work serves nobody and is told to stop (for anytime
+// stages that means: return the incumbent, which the last departing waiter
+// harvests).
 type flight struct {
-	done chan struct{}
-	val  any
-	err  error
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int // guarded by the Pipeline mutex
+	// abandoned records that the flight was cancelled because its last
+	// waiter departed (guarded by the Pipeline mutex). Only abandoned
+	// flights are retried by late joiners: a computation that returns a
+	// context error of its own making (an internal search deadline, say)
+	// would otherwise be retried forever.
+	abandoned bool
+	val       any
+	src       source
+	err       error
 }
 
 // isCtxErr reports whether err is a cancellation/deadline error.
@@ -224,48 +270,103 @@ func isCtxErr(err error) bool {
 // memo serves one stage request: in-memory LRU, then the single-flight
 // table, then the disk store, then compute. compute returns the stage value
 // plus a cacheable flag: degraded results (cancelled context, truncated
-// search) are returned but never stored. A waiter whose leader was
-// cancelled retries the computation itself if its own context is still
-// live, so one impatient caller cannot poison the result for patient ones.
+// search) are returned but never stored.
+//
+// The single-flight computation is context-independent: it runs under its
+// own context, cancelled only when every interested caller has departed.
+// A follower whose own context expires leaves with its context's error
+// while the shared work continues for the others; a follower that finds
+// the flight dead of a cancellation it did not ask for re-elects itself
+// leader and retries, so one impatient caller can never poison the result
+// for patient ones.
 func (p *Pipeline) memo(ctx context.Context, st Stage, key Key, c *codec, compute func(context.Context) (any, bool, error)) (any, source, error) {
 	for {
 		p.mu.Lock()
 		if p.lru != nil {
 			if v, ok := p.lru.get(key); ok {
-				p.stats[st].Hits++
 				p.mu.Unlock()
+				p.counters[st].hits.Add(1)
 				return v, srcMemory, nil
 			}
 		}
-		if f, ok := p.flights[key]; ok {
-			p.mu.Unlock()
-			select {
-			case <-f.done:
-			case <-ctx.Done():
-				return nil, srcShared, ctx.Err()
+		f, initiator := p.flights[key], false
+		if f == nil {
+			initiator = true
+			fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+			f = &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
+			if ctx.Err() != nil {
+				// An already-expired caller still initiates (the anytime
+				// contract returns a degraded incumbent, not an error), but
+				// the computation must observe the cancellation from its
+				// very first node so truncation stays deterministic. The
+				// flight counts as abandoned so a live joiner retries
+				// rather than inheriting this caller's cancellation.
+				f.abandoned = true
+				cancel()
 			}
-			if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
-				// The leader was cancelled but this caller is alive:
-				// take over the computation.
-				continue
-			}
-			p.mu.Lock()
-			p.stats[st].Shared++
+			p.flights[key] = f
 			p.mu.Unlock()
-			return f.val, srcShared, f.err
+			go p.runFlight(fctx, st, key, f, c, compute)
+		} else {
+			f.refs++
+			p.mu.Unlock()
 		}
-		f := &flight{done: make(chan struct{})}
-		p.flights[key] = f
-		p.mu.Unlock()
-
-		v, src, err := p.lead(ctx, st, key, c, compute)
-		f.val, f.err = v, err
-		p.mu.Lock()
-		delete(p.flights, key)
-		p.mu.Unlock()
-		close(f.done)
+		v, src, err, settled := p.await(ctx, st, f, initiator)
+		if !settled {
+			continue // the flight died of someone else's cancellation: retry
+		}
 		return v, src, err
 	}
+}
+
+// await blocks until the flight completes or the caller's own context
+// expires. A departing caller that is not the last keeps the shared work
+// running and returns its own context error; the last departing caller
+// cancels the flight and harvests the (possibly anytime-degraded) outcome,
+// preserving the sole-caller semantics of the pre-server pipeline. The
+// fourth return is false when the flight's result is a cancellation this
+// caller did not cause and the caller should retry as the new leader.
+func (p *Pipeline) await(ctx context.Context, st Stage, f *flight, initiator bool) (any, source, error, bool) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		p.mu.Lock()
+		f.refs--
+		last := f.refs == 0
+		if last {
+			f.abandoned = true
+		}
+		p.mu.Unlock()
+		if !last {
+			return nil, srcShared, ctx.Err(), true
+		}
+		f.cancel()
+		<-f.done
+	}
+	if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
+		p.mu.Lock()
+		abandoned := f.abandoned
+		p.mu.Unlock()
+		if abandoned {
+			return nil, srcCompute, nil, false
+		}
+	}
+	if initiator {
+		return f.val, f.src, f.err, true
+	}
+	p.counters[st].shared.Add(1)
+	return f.val, srcShared, f.err, true
+}
+
+// runFlight executes one detached computation and publishes its outcome.
+func (p *Pipeline) runFlight(ctx context.Context, st Stage, key Key, f *flight, c *codec, compute func(context.Context) (any, bool, error)) {
+	v, src, err := p.lead(ctx, st, key, c, compute)
+	f.val, f.src, f.err = v, src, err
+	p.mu.Lock()
+	delete(p.flights, key)
+	p.mu.Unlock()
+	close(f.done)
+	f.cancel() // release the context resources; idempotent
 }
 
 // lead runs the miss path of memo as the single-flight leader: disk probe,
@@ -274,12 +375,12 @@ func (p *Pipeline) lead(ctx context.Context, st Stage, key Key, c *codec, comput
 	if c != nil && p.disk != nil {
 		if data, ok := p.disk.read(st, key); ok {
 			if v, err := c.decode(data); err == nil {
-				p.mu.Lock()
-				p.stats[st].DiskHits++
+				p.counters[st].diskHits.Add(1)
 				if p.lru != nil {
+					p.mu.Lock()
 					p.lru.add(key, v)
+					p.mu.Unlock()
 				}
-				p.mu.Unlock()
 				return v, srcDisk, nil
 			}
 			// A corrupt or stale-format artifact: fall through to
@@ -289,17 +390,16 @@ func (p *Pipeline) lead(ctx context.Context, st Stage, key Key, c *codec, comput
 	start := time.Now() //vase:walltime (stats telemetry)
 	v, cacheable, err := compute(ctx)
 	elapsed := time.Since(start) //vase:walltime (stats telemetry)
-	p.mu.Lock()
 	if err != nil {
-		p.stats[st].Errors++
+		p.counters[st].errors.Add(1)
 	} else {
-		p.stats[st].Misses++
-		p.stats[st].ComputeTime += elapsed
+		p.counters[st].observe(elapsed, !cacheable)
 		if cacheable && p.lru != nil {
+			p.mu.Lock()
 			p.lru.add(key, v)
+			p.mu.Unlock()
 		}
 	}
-	p.mu.Unlock()
 	if err == nil && cacheable && c != nil && p.disk != nil {
 		if data, eerr := c.encode(v); eerr == nil {
 			// Best-effort: a full disk or racing writer must not fail the
@@ -314,12 +414,9 @@ func (p *Pipeline) lead(ctx context.Context, st Stage, key Key, c *codec, comput
 // count records a computation of an unmemoized stage (netlist
 // materialization, estimation).
 func (p *Pipeline) count(st Stage, err error, elapsed time.Duration) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if err != nil {
-		p.stats[st].Errors++
+		p.counters[st].errors.Add(1)
 		return
 	}
-	p.stats[st].Misses++
-	p.stats[st].ComputeTime += elapsed
+	p.counters[st].observe(elapsed, false)
 }

@@ -2,9 +2,12 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"vase/internal/mapper"
 	"vase/internal/vhif"
@@ -307,23 +310,107 @@ func TestMemoSingleFlight(t *testing.T) {
 	}
 }
 
-func TestMemoWaiterRetriesAfterCancelledLeader(t *testing.T) {
+// refsOf reports the current waiter count of the key's flight (0 when no
+// flight is registered).
+func refsOf(p *Pipeline, key Key) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f := p.flights[key]; f != nil {
+		return f.refs
+	}
+	return 0
+}
+
+// TestMemoFollowerSurvivesLeaderCancel is the regression test for the
+// single-flight detachment bugfix: a follower joining a computation led by
+// a request whose context is then cancelled must NOT inherit the leader's
+// cancellation. On the pre-fix pipeline (compute running under the
+// leader's context) the cancel kills the shared computation, the follower
+// re-elects itself and computes a second time — so the computes==1
+// assertion fails there.
+func TestMemoFollowerSurvivesLeaderCancel(t *testing.T) {
+	p := newPipe(t, Options{})
+	key := keyOf("test/detach", "k")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int64
+
+	compute := func(ctx context.Context) (any, bool, error) {
+		if computes.Add(1) == 1 {
+			close(started)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-release:
+			return "value", true, nil
+		}
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := p.memo(leaderCtx, StageMap, key, nil, compute)
+		leaderDone <- err
+	}()
+	<-started
+
+	followerDone := make(chan struct{})
+	var got any
+	var gotErr error
+	go func() {
+		defer close(followerDone)
+		got, _, gotErr = p.memo(context.Background(), StageMap, key, nil, compute)
+	}()
+	// Wait until the follower is registered on the flight, then cancel the
+	// leader out from under it.
+	for refsOf(p, key) < 2 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancelLeader()
+	if err := <-leaderDone; err == nil {
+		t.Error("cancelled leader did not observe its own cancellation")
+	}
+	close(release)
+	<-followerDone
+
+	if gotErr != nil {
+		t.Fatalf("follower inherited the leader's cancellation: %v", gotErr)
+	}
+	if got != "value" {
+		t.Errorf("follower got %v, want the shared computation's value", got)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1 (the shared flight must survive the leader's cancel)", n)
+	}
+}
+
+// TestMemoWaiterRetriesAfterAbandonedFlight covers leader re-election: a
+// caller that joins a flight just as its last waiter departs (cancelling
+// the shared computation) must retry with its own computation instead of
+// inheriting the stranger's cancellation.
+func TestMemoWaiterRetriesAfterAbandonedFlight(t *testing.T) {
 	p := newPipe(t, Options{})
 	key := keyOf("test/retry", "k")
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	started := make(chan struct{})
+	cancelling := make(chan struct{})
+	proceed := make(chan struct{})
 
+	leaderDone := make(chan error, 1)
 	go func() {
 		_, _, err := p.memo(leaderCtx, StageMap, key, nil, func(ctx context.Context) (any, bool, error) {
 			close(started)
 			<-ctx.Done()
+			close(cancelling)
+			<-proceed // hold the dying flight open so the late joiner lands on it
 			return nil, false, ctx.Err()
 		})
-		if err == nil {
-			t.Error("cancelled leader succeeded")
-		}
+		leaderDone <- err
 	}()
 	<-started
+	cancelLeader()
+	<-cancelling
 
 	done := make(chan struct{})
 	var got any
@@ -333,13 +420,39 @@ func TestMemoWaiterRetriesAfterCancelledLeader(t *testing.T) {
 		got, _, gotErr = p.memo(context.Background(), StageMap, key, nil,
 			func(ctx context.Context) (any, bool, error) { return "fresh", true, nil })
 	}()
-	cancelLeader()
+	// The joiner may land on the dying flight or arrive after it is gone;
+	// both paths must end in a fresh computation.
+	close(proceed)
 	<-done
+	if err := <-leaderDone; err == nil {
+		t.Error("cancelled leader succeeded")
+	}
 	if gotErr != nil {
-		t.Fatalf("patient waiter inherited the leader's cancellation: %v", gotErr)
+		t.Fatalf("patient waiter inherited the abandoned flight's cancellation: %v", gotErr)
 	}
 	if got != "fresh" {
 		t.Errorf("waiter got %v, want its own recomputation", got)
+	}
+}
+
+// TestMemoInternalCtxErrorNotRetried pins the boundary of leader
+// re-election: a computation that returns a context error of its own
+// making (an internal deadline, not a departing waiter) is delivered
+// as-is — retrying it would loop forever.
+func TestMemoInternalCtxErrorNotRetried(t *testing.T) {
+	p := newPipe(t, Options{})
+	key := keyOf("test/internal-err", "k")
+	var computes atomic.Int64
+	_, _, err := p.memo(context.Background(), StageMap, key, nil,
+		func(ctx context.Context) (any, bool, error) {
+			computes.Add(1)
+			return nil, false, fmt.Errorf("search deadline: %w", context.DeadlineExceeded)
+		})
+	if err == nil {
+		t.Fatal("internal deadline error was swallowed")
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want exactly 1 (no retry of internal ctx errors)", n)
 	}
 }
 

@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of latency-histogram buckets per stage. The
+// first HistBuckets-1 buckets have the upper bounds of histBounds; the last
+// is the overflow (+Inf) bucket.
+const HistBuckets = 12
+
+// histBounds are the inclusive upper bounds of the latency buckets,
+// log-spaced from 100µs to 10s (roughly half-decade steps). A stage compute
+// of duration d lands in the first bucket with d <= bound.
+var histBounds = [HistBuckets - 1]time.Duration{
+	100 * time.Microsecond,
+	316 * time.Microsecond,
+	1 * time.Millisecond,
+	3160 * time.Microsecond,
+	10 * time.Millisecond,
+	31600 * time.Microsecond,
+	100 * time.Millisecond,
+	316 * time.Millisecond,
+	1 * time.Second,
+	3160 * time.Millisecond,
+	10 * time.Second,
+}
+
+// HistBounds returns the finite bucket upper bounds of the per-stage
+// latency histograms (the final bucket of Histogram.Buckets is +Inf).
+func HistBounds() []time.Duration {
+	out := make([]time.Duration, len(histBounds))
+	copy(out, histBounds[:])
+	return out
+}
+
+// Histogram is a snapshot of one stage's compute-latency distribution.
+// Buckets[i] counts computations with elapsed <= HistBounds()[i]; the last
+// bucket counts everything slower.
+type Histogram struct {
+	Buckets [HistBuckets]uint64
+}
+
+// Count is the total number of observations.
+func (h Histogram) Count() uint64 {
+	var n uint64
+	for _, b := range h.Buckets {
+		n += b
+	}
+	return n
+}
+
+// stageCounters is the live, concurrently-updated form of StageStats: every
+// field is an atomic so the hot paths (cache hits, shared joins, compute
+// accounting) never serialize on the pipeline mutex, and the Stats snapshot
+// can be taken without blocking in-flight requests.
+type stageCounters struct {
+	hits, diskHits, shared atomic.Uint64
+	misses, errors         atomic.Uint64
+	degraded               atomic.Uint64
+	computeNanos           atomic.Int64
+	buckets                [HistBuckets]atomic.Uint64
+}
+
+// observe records one completed stage computation.
+func (c *stageCounters) observe(elapsed time.Duration, degraded bool) {
+	// Order matters for snapshot coherence: the latency is published before
+	// the miss counter, so a snapshot never shows a miss whose compute time
+	// has not landed yet.
+	c.computeNanos.Add(int64(elapsed))
+	for i, bound := range histBounds {
+		if elapsed <= bound {
+			c.buckets[i].Add(1)
+			c.misses.Add(1)
+			if degraded {
+				c.degraded.Add(1)
+			}
+			return
+		}
+	}
+	c.buckets[HistBuckets-1].Add(1)
+	c.misses.Add(1)
+	if degraded {
+		c.degraded.Add(1)
+	}
+}
+
+// snapshot reads every counter atomically into the exported form. Each
+// field is individually consistent (monotonic, never torn); the set as a
+// whole is a point-in-time view only up to requests completing during the
+// read, which is the strongest guarantee a lock-free snapshot can give.
+func (c *stageCounters) snapshot() (StageStats, Histogram) {
+	var h Histogram
+	for i := range c.buckets {
+		h.Buckets[i] = c.buckets[i].Load()
+	}
+	s := StageStats{
+		Hits:        c.hits.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Shared:      c.shared.Load(),
+		Misses:      c.misses.Load(),
+		Errors:      c.errors.Load(),
+		Degraded:    c.degraded.Load(),
+		ComputeTime: time.Duration(c.computeNanos.Load()),
+	}
+	return s, h
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the server's bounded-queue admission controller. At most
+// maxConcurrent requests hold a run slot; up to queueDepth more wait up to
+// queueWait for one. Anything beyond that is shed immediately with 429 +
+// Retry-After: past the queue bound, waiting only converts future 200s into
+// future 503s, so refusing early is the answer that preserves the deadlines
+// of the requests already admitted.
+type admission struct {
+	slots      chan struct{}
+	queueDepth int64
+	queueWait  time.Duration
+	queued     atomic.Int64
+}
+
+func newAdmission(maxConcurrent, queueDepth int, queueWait time.Duration) *admission {
+	return &admission{
+		slots:      make(chan struct{}, maxConcurrent),
+		queueDepth: int64(queueDepth),
+		queueWait:  queueWait,
+	}
+}
+
+// admit acquires a run slot. On success it returns the release function the
+// caller must defer; otherwise an httpError describing why the request was
+// refused (429 queue full, 503 queue wait expired, 499-as-504 caller gone).
+func (a *admission) admit(ctx context.Context) (func(), *httpError) {
+	// Fast path: a slot is free right now.
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if n := a.queued.Add(1); n > a.queueDepth {
+		a.queued.Add(-1)
+		return nil, &httpError{
+			status:     http.StatusTooManyRequests,
+			msg:        "server saturated: run slots and queue are full",
+			retryAfter: a.retryAfterSeconds(),
+		}
+	}
+	defer a.queued.Add(-1)
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-timer.C:
+		return nil, &httpError{
+			status:     http.StatusServiceUnavailable,
+			msg:        "queued past the admission deadline",
+			retryAfter: a.retryAfterSeconds(),
+		}
+	case <-ctx.Done():
+		return nil, &httpError{
+			status: http.StatusGatewayTimeout,
+			msg:    "request cancelled while queued: " + ctx.Err().Error(),
+		}
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// retryAfterSeconds estimates when retrying is worthwhile: after roughly one
+// queue-wait window, with a floor of one second.
+func (a *admission) retryAfterSeconds() int {
+	secs := int((a.queueWait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// depth reports the current number of queued requests (for /metrics).
+func (a *admission) depth() int64 { return a.queued.Load() }

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"sync"
+
+	"vase/internal/mapper"
+)
+
+// scheduler arbitrates the shared branch-and-bound worker budget across
+// concurrent synthesize requests. A lease never blocks: when the budget is
+// exhausted the request proceeds with a single worker (the sequential
+// search) instead of queueing — by the mapper's determinism contract the
+// result is identical at any worker count, so contention degrades latency,
+// never answers. avail can therefore dip below zero by at most one worker
+// per in-flight request, which admission control bounds.
+type scheduler struct {
+	mu     sync.Mutex
+	budget int
+	avail  int
+}
+
+func newScheduler(budget int) *scheduler {
+	return &scheduler{budget: budget, avail: budget}
+}
+
+// lease grants between 1 and want workers (want <= 0 selects the mapper's
+// GOMAXPROCS default). The caller must release exactly the granted count.
+func (s *scheduler) lease(want int) int {
+	want = mapper.EffectiveWorkers(want)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	got := want
+	if got > s.avail {
+		got = s.avail
+	}
+	if got < 1 {
+		got = 1
+	}
+	s.avail -= got
+	return got
+}
+
+func (s *scheduler) release(n int) {
+	s.mu.Lock()
+	s.avail += n
+	s.mu.Unlock()
+}
+
+// available reports the uncommitted worker count (may be negative under
+// oversubscription; for /metrics).
+func (s *scheduler) available() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.avail
+}

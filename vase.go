@@ -49,6 +49,7 @@ import (
 	"vase/internal/sim"
 	"vase/internal/source"
 	"vase/internal/vhif"
+	"vase/internal/wavespec"
 )
 
 // Source is a named VASS source text.
@@ -424,6 +425,13 @@ var (
 	// Ramp is a linear ramp with the given slope.
 	Ramp = sim.Ramp
 )
+
+// ParseWaveform parses a textual waveform specification — dc:V,
+// sine:AMP,FREQ, step:V0,V1,T0 or ramp:SLOPE — as accepted by vasesim -in
+// and the vased /v1/simulate endpoint.
+func ParseWaveform(spec string) (Waveform, error) {
+	return wavespec.Parse(spec)
+}
 
 // Simulate runs a behavioral transient analysis of the design's VHIF
 // signal-flow graphs.
