@@ -1,7 +1,7 @@
 // Command diagcheck runs the repository's self-enforcement static
 // analyses and fails (exit 1) on any violation. CI runs it on every push.
 //
-// Two suites:
+// Three suites:
 //
 //   - diag: migrated front-end packages must construct every error through
 //     the internal/diag engine (no naked fmt.Errorf / errors.New), so no
@@ -10,10 +10,13 @@
 //     inputs — no wall-clock reads outside annotated anytime/telemetry
 //     plumbing (//vase:walltime), no map-range iteration feeding ordered
 //     output without a sort or an //vase:unordered annotation.
+//   - recovery: the recovering parser and sema must not fail fast — no
+//     "return nil, err" propagation that discards the partial result,
+//     except strict entry points annotated //vase:failfast.
 //
 // Usage:
 //
-//	diagcheck [-suite diag|determinism|all] [package-dir ...]
+//	diagcheck [-suite diag|determinism|recovery|all] [package-dir ...]
 //
 // With explicit package directories the selected suite(s) run on those
 // directories; by default the diag suite covers the migrated packages and
@@ -30,7 +33,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "which checks to run: diag, determinism, or all")
+	suite := flag.String("suite", "all", "which checks to run: diag, determinism, recovery, or all")
 	flag.Parse()
 
 	type check struct {
@@ -45,8 +48,11 @@ func main() {
 	if *suite == "determinism" || *suite == "all" {
 		checks = append(checks, check{"determinism", diagcheck.EnginePackages, diagcheck.CheckDeterminismDir})
 	}
+	if *suite == "recovery" || *suite == "all" {
+		checks = append(checks, check{"recovery", diagcheck.RecoveryPackages, diagcheck.CheckRecoveryDir})
+	}
 	if len(checks) == 0 {
-		fmt.Fprintf(os.Stderr, "diagcheck: unknown suite %q (diag, determinism, all)\n", *suite)
+		fmt.Fprintf(os.Stderr, "diagcheck: unknown suite %q (diag, determinism, recovery, all)\n", *suite)
 		os.Exit(exitcode.Usage)
 	}
 

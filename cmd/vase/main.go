@@ -72,7 +72,7 @@ func main() {
 		if *lintFlag || *werror {
 			findings, err := vase.LintVHIFVia(context.Background(), pipe, flag.Args()[0], string(text), vase.LintOptions{})
 			if err != nil {
-				fail(err)
+				failSource(err, vase.Source{Name: flag.Args()[0], Text: string(text)})
 			}
 			if !reportFindings(findings, vase.Source{Name: flag.Args()[0], Text: string(text)}, *werror) {
 				os.Exit(exitcode.Error)
@@ -94,7 +94,7 @@ func main() {
 		if *lintFlag || *werror {
 			findings, err := vase.LintVia(context.Background(), pipe, src, vase.LintOptions{})
 			if err != nil {
-				fail(err)
+				failSource(err, src)
 			}
 			if !reportFindings(findings, src, *werror) {
 				os.Exit(exitcode.Error)
@@ -196,6 +196,14 @@ func loadSource(benchmark string, args []string) (vase.Source, error) {
 
 func fail(err error) {
 	exitcode.Fail("vase", exitcode.Error, err)
+}
+
+// failSource is fail for errors raised against a known source: diagnostics
+// render with source excerpts and caret markers, every finding shown in
+// deterministic order.
+func failSource(err error, src vase.Source) {
+	fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
+	os.Exit(exitcode.Error)
 }
 
 func usage(err error) {

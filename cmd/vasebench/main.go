@@ -11,14 +11,17 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"vase/internal/corpus"
+	"vase/internal/diag"
 	"vase/internal/exitcode"
 	"vase/internal/mapper"
 	"vase/internal/pipeline"
+	"vase/internal/source"
 )
 
 func main() {
@@ -114,6 +117,19 @@ func section(title string) {
 	fmt.Printf("\n==== %s ====\n\n", title)
 }
 
+// fail renders diagnostics with source excerpts and caret markers — every
+// benchmark source is built in, so each finding's excerpt resolves from the
+// corpus by file name. Non-diagnostic errors print plainly.
 func fail(err error) {
+	var dl diag.List
+	if errors.As(err, &dl) {
+		files := map[string]*source.File{}
+		for _, app := range corpus.Applications() {
+			name := app.Key + ".vhd"
+			files[name] = source.NewFile(name, app.Source)
+		}
+		fmt.Fprint(os.Stderr, dl.RenderFiles(func(name string) *source.File { return files[name] }))
+		os.Exit(exitcode.Error)
+	}
 	exitcode.Fail("vasebench", exitcode.Error, err)
 }

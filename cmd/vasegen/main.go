@@ -22,6 +22,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"vase/internal/diag"
 	"vase/internal/exitcode"
 	"vase/internal/gen"
 )
@@ -206,7 +208,15 @@ func benchCampaign(res *gen.CampaignResult) map[string]any {
 
 func round2(v float64) float64 { return float64(int(v*100)) / 100 }
 
+// fail prints every diagnostic of a diag.List in deterministic order (the
+// generated source is reproducible from the printed seed/index, so the
+// positions are actionable), rather than the ten-entry capped summary.
 func fail(err error) {
+	var dl diag.List
+	if errors.As(err, &dl) {
+		fmt.Fprint(os.Stderr, dl.Render(nil))
+		os.Exit(exitcode.Error)
+	}
 	exitcode.Fail("vasegen", exitcode.Error, err)
 }
 

@@ -73,7 +73,10 @@ func main() {
 			f = source.NewFile(path, text)
 		}
 		if err != nil {
-			fail(err)
+			// A failing lint still renders its diagnostics with excerpts and
+			// carets, not the capped one-line summary.
+			fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, vase.Source{Name: path, Text: text}))
+			os.Exit(exitcode.Error)
 		}
 		if *werror {
 			findings = findings.Promote()

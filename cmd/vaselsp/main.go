@@ -1,0 +1,70 @@
+// Command vaselsp is the VASS language server. It speaks the Language
+// Server Protocol over stdio: full-document sync, publishDiagnostics from
+// the error-recovering front end (syntax errors never blank the analysis),
+// hover showing abstract-interpretation value ranges, and documentSymbol
+// outlines. All open documents form one project, so an architecture in one
+// buffer resolves its entity and packages from the others, and the shared
+// content-addressed pipeline re-analyzes only what each edit can affect.
+//
+// Usage:
+//
+//	vaselsp [-cache-dir DIR] [-smoke] [-v]
+//
+// Point an LSP client at the binary (stdio transport). -smoke runs the
+// built-in client scenario against an in-process server and exits; CI uses
+// it to keep the protocol honest.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vase/internal/exitcode"
+	"vase/internal/lsp"
+	"vase/internal/pipeline"
+)
+
+func main() {
+	cacheDir := flag.String("cache-dir", "", "persist parse and sema artifacts in this directory (content-addressed, shareable with the CLIs)")
+	memEntries := flag.Int("cache-entries", 0, "in-memory LRU entries (0 = default)")
+	smoke := flag.Bool("smoke", false, "run the built-in client scenario against an in-process server and exit")
+	verbose := flag.Bool("v", false, "log protocol-level notices to stderr")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "vaselsp: unexpected arguments %v (usage: vaselsp [flags])\n", flag.Args())
+		os.Exit(exitcode.Usage)
+	}
+
+	pipe, err := pipeline.New(pipeline.Options{
+		MemoryEntries: *memEntries,
+		CacheDir:      *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaselsp: %v\n", err)
+		os.Exit(exitcode.Error)
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose || *smoke {
+		l := log.New(os.Stderr, "vaselsp: ", 0)
+		logf = l.Printf
+	}
+
+	if *smoke {
+		if err := lsp.Smoke(context.Background(), pipe, logf); err != nil {
+			fmt.Fprintf(os.Stderr, "vaselsp: %v\n", err)
+			os.Exit(exitcode.Error)
+		}
+		fmt.Println("vaselsp: smoke OK (diagnostics published, cleared; hover and outline answered)")
+		return
+	}
+
+	srv := lsp.New(os.Stdin, os.Stdout, pipe, logf)
+	if err := srv.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "vaselsp: %v\n", err)
+		os.Exit(exitcode.Error)
+	}
+}

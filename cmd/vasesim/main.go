@@ -99,7 +99,7 @@ func main() {
 	}
 	d, err := vase.CompileVia(ctx, pipe, src)
 	if err != nil {
-		fail(err)
+		failSource(err, src)
 	}
 
 	// Static verdicts first: a proved assertion holds for every input
@@ -110,7 +110,7 @@ func main() {
 	if len(asserts) > 0 {
 		ranges, err := d.RangesContext(ctx)
 		if err != nil {
-			fail(err)
+			failSource(err, src)
 		}
 		monitored = monitored[:0:0]
 		proved := 0
@@ -309,6 +309,14 @@ func loadSource(benchmark string, args []string) (vase.Source, error) {
 
 func fail(err error) {
 	exitcode.Fail("vasesim", exitcode.Error, err)
+}
+
+// failSource is fail for errors raised against a known source: diagnostics
+// render with source excerpts and caret markers, every finding shown in
+// deterministic order, instead of the capped one-line list.
+func failSource(err error, src vase.Source) {
+	fmt.Fprintln(os.Stderr, vase.RenderDiagnostics(err, src))
+	os.Exit(exitcode.Error)
 }
 
 func usage(err error) {

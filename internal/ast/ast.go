@@ -494,6 +494,11 @@ type DesignFile struct {
 	SpanV source.Span
 	File  *source.File
 	Units []DesignUnit
+	// Recovered reports that the tree came from an error-recovering parse
+	// that hit syntax errors. Resynchronization can repair the token stream
+	// into well-formed nodes without leaving an ERROR node behind, so this
+	// flag — not just HasErrors — is what marks downstream designs Partial.
+	Recovered bool
 }
 
 // Span returns the span of the whole file.

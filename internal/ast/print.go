@@ -71,6 +71,8 @@ func writeExpr(b *strings.Builder, e Expr) {
 			writeExpr(b, a)
 		}
 		b.WriteByte(')')
+	case *ErrorExpr:
+		b.WriteString("<error>")
 	case *Attribute:
 		writeExpr(b, e.X)
 		b.WriteByte('\'')
@@ -166,6 +168,11 @@ func (p *Printer) unit(u DesignUnit) {
 		}
 		p.indent--
 		p.line("end package body;")
+	case *LibClause:
+		// Library/use clauses carry no semantics; canonical output omits
+		// them, exactly as the pre-recovery parser dropped them.
+	case *ErrorUnit:
+		p.line("-- <error: skipped design unit>")
 	}
 }
 
@@ -271,6 +278,8 @@ func (p *Printer) decl(d Decl) {
 		}
 		p.indent--
 		p.line("end function;")
+	case *ErrorDecl:
+		p.line("-- <error: skipped declaration>")
 	}
 }
 
@@ -362,6 +371,8 @@ func (p *Printer) conc(s ConcStmt) {
 		}
 		p.indent--
 		p.line("end process;")
+	case *ErrorConc:
+		p.line("-- <error: skipped concurrent statement>")
 	}
 }
 
@@ -449,5 +460,7 @@ func (p *Printer) seq(s SeqStmt) {
 		}
 	case *NullStmt:
 		p.line("null;")
+	case *ErrorStmt:
+		p.line("-- <error: skipped statement>")
 	}
 }

@@ -156,6 +156,22 @@ func Walk(n Node, v Visitor) {
 		for _, a := range n.Args {
 			walkExpr(a, v)
 		}
+	case *ErrorStmt:
+		for _, c := range n.Parts {
+			Walk(c, v)
+		}
+	case *ErrorConc:
+		for _, c := range n.Parts {
+			Walk(c, v)
+		}
+	case *ErrorDecl:
+		for _, c := range n.Parts {
+			Walk(c, v)
+		}
+	case *ErrorUnit:
+		for _, c := range n.Parts {
+			Walk(c, v)
+		}
 	}
 }
 

@@ -73,6 +73,16 @@ func CompileAll(d *sema.Design, limit int) ([]*vhif.Module, error) {
 }
 
 func compileAll(d *sema.Design, limit int) ([]*vhif.Module, []Origins, error) {
+	if d.Partial {
+		// A partial design came from a recovered parse: an ERROR node may
+		// hide arbitrary behavior, so generated code would be wrong, not
+		// merely incomplete. Analysis passes accept partial designs; code
+		// generation refuses them.
+		errs := &diag.List{}
+		errs.Addf(diag.CodeCompile, d.File.Position(d.Arch.Span().Start),
+			"design %q is partial (recovered from syntax errors); fix the source before compiling", d.Name)
+		return nil, nil, errs.Err()
+	}
 	if limit <= 0 {
 		limit = maxMatchings
 	}

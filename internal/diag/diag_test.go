@@ -139,3 +139,28 @@ func TestJSON(t *testing.T) {
 		t.Errorf("fix = %v", got["fix"])
 	}
 }
+
+func TestRenderFiles(t *testing.T) {
+	fa := source.NewFile("a.vhd", "quantity qa : real;\n")
+	fb := source.NewFile("b.vhd", "quantity qb : real;\n")
+	var l List
+	l.Addf(CodeUndeclared, fa.Position(9), "in a")
+	l.Addf(CodeUndeclared, fb.Position(9), "in b")
+	files := map[string]*source.File{"a.vhd": fa, "b.vhd": fb}
+	out := l.RenderFiles(func(name string) *source.File { return files[name] })
+	// Each diagnostic gets the excerpt from its own file.
+	if !strings.Contains(out, "quantity qa") || !strings.Contains(out, "quantity qb") {
+		t.Fatalf("RenderFiles missed a per-file excerpt:\n%s", out)
+	}
+	if !strings.Contains(out, "^") {
+		t.Fatalf("RenderFiles produced no caret markers:\n%s", out)
+	}
+	// A nil lookup still renders every finding, just without excerpts.
+	plain := l.RenderFiles(nil)
+	if !strings.Contains(plain, "in a") || !strings.Contains(plain, "in b") {
+		t.Fatalf("RenderFiles(nil) dropped findings:\n%s", plain)
+	}
+	if strings.Contains(plain, "quantity") {
+		t.Fatalf("RenderFiles(nil) rendered an excerpt without a file:\n%s", plain)
+	}
+}

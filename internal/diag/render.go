@@ -58,6 +58,24 @@ func (l List) Render(f *source.File) string {
 	return b.String()
 }
 
+// RenderFiles is Render for diagnostics spanning several files: each
+// diagnostic's excerpt comes from the file lookup resolves for its
+// position's filename (nil lookups or unknown names render without an
+// excerpt). Multi-file callers (project checks, corpus builds) use this so
+// every finding still gets its caret.
+func (l List) RenderFiles(lookup func(name string) *source.File) string {
+	var b strings.Builder
+	for _, d := range l {
+		var f *source.File
+		if lookup != nil {
+			f = lookup(d.Pos.Filename)
+		}
+		b.WriteString(d.Render(f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 func clampCol(col int, line string) int {
 	if col < 1 {
 		col = 1

@@ -215,6 +215,7 @@ func directiveLines(fset *token.FileSet, f *ast.File) map[string]map[int]bool {
 	out := map[string]map[int]bool{
 		WalltimeDirective:  {},
 		UnorderedDirective: {},
+		FailfastDirective:  {},
 	}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {

@@ -158,3 +158,71 @@ func rangeSlice(xs []int) int {
 		t.Errorf("map-range violation should name the enclosing function: %s", vs[1].Reason)
 	}
 }
+
+// TestRecoveryPackagesNoFailFast is the enforcement test for the recovery
+// analyzer: the recovering parser and sema never abort on the first error
+// without an explicit, reviewable annotation at strict entry points.
+func TestRecoveryPackagesNoFailFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the recovery packages from source")
+	}
+	vs, err := CheckRecoveryAll(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestSeededRecoveryViolations proves the recovery checker fires on the
+// fail-fast shape, honors the failfast directive, and leaves returns that
+// carry a partial result alone.
+func TestSeededRecoveryViolations(t *testing.T) {
+	dir := t.TempDir()
+	seed := `package rec
+
+import "errors"
+
+type node struct{}
+
+func bad() (*node, error) {
+	if true {
+		return nil, errors.New("abort")
+	}
+	return &node{}, nil
+}
+
+func annotated() (*node, error) {
+	if true {
+		return nil, errors.New("strict") //vase:failfast (entry point)
+	}
+	return &node{}, nil
+}
+
+func partial() (*node, error) {
+	err := errors.New("recorded")
+	return &node{}, err
+}
+
+func cleanup() (func(), error) {
+	return nil, nil
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "rec.go"), []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := CheckRecoveryDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("expected exactly the one seeded violation, got %d: %v", len(vs), vs)
+	}
+	if vs[0].Call != "return nil, err" || vs[0].Pos.Line != 9 {
+		t.Errorf("violation = %v, want the fail-fast return at line 9", vs[0])
+	}
+	if !strings.Contains(vs[0].Reason, "bad") {
+		t.Errorf("violation should name the enclosing function: %s", vs[0].Reason)
+	}
+}

@@ -1,0 +1,160 @@
+package diagcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// RecoveryPackages are the package directories (relative to the repository
+// root) whose public contract is error tolerance: the recovering parser and
+// sema must push through broken input and report diagnostics, never abort
+// on the first problem. The recovery analyzer bans fail-fast
+// "return nil, err" propagation in these packages unless a site is
+// explicitly annotated as a deliberate strict entry point.
+var RecoveryPackages = []string{
+	"internal/parser",
+	"internal/sema",
+}
+
+// FailfastDirective marks a deliberate fail-fast return in a recovery
+// package: strict API entry points (Parse, AnalyzeOne) legitimately abort,
+// but the annotation is the reviewable record that the site is an entry
+// point, not a recovery path quietly dropping partial results.
+const FailfastDirective = "//vase:failfast"
+
+// CheckRecoveryDir type-checks one package directory (non-test files only)
+// and reports fail-fast returns: a return statement that propagates an
+// error while discarding the result (any result is the nil identifier and
+// the final result has type error). Recovery paths must instead report into
+// a diag.List and return the partial value.
+func CheckRecoveryDir(dir string) ([]Violation, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// Lenient type check, same policy as the determinism analyzer: an
+	// unresolvable expression simply isn't flagged.
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {},
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	_, _ = conf.Check(dir, fset, files, info)
+
+	var out []Violation
+	for _, f := range files {
+		out = append(out, checkRecoveryFile(fset, f, info)...)
+	}
+	sortViolations(out)
+	return out, nil
+}
+
+// checkRecoveryFile walks one file's functions looking for fail-fast
+// returns not covered by a directive on the line or the line above.
+func checkRecoveryFile(fset *token.FileSet, f *ast.File, info *types.Info) []Violation {
+	directives := directiveLines(fset, f)
+	allowed := func(pos token.Pos) bool {
+		line := fset.Position(pos).Line
+		return directives[FailfastDirective][line] || directives[FailfastDirective][line-1]
+	}
+
+	var out []Violation
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) < 2 {
+				return true
+			}
+			last := ret.Results[len(ret.Results)-1]
+			if isNilIdent(last) || !isErrorExpr(info, last) {
+				return true
+			}
+			dropsResult := false
+			for _, r := range ret.Results[:len(ret.Results)-1] {
+				if isNilIdent(r) {
+					dropsResult = true
+					break
+				}
+			}
+			if !dropsResult || allowed(ret.Pos()) {
+				return true
+			}
+			out = append(out, Violation{
+				Pos:  fset.Position(ret.Pos()),
+				Call: "return nil, err",
+				Reason: fmt.Sprintf("%s fails fast instead of recovering; report into the diag.List and "+
+					"return the partial result, or annotate a strict entry point with %s",
+					fn.Name.Name, FailfastDirective),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isNilIdent reports whether e is the predeclared nil identifier.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isErrorExpr reports whether e has static type error. When type
+// information is unavailable (lenient check) it falls back to shape: an
+// identifier named err* or a call to a method named Err.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return strings.HasPrefix(e.Name, "err")
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Err"
+		}
+	}
+	return false
+}
+
+// CheckRecoveryAll runs CheckRecoveryDir over every recovery package under
+// root.
+func CheckRecoveryAll(root string) ([]Violation, error) {
+	var out []Violation
+	for _, pkg := range RecoveryPackages {
+		vs, err := CheckRecoveryDir(filepath.Join(root, pkg))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	sortViolations(out)
+	return out, nil
+}

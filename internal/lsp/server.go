@@ -1,0 +1,418 @@
+package lsp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/pipeline"
+	"vase/internal/project"
+	"vase/internal/source"
+)
+
+// Server is one LSP session: a set of open documents checked as a single
+// multi-file project over a shared pipeline.
+type Server struct {
+	conn *conn
+	pipe *pipeline.Pipeline
+	proj *project.Project
+
+	// docs maps document URI to its current full text; order remembers the
+	// didOpen sequence so project elaboration order is deterministic.
+	docs  map[string]string
+	order []string
+
+	// logf receives serve-loop notices (framing errors, handler failures);
+	// nil discards them.
+	logf func(format string, args ...any)
+
+	shutdown bool
+}
+
+// New returns a server speaking LSP over r/w, analyzing through pipe.
+func New(r io.Reader, w io.Writer, pipe *pipeline.Pipeline, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		conn: newConn(r, w),
+		pipe: pipe,
+		proj: project.New(pipe),
+		docs: map[string]string{},
+		logf: logf,
+	}
+}
+
+// Run serves the session until the client sends exit or the stream closes.
+// The returned error is nil on an orderly exit.
+func (s *Server) Run(ctx context.Context) error {
+	for {
+		m, err := s.conn.read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if m.Method == "exit" {
+			return nil
+		}
+		if err := s.dispatch(ctx, m); err != nil {
+			s.logf("lsp: %s: %v", m.Method, err)
+		}
+	}
+}
+
+func (s *Server) dispatch(ctx context.Context, m *message) error {
+	switch m.Method {
+	case "initialize":
+		return s.conn.reply(m.ID, initializeResult{
+			Capabilities: serverCapabilities{
+				TextDocumentSync:       1, // full
+				HoverProvider:          true,
+				DocumentSymbolProvider: true,
+			},
+			ServerInfo: serverInfo{Name: "vaselsp", Version: "1"},
+		})
+	case "initialized", "$/cancelRequest", "workspace/didChangeConfiguration":
+		return nil
+	case "shutdown":
+		s.shutdown = true
+		return s.conn.reply(m.ID, nil)
+	case "textDocument/didOpen":
+		var p didOpenParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			return err
+		}
+		s.setDoc(p.TextDocument.URI, p.TextDocument.Text)
+		return s.publishAll(ctx)
+	case "textDocument/didChange":
+		var p didChangeParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			return err
+		}
+		if len(p.ContentChanges) == 0 {
+			return nil
+		}
+		// Full sync: the last change carries the complete text.
+		s.setDoc(p.TextDocument.URI, p.ContentChanges[len(p.ContentChanges)-1].Text)
+		return s.publishAll(ctx)
+	case "textDocument/didClose":
+		var p didCloseParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			return err
+		}
+		s.closeDoc(p.TextDocument.URI)
+		// Clear the closed document's diagnostics, then re-check the rest
+		// (closing a file can orphan architectures in other files).
+		if err := s.conn.notify("textDocument/publishDiagnostics",
+			publishDiagnosticsParams{URI: p.TextDocument.URI, Diagnostics: []Diagnostic{}}); err != nil {
+			return err
+		}
+		return s.publishAll(ctx)
+	case "textDocument/hover":
+		var p hoverParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			return s.conn.replyError(m.ID, codeInvalidParams, "%v", err)
+		}
+		return s.hover(ctx, m.ID, p)
+	case "textDocument/documentSymbol":
+		var p documentSymbolParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			return s.conn.replyError(m.ID, codeInvalidParams, "%v", err)
+		}
+		return s.documentSymbol(ctx, m.ID, p)
+	default:
+		if m.ID != nil {
+			return s.conn.replyError(m.ID, codeMethodNotFound, "method %q not supported", m.Method)
+		}
+		return nil
+	}
+}
+
+func (s *Server) setDoc(uri, text string) {
+	if _, open := s.docs[uri]; !open {
+		s.order = append(s.order, uri)
+	}
+	s.docs[uri] = text
+}
+
+func (s *Server) closeDoc(uri string) {
+	delete(s.docs, uri)
+	for i, u := range s.order {
+		if u == uri {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// projectFiles snapshots the open documents in didOpen order. The URI is
+// used directly as the project file name, so snapshot diagnostics carry the
+// URI in their Position.Filename and route straight back to the client.
+func (s *Server) projectFiles() []project.File {
+	files := make([]project.File, 0, len(s.order))
+	for _, uri := range s.order {
+		files = append(files, project.File{Name: uri, Text: s.docs[uri]})
+	}
+	return files
+}
+
+// publishAll re-checks the whole project and publishes per-document
+// diagnostics, including empty lists so stale squiggles clear.
+func (s *Server) publishAll(ctx context.Context) error {
+	snap, err := s.proj.Check(ctx, s.projectFiles())
+	if err != nil {
+		return err
+	}
+	perURI := map[string][]Diagnostic{}
+	for _, uri := range s.order {
+		perURI[uri] = []Diagnostic{}
+	}
+	for _, d := range snap.Diags {
+		uri := d.Pos.Filename
+		if _, open := perURI[uri]; !open {
+			continue
+		}
+		perURI[uri] = append(perURI[uri], toLSPDiagnostic(d))
+	}
+	for _, uri := range s.order {
+		if err := s.conn.notify("textDocument/publishDiagnostics",
+			publishDiagnosticsParams{URI: uri, Diagnostics: perURI[uri]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func toLSPDiagnostic(d *diag.Diagnostic) Diagnostic {
+	sev := severityError
+	switch d.Severity {
+	case diag.Warning:
+		sev = severityWarning
+	case diag.Info:
+		sev = severityInfo
+	}
+	rng := Range{
+		Start: Position{Line: d.Pos.Line - 1, Character: d.Pos.Column - 1},
+		End:   Position{Line: d.Pos.Line - 1, Character: d.Pos.Column},
+	}
+	if d.End.Line > 0 {
+		rng.End = Position{Line: d.End.Line - 1, Character: d.End.Column - 1}
+	}
+	msg := d.Msg
+	if d.Fix != "" {
+		msg += " (" + d.Fix + ")"
+	}
+	return Diagnostic{
+		Range:    rng,
+		Severity: sev,
+		Code:     string(d.Code),
+		Source:   "vase",
+		Message:  msg,
+	}
+}
+
+// hover answers with the static value range of the signal or quantity under
+// the cursor, computed by the abstract interpreter over the document's own
+// file. Range facts need a compilable design, so hover quietly returns null
+// on documents that are partial or whose identifier has no range fact.
+func (s *Server) hover(ctx context.Context, id *json.RawMessage, p hoverParams) error {
+	text, open := s.docs[p.TextDocument.URI]
+	if !open {
+		return s.conn.reply(id, nil)
+	}
+	word, wordRange := wordAt(text, p.Position)
+	if word == "" {
+		return s.conn.reply(id, nil)
+	}
+	rr, err := s.pipe.Ranges(ctx, p.TextDocument.URI, text)
+	if err != nil {
+		// Broken or partial document: no range facts, not an error.
+		return s.conn.reply(id, nil)
+	}
+	hull, ok := rr.Signal(strings.ToLower(word))
+	if !ok {
+		return s.conn.reply(id, nil)
+	}
+	value := fmt.Sprintf("`%s` ∈ [%g, %g]\n\nstatic value hull (abstract interpretation)", word, hull.Lo, hull.Hi)
+	return s.conn.reply(id, hoverResult{
+		Contents: markupContent{Kind: "markdown", Value: value},
+		Range:    &wordRange,
+	})
+}
+
+// documentSymbol outlines one document from its recovered AST: design units
+// at the top, ports and declarations nested beneath. Works on broken
+// documents too — ERROR nodes simply contribute no symbols.
+func (s *Server) documentSymbol(ctx context.Context, id *json.RawMessage, p documentSymbolParams) error {
+	text, open := s.docs[p.TextDocument.URI]
+	if !open {
+		return s.conn.reply(id, []DocumentSymbol{})
+	}
+	pr, err := s.pipe.ParseRecover(ctx, p.TextDocument.URI, text)
+	if err != nil {
+		return s.conn.replyError(id, codeParseError, "%v", err)
+	}
+	lt := newLineTable(text)
+	var syms []DocumentSymbol
+	for _, u := range pr.AST.Units {
+		switch u := u.(type) {
+		case *ast.Entity:
+			sym := unitSymbol(lt, u.Name, u.Span(), symbolKindClass, "entity")
+			for _, port := range u.Ports {
+				sym.Children = append(sym.Children, declSymbols(lt, port)...)
+			}
+			syms = append(syms, sym)
+		case *ast.Architecture:
+			sym := unitSymbol(lt, u.Name, u.Span(), symbolKindInterface, "architecture of "+u.Entity.Name)
+			for _, d := range u.Decls {
+				sym.Children = append(sym.Children, anyDeclSymbols(lt, d)...)
+			}
+			syms = append(syms, sym)
+		case *ast.Package:
+			sym := unitSymbol(lt, u.Name, u.Span(), symbolKindModule, "package")
+			for _, d := range u.Decls {
+				sym.Children = append(sym.Children, anyDeclSymbols(lt, d)...)
+			}
+			syms = append(syms, sym)
+		case *ast.PackageBody:
+			sym := unitSymbol(lt, u.Name, u.Span(), symbolKindModule, "package body")
+			for _, d := range u.Decls {
+				sym.Children = append(sym.Children, anyDeclSymbols(lt, d)...)
+			}
+			syms = append(syms, sym)
+		}
+	}
+	return s.conn.reply(id, syms)
+}
+
+func unitSymbol(lt lineTable, name *ast.Ident, span source.Span, kind int, detail string) DocumentSymbol {
+	return DocumentSymbol{
+		Name:           name.Name,
+		Detail:         detail,
+		Kind:           kind,
+		Range:          lt.toRange(span),
+		SelectionRange: lt.toRange(name.SpanV),
+	}
+}
+
+func anyDeclSymbols(lt lineTable, d ast.Decl) []DocumentSymbol {
+	switch d := d.(type) {
+	case *ast.ObjectDecl:
+		return declSymbols(lt, d)
+	case *ast.FunctionDecl:
+		return []DocumentSymbol{{
+			Name:           d.Name.Name,
+			Detail:         "function",
+			Kind:           symbolKindFunction,
+			Range:          lt.toRange(d.Span()),
+			SelectionRange: lt.toRange(d.Name.SpanV),
+		}}
+	case *ast.ErrorDecl:
+		var out []DocumentSymbol
+		for _, part := range d.Parts {
+			if od, ok := part.(*ast.ObjectDecl); ok {
+				out = append(out, declSymbols(lt, od)...)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func declSymbols(lt lineTable, d *ast.ObjectDecl) []DocumentSymbol {
+	kind := symbolKindVariable
+	if d.Class == ast.ClassConstant {
+		kind = symbolKindConstant
+	}
+	out := make([]DocumentSymbol, 0, len(d.Names))
+	for _, n := range d.Names {
+		out = append(out, DocumentSymbol{
+			Name:           n.Name,
+			Detail:         d.Class.String(),
+			Kind:           kind,
+			Range:          lt.toRange(d.Span()),
+			SelectionRange: lt.toRange(n.SpanV),
+		})
+	}
+	return out
+}
+
+// lineTable converts byte offsets to zero-based line/character positions.
+type lineTable struct {
+	// starts[i] is the byte offset of line i.
+	starts []int
+	size   int
+}
+
+func newLineTable(text string) lineTable {
+	starts := []int{0}
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\n' {
+			starts = append(starts, i+1)
+		}
+	}
+	return lineTable{starts: starts, size: len(text)}
+}
+
+func (lt lineTable) toPosition(offset int) Position {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > lt.size {
+		offset = lt.size
+	}
+	line := sort.Search(len(lt.starts), func(i int) bool { return lt.starts[i] > offset }) - 1
+	return Position{Line: line, Character: offset - lt.starts[line]}
+}
+
+func (lt lineTable) toRange(sp source.Span) Range {
+	if !sp.IsValid() {
+		return Range{}
+	}
+	return Range{Start: lt.toPosition(int(sp.Start)), End: lt.toPosition(int(sp.End))}
+}
+
+// offsetOf is the inverse of toPosition, clamped to the document.
+func (lt lineTable) offsetOf(p Position) int {
+	if p.Line < 0 {
+		return 0
+	}
+	if p.Line >= len(lt.starts) {
+		return lt.size
+	}
+	off := lt.starts[p.Line] + p.Character
+	if off > lt.size {
+		off = lt.size
+	}
+	return off
+}
+
+// wordAt returns the identifier under pos and its document range.
+func wordAt(text string, pos Position) (string, Range) {
+	lt := newLineTable(text)
+	off := lt.offsetOf(pos)
+	isWord := func(b byte) bool {
+		return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+	}
+	if off >= len(text) || !isWord(text[off]) {
+		if off == 0 || !isWord(text[off-1]) {
+			return "", Range{}
+		}
+		off--
+	}
+	start, end := off, off+1
+	for start > 0 && isWord(text[start-1]) {
+		start--
+	}
+	for end < len(text) && isWord(text[end]) {
+		end++
+	}
+	return text[start:end], Range{Start: lt.toPosition(start), End: lt.toPosition(end)}
+}

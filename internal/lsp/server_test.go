@@ -1,0 +1,219 @@
+package lsp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"vase/internal/pipeline"
+)
+
+// TestSmoke runs the same scenario CI drives via `vaselsp -smoke`.
+func TestSmoke(t *testing.T) {
+	pipe, err := pipeline.New(pipeline.Options{})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	if err := Smoke(context.Background(), pipe, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testClient drives a server over in-memory pipes.
+type testClient struct {
+	t     *testing.T
+	c     *conn
+	done  chan error
+	next  int
+	diags []publishDiagnosticsParams
+}
+
+func newTestClient(t *testing.T) *testClient {
+	t.Helper()
+	pipe, err := pipeline.New(pipeline.Options{})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	clientIn, serverOut := io.Pipe()
+	serverIn, clientOut := io.Pipe()
+	srv := New(serverIn, serverOut, pipe, t.Logf)
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(context.Background()) }()
+	tc := &testClient{t: t, c: newConn(clientIn, clientOut), done: done}
+	t.Cleanup(func() {
+		tc.notify("exit", struct{}{})
+		if err := <-done; err != nil {
+			t.Errorf("server exit: %v", err)
+		}
+	})
+	tc.request("initialize", initializeParams{})
+	tc.notify("initialized", struct{}{})
+	return tc
+}
+
+func (tc *testClient) request(method string, params any) json.RawMessage {
+	tc.t.Helper()
+	raw, err := json.Marshal(params)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.next++
+	id := json.RawMessage(fmt.Sprintf("%d", tc.next))
+	if err := tc.c.write(&message{ID: &id, Method: method, Params: raw}); err != nil {
+		tc.t.Fatalf("%s: %v", method, err)
+	}
+	for {
+		m, err := tc.c.read()
+		if err != nil {
+			tc.t.Fatalf("%s: read: %v", method, err)
+		}
+		if m.Method == "textDocument/publishDiagnostics" {
+			var p publishDiagnosticsParams
+			if err := json.Unmarshal(m.Params, &p); err != nil {
+				tc.t.Fatal(err)
+			}
+			tc.diags = append(tc.diags, p)
+			continue
+		}
+		if m.ID == nil {
+			continue
+		}
+		if m.Error != nil {
+			tc.t.Fatalf("%s: server error %d: %s", method, m.Error.Code, m.Error.Message)
+		}
+		res, err := json.Marshal(m.Result)
+		if err != nil {
+			tc.t.Fatal(err)
+		}
+		return res
+	}
+}
+
+func (tc *testClient) notify(method string, params any) {
+	tc.t.Helper()
+	raw, err := json.Marshal(params)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	if err := tc.c.write(&message{Method: method, Params: raw}); err != nil {
+		tc.t.Fatalf("%s: %v", method, err)
+	}
+}
+
+// waitDiags blocks until a publishDiagnostics for uri arrives.
+func (tc *testClient) waitDiags(uri string) publishDiagnosticsParams {
+	tc.t.Helper()
+	for {
+		for i, p := range tc.diags {
+			if p.URI == uri {
+				tc.diags = append(tc.diags[:i], tc.diags[i+1:]...)
+				return p
+			}
+		}
+		m, err := tc.c.read()
+		if err != nil {
+			tc.t.Fatalf("waitDiags(%s): %v", uri, err)
+		}
+		if m.Method != "textDocument/publishDiagnostics" {
+			continue
+		}
+		var p publishDiagnosticsParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			tc.t.Fatal(err)
+		}
+		tc.diags = append(tc.diags, p)
+	}
+}
+
+// TestCrossFileResolution: an architecture opened in one buffer resolves
+// its entity from another buffer; closing the entity buffer re-breaks it.
+func TestCrossFileResolution(t *testing.T) {
+	tc := newTestClient(t)
+	const entURI = "file:///p/ent.vhd"
+	const archURI = "file:///p/arch.vhd"
+
+	tc.notify("textDocument/didOpen", didOpenParams{TextDocument: textDocumentItem{
+		URI:  archURI,
+		Text: "architecture behav of amp is\nbegin\n  vout == 2.0 * vin;\nend architecture behav;\n",
+	}})
+	p := tc.waitDiags(archURI)
+	if len(p.Diagnostics) == 0 {
+		t.Fatalf("orphan architecture produced no diagnostics")
+	}
+
+	tc.notify("textDocument/didOpen", didOpenParams{TextDocument: textDocumentItem{
+		URI:  entURI,
+		Text: "entity amp is\n  port (quantity vin : in real;\n        quantity vout : out real);\nend entity amp;\n",
+	}})
+	// Both documents get fresh diagnostics; the architecture's must clear.
+	if p = tc.waitDiags(archURI); len(p.Diagnostics) != 0 {
+		t.Fatalf("architecture diagnostics did not clear after entity opened: %+v", p.Diagnostics)
+	}
+	if p = tc.waitDiags(entURI); len(p.Diagnostics) != 0 {
+		t.Fatalf("entity diagnostics: %+v", p.Diagnostics)
+	}
+
+	tc.notify("textDocument/didClose", didCloseParams{TextDocument: textDocumentIdentifier{URI: entURI}})
+	if p = tc.waitDiags(entURI); len(p.Diagnostics) != 0 {
+		t.Fatalf("closed document's diagnostics not cleared: %+v", p.Diagnostics)
+	}
+	if p = tc.waitDiags(archURI); len(p.Diagnostics) == 0 {
+		t.Fatalf("architecture did not re-break after its entity closed")
+	}
+}
+
+// TestDocumentSymbolOnBrokenFile: the outline works on documents with
+// syntax errors — the recovered AST still carries the surviving units.
+func TestDocumentSymbolOnBrokenFile(t *testing.T) {
+	tc := newTestClient(t)
+	const uri = "file:///p/broken.vhd"
+	tc.notify("textDocument/didOpen", didOpenParams{TextDocument: textDocumentItem{
+		URI: uri,
+		Text: "entity amp is\n  port (quantity vin : in real\n        quantity vout : out real);\nend entity amp;\n" +
+			"architecture behav of amp is\nbegin\n  vout == 2.0 * vin;\nend architecture behav;\n",
+	}})
+	if p := tc.waitDiags(uri); len(p.Diagnostics) == 0 {
+		t.Fatalf("missing semicolon produced no diagnostics")
+	}
+	res := tc.request("textDocument/documentSymbol", documentSymbolParams{
+		TextDocument: textDocumentIdentifier{URI: uri},
+	})
+	var syms []DocumentSymbol
+	if err := json.Unmarshal(res, &syms); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery may resync into extra partial units; what matters is that
+	// both real units survive the syntax error with their names intact.
+	names := map[string]bool{}
+	for _, s := range syms {
+		names[s.Name] = true
+	}
+	if !names["amp"] || !names["behav"] {
+		t.Fatalf("outline = %+v, want amp and behav despite the syntax error", syms)
+	}
+	if syms[0].Name != "amp" || len(syms[0].Children) == 0 || syms[0].Children[0].Name != "vin" {
+		t.Fatalf("first symbol = %+v, want entity amp with port vin", syms[0])
+	}
+}
+
+func TestWordAt(t *testing.T) {
+	text := "vout == 2.0 * vin;\n"
+	cases := []struct {
+		pos  Position
+		want string
+	}{
+		{Position{0, 0}, "vout"},
+		{Position{0, 3}, "vout"},
+		{Position{0, 4}, "vout"}, // just past the word: snap back
+		{Position{0, 14}, "vin"},
+		{Position{0, 6}, ""}, // on "=="
+	}
+	for _, c := range cases {
+		got, _ := wordAt(text, c.pos)
+		if got != c.want {
+			t.Errorf("wordAt(%v) = %q, want %q", c.pos, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package lsp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"vase/internal/pipeline"
+)
+
+// Smoke runs a built-in client scenario against a fresh in-process server
+// over in-memory pipes: open a broken document, expect diagnostics; fix it,
+// expect the diagnostics to clear; hover a signal, expect a range fact;
+// request the outline, expect the design units. It returns nil when every
+// step behaved. cmd/vaselsp exposes it as -smoke and CI runs it on every
+// push, so a protocol regression fails the build rather than an editor.
+func Smoke(ctx context.Context, pipe *pipeline.Pipeline, logf func(string, ...any)) error {
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+
+	clientIn, serverOut := io.Pipe()
+	serverIn, clientOut := io.Pipe()
+	srv := New(serverIn, serverOut, pipe, logf)
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	c := newConn(clientIn, clientOut)
+
+	const uri = "file:///smoke/amp.vhd"
+	const broken = `entity amp is
+  port (quantity vin : in real is voltage;
+        quantity vout : out real is voltage limited at 1.5);
+end entity amp;
+
+architecture behav of amp is
+begin
+  vout == 2.0 * ;
+end architecture behav;
+`
+	const fixed = `entity amp is
+  port (quantity vin : in real is voltage;
+        quantity vout : out real is voltage limited at 1.5);
+end entity amp;
+
+architecture behav of amp is
+begin
+  vout == 2.0 * vin;
+end architecture behav;
+`
+
+	var step int
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("smoke step %d: %s", step, fmt.Sprintf(format, args...))
+	}
+
+	// request sends a request and returns the raw result, skipping (and
+	// recording) any publishDiagnostics notifications that arrive first.
+	var pending []publishDiagnosticsParams
+	request := func(id int, method string, params any) (json.RawMessage, error) {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return nil, err
+		}
+		rid := json.RawMessage(fmt.Sprintf("%d", id))
+		if err := c.write(&message{ID: &rid, Method: method, Params: raw}); err != nil {
+			return nil, err
+		}
+		for {
+			m, err := c.read()
+			if err != nil {
+				return nil, err
+			}
+			if m.Method == "textDocument/publishDiagnostics" {
+				var p publishDiagnosticsParams
+				if err := json.Unmarshal(m.Params, &p); err != nil {
+					return nil, err
+				}
+				pending = append(pending, p)
+				continue
+			}
+			if m.ID == nil {
+				continue
+			}
+			if m.Error != nil {
+				return nil, fmt.Errorf("%s: server error %d: %s", method, m.Error.Code, m.Error.Message)
+			}
+			res, err := json.Marshal(m.Result)
+			return res, err
+		}
+	}
+	notify := func(method string, params any) error {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return err
+		}
+		return c.write(&message{Method: method, Params: raw})
+	}
+	// nextDiags returns the next publishDiagnostics for uri.
+	nextDiags := func() (publishDiagnosticsParams, error) {
+		for {
+			if len(pending) > 0 {
+				p := pending[0]
+				pending = pending[1:]
+				if p.URI == uri {
+					return p, nil
+				}
+				continue
+			}
+			m, err := c.read()
+			if err != nil {
+				return publishDiagnosticsParams{}, err
+			}
+			if m.Method != "textDocument/publishDiagnostics" {
+				continue
+			}
+			var p publishDiagnosticsParams
+			if err := json.Unmarshal(m.Params, &p); err != nil {
+				return publishDiagnosticsParams{}, err
+			}
+			if p.URI == uri {
+				return p, nil
+			}
+		}
+	}
+
+	step = 1 // initialize
+	res, err := request(1, "initialize", initializeParams{})
+	if err != nil {
+		return fail("%v", err)
+	}
+	var init initializeResult
+	if err := json.Unmarshal(res, &init); err != nil {
+		return fail("bad initialize result: %v", err)
+	}
+	if !init.Capabilities.HoverProvider || init.Capabilities.TextDocumentSync != 1 {
+		return fail("capabilities = %+v", init.Capabilities)
+	}
+	if err := notify("initialized", struct{}{}); err != nil {
+		return fail("%v", err)
+	}
+
+	step = 2 // open broken document, expect diagnostics
+	if err := notify("textDocument/didOpen", didOpenParams{
+		TextDocument: textDocumentItem{URI: uri, Text: broken},
+	}); err != nil {
+		return fail("%v", err)
+	}
+	p, err := nextDiags()
+	if err != nil {
+		return fail("%v", err)
+	}
+	if len(p.Diagnostics) == 0 {
+		return fail("no diagnostics for broken document")
+	}
+
+	step = 3 // fix it, expect the diagnostics to clear
+	if err := notify("textDocument/didChange", didChangeParams{
+		TextDocument:   textDocumentIdentifier{URI: uri},
+		ContentChanges: []contentChangeEvent{{Text: fixed}},
+	}); err != nil {
+		return fail("%v", err)
+	}
+	if p, err = nextDiags(); err != nil {
+		return fail("%v", err)
+	}
+	if len(p.Diagnostics) != 0 {
+		return fail("diagnostics did not clear: %+v", p.Diagnostics)
+	}
+
+	step = 4 // hover vout on the fixed document
+	res, err = request(2, "textDocument/hover", hoverParams{
+		TextDocument: textDocumentIdentifier{URI: uri},
+		Position:     Position{Line: 7, Character: 3}, // "vout" in the assignment
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	var hov hoverResult
+	if err := json.Unmarshal(res, &hov); err != nil || hov.Contents.Value == "" {
+		return fail("no hover content (result %s)", res)
+	}
+
+	step = 5 // document outline
+	res, err = request(3, "textDocument/documentSymbol", documentSymbolParams{
+		TextDocument: textDocumentIdentifier{URI: uri},
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	var syms []DocumentSymbol
+	if err := json.Unmarshal(res, &syms); err != nil {
+		return fail("bad documentSymbol result: %v", err)
+	}
+	if len(syms) != 2 || syms[0].Name != "amp" || syms[1].Name != "behav" {
+		return fail("outline = %+v, want [amp behav]", syms)
+	}
+
+	step = 6 // orderly shutdown
+	if _, err := request(4, "shutdown", struct{}{}); err != nil {
+		return fail("%v", err)
+	}
+	if err := notify("exit", struct{}{}); err != nil {
+		return fail("%v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("smoke: server exit: %v", err)
+		}
+	case <-ctx.Done():
+		return fmt.Errorf("smoke: server did not exit: %v", ctx.Err())
+	}
+	return nil
+}

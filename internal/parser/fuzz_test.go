@@ -12,6 +12,7 @@ import (
 	"vase/internal/lexer"
 	"vase/internal/parser"
 	"vase/internal/source"
+	"vase/internal/token"
 )
 
 // fuzzSeeds are small VASS fragments chosen to steer the fuzzer toward the
@@ -78,5 +79,38 @@ func FuzzParse(f *testing.F) {
 	f.Fuzz(func(t *testing.T, src string) {
 		// Errors are expected on arbitrary input; panics are not.
 		_, _ = parser.Parse("fuzz.vhd", src)
+	})
+}
+
+// FuzzParseRecover checks the recovery contract on arbitrary bytes: the
+// recovering parser never panics, always returns a design file, and every
+// token of the input is covered by some top-level unit span (ERROR nodes
+// tile whatever the grammar could not claim).
+func FuzzParseRecover(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		df, _ := parser.ParseCollect("fuzz.vhd", src)
+		if df == nil || df.File == nil {
+			t.Fatal("ParseCollect returned an incomplete design file")
+		}
+		var lexErrs diag.List
+		toks := lexer.ScanAll(source.NewFile("fuzz.vhd", src), &lexErrs)
+		for _, tok := range toks {
+			if tok.Kind == token.EOF {
+				continue
+			}
+			covered := false
+			for _, u := range df.Units {
+				sp := u.Span()
+				if sp.IsValid() && sp.Start <= tok.Span.Start && tok.Span.End <= sp.End {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("token %s %q at [%d,%d) not covered by any unit span",
+					tok.Kind, tok.Text, tok.Span.Start, tok.Span.End)
+			}
+		}
 	})
 }

@@ -12,6 +12,7 @@
 package parser
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 
@@ -31,13 +32,18 @@ func Parse(name, text string) (*ast.DesignFile, error) {
 }
 
 // ParseCollect is Parse returning the raw diagnostic list, for tools (the
-// linter) that keep going after syntax errors.
+// linter, the recovery pipeline) that keep going after syntax errors. The
+// returned tree is always structurally complete — every input token is
+// covered by some top-level unit span, with ERROR nodes standing in for
+// skipped regions — and marks itself Recovered when any syntax or lex error
+// fired, so sema can flag the resulting designs Partial.
 func ParseCollect(name, text string) (*ast.DesignFile, *diag.List) {
 	var errs diag.List
 	file := source.NewFile(name, text)
 	toks := lexer.ScanAll(file, &errs)
 	p := &parser{file: file, toks: toks, errs: diag.NewReporter(file, &errs, diag.CodeSyntax)}
 	df := p.parseFile()
+	df.Recovered = errs.HasErrors()
 	return df, &errs
 }
 
@@ -46,6 +52,10 @@ type parser struct {
 	toks []lexer.Token
 	pos  int
 	errs *diag.Reporter
+	// seen suppresses exact-duplicate errors: recovery at EOF can make
+	// every unclosed construct demand the same token at the same offset,
+	// and one finding per (position, message) is enough.
+	seen map[string]bool
 }
 
 func (p *parser) tok() lexer.Token     { return p.toks[p.pos] }
@@ -68,13 +78,34 @@ func (p *parser) next() lexer.Token {
 }
 
 func (p *parser) errorf(sp source.Span, format string, args ...any) {
+	if p.repeated(sp, format, args...) {
+		return
+	}
 	p.errs.Errorf(sp, format, args...)
 }
 
 // report emits a diagnostic with an explicit code, returning it so call
-// sites can attach fixes.
+// sites can attach fixes. A suppressed repeat returns a detached diagnostic
+// that never joins the list, so chained WithFix calls stay harmless.
 func (p *parser) report(code diag.Code, sp source.Span, format string, args ...any) *diag.Diagnostic {
+	if p.repeated(sp, format, args...) {
+		return diag.New(code, p.errs.Position(sp.Start), format, args...)
+	}
 	return p.errs.Report(code, sp, format, args...)
+}
+
+// repeated records an error's (offset, message) identity and reports
+// whether an identical one was already emitted.
+func (p *parser) repeated(sp source.Span, format string, args ...any) bool {
+	key := fmt.Sprintf("%d:%s", sp.Start, fmt.Sprintf(format, args...))
+	if p.seen == nil {
+		p.seen = make(map[string]bool)
+	}
+	if p.seen[key] {
+		return true
+	}
+	p.seen[key] = true
+	return false
 }
 
 // outOfSubsetSeq explains VHDL-AMS sequential statements that VASS excludes,
@@ -130,6 +161,39 @@ func (p *parser) sync(stop ...token.Kind) {
 	}
 }
 
+// atAny reports whether the current token is any of the given kinds.
+func (p *parser) atAny(kinds ...token.Kind) bool {
+	for _, k := range kinds {
+		if p.at(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// skipTo is the recovery form of sync: it consumes tokens until one of the
+// kinds in stop (or EOF) is current and returns the span of everything it
+// consumed, so the caller can wrap the skipped region in an ERROR node.
+// When the current token is already a stop kind nothing is consumed and the
+// returned span is empty (start == end at the current position).
+func (p *parser) skipTo(stop ...token.Kind) source.Span {
+	start := p.tok().Span.Start
+	end := start
+	for !p.at(token.EOF) && !p.atAny(stop...) {
+		end = p.next().Span.End
+	}
+	return source.NewSpan(start, end)
+}
+
+// lastEnd is the end position of the most recently consumed token (the start
+// of the first token when nothing has been consumed yet).
+func (p *parser) lastEnd() source.Pos {
+	if p.pos == 0 {
+		return p.toks[0].Span.Start
+	}
+	return p.toks[p.pos-1].Span.End
+}
+
 func (p *parser) ident() *ast.Ident {
 	t := p.expect(token.IDENT)
 	return &ast.Ident{SpanV: t.Span, Name: t.Text, Canon: strings.ToLower(t.Text)}
@@ -157,31 +221,50 @@ func (p *parser) identLike() *ast.Ident {
 func (p *parser) parseFile() *ast.DesignFile {
 	df := &ast.DesignFile{File: p.file, SpanV: source.NewSpan(0, source.Pos(p.file.Size()))}
 	for !p.at(token.EOF) {
+		start := p.tok()
 		switch p.kind() {
 		case token.ENTITY:
-			df.Units = append(df.Units, p.parseEntity())
+			df.Units = append(df.Units, p.coverUnit(start, p.parseEntity()))
 		case token.ARCHITECTURE:
-			df.Units = append(df.Units, p.parseArchitecture())
+			df.Units = append(df.Units, p.coverUnit(start, p.parseArchitecture()))
 		case token.PACKAGE:
-			df.Units = append(df.Units, p.parsePackage())
+			df.Units = append(df.Units, p.coverUnit(start, p.parsePackage()))
 		case token.LIBRARY, token.USE:
 			// Library/use clauses are accepted and ignored: VASS designs are
-			// self-contained once packages in the same file are visible.
+			// self-contained once packages in the same file are visible. The
+			// clause still leaves a node so the recovered tree covers every
+			// input token.
 			p.sync(token.SEMICOLON)
 			p.accept(token.SEMICOLON)
+			df.Units = append(df.Units, &ast.LibClause{SpanV: source.NewSpan(start.Span.Start, p.lastEnd())})
 		default:
 			t := p.tok()
 			p.errorf(t.Span, "expected design unit (entity, architecture, package), found %s %q", t.Kind, t.Text)
-			p.sync(token.ENTITY, token.ARCHITECTURE, token.PACKAGE)
-			if p.at(t.Kind) && p.kind() != token.ENTITY && p.kind() != token.ARCHITECTURE && p.kind() != token.PACKAGE {
-				return df
-			}
-			if p.at(token.EOF) {
-				return df
-			}
+			sp := p.skipTo(token.ENTITY, token.ARCHITECTURE, token.PACKAGE, token.LIBRARY, token.USE)
+			df.Units = append(df.Units, &ast.ErrorUnit{SpanV: sp})
 		}
 	}
 	return df
+}
+
+// coverUnit widens a parsed design unit's span to cover every token the unit
+// parser consumed, from the unit's first token to the last token consumed.
+// On well-formed input this is the identity (the parser's own span already
+// covers exactly those tokens); after a recovery it guarantees the file-level
+// tiling invariant that every token is covered by some top-level unit span.
+func (p *parser) coverUnit(start lexer.Token, u ast.DesignUnit) ast.DesignUnit {
+	cover := source.NewSpan(start.Span.Start, p.lastEnd())
+	switch u := u.(type) {
+	case *ast.Entity:
+		u.SpanV = u.SpanV.Union(cover)
+	case *ast.Architecture:
+		u.SpanV = u.SpanV.Union(cover)
+	case *ast.Package:
+		u.SpanV = u.SpanV.Union(cover)
+	case *ast.PackageBody:
+		u.SpanV = u.SpanV.Union(cover)
+	}
+	return u
 }
 
 func (p *parser) parseEntity() *ast.Entity {
@@ -343,7 +426,7 @@ func (p *parser) parseDecls() []ast.Decl {
 	}
 }
 
-func (p *parser) parseObjectDecl() *ast.ObjectDecl {
+func (p *parser) parseObjectDecl() ast.Decl {
 	start := p.tok().Span
 	d := &ast.ObjectDecl{}
 	switch p.next().Kind {
@@ -368,7 +451,19 @@ func (p *parser) parseObjectDecl() *ast.ObjectDecl {
 		d.Init = p.parseExpr()
 	}
 	d.Annotations = p.parseAnnotations()
-	end := p.expect(token.SEMICOLON).Span.End
+	if !p.at(token.SEMICOLON) {
+		// Recover to the next declaration, the begin/end of the enclosing
+		// construct, or the terminating semicolon; keep the partial
+		// declaration so its names still resolve.
+		t := p.tok()
+		p.errorf(t.Span, "expected %s, found %s %q", token.SEMICOLON, t.Kind, t.Text)
+		p.skipTo(token.SEMICOLON, token.BEGIN, token.END, token.QUANTITY,
+			token.SIGNAL, token.TERMINAL, token.CONSTANT, token.VARIABLE, token.FUNCTION)
+		p.accept(token.SEMICOLON)
+		d.SpanV = source.NewSpan(start.Start, p.lastEnd())
+		return &ast.ErrorDecl{SpanV: d.SpanV, Parts: []ast.Node{d}}
+	}
+	end := p.next().Span.End
 	d.SpanV = source.NewSpan(start.Start, end)
 	return d
 }
@@ -553,7 +648,17 @@ func (p *parser) parseConcStmt() ast.ConcStmt {
 		start = labelSpan
 	}
 	lhs := p.parseExpr()
-	p.expect(token.EQEQ)
+	if !p.at(token.EQEQ) {
+		t := p.tok()
+		p.errorf(t.Span, "expected %s, found %s %q", token.EQEQ, t.Kind, t.Text)
+		p.skipTo(token.SEMICOLON, token.END, token.ELSIF, token.ELSE, token.WHEN)
+		p.accept(token.SEMICOLON)
+		return &ast.ErrorConc{
+			SpanV: source.NewSpan(start.Start, p.lastEnd()),
+			Parts: []ast.Node{lhs},
+		}
+	}
+	p.next()
 	rhs := p.parseExpr()
 	end := p.expect(token.SEMICOLON).Span.End
 	return &ast.SimpleSimultaneous{
@@ -734,9 +839,9 @@ func (p *parser) parseSeqStmt() ast.SeqStmt {
 	}
 	t := p.tok()
 	p.errorf(t.Span, "expected sequential statement, found %s %q", t.Kind, t.Text)
-	p.sync(token.SEMICOLON, token.END)
+	p.skipTo(token.SEMICOLON, token.END)
 	p.accept(token.SEMICOLON)
-	return &ast.NullStmt{SpanV: t.Span}
+	return &ast.ErrorStmt{SpanV: source.NewSpan(t.Span.Start, p.lastEnd())}
 }
 
 func (p *parser) parseAssign() ast.SeqStmt {
@@ -752,9 +857,9 @@ func (p *parser) parseAssign() ast.SeqStmt {
 	default:
 		t := p.tok()
 		p.errorf(t.Span, "expected := or <= in assignment, found %s %q", t.Kind, t.Text)
-		p.sync(token.SEMICOLON, token.END)
+		p.skipTo(token.SEMICOLON, token.END)
 		p.accept(token.SEMICOLON)
-		return &ast.NullStmt{SpanV: start}
+		return &ast.ErrorStmt{SpanV: source.NewSpan(start.Start, p.lastEnd()), Parts: []ast.Node{lhs}}
 	}
 	s.RHS = p.parseExpr()
 	end := p.expect(token.SEMICOLON).Span.End
@@ -945,7 +1050,7 @@ func (p *parser) parsePrimary() ast.Expr {
 	}
 	p.errorf(t.Span, "expected expression, found %s %q", t.Kind, t.Text)
 	p.next()
-	return &ast.Name{SpanV: t.Span, Ident: &ast.Ident{SpanV: t.Span, Name: "<error>", Canon: "<error>"}}
+	return &ast.ErrorExpr{SpanV: t.Span}
 }
 
 func float64FromInt(s string) float64 {

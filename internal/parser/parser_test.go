@@ -412,7 +412,17 @@ func TestLibraryUseClausesIgnored(t *testing.T) {
 library ieee;
 use ieee.math_real.all;
 entity e is end entity;`)
-	if len(df.Units) != 1 {
-		t.Fatalf("units = %d, want 1", len(df.Units))
+	// Each clause leaves an inert LibClause node (the recovered tree covers
+	// every token), but no semantic unit.
+	if len(df.Units) != 3 {
+		t.Fatalf("units = %d, want 3", len(df.Units))
+	}
+	for _, u := range df.Units[:2] {
+		if _, ok := u.(*ast.LibClause); !ok {
+			t.Fatalf("unit %T, want *ast.LibClause", u)
+		}
+	}
+	if len(df.Entities()) != 1 {
+		t.Fatalf("entities = %d, want 1", len(df.Entities()))
 	}
 }

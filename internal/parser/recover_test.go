@@ -1,0 +1,200 @@
+// Recovery-contract tests: ParseCollect must be a total function from bytes
+// to a structurally complete tree. The mutation suite damages every example
+// source one token at a time (delete, duplicate) and checks that each
+// mutant still yields a tree whose top-level unit spans tile every token,
+// that sema runs over the recovered tree without cascading, and that the
+// diagnostics are byte-stable (golden digest per file).
+package parser_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/lexer"
+	"vase/internal/parser"
+	"vase/internal/sema"
+	"vase/internal/source"
+	"vase/internal/token"
+)
+
+var update = flag.Bool("update", false, "rewrite the mutation golden file")
+
+// scan tokenizes src the same way ParseCollect does, dropping EOF.
+func scan(name, src string) []lexer.Token {
+	var errs diag.List
+	toks := lexer.ScanAll(source.NewFile(name, src), &errs)
+	if n := len(toks); n > 0 && toks[n-1].Kind == token.EOF {
+		toks = toks[:n-1]
+	}
+	return toks
+}
+
+// checkTiling asserts the structural-completeness invariant: every non-EOF
+// token of the input is covered by the span of some top-level design unit.
+func checkTiling(t *testing.T, label string, df *ast.DesignFile, src string) {
+	t.Helper()
+	if df == nil {
+		t.Fatalf("%s: ParseCollect returned nil DesignFile", label)
+	}
+	toks := scan(df.File.Name(), src)
+	for _, tok := range toks {
+		covered := false
+		for _, u := range df.Units {
+			sp := u.Span()
+			if sp.IsValid() && sp.Start <= tok.Span.Start && tok.Span.End <= sp.End {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("%s: token %s %q at [%d,%d) not covered by any unit span",
+				label, tok.Kind, tok.Text, tok.Span.Start, tok.Span.End)
+		}
+	}
+}
+
+func exampleFiles(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.vhd"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example sources found: %v", err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestRecoverUnmutatedIdentity: on well-formed input the recovering parser
+// is byte-identical to the strict parser — same tree (printed form), no
+// diagnostics. This pins the refactor's "valid inputs unchanged" contract.
+func TestRecoverUnmutatedIdentity(t *testing.T) {
+	for _, path := range exampleFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(path)
+		strict, err := parser.Parse(name, string(raw))
+		if err != nil {
+			t.Fatalf("%s: strict parse failed: %v", name, err)
+		}
+		recovered, errs := parser.ParseCollect(name, string(raw))
+		if len(*errs) != 0 {
+			t.Errorf("%s: recovering parse reported diagnostics on clean input:\n%s", name, errs)
+		}
+		if ast.HasErrors(recovered) {
+			t.Errorf("%s: recovering parse left ERROR nodes in a clean tree", name)
+		}
+		if got, want := ast.FileString(recovered), ast.FileString(strict); got != want {
+			t.Errorf("%s: recovered tree differs from strict tree:\n--- strict\n%s\n--- recovered\n%s", name, want, got)
+		}
+		checkTiling(t, name, recovered, string(raw))
+	}
+}
+
+// mutate returns the source with token i deleted or duplicated.
+func mutate(src string, tok lexer.Token, kind string) string {
+	start, end := int(tok.Span.Start), int(tok.Span.End)
+	switch kind {
+	case "del":
+		return src[:start] + src[end:]
+	case "dup":
+		return src[:end] + " " + src[start:end] + src[end:]
+	}
+	panic("unknown mutation " + kind)
+}
+
+// TestRecoverExamplesMutations is the mutation suite: for every example and
+// every token, deleting or duplicating that token must still produce a
+// structurally complete AST that sema can analyze, and the diagnostics for
+// the whole campaign must match a golden digest (recovery behavior is part
+// of the front end's stable contract, not an implementation detail).
+func TestRecoverExamplesMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaign is slow in -short mode")
+	}
+	var report strings.Builder
+	for _, path := range exampleFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(raw)
+		name := filepath.Base(path)
+		toks := scan(name, src)
+
+		total, complete := 0, 0
+		digest := sha256.New()
+		for i, tok := range toks {
+			for _, kind := range []string{"del", "dup"} {
+				mutated := mutate(src, tok, kind)
+				label := fmt.Sprintf("%s[%s:%d:%s]", name, kind, i, tok.Text)
+				total++
+
+				df, errs := parser.ParseCollect(name, mutated)
+				checkTiling(t, label, df, mutated)
+				// Sema over the recovered tree must not panic and not
+				// cascade; its findings join the digest below.
+				designs, semaErrs := sema.AnalyzeCollect(df)
+				for _, d := range designs {
+					if (len(*errs) > 0 || ast.HasErrors(df)) && !d.Partial {
+						t.Errorf("%s: design %q not marked Partial despite recovery", label, d.Name)
+					}
+				}
+				complete++
+
+				// Diagnostics must be deterministic: digest the rendered
+				// stream across the whole campaign.
+				fmt.Fprintf(digest, "%s\n", label)
+				for _, d := range *errs {
+					fmt.Fprintf(digest, "P %s\n", d.Error())
+				}
+				for _, d := range *semaErrs {
+					fmt.Fprintf(digest, "S %s\n", d.Error())
+				}
+				// Spot-check run-to-run stability on a sample.
+				if i%17 == 0 && kind == "del" {
+					_, errs2 := parser.ParseCollect(name, mutated)
+					if errs.Error() != errs2.Error() {
+						t.Errorf("%s: diagnostics differ between identical runs", label)
+					}
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%s: no tokens to mutate", name)
+		}
+		pct := 100 * float64(complete) / float64(total)
+		if pct < 95 {
+			t.Errorf("%s: only %.1f%% of %d mutants produced a complete analyzed AST (want >= 95%%)", name, pct, total)
+		}
+		fmt.Fprintf(&report, "%s mutants=%d complete=%d digest=%s\n",
+			name, total, complete, hex.EncodeToString(digest.Sum(nil)))
+	}
+
+	goldenPath := filepath.Join("testdata", "mutations.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(report.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if report.String() != string(want) {
+		t.Errorf("mutation campaign drifted from golden (run with -update if intended):\n--- got\n%s--- want\n%s", report.String(), want)
+	}
+}

@@ -41,13 +41,31 @@ func keyOf(parts ...string) Key {
 // format or semantics change, invalidating older artifacts.
 const (
 	parseDomain    = "vase/parse/v1"
+	recoverDomain  = "vase/parse-recover/v1"
 	semaDomain     = "vase/sema/v1"
+	unitDomain     = "vase/sema-unit/v1"
 	compileDomain  = "vase/compile/v1"
 	lintSrcDomain  = "vase/lint-src/v1"
 	lintVHIFDomain = "vase/lint-vhif/v1"
 	rangesDomain   = "vase/ranges/v1"
 	mapDomain      = "vase/map/v1"
 )
+
+// ParseRecoverKey is the content address of an error-recovering parse of one
+// named source text.
+func ParseRecoverKey(name, text string) Key {
+	return keyOf(recoverDomain, name, text)
+}
+
+// ProjectUnitKey is the content address of a per-unit sema run in a
+// multi-file project. Callers (internal/project) compose it from everything
+// the unit's analysis can observe: the environment fingerprint (package
+// sources in order), the entity's file/offset/text and the architecture's
+// file/offset/text. The offsets matter because the cached Design carries
+// byte spans into its files.
+func ProjectUnitKey(parts ...string) Key {
+	return keyOf(append([]string{unitDomain}, parts...)...)
+}
 
 // CompileKey is the content address of the front end's output (the VHIF
 // module plus Table 1 metrics) for one named source text. The front end has

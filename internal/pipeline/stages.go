@@ -56,6 +56,49 @@ type CompileResult struct {
 	Cached bool
 }
 
+// ParseResult is the output of the error-recovering parse stage: a
+// structurally complete design file (every input token is covered by some
+// top-level unit, with ERROR nodes standing in for skipped regions) plus the
+// full syntax diagnostics, sorted. Unlike Parse, diagnostics do not fail the
+// stage — a broken source still has a canonical tree, and the pair is
+// memoized like any other artifact. The AST is shared across callers and
+// must be treated as immutable.
+type ParseResult struct {
+	// AST is the recovered design file; never nil.
+	AST *ast.DesignFile
+	// Diags are the syntax (and lex) diagnostics, sorted. Each caller gets
+	// its own slice header.
+	Diags diag.List
+	// Partial reports that recovery fired: the AST contains ERROR nodes, or
+	// the parse produced error diagnostics (resynchronization can repair the
+	// token stream into well-formed nodes without leaving a hole behind).
+	Partial bool
+	// Cached reports that this call was served from the cache.
+	Cached bool
+}
+
+// ParseRecover runs (or reuses) the error-recovering parse stage for one
+// named source text. It never fails on syntax errors; the only error is a
+// cancelled context.
+func (p *Pipeline) ParseRecover(ctx context.Context, name, text string) (*ParseResult, error) {
+	v, src, err := p.memo(ctx, StageParse, ParseRecoverKey(name, text), nil,
+		func(ctx context.Context) (any, bool, error) {
+			df, errs := parser.ParseCollect(name, text)
+			errs.Sort()
+			pr := &ParseResult{AST: df, Diags: *errs, Partial: ast.HasErrors(df) || errs.HasErrors()}
+			return pr, ctx.Err() == nil, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Shallow-copy per caller: the Cached flag is per-call, and the Diags
+	// slice header must be private so callers may filter/append safely.
+	pr := *v.(*ParseResult)
+	pr.Diags = append(diag.List(nil), pr.Diags...)
+	pr.Cached = src.cached()
+	return &pr, nil
+}
+
 // Parse runs (or reuses) the parse stage for one named source text.
 func (p *Pipeline) Parse(ctx context.Context, name, text string) (*ast.DesignFile, error) {
 	v, _, err := p.memo(ctx, StageParse, keyOf(parseDomain, name, text), nil,
@@ -94,6 +137,40 @@ func (p *Pipeline) Analyze(ctx context.Context, name, text string) (*sema.Design
 		return nil, err
 	}
 	return v.(*sema.Design), nil
+}
+
+// UnitResult is the memoized output of one per-unit sema run in a
+// multi-file project: the analyzed design (possibly Partial) plus its
+// diagnostics. The design is shared across callers and must be treated as
+// immutable.
+type UnitResult struct {
+	Design *sema.Design
+	Diags  diag.List
+	// Cached reports that this call was served from the cache — the
+	// incremental-elaboration tests assert on it.
+	Cached bool
+}
+
+// AnalyzeUnit memoizes one per-unit sema computation under a
+// caller-composed ProjectUnitKey. internal/project uses it so a one-line
+// edit in a multi-file project re-runs only the units whose inputs (entity
+// text, architecture text, package environment) actually changed.
+func (p *Pipeline) AnalyzeUnit(ctx context.Context, key Key, compute func(context.Context) (*sema.Design, diag.List, error)) (*UnitResult, error) {
+	v, src, err := p.memo(ctx, StageSema, key, nil,
+		func(ctx context.Context) (any, bool, error) {
+			d, dl, err := compute(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			return &UnitResult{Design: d, Diags: dl}, ctx.Err() == nil, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	ur := *v.(*UnitResult)
+	ur.Diags = append(diag.List(nil), ur.Diags...)
+	ur.Cached = src.cached()
+	return &ur, nil
 }
 
 // Compile runs the front end — parse, sema, VHIF compilation, VHIF

@@ -1,0 +1,208 @@
+// Package project elaborates a multi-file VASS project incrementally.
+//
+// A project is an ordered set of named source files. Check parses every file
+// with the error-recovering parser, builds the cross-file elaboration
+// environment (all packages, in file order), resolves cross-file
+// entity/architecture references, and analyzes each design unit — all
+// through the pipeline's content-addressed memo, so a one-line edit re-runs
+// only the units whose inputs actually changed:
+//
+//   - re-parse is per file, keyed on (name, text);
+//   - re-sema is per design unit, keyed on the package environment
+//     fingerprint plus the entity's and architecture's file, offset and
+//     source text.
+//
+// Everything else — entity indexing, diagnostic merging — is cheap enough
+// to run on every Check. The same Project value backs the vased
+// /v1/project/diagnostics endpoint and the vaselsp language server.
+package project
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/pipeline"
+	"vase/internal/sema"
+	"vase/internal/source"
+)
+
+// File is one named source text of a project.
+type File struct {
+	Name string
+	Text string
+}
+
+// Unit is one analyzed entity/architecture pair.
+type Unit struct {
+	// Entity and Arch are the canonical unit names.
+	Entity string
+	Arch   string
+	// File is the name of the file holding the architecture.
+	File string
+	// Design is the analyzed design; Partial when recovered from errors.
+	Design *sema.Design
+	// Cached reports that the unit's sema run was reused, not recomputed.
+	Cached bool
+}
+
+// Snapshot is the result of one Check over a set of files.
+type Snapshot struct {
+	// Units are the analyzed designs, in (file, architecture) order.
+	Units []Unit
+	// Diags are all diagnostics across every file — lex, parse, package
+	// elaboration, cross-file resolution and per-unit sema — sorted in
+	// deterministic (file, offset, code) order and deduplicated.
+	Diags diag.List
+	// Partial reports whether any file or unit was recovered from errors.
+	Partial bool
+	// ReusedParses and ReusedUnits count stages served from the cache; the
+	// incrementality tests assert a one-line edit keeps the counts high.
+	ReusedParses int
+	ReusedUnits  int
+}
+
+// Project runs incremental multi-file checks over a shared pipeline.
+type Project struct {
+	pipe *pipeline.Pipeline
+}
+
+// New returns a Project over the given pipeline.
+func New(pipe *pipeline.Pipeline) *Project {
+	return &Project{pipe: pipe}
+}
+
+// parsedFile pairs a parse result with its source file.
+type parsedFile struct {
+	name string
+	pr   *pipeline.ParseResult
+	file *source.File
+}
+
+// Check parses and analyzes the given files. The only error is a cancelled
+// context or an internal pipeline failure; broken sources are reported
+// through Snapshot.Diags, never as an error.
+func (p *Project) Check(ctx context.Context, files []File) (*Snapshot, error) {
+	snap := &Snapshot{}
+	var all diag.List
+
+	// Parse every file (memoized per file).
+	parsed := make([]parsedFile, 0, len(files))
+	for _, f := range files {
+		pr, err := p.pipe.ParseRecover(ctx, f.Name, f.Text)
+		if err != nil {
+			return nil, err
+		}
+		if pr.Cached {
+			snap.ReusedParses++
+		}
+		if pr.Partial {
+			snap.Partial = true
+		}
+		all = append(all, pr.Diags...)
+		parsed = append(parsed, parsedFile{name: f.Name, pr: pr, file: pr.AST.File})
+	}
+
+	// Build the elaboration environment: packages from every file, in file
+	// order. Package diagnostics are re-derived on every Check — they are
+	// cheap, and keeping them out of the per-unit memo avoids attributing
+	// one file's findings to another file's cache entry.
+	env := sema.NewEnv()
+	envParts := []string{}
+	for _, pf := range parsed {
+		env.AddPackages(pf.pr.AST, &all)
+		for _, u := range pf.pr.AST.Units {
+			switch u.(type) {
+			case *ast.Package, *ast.PackageBody, *ast.ErrorUnit:
+				envParts = append(envParts,
+					pf.name, strconv.Itoa(int(u.Span().Start)), pf.file.Slice(u.Span()))
+			}
+		}
+	}
+
+	// Index entities across files; duplicates are project-level findings.
+	type entitySite struct {
+		file *source.File
+		ent  *ast.Entity
+	}
+	entities := map[string]entitySite{}
+	for _, pf := range parsed {
+		rep := diag.NewReporter(pf.file, &all, diag.CodeSema)
+		for _, e := range pf.pr.AST.Entities() {
+			if prev, dup := entities[e.Name.Canon]; dup {
+				rep.Report(diag.CodeDuplicate, e.Name.SpanV, "duplicate entity %q", e.Name.Name).
+					WithRelated(prev.file.Position(prev.ent.Name.SpanV.Start), "previously declared here")
+				continue
+			}
+			entities[e.Name.Canon] = entitySite{file: pf.file, ent: e}
+		}
+	}
+
+	// Analyze each architecture against its entity (memoized per unit).
+	for _, pf := range parsed {
+		for _, arch := range pf.pr.AST.Architectures() {
+			site, ok := entities[arch.Entity.Canon]
+			if !ok {
+				rep := diag.NewReporter(pf.file, &all, diag.CodeSema)
+				rep.Errorf(arch.Entity.SpanV, "architecture %q refers to unknown entity %q", arch.Name.Name, arch.Entity.Name)
+				continue
+			}
+			key := unitKey(envParts, site.file, site.ent, pf.file, arch)
+			env, site, pfFile, archNode := env, site, pf.file, arch
+			ur, err := p.pipe.AnalyzeUnit(ctx, key, func(context.Context) (*sema.Design, diag.List, error) {
+				d, dl := sema.AnalyzeDesignUnit(env, site.file, site.ent, pfFile, archNode)
+				return d, *dl, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if ur.Cached {
+				snap.ReusedUnits++
+			}
+			if ur.Design != nil && ur.Design.Partial {
+				snap.Partial = true
+			}
+			all = append(all, ur.Diags...)
+			snap.Units = append(snap.Units, Unit{
+				Entity: site.ent.Name.Canon,
+				Arch:   arch.Name.Canon,
+				File:   pf.name,
+				Design: ur.Design,
+				Cached: ur.Cached,
+			})
+		}
+	}
+
+	all.Sort()
+	all.Dedupe()
+	snap.Diags = all
+	return snap, nil
+}
+
+// unitKey composes the content address of one unit's sema run: the package
+// environment fingerprint plus the entity's and the architecture's file,
+// byte offset and source text. Offsets are part of the key because the
+// cached Design carries byte spans into its files.
+func unitKey(envParts []string, entFile *source.File, ent *ast.Entity, archFile *source.File, arch *ast.Architecture) pipeline.Key {
+	parts := make([]string, 0, len(envParts)+7)
+	parts = append(parts, fmt.Sprintf("env:%d", len(envParts)))
+	parts = append(parts, envParts...)
+	parts = append(parts,
+		entFile.Name(), strconv.Itoa(int(ent.Span().Start)), entFile.Slice(ent.Span()),
+		archFile.Name(), strconv.Itoa(int(arch.Span().Start)), archFile.Slice(arch.Span()))
+	return pipeline.ProjectUnitKey(parts...)
+}
+
+// FileDiags returns the snapshot diagnostics belonging to one file, in
+// order. Diagnostics with no position are attributed to no file.
+func (s *Snapshot) FileDiags(name string) diag.List {
+	var out diag.List
+	for _, d := range s.Diags {
+		if d.Pos.Filename == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package project
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"vase/internal/diag"
+	"vase/internal/pipeline"
+)
+
+const pkgFile = `package consts is
+  constant gain : real := 2.0;
+end package consts;
+`
+
+const entFile = `entity amp is
+  port (quantity vin : in real;
+        quantity vout : out real);
+end entity amp;
+`
+
+const archFile = `architecture behav of amp is
+begin
+  vout == gain * vin;
+end architecture behav;
+`
+
+const otherFile = `entity att is
+  port (quantity a : in real;
+        quantity b : out real);
+end entity att;
+
+architecture behav of att is
+begin
+  b == a / gain;
+end architecture behav;
+`
+
+func newProject(t *testing.T) *Project {
+	t.Helper()
+	pipe, err := pipeline.New(pipeline.Options{})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	return New(pipe)
+}
+
+func files() []File {
+	return []File{
+		{Name: "consts.vhd", Text: pkgFile},
+		{Name: "amp_ent.vhd", Text: entFile},
+		{Name: "amp_arch.vhd", Text: archFile},
+		{Name: "att.vhd", Text: otherFile},
+	}
+}
+
+func TestCheckCleanProject(t *testing.T) {
+	p := newProject(t)
+	snap, err := p.Check(context.Background(), files())
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(snap.Diags) != 0 {
+		t.Fatalf("diagnostics on clean project:\n%s", snap.Diags)
+	}
+	if snap.Partial {
+		t.Fatalf("clean project marked Partial")
+	}
+	if len(snap.Units) != 2 {
+		t.Fatalf("units = %d, want 2", len(snap.Units))
+	}
+	// Units come out in (file, architecture) order; the cross-file
+	// amp/behav pair resolves the entity from amp_ent.vhd and the gain
+	// constant from consts.vhd.
+	if snap.Units[0].Entity != "amp" || snap.Units[0].File != "amp_arch.vhd" {
+		t.Fatalf("unit 0 = %q in %q, want amp in amp_arch.vhd", snap.Units[0].Entity, snap.Units[0].File)
+	}
+	if snap.Units[1].Entity != "att" || snap.Units[1].File != "att.vhd" {
+		t.Fatalf("unit 1 = %q in %q, want att in att.vhd", snap.Units[1].Entity, snap.Units[1].File)
+	}
+}
+
+// TestCheckIncremental is the PR's incrementality acceptance test: editing
+// one line of one architecture re-runs only that unit. Every other file's
+// parse and every other unit's sema must be served from the cache.
+func TestCheckIncremental(t *testing.T) {
+	p := newProject(t)
+	ctx := context.Background()
+	if _, err := p.Check(ctx, files()); err != nil {
+		t.Fatalf("first Check: %v", err)
+	}
+	before := p.pipe.Stats()
+
+	edited := files()
+	edited[2].Text = strings.Replace(edited[2].Text, "gain * vin", "gain * vin + 0.0", 1)
+	snap, err := p.Check(ctx, edited)
+	if err != nil {
+		t.Fatalf("second Check: %v", err)
+	}
+	if len(snap.Diags) != 0 {
+		t.Fatalf("diagnostics after edit:\n%s", snap.Diags)
+	}
+
+	// Three of four parses and one of two units reused.
+	if snap.ReusedParses != 3 {
+		t.Errorf("ReusedParses = %d, want 3", snap.ReusedParses)
+	}
+	if snap.ReusedUnits != 1 {
+		t.Errorf("ReusedUnits = %d, want 1", snap.ReusedUnits)
+	}
+	for _, u := range snap.Units {
+		want := u.Entity == "att"
+		if u.Cached != want {
+			t.Errorf("unit %s.%s Cached = %v, want %v", u.Entity, u.Arch, u.Cached, want)
+		}
+	}
+
+	// The same shows up in the pipeline's own counters: exactly one new
+	// parse miss (the edited file) and one new sema miss (its unit).
+	after := p.pipe.Stats()
+	if got := after.Stage(pipeline.StageParse).Misses - before.Stage(pipeline.StageParse).Misses; got != 1 {
+		t.Errorf("new parse misses = %d, want 1", got)
+	}
+	if got := after.Stage(pipeline.StageSema).Misses - before.Stage(pipeline.StageSema).Misses; got != 1 {
+		t.Errorf("new sema misses = %d, want 1", got)
+	}
+}
+
+// TestCheckPackageEditInvalidatesUnits: touching a package file re-runs
+// every unit, because the environment fingerprint is part of each unit key.
+func TestCheckPackageEditInvalidatesUnits(t *testing.T) {
+	p := newProject(t)
+	ctx := context.Background()
+	if _, err := p.Check(ctx, files()); err != nil {
+		t.Fatalf("first Check: %v", err)
+	}
+
+	edited := files()
+	edited[0].Text = strings.Replace(edited[0].Text, "2.0", "3.0", 1)
+	snap, err := p.Check(ctx, edited)
+	if err != nil {
+		t.Fatalf("second Check: %v", err)
+	}
+	if snap.ReusedUnits != 0 {
+		t.Errorf("ReusedUnits = %d, want 0 after package edit", snap.ReusedUnits)
+	}
+	if snap.ReusedParses != 3 {
+		t.Errorf("ReusedParses = %d, want 3", snap.ReusedParses)
+	}
+}
+
+func TestCheckBrokenFileIsPartial(t *testing.T) {
+	p := newProject(t)
+	broken := files()
+	// Delete the semicolon after the first statement-ish line of the amp
+	// architecture: the parser recovers, the project stays checkable.
+	broken[2].Text = strings.Replace(broken[2].Text, "vout == gain * vin;", "vout == gain * ;", 1)
+	snap, err := p.Check(context.Background(), broken)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !snap.Partial {
+		t.Fatalf("broken project not marked Partial")
+	}
+	if len(snap.Units) != 2 {
+		t.Fatalf("units = %d, want 2 (recovery keeps both units)", len(snap.Units))
+	}
+	var syntax int
+	for _, d := range snap.Diags {
+		if d.Code == diag.CodeSyntax {
+			syntax++
+		}
+	}
+	if syntax == 0 {
+		t.Fatalf("no syntax diagnostics reported:\n%s", snap.Diags)
+	}
+	// The untouched att unit must still analyze cleanly.
+	if got := snap.FileDiags("att.vhd"); len(got) != 0 {
+		t.Fatalf("clean file picked up diagnostics:\n%s", got)
+	}
+}
+
+func TestCheckUnknownEntity(t *testing.T) {
+	p := newProject(t)
+	snap, err := p.Check(context.Background(), []File{
+		{Name: "orphan.vhd", Text: "architecture a of ghost is\nbegin\nend architecture a;\n"},
+	})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(snap.Diags) != 1 || !strings.Contains(snap.Diags[0].Msg, "unknown entity") {
+		t.Fatalf("diags = %v, want one unknown-entity error", snap.Diags)
+	}
+	if len(snap.Units) != 0 {
+		t.Fatalf("units = %d, want 0", len(snap.Units))
+	}
+}
+
+func TestCheckDuplicateEntity(t *testing.T) {
+	p := newProject(t)
+	ent := "entity dup is\n  port (quantity x : in real);\nend entity dup;\n"
+	snap, err := p.Check(context.Background(), []File{
+		{Name: "a.vhd", Text: ent},
+		{Name: "b.vhd", Text: ent},
+	})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	var found bool
+	for _, d := range snap.Diags {
+		if d.Code == diag.CodeDuplicate && strings.Contains(d.Msg, "duplicate entity") {
+			found = true
+			if d.Pos.Filename != "b.vhd" {
+				t.Errorf("duplicate reported in %q, want b.vhd", d.Pos.Filename)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no duplicate-entity diagnostic:\n%s", snap.Diags)
+	}
+}

@@ -74,6 +74,11 @@ func (a *analyzer) typeOfUncached(s *Scope, e ast.Expr) Type {
 		return a.typeOfCall(s, e)
 	case *ast.Attribute:
 		return a.typeOfAttribute(s, e)
+	case *ast.ErrorExpr:
+		// A recovery hole types as the poisoned error type without any
+		// diagnostic of its own: the parser already reported the syntax
+		// error, and TError suppresses every downstream cascade.
+		return ErrType
 	}
 	return ErrType
 }
@@ -560,6 +565,20 @@ func (a *analyzer) checkConcStmt(s *Scope, st ast.ConcStmt) {
 		a.checkProcedural(s, st)
 	case *ast.Process:
 		a.checkProcess(s, st)
+	case *ast.ErrorConc:
+		// Still type the partial children (usually the left-hand side of a
+		// broken simultaneous statement) so names resolve and hover works;
+		// emit no diagnostic of our own for the hole itself.
+		a.checkErrorParts(s, st.Parts)
+	}
+}
+
+// checkErrorParts types the expression children an ERROR node preserved.
+func (a *analyzer) checkErrorParts(s *Scope, parts []ast.Node) {
+	for _, part := range parts {
+		if e, ok := part.(ast.Expr); ok {
+			a.typeOf(s, e)
+		}
 	}
 }
 
@@ -593,7 +612,7 @@ type seqCtx struct {
 func (a *analyzer) checkProcedural(s *Scope, st *ast.Procedural) {
 	inner := NewScope(s)
 	for _, d := range st.Decls {
-		if od, ok := d.(*ast.ObjectDecl); ok {
+		for _, od := range objectDecls(d) {
 			if od.Class != ast.ClassVariable && od.Class != ast.ClassConstant {
 				a.errorf(od.SpanV, "procedural declarations must be variables or constants")
 				continue
@@ -629,7 +648,7 @@ func (a *analyzer) checkProcess(s *Scope, st *ast.Process) {
 	}
 	inner := NewScope(s)
 	for _, d := range st.Decls {
-		if od, ok := d.(*ast.ObjectDecl); ok {
+		for _, od := range objectDecls(d) {
 			if od.Class != ast.ClassVariable && od.Class != ast.ClassConstant {
 				a.report(diag.CodeBadProcess, od.SpanV, "process declarations must be variables or constants")
 				continue
@@ -687,6 +706,8 @@ func (a *analyzer) checkSeqStmt(s *Scope, st ast.SeqStmt, ctx *seqCtx) {
 			a.errorf(st.SpanV, "return is only allowed inside function bodies")
 		}
 	case *ast.NullStmt:
+	case *ast.ErrorStmt:
+		a.checkErrorParts(s, st.Parts)
 	}
 }
 
@@ -795,6 +816,11 @@ func (a *analyzer) checkSeqAssign(s *Scope, st *ast.Assign, ctx seqCtx) {
 		for _, arg := range lhs.Args {
 			a.typeOf(s, arg)
 		}
+	case *ast.ErrorExpr:
+		// The target is a recovery hole: the syntax error was reported by
+		// the parser; just type the right-hand side for hover and move on.
+		a.typeOf(s, st.RHS)
+		return
 	default:
 		a.errorf(st.LHS.Span(), "assignment target must be a name")
 		a.typeOf(s, st.RHS)

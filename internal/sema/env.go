@@ -1,0 +1,67 @@
+package sema
+
+import (
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/source"
+)
+
+// Env is the cross-file elaboration environment: the global scope holding
+// the builtin functions plus every package-level constant and function
+// declared so far. internal/project builds one Env per project snapshot,
+// feeding package files in dependency order, then analyzes each
+// entity/architecture pair against it with AnalyzeDesignUnit.
+type Env struct {
+	global  *Scope
+	partial bool
+}
+
+// NewEnv returns an environment containing only the VASS builtins.
+func NewEnv() *Env {
+	global := NewScope(nil)
+	declareBuiltins(global)
+	return &Env{global: global}
+}
+
+// Partial reports whether any contributing package file contained ERROR
+// nodes; designs analyzed against a partial environment are themselves
+// marked Partial.
+func (env *Env) Partial() bool { return env.partial }
+
+// AddPackages declares the package-level constants and functions of every
+// package and package body in df into the environment. Diagnostics are
+// appended to errs, with spans resolved against df.File.
+func (env *Env) AddPackages(df *ast.DesignFile, errs *diag.List) {
+	a := &analyzer{file: df.File, list: errs, errs: diag.NewReporter(df.File, errs, diag.CodeSema)}
+	for _, u := range df.Units {
+		switch u := u.(type) {
+		case *ast.Package:
+			if ast.HasErrors(u) {
+				env.partial = true
+			}
+			a.declarePackage(env.global, u.Decls)
+		case *ast.PackageBody:
+			if ast.HasErrors(u) {
+				env.partial = true
+			}
+			a.declarePackage(env.global, u.Decls)
+		case *ast.ErrorUnit:
+			// A file-level hole may have swallowed declarations designs
+			// depend on: poison the whole environment.
+			env.partial = true
+		}
+	}
+}
+
+// AnalyzeDesignUnit checks one entity/architecture pair against the
+// environment. The entity and the architecture may come from different
+// files. The returned diagnostics are sorted; the design is always non-nil
+// and marked Partial when either tree (or the environment) was recovered
+// from a broken parse.
+func AnalyzeDesignUnit(env *Env, entFile *source.File, ent *ast.Entity, archFile *source.File, arch *ast.Architecture) (*Design, *diag.List) {
+	errs := &diag.List{}
+	a := &analyzer{file: archFile, list: errs, errs: diag.NewReporter(archFile, errs, diag.CodeSema)}
+	d := a.analyzeDesign(env.global, entFile, archFile, ent, arch, env.partial)
+	errs.Sort()
+	return d, errs
+}

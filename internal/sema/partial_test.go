@@ -1,0 +1,81 @@
+// Sema-over-partial-trees corpus test: every generated spec, truncated at
+// each statement boundary, must still analyze — the recovering parser
+// produces a structurally complete tree, sema marks every resulting design
+// Partial, and the combined diagnostic stream contains no cascading
+// duplicates (the same finding reported twice for one hole).
+package sema_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vase/internal/diag"
+	"vase/internal/gen"
+	"vase/internal/lexer"
+	"vase/internal/parser"
+	"vase/internal/sema"
+	"vase/internal/source"
+	"vase/internal/token"
+)
+
+// truncationPoints returns the byte offsets just after every semicolon —
+// the statement boundaries of src.
+func truncationPoints(name, src string) []int {
+	var errs diag.List
+	toks := lexer.ScanAll(source.NewFile(name, src), &errs)
+	var cuts []int
+	for _, tok := range toks {
+		if tok.Kind == token.SEMICOLON {
+			cuts = append(cuts, int(tok.Span.End))
+		}
+	}
+	return cuts
+}
+
+func TestAnalyzePartialTruncatedSpecs(t *testing.T) {
+	specs := 0
+	truncations := 0
+	for i := 0; i < 12; i++ {
+		spec := gen.Generate(1, i, gen.MixedSize(i))
+		specs++
+		name := fmt.Sprintf("%s.vhd", spec.Name)
+		for _, cut := range truncationPoints(name, spec.Source) {
+			truncations++
+			mutated := spec.Source[:cut]
+			label := fmt.Sprintf("%s@%d", name, cut)
+
+			df, errs := parser.ParseCollect(name, mutated)
+			if df == nil {
+				t.Fatalf("%s: ParseCollect returned nil", label)
+			}
+			designs, semaErrs := sema.AnalyzeCollect(df)
+
+			// Truncation mid-file damages the tree; every design analyzed
+			// from it must carry the Partial mark so downstream stages
+			// refuse to synthesize it.
+			recovered := len(*errs) > 0 || df.Recovered
+			for _, d := range designs {
+				if recovered && !d.Partial {
+					t.Errorf("%s: design %q not marked Partial after truncation", label, d.Name)
+				}
+			}
+
+			// No cascading duplicates: one hole must not produce the same
+			// (code, position, message) finding twice.
+			seen := map[string]bool{}
+			for _, lists := range []*diag.List{errs, semaErrs} {
+				for _, d := range *lists {
+					key := fmt.Sprintf("%s|%s:%d:%d|%s", d.Code, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg)
+					if seen[key] {
+						t.Errorf("%s: duplicate diagnostic %s", label, d.Error())
+					}
+					seen[key] = true
+				}
+			}
+		}
+	}
+	if specs == 0 || truncations == 0 {
+		t.Fatalf("corpus empty: %d specs, %d truncations", specs, truncations)
+	}
+	t.Logf("analyzed %d truncations across %d generated specs", truncations, specs)
+}

@@ -13,7 +13,16 @@ type Design struct {
 	Entity *ast.Entity
 	Arch   *ast.Architecture
 	File   *source.File
-	Scope  *Scope
+	// EntityFile is the file declaring the entity; it differs from File only
+	// in multi-file projects where the architecture lives elsewhere.
+	EntityFile *source.File
+	Scope      *Scope
+
+	// Partial marks a design recovered from a broken parse: its tree (or the
+	// surrounding file/environment) contains ERROR nodes. Analysis passes
+	// (lint, absint) accept partial designs; code generation (compile, map)
+	// refuses them, since a skipped region may hide arbitrary behavior.
+	Partial bool
 
 	// Ports in declaration order; Quantities and Signals include both ports
 	// and architecture-local declarations.
@@ -65,9 +74,21 @@ func Analyze(df *ast.DesignFile) ([]*Design, error) {
 // warnings that Err() would not surface.
 func AnalyzeCollect(df *ast.DesignFile) ([]*Design, *diag.List) {
 	errs := &diag.List{}
-	a := &analyzer{file: df.File, errs: diag.NewReporter(df.File, errs, diag.CodeSema)}
+	a := &analyzer{file: df.File, list: errs, errs: diag.NewReporter(df.File, errs, diag.CodeSema)}
 	global := NewScope(nil)
 	declareBuiltins(global)
+
+	// A file recovered from a broken parse poisons every design in it: an
+	// ERROR unit may have swallowed declarations the designs depend on, and
+	// even when resynchronization repaired the token stream into well-formed
+	// nodes (no ERROR node left) the Recovered flag records the damage.
+	filePartial := df.Recovered
+	for _, u := range df.Units {
+		if ast.HasErrors(u) {
+			filePartial = true
+			break
+		}
+	}
 
 	// Packages first: their constants and functions become globally visible.
 	for _, u := range df.Units {
@@ -94,31 +115,45 @@ func AnalyzeCollect(df *ast.DesignFile) ([]*Design, *diag.List) {
 			a.errorf(arch.Entity.SpanV, "architecture %q refers to unknown entity %q", arch.Name.Name, arch.Entity.Name)
 			continue
 		}
-		designs = append(designs, a.analyzeDesign(global, ent, arch))
+		designs = append(designs, a.analyzeDesign(global, df.File, df.File, ent, arch, filePartial))
 	}
 	errs.Sort()
 	return designs, errs
 }
 
 // AnalyzeOne is Analyze restricted to the (single) design in the file; it
-// fails when the file does not contain exactly one architecture.
+// fails when the file does not contain exactly one architecture. It is the
+// intentionally fail-fast convenience API for compile-bound flows; recovery
+// consumers use AnalyzeCollect.
 func AnalyzeOne(df *ast.DesignFile) (*Design, error) {
 	ds, err := Analyze(df)
 	if err != nil {
-		return nil, err
+		return nil, err //vase:failfast
 	}
 	if len(ds) != 1 {
 		errs := &diag.List{}
 		errs.Addf(diag.CodeSema, df.File.Position(0), "expected exactly one architecture, found %d", len(ds))
-		return nil, errs.Err()
+		return nil, errs.Err() //vase:failfast (strict single-design entry point)
 	}
 	return ds[0], nil
 }
 
 type analyzer struct {
 	file *source.File
+	list *diag.List
 	errs *diag.Reporter
 	d    *Design
+}
+
+// setFile retargets the analyzer's reporter at another source file, so spans
+// from multi-file projects resolve against the file they came from. It is a
+// no-op when f already is the current file (the single-file case).
+func (a *analyzer) setFile(f *source.File) {
+	if f == nil || f == a.file {
+		return
+	}
+	a.file = f
+	a.errs = diag.NewReporter(f, a.list, diag.CodeSema)
 }
 
 func (a *analyzer) errorf(sp source.Span, format string, args ...any) {
@@ -155,6 +190,12 @@ func (a *analyzer) declarePackage(global *Scope, decls []ast.Decl) {
 			a.declareObjects(global, d, false)
 		case *ast.FunctionDecl:
 			a.declareFunction(global, d)
+		case *ast.ErrorDecl:
+			for _, part := range d.Parts {
+				if od, ok := part.(*ast.ObjectDecl); ok {
+					a.declareObjects(global, od, false)
+				}
+			}
 		}
 	}
 }
@@ -175,7 +216,7 @@ func (a *analyzer) declareFunction(s *Scope, fd *ast.FunctionDecl) {
 		// Check the body in a scope containing parameters and locals.
 		body := NewScope(paramScope)
 		for _, d := range fd.Decls {
-			if od, ok := d.(*ast.ObjectDecl); ok {
+			for _, od := range objectDecls(d) {
 				a.declareObjects(body, od, false)
 			}
 		}
@@ -231,6 +272,8 @@ func (a *analyzer) checkFuncBody(s *Scope, body []ast.SeqStmt, result Type, retu
 			inner := a.enterFor(s, st)
 			a.checkFuncBody(inner, st.Body, result, returns)
 		case *ast.NullStmt:
+		case *ast.ErrorStmt:
+			a.checkErrorParts(s, st.Parts)
 		default:
 			a.errorf(st.Span(), "statement not allowed in a VASS function body")
 		}
@@ -389,20 +432,26 @@ func (a *analyzer) resolveAnnotations(s *Scope, od *ast.ObjectDecl) PortAttr {
 	return attr
 }
 
-// analyzeDesign checks one entity/architecture pair.
-func (a *analyzer) analyzeDesign(global *Scope, ent *ast.Entity, arch *ast.Architecture) *Design {
+// analyzeDesign checks one entity/architecture pair. The entity and the
+// architecture may come from different files; partialCtx poisons the design
+// when the surrounding file or environment was recovered from a broken
+// parse.
+func (a *analyzer) analyzeDesign(global *Scope, entFile, archFile *source.File, ent *ast.Entity, arch *ast.Architecture, partialCtx bool) *Design {
 	d := &Design{
-		Name:   ent.Name.Canon,
-		Entity: ent,
-		Arch:   arch,
-		File:   a.file,
-		Scope:  NewScope(global),
-		Types:  make(map[ast.Expr]Type),
-		Consts: make(map[ast.Expr]*Value),
-		Funcs:  make(map[string]*Func),
+		Name:       ent.Name.Canon,
+		Entity:     ent,
+		Arch:       arch,
+		File:       archFile,
+		EntityFile: entFile,
+		Partial:    partialCtx || ast.HasErrors(ent) || ast.HasErrors(arch),
+		Scope:      NewScope(global),
+		Types:      make(map[ast.Expr]Type),
+		Consts:     make(map[ast.Expr]*Value),
+		Funcs:      make(map[string]*Func),
 	}
 	a.d = d
 
+	a.setFile(entFile)
 	for _, g := range ent.Generics {
 		a.declareObjects(d.Scope, g, true)
 	}
@@ -420,6 +469,7 @@ func (a *analyzer) analyzeDesign(global *Scope, ent *ast.Entity, arch *ast.Archi
 			}
 		}
 	}
+	a.setFile(archFile)
 	for _, decl := range arch.Decls {
 		switch decl := decl.(type) {
 		case *ast.ObjectDecl:
@@ -430,6 +480,14 @@ func (a *analyzer) analyzeDesign(global *Scope, ent *ast.Entity, arch *ast.Archi
 			a.declareObjects(d.Scope, decl, false)
 		case *ast.FunctionDecl:
 			a.declareFunction(d.Scope, decl)
+		case *ast.ErrorDecl:
+			// Declare whatever survived inside the recovered region so later
+			// references resolve instead of cascading "undeclared name".
+			for _, part := range decl.Parts {
+				if od, ok := part.(*ast.ObjectDecl); ok {
+					a.declareObjects(d.Scope, od, false)
+				}
+			}
 		}
 	}
 
@@ -437,7 +495,13 @@ func (a *analyzer) analyzeDesign(global *Scope, ent *ast.Entity, arch *ast.Archi
 		a.checkConcStmt(d.Scope, st)
 	}
 	a.computeStats(d)
-	a.checkDriven(d)
+	if !d.Partial {
+		// An ERROR node may have swallowed the statement that drives a port;
+		// undriven-port analysis on a partial design would be guesswork.
+		a.setFile(entFile)
+		a.checkDriven(d)
+		a.setFile(archFile)
+	}
 	return d
 }
 
@@ -460,6 +524,8 @@ func (a *analyzer) computeStats(d *Design) {
 		switch st.(type) {
 		case *ast.Process:
 			mark(st, eventLines)
+		case *ast.ErrorConc:
+			// Skipped regions are not continuous-time statements.
 		default:
 			mark(st, contLines)
 		}
@@ -485,12 +551,30 @@ func (a *analyzer) computeStats(d *Design) {
 		countSym(p)
 	}
 	for _, decl := range d.Arch.Decls {
-		if od, ok := decl.(*ast.ObjectDecl); ok {
+		for _, od := range objectDecls(decl) {
 			for _, id := range od.Names {
 				countSym(d.Scope.Lookup(id.Canon))
 			}
 		}
 	}
+}
+
+// objectDecls extracts the object declarations of a declaration node,
+// looking through ERROR nodes for partial children that survived recovery.
+func objectDecls(d ast.Decl) []*ast.ObjectDecl {
+	switch d := d.(type) {
+	case *ast.ObjectDecl:
+		return []*ast.ObjectDecl{d}
+	case *ast.ErrorDecl:
+		var out []*ast.ObjectDecl
+		for _, part := range d.Parts {
+			if od, ok := part.(*ast.ObjectDecl); ok {
+				out = append(out, od)
+			}
+		}
+		return out
+	}
+	return nil
 }
 
 // checkDriven warns when an out-mode quantity port is never defined by any

@@ -71,7 +71,11 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) *httpError 
 	defer cancel()
 	cr, err := s.pipe.Compile(ctx, req.Name, req.Source)
 	if err != nil {
-		return ctxError(ctx, err)
+		// Broken source: the error body carries the structured diagnostics
+		// plus what the recovering parser salvaged, not a bare string.
+		herr := ctxError(ctx, err)
+		s.attachPartialAST(ctx, herr, req.Name, req.Source)
+		return herr
 	}
 	s.reply(w, "parse", http.StatusOK, parseResponse{
 		Entity: cr.Name,
@@ -102,6 +106,9 @@ type lintResponse struct {
 	Findings json.RawMessage `json:"findings"`
 	Errors   int             `json:"errors"`
 	Warnings int             `json:"warnings"`
+	// PartialAST summarizes what the recovering parser salvaged when the
+	// source had syntax errors (absent for clean or VHIF input).
+	PartialAST *partialASTSummary `json:"partial_ast,omitempty"`
 }
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) *httpError {
@@ -126,7 +133,11 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) *httpError {
 		findings, err = s.pipe.Lint(ctx, req.Name, req.Source, opts)
 	}
 	if err != nil {
-		return ctxError(ctx, err)
+		herr := ctxError(ctx, err)
+		if req.Source != "" {
+			s.attachPartialAST(ctx, herr, req.Name, req.Source)
+		}
+		return herr
 	}
 	if req.Werror {
 		findings = findings.Promote()
@@ -139,14 +150,18 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) *httpError {
 	// The status mirrors the vaselint exit code: error findings are exit 1,
 	// which maps to 422 — the body still carries every finding.
 	status := http.StatusOK
-	if shown.HasErrors() {
-		status = http.StatusUnprocessableEntity
-	}
-	s.reply(w, "lint", status, lintResponse{
+	resp := lintResponse{
 		Findings: data,
 		Errors:   shown.Count(diag.Error),
 		Warnings: shown.Count(diag.Warning),
-	})
+	}
+	if shown.HasErrors() {
+		status = http.StatusUnprocessableEntity
+		if req.Source != "" {
+			resp.PartialAST = s.partialAST(ctx, req.Name, req.Source)
+		}
+	}
+	s.reply(w, "lint", status, resp)
 	return nil
 }
 

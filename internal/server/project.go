@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"vase/internal/ast"
+	"vase/internal/diag"
+	"vase/internal/project"
+)
+
+// --- /v1/project/diagnostics ---------------------------------------------
+
+type projectFileJSON struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+type projectDiagnosticsRequest struct {
+	Files     []projectFileJSON `json:"files"`
+	TimeoutMS int               `json:"timeout_ms"`
+}
+
+type projectUnitJSON struct {
+	Entity  string `json:"entity"`
+	Arch    string `json:"arch"`
+	File    string `json:"file"`
+	Partial bool   `json:"partial"`
+	Cached  bool   `json:"cached"`
+}
+
+type projectDiagnosticsResponse struct {
+	Diagnostics  json.RawMessage   `json:"diagnostics"`
+	Errors       int               `json:"errors"`
+	Warnings     int               `json:"warnings"`
+	Units        []projectUnitJSON `json:"units"`
+	Partial      bool              `json:"partial"`
+	ReusedParses int               `json:"reused_parses"`
+	ReusedUnits  int               `json:"reused_units"`
+}
+
+// handleProjectDiagnostics checks a multi-file project with the recovering
+// front end and returns every diagnostic across the file set. Broken
+// sources are a 200/422 with structured findings, never a bare error: the
+// recovery machinery guarantees an analysis exists for any input. The
+// response's reused_* counters surface the pipeline's incremental reuse, so
+// clients (editors, CI bots) can see that re-posting a project with one
+// edited file re-analyzes only the affected units.
+func (s *Server) handleProjectDiagnostics(w http.ResponseWriter, r *http.Request) *httpError {
+	var req projectDiagnosticsRequest
+	if herr := readJSON(r, &req); herr != nil {
+		return herr
+	}
+	if len(req.Files) == 0 {
+		return errorf(http.StatusBadRequest, "files is required")
+	}
+	seen := map[string]bool{}
+	files := make([]project.File, 0, len(req.Files))
+	for i, f := range req.Files {
+		if f.Name == "" {
+			return errorf(http.StatusBadRequest, "files[%d]: name is required", i)
+		}
+		if seen[f.Name] {
+			return errorf(http.StatusBadRequest, "files[%d]: duplicate file name %q", i, f.Name)
+		}
+		seen[f.Name] = true
+		files = append(files, project.File{Name: f.Name, Text: f.Source})
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	defer cancel()
+
+	snap, err := s.proj.Check(ctx, files)
+	if err != nil {
+		return ctxError(ctx, err)
+	}
+	data, jerr := snap.Diags.JSON()
+	if jerr != nil {
+		return errorf(http.StatusInternalServerError, "encoding diagnostics: %v", jerr)
+	}
+	units := make([]projectUnitJSON, 0, len(snap.Units))
+	for _, u := range snap.Units {
+		partial := u.Design != nil && u.Design.Partial
+		units = append(units, projectUnitJSON{
+			Entity: u.Entity, Arch: u.Arch, File: u.File,
+			Partial: partial, Cached: u.Cached,
+		})
+	}
+	// Mirror /v1/lint: error findings are a 422, with the full analysis in
+	// the body either way.
+	status := http.StatusOK
+	if snap.Diags.HasErrors() {
+		status = http.StatusUnprocessableEntity
+	}
+	s.reply(w, "project", status, projectDiagnosticsResponse{
+		Diagnostics:  data,
+		Errors:       snap.Diags.Count(diag.Error),
+		Warnings:     snap.Diags.Count(diag.Warning),
+		Units:        units,
+		Partial:      snap.Partial,
+		ReusedParses: snap.ReusedParses,
+		ReusedUnits:  snap.ReusedUnits,
+	})
+	return nil
+}
+
+// partialASTSummary describes what the recovering parser salvaged from a
+// broken source: attached to /v1/parse and /v1/lint error responses so
+// clients see how much structure survived, not just that compilation
+// failed.
+type partialASTSummary struct {
+	Units         int  `json:"units"`
+	Entities      int  `json:"entities"`
+	Architectures int  `json:"architectures"`
+	ErrorNodes    int  `json:"error_nodes"`
+	Partial       bool `json:"partial"`
+}
+
+// partialAST re-parses the source with recovery (memoized, so this is a
+// cache hit whenever the failing stage already parsed it) and summarizes
+// what survived. Returns nil when the source parsed cleanly or the context
+// expired.
+func (s *Server) partialAST(ctx context.Context, name, source string) *partialASTSummary {
+	pr, err := s.pipe.ParseRecover(ctx, name, source)
+	if err != nil || !pr.Partial {
+		return nil
+	}
+	return &partialASTSummary{
+		Units:         len(pr.AST.Units),
+		Entities:      len(pr.AST.Entities()),
+		Architectures: len(pr.AST.Architectures()),
+		ErrorNodes:    ast.CountErrors(pr.AST),
+		Partial:       pr.Partial,
+	}
+}
+
+// attachPartialAST merges a partial-AST summary into an error response.
+func (s *Server) attachPartialAST(ctx context.Context, herr *httpError, name, source string) {
+	sum := s.partialAST(ctx, name, source)
+	if sum == nil {
+		return
+	}
+	if herr.extra == nil {
+		herr.extra = map[string]any{}
+	}
+	herr.extra["partial_ast"] = sum
+}

@@ -7,6 +7,10 @@
 //
 //	/v1/parse       front end: VASS -> VHIF (+ Table 1 metrics)
 //	/v1/lint        synthesizability linter over VASS or serialized VHIF
+//	/v1/project/diagnostics
+//	                multi-file check with the error-recovering front end:
+//	                every diagnostic across the file set, plus per-unit
+//	                cache-reuse counters (incremental re-analysis)
 //	/v1/synthesize  full flow: front end + branch-and-bound architecture
 //	                generation under a per-request deadline
 //	/v1/simulate    behavioral transient simulation; "stream": true switches
@@ -46,6 +50,7 @@ import (
 
 	"vase/internal/mapper"
 	"vase/internal/pipeline"
+	"vase/internal/project"
 )
 
 // Config configures a Server. The zero value of every field selects a
@@ -105,6 +110,7 @@ func (c *Config) fillDefaults() {
 type Server struct {
 	cfg   Config
 	pipe  *pipeline.Pipeline
+	proj  *project.Project
 	adm   *admission
 	sched *scheduler
 	met   *metrics
@@ -120,6 +126,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		pipe:  cfg.Pipeline,
+		proj:  project.New(cfg.Pipeline),
 		adm:   newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueWait),
 		sched: newScheduler(cfg.WorkerBudget),
 		met:   newMetrics(),
@@ -127,6 +134,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/v1/parse", s.admitted("parse", s.handleParse))
 	s.mux.HandleFunc("/v1/lint", s.admitted("lint", s.handleLint))
+	s.mux.HandleFunc("/v1/project/diagnostics", s.admitted("project", s.handleProjectDiagnostics))
 	s.mux.HandleFunc("/v1/synthesize", s.admitted("synthesize", s.handleSynthesize))
 	s.mux.HandleFunc("/v1/simulate", s.admitted("simulate", s.handleSimulate))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
