@@ -102,9 +102,9 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 }
 
-// BenchmarkFigure8 measures the circuit-level receiver transient (3 ms at
-// 1 us steps through the MNA solver).
-func BenchmarkFigure8(b *testing.B) {
+// benchFigure8 measures the circuit-level receiver transient (3 ms at
+// 1 us steps) through one MNA solver tier.
+func benchFigure8(b *testing.B, mode mna.SolverMode) {
 	bd, err := corpus.BuildApp(corpus.ByKey("receiver"))
 	if err != nil {
 		b.Fatal(err)
@@ -118,11 +118,23 @@ func BenchmarkFigure8(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		el.Circuit.Solver = mode
 		if _, err := el.Circuit.Transient(3e-3, 1e-6); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkFigure8 runs the exact planned engine (the default tier).
+func BenchmarkFigure8(b *testing.B) { benchFigure8(b, mna.SolverAuto) }
+
+// BenchmarkFigure8Reference runs the original allocate-per-solve dense
+// eliminator — the baseline both other tiers are measured against.
+func BenchmarkFigure8Reference(b *testing.B) { benchFigure8(b, mna.SolverReference) }
+
+// BenchmarkFigure8Fast runs the tolerance-tier engine (results within the
+// default ErrorBudget of the reference, not byte-identical).
+func BenchmarkFigure8Fast(b *testing.B) { benchFigure8(b, mna.SolverFast) }
 
 // BenchmarkFigure8Behavioral measures the same experiment on the RK4
 // behavioral simulator.

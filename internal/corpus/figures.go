@@ -205,11 +205,25 @@ type Figure8Result struct {
 	ClipN float64   // observed negative clip level
 }
 
+// SpiceConfig selects the MNA engine for corpus circuit simulations. The
+// zero value is the exact planned engine — bit-identical to the reference,
+// so the golden figure outputs are engine-independent by construction.
+type SpiceConfig struct {
+	Solver mna.SolverMode
+	Budget mna.ErrorBudget
+}
+
 // Figure8 reproduces the receiver simulation: the synthesized netlist is
 // elaborated into a 2-stage op-amp macromodel circuit and driven with a
 // deliberately high-amplitude 1 kHz input so the signal-limiting capability
 // of the output stage is visible. The paper's v(9) clips at 1.5 V.
 func Figure8() (*Figure8Result, string, error) {
+	return Figure8With(SpiceConfig{})
+}
+
+// Figure8With is Figure8 on an explicit solver tier — the benchmark and CI
+// entry point for comparing the exact and fast engines on the same circuit.
+func Figure8With(cfg SpiceConfig) (*Figure8Result, string, error) {
 	b, err := BuildApp(ByKey("receiver"))
 	if err != nil {
 		return nil, "", err
@@ -222,6 +236,8 @@ func Figure8() (*Figure8Result, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	el.Circuit.Solver = cfg.Solver
+	el.Circuit.Budget = cfg.Budget
 	tr, err := el.Circuit.Transient(3e-3, 1e-6)
 	if err != nil {
 		return nil, "", err

@@ -62,6 +62,12 @@ func Pairs() []*Pair {
 			Run:       pairSolver,
 		},
 		{
+			Name:      "fast",
+			Doc:       "fast-tier solver stays within the error budget of the reference and is deterministic",
+			MaxQuants: 10,
+			Run:       pairFast,
+		},
+		{
 			Name: "anytime",
 			Doc:  "truncated transients are bitwise prefixes; budgeted searches stay valid",
 			Run:  pairAnytime,
@@ -236,20 +242,15 @@ func errText(err error) string {
 	return err.Error()
 }
 
-func pairSolver(sp *Spec) error {
-	m, err := CompileSpec(sp)
-	if err != nil {
-		return err
-	}
-	res, err := mapper.Synthesize(m, searchOptions(sp))
-	if err != nil {
-		return fmt.Errorf("synthesize: %w", err)
-	}
+// specObserver elaborates a synthesized spec and returns a closure that runs
+// the circuit-level DC + short-transient observation under a solver mode —
+// the shared harness of the solver and fast campaign pairs.
+func specObserver(sp *Spec, res *mapper.Result) func(mode mna.SolverMode, workers int) (*solverObservation, error) {
 	waves := make(map[string]mna.Waveform, len(sp.Inputs))
 	for name, w := range sp.Inputs { //vase:unordered (map-to-map conversion)
 		waves[name] = mna.Waveform(w.Source())
 	}
-	observe := func(mode mna.SolverMode, workers int) (*solverObservation, error) {
+	return func(mode mna.SolverMode, workers int) (*solverObservation, error) {
 		el, err := mna.Elaborate(res.Netlist, waves)
 		if err != nil {
 			return nil, fmt.Errorf("elaborate: %w", err)
@@ -267,6 +268,18 @@ func pairSolver(sp *Spec) error {
 		o.tr, o.trErr = tr, errText(err)
 		return o, nil
 	}
+}
+
+func pairSolver(sp *Spec) error {
+	m, err := CompileSpec(sp)
+	if err != nil {
+		return err
+	}
+	res, err := mapper.Synthesize(m, searchOptions(sp))
+	if err != nil {
+		return fmt.Errorf("synthesize: %w", err)
+	}
+	observe := specObserver(sp, res)
 	ref, err := observe(mna.SolverReference, 1)
 	if err != nil {
 		return err
@@ -287,6 +300,64 @@ func pairSolver(sp *Spec) error {
 		if err := compareObservations(ref, got); err != nil {
 			return fmt.Errorf("%s vs reference: %w", alt.label, err)
 		}
+	}
+	return nil
+}
+
+// pairFast compares the tolerance-tier engine against the reference under
+// the fast tier's contract: not bitwise identity but the ErrorBudget — every
+// DC value and transient sample within |fast-ref| <= AbsTol + RelTol*|ref|
+// (with the one-sample event-skew allowance for discrete devices). The
+// outcome contract is one-directional: the fast tier must not fail where
+// the reference succeeds, but it may succeed where the reference diverges —
+// its damped chord iteration takes a different path through a
+// Newton-multistable landscape and occasionally lands on an operating
+// point the full-Newton reference misses; a chord fixed point satisfies
+// the same nonlinear system, so the extra answer is legitimate (just
+// unverifiable, since there is no reference to compare against). A second
+// fast run must be byte-identical to the first (determinism is what makes
+// fast-tier results cacheable).
+func pairFast(sp *Spec) error {
+	m, err := CompileSpec(sp)
+	if err != nil {
+		return err
+	}
+	res, err := mapper.Synthesize(m, searchOptions(sp))
+	if err != nil {
+		return fmt.Errorf("synthesize: %w", err)
+	}
+	observe := specObserver(sp, res)
+	ref, err := observe(mna.SolverReference, 1)
+	if err != nil {
+		return err
+	}
+	fast, err := observe(mna.SolverFast, 1)
+	if err != nil {
+		return fmt.Errorf("fast: %w", err)
+	}
+	var budget mna.ErrorBudget
+	if ref.dcErr == "" {
+		if fast.dcErr != "" {
+			return fmt.Errorf("fast DC fails where reference succeeds: %q", fast.dcErr)
+		}
+		if err := budget.CompareSolution(ref.dc, fast.dc); err != nil {
+			return fmt.Errorf("DC outside budget: %w", err)
+		}
+	}
+	if ref.trErr == "" && ref.dcErr == "" {
+		if fast.trErr != "" {
+			return fmt.Errorf("fast transient fails where reference succeeds: %q", fast.trErr)
+		}
+		if _, err := budget.CompareTran(ref.tr, fast.tr); err != nil {
+			return fmt.Errorf("transient outside budget: %w", err)
+		}
+	}
+	again, err := observe(mna.SolverFast, 1)
+	if err != nil {
+		return fmt.Errorf("fast rerun: %w", err)
+	}
+	if err := compareObservations(fast, again); err != nil {
+		return fmt.Errorf("fast tier not deterministic: %w", err)
 	}
 	return nil
 }

@@ -161,3 +161,18 @@ func TestShrinkCampaignIntegration(t *testing.T) {
 		t.Errorf("expected a 1-2 quantity reproducer, got %d:\n%s", shrunk.Quants(), shrunk.Source)
 	}
 }
+
+// TestFastTierSeededSpecs runs the fast pair's full contract (budget
+// comparison, one-directional outcome totality, determinism) over a seed
+// stream disjoint from the campaign's, so `go test` exercises the fast
+// tier on generated circuits beyond the fixed corpus even at the default
+// campaign size.
+func TestFastTierSeededSpecs(t *testing.T) {
+	n := corpusN(t, 4)
+	for i := 0; i < n; i++ {
+		sp := Generate(7, i, SizeSmall)
+		if err := pairFast(sp); err != nil {
+			t.Errorf("seed 7 index %d: %v", i, err)
+		}
+	}
+}

@@ -104,3 +104,46 @@ func TestMagDB(t *testing.T) {
 		t.Errorf("gain = %g dB, want 20", db)
 	}
 }
+
+// TestACDenseFallbackLazyAndReused pins the dense-fallback economics: a
+// worker that never misses the sparse pattern must not carry dense storage
+// at all, and a worker that misses repeatedly must allocate it exactly once
+// and reuse it on every later miss.
+func TestACDenseFallbackLazyAndReused(t *testing.T) {
+	c := activeChain(7) // sparse plan: dim 23 is past the crossover
+	op, err := c.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.ensureSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.sparse {
+		t.Fatalf("want a sparse plan for the fallback test, got dense dim %d", s.dim)
+	}
+	tmpl := c.buildACTemplate(s, op, "vin")
+	ws := newACWorkspace(s, tmpl)
+	if err := ws.solvePoint(s, tmpl, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if ws.dvals != nil {
+		t.Fatal("dense fallback storage allocated without a pattern miss")
+	}
+	// Drive the miss path directly (a real miss needs a pivot walk outside
+	// the adaptively grown pattern, which well-formed circuits rarely do).
+	if err := ws.denseFallback(s, tmpl, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.dvals) != len(tmpl.dvals) {
+		t.Fatalf("dense storage sized %d, want %d", len(ws.dvals), len(tmpl.dvals))
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ws.denseFallback(s, tmpl, 2e3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("repeated dense fallback: %v allocs/op, want 0 (workspace must be reused)", allocs)
+	}
+}

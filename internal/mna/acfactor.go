@@ -45,7 +45,7 @@ type acTemplate struct {
 // acWorkspace is one worker's private solve state for the parallel sweep.
 type acWorkspace struct {
 	vals, rhsv       []complex128
-	dvals            []complex128 // dense fallback storage (sparse plans only)
+	dvals            []complex128 // dense fallback storage, lazily sized on first miss
 	x                []complex128 // 1-based solution, x[0] = 0
 	perm, pos, diagQ []int
 }
@@ -61,9 +61,6 @@ func newACWorkspace(s *solver, t *acTemplate) *acWorkspace {
 		ws.pos = make([]int, s.dim)
 		ws.diagQ = make([]int, s.dim)
 	}
-	if t.dvals != nil {
-		ws.dvals = make([]complex128, len(t.dvals))
-	}
 	return ws
 }
 
@@ -77,10 +74,22 @@ func (ws *acWorkspace) solvePoint(s *solver, t *acTemplate, f float64) error {
 	}
 	err := ws.sparseFactorSolve(s)
 	if err == errACSparseMiss {
-		ws.loadDense(t, f)
-		return ws.denseFactorSolve(s.dim, ws.dvals)
+		return ws.denseFallback(s, t, f)
 	}
 	return err
+}
+
+// denseFallback re-solves a frequency point on the worker's private dense
+// storage after a sparse pattern miss. The storage is sized on the first
+// miss and reused for every later one — most sweeps never miss, so the
+// common case carries no dense allocation at all, and a sweep that misses
+// many points allocates exactly once per worker.
+func (ws *acWorkspace) denseFallback(s *solver, t *acTemplate, f float64) error {
+	if ws.dvals == nil {
+		ws.dvals = make([]complex128, len(t.dvals))
+	}
+	ws.loadDense(t, f)
+	return ws.denseFactorSolve(s.dim, ws.dvals)
 }
 
 // buildACTemplate assembles the frequency-independent complex system

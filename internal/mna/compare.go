@@ -1,0 +1,236 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrorBudget bounds the divergence SolverFast may introduce relative to
+// SolverReference: every trace point must satisfy
+//
+//	|fast - ref| <= AbsTol + RelTol*|ref|
+//
+// The zero value means "use the defaults" everywhere a budget is consumed,
+// so an unset Circuit.Budget is always a valid (tight) contract.
+type ErrorBudget struct {
+	// RelTol is the relative tolerance (default DefaultRelTol).
+	RelTol float64
+	// AbsTol is the absolute floor in volts (default DefaultAbsTol). It
+	// also sets the fast tier's Newton convergence tolerance (AbsTol/100,
+	// never looser than the exact tier's 1e-8).
+	AbsTol float64
+}
+
+// Default fast-tier tolerances. Measured corpus-wide divergence sits orders
+// of magnitude below these (see BENCH_mna.json); the margin absorbs
+// conditioning differences across circuits the corpus has not seen.
+const (
+	DefaultRelTol = 1e-4
+	DefaultAbsTol = 1e-6
+)
+
+// withDefaults fills zero fields with the documented defaults.
+func (b ErrorBudget) withDefaults() ErrorBudget {
+	if b.RelTol <= 0 {
+		b.RelTol = DefaultRelTol
+	}
+	if b.AbsTol <= 0 {
+		b.AbsTol = DefaultAbsTol
+	}
+	return b
+}
+
+// newtonTol is the fast tier's Newton convergence tolerance: two decades
+// below the absolute budget, and never looser than the exact tier's.
+func (b ErrorBudget) newtonTol() float64 {
+	b = b.withDefaults()
+	t := b.AbsTol / 100
+	if t > newtonTol {
+		t = newtonTol
+	}
+	return t
+}
+
+// Canonical renders the effective budget in a stable hex-exact form, for
+// content-addressed cache keys: fast-tier results are deterministic and
+// therefore cacheable, but only under the budget that produced them.
+func (b ErrorBudget) Canonical() string {
+	b = b.withDefaults()
+	return fmt.Sprintf("reltol=%x abstol=%x", b.RelTol, b.AbsTol)
+}
+
+// TraceDiff summarizes a CompareTran run.
+type TraceDiff struct {
+	// Points is the number of compared samples (nodes x timesteps).
+	Points int
+	// MaxAbs / MaxRel are the worst absolute and relative divergences over
+	// the directly matched points (MaxRel is |g-r|/(|r|+AbsTol), so it is
+	// finite through zero crossings).
+	MaxAbs, MaxRel float64
+	// Skewed counts points that failed the direct comparison but matched a
+	// neighboring reference sample: a discrete device (switch, comparator)
+	// whose threshold crossing landed one timestep away. Skewed points are
+	// excluded from MaxAbs/MaxRel.
+	Skewed int
+}
+
+func (d TraceDiff) String() string {
+	return fmt.Sprintf("%d points, max abs %.3g, max rel %.3g, %d skewed",
+		d.Points, d.MaxAbs, d.MaxRel, d.Skewed)
+}
+
+// CompareTran checks got against ref point for point under the budget. The
+// traces must have identical shape (times, truncation, node sets); a value
+// outside the budget at its own sample is still accepted when it is within
+// budget of the reference waveform somewhere inside one timestep — it
+// matches an adjacent reference sample, or lies inside the local tube those
+// samples and their branches span (refTube). A discrete device switching a
+// fraction of a fixed step early
+// or late produces exactly such points — a full-amplitude single-sample
+// difference at the crossing, then a sub-step phase offset on the following
+// slopes — and neither says anything about solver accuracy. The tube is
+// one sample wide, so a shift of a full step or more still fails; every
+// point the allowance accepted is counted in TraceDiff.Skewed.
+func (b ErrorBudget) CompareTran(ref, got *Tran) (TraceDiff, error) {
+	b = b.withDefaults()
+	var d TraceDiff
+	if ref == nil || got == nil {
+		return d, fmt.Errorf("mna: CompareTran on nil trace")
+	}
+	if len(ref.Time) != len(got.Time) || ref.Truncated != got.Truncated {
+		return d, fmt.Errorf("mna: trace shape mismatch: %d samples (truncated=%v) vs reference %d (truncated=%v)",
+			len(got.Time), got.Truncated, len(ref.Time), ref.Truncated)
+	}
+	for i, t := range ref.Time {
+		if got.Time[i] != t {
+			return d, fmt.Errorf("mna: time axis diverges at sample %d: %g vs reference %g", i, got.Time[i], t)
+		}
+	}
+	if len(ref.V) != len(got.V) {
+		return d, fmt.Errorf("mna: node set mismatch: %d nodes vs reference %d", len(got.V), len(ref.V))
+	}
+	nodes := make([]int, 0, len(ref.V))
+	for n := range ref.V {
+		nodes = append(nodes, int(n))
+	}
+	sort.Ints(nodes)
+	within := func(g, r float64) bool {
+		return math.Abs(g-r) <= b.AbsTol+b.RelTol*math.Abs(r)
+	}
+	for _, ni := range nodes {
+		n := Node(ni)
+		rw, gw := ref.V[n], got.V[n]
+		if len(rw) != len(gw) {
+			return d, fmt.Errorf("mna: node %d waveform length %d vs reference %d", ni, len(gw), len(rw))
+		}
+		for i := range rw {
+			g, r := gw[i], rw[i]
+			if !within(g, r) {
+				// One-sample event-skew allowance: the value matches an
+				// adjacent reference sample, or lies inside the local tube
+				// (refTube) — a transitional point of a discrete event the
+				// two solvers resolved a fraction of a timestep apart. The
+				// tube case is self-limiting: in a smooth region all its
+				// bounds are within budget of r, so it forgives nothing
+				// new.
+				skew := (i > 0 && within(g, rw[i-1])) || (i+1 < len(rw) && within(g, rw[i+1]))
+				if !skew && len(rw) > 1 {
+					lo, hi := refTube(rw, i)
+					skew = g >= lo-(b.AbsTol+b.RelTol*math.Abs(lo)) &&
+						g <= hi+(b.AbsTol+b.RelTol*math.Abs(hi))
+				}
+				if skew {
+					d.Skewed++
+					d.Points++
+					continue
+				}
+				return d, fmt.Errorf("mna: node %d sample %d (t=%g) outside budget: %g vs reference %g (|diff|=%.3g, budget %.3g)",
+					ni, i, ref.Time[i], g, r, math.Abs(g-r), b.AbsTol+b.RelTol*math.Abs(r))
+			}
+			d.Points++
+			abs := math.Abs(g - r)
+			if abs > d.MaxAbs {
+				d.MaxAbs = abs
+			}
+			if rel := abs / (math.Abs(r) + b.AbsTol); rel > d.MaxRel {
+				d.MaxRel = rel
+			}
+		}
+	}
+	return d, nil
+}
+
+// refTube bounds the values the reference waveform can plausibly take
+// within one timestep of sample i. The interval spans the adjacent samples
+// plus each adjacent branch extrapolated one step toward i — quadratically
+// through its next two samples, which reproduces the fixed-step
+// integrator's own local trajectory to high order. An event the two tiers
+// resolved a fraction of a step apart puts the transitional sample exactly
+// on the opposite branch's back-extrapolation (slightly past the adjacent
+// sample, where a straight between-neighbors tube truncates); a shift of a
+// full step or more still lands outside. At the trace boundaries, where
+// the window has no sample on one side, the reference's own endpoint slope
+// is extended instead.
+func refTube(rw []float64, i int) (lo, hi float64) {
+	n := len(rw)
+	grow := func(v float64) {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	if i > 0 {
+		grow(rw[i-1])
+		// Pre-event branch carried one step forward.
+		switch {
+		case i >= 3:
+			grow(3*rw[i-1] - 3*rw[i-2] + rw[i-3])
+		case i >= 2:
+			grow(2*rw[i-1] - rw[i-2])
+		}
+	} else {
+		grow(2*rw[0] - rw[1])
+	}
+	if i+1 < n {
+		grow(rw[i+1])
+		// Post-event branch carried one step backward.
+		switch {
+		case i+3 < n:
+			grow(3*rw[i+1] - 3*rw[i+2] + rw[i+3])
+		case i+2 < n:
+			grow(2*rw[i+1] - rw[i+2])
+		}
+	} else {
+		grow(2*rw[n-1] - rw[n-2])
+	}
+	return lo, hi
+}
+
+// CompareSolution checks a single operating point (DC) against the
+// reference under the budget.
+func (b ErrorBudget) CompareSolution(ref, got Solution) error {
+	b = b.withDefaults()
+	if len(ref) != len(got) {
+		return fmt.Errorf("mna: solution dimension %d vs reference %d", len(got), len(ref))
+	}
+	for i := range ref {
+		g, r := got[i], ref[i]
+		if math.Abs(g-r) > b.AbsTol+b.RelTol*math.Abs(r) {
+			return fmt.Errorf("mna: solution[%d] outside budget: %g vs reference %g (|diff|=%.3g, budget %.3g)",
+				i, g, r, math.Abs(g-r), b.AbsTol+b.RelTol*math.Abs(r))
+		}
+	}
+	return nil
+}
+
+// TranFromSamples reconstructs a transient result bound to this circuit
+// from raw trace data — the rehydration path for content-addressed caches,
+// which store only the sample arrays. Named-node lookup (Tran.Node) works
+// on the reconstructed trace exactly as on a computed one.
+func (c *Circuit) TranFromSamples(time []float64, v map[Node][]float64, truncated bool) *Tran {
+	return &Tran{Time: time, V: v, Truncated: truncated, c: c}
+}

@@ -91,8 +91,10 @@ const (
 )
 
 // SolverMode selects the linear-solver implementation backing DC, transient
-// and AC analyses. Every mode produces bit-identical solutions; they differ
-// only in speed and allocation behavior.
+// and AC analyses. All modes except SolverFast produce bit-identical
+// solutions and differ only in speed and allocation behavior; SolverFast
+// trades byte-identity for speed under a contractual ErrorBudget (see
+// compare.go).
 type SolverMode int
 
 const (
@@ -106,6 +108,15 @@ const (
 	// SolverReference selects the original allocate-per-solve dense
 	// eliminator, kept as the oracle for equivalence tests.
 	SolverReference
+	// SolverFast selects the tolerance-tier engine: fill-reducing
+	// threshold-Markowitz ordering, a static fill-closed elimination
+	// schedule free to reorder arithmetic and skip numerically-dead work,
+	// and factorization reuse across Newton iterations and timesteps
+	// (chord Newton in residual form). Results are deterministic but not
+	// byte-identical to the other tiers; they are guaranteed to stay
+	// within Circuit.Budget of the SolverReference trace (fast.go,
+	// ordering.go).
+	SolverFast
 )
 
 // defaultSparseCrossover is the reduced-system dimension at which
@@ -123,6 +134,15 @@ type SolverStats struct {
 	// Factorizations counts LU factorizations: one per Newton iteration
 	// plus one per AC frequency point.
 	Factorizations int64
+	// FactorReuses counts SolverFast Newton iterations that reused the
+	// previous factorization instead of refactoring (chord steps).
+	FactorReuses int64
+	// Orderings counts SolverFast fill-reducing symbolic orderings
+	// (one per stamp plan, plus one per pivot-monitor-forced reorder).
+	Orderings int64
+	// Fallbacks counts SolverFast solve points that exhausted the fast
+	// Newton budget and were re-solved by the exact tier's loop.
+	Fallbacks int64
 	// PeakDim is the largest reduced-system dimension solved.
 	PeakDim int
 	// Sparse reports whether the current stamp plan uses the CSR
@@ -140,8 +160,15 @@ func (s SolverStats) String() string {
 	if s.Sparse {
 		plan = fmt.Sprintf("sparse (%d stamped + %d fill)", s.Nonzeros, s.Fill)
 	}
-	return fmt.Sprintf("dim %d %s, %d newton iterations, %d factorizations",
+	out := fmt.Sprintf("dim %d %s, %d newton iterations, %d factorizations",
 		s.PeakDim, plan, s.NewtonIterations, s.Factorizations)
+	if s.FactorReuses > 0 || s.Orderings > 0 {
+		out += fmt.Sprintf(", %d reused, %d orderings", s.FactorReuses, s.Orderings)
+	}
+	if s.Fallbacks > 0 {
+		out += fmt.Sprintf(", %d exact fallbacks", s.Fallbacks)
+	}
+	return out
 }
 
 // Circuit is a netlist of MNA devices.
@@ -168,6 +195,11 @@ type Circuit struct {
 	// Workers bounds the AC-sweep fan-out (0 = all CPUs, 1 = sequential).
 	// Every worker count produces the identical sweep.
 	Workers int
+	// Budget is the SolverFast error budget: the fast tier's traces are
+	// guaranteed to stay within it of the SolverReference traces,
+	// point for point (zero fields take the documented defaults; other
+	// solver modes ignore it).
+	Budget ErrorBudget
 
 	// OnSample, when set, is called once per recorded transient sample with
 	// the sample time and the solution vector (node voltages indexed by
@@ -498,6 +530,9 @@ func (c *Circuit) DCContext(ctx context.Context) (Solution, error) {
 		return nil, err
 	}
 	dst := make(Solution, s.dim+1)
+	if c.Solver == SolverFast {
+		return c.newtonFastTier(ctx, s, dst, s.zero, s.zero, 0, -1)
+	}
 	return c.newtonFast(ctx, s, dst, s.zero, s.zero, 0, -1)
 }
 
@@ -557,6 +592,9 @@ func (c *Circuit) TransientContext(ctx context.Context, tstop, h float64) (*Tran
 	newton := func(dst, x0, prev Solution, t float64) (Solution, error) {
 		if refM != nil {
 			return c.newtonRef(ctx, refM, x0, prev, t, h)
+		}
+		if c.Solver == SolverFast {
+			return c.newtonFastTier(ctx, s, dst, x0, prev, t, h)
 		}
 		return c.newtonFast(ctx, s, dst, x0, prev, t, h)
 	}

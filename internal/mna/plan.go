@@ -117,6 +117,16 @@ type solver struct {
 	opVc  []float64
 	opHas []bool
 
+	// fast is the SolverFast tier's ordered workspace (fast.go), built
+	// lazily from assembled values and invalidated by layout(): adaptive
+	// pattern growth renumbers the plan slots the fast scatter map indexes.
+	fast *fastState
+	// fastOff permanently routes SolverFast solves through the exact Newton
+	// path for this circuit: set when the fast tier's ordering or scheduled
+	// factorization fails (e.g. a numerically singular scratch at some
+	// mid-Newton iterate the exact tier's runtime pivoting survives).
+	fastOff bool
+
 	stamped int // stamped (structural) slot count
 	fill    int // adaptively discovered fill slot count
 }
@@ -196,7 +206,8 @@ func (c *Circuit) ensureSolver() (*solver, error) {
 	if cross <= 0 {
 		cross = defaultSparseCrossover
 	}
-	sparse := c.Solver == SolverSparse || (c.Solver == SolverAuto && dim >= cross)
+	sparse := c.Solver == SolverSparse ||
+		((c.Solver == SolverAuto || c.Solver == SolverFast) && dim >= cross)
 	if s := c.sol; s != nil && s.dim == dim && s.ndev == len(c.devices) && s.sparse == sparse {
 		return s, nil
 	}
@@ -250,6 +261,7 @@ func (c *Circuit) ensureSolver() (*solver, error) {
 // pattern growth; stamped values do not survive it — the caller restamps.
 func (c *Circuit) layout(s *solver) {
 	dim := s.dim
+	s.fast = nil // plan slots are renumbered below; the fast scatter map is stale
 	if s.sparse {
 		nnz := 0
 		for _, wd := range s.pat {

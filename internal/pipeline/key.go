@@ -4,10 +4,13 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"sort"
+	"strconv"
 
 	"vase/internal/library"
 	"vase/internal/lint"
 	"vase/internal/mapper"
+	"vase/internal/mna"
 	"vase/internal/patterns"
 )
 
@@ -49,6 +52,7 @@ const (
 	lintVHIFDomain = "vase/lint-vhif/v1"
 	rangesDomain   = "vase/ranges/v1"
 	mapDomain      = "vase/map/v1"
+	spiceDomain    = "vase/spice/v1"
 )
 
 // ParseRecoverKey is the content address of an error-recovering parse of one
@@ -92,6 +96,37 @@ func LintVHIFKey(name, text string, opts lint.Options) Key {
 // domains or transfer functions change, invalidating older range facts.
 func RangesKey(vhifText string) Key {
 	return keyOf(rangesDomain, vhifText)
+}
+
+// SpiceKey is the content address of a circuit-level transient simulation:
+// the encoded netlist, the input waveform specs (wavespec grammar) sorted
+// by port name, the analysis window in hex-exact form, and the solver
+// tier with its error budget. Two exclusions are deliberate. Workers
+// cannot affect a transient (only the AC sweep parallelizes), so it is
+// result-neutral. And all bit-identical solver modes — auto, dense,
+// sparse, reference — share the single tag "exact", because byte-equal
+// outputs deserve one cache slot; only SolverFast gets its own tag, and
+// only its tag embeds the budget, since the exact modes never consult it.
+func SpiceKey(netlistData string, inputs map[string]string, tstop, tstep float64, solver mna.SolverMode, budget mna.ErrorBudget) Key {
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names)+5)
+	parts = append(parts, spiceDomain, netlistData)
+	for _, n := range names {
+		parts = append(parts, n+"="+inputs[n])
+	}
+	tier := "exact"
+	if solver == mna.SolverFast {
+		tier = "fast " + budget.Canonical()
+	}
+	parts = append(parts,
+		strconv.FormatFloat(tstop, 'x', -1, 64),
+		strconv.FormatFloat(tstep, 'x', -1, 64),
+		tier)
+	return keyOf(parts...)
 }
 
 // MapKey is the content address of an architecture-generation result: the

@@ -58,6 +58,7 @@ const (
 	StageMap
 	StageEstimate
 	StageNetlist
+	StageSpice
 	NumStages
 )
 
@@ -70,6 +71,7 @@ var stageNames = [NumStages]string{
 	StageMap:      "map",
 	StageEstimate: "estimate",
 	StageNetlist:  "netlist",
+	StageSpice:    "spice",
 }
 
 // String returns the stage slug used in stats output and disk filenames.

@@ -9,7 +9,10 @@ import (
 	"vase/internal/diag"
 	"vase/internal/lint"
 	"vase/internal/mapper"
+	"vase/internal/mna"
+	"vase/internal/pipeline"
 	"vase/internal/sim"
+	"vase/internal/solveropt"
 	"vase/internal/wavespec"
 )
 
@@ -260,15 +263,25 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) *httpE
 // --- /v1/simulate --------------------------------------------------------
 
 type simulateRequest struct {
-	Name      string            `json:"name"`
-	Source    string            `json:"source"`
-	Inputs    map[string]string `json:"inputs"` // net -> waveform spec (wavespec grammar)
-	TStop     float64           `json:"tstop"`
-	TStep     float64           `json:"tstep"`
-	MaxSteps  int               `json:"max_steps"`
-	Every     int               `json:"every"`  // stream/return every n-th sample (default 1)
-	Stream    bool              `json:"stream"` // SSE instead of one JSON body
-	TimeoutMS int               `json:"timeout_ms"`
+	Name     string            `json:"name"`
+	Source   string            `json:"source"`
+	Inputs   map[string]string `json:"inputs"` // net -> waveform spec (wavespec grammar)
+	TStop    float64           `json:"tstop"`
+	TStep    float64           `json:"tstep"`
+	MaxSteps int               `json:"max_steps"`
+	Every    int               `json:"every"`  // stream/return every n-th sample (default 1)
+	Stream   bool              `json:"stream"` // SSE instead of one JSON body
+	// Level selects the model: "behavioral" (default) integrates the VHIF
+	// signal-flow graphs; "circuit" synthesizes the design and runs the
+	// MNA op-amp macromodel transient (the paper's SPICE verification).
+	Level string `json:"level"`
+	// Solver picks the MNA tier for circuit-level runs: "reference",
+	// "exact" (default) or "fast" (see internal/solveropt). RelTol/AbsTol
+	// set the fast tier's error budget (0 = documented defaults).
+	Solver    string  `json:"solver"`
+	RelTol    float64 `json:"reltol"`
+	AbsTol    float64 `json:"abstol"`
+	TimeoutMS int     `json:"timeout_ms"`
 }
 
 type simulateResponse struct {
@@ -301,14 +314,36 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) *httpErr
 	if err != nil {
 		return errorf(http.StatusBadRequest, "%v", err)
 	}
+	switch req.Level {
+	case "", "behavioral", "circuit":
+	default:
+		return errorf(http.StatusBadRequest, "unknown level %q (valid: behavioral, circuit)", req.Level)
+	}
+	tier := solveropt.Exact
+	if req.Solver != "" {
+		if tier, err = solveropt.Parse(req.Solver); err != nil {
+			return errorf(http.StatusBadRequest, "%v", err)
+		}
+	}
+	if req.Level != "circuit" && (req.Solver != "" || req.RelTol != 0 || req.AbsTol != 0) {
+		return errorf(http.StatusBadRequest, "solver/reltol/abstol select the MNA tier and require level \"circuit\"")
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
 	defer cancel()
 
-	// The front end goes through the shared cache; the transient run itself
-	// is request-specific (inputs and step vary) and is never cached.
+	// The front end goes through the shared cache; the behavioral transient
+	// run itself is request-specific (inputs and step vary) and is never
+	// cached. Circuit-level runs go through the spice stage's
+	// content-addressed memo instead — see handleSimulateCircuit.
 	cr, cerr := s.pipe.Compile(ctx, req.Name, req.Source)
 	if cerr != nil {
 		return ctxError(ctx, cerr)
+	}
+	if req.Level == "circuit" {
+		if req.Stream {
+			return errorf(http.StatusBadRequest, "streaming is behavioral-level only")
+		}
+		return s.handleSimulateCircuit(ctx, w, cr, req, tier)
 	}
 	opts := sim.Options{TStop: req.TStop, TStep: req.TStep, MaxSteps: req.MaxSteps}
 	if req.Stream {
@@ -335,6 +370,77 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) *httpErr
 			out = append(out, samples[i])
 		}
 		resp.Signals[name] = out
+	}
+	s.reply(w, "simulate", status, resp)
+	return nil
+}
+
+// handleSimulateCircuit is the circuit-level branch of /v1/simulate:
+// synthesize (through the shared map-stage cache), elaborate the op-amp
+// macromodel, and run the MNA transient through the spice stage's memo —
+// a repeated request under the same netlist, inputs, window and solver
+// tier never runs the solver again. The response carries the port
+// waveforms (polarity-corrected), named like the behavioral level's.
+func (s *Server) handleSimulateCircuit(ctx context.Context, w http.ResponseWriter, cr *pipeline.CompileResult, req simulateRequest, tier solveropt.Tier) *httpError {
+	opts := mapper.DefaultOptions()
+	granted := s.sched.lease(1)
+	defer s.sched.release(granted)
+	opts.Workers = granted
+	res, _, err := s.pipe.SynthesizeText(ctx, cr.Module, cr.Text, opts)
+	if err != nil {
+		return ctxError(ctx, err)
+	}
+	data, err := res.Netlist.Encode()
+	if err != nil {
+		return errorf(http.StatusInternalServerError, "netlist artifact: %v", err)
+	}
+	budget := mna.ErrorBudget{RelTol: req.RelTol, AbsTol: req.AbsTol}
+	sd, err := s.pipe.Spice(ctx, data, req.Inputs, req.TStop, req.TStep, pipeline.SpiceOptions{
+		Solver: tier.Mode(),
+		Budget: budget,
+	})
+	if err != nil {
+		return ctxError(ctx, err)
+	}
+	// Re-elaborate for name resolution only: NodeOf/PolOf map netlist net
+	// names onto circuit nodes, and the stored samples rehydrate onto the
+	// fresh circuit.
+	sources, err := wavespec.ParseMap(req.Inputs)
+	if err != nil {
+		return errorf(http.StatusBadRequest, "%v", err)
+	}
+	waves := make(map[string]mna.Waveform, len(sources))
+	for name, src := range sources {
+		waves[name] = mna.Waveform(src)
+	}
+	el, err := mna.Elaborate(res.Netlist, waves)
+	if err != nil {
+		return ctxError(ctx, err)
+	}
+	v := make(map[mna.Node][]float64, len(sd.V))
+	for n, samples := range sd.V {
+		v[mna.Node(n)] = samples
+	}
+	tr := el.Circuit.TranFromSamples(sd.Time, v, sd.Truncated)
+	status := http.StatusOK
+	if sd.Truncated {
+		status = http.StatusPartialContent
+		s.met.degraded.Add(1)
+	}
+	resp := simulateResponse{Truncated: sd.Truncated, Signals: map[string][]float64{}}
+	for i := 0; i < len(sd.Time); i += req.Every {
+		resp.Time = append(resp.Time, sd.Time[i])
+	}
+	for _, p := range cr.Module.Ports {
+		samples := el.V(tr, p.Name)
+		if samples == nil {
+			continue
+		}
+		var out []float64
+		for i := 0; i < len(samples); i += req.Every {
+			out = append(out, samples[i])
+		}
+		resp.Signals[p.Name] = out
 	}
 	s.reply(w, "simulate", status, resp)
 	return nil

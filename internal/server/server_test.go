@@ -484,3 +484,98 @@ func ExampleConfig() {
 	fmt.Println(resp.StatusCode)
 	// Output: 200
 }
+
+// TestSimulateCircuitLevel exercises the MNA branch of /v1/simulate: the
+// design is synthesized and its op-amp macromodel integrated, in either
+// solver tier, with fast-tier results served from the spice stage's memo
+// on repeat and stay within the error budget of the exact tier.
+func TestSimulateCircuitLevel(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := map[string]any{
+		"name":   "mixer.vhd",
+		"source": mixerSrc,
+		"inputs": map[string]string{"a": "dc:0.1", "b": "dc:0.2"},
+		"tstop":  1e-4,
+		"tstep":  1e-6,
+		"level":  "circuit",
+	}
+	rec, out := post(t, s, "/v1/simulate", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("circuit simulate: status %d, body %s", rec.Code, rec.Body)
+	}
+	signals, _ := out["signals"].(map[string]any)
+	ys, _ := signals["y"].([]any)
+	if len(ys) == 0 {
+		t.Fatalf("no y waveform in %v", out)
+	}
+	// y = 3*0.1 + 2*0.2 = 0.7 at steady state.
+	exact := ys[len(ys)-1].(float64)
+	if exact < 0.65 || exact > 0.75 {
+		t.Errorf("final y = %g, want ~0.7", exact)
+	}
+	spiceStats := s.pipe.Stats().Stage(pipeline.StageSpice)
+	if spiceStats.Misses != 1 {
+		t.Errorf("spice stage counters = %+v, want 1 miss", spiceStats)
+	}
+
+	// The fast tier is a different artifact (its own key) but must land
+	// within the default budget of the exact result.
+	req["solver"] = "fast"
+	rec, out = post(t, s, "/v1/simulate", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fast circuit simulate: status %d, body %s", rec.Code, rec.Body)
+	}
+	signals, _ = out["signals"].(map[string]any)
+	ys, _ = signals["y"].([]any)
+	fast := ys[len(ys)-1].(float64)
+	if diff := fast - exact; diff < -1e-3 || diff > 1e-3 {
+		t.Errorf("fast tier y = %g, exact %g", fast, exact)
+	}
+
+	// Repeating the fast request is a spice-stage cache hit.
+	rec, _ = post(t, s, "/v1/simulate", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("repeat fast simulate: status %d", rec.Code)
+	}
+	if st := s.pipe.Stats().Stage(pipeline.StageSpice); st.Hits == 0 {
+		t.Errorf("repeat request did not hit the spice memo: %+v", st)
+	}
+}
+
+// TestSimulateSolverValidation pins the shared solveropt error contract at
+// the HTTP boundary: an unknown tier is a 400 listing the valid names, and
+// solver fields on a behavioral request are rejected rather than ignored.
+func TestSimulateSolverValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, out := post(t, s, "/v1/simulate", map[string]any{
+		"source": mixerSrc,
+		"inputs": map[string]string{"a": "dc:0", "b": "dc:0"},
+		"level":  "circuit",
+		"solver": "sparse",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown solver: status %d, want 400", rec.Code)
+	}
+	msg, _ := out["error"].(string)
+	for _, want := range []string{"sparse", "reference", "exact", "fast"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+	rec, _ = post(t, s, "/v1/simulate", map[string]any{
+		"source": mixerSrc,
+		"inputs": map[string]string{"a": "dc:0", "b": "dc:0"},
+		"solver": "fast",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("solver on behavioral level: status %d, want 400", rec.Code)
+	}
+	rec, _ = post(t, s, "/v1/simulate", map[string]any{
+		"source": mixerSrc,
+		"inputs": map[string]string{"a": "dc:0", "b": "dc:0"},
+		"level":  "orbital",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown level: status %d, want 400", rec.Code)
+	}
+}

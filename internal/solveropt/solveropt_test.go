@@ -1,0 +1,64 @@
+package solveropt
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"vase/internal/mna"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		tier, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if tier.String() != name {
+			t.Errorf("Parse(%q).String() = %q", name, tier.String())
+		}
+	}
+}
+
+func TestParseUnknownListsValid(t *testing.T) {
+	_, err := Parse("sparse")
+	if err == nil {
+		t.Fatal("Parse(sparse) accepted; the engine-internal names must not leak into the tool vocabulary")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid tier %q", err, name)
+		}
+	}
+}
+
+func TestModeMapping(t *testing.T) {
+	cases := map[Tier]mna.SolverMode{
+		Reference: mna.SolverReference,
+		Exact:     mna.SolverAuto,
+		Fast:      mna.SolverFast,
+	}
+	for tier, want := range cases {
+		if got := tier.Mode(); got != want {
+			t.Errorf("%v.Mode() = %v, want %v", tier, got, want)
+		}
+	}
+}
+
+func TestFlagBinding(t *testing.T) {
+	tier := Exact
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.Var(Flag{&tier}, "solver", Usage)
+	if err := fs.Parse([]string{"-solver=fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if tier != Fast {
+		t.Fatalf("tier = %v after -solver=fast", tier)
+	}
+	fs2 := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs2.SetOutput(new(strings.Builder))
+	fs2.Var(Flag{&tier}, "solver", Usage)
+	if err := fs2.Parse([]string{"-solver=bogus"}); err == nil {
+		t.Fatal("unknown tier accepted by the flag binding")
+	}
+}

@@ -368,6 +368,15 @@ type Architecture struct {
 	// and AC verification steps (0 = all CPUs, 1 = sequential). Every
 	// worker count produces bitwise-identical results.
 	SimWorkers int
+	// SimSolver selects the MNA solver tier for the Spice and AC
+	// verification steps. The zero value is the exact planned engine
+	// (bit-identical to mna.SolverReference); mna.SolverFast trades
+	// bit-identity for speed under SimBudget.
+	SimSolver mna.SolverMode
+	// SimBudget is the fast tier's error budget (zero value = the
+	// documented defaults). It is part of the simulation's identity: cached
+	// fast-tier results are keyed on it.
+	SimBudget mna.ErrorBudget
 }
 
 // Synthesize maps the design onto a minimum-area component netlist with the
@@ -403,6 +412,20 @@ func (d *Design) SynthesizeContext(ctx context.Context, opts SynthesisOptions) (
 	}
 	return newArchitecture(res, cached), nil
 }
+
+// SolverMode re-exports the MNA solver-tier selector for
+// Architecture.SimSolver.
+type SolverMode = mna.SolverMode
+
+// The two solver tiers of the public API: the exact planned engine
+// (bit-identical to the original reference eliminator) and the
+// tolerance-tier engine (deterministic, within ErrorBudget of the
+// reference). The finer-grained mna modes remain available to callers
+// that import internal/mna directly.
+const (
+	SolverExact SolverMode = mna.SolverAuto
+	SolverFast  SolverMode = mna.SolverFast
+)
 
 // Simulation re-exports.
 type (
@@ -458,6 +481,12 @@ func (a *Architecture) SimulateContext(ctx context.Context, inputs map[string]Wa
 	return sim.SimulateNetlistContext(ctx, a.Netlist, inputs, opts)
 }
 
+// ErrorBudget re-exports the fast tier's tolerance pair: the bound
+// |fast - ref| <= AbsTol + RelTol*|ref| every SolverFast trace point honors
+// against the reference solver. The zero value means the documented
+// defaults.
+type ErrorBudget = mna.ErrorBudget
+
 // SpiceResult is a circuit-level (MNA) simulation of a synthesized netlist.
 type SpiceResult struct {
 	Elab *mna.Elaborated
@@ -492,11 +521,65 @@ func (a *Architecture) SpiceContext(ctx context.Context, inputs map[string]Wavef
 		return nil, err
 	}
 	el.Circuit.Workers = a.SimWorkers
+	el.Circuit.Solver = a.SimSolver
+	el.Circuit.Budget = a.SimBudget
 	tr, err := el.Circuit.TransientContext(ctx, tstop, tstep)
 	if err != nil {
 		return nil, err
 	}
 	return &SpiceResult{Elab: el, Tran: tr, Stats: el.Circuit.SolverStats()}, nil
+}
+
+// SpiceVia is SpiceContext with the transient memoized in an explicit
+// pipeline. The inputs are textual waveform specs (the ParseWaveform
+// grammar) rather than functions — functions are not content-addressable,
+// their specs are. The cache key covers the encoded netlist, the specs,
+// the analysis window and the solver tier with its error budget, so a
+// fast-tier trace never masquerades as an exact one (and vice versa); see
+// pipeline.SpiceKey. On a hit the solver never runs: the circuit is
+// re-elaborated only for named-port lookup and the stored samples are
+// rehydrated onto it.
+func (a *Architecture) SpiceVia(ctx context.Context, p *Pipeline, inputs map[string]string, tstop, tstep float64) (*SpiceResult, error) {
+	data, err := a.Netlist.Encode()
+	if err != nil {
+		// An unencodable netlist cannot be content-addressed; run the
+		// simulation directly rather than failing it.
+		waves, perr := wavespec.ParseMap(inputs)
+		if perr != nil {
+			return nil, perr
+		}
+		ws := make(map[string]Waveform, len(waves))
+		for name, w := range waves {
+			ws[name] = Waveform(w)
+		}
+		return a.SpiceContext(ctx, ws, tstop, tstep)
+	}
+	sd, err := p.Spice(ctx, data, inputs, tstop, tstep, pipeline.SpiceOptions{
+		Solver:  a.SimSolver,
+		Budget:  a.SimBudget,
+		Workers: a.SimWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sources, err := wavespec.ParseMap(inputs)
+	if err != nil {
+		return nil, err
+	}
+	mw := make(map[string]mna.Waveform, len(sources))
+	for name, w := range sources {
+		mw[name] = mna.Waveform(w)
+	}
+	el, err := mna.Elaborate(a.Netlist, mw)
+	if err != nil {
+		return nil, err
+	}
+	v := make(map[mna.Node][]float64, len(sd.V))
+	for n, w := range sd.V {
+		v[mna.Node(n)] = w
+	}
+	tr := el.Circuit.TranFromSamples(sd.Time, v, sd.Truncated)
+	return &SpiceResult{Elab: el, Tran: tr}, nil
 }
 
 // ACResponse is a small-signal frequency sweep of a synthesized circuit.
@@ -556,6 +639,8 @@ func (a *Architecture) ACContext(ctx context.Context, stimulus string, f1, f2 fl
 		return nil, err
 	}
 	el.Circuit.Workers = a.SimWorkers
+	el.Circuit.Solver = a.SimSolver
+	el.Circuit.Budget = a.SimBudget
 	freqs := mna.LogSweep(f1, f2, points)
 	res, err := el.Circuit.ACContext(ctx, "v_"+stimulus, freqs)
 	if err != nil {

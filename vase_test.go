@@ -1,6 +1,7 @@
 package vase_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -278,5 +279,52 @@ end architecture;`}
 	}
 	if vase.RenderDiagnostics(nil, src) != "" {
 		t.Error("nil error should render empty")
+	}
+}
+
+// TestSpiceViaAPI pins the cached circuit-simulation entry point: a warm
+// call serves the trace from the pipeline without running the solver, and
+// the rehydrated result is sample-for-sample identical to a direct run —
+// in both solver tiers (the fast tier's determinism is what makes its
+// results cacheable at all).
+func TestSpiceViaAPI(t *testing.T) {
+	d, err := vase.Compile(vase.Source{Name: "mixer.vhd", Text: mixerSrc})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	arch, err := d.Synthesize()
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	arch.SimSolver = vase.SolverFast
+	inputs := map[string]string{"a": "dc:0.1", "b": "dc:0.2"}
+	waves := map[string]vase.Waveform{"a": vase.DC(0.1), "b": vase.DC(0.2)}
+	direct, err := arch.Spice(waves, 1e-4, 1e-6)
+	if err != nil {
+		t.Fatalf("direct spice: %v", err)
+	}
+	p, err := vase.NewPipeline(vase.PipelineOptions{})
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	cold, err := arch.SpiceVia(context.Background(), p, inputs, 1e-4, 1e-6)
+	if err != nil {
+		t.Fatalf("cold SpiceVia: %v", err)
+	}
+	warm, err := arch.SpiceVia(context.Background(), p, inputs, 1e-4, 1e-6)
+	if err != nil {
+		t.Fatalf("warm SpiceVia: %v", err)
+	}
+	for _, res := range []*vase.SpiceResult{cold, warm} {
+		dy, ry := direct.V("y"), res.V("y")
+		if len(dy) != len(ry) {
+			t.Fatalf("trace length %d, direct run %d", len(ry), len(dy))
+		}
+		for i := range dy {
+			if math.Float64bits(dy[i]) != math.Float64bits(ry[i]) {
+				t.Fatalf("sample %d: %x, direct run %x", i,
+					math.Float64bits(ry[i]), math.Float64bits(dy[i]))
+			}
+		}
 	}
 }
